@@ -1,0 +1,160 @@
+//! Ablation benches for the design choices DESIGN.md calls out: each
+//! variant is timed, and the bench logs the discriminative effect (genuine
+//! vs impostor score gap) once per variant so speed/quality trade-offs are
+//! visible in one run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fp_bench::{bench_population, matcher_fixtures};
+use fp_core::ids::{Finger, SessionId, SubjectId};
+use fp_core::rng::SeedTree;
+use fp_core::Matcher;
+use fp_match::{PairTableConfig, PairTableMatcher};
+use fp_sensor::{Acquisition, Device};
+
+fn gap(matcher: &PairTableMatcher, fixtures: &(fp_core::template::Template, fp_core::template::Template, fp_core::template::Template)) -> (f64, f64) {
+    let (gallery, probe, impostor) = fixtures;
+    (
+        matcher.compare(gallery, probe).value(),
+        matcher.compare(gallery, impostor).value(),
+    )
+}
+
+fn ablation_benches(c: &mut Criterion) {
+    let fixtures = matcher_fixtures();
+
+    let variants: Vec<(&str, PairTableConfig)> = vec![
+        ("baseline", PairTableConfig::default()),
+        (
+            "no_kind_matching",
+            PairTableConfig {
+                require_kind_match: false,
+                ..PairTableConfig::default()
+            },
+        ),
+        (
+            "no_rotation_clustering",
+            PairTableConfig {
+                // A full-circle window disables the rotation-consistency
+                // filter: every compatible pair association survives.
+                rotation_window: std::f64::consts::PI,
+                ..PairTableConfig::default()
+            },
+        ),
+        (
+            "no_size_normalization",
+            PairTableConfig {
+                size_cap: usize::MAX,
+                ..PairTableConfig::default()
+            },
+        ),
+        (
+            "loose_tolerances",
+            PairTableConfig {
+                distance_tolerance: 0.6,
+                angle_tolerance: 0.4,
+                ..PairTableConfig::default()
+            },
+        ),
+        (
+            "short_pairs_only",
+            PairTableConfig {
+                max_pair_distance: 6.0,
+                ..PairTableConfig::default()
+            },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("pair_table_ablations");
+    for (name, config) in variants {
+        let matcher = PairTableMatcher::new(config);
+        let (genuine, impostor) = gap(&matcher, &fixtures);
+        // One-line effect summary next to the timing.
+        eprintln!("ablation {name:<24} genuine {genuine:7.2}  impostor {impostor:6.2}");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(matcher.compare(black_box(&fixtures.0), black_box(&fixtures.1)));
+                black_box(matcher.compare(black_box(&fixtures.0), black_box(&fixtures.2)));
+            })
+        });
+    }
+    group.finish();
+
+    // ---- Sensor-model ablations --------------------------------------------
+    //
+    // Each variant switches one acquisition mechanism off; the log line
+    // shows how the D0-gallery vs D3-probe genuine score responds, which is
+    // the design-choice evidence DESIGN.md refers to.
+    let pop = bench_population(6);
+    let matcher = PairTableMatcher::default();
+    let d3 = *Device::by_id(fp_core::ids::DeviceId(3));
+    let variants: Vec<(&str, Device)> = vec![
+        ("d3_baseline", d3),
+        ("d3_no_vignette", {
+            let mut d = d3;
+            d.noise.vignette_band_mm = 0.0;
+            d
+        }),
+        ("d3_no_distortion", {
+            let mut d = d3;
+            d.distortion = fp_sensor::DistortionSignature::IDENTITY;
+            d
+        }),
+        ("d3_no_jitter", {
+            let mut d = d3;
+            d.noise.position_jitter = 0.0;
+            d.noise.direction_kappa = 1e6;
+            d
+        }),
+    ];
+    let mut group = c.benchmark_group("sensor_ablations");
+    group.sample_size(20);
+    for (name, device) in variants {
+        // Effect summary: mean cross-device genuine score over the bench
+        // cohort (D0 session-0 gallery vs this-variant session-1 probe).
+        let mut total = 0.0;
+        for (i, subject) in pop.subjects().iter().enumerate() {
+            let gallery = fp_sensor::CaptureProtocol::new().capture(
+                subject,
+                Finger::RIGHT_INDEX,
+                fp_core::ids::DeviceId(0),
+                SessionId(0),
+            );
+            let probe = Acquisition.capture(
+                &subject.master_print(Finger::RIGHT_INDEX),
+                &subject.skin(),
+                &device,
+                SubjectId(i as u32),
+                Finger::RIGHT_INDEX,
+                SessionId(1),
+                0.0,
+                &SeedTree::new(0xAB1A + i as u64),
+            );
+            total += matcher.compare(gallery.template(), probe.template()).value();
+        }
+        eprintln!(
+            "sensor ablation {name:<18} mean cross-device genuine {:.2}",
+            total / pop.len() as f64
+        );
+        let subject = &pop.subjects()[0];
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(Acquisition.capture(
+                    &subject.master_print(Finger::RIGHT_INDEX),
+                    &subject.skin(),
+                    black_box(&device),
+                    SubjectId(0),
+                    Finger::RIGHT_INDEX,
+                    SessionId(1),
+                    0.0,
+                    &SeedTree::new(7),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_benches);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! One benchmark per paper artifact: running `cargo bench --bench
+//! experiments` regenerates every table and figure of Lugini et al. (DSN
+//! 2013) on the shared bench study and reports the cost of each.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fp_bench::{bench_config, bench_study};
+use fp_study::dataset::Dataset;
+use fp_study::experiments;
+use fp_study::scores::{ScoreMatrix, StudyData};
+
+fn experiments_benches(c: &mut Criterion) {
+    let data = bench_study();
+
+    let mut group = c.benchmark_group("paper_artifacts");
+    group.sample_size(10);
+    for id in experiments::ALL_IDS {
+        // The extension analyses recompute whole score matrices; keep the
+        // headline group to the paper's own tables and figures.
+        if id.starts_with("ext-") {
+            continue;
+        }
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let report = experiments::run(black_box(id), black_box(&data))
+                    .expect("known experiment id");
+                black_box(report.values);
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    for id in ["ext-habituation", "ext-prediction"] {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let report = experiments::run(black_box(id), black_box(&data))
+                    .expect("known experiment id");
+                black_box(report.values);
+            })
+        });
+    }
+    group.finish();
+
+    // The substrate the experiments consume: dataset capture and score-matrix
+    // computation.
+    let mut group = c.benchmark_group("study_generation");
+    group.sample_size(10);
+    let config = bench_config();
+    group.bench_function("dataset_capture", |b| {
+        b.iter(|| black_box(Dataset::generate(black_box(&config))))
+    });
+    let dataset = Dataset::generate(&config);
+    group.bench_function("score_matrix_pairtable", |b| {
+        let matcher = fp_match::PairTableMatcher::default();
+        b.iter(|| black_box(ScoreMatrix::compute(black_box(&dataset), &matcher)))
+    });
+    group.bench_function("full_study", |b| {
+        b.iter(|| black_box(StudyData::generate(black_box(&config))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, experiments_benches);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Matcher comparison latency: genuine vs impostor pairs, direct vs
+//! prepared paths, pair-table vs Hough.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fp_bench::matcher_fixtures;
+use fp_core::Matcher;
+use fp_match::{HoughMatcher, PairTableMatcher, PreparableMatcher, ScoreCalibration};
+
+fn matcher_benches(c: &mut Criterion) {
+    let (gallery, probe, impostor) = matcher_fixtures();
+
+    let mut group = c.benchmark_group("pair_table");
+    let matcher = PairTableMatcher::default();
+    group.bench_function("genuine_direct", |b| {
+        b.iter(|| black_box(matcher.compare(black_box(&gallery), black_box(&probe))))
+    });
+    group.bench_function("impostor_direct", |b| {
+        b.iter(|| black_box(matcher.compare(black_box(&gallery), black_box(&impostor))))
+    });
+    group.bench_function("prepare", |b| {
+        b.iter(|| black_box(matcher.prepare(black_box(&gallery))))
+    });
+    let pg = matcher.prepare(&gallery);
+    let pp = matcher.prepare(&probe);
+    let pi = matcher.prepare(&impostor);
+    group.bench_function("genuine_prepared", |b| {
+        b.iter(|| black_box(matcher.compare_prepared(black_box(&pg), black_box(&pp))))
+    });
+    group.bench_function("impostor_prepared", |b| {
+        b.iter(|| black_box(matcher.compare_prepared(black_box(&pg), black_box(&pi))))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("hough");
+    let hough = HoughMatcher::default();
+    group.bench_function("genuine", |b| {
+        b.iter(|| black_box(hough.compare(black_box(&gallery), black_box(&probe))))
+    });
+    group.bench_function("impostor", |b| {
+        b.iter(|| black_box(hough.compare(black_box(&gallery), black_box(&impostor))))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("calibration");
+    let calibrated = ScoreCalibration::default().wrap(PairTableMatcher::default());
+    group.bench_function("calibrated_genuine", |b| {
+        b.iter(|| black_box(calibrated.compare(black_box(&gallery), black_box(&probe))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, matcher_benches);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Throughput of the synthesis → acquisition → quality pipeline stages, and
+//! of the raster (image-domain) pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fp_bench::{bench_population, bench_seed, genuine_pair};
+use fp_core::geometry::{Point, Rect};
+use fp_core::ids::{DeviceId, Digit, Finger, SessionId};
+use fp_image::binarize::adaptive_binarize;
+use fp_image::enhance::gabor_enhance;
+use fp_image::extract::{extract_minutiae, ExtractConfig};
+use fp_image::orientation::estimate_orientation;
+use fp_image::render::{render_master, RenderConfig};
+use fp_image::segment::segment;
+use fp_image::thin::zhang_suen;
+use fp_quality::QualityAssessor;
+use fp_sensor::CaptureProtocol;
+use fp_synth::master::MasterPrint;
+
+fn pipeline_benches(c: &mut Criterion) {
+    let pop = bench_population(4);
+    let subject = &pop.subjects()[0];
+
+    let mut group = c.benchmark_group("synthesis");
+    group.bench_function("master_print", |b| {
+        b.iter(|| {
+            black_box(MasterPrint::generate(
+                black_box(&bench_seed().child(&[7])),
+                Digit::Index,
+                1.0,
+            ))
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("acquisition");
+    let protocol = CaptureProtocol::new();
+    for device in [DeviceId(0), DeviceId(3), DeviceId(4)] {
+        group.bench_function(format!("capture_{device}"), |b| {
+            b.iter(|| {
+                black_box(protocol.capture(
+                    black_box(subject),
+                    Finger::RIGHT_INDEX,
+                    device,
+                    SessionId(0),
+                ))
+            })
+        });
+    }
+    let impression = protocol.capture(subject, Finger::RIGHT_INDEX, DeviceId(0), SessionId(0));
+    group.bench_function("quality_assessment", |b| {
+        let assessor = QualityAssessor::default();
+        b.iter(|| black_box(assessor.assess(black_box(&impression))))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("raster");
+    group.sample_size(10);
+    let master = MasterPrint::generate(&bench_seed().child(&[1]), Digit::Index, 1.0);
+    let window = Rect::centred(Point::ORIGIN, 12.0, 14.0).expect("valid window");
+    let render_config = RenderConfig::default();
+    group.bench_function("render_12x14mm_500dpi", |b| {
+        b.iter(|| {
+            black_box(render_master(
+                black_box(&master),
+                window,
+                &render_config,
+                &bench_seed().child(&[2]),
+            ))
+        })
+    });
+    let image = render_master(&master, window, &render_config, &bench_seed().child(&[2]));
+    group.bench_function("orientation_estimation", |b| {
+        b.iter(|| black_box(estimate_orientation(black_box(&image), 16)))
+    });
+    let field = estimate_orientation(&image, 16);
+    let mask = segment(&image, 16, 0.25).eroded();
+    group.bench_function("gabor_enhancement", |b| {
+        b.iter(|| black_box(gabor_enhance(black_box(&image), &field, &mask, 9.0)))
+    });
+    let enhanced = gabor_enhance(&image, &field, &mask, 9.0);
+    let binary = adaptive_binarize(&enhanced, &mask, 6);
+    group.bench_function("thinning", |b| {
+        b.iter(|| black_box(zhang_suen(black_box(&binary))))
+    });
+    let skeleton = zhang_suen(&binary);
+    group.bench_function("minutiae_extraction", |b| {
+        b.iter(|| {
+            black_box(
+                extract_minutiae(
+                    black_box(&skeleton),
+                    &mask,
+                    window,
+                    &ExtractConfig::default(),
+                )
+                .expect("valid extraction"),
+            )
+        })
+    });
+    group.finish();
+
+    // The interop-critical path: one genuine cross-device comparison,
+    // captures included.
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(20);
+    group.bench_function("cross_device_verification", |b| {
+        let matcher = fp_match::PairTableMatcher::default();
+        b.iter(|| {
+            let (gallery, probe) = genuine_pair(black_box(subject), DeviceId(0), DeviceId(4));
+            black_box(fp_core::Matcher::compare(
+                &matcher,
+                gallery.template(),
+                probe.template(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pipeline_benches);
+criterion_main!(benches);

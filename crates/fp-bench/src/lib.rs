@@ -1,0 +1,100 @@
+//! # fp-bench
+//!
+//! Criterion benchmarks for the fingerprint-interoperability workspace.
+//!
+//! The benches are organized by what they regenerate or measure:
+//!
+//! * `benches/experiments.rs` — **one benchmark per paper table and
+//!   figure** (Figures 1–5, Tables 3–6) over a shared small-scale study, so
+//!   `cargo bench -p fp-bench --bench experiments` regenerates every
+//!   artifact and reports how long each takes;
+//! * `benches/pipeline.rs` — throughput of the synthesis/acquisition
+//!   pipeline stages (master prints, captures, quality, rendering,
+//!   extraction);
+//! * `benches/matchers.rs` — matcher comparison latency on genuine and
+//!   impostor pairs, direct vs prepared paths;
+//! * `benches/ablations.rs` — the design choices called out in DESIGN.md
+//!   (kind matching, rotation clustering, size normalization), measured for
+//!   both speed and discriminative effect.
+//!
+//! Shared fixtures live here so every bench sees identical inputs.
+
+use fp_core::ids::{DeviceId, Finger, SessionId};
+use fp_core::rng::SeedTree;
+use fp_core::template::Template;
+use fp_sensor::{CaptureProtocol, Impression};
+use fp_study::config::StudyConfig;
+use fp_study::scores::StudyData;
+use fp_synth::population::{Population, PopulationConfig, Subject};
+
+/// Cohort size used by the experiment benches — small enough for quick
+/// iterations, large enough that every experiment has meaningful input.
+pub const BENCH_SUBJECTS: usize = 24;
+
+/// Impostor pairs per cell for the bench study.
+pub const BENCH_IMPOSTORS: usize = 120;
+
+/// The shared bench study configuration.
+pub fn bench_config() -> StudyConfig {
+    StudyConfig::builder()
+        .subjects(BENCH_SUBJECTS)
+        .seed(0xBE7C)
+        .impostors_per_cell(BENCH_IMPOSTORS)
+        .build()
+}
+
+/// Generates the shared study data (dataset + score matrices).
+pub fn bench_study() -> StudyData {
+    StudyData::generate(&bench_config())
+}
+
+/// A small deterministic population for pipeline benches.
+pub fn bench_population(n: usize) -> Population {
+    Population::generate(&PopulationConfig::new(0xBE7C, n))
+}
+
+/// A pair of same-finger impressions on the given devices (genuine pair).
+pub fn genuine_pair(subject: &Subject, gallery: DeviceId, probe: DeviceId) -> (Impression, Impression) {
+    let protocol = CaptureProtocol::new();
+    (
+        protocol.capture(subject, Finger::RIGHT_INDEX, gallery, SessionId(0)),
+        protocol.capture(subject, Finger::RIGHT_INDEX, probe, SessionId(1)),
+    )
+}
+
+/// Templates of a genuine same-device pair and an impostor pair, for the
+/// matcher benches.
+pub fn matcher_fixtures() -> (Template, Template, Template) {
+    let pop = bench_population(2);
+    let (gallery, probe) = genuine_pair(&pop.subjects()[0], DeviceId(0), DeviceId(0));
+    let protocol = CaptureProtocol::new();
+    let impostor = protocol.capture(&pop.subjects()[1], Finger::RIGHT_INDEX, DeviceId(0), SessionId(1));
+    (
+        gallery.template().clone(),
+        probe.template().clone(),
+        impostor.template().clone(),
+    )
+}
+
+/// Seed tree root shared by rendering benches.
+pub fn bench_seed() -> SeedTree {
+    SeedTree::new(0xBE7C)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_generatable() {
+        let (g, p, i) = matcher_fixtures();
+        assert!(g.len() > 5 && p.len() > 5 && i.len() > 5);
+    }
+
+    #[test]
+    fn bench_config_is_small() {
+        let c = bench_config();
+        assert_eq!(c.subjects, BENCH_SUBJECTS);
+        assert_eq!(c.impostors_per_cell, BENCH_IMPOSTORS);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Error returned by fallible constructors and pipelines in the core crates.
+///
+/// The variants are intentionally coarse: fine-grained context travels in the
+/// message, which follows the Rust API guidelines style (lowercase, no
+/// trailing punctuation).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A numeric or structural parameter was outside its documented domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// An operation required a non-empty template or collection.
+    Empty {
+        /// What was empty.
+        what: &'static str,
+    },
+    /// Two operands were dimensionally or semantically incompatible.
+    Incompatible {
+        /// Description of the mismatch.
+        message: String,
+    },
+}
+
+impl Error {
+    /// Convenience constructor for [`Error::InvalidParameter`].
+    pub fn invalid(name: &'static str, message: impl Into<String>) -> Self {
+        Error::InvalidParameter {
+            name,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`Error::Empty`].
+    pub fn empty(what: &'static str) -> Self {
+        Error::Empty { what }
+    }
+
+    /// Convenience constructor for [`Error::Incompatible`].
+    pub fn incompatible(message: impl Into<String>) -> Self {
+        Error::Incompatible {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            Error::Empty { what } => write!(f, "{what} must not be empty"),
+            Error::Incompatible { message } => write!(f, "incompatible operands: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let e = Error::invalid("dpi", "must be positive");
+        let s = e.to_string();
+        assert!(s.starts_with("invalid parameter `dpi`"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn empty_error_names_subject() {
+        assert_eq!(Error::empty("template").to_string(), "template must not be empty");
+    }
+
+    #[test]
+    fn incompatible_error_carries_message() {
+        let e = Error::incompatible("500 dpi vs 1000 dpi");
+        assert!(e.to_string().contains("500 dpi vs 1000 dpi"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Adaptive binarization: ridge pixels are those darker than their local
+//! neighbourhood mean.
+
+use crate::image::GrayImage;
+use crate::segment::Mask;
+
+/// A binary ridge map: `true` = ridge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinaryImage {
+    width: usize,
+    height: usize,
+    data: Vec<bool>,
+}
+
+impl BinaryImage {
+    /// Creates a map from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != width * height`.
+    pub fn from_data(width: usize, height: usize, data: Vec<bool>) -> Self {
+        assert_eq!(data.len(), width * height, "data length mismatch");
+        BinaryImage {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel accessor; out-of-bounds reads as background.
+    #[inline]
+    pub fn at(&self, x: isize, y: isize) -> bool {
+        if x < 0 || y < 0 || x >= self.width as isize || y >= self.height as isize {
+            false
+        } else {
+            self.data[y as usize * self.width + x as usize]
+        }
+    }
+
+    /// Sets a pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: bool) {
+        assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x] = value;
+    }
+
+    /// Number of ridge pixels.
+    pub fn count_ones(&self) -> usize {
+        self.data.iter().filter(|&&b| b).count()
+    }
+
+    /// Raw data access.
+    pub fn data(&self) -> &[bool] {
+        &self.data
+    }
+}
+
+/// Binarizes `img` by comparing each foreground pixel against the mean of a
+/// `(2 radius + 1)²` neighbourhood (integral-image accelerated). Background
+/// pixels are never ridges.
+pub fn adaptive_binarize(img: &GrayImage, mask: &Mask, radius: usize) -> BinaryImage {
+    let (w, h) = (img.width(), img.height());
+
+    // Summed-area table with one extra row/column of zeros.
+    let mut sat = vec![0.0f64; (w + 1) * (h + 1)];
+    for y in 0..h {
+        let mut row = 0.0f64;
+        for x in 0..w {
+            row += img.at(x, y) as f64;
+            sat[(y + 1) * (w + 1) + (x + 1)] = sat[y * (w + 1) + (x + 1)] + row;
+        }
+    }
+    let rect_sum = |x0: usize, y0: usize, x1: usize, y1: usize| -> f64 {
+        sat[y1 * (w + 1) + x1] - sat[y0 * (w + 1) + x1] - sat[y1 * (w + 1) + x0]
+            + sat[y0 * (w + 1) + x0]
+    };
+
+    let mut data = vec![false; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            if !mask.is_foreground(x, y) {
+                continue;
+            }
+            let x0 = x.saturating_sub(radius);
+            let y0 = y.saturating_sub(radius);
+            let x1 = (x + radius + 1).min(w);
+            let y1 = (y + radius + 1).min(h);
+            let count = ((x1 - x0) * (y1 - y0)) as f64;
+            let mean = rect_sum(x0, y0, x1, y1) / count;
+            data[y * w + x] = (img.at(x, y) as f64) < mean - 1e-4;
+        }
+    }
+    BinaryImage::from_data(w, h, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::segment;
+
+    fn grating(period: f32, w: usize, h: usize) -> GrayImage {
+        let mut img = GrayImage::filled(w, h, 0.0).unwrap();
+        for y in 0..h {
+            for x in 0..w {
+                img.set(
+                    x,
+                    y,
+                    0.5 + 0.5 * (y as f32 * std::f32::consts::TAU / period).cos(),
+                );
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn grating_binarizes_to_half_ridge() {
+        let img = grating(8.0, 64, 64);
+        let mask = segment(&img, 16, 0.1);
+        let bin = adaptive_binarize(&img, &mask, 6);
+        let frac = bin.count_ones() as f64 / (64.0 * 64.0);
+        assert!((frac - 0.5).abs() < 0.15, "ridge fraction {frac}");
+    }
+
+    #[test]
+    fn dark_rows_become_ridges() {
+        let img = grating(8.0, 32, 32);
+        let mask = segment(&img, 16, 0.1);
+        let bin = adaptive_binarize(&img, &mask, 6);
+        // Row 4 is the cosine trough (dark) for period 8: y=4 -> cos(pi)=-1.
+        assert!(bin.at(16, 4));
+        // Row 0 is the bright crest.
+        assert!(!bin.at(16, 0));
+    }
+
+    #[test]
+    fn background_is_never_ridge() {
+        let img = GrayImage::filled(32, 32, 0.2).unwrap();
+        let mask = segment(&img, 16, 0.5); // flat -> all background
+        let bin = adaptive_binarize(&img, &mask, 4);
+        assert_eq!(bin.count_ones(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_reads_false() {
+        let bin = BinaryImage::from_data(2, 2, vec![true; 4]);
+        assert!(!bin.at(-1, 0));
+        assert!(!bin.at(0, 5));
+        assert!(bin.at(1, 1));
+    }
+}

@@ -1,0 +1,208 @@
+//! Contextual Gabor enhancement (Hong, Wan & Jain) plus block ridge
+//! frequency estimation.
+
+use fp_core::geometry::Orientation;
+
+use crate::image::GrayImage;
+use crate::orientation::EstimatedField;
+use crate::segment::Mask;
+
+/// Estimates the dominant ridge period (pixels) of a block by projecting it
+/// onto the normal of the local orientation and counting sign changes of
+/// the mean-detrended signature (the classic "x-signature" method).
+///
+/// Returns `None` when the block has too little structure to estimate.
+pub fn block_ridge_period(
+    img: &GrayImage,
+    x0: usize,
+    y0: usize,
+    block: usize,
+    orientation: Orientation,
+) -> Option<f64> {
+    let x1 = (x0 + block).min(img.width());
+    let y1 = (y0 + block).min(img.height());
+    if x1 <= x0 || y1 <= y0 {
+        return None;
+    }
+    let normal = orientation.radians() + std::f64::consts::FRAC_PI_2;
+    let (nc, ns) = (normal.cos(), normal.sin());
+    // Project pixels onto the normal axis, accumulate into integer bins.
+    let diag = ((block * block * 2) as f64).sqrt() as usize + 2;
+    let mut sums = vec![0.0f64; diag];
+    let mut counts = vec![0u32; diag];
+    let centre_x = (x0 + x1) as f64 / 2.0;
+    let centre_y = (y0 + y1) as f64 / 2.0;
+    for y in y0..y1 {
+        for x in x0..x1 {
+            let u = (x as f64 - centre_x) * nc + (y as f64 - centre_y) * ns;
+            let bin = (u + diag as f64 / 2.0).round();
+            if bin >= 0.0 && (bin as usize) < diag {
+                sums[bin as usize] += img.at(x, y) as f64;
+                counts[bin as usize] += 1;
+            }
+        }
+    }
+    let signature: Vec<f64> = sums
+        .iter()
+        .zip(&counts)
+        .filter(|(_, &c)| c > 0)
+        .map(|(&s, &c)| s / c as f64)
+        .collect();
+    if signature.len() < 8 {
+        return None;
+    }
+    let mean = signature.iter().sum::<f64>() / signature.len() as f64;
+    let mut crossings = 0usize;
+    let mut prev_sign = (signature[0] - mean) >= 0.0;
+    for &v in &signature[1..] {
+        let sign = (v - mean) >= 0.0;
+        if sign != prev_sign {
+            crossings += 1;
+            prev_sign = sign;
+        }
+    }
+    if crossings < 2 {
+        return None;
+    }
+    // Two crossings per ridge period.
+    let period = 2.0 * signature.len() as f64 / crossings as f64;
+    if (3.0..=25.0).contains(&period) {
+        Some(period)
+    } else {
+        None
+    }
+}
+
+/// Gabor-enhances `img` using the estimated orientation `field`, a
+/// foreground `mask`, and a fallback ridge period (pixels) for blocks where
+/// frequency estimation fails.
+pub fn gabor_enhance(
+    img: &GrayImage,
+    field: &EstimatedField,
+    mask: &Mask,
+    fallback_period: f64,
+) -> GrayImage {
+    let (w, h) = (img.width(), img.height());
+    let block = field.block();
+    let mut out = vec![1.0f32; w * h];
+
+    // Pre-compute per-block period.
+    let cols = w.div_ceil(block);
+    let rows = h.div_ceil(block);
+    let mut periods = vec![fallback_period; cols * rows];
+    for by in 0..rows {
+        for bx in 0..cols {
+            let orientation = field.orientation_at_pixel(bx * block, by * block);
+            if let Some(p) = block_ridge_period(img, bx * block, by * block, block, orientation) {
+                periods[by * cols + bx] = p;
+            }
+        }
+    }
+
+    let radius = (fallback_period * 0.8).ceil() as isize;
+    for y in 0..h {
+        for x in 0..w {
+            if !mask.is_foreground(x, y) {
+                continue;
+            }
+            let orientation = field.orientation_at_pixel(x, y);
+            let period =
+                periods[(y / block).min(rows - 1) * cols + (x / block).min(cols - 1)];
+            let (c, s) = (
+                orientation.radians().cos() as f32,
+                orientation.radians().sin() as f32,
+            );
+            let freq = std::f32::consts::TAU / period as f32;
+            let sigma_u = radius as f32 / 1.8;
+            let sigma_v = radius as f32 / 2.6;
+            let mut acc = 0.0f32;
+            let mut norm = 0.0f32;
+            for dy in -radius..=radius {
+                for dx in -radius..=radius {
+                    let u = dx as f32 * c + dy as f32 * s;
+                    let v = -(dx as f32) * s + dy as f32 * c;
+                    let wgt = (-(u * u) / (2.0 * sigma_u * sigma_u)
+                        - (v * v) / (2.0 * sigma_v * sigma_v))
+                        .exp()
+                        * (freq * v).cos();
+                    acc += wgt * img.at_clamped(x as isize + dx, y as isize + dy);
+                    norm += wgt.abs();
+                }
+            }
+            if norm > 1e-6 {
+                out[y * w + x] = 0.5 + 0.5 * (4.0 * acc / norm).tanh();
+            }
+        }
+    }
+    GrayImage::from_data(w, h, out).expect("dimensions preserved")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orientation::estimate_orientation;
+    use crate::segment::segment;
+
+    fn grating(period: f32, w: usize, h: usize) -> GrayImage {
+        let mut img = GrayImage::filled(w, h, 0.0).unwrap();
+        for y in 0..h {
+            for x in 0..w {
+                img.set(
+                    x,
+                    y,
+                    0.5 + 0.5 * (y as f32 * std::f32::consts::TAU / period).cos(),
+                );
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn period_estimation_recovers_grating_period() {
+        let img = grating(9.0, 64, 64);
+        let field = estimate_orientation(&img, 16);
+        let o = field.orientation_at_pixel(32, 32);
+        let p = block_ridge_period(&img, 16, 16, 32, o).expect("estimable");
+        assert!((p - 9.0).abs() < 2.0, "estimated period {p}");
+    }
+
+    #[test]
+    fn period_estimation_fails_on_flat_blocks() {
+        let img = GrayImage::filled(64, 64, 0.4);
+        let img = img.unwrap();
+        assert!(block_ridge_period(&img, 0, 0, 32, Orientation::HORIZONTAL).is_none());
+    }
+
+    #[test]
+    fn enhancement_keeps_grating_structure() {
+        let img = grating(9.0, 96, 96);
+        let field = estimate_orientation(&img, 16);
+        let mask = segment(&img, 16, 0.1);
+        let enhanced = gabor_enhance(&img, &field, &mask, 9.0);
+        // The enhanced image must still oscillate with roughly the same
+        // period along y in the interior.
+        let x = 48;
+        let mut transitions = 0;
+        let mut prev = enhanced.at(x, 20) < 0.5;
+        for y in 21..76 {
+            let cur = enhanced.at(x, y) < 0.5;
+            if cur != prev {
+                transitions += 1;
+                prev = cur;
+            }
+        }
+        let period = 2.0 * 55.0 / transitions.max(1) as f64;
+        assert!((period - 9.0).abs() < 3.0, "period after enhancement {period}");
+    }
+
+    #[test]
+    fn background_stays_white() {
+        let img = grating(9.0, 64, 64);
+        let field = estimate_orientation(&img, 16);
+        // All-background mask: nothing is enhanced.
+        let flat = GrayImage::filled(64, 64, 0.5).unwrap();
+        let mask = segment(&flat, 16, 0.5);
+        let enhanced = gabor_enhance(&img, &field, &mask, 9.0);
+        assert!(enhanced.data().iter().all(|&v| v == 1.0));
+    }
+}

@@ -1,0 +1,421 @@
+//! Crossing-number minutiae extraction from ridge skeletons.
+//!
+//! On a one-pixel skeleton the crossing number
+//! `CN = 1/2 Σ |P_i - P_{i+1}|` classifies each ridge pixel: CN = 1 is a
+//! ridge ending, CN = 3 a bifurcation. Directions come from walking the
+//! skeleton away from the minutia; spurious detections (border artifacts,
+//! short spurs, minutiae pairs bridged by noise) are filtered before
+//! building the output [`Template`].
+
+use fp_core::geometry::{Direction, Point, Rect};
+use fp_core::minutia::{Minutia, MinutiaKind};
+use fp_core::template::{Template, MAX_MINUTIAE};
+
+use crate::binarize::BinaryImage;
+use crate::segment::Mask;
+
+/// Parameters of the extractor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtractConfig {
+    /// Image resolution (dots per inch) for pixel→mm conversion.
+    pub dpi: f64,
+    /// Length (pixels) of the skeleton walk used to estimate direction.
+    pub walk_length: usize,
+    /// Minutiae pairs closer than this (pixels) are considered artifacts
+    /// and removed.
+    pub min_separation_px: f64,
+    /// Minutiae within this many pixels of a background block are dropped
+    /// (ridge ends at the print border are not real endings).
+    pub border_margin_px: usize,
+}
+
+impl Default for ExtractConfig {
+    fn default() -> Self {
+        ExtractConfig {
+            dpi: 500.0,
+            walk_length: 6,
+            min_separation_px: 6.0,
+            border_margin_px: 8,
+        }
+    }
+}
+
+/// Crossing number of skeleton pixel `(x, y)`.
+fn crossing_number(skel: &BinaryImage, x: isize, y: isize) -> usize {
+    let ring = [
+        skel.at(x, y - 1),
+        skel.at(x + 1, y - 1),
+        skel.at(x + 1, y),
+        skel.at(x + 1, y + 1),
+        skel.at(x, y + 1),
+        skel.at(x - 1, y + 1),
+        skel.at(x - 1, y),
+        skel.at(x - 1, y - 1),
+    ];
+    let mut transitions = 0;
+    for i in 0..8 {
+        if ring[i] != ring[(i + 1) % 8] {
+            transitions += 1;
+        }
+    }
+    transitions / 2
+}
+
+/// Walks the skeleton from `(x, y)` along one branch, returning the
+/// direction from the minutia to the walk end (the ridge direction for an
+/// ending).
+fn walk_direction(skel: &BinaryImage, x: usize, y: usize, steps: usize) -> Option<Direction> {
+    let mut prev = (x as isize, y as isize);
+    let mut cur = prev;
+    // First step: any skeleton neighbour.
+    let mut next = None;
+    for (dx, dy) in NEIGHBOUR_OFFSETS {
+        if skel.at(cur.0 + dx, cur.1 + dy) {
+            next = Some((cur.0 + dx, cur.1 + dy));
+            break;
+        }
+    }
+    let mut cur_next = next?;
+    for _ in 0..steps {
+        let candidate = NEIGHBOUR_OFFSETS
+            .iter()
+            .map(|&(dx, dy)| (cur_next.0 + dx, cur_next.1 + dy))
+            .find(|&(nx, ny)| skel.at(nx, ny) && (nx, ny) != cur && (nx, ny) != prev);
+        match candidate {
+            Some(c) => {
+                prev = cur;
+                cur = cur_next;
+                cur_next = c;
+            }
+            None => break,
+        }
+    }
+    let dx = (cur_next.0 - x as isize) as f64;
+    let dy = (cur_next.1 - y as isize) as f64;
+    if dx == 0.0 && dy == 0.0 {
+        None
+    } else {
+        Some(Direction::from_radians(dy.atan2(dx)))
+    }
+}
+
+const NEIGHBOUR_OFFSETS: [(isize, isize); 8] = [
+    (0, -1),
+    (1, -1),
+    (1, 0),
+    (1, 1),
+    (0, 1),
+    (-1, 1),
+    (-1, 0),
+    (-1, -1),
+];
+
+/// Extracts minutiae from a ridge skeleton.
+///
+/// `window` is the physical extent (mm) the image covers; pixel positions
+/// are mapped into it so the output template lives in the same coordinate
+/// system as templates from the acquisition fast path.
+///
+/// # Errors
+///
+/// Returns an error when the resulting template violates `fp_core` template
+/// invariants (e.g. more than [`MAX_MINUTIAE`] survive filtering, which
+/// indicates a degenerate skeleton).
+pub fn extract_minutiae(
+    skel: &BinaryImage,
+    mask: &Mask,
+    window: Rect,
+    config: &ExtractConfig,
+) -> fp_core::Result<Template> {
+    let (w, h) = (skel.width(), skel.height());
+    let pitch_x = window.width() / w as f64;
+    let pitch_y = window.height() / h as f64;
+    let margin = config.border_margin_px as isize;
+
+    let mut found: Vec<(usize, usize, MinutiaKind, Direction)> = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            if !skel.at(x as isize, y as isize) {
+                continue;
+            }
+            let cn = crossing_number(skel, x as isize, y as isize);
+            let kind = match cn {
+                1 => MinutiaKind::RidgeEnding,
+                3 => MinutiaKind::Bifurcation,
+                _ => continue,
+            };
+            // Border suppression: the minutia and its margin neighbourhood
+            // must be foreground.
+            let near_border = [(margin, 0), (-margin, 0), (0, margin), (0, -margin)]
+                .iter()
+                .any(|&(dx, dy)| {
+                    let nx = x as isize + dx;
+                    let ny = y as isize + dy;
+                    nx < 0
+                        || ny < 0
+                        || nx >= w as isize
+                        || ny >= h as isize
+                        || !mask.is_foreground(nx as usize, ny as usize)
+                });
+            if near_border {
+                continue;
+            }
+            let Some(direction) = walk_direction(skel, x, y, config.walk_length) else {
+                continue;
+            };
+            // Endings point back along the ridge; bifurcations along the
+            // dominant branch. The walk gives ridge-consistent directions
+            // either way.
+            found.push((x, y, kind, direction));
+        }
+    }
+
+    // Artifact filtering: remove mutually-close pairs (bridges, spurs).
+    let min_sep2 = config.min_separation_px * config.min_separation_px;
+    let mut keep = vec![true; found.len()];
+    for i in 0..found.len() {
+        for j in (i + 1)..found.len() {
+            let dx = found[i].0 as f64 - found[j].0 as f64;
+            let dy = found[i].1 as f64 - found[j].1 as f64;
+            if dx * dx + dy * dy < min_sep2 {
+                keep[i] = false;
+                keep[j] = false;
+            }
+        }
+    }
+
+    let mut minutiae: Vec<Minutia> = found
+        .into_iter()
+        .zip(keep)
+        .filter(|(_, k)| *k)
+        .map(|((x, y, kind, direction), _)| {
+            let pos = Point::new(
+                window.min().x + (x as f64 + 0.5) * pitch_x,
+                window.min().y + (y as f64 + 0.5) * pitch_y,
+            );
+            Minutia::new(pos, direction, kind, 0.8)
+        })
+        .collect();
+    if minutiae.len() > MAX_MINUTIAE {
+        // Keep the most central minutiae; an overfull result means the
+        // skeleton is noisy and peripheral detections are the least
+        // trustworthy.
+        let centre = window.centre();
+        minutiae.sort_by(|a, b| {
+            a.pos
+                .distance_sq(&centre)
+                .partial_cmp(&b.pos.distance_sq(&centre))
+                .expect("finite distances")
+        });
+        minutiae.truncate(MAX_MINUTIAE);
+    }
+    Template::from_minutiae(minutiae, config.dpi, window)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::segment;
+    use crate::image::GrayImage;
+
+    fn from_rows(rows: &[&str]) -> BinaryImage {
+        let h = rows.len();
+        let w = rows[0].len();
+        let mut data = Vec::with_capacity(w * h);
+        for r in rows {
+            for c in r.chars() {
+                data.push(c == '#');
+            }
+        }
+        BinaryImage::from_data(w, h, data)
+    }
+
+    /// An all-foreground mask for unit tests.
+    fn full_mask(w: usize, h: usize) -> Mask {
+        let mut img = GrayImage::filled(w, h, 0.0).unwrap();
+        for y in 0..h {
+            for x in 0..w {
+                img.set(x, y, ((x + y) % 2) as f32);
+            }
+        }
+        segment(&img, 4, 0.1)
+    }
+
+    #[test]
+    fn detects_a_ridge_ending() {
+        // A line ending in the middle of the image.
+        let rows = [
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "#########...........",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+        ];
+        let skel = from_rows(&rows);
+        let mask = full_mask(20, 20);
+        let window = Rect::centred(Point::ORIGIN, 2.0, 2.0).unwrap();
+        let config = ExtractConfig {
+            border_margin_px: 2,
+            min_separation_px: 3.0,
+            ..ExtractConfig::default()
+        };
+        let t = extract_minutiae(&skel, &mask, window, &config).unwrap();
+        assert_eq!(t.len(), 1, "minutiae: {:?}", t.minutiae());
+        assert_eq!(t.minutiae()[0].kind, MinutiaKind::RidgeEnding);
+        // Direction points back along the ridge (-x).
+        let d = t.minutiae()[0].direction;
+        assert!(d.separation(Direction::from_radians(std::f64::consts::PI)) < 0.4);
+    }
+
+    #[test]
+    fn detects_a_bifurcation() {
+        let rows = [
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            ".........#..........",
+            ".........#..........",
+            ".........#..........",
+            "........#.#.........",
+            ".......#...#........",
+            "......#.....#.......",
+            ".....#.......#......",
+            "....#.........#.....",
+            "...#...........#....",
+            "..#.............#...",
+            ".#...............#..",
+            "#.................#.",
+            "....................",
+            "....................",
+        ];
+        let skel = from_rows(&rows);
+        let mask = full_mask(20, 20);
+        let window = Rect::centred(Point::ORIGIN, 2.0, 2.0).unwrap();
+        let config = ExtractConfig {
+            border_margin_px: 1,
+            min_separation_px: 2.0,
+            ..ExtractConfig::default()
+        };
+        let t = extract_minutiae(&skel, &mask, window, &config).unwrap();
+        assert!(
+            t.minutiae()
+                .iter()
+                .any(|m| m.kind == MinutiaKind::Bifurcation),
+            "no bifurcation found: {:?}",
+            t.minutiae()
+        );
+    }
+
+    #[test]
+    fn close_pairs_are_filtered() {
+        // Two endings two pixels apart (a broken-ridge artifact).
+        let rows = [
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "#######..###########",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+        ];
+        let skel = from_rows(&rows);
+        let mask = full_mask(20, 20);
+        let window = Rect::centred(Point::ORIGIN, 2.0, 2.0).unwrap();
+        let config = ExtractConfig {
+            border_margin_px: 2,
+            min_separation_px: 5.0,
+            ..ExtractConfig::default()
+        };
+        let t = extract_minutiae(&skel, &mask, window, &config).unwrap();
+        assert_eq!(t.len(), 0, "artifact pair not filtered: {:?}", t.minutiae());
+    }
+
+    #[test]
+    fn straight_line_interior_has_no_minutiae() {
+        let mut rows = vec!["....................".to_string(); 20];
+        rows[10] = "####################".to_string();
+        let refs: Vec<&str> = rows.iter().map(|s| s.as_str()).collect();
+        let skel = from_rows(&refs);
+        let mask = full_mask(20, 20);
+        let window = Rect::centred(Point::ORIGIN, 2.0, 2.0).unwrap();
+        let config = ExtractConfig {
+            border_margin_px: 3,
+            ..ExtractConfig::default()
+        };
+        // The line's two endpoints are at the border (suppressed); interior
+        // pixels have CN = 2 (no minutiae).
+        let t = extract_minutiae(&skel, &mask, window, &config).unwrap();
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn pixel_positions_map_to_window_mm() {
+        let rows = [
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "#########...........",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+            "....................",
+        ];
+        let skel = from_rows(&rows);
+        let mask = full_mask(20, 20);
+        let window = Rect::from_corners(Point::new(0.0, 0.0), Point::new(20.0, 20.0));
+        let config = ExtractConfig {
+            border_margin_px: 2,
+            min_separation_px: 3.0,
+            ..ExtractConfig::default()
+        };
+        let t = extract_minutiae(&skel, &mask, window, &config).unwrap();
+        assert_eq!(t.len(), 1);
+        let m = t.minutiae()[0];
+        // Ending at pixel (8, 9) -> mm (8.5, 9.5) in a 20x20 window.
+        assert!((m.pos.x - 8.5).abs() < 0.6, "x = {}", m.pos.x);
+        assert!((m.pos.y - 9.5).abs() < 0.6, "y = {}", m.pos.y);
+    }
+}

@@ -1,0 +1,129 @@
+//! Basic spatial filters: separable Gaussian blur and Sobel gradients.
+
+use crate::image::GrayImage;
+
+/// Builds a normalized 1-D Gaussian kernel with radius `ceil(3 sigma)`.
+///
+/// # Panics
+///
+/// Panics when `sigma` is not positive.
+pub fn gaussian_kernel(sigma: f32) -> Vec<f32> {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let radius = (3.0 * sigma).ceil() as isize;
+    let mut kernel = Vec::with_capacity((2 * radius + 1) as usize);
+    let denom = 2.0 * sigma * sigma;
+    for i in -radius..=radius {
+        kernel.push((-(i * i) as f32 / denom).exp());
+    }
+    let sum: f32 = kernel.iter().sum();
+    for k in &mut kernel {
+        *k /= sum;
+    }
+    kernel
+}
+
+/// Separable Gaussian blur with replicate border handling.
+pub fn gaussian_blur(img: &GrayImage, sigma: f32) -> GrayImage {
+    let kernel = gaussian_kernel(sigma);
+    let radius = (kernel.len() / 2) as isize;
+    let (w, h) = (img.width(), img.height());
+
+    // Horizontal pass.
+    let mut tmp = vec![0.0f32; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            for (k, &kv) in kernel.iter().enumerate() {
+                acc += kv * img.at_clamped(x as isize + k as isize - radius, y as isize);
+            }
+            tmp[y * w + x] = acc;
+        }
+    }
+    let tmp_img = GrayImage::from_data(w, h, tmp).expect("dimensions preserved");
+
+    // Vertical pass.
+    let mut out = vec![0.0f32; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            for (k, &kv) in kernel.iter().enumerate() {
+                acc += kv * tmp_img.at_clamped(x as isize, y as isize + k as isize - radius);
+            }
+            out[y * w + x] = acc;
+        }
+    }
+    GrayImage::from_data(w, h, out).expect("dimensions preserved")
+}
+
+/// Sobel gradient images `(gx, gy)`.
+pub fn sobel(img: &GrayImage) -> (GrayImage, GrayImage) {
+    let (w, h) = (img.width(), img.height());
+    let mut gx = vec![0.0f32; w * h];
+    let mut gy = vec![0.0f32; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let (xi, yi) = (x as isize, y as isize);
+            let p = |dx: isize, dy: isize| img.at_clamped(xi + dx, yi + dy);
+            gx[y * w + x] = (p(1, -1) + 2.0 * p(1, 0) + p(1, 1))
+                - (p(-1, -1) + 2.0 * p(-1, 0) + p(-1, 1));
+            gy[y * w + x] = (p(-1, 1) + 2.0 * p(0, 1) + p(1, 1))
+                - (p(-1, -1) + 2.0 * p(0, -1) + p(1, -1));
+        }
+    }
+    (
+        GrayImage::from_data(w, h, gx).expect("dimensions preserved"),
+        GrayImage::from_data(w, h, gy).expect("dimensions preserved"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_is_normalized_and_symmetric() {
+        let k = gaussian_kernel(1.5);
+        let sum: f32 = k.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        for i in 0..k.len() / 2 {
+            assert!((k[i] - k[k.len() - 1 - i]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn blur_preserves_constant_images() {
+        let img = GrayImage::filled(16, 16, 0.7).unwrap();
+        let blurred = gaussian_blur(&img, 2.0);
+        for &v in blurred.data() {
+            assert!((v - 0.7).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn blur_reduces_variance() {
+        // Checkerboard has maximal variance; blurring must shrink it.
+        let mut img = GrayImage::filled(32, 32, 0.0).unwrap();
+        for y in 0..32 {
+            for x in 0..32 {
+                img.set(x, y, ((x + y) % 2) as f32);
+            }
+        }
+        let before = img.block_stats(0, 0, 32, 32).1;
+        let after = gaussian_blur(&img, 1.0).block_stats(0, 0, 32, 32).1;
+        assert!(after < before * 0.5, "variance {before} -> {after}");
+    }
+
+    #[test]
+    fn sobel_detects_vertical_edge_in_gx() {
+        let mut img = GrayImage::filled(16, 16, 0.0).unwrap();
+        for y in 0..16 {
+            for x in 8..16 {
+                img.set(x, y, 1.0);
+            }
+        }
+        let (gx, gy) = sobel(&img);
+        // At the edge column, gx is large and gy is ~0.
+        assert!(gx.at(8, 8).abs() > 1.0);
+        assert!(gy.at(8, 8).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,225 @@
+//! A minimal grey-scale image type in `f32`, row-major.
+
+use fp_core::{Error, Result};
+
+/// A grey-scale image; values conventionally live in `[0, 1]` with 0 = ridge
+/// (black ink) and 1 = valley/background (white paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl GrayImage {
+    /// Creates an image filled with `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either dimension is zero.
+    pub fn filled(width: usize, height: usize, value: f32) -> Result<Self> {
+        if width == 0 || height == 0 {
+            return Err(Error::invalid(
+                "dimensions",
+                format!("{width}x{height}: both must be positive"),
+            ));
+        }
+        Ok(GrayImage {
+            width,
+            height,
+            data: vec![value; width * height],
+        })
+    }
+
+    /// Creates an image from raw row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `data.len() != width * height` or a dimension
+    /// is zero.
+    pub fn from_data(width: usize, height: usize, data: Vec<f32>) -> Result<Self> {
+        if width == 0 || height == 0 {
+            return Err(Error::invalid(
+                "dimensions",
+                format!("{width}x{height}: both must be positive"),
+            ));
+        }
+        if data.len() != width * height {
+            return Err(Error::invalid(
+                "data",
+                format!("length {} != {width}x{height}", data.len()),
+            ));
+        }
+        Ok(GrayImage {
+            width,
+            height,
+            data,
+        })
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw row-major pixel data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw pixel data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Pixel accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds (debug-friendly; hot paths use `get`).
+    #[inline]
+    pub fn at(&self, x: usize, y: usize) -> f32 {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x]
+    }
+
+    /// Checked pixel accessor.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> Option<f32> {
+        if x < self.width && y < self.height {
+            Some(self.data[y * self.width + x])
+        } else {
+            None
+        }
+    }
+
+    /// Pixel accessor clamping coordinates to the border (replicate
+    /// padding).
+    #[inline]
+    pub fn at_clamped(&self, x: isize, y: isize) -> f32 {
+        let cx = x.clamp(0, self.width as isize - 1) as usize;
+        let cy = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[cy * self.width + cx]
+    }
+
+    /// Sets one pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: f32) {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x] = value;
+    }
+
+    /// Minimum and maximum pixel value (NaN-free input assumed).
+    pub fn min_max(&self) -> (f32, f32) {
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for &v in &self.data {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        (min, max)
+    }
+
+    /// Linearly rescales pixel values so they span `[0, 1]`; constant images
+    /// become all-0.5.
+    pub fn normalized(&self) -> GrayImage {
+        let (min, max) = self.min_max();
+        let range = max - min;
+        let data = if range <= f32::EPSILON {
+            vec![0.5; self.data.len()]
+        } else {
+            self.data.iter().map(|&v| (v - min) / range).collect()
+        };
+        GrayImage {
+            width: self.width,
+            height: self.height,
+            data,
+        }
+    }
+
+    /// Mean pixel value.
+    pub fn mean(&self) -> f32 {
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Mean and variance over a rectangular block clamped to the image.
+    pub fn block_stats(&self, x0: usize, y0: usize, w: usize, h: usize) -> (f32, f32) {
+        let x1 = (x0 + w).min(self.width);
+        let y1 = (y0 + h).min(self.height);
+        let mut sum = 0.0f64;
+        let mut sum2 = 0.0f64;
+        let mut n = 0usize;
+        for y in y0..y1 {
+            for x in x0..x1 {
+                let v = self.at(x, y) as f64;
+                sum += v;
+                sum2 += v * v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return (0.0, 0.0);
+        }
+        let mean = sum / n as f64;
+        ((mean) as f32, ((sum2 / n as f64) - mean * mean).max(0.0) as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_dimensions() {
+        assert!(GrayImage::filled(0, 10, 0.0).is_err());
+        assert!(GrayImage::from_data(3, 3, vec![0.0; 8]).is_err());
+        assert!(GrayImage::from_data(3, 3, vec![0.0; 9]).is_ok());
+    }
+
+    #[test]
+    fn clamped_access_replicates_border() {
+        let img = GrayImage::from_data(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(img.at_clamped(-5, -5), 1.0);
+        assert_eq!(img.at_clamped(10, 10), 4.0);
+        assert_eq!(img.at_clamped(10, -1), 2.0);
+    }
+
+    #[test]
+    fn normalization_spans_unit_interval() {
+        let img = GrayImage::from_data(2, 2, vec![2.0, 4.0, 6.0, 8.0]).unwrap();
+        let n = img.normalized();
+        let (min, max) = n.min_max();
+        assert_eq!(min, 0.0);
+        assert_eq!(max, 1.0);
+    }
+
+    #[test]
+    fn constant_image_normalizes_to_half() {
+        let img = GrayImage::filled(4, 4, 7.0).unwrap();
+        assert!(img.normalized().data().iter().all(|&v| v == 0.5));
+    }
+
+    #[test]
+    fn block_stats_match_manual_computation() {
+        let img = GrayImage::from_data(2, 2, vec![1.0, 3.0, 5.0, 7.0]).unwrap();
+        let (mean, var) = img.block_stats(0, 0, 2, 2);
+        assert!((mean - 4.0).abs() < 1e-6);
+        assert!((var - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn block_stats_clamp_to_image() {
+        let img = GrayImage::from_data(2, 1, vec![2.0, 4.0]).unwrap();
+        let (mean, _) = img.block_stats(1, 0, 10, 10);
+        assert!((mean - 4.0).abs() < 1e-6);
+    }
+}

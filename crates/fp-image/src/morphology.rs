@@ -1,0 +1,241 @@
+//! Skeleton post-processing: spur and island removal.
+//!
+//! Raw Zhang–Suen skeletons carry two artifact families that create false
+//! minutiae: **spurs** (short dead-end branches sticking out of a ridge,
+//! each ending in a fake ridge ending and rooting in a fake bifurcation)
+//! and **islands** (tiny disconnected components from noise specks). Both
+//! are removed by standard morphology before extraction.
+
+use crate::binarize::BinaryImage;
+
+/// 8-neighbour offsets.
+const NEIGHBOURS: [(isize, isize); 8] = [
+    (0, -1),
+    (1, -1),
+    (1, 0),
+    (1, 1),
+    (0, 1),
+    (-1, 1),
+    (-1, 0),
+    (-1, -1),
+];
+
+fn degree(img: &BinaryImage, x: isize, y: isize) -> usize {
+    NEIGHBOURS
+        .iter()
+        .filter(|&&(dx, dy)| img.at(x + dx, y + dy))
+        .count()
+}
+
+/// Crossing number: half the 0/1 transitions around the 8-ring. 1 =
+/// endpoint, 2 = ridge continuation, >= 3 = junction. Robust to the
+/// diagonal-adjacency degree inflation next to a ridge line.
+fn crossing_number(img: &BinaryImage, x: isize, y: isize) -> usize {
+    let ring: Vec<bool> = NEIGHBOURS
+        .iter()
+        .map(|&(dx, dy)| img.at(x + dx, y + dy))
+        .collect();
+    let mut transitions = 0;
+    for i in 0..8 {
+        if ring[i] != ring[(i + 1) % 8] {
+            transitions += 1;
+        }
+    }
+    transitions / 2
+}
+
+/// Removes spur branches of length `<= max_length` pixels: walks from every
+/// endpoint (degree 1); if a junction (degree >= 3) or another endpoint is
+/// reached within the limit, the walked branch is erased. Repeats until a
+/// fixed point (a long spur can shorten into a removable one).
+pub fn remove_spurs(input: &BinaryImage, max_length: usize) -> BinaryImage {
+    let mut img = input.clone();
+    let (w, h) = (img.width(), img.height());
+    loop {
+        let mut removed_any = false;
+        for y in 0..h {
+            for x in 0..w {
+                let (xi, yi) = (x as isize, y as isize);
+                if !img.at(xi, yi) || crossing_number(&img, xi, yi) != 1 || degree(&img, xi, yi) != 1 {
+                    continue;
+                }
+                // Walk the branch from this endpoint until the pixel where
+                // it attaches to the main structure (two or more onward
+                // neighbours), a dead end, or the length limit.
+                let mut branch = vec![(xi, yi)];
+                let mut prev = (xi, yi);
+                let mut cur = (xi, yi);
+                let mut reached_junction = false;
+                while branch.len() <= max_length {
+                    let onward: Vec<(isize, isize)> = NEIGHBOURS
+                        .iter()
+                        .map(|&(dx, dy)| (cur.0 + dx, cur.1 + dy))
+                        .filter(|&(nx, ny)| img.at(nx, ny) && (nx, ny) != prev)
+                        .collect();
+                    match onward.len() {
+                        0 => break, // isolated segment; island removal handles it
+                        1 => {
+                            branch.push(onward[0]);
+                            prev = cur;
+                            cur = onward[0];
+                        }
+                        _ => {
+                            // cur touches the main structure: the spur is
+                            // everything walked so far, cur included.
+                            reached_junction = true;
+                            break;
+                        }
+                    }
+                }
+                if reached_junction && branch.len() <= max_length {
+                    for (bx, by) in &branch {
+                        img.set(*bx as usize, *by as usize, false);
+                    }
+                    removed_any = true;
+                }
+            }
+        }
+        if !removed_any {
+            return img;
+        }
+    }
+}
+
+/// Removes connected components with fewer than `min_size` pixels
+/// (8-connectivity).
+pub fn remove_islands(input: &BinaryImage, min_size: usize) -> BinaryImage {
+    let (w, h) = (input.width(), input.height());
+    let mut img = input.clone();
+    let mut visited = vec![false; w * h];
+    for start_y in 0..h {
+        for start_x in 0..w {
+            let idx = start_y * w + start_x;
+            if visited[idx] || !img.at(start_x as isize, start_y as isize) {
+                continue;
+            }
+            // Flood fill to collect the component.
+            let mut component = vec![(start_x, start_y)];
+            let mut stack = vec![(start_x, start_y)];
+            visited[idx] = true;
+            while let Some((cx, cy)) = stack.pop() {
+                for &(dx, dy) in &NEIGHBOURS {
+                    let nx = cx as isize + dx;
+                    let ny = cy as isize + dy;
+                    if nx < 0 || ny < 0 || nx >= w as isize || ny >= h as isize {
+                        continue;
+                    }
+                    let nidx = ny as usize * w + nx as usize;
+                    if !visited[nidx] && img.at(nx, ny) {
+                        visited[nidx] = true;
+                        component.push((nx as usize, ny as usize));
+                        stack.push((nx as usize, ny as usize));
+                    }
+                }
+            }
+            if component.len() < min_size {
+                for (cx, cy) in component {
+                    img.set(cx, cy, false);
+                }
+            }
+        }
+    }
+    img
+}
+
+/// The standard cleanup sequence applied between thinning and extraction.
+pub fn clean_skeleton(skel: &BinaryImage, spur_length: usize, min_island: usize) -> BinaryImage {
+    remove_islands(&remove_spurs(skel, spur_length), min_island)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_rows(rows: &[&str]) -> BinaryImage {
+        let h = rows.len();
+        let w = rows[0].len();
+        let mut data = Vec::with_capacity(w * h);
+        for r in rows {
+            for c in r.chars() {
+                data.push(c == '#');
+            }
+        }
+        BinaryImage::from_data(w, h, data)
+    }
+
+    #[test]
+    fn short_spur_is_removed_long_ridge_stays() {
+        // A ridge with a 3-pixel spur hanging off it.
+        let img = from_rows(&[
+            "............",
+            "....#.......",
+            "....#.......",
+            "....#.......",
+            "############",
+            "............",
+        ]);
+        let cleaned = remove_spurs(&img, 5);
+        // The spur is gone...
+        assert!(!cleaned.at(4, 1));
+        assert!(!cleaned.at(4, 2));
+        assert!(!cleaned.at(4, 3));
+        // ...and the main ridge survives.
+        for x in 0..12 {
+            assert!(cleaned.at(x, 4), "ridge pixel {x} removed");
+        }
+    }
+
+    #[test]
+    fn long_branches_survive_spur_removal() {
+        let img = from_rows(&[
+            "....#.......",
+            "....#.......",
+            "....#.......",
+            "....#.......",
+            "....#.......",
+            "....#.......",
+            "....#.......",
+            "############",
+        ]);
+        let cleaned = remove_spurs(&img, 4);
+        // The vertical branch is 7 long: not a spur.
+        assert!(cleaned.at(4, 0));
+        assert!(cleaned.at(4, 6));
+    }
+
+    #[test]
+    fn islands_below_threshold_vanish() {
+        let img = from_rows(&[
+            "##..........",
+            "##..........",
+            "......####..",
+            "......####..",
+            "............",
+        ]);
+        let cleaned = remove_islands(&img, 5);
+        assert!(!cleaned.at(0, 0), "4-pixel island survived");
+        assert!(cleaned.at(7, 2), "8-pixel component removed");
+    }
+
+    #[test]
+    fn clean_skeleton_composes_both() {
+        let img = from_rows(&[
+            "#...........",
+            "............",
+            "....#.......",
+            "....#.......",
+            "############",
+            "............",
+        ]);
+        let cleaned = clean_skeleton(&img, 4, 3);
+        assert!(!cleaned.at(0, 0)); // island
+        assert!(!cleaned.at(4, 2)); // spur
+        assert!(cleaned.at(6, 4)); // ridge
+    }
+
+    #[test]
+    fn empty_image_is_stable() {
+        let img = from_rows(&["....", "....", "...."]);
+        assert_eq!(clean_skeleton(&img, 5, 4).count_ones(), 0);
+    }
+}

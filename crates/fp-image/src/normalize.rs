@@ -1,0 +1,92 @@
+//! Mean/variance pixel normalization (Hong, Wan & Jain 1998) — the first
+//! stage of the classic enhancement chain: bring every image to a common
+//! brightness and contrast before orientation estimation, so scanner gain
+//! differences (very relevant to cross-device work) don't leak into the
+//! features.
+
+use crate::image::GrayImage;
+
+/// Normalizes `img` to the desired mean `m0` and variance `v0`:
+///
+/// ```text
+/// I'(x,y) = m0 ± sqrt(v0 * (I(x,y) - m)^2 / v)
+/// ```
+///
+/// with `+` where the pixel is above the image mean. Constant images map to
+/// the flat `m0` image.
+pub fn normalize(img: &GrayImage, m0: f32, v0: f32) -> GrayImage {
+    let (mean, var) = img.block_stats(0, 0, img.width(), img.height());
+    let mut out = img.clone();
+    if var <= f32::EPSILON {
+        for v in out.data_mut() {
+            *v = m0;
+        }
+        return out;
+    }
+    for v in out.data_mut() {
+        let dev = (v0 * (*v - mean) * (*v - mean) / var).sqrt();
+        *v = if *v > mean { m0 + dev } else { m0 - dev };
+    }
+    out
+}
+
+/// Normalizes to the conventional mid-grey target (mean 0.5, variance
+/// 0.04 on a `[0, 1]` scale).
+pub fn normalize_default(img: &GrayImage) -> GrayImage {
+    normalize(img, 0.5, 0.04)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient_image() -> GrayImage {
+        let mut img = GrayImage::filled(32, 32, 0.0).unwrap();
+        for y in 0..32 {
+            for x in 0..32 {
+                img.set(x, y, (x + y) as f32 / 64.0 * 0.3 + 0.6);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn output_hits_target_statistics() {
+        let out = normalize(&gradient_image(), 0.5, 0.04);
+        let (mean, var) = out.block_stats(0, 0, 32, 32);
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+        assert!((var - 0.04).abs() < 0.01, "var = {var}");
+    }
+
+    #[test]
+    fn relative_ordering_is_preserved() {
+        let img = gradient_image();
+        let out = normalize(&img, 0.5, 0.04);
+        // Brighter-than-mean stays brighter-than-mean.
+        let (mean_in, _) = img.block_stats(0, 0, 32, 32);
+        let (mean_out, _) = out.block_stats(0, 0, 32, 32);
+        for y in 0..32 {
+            for x in 0..32 {
+                let above_in = img.at(x, y) > mean_in;
+                let above_out = out.at(x, y) > mean_out;
+                if (img.at(x, y) - mean_in).abs() > 1e-3 {
+                    assert_eq!(above_in, above_out, "pixel ({x},{y}) flipped sides");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_image_becomes_flat_target() {
+        let img = GrayImage::filled(8, 8, 0.9).unwrap();
+        let out = normalize(&img, 0.5, 0.04);
+        assert!(out.data().iter().all(|&v| v == 0.5));
+    }
+
+    #[test]
+    fn default_targets_mid_grey() {
+        let out = normalize_default(&gradient_image());
+        let (mean, _) = out.block_stats(0, 0, 32, 32);
+        assert!((mean - 0.5).abs() < 0.02);
+    }
+}

@@ -1,0 +1,148 @@
+//! Binary PGM (P5) encoding and decoding — the no-dependency way to look at
+//! rendered fingerprints with any image viewer.
+
+use std::io::{Read, Write};
+
+use fp_core::{Error, Result};
+
+use crate::image::GrayImage;
+
+/// Writes `img` as an 8-bit binary PGM stream. Pixel values are clamped to
+/// `[0, 1]` and scaled to 0–255.
+///
+/// A `&mut` reference can be passed for any `Write` (e.g. `&mut Vec<u8>` or
+/// a `File`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_pgm<W: Write>(img: &GrayImage, mut writer: W) -> std::io::Result<()> {
+    write!(writer, "P5\n{} {}\n255\n", img.width(), img.height())?;
+    let bytes: Vec<u8> = img
+        .data()
+        .iter()
+        .map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8)
+        .collect();
+    writer.write_all(&bytes)
+}
+
+/// Reads an 8-bit binary PGM stream into a [`GrayImage`] with values in
+/// `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns an error when the stream is not a valid binary (P5) PGM or the
+/// pixel payload is truncated.
+pub fn read_pgm<R: Read>(mut reader: R) -> Result<GrayImage> {
+    let mut raw = Vec::new();
+    reader
+        .read_to_end(&mut raw)
+        .map_err(|e| Error::invalid("pgm", format!("read failed: {e}")))?;
+
+    // Parse the header: magic, width, height, maxval — whitespace separated,
+    // with '#' comments allowed.
+    let mut pos = 0usize;
+    let mut token = |raw: &[u8]| -> Result<String> {
+        // Skip whitespace and comments.
+        loop {
+            while pos < raw.len() && raw[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if pos < raw.len() && raw[pos] == b'#' {
+                while pos < raw.len() && raw[pos] != b'\n' {
+                    pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        let start = pos;
+        while pos < raw.len() && !raw[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        if start == pos {
+            return Err(Error::invalid("pgm", "unexpected end of header"));
+        }
+        Ok(String::from_utf8_lossy(&raw[start..pos]).into_owned())
+    };
+
+    if token(&raw)? != "P5" {
+        return Err(Error::invalid("pgm", "not a binary PGM (missing P5 magic)"));
+    }
+    let width: usize = token(&raw)?
+        .parse()
+        .map_err(|_| Error::invalid("pgm", "bad width"))?;
+    let height: usize = token(&raw)?
+        .parse()
+        .map_err(|_| Error::invalid("pgm", "bad height"))?;
+    let maxval: usize = token(&raw)?
+        .parse()
+        .map_err(|_| Error::invalid("pgm", "bad maxval"))?;
+    if maxval == 0 || maxval > 255 {
+        return Err(Error::invalid("pgm", format!("unsupported maxval {maxval}")));
+    }
+    pos += 1; // single whitespace after maxval
+    let need = width * height;
+    if raw.len() < pos + need {
+        return Err(Error::invalid(
+            "pgm",
+            format!("truncated payload: need {need}, have {}", raw.len() - pos),
+        ));
+    }
+    let data: Vec<f32> = raw[pos..pos + need]
+        .iter()
+        .map(|&b| b as f32 / maxval as f32)
+        .collect();
+    GrayImage::from_data(width, height, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_image_up_to_quantization() {
+        let img = GrayImage::from_data(3, 2, vec![0.0, 0.25, 0.5, 0.75, 1.0, 0.1]).unwrap();
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let back = read_pgm(buf.as_slice()).unwrap();
+        assert_eq!(back.width(), 3);
+        assert_eq!(back.height(), 2);
+        for (a, b) in img.data().iter().zip(back.data()) {
+            assert!((a - b).abs() < 1.0 / 255.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn header_comments_are_skipped() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"P5\n# a comment\n2 1\n255\n");
+        buf.extend_from_slice(&[0u8, 255u8]);
+        let img = read_pgm(buf.as_slice()).unwrap();
+        assert_eq!(img.at(0, 0), 0.0);
+        assert_eq!(img.at(1, 0), 1.0);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        assert!(read_pgm(&b"P2\n1 1\n255\n0"[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"P5\n4 4\n255\n");
+        buf.extend_from_slice(&[0u8; 3]);
+        assert!(read_pgm(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn values_clamp_on_write() {
+        let img = GrayImage::from_data(2, 1, vec![-0.5, 1.5]).unwrap();
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let back = read_pgm(buf.as_slice()).unwrap();
+        assert_eq!(back.at(0, 0), 0.0);
+        assert_eq!(back.at(1, 0), 1.0);
+    }
+}

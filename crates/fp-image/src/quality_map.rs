@@ -1,0 +1,158 @@
+//! Local image quality maps — the image-domain counterpart of the
+//! feature-level quality assessment in `fp-quality`.
+//!
+//! NFIQ-style quality tools fuse *local* measurements: ridge orientation
+//! coherence (clear flow vs mush), local contrast (ink vs smudge), and
+//! foreground coverage. This module computes a per-block quality in
+//! `[0, 1]` from exactly those signals, which the extraction chain can use
+//! to weight minutia reliability and which `fp-quality` accepts as an
+//! image-path feature source.
+
+use crate::image::GrayImage;
+use crate::orientation::EstimatedField;
+use crate::segment::Mask;
+
+/// A per-block local quality map over an image.
+#[derive(Debug, Clone)]
+pub struct LocalQualityMap {
+    block: usize,
+    cols: usize,
+    rows: usize,
+    quality: Vec<f64>,
+}
+
+impl LocalQualityMap {
+    /// Computes the map from an image, its estimated orientation field, and
+    /// its foreground mask. Background blocks get quality 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `field` and the image disagree on the block grid.
+    pub fn compute(img: &GrayImage, field: &EstimatedField, mask: &Mask) -> LocalQualityMap {
+        let block = field.block();
+        assert_eq!(block, mask.block(), "field and mask block sizes must agree");
+        let cols = img.width().div_ceil(block);
+        let rows = img.height().div_ceil(block);
+        let (_, global_var) = img.block_stats(0, 0, img.width(), img.height());
+        let mut quality = Vec::with_capacity(cols * rows);
+        for by in 0..rows {
+            for bx in 0..cols {
+                let x = bx * block;
+                let y = by * block;
+                if !mask.is_foreground(x, y) {
+                    quality.push(0.0);
+                    continue;
+                }
+                let coherence = field.coherence_at_pixel(x, y);
+                let (_, var) = img.block_stats(x, y, block, block);
+                // Contrast relative to the global level, saturating at 1.
+                let contrast = if global_var <= f32::EPSILON {
+                    0.0
+                } else {
+                    (var as f64 / global_var as f64).min(1.0)
+                };
+                quality.push((0.65 * coherence + 0.35 * contrast).clamp(0.0, 1.0));
+            }
+        }
+        LocalQualityMap {
+            block,
+            cols,
+            rows,
+            quality,
+        }
+    }
+
+    /// Quality of the block containing pixel `(x, y)`.
+    pub fn at_pixel(&self, x: usize, y: usize) -> f64 {
+        let bx = (x / self.block).min(self.cols - 1);
+        let by = (y / self.block).min(self.rows - 1);
+        self.quality[by * self.cols + bx]
+    }
+
+    /// Mean quality over foreground blocks (blocks with quality > 0);
+    /// 0 for an all-background image.
+    pub fn mean_foreground_quality(&self) -> f64 {
+        let fg: Vec<f64> = self.quality.iter().copied().filter(|&q| q > 0.0).collect();
+        if fg.is_empty() {
+            0.0
+        } else {
+            fg.iter().sum::<f64>() / fg.len() as f64
+        }
+    }
+
+    /// Fraction of blocks whose quality exceeds `threshold`.
+    pub fn usable_fraction(&self, threshold: f64) -> f64 {
+        if self.quality.is_empty() {
+            return 0.0;
+        }
+        self.quality.iter().filter(|&&q| q > threshold).count() as f64 / self.quality.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orientation::estimate_orientation;
+    use crate::segment::segment;
+
+    fn grating(w: usize, h: usize) -> GrayImage {
+        let mut img = GrayImage::filled(w, h, 0.0).unwrap();
+        for y in 0..h {
+            for x in 0..w {
+                img.set(x, y, 0.5 + 0.5 * (y as f32 * std::f32::consts::TAU / 9.0).cos());
+            }
+        }
+        img
+    }
+
+    /// Left half clean grating, right half uniform noise-free grey.
+    fn half_and_half(w: usize, h: usize) -> GrayImage {
+        let mut img = grating(w, h);
+        for y in 0..h {
+            for x in w / 2..w {
+                img.set(x, y, 0.5);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn clean_ridges_have_high_quality() {
+        let img = grating(64, 64);
+        let field = estimate_orientation(&img, 16);
+        let mask = segment(&img, 16, 0.1);
+        let q = LocalQualityMap::compute(&img, &field, &mask);
+        assert!(q.at_pixel(32, 32) > 0.7, "quality {}", q.at_pixel(32, 32));
+        assert!(q.mean_foreground_quality() > 0.6);
+    }
+
+    #[test]
+    fn background_blocks_have_zero_quality() {
+        let img = half_and_half(64, 64);
+        let field = estimate_orientation(&img, 16);
+        let mask = segment(&img, 16, 0.2);
+        let q = LocalQualityMap::compute(&img, &field, &mask);
+        assert_eq!(q.at_pixel(60, 32), 0.0);
+        assert!(q.at_pixel(8, 32) > 0.5);
+    }
+
+    #[test]
+    fn usable_fraction_reflects_structure() {
+        let img = half_and_half(64, 64);
+        let field = estimate_orientation(&img, 16);
+        let mask = segment(&img, 16, 0.2);
+        let q = LocalQualityMap::compute(&img, &field, &mask);
+        let usable = q.usable_fraction(0.5);
+        assert!(usable > 0.2 && usable < 0.8, "usable = {usable}");
+    }
+
+    #[test]
+    fn flat_image_has_no_quality() {
+        let img = GrayImage::filled(32, 32, 0.5).unwrap();
+        let field = estimate_orientation(&img, 16);
+        let mask = segment(&img, 16, 0.3);
+        let q = LocalQualityMap::compute(&img, &field, &mask);
+        assert_eq!(q.mean_foreground_quality(), 0.0);
+        assert_eq!(q.usable_fraction(0.1), 0.0);
+    }
+}

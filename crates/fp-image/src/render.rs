@@ -1,0 +1,290 @@
+//! SFinGe-style fingerprint image synthesis.
+//!
+//! The renderer follows the AM-FM fingerprint model: ridges are the level
+//! sets of a phase field whose gradient magnitude is the local ridge
+//! frequency and whose gradient direction is the normal to the ridge flow;
+//! minutiae are spiral phase singularities (Larkin & Fletcher). A closed
+//! form for a globally consistent phase does not exist around loop/whorl
+//! singularities, so — exactly like SFinGe — we start from a locally
+//! consistent initial pattern (carrier phase plus one spiral per master
+//! minutia) and make it globally coherent by iterating an oriented bandpass
+//! (Gabor) filter tuned to the local orientation and frequency.
+
+use fp_core::geometry::{Point, Rect};
+use fp_core::rng::SeedTree;
+use fp_synth::master::MasterPrint;
+use rand::Rng;
+
+use crate::image::GrayImage;
+
+/// Parameters of the renderer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenderConfig {
+    /// Output resolution in dots per inch.
+    pub dpi: f64,
+    /// Number of oriented-filter iterations (3–6 is typically enough).
+    pub iterations: usize,
+    /// Gabor kernel radius in pixels.
+    pub kernel_radius: usize,
+    /// Amplitude of the initial noise mixed into the carrier.
+    pub seed_noise: f32,
+}
+
+impl Default for RenderConfig {
+    fn default() -> Self {
+        RenderConfig {
+            dpi: 500.0,
+            iterations: 5,
+            kernel_radius: 6,
+            seed_noise: 0.4,
+        }
+    }
+}
+
+/// Renders the window `window` (finger-centred mm coordinates) of a master
+/// print into a grey-scale image. Ridges are dark (0), valleys/background
+/// light (1).
+pub fn render_master(
+    master: &MasterPrint,
+    window: Rect,
+    config: &RenderConfig,
+    seed: &SeedTree,
+) -> GrayImage {
+    let pitch = 25.4 / config.dpi;
+    let width = ((window.width() / pitch).round() as usize).max(8);
+    let height = ((window.height() / pitch).round() as usize).max(8);
+    let to_mm = |x: usize, y: usize| -> Point {
+        Point::new(
+            window.min().x + (x as f64 + 0.5) * pitch,
+            window.min().y + (y as f64 + 0.5) * pitch,
+        )
+    };
+
+    // --- Initial pattern: carrier + minutiae spirals + noise -------------
+    let mut rng = seed.rng();
+    let mut field = vec![0.0f32; width * height];
+    for y in 0..height {
+        for x in 0..width {
+            let p = to_mm(x, y);
+            if !master.region().contains(&p) {
+                continue; // background stays 0 (neutral)
+            }
+            let orientation = master.field().orientation_at(p);
+            let period = master.frequency().period_at(p);
+            // Carrier: waves along the local normal. Locally consistent,
+            // globally incoherent — the iterations fix that.
+            let normal = orientation.radians() + std::f64::consts::FRAC_PI_2;
+            let u = p.x * normal.cos() + p.y * normal.sin();
+            let mut phase = std::f64::consts::TAU * u / period;
+            // One spiral per master minutia; sign alternates with kind so
+            // endings and bifurcations perturb the ridge count oppositely.
+            for (k, m) in master.minutiae().iter().enumerate() {
+                let d2 = m.pos.distance_sq(&p);
+                if d2 < 16.0 {
+                    let spiral = (p.y - m.pos.y).atan2(p.x - m.pos.x);
+                    let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+                    // Windowed so each spiral only shapes its neighbourhood.
+                    let weight = (-d2 / 6.0).exp();
+                    phase += sign * spiral * weight;
+                }
+            }
+            let noise = (rng.gen::<f32>() - 0.5) * 2.0 * config.seed_noise;
+            field[y * width + x] = phase.cos() as f32 + noise;
+        }
+    }
+    let mut img = GrayImage::from_data(width, height, field).expect("valid dimensions");
+
+    // --- Iterative oriented filtering -------------------------------------
+    let r = config.kernel_radius as isize;
+    for _ in 0..config.iterations {
+        let mut next = vec![0.0f32; width * height];
+        for y in 0..height {
+            for x in 0..width {
+                let p = to_mm(x, y);
+                if !master.region().contains(&p) {
+                    continue;
+                }
+                let orientation = master.field().orientation_at(p);
+                let period_px = master.frequency().period_at(p) / pitch;
+                let (c, s) = (
+                    orientation.radians().cos() as f32,
+                    orientation.radians().sin() as f32,
+                );
+                let freq = std::f32::consts::TAU / period_px as f32;
+                // Gabor tuned to (orientation, frequency): smooth along the
+                // ridge (u), band-pass across it (v).
+                let sigma_u = config.kernel_radius as f32 / 1.8;
+                let sigma_v = config.kernel_radius as f32 / 2.6;
+                let mut acc = 0.0f32;
+                let mut norm = 0.0f32;
+                for dy in -r..=r {
+                    for dx in -r..=r {
+                        let u = dx as f32 * c + dy as f32 * s;
+                        let v = -(dx as f32) * s + dy as f32 * c;
+                        let w = (-(u * u) / (2.0 * sigma_u * sigma_u)
+                            - (v * v) / (2.0 * sigma_v * sigma_v))
+                            .exp()
+                            * (freq * v).cos();
+                        acc += w * img.at_clamped(x as isize + dx, y as isize + dy);
+                        norm += w.abs();
+                    }
+                }
+                if norm > 1e-6 {
+                    // Soft saturation keeps the pattern binary-ish without
+                    // hard clipping.
+                    next[y * width + x] = (3.0 * acc / norm).tanh();
+                }
+            }
+        }
+        img = GrayImage::from_data(width, height, next).expect("valid dimensions");
+    }
+
+    // --- Map to ink convention: ridges dark, background white -------------
+    let mut out = vec![1.0f32; width * height];
+    for y in 0..height {
+        for x in 0..width {
+            let p = to_mm(x, y);
+            if master.region().contains(&p) {
+                out[y * width + x] = 0.5 - 0.5 * img.at(x, y);
+            }
+        }
+    }
+    GrayImage::from_data(width, height, out).expect("valid dimensions")
+}
+
+/// Marks minutiae positions on a rendered image (in place): endings get a
+/// 3x3 dark square with a white centre, bifurcations the inverse. For
+/// debugging and documentation renders.
+pub fn overlay_minutiae(
+    img: &mut GrayImage,
+    template: &fp_core::template::Template,
+    window: Rect,
+    dpi: f64,
+) {
+    let pitch = 25.4 / dpi;
+    for m in template.minutiae() {
+        let px = ((m.pos.x - window.min().x) / pitch).round() as isize;
+        let py = ((m.pos.y - window.min().y) / pitch).round() as isize;
+        let (ring, centre) = match m.kind {
+            fp_core::minutia::MinutiaKind::RidgeEnding => (0.0f32, 1.0f32),
+            fp_core::minutia::MinutiaKind::Bifurcation => (1.0f32, 0.0f32),
+        };
+        for dy in -1..=1isize {
+            for dx in -1..=1isize {
+                let (x, y) = (px + dx, py + dy);
+                if x >= 0 && y >= 0 && (x as usize) < img.width() && (y as usize) < img.height() {
+                    let value = if dx == 0 && dy == 0 { centre } else { ring };
+                    img.set(x as usize, y as usize, value);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_core::ids::Digit;
+    use fp_core::rng::SeedTree;
+
+    fn small_render(seed: u64) -> (MasterPrint, GrayImage) {
+        let master = MasterPrint::generate(&SeedTree::new(seed), Digit::Index, 1.0);
+        let window = Rect::centred(Point::ORIGIN, 10.0, 12.0).unwrap();
+        let config = RenderConfig {
+            iterations: 3,
+            ..RenderConfig::default()
+        };
+        let img = render_master(&master, window, &config, &SeedTree::new(seed ^ 0xF00D));
+        (master, img)
+    }
+
+    #[test]
+    fn renders_expected_dimensions() {
+        let (_, img) = small_render(1);
+        // 10mm at 500 dpi ≈ 197 px, 12mm ≈ 236 px.
+        assert!((img.width() as i64 - 197).abs() <= 1, "width {}", img.width());
+        assert!((img.height() as i64 - 236).abs() <= 1, "height {}", img.height());
+    }
+
+    #[test]
+    fn ridge_pattern_has_contrast_inside_region() {
+        let (_, img) = small_render(2);
+        let (_, var) = img.block_stats(
+            img.width() / 2 - 20,
+            img.height() / 2 - 20,
+            40,
+            40,
+        );
+        assert!(var > 0.05, "central variance {var} too low for ridges");
+    }
+
+    #[test]
+    fn ridge_period_matches_frequency_map() {
+        // Count ridge (dark) runs along the central column: the count should
+        // roughly match height / period.
+        let (master, img) = small_render(3);
+        let pitch = 25.4 / 500.0;
+        let period_px = master.frequency().period_at(Point::ORIGIN) / pitch;
+        let x = img.width() / 2;
+        let mut transitions = 0;
+        let mut prev_dark = img.at(x, 10) < 0.5;
+        for y in 11..img.height() - 10 {
+            let dark = img.at(x, y) < 0.5;
+            if dark != prev_dark {
+                transitions += 1;
+                prev_dark = dark;
+            }
+        }
+        let observed_period = 2.0 * (img.height() as f64 - 20.0) / transitions.max(1) as f64;
+        assert!(
+            observed_period > period_px * 0.5 && observed_period < period_px * 2.0,
+            "observed period {observed_period} px, expected ≈ {period_px} px"
+        );
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let (_, a) = small_render(4);
+        let (_, b) = small_render(4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn overlay_marks_minutiae_pixels() {
+        use fp_core::geometry::Direction;
+        use fp_core::minutia::{Minutia, MinutiaKind};
+        use fp_core::template::Template;
+        let mut img = GrayImage::filled(100, 100, 0.5).unwrap();
+        let window = Rect::centred(Point::ORIGIN, 5.08, 5.08).unwrap(); // 100 px at 500 dpi
+        let t = Template::builder(500.0)
+            .capture_window(window)
+            .push(Minutia::new(
+                Point::ORIGIN,
+                Direction::ZERO,
+                MinutiaKind::RidgeEnding,
+                1.0,
+            ))
+            .build()
+            .unwrap();
+        overlay_minutiae(&mut img, &t, window, 500.0);
+        // Ending: white centre, dark ring.
+        assert_eq!(img.at(50, 50), 1.0);
+        assert_eq!(img.at(49, 50), 0.0);
+        assert_eq!(img.at(51, 51), 0.0);
+    }
+
+    #[test]
+    fn background_is_white() {
+        // Render a window bigger than the finger pad so the corners fall on
+        // background.
+        let master = MasterPrint::generate(&SeedTree::new(5), Digit::Index, 1.0);
+        let window = Rect::centred(Point::ORIGIN, 30.0, 34.0).unwrap();
+        let config = RenderConfig {
+            iterations: 1,
+            ..RenderConfig::default()
+        };
+        let img = render_master(&master, window, &config, &SeedTree::new(55));
+        assert_eq!(img.at(0, 0), 1.0);
+        assert_eq!(img.at(img.width() - 1, img.height() - 1), 1.0);
+    }
+}

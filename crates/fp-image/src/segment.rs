@@ -1,0 +1,142 @@
+//! Foreground (ridge area) segmentation by block variance.
+//!
+//! Fingerprint foreground has high local variance (ridges alternate with
+//! valleys) while background is flat. The classic block-variance threshold
+//! is enough for synthetic and scanned prints alike.
+
+use crate::image::GrayImage;
+
+/// A per-block boolean foreground mask.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mask {
+    block: usize,
+    cols: usize,
+    rows: usize,
+    fg: Vec<bool>,
+}
+
+impl Mask {
+    /// Whether the block containing pixel `(x, y)` is foreground.
+    pub fn is_foreground(&self, x: usize, y: usize) -> bool {
+        let bx = (x / self.block).min(self.cols - 1);
+        let by = (y / self.block).min(self.rows - 1);
+        self.fg[by * self.cols + bx]
+    }
+
+    /// Fraction of blocks that are foreground.
+    pub fn foreground_fraction(&self) -> f64 {
+        if self.fg.is_empty() {
+            return 0.0;
+        }
+        self.fg.iter().filter(|&&b| b).count() as f64 / self.fg.len() as f64
+    }
+
+    /// Block size in pixels.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Erodes the mask by one block (foreground blocks keep their status
+    /// only if all 4-neighbours are foreground). Suppresses unreliable
+    /// border blocks before minutiae extraction.
+    pub fn eroded(&self) -> Mask {
+        let mut fg = vec![false; self.fg.len()];
+        for by in 0..self.rows {
+            for bx in 0..self.cols {
+                let idx = by * self.cols + bx;
+                if !self.fg[idx] {
+                    continue;
+                }
+                let neighbours_ok = [(0i64, 1i64), (0, -1), (1, 0), (-1, 0)]
+                    .iter()
+                    .all(|&(dx, dy)| {
+                        let nx = bx as i64 + dx;
+                        let ny = by as i64 + dy;
+                        if nx < 0 || ny < 0 || nx >= self.cols as i64 || ny >= self.rows as i64 {
+                            false
+                        } else {
+                            self.fg[ny as usize * self.cols + nx as usize]
+                        }
+                    });
+                fg[idx] = neighbours_ok;
+            }
+        }
+        Mask {
+            block: self.block,
+            cols: self.cols,
+            rows: self.rows,
+            fg,
+        }
+    }
+}
+
+/// Segments `img` into foreground/background blocks.
+///
+/// A block is foreground when its variance exceeds `variance_threshold`
+/// times the global variance.
+///
+/// # Panics
+///
+/// Panics when `block` is zero.
+pub fn segment(img: &GrayImage, block: usize, variance_threshold: f64) -> Mask {
+    assert!(block > 0, "block size must be positive");
+    let cols = img.width().div_ceil(block);
+    let rows = img.height().div_ceil(block);
+    let (_, global_var) = img.block_stats(0, 0, img.width(), img.height());
+    let cutoff = (global_var as f64 * variance_threshold).max(1e-6);
+    let mut fg = Vec::with_capacity(cols * rows);
+    for by in 0..rows {
+        for bx in 0..cols {
+            let (_, var) = img.block_stats(bx * block, by * block, block, block);
+            fg.push(var as f64 > cutoff);
+        }
+    }
+    Mask {
+        block,
+        cols,
+        rows,
+        fg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Image with a high-variance left half and a flat right half.
+    fn half_textured() -> GrayImage {
+        let mut img = GrayImage::filled(64, 64, 0.5).unwrap();
+        for y in 0..64 {
+            for x in 0..32 {
+                img.set(x, y, ((x + y) % 2) as f32);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn textured_half_is_foreground() {
+        let mask = segment(&half_textured(), 8, 0.3);
+        assert!(mask.is_foreground(10, 32));
+        assert!(!mask.is_foreground(50, 32));
+        let frac = mask.foreground_fraction();
+        assert!((frac - 0.5).abs() < 0.15, "fraction = {frac}");
+    }
+
+    #[test]
+    fn erosion_shrinks_foreground() {
+        let mask = segment(&half_textured(), 8, 0.3);
+        let eroded = mask.eroded();
+        assert!(eroded.foreground_fraction() < mask.foreground_fraction());
+        // Interior survives, boundary goes.
+        assert!(eroded.is_foreground(16, 32));
+        assert!(!eroded.is_foreground(0, 0));
+    }
+
+    #[test]
+    fn flat_image_is_all_background() {
+        let img = GrayImage::filled(32, 32, 0.3).unwrap();
+        let mask = segment(&img, 8, 0.3);
+        assert_eq!(mask.foreground_fraction(), 0.0);
+    }
+}

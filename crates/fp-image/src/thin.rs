@@ -1,0 +1,171 @@
+//! Zhang–Suen skeletonization of binary ridge maps.
+
+use crate::binarize::BinaryImage;
+
+/// Returns the 8-neighbourhood of `(x, y)` in the Zhang–Suen order
+/// P2..P9 (N, NE, E, SE, S, SW, W, NW).
+#[inline]
+fn neighbours(img: &BinaryImage, x: isize, y: isize) -> [bool; 8] {
+    [
+        img.at(x, y - 1),
+        img.at(x + 1, y - 1),
+        img.at(x + 1, y),
+        img.at(x + 1, y + 1),
+        img.at(x, y + 1),
+        img.at(x - 1, y + 1),
+        img.at(x - 1, y),
+        img.at(x - 1, y - 1),
+    ]
+}
+
+/// Number of 0→1 transitions around the neighbourhood ring.
+#[inline]
+fn transitions(n: &[bool; 8]) -> usize {
+    let mut count = 0;
+    for i in 0..8 {
+        if !n[i] && n[(i + 1) % 8] {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Thins a binary ridge map to a one-pixel-wide skeleton using the
+/// Zhang–Suen (1984) two-subiteration algorithm.
+pub fn zhang_suen(input: &BinaryImage) -> BinaryImage {
+    let (w, h) = (input.width(), input.height());
+    let mut img = input.clone();
+    let mut changed = true;
+    let mut to_clear: Vec<(usize, usize)> = Vec::new();
+    while changed {
+        changed = false;
+        for phase in 0..2 {
+            to_clear.clear();
+            for y in 0..h {
+                for x in 0..w {
+                    if !img.at(x as isize, y as isize) {
+                        continue;
+                    }
+                    let n = neighbours(&img, x as isize, y as isize);
+                    let b: usize = n.iter().filter(|&&v| v).count();
+                    if !(2..=6).contains(&b) || transitions(&n) != 1 {
+                        continue;
+                    }
+                    // n = [P2, P3, P4, P5, P6, P7, P8, P9]
+                    let (c1, c2) = if phase == 0 {
+                        // P2*P4*P6 == 0  and  P4*P6*P8 == 0
+                        (n[0] && n[2] && n[4], n[2] && n[4] && n[6])
+                    } else {
+                        // P2*P4*P8 == 0  and  P2*P6*P8 == 0
+                        (n[0] && n[2] && n[6], n[0] && n[4] && n[6])
+                    };
+                    if !c1 && !c2 {
+                        to_clear.push((x, y));
+                    }
+                }
+            }
+            if !to_clear.is_empty() {
+                changed = true;
+                for &(x, y) in &to_clear {
+                    img.set(x, y, false);
+                }
+            }
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_rows(rows: &[&str]) -> BinaryImage {
+        let h = rows.len();
+        let w = rows[0].len();
+        let mut data = Vec::with_capacity(w * h);
+        for r in rows {
+            for c in r.chars() {
+                data.push(c == '#');
+            }
+        }
+        BinaryImage::from_data(w, h, data)
+    }
+
+    #[test]
+    fn thick_horizontal_bar_thins_to_a_line() {
+        let img = from_rows(&[
+            "..........",
+            ".########.",
+            ".########.",
+            ".########.",
+            ".########.",
+            "..........",
+        ]);
+        let skel = zhang_suen(&img);
+        // The skeleton is one pixel thick; bar ends may erode, but the
+        // central columns survive with exactly one pixel each.
+        let mut singles = 0;
+        for x in 2..8 {
+            let count = (0..6).filter(|&y| skel.at(x, y)).count();
+            assert!(count <= 1, "column {x} has {count} skeleton pixels");
+            singles += count;
+        }
+        assert!(singles >= 4, "only {singles} skeleton columns survived");
+        assert!(skel.count_ones() < img.count_ones() / 2);
+    }
+
+    #[test]
+    fn single_pixel_line_is_stable() {
+        let img = from_rows(&["......", ".####.", "......"]);
+        let skel = zhang_suen(&img);
+        assert_eq!(skel.count_ones(), img.count_ones());
+    }
+
+    #[test]
+    fn empty_image_stays_empty() {
+        let img = from_rows(&["....", "....", "...."]);
+        assert_eq!(zhang_suen(&img).count_ones(), 0);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // pixel indices mirror the grid
+    fn skeleton_is_connected_for_l_shape() {
+        let img = from_rows(&[
+            "........",
+            ".###....",
+            ".###....",
+            ".######.",
+            ".######.",
+            "........",
+        ]);
+        let skel = zhang_suen(&img);
+        assert!(skel.count_ones() >= 4, "skeleton vanished");
+        // Flood fill from any skeleton pixel reaches all skeleton pixels.
+        let mut seen = [false; 8 * 6];
+        let start = (0..8 * 6)
+            .find(|i| skel.data()[*i])
+            .expect("nonempty skeleton");
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(i) = stack.pop() {
+            let (x, y) = ((i % 8) as isize, (i / 8) as isize);
+            for dy in -1..=1 {
+                for dx in -1..=1 {
+                    let (nx, ny) = (x + dx, y + dy);
+                    if skel.at(nx, ny) {
+                        let j = ny as usize * 8 + nx as usize;
+                        if !seen[j] {
+                            seen[j] = true;
+                            stack.push(j);
+                        }
+                    }
+                }
+            }
+        }
+        for i in 0..8 * 6 {
+            if skel.data()[i] {
+                assert!(seen[i], "skeleton disconnected at {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the raster substrate.
+
+use fp_image::binarize::{adaptive_binarize, BinaryImage};
+use fp_image::image::GrayImage;
+use fp_image::morphology::{clean_skeleton, remove_islands};
+use fp_image::normalize::normalize;
+use fp_image::pgm::{read_pgm, write_pgm};
+use fp_image::segment::segment;
+use fp_image::thin::zhang_suen;
+use proptest::prelude::*;
+
+fn small_image() -> impl Strategy<Value = GrayImage> {
+    (4usize..24, 4usize..24)
+        .prop_flat_map(|(w, h)| {
+            prop::collection::vec(0.0f32..1.0, w * h).prop_map(move |data| {
+                GrayImage::from_data(w, h, data).expect("valid dimensions")
+            })
+        })
+}
+
+fn small_binary() -> impl Strategy<Value = BinaryImage> {
+    (4usize..20, 4usize..20)
+        .prop_flat_map(|(w, h)| {
+            prop::collection::vec(prop::bool::weighted(0.4), w * h)
+                .prop_map(move |data| BinaryImage::from_data(w, h, data))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pgm_roundtrip_is_lossless_up_to_quantization(img in small_image()) {
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).expect("write to memory");
+        let back = read_pgm(buf.as_slice()).expect("valid stream");
+        prop_assert_eq!(back.width(), img.width());
+        prop_assert_eq!(back.height(), img.height());
+        for (a, b) in img.data().iter().zip(back.data()) {
+            prop_assert!((a - b).abs() <= 0.5 / 255.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn normalization_hits_target_mean(img in small_image()) {
+        let out = normalize(&img, 0.5, 0.02);
+        let (mean, _) = out.block_stats(0, 0, out.width(), out.height());
+        prop_assert!((mean - 0.5).abs() < 0.12, "mean = {mean}");
+    }
+
+    #[test]
+    fn thinning_never_adds_pixels(bin in small_binary()) {
+        let skel = zhang_suen(&bin);
+        prop_assert!(skel.count_ones() <= bin.count_ones());
+        // Skeleton is a subset of the input.
+        for y in 0..bin.height() as isize {
+            for x in 0..bin.width() as isize {
+                if skel.at(x, y) {
+                    prop_assert!(bin.at(x, y), "skeleton pixel outside input at ({x},{y})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skeleton_cleanup_never_adds_pixels(bin in small_binary()) {
+        let skel = zhang_suen(&bin);
+        let cleaned = clean_skeleton(&skel, 4, 4);
+        prop_assert!(cleaned.count_ones() <= skel.count_ones());
+    }
+
+    #[test]
+    fn island_removal_threshold_one_is_identity(bin in small_binary()) {
+        let out = remove_islands(&bin, 1);
+        prop_assert_eq!(out, bin);
+    }
+
+    #[test]
+    fn binarization_marks_only_foreground(img in small_image()) {
+        let mask = segment(&img, 4, 0.3);
+        let bin = adaptive_binarize(&img, &mask, 3);
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                if bin.at(x as isize, y as isize) {
+                    prop_assert!(mask.is_foreground(x, y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segmentation_fraction_is_a_probability(img in small_image()) {
+        let mask = segment(&img, 4, 0.3);
+        let f = mask.foreground_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+        let eroded = mask.eroded();
+        prop_assert!(eroded.foreground_fraction() <= f + 1e-12);
+    }
+}

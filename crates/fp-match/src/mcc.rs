@@ -1,0 +1,409 @@
+//! A Minutia-Cylinder-Code–style local-descriptor matcher (Cappelli,
+//! Ferrara & Maltoni, 2010 — simplified).
+//!
+//! Each minutia gets a **cylinder**: a fixed-size descriptor over a local
+//! spatial grid (in the minutia's own rotated frame, so the descriptor is
+//! rotation/translation invariant by construction) crossed with a
+//! directional grid. Every neighbouring minutia contributes Gaussian mass
+//! to the cells near its relative position and relative direction.
+//! Matching compares cylinders with a normalized Euclidean similarity,
+//! extracts the best one-to-one pairs (local-similarity-sort), and scores
+//! by their mean similarity weighted by the number of confident pairs.
+//!
+//! This matcher is algorithmically independent of both the pair-table
+//! matcher (global relative geometry) and the Hough matcher (explicit
+//! alignment), which is exactly what the paper's "diverse matchers"
+//! future-work question needs.
+
+use serde::{Deserialize, Serialize};
+
+use fp_core::template::Template;
+use fp_core::{MatchScore, Matcher};
+
+use crate::PreparableMatcher;
+
+/// Tuning parameters for [`MccMatcher`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MccConfig {
+    /// Cylinder radius (mm): how far neighbours contribute.
+    pub radius: f64,
+    /// Spatial grid resolution per axis (cells across the cylinder).
+    pub spatial_cells: usize,
+    /// Number of directional cells over the full circle.
+    pub angular_cells: usize,
+    /// Spatial Gaussian bandwidth (mm).
+    pub sigma_s: f64,
+    /// Directional Gaussian bandwidth (radians).
+    pub sigma_d: f64,
+    /// Minimum neighbours inside the cylinder for it to be *valid*;
+    /// descriptors built from fewer carry no evidence.
+    pub min_neighbours: usize,
+    /// Fraction of the smaller template's minutiae used as the number of
+    /// top pairs averaged into the score.
+    pub top_pair_fraction: f64,
+    /// Scale applied to the mean similarity so MCC raw scores live on
+    /// roughly the same axis as the other matchers.
+    pub score_scale: f64,
+}
+
+impl Default for MccConfig {
+    fn default() -> Self {
+        MccConfig {
+            radius: 5.0,
+            spatial_cells: 8,
+            angular_cells: 5,
+            sigma_s: 1.0,
+            sigma_d: 0.5,
+            min_neighbours: 2,
+            top_pair_fraction: 0.4,
+            score_scale: 40.0,
+        }
+    }
+}
+
+/// One minutia's cylinder descriptor.
+#[derive(Debug, Clone)]
+struct Cylinder {
+    cells: Vec<f32>,
+    norm: f32,
+    valid: bool,
+}
+
+/// A template pre-processed into its cylinder set.
+#[derive(Debug, Clone)]
+pub struct PreparedCylinders {
+    cylinders: Vec<Cylinder>,
+    minutia_count: usize,
+}
+
+impl PreparedCylinders {
+    /// Number of valid cylinders.
+    pub fn valid_count(&self) -> usize {
+        self.cylinders.iter().filter(|c| c.valid).count()
+    }
+
+    /// Number of minutiae in the originating template.
+    pub fn minutia_count(&self) -> usize {
+        self.minutia_count
+    }
+}
+
+/// The MCC-style matcher. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct MccMatcher {
+    config: MccConfig,
+}
+
+impl MccMatcher {
+    /// Creates a matcher with explicit tuning parameters.
+    pub fn new(config: MccConfig) -> Self {
+        MccMatcher { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MccConfig {
+        &self.config
+    }
+
+    fn cell_count(&self) -> usize {
+        self.config.spatial_cells * self.config.spatial_cells * self.config.angular_cells
+    }
+
+    fn build_cylinders(&self, template: &Template) -> PreparedCylinders {
+        let cfg = &self.config;
+        let ms = template.minutiae();
+        let n_cells = self.cell_count();
+        let cell_size = 2.0 * cfg.radius / cfg.spatial_cells as f64;
+        let ang_size = std::f64::consts::TAU / cfg.angular_cells as f64;
+
+        let cylinders = ms
+            .iter()
+            .map(|centre| {
+                let mut cells = vec![0.0f32; n_cells];
+                let mut neighbours = 0usize;
+                let frame = centre.direction;
+                let (fc, fs) = (frame.radians().cos(), frame.radians().sin());
+                for other in ms {
+                    if std::ptr::eq(centre, other) {
+                        continue;
+                    }
+                    let d = other.pos - centre.pos;
+                    if d.norm() > cfg.radius {
+                        continue;
+                    }
+                    neighbours += 1;
+                    // Rotate into the centre minutia's frame.
+                    let lx = d.x * fc + d.y * fs;
+                    let ly = -d.x * fs + d.y * fc;
+                    let rel_dir = other.direction.signed_delta(frame);
+                    // Gaussian mass over the 3x3x3 cell neighbourhood of the
+                    // contribution point.
+                    let cx = ((lx + cfg.radius) / cell_size).floor() as isize;
+                    let cy = ((ly + cfg.radius) / cell_size).floor() as isize;
+                    let ca = ((rel_dir + std::f64::consts::PI) / ang_size).floor() as isize;
+                    for dz in -1..=1isize {
+                        for dy in -1..=1isize {
+                            for dx in -1..=1isize {
+                                let gx = cx + dx;
+                                let gy = cy + dy;
+                                let ga = (ca + dz).rem_euclid(cfg.angular_cells as isize);
+                                if gx < 0
+                                    || gy < 0
+                                    || gx >= cfg.spatial_cells as isize
+                                    || gy >= cfg.spatial_cells as isize
+                                {
+                                    continue;
+                                }
+                                // Cell centre in local coordinates.
+                                let ccx = (gx as f64 + 0.5) * cell_size - cfg.radius;
+                                let ccy = (gy as f64 + 0.5) * cell_size - cfg.radius;
+                                let cca = (ga as f64 + 0.5) * ang_size - std::f64::consts::PI;
+                                let ds2 = (lx - ccx).powi(2) + (ly - ccy).powi(2);
+                                let mut da = (rel_dir - cca).rem_euclid(std::f64::consts::TAU);
+                                if da > std::f64::consts::PI {
+                                    da -= std::f64::consts::TAU;
+                                }
+                                let mass = (-ds2 / (2.0 * cfg.sigma_s * cfg.sigma_s)
+                                    - da * da / (2.0 * cfg.sigma_d * cfg.sigma_d))
+                                    .exp() as f32;
+                                let idx = (ga as usize * cfg.spatial_cells
+                                    + gy as usize)
+                                    * cfg.spatial_cells
+                                    + gx as usize;
+                                cells[idx] += mass;
+                            }
+                        }
+                    }
+                }
+                // Saturate cell mass (MCC uses a sigmoid; a clamp is enough).
+                for c in &mut cells {
+                    *c = c.min(1.0);
+                }
+                let norm = cells.iter().map(|c| c * c).sum::<f32>().sqrt();
+                Cylinder {
+                    cells,
+                    norm,
+                    valid: neighbours >= cfg.min_neighbours && norm > 1e-6,
+                }
+            })
+            .collect();
+        PreparedCylinders {
+            cylinders,
+            minutia_count: ms.len(),
+        }
+    }
+
+    /// Normalized Euclidean similarity between two cylinders, in `[0, 1]`.
+    fn similarity(a: &Cylinder, b: &Cylinder) -> f32 {
+        if !a.valid || !b.valid {
+            return 0.0;
+        }
+        let dist: f32 = a
+            .cells
+            .iter()
+            .zip(&b.cells)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f32>()
+            .sqrt();
+        let denom = a.norm + b.norm;
+        if denom <= 1e-6 {
+            0.0
+        } else {
+            (1.0 - dist / denom).max(0.0)
+        }
+    }
+
+    fn score_cylinders(&self, gallery: &PreparedCylinders, probe: &PreparedCylinders) -> MatchScore {
+        let ng = gallery.cylinders.len();
+        let np = probe.cylinders.len();
+        if ng == 0 || np == 0 {
+            return MatchScore::ZERO;
+        }
+        // Local similarity matrix; keep the best pairs, one-to-one.
+        let mut pairs: Vec<(f32, usize, usize)> = Vec::new();
+        for (i, a) in gallery.cylinders.iter().enumerate() {
+            for (j, b) in probe.cylinders.iter().enumerate() {
+                let s = Self::similarity(a, b);
+                if s > 0.05 {
+                    pairs.push((s, i, j));
+                }
+            }
+        }
+        if pairs.is_empty() {
+            return MatchScore::ZERO;
+        }
+        pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("similarity is finite"));
+        let top = ((ng.min(np) as f64 * self.config.top_pair_fraction).ceil() as usize).max(3);
+        let mut g_used = vec![false; ng];
+        let mut p_used = vec![false; np];
+        let mut taken = 0usize;
+        let mut total = 0.0f64;
+        for (s, i, j) in pairs {
+            if taken >= top {
+                break;
+            }
+            if g_used[i] || p_used[j] {
+                continue;
+            }
+            g_used[i] = true;
+            p_used[j] = true;
+            taken += 1;
+            total += s as f64;
+        }
+        if taken < 3 {
+            return MatchScore::ZERO;
+        }
+        // Mean of the selected local similarities, weighted by how many of
+        // the requested top pairs were actually found.
+        let mean = total / taken as f64;
+        let coverage = taken as f64 / top as f64;
+        MatchScore::new(mean * coverage * self.config.score_scale)
+    }
+}
+
+impl Matcher for MccMatcher {
+    fn compare(&self, gallery: &Template, probe: &Template) -> MatchScore {
+        self.score_cylinders(&self.build_cylinders(gallery), &self.build_cylinders(probe))
+    }
+
+    fn name(&self) -> &str {
+        "mcc"
+    }
+}
+
+impl PreparableMatcher for MccMatcher {
+    type Prepared = PreparedCylinders;
+
+    fn prepare(&self, template: &Template) -> PreparedCylinders {
+        self.build_cylinders(template)
+    }
+
+    fn compare_prepared(&self, gallery: &PreparedCylinders, probe: &PreparedCylinders) -> MatchScore {
+        self.score_cylinders(gallery, probe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_core::geometry::{Direction, Point, RigidMotion, Vector};
+    use fp_core::minutia::{Minutia, MinutiaKind};
+    use fp_core::rng::SeedTree;
+    use rand::Rng;
+
+    fn synthetic_template(seed: u64, n: usize) -> Template {
+        let mut rng = SeedTree::new(seed).rng();
+        let mut minutiae: Vec<Minutia> = Vec::new();
+        let mut attempts = 0;
+        while minutiae.len() < n && attempts < 10_000 {
+            attempts += 1;
+            let pos = Point::new(rng.gen::<f64>() * 16.0 - 8.0, rng.gen::<f64>() * 20.0 - 10.0);
+            if minutiae.iter().any(|m| m.pos.distance(&pos) < 1.4) {
+                continue;
+            }
+            minutiae.push(Minutia::new(
+                pos,
+                Direction::from_radians(rng.gen::<f64>() * std::f64::consts::TAU),
+                MinutiaKind::RidgeEnding,
+                1.0,
+            ));
+        }
+        Template::builder(500.0)
+            .capture_window_mm(20.0, 24.0)
+            .extend(minutiae)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn self_match_beats_impostor() {
+        let m = MccMatcher::default();
+        let a = synthetic_template(1, 32);
+        let b = synthetic_template(2, 32);
+        let self_score = m.compare(&a, &a).value();
+        let impostor = m.compare(&a, &b).value();
+        assert!(
+            self_score > impostor + 5.0,
+            "self {self_score:.1} vs impostor {impostor:.1}"
+        );
+    }
+
+    #[test]
+    fn descriptor_is_rotation_invariant() {
+        let m = MccMatcher::default();
+        let t = synthetic_template(3, 30);
+        let moved = t.transformed(&RigidMotion::new(
+            Direction::from_radians(1.1),
+            Vector::new(4.0, -3.0),
+        ));
+        let self_score = m.compare(&t, &t).value();
+        let moved_score = m.compare(&t, &moved).value();
+        assert!(
+            (self_score - moved_score).abs() < self_score * 0.05 + 0.5,
+            "self {self_score:.1} vs moved {moved_score:.1}"
+        );
+    }
+
+    #[test]
+    fn empty_and_sparse_templates_score_zero() {
+        let m = MccMatcher::default();
+        let empty = Template::builder(500.0).build().unwrap();
+        let sparse = synthetic_template(4, 2);
+        let full = synthetic_template(5, 30);
+        assert_eq!(m.compare(&empty, &full).value(), 0.0);
+        assert_eq!(m.compare(&full, &empty).value(), 0.0);
+        // Two isolated minutiae: no cylinder reaches min_neighbours.
+        assert_eq!(m.compare(&sparse, &sparse).value(), 0.0);
+    }
+
+    #[test]
+    fn prepared_path_matches_direct() {
+        let m = MccMatcher::default();
+        let a = synthetic_template(6, 28);
+        let b = synthetic_template(7, 28);
+        let pa = m.prepare(&a);
+        let pb = m.prepare(&b);
+        assert_eq!(m.compare(&a, &b), m.compare_prepared(&pa, &pb));
+    }
+
+    #[test]
+    fn jitter_degrades_gracefully() {
+        let m = MccMatcher::default();
+        let t = synthetic_template(8, 32);
+        let mut rng = SeedTree::new(80).rng();
+        let jittered: Vec<Minutia> = t
+            .minutiae()
+            .iter()
+            .map(|mi| {
+                Minutia::new(
+                    Point::new(
+                        mi.pos.x + fp_core::dist::normal(&mut rng, 0.0, 0.12),
+                        mi.pos.y + fp_core::dist::normal(&mut rng, 0.0, 0.12),
+                    ),
+                    mi.direction.rotated(fp_core::dist::normal(&mut rng, 0.0, 0.06)),
+                    mi.kind,
+                    mi.reliability,
+                )
+            })
+            .collect();
+        let jt = Template::builder(500.0)
+            .capture_window_mm(20.0, 24.0)
+            .extend(jittered)
+            .build()
+            .unwrap();
+        let self_score = m.compare(&t, &t).value();
+        let jitter_score = m.compare(&t, &jt).value();
+        let impostor = m.compare(&t, &synthetic_template(9, 32)).value();
+        assert!(jitter_score > self_score * 0.55, "jitter {jitter_score:.1} self {self_score:.1}");
+        assert!(jitter_score > impostor, "jitter {jitter_score:.1} impostor {impostor:.1}");
+    }
+
+    #[test]
+    fn valid_count_reflects_neighbourhoods() {
+        let m = MccMatcher::default();
+        let dense = m.prepare(&synthetic_template(10, 35));
+        assert!(dense.valid_count() > dense.minutia_count() / 2);
+        let sparse = m.prepare(&synthetic_template(11, 3));
+        assert!(sparse.valid_count() <= sparse.minutia_count());
+    }
+}

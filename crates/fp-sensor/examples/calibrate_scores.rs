@@ -1,0 +1,98 @@
+//! Prints raw pair-table score quantiles for every (gallery device, probe
+//! device) cell plus the impostor distribution — the tool used to calibrate
+//! the sensor models and the score calibration map.
+//!
+//! ```sh
+//! cargo run --release -p fp-sensor --example calibrate_scores
+//! ```
+
+use fp_core::ids::{DeviceId, Finger, SessionId};
+use fp_core::Matcher;
+use fp_match::PairTableMatcher;
+use fp_sensor::{CaptureProtocol, Impression};
+use fp_synth::population::{Population, PopulationConfig};
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let h = (sorted.len() - 1) as f64 * q;
+    sorted[h.round() as usize]
+}
+
+fn main() {
+    let subjects = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80usize);
+    let pop = Population::generate(&PopulationConfig::new(7001, subjects));
+    let protocol = CaptureProtocol::new();
+    let matcher = PairTableMatcher::default();
+
+    let caps: Vec<Vec<[Impression; 2]>> = pop
+        .subjects()
+        .iter()
+        .map(|s| {
+            DeviceId::ALL
+                .iter()
+                .map(|&d| {
+                    [
+                        protocol.capture(s, Finger::RIGHT_INDEX, d, SessionId(0)),
+                        protocol.capture(s, Finger::RIGHT_INDEX, d, SessionId(1)),
+                    ]
+                })
+                .collect()
+        })
+        .collect();
+
+    println!("genuine raw-score quantiles per cell (p05 / p50):");
+    for g in 0..5 {
+        let mut row = String::new();
+        for p in 0..5 {
+            let mut xs: Vec<f64> = caps
+                .iter()
+                .map(|c| matcher.compare(c[g][0].template(), c[p][1].template()).value())
+                .collect();
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            row.push_str(&format!(
+                " {:5.1}/{:5.1}",
+                quantile(&xs, 0.05),
+                quantile(&xs, 0.50)
+            ));
+        }
+        println!("  D{g}:{row}");
+    }
+
+    let mut impostor: Vec<f64> = Vec::new();
+    for g in 0..5 {
+        for p in 0..5 {
+            for i in 0..caps.len() {
+                for j in [(i + 1) % caps.len(), (i + 7) % caps.len()] {
+                    if i != j {
+                        impostor.push(
+                            matcher
+                                .compare(caps[i][g][0].template(), caps[j][p][1].template())
+                                .value(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    impostor.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "impostor n={} p50={:.1} p99={:.1} p999={:.1} p9999={:.1} max={:.1}",
+        impostor.len(),
+        quantile(&impostor, 0.5),
+        quantile(&impostor, 0.99),
+        quantile(&impostor, 0.999),
+        quantile(&impostor, 0.9999),
+        impostor.last().unwrap()
+    );
+    let mean_min: f64 = caps
+        .iter()
+        .map(|c| c.iter().flat_map(|s| s.iter().map(|i| i.template().len())).min().unwrap() as f64)
+        .sum::<f64>()
+        / caps.len() as f64;
+    println!("mean per-subject minimum template size: {mean_min:.1}");
+}

@@ -1,0 +1,50 @@
+//! # fp-sensor
+//!
+//! Capture-device models and acquisition simulation for the DSN'13
+//! interoperability study.
+//!
+//! The paper's Table 1 describes four optical live-scan sensors (D0–D3) plus
+//! ink-based ten-print cards scanned on a flat-bed at 500 dpi (D4). This
+//! crate models each as a [`Device`] with
+//!
+//! * the exact resolution / image size / capture window of Table 1,
+//! * a fixed per-device **distortion signature** (smooth nonlinear warp from
+//!   lens geometry, platen flatness, scale calibration — and ink spread plus
+//!   roll stretch for D4; see [`distortion`]),
+//! * a **noise profile** (minutia position jitter, direction jitter,
+//!   dropout, spurious generation),
+//!
+//! and an [`Acquisition`] engine that turns a master print into an
+//! [`Impression`] through the full physical chain: skin condition →
+//! pressure-dependent contact area → placement on the platen → device warp →
+//! sensor noise → window cropping → pixel quantization.
+//!
+//! ## Why this reproduces the paper's phenomena
+//!
+//! * **Same-device genuine scores are higher**: both captures pass through
+//!   the *same* warp, so the non-rigid residual between them is second-order
+//!   small; between different devices the first-order difference of the two
+//!   signatures survives rigid alignment and eats minutiae correspondences.
+//! * **Impostor scores are unaffected** by device pairing: impostor geometry
+//!   is already random, so extra warp does not change its statistics —
+//!   exactly the paper's FMR finding.
+//! * **D3 anomalies** come from its small (40.6 × 38.1 mm) window: two D3
+//!   captures crop *different* parts of the finger, while a D3 probe against
+//!   a full-window gallery keeps everything the probe has.
+//! * **D1 anomalies** come from its high noise floor: two noisy captures
+//!   match worse than one noisy and one clean capture.
+//! * **D4 (ink)** has the largest signature (ink spread, roll stretch), so
+//!   it interoperates worst, while its operator-guided, large-area rolled
+//!   impressions are mutually consistent — best *intra*-device FNMR.
+
+pub mod acquisition;
+pub mod condition;
+pub mod device;
+pub mod distortion;
+pub mod protocol;
+
+pub use acquisition::{Acquisition, Impression, ImpressionFeatures};
+pub use condition::CaptureCondition;
+pub use device::{Device, SensingTechnology, DEVICES};
+pub use distortion::DistortionSignature;
+pub use protocol::CaptureProtocol;

@@ -1,0 +1,99 @@
+//! Randomized invariant tests over the acquisition engine: whatever the
+//! seed, subject, or device, every capture must satisfy the structural
+//! contracts the rest of the workspace relies on.
+
+use fp_core::ids::{DeviceId, Finger, SessionId};
+use fp_sensor::{CaptureProtocol, DEVICES};
+use fp_synth::population::{Population, PopulationConfig};
+
+#[test]
+fn every_capture_satisfies_structural_invariants() {
+    let pop = Population::generate(&PopulationConfig::new(321, 12));
+    let protocol = CaptureProtocol::new();
+    for subject in pop.subjects() {
+        for device in DeviceId::ALL {
+            for session in 0..2u8 {
+                let imp = protocol.capture(subject, Finger::RIGHT_INDEX, device, SessionId(session));
+                let dev = &DEVICES[device.0 as usize];
+                let window = dev.capture_window();
+                let pitch = dev.pixel_pitch_mm();
+                let f = imp.features();
+
+                // 1. Every minutia lies in the capture window, on the pixel
+                //    grid, with a valid reliability and finite direction.
+                for m in imp.template().minutiae() {
+                    assert!(window.contains(&m.pos), "{device}/{session}: {:?} outside", m.pos);
+                    let gx = (m.pos.x / pitch).round() * pitch;
+                    assert!((m.pos.x - gx).abs() < 1e-9, "off-grid x");
+                    assert!((0.0..=1.0).contains(&m.reliability));
+                    assert!(m.direction.radians().is_finite());
+                }
+
+                // 2. Features are consistent with the template.
+                assert_eq!(f.minutia_count, imp.template().len());
+                assert!((0.0..=1.0).contains(&f.mean_reliability));
+                assert!((0.0..=1.0).contains(&f.captured_area_fraction));
+                assert!((0.0..=1.0).contains(&f.clarity));
+                assert!((0.0..=1.0).contains(&f.condition_extremity));
+
+                // 3. Template metadata matches the device.
+                assert_eq!(imp.template().resolution_dpi(), dev.resolution_dpi);
+                assert_eq!(imp.device(), device);
+                assert_eq!(imp.session(), SessionId(session));
+            }
+        }
+    }
+}
+
+#[test]
+fn capture_counts_are_stable_across_the_population() {
+    // No device may systematically produce empty or overfull templates.
+    let pop = Population::generate(&PopulationConfig::new(77, 30));
+    let protocol = CaptureProtocol::new();
+    for device in DeviceId::ALL {
+        let counts: Vec<usize> = pop
+            .subjects()
+            .iter()
+            .map(|s| {
+                protocol
+                    .capture(s, Finger::RIGHT_INDEX, device, SessionId(0))
+                    .template()
+                    .len()
+            })
+            .collect();
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        let empties = counts.iter().filter(|&&c| c < 5).count();
+        assert!(
+            (10.0..=80.0).contains(&mean),
+            "{device}: mean minutiae {mean}"
+        );
+        assert!(
+            empties <= counts.len() / 10,
+            "{device}: {empties} near-empty captures of {}",
+            counts.len()
+        );
+    }
+}
+
+#[test]
+fn habituation_argument_is_clamped_not_trusted() {
+    // Out-of-range habituation must not panic or produce invalid conditions.
+    let pop = Population::generate(&PopulationConfig::new(5, 1));
+    let s = &pop.subjects()[0];
+    let dev = fp_sensor::Device::by_id(DeviceId(0));
+    for h in [-3.0, 0.0, 0.5, 1.0, 42.0] {
+        let imp = fp_sensor::Acquisition.capture(
+            &s.master_print(Finger::RIGHT_INDEX),
+            &s.skin(),
+            dev,
+            s.id(),
+            Finger::RIGHT_INDEX,
+            SessionId(0),
+            h,
+            &fp_core::rng::SeedTree::new(1),
+        );
+        let c = imp.condition();
+        assert!((0.0..=1.0).contains(&c.pressure), "h={h}: pressure {}", c.pressure);
+        assert!((0.0..=1.0).contains(&c.moisture));
+    }
+}

@@ -1,0 +1,151 @@
+//! Invariants of the ink ten-print card model: both D4 "sessions" are scans
+//! of the same physical impression, so they must be near-duplicates of each
+//! other while remaining honest about scanner noise — and live-scan devices
+//! must NOT behave this way.
+
+use fp_core::ids::{DeviceId, Finger, SessionId};
+use fp_core::Matcher;
+use fp_match::PairTableMatcher;
+use fp_sensor::CaptureProtocol;
+use fp_synth::population::{Population, PopulationConfig};
+
+fn subject(seed: u64) -> fp_synth::population::Subject {
+    Population::generate(&PopulationConfig::new(seed, 1)).subjects()[0].clone()
+}
+
+#[test]
+fn ink_sessions_share_the_presentation() {
+    let protocol = CaptureProtocol::new();
+    for seed in [1u64, 7, 42] {
+        let s = subject(seed);
+        let a = protocol.capture(&s, Finger::RIGHT_INDEX, DeviceId(4), SessionId(0));
+        let b = protocol.capture(&s, Finger::RIGHT_INDEX, DeviceId(4), SessionId(1));
+        // Same card: same presentation condition...
+        assert_eq!(a.condition(), b.condition(), "seed {seed}");
+        // ...but not literally the same template (scanner noise exists).
+        assert_ne!(a.template(), b.template(), "seed {seed}");
+        // Counts may only differ by extraction instability (a few percent).
+        let (na, nb) = (a.template().len() as f64, b.template().len() as f64);
+        assert!(
+            (na - nb).abs() <= na * 0.15 + 2.0,
+            "seed {seed}: counts {na} vs {nb} diverge too much for a rescan"
+        );
+    }
+}
+
+#[test]
+fn live_scan_sessions_are_independent_presentations() {
+    let protocol = CaptureProtocol::new();
+    let s = subject(3);
+    for device in [DeviceId(0), DeviceId(1), DeviceId(2), DeviceId(3)] {
+        let a = protocol.capture(&s, Finger::RIGHT_INDEX, device, SessionId(0));
+        let b = protocol.capture(&s, Finger::RIGHT_INDEX, device, SessionId(1));
+        assert_ne!(
+            a.condition(),
+            b.condition(),
+            "{device}: sessions share a presentation"
+        );
+    }
+}
+
+#[test]
+fn intra_card_scores_dominate_intra_livescan_scores() {
+    // The modelling decision behind the paper's best-diagonal {D4,D4} cell:
+    // rescans of one card must outscore two independent live captures.
+    let protocol = CaptureProtocol::new();
+    let matcher = PairTableMatcher::default();
+    let mut ink_total = 0.0;
+    let mut live_total = 0.0;
+    let n = 12;
+    for seed in 0..n {
+        let s = subject(100 + seed);
+        let ink0 = protocol.capture(&s, Finger::RIGHT_INDEX, DeviceId(4), SessionId(0));
+        let ink1 = protocol.capture(&s, Finger::RIGHT_INDEX, DeviceId(4), SessionId(1));
+        ink_total += matcher.compare(ink0.template(), ink1.template()).value();
+        let live0 = protocol.capture(&s, Finger::RIGHT_INDEX, DeviceId(0), SessionId(0));
+        let live1 = protocol.capture(&s, Finger::RIGHT_INDEX, DeviceId(0), SessionId(1));
+        live_total += matcher.compare(live0.template(), live1.template()).value();
+    }
+    assert!(
+        ink_total > live_total,
+        "intra-card mean {:.1} not above intra-livescan mean {:.1}",
+        ink_total / n as f64,
+        live_total / n as f64
+    );
+}
+
+#[test]
+fn rescan_is_deterministic() {
+    let protocol = CaptureProtocol::new();
+    let s = subject(9);
+    let a = protocol.capture(&s, Finger::RIGHT_INDEX, DeviceId(4), SessionId(1));
+    let b = protocol.capture(&s, Finger::RIGHT_INDEX, DeviceId(4), SessionId(1));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn swipe_stitching_degrades_self_consistency() {
+    use fp_core::rng::SeedTree;
+    use fp_sensor::{Acquisition, Device, DistortionSignature, SensingTechnology};
+    use fp_sensor::device::NoiseProfile;
+
+    // Identical parameters except the technology: swipe reconstruction adds
+    // per-capture stitch artifacts that the touch variant does not have.
+    let base = Device {
+        id: DeviceId(0),
+        model: "test capacitive",
+        technology: SensingTechnology::CapacitiveTouch,
+        resolution_dpi: 500.0,
+        image_px: (400, 400),
+        capture_mm: (20.3, 20.3),
+        distortion: DistortionSignature::IDENTITY,
+        noise: NoiseProfile {
+            position_jitter: 0.06,
+            direction_kappa: 110.0,
+            base_dropout: 0.05,
+            spurious_rate: 0.004,
+            quality_bias: 0.1,
+            vignette_band_mm: 2.0,
+        },
+    };
+    let swipe = Device {
+        technology: SensingTechnology::CapacitiveSwipe,
+        ..base
+    };
+    let matcher = PairTableMatcher::default();
+    let mut touch_total = 0.0;
+    let mut swipe_total = 0.0;
+    let n = 10;
+    for seed in 0..n {
+        let s = subject(500 + seed);
+        let master = s.master_print(Finger::RIGHT_INDEX);
+        let capture = |device: &Device, session: u8, tag: u64| {
+            Acquisition.capture(
+                &master,
+                &s.skin(),
+                device,
+                s.id(),
+                Finger::RIGHT_INDEX,
+                SessionId(session),
+                0.0,
+                &SeedTree::new(9000 + seed * 10 + tag),
+            )
+        };
+        let t0 = capture(&base, 0, 0);
+        let t1 = capture(&base, 1, 1);
+        touch_total += matcher.compare(t0.template(), t1.template()).value();
+        let s0 = capture(&swipe, 0, 2);
+        let s1 = capture(&swipe, 1, 3);
+        swipe_total += matcher.compare(s0.template(), s1.template()).value();
+    }
+    assert!(
+        swipe_total < touch_total,
+        "swipe self-consistency {:.1} not below touch {:.1}",
+        swipe_total / n as f64,
+        touch_total / n as f64
+    );
+    assert!(
+        swipe_total > 0.0,
+        "swipe sensor produced no genuine evidence at all"
+    );
+}

@@ -1,0 +1,137 @@
+//! Percentile bootstrap confidence intervals.
+//!
+//! Used by the prediction extension ("what is the probability of a false
+//! non-match for a user enrolled on device X and verified on device Y?") to
+//! attach uncertainty to FNMR point estimates.
+//!
+//! The resampler uses an internal SplitMix64 generator so this crate stays
+//! dependency-free; determinism comes from the caller-provided seed.
+
+/// A two-sided confidence interval with its point estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Statistic evaluated on the original sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lower: f64,
+    /// Upper percentile bound.
+    pub upper: f64,
+    /// The confidence level used (e.g. 0.95).
+    pub level: f64,
+}
+
+/// Minimal SplitMix64 stream for resampling.
+#[derive(Debug, Clone)]
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `0..n` by rejection (avoids modulo bias).
+    fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        let n = n as u64;
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return (v % n) as usize;
+            }
+        }
+    }
+}
+
+/// Percentile-bootstrap confidence interval for `statistic` over `data`.
+///
+/// Returns `None` when `data` is empty, `resamples == 0`, or `level` is not
+/// in `(0, 1)`.
+pub fn bootstrap_ci<F>(
+    data: &[f64],
+    statistic: F,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<ConfidenceInterval>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    if data.is_empty() || resamples == 0 || !(0.0 < level && level < 1.0) {
+        return None;
+    }
+    let estimate = statistic(data);
+    let mut rng = SplitMix(seed ^ 0xB007_57AB_0000_0001);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut resample = vec![0.0; data.len()];
+    for _ in 0..resamples {
+        for slot in resample.iter_mut() {
+            *slot = data[rng.index(data.len())];
+        }
+        stats.push(statistic(&resample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("statistic must not be NaN"));
+    let alpha = (1.0 - level) / 2.0;
+    let lower = crate::summary::quantile_sorted(&stats, alpha);
+    let upper = crate::summary::quantile_sorted(&stats, 1.0 - alpha);
+    Some(ConfidenceInterval {
+        estimate,
+        lower,
+        upper,
+        level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn interval_brackets_the_estimate() {
+        let data: Vec<f64> = (0..200).map(|i| (i % 13) as f64).collect();
+        let ci = bootstrap_ci(&data, mean, 500, 0.95, 7).unwrap();
+        assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
+        assert!(ci.upper - ci.lower < 2.0, "interval too wide: {ci:?}");
+    }
+
+    #[test]
+    fn higher_confidence_widens_the_interval() {
+        let data: Vec<f64> = (0..100).map(|i| ((i * 37) % 50) as f64).collect();
+        let narrow = bootstrap_ci(&data, mean, 800, 0.80, 3).unwrap();
+        let wide = bootstrap_ci(&data, mean, 800, 0.99, 3).unwrap();
+        assert!(wide.upper - wide.lower >= narrow.upper - narrow.lower);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let a = bootstrap_ci(&data, mean, 200, 0.9, 42).unwrap();
+        let b = bootstrap_ci(&data, mean, 200, 0.9, 42).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_ci(&data, mean, 200, 0.9, 43).unwrap();
+        assert!(a != c || a.estimate == c.estimate); // seed changes resamples
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(bootstrap_ci(&[], mean, 100, 0.95, 1).is_none());
+        assert!(bootstrap_ci(&[1.0], mean, 0, 0.95, 1).is_none());
+        assert!(bootstrap_ci(&[1.0], mean, 100, 1.0, 1).is_none());
+    }
+
+    #[test]
+    fn constant_data_gives_zero_width_interval() {
+        let data = [5.0; 30];
+        let ci = bootstrap_ci(&data, mean, 100, 0.95, 9).unwrap();
+        assert_eq!(ci.lower, 5.0);
+        assert_eq!(ci.upper, 5.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Mann–Whitney U test (Wilcoxon rank-sum), used by the extension analyses
+//! to compare genuine score distributions between acquisition scenarios.
+
+use crate::special;
+
+/// Result of a Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannWhitneyTest {
+    /// The U statistic for the first sample.
+    pub u: f64,
+    /// Normal-approximation z-statistic (tie-corrected variance).
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Base-10 log of the p-value (accurate in deep tails).
+    pub log10_p: f64,
+    /// Common-language effect size: P(X > Y) + 0.5·P(X = Y).
+    pub effect_size: f64,
+}
+
+/// Runs the two-sided Mann–Whitney U test on independent samples `x` and
+/// `y`.
+///
+/// Returns `None` when either sample is empty or all values are identical
+/// (zero variance).
+pub fn mann_whitney_u(x: &[f64], y: &[f64]) -> Option<MannWhitneyTest> {
+    if x.is_empty() || y.is_empty() {
+        return None;
+    }
+    let nx = x.len() as f64;
+    let ny = y.len() as f64;
+
+    // Rank the pooled sample with average ranks for ties.
+    let mut pooled: Vec<(f64, bool)> = x
+        .iter()
+        .map(|&v| (v, true))
+        .chain(y.iter().map(|&v| (v, false)))
+        .collect();
+    pooled.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN in test input"));
+
+    let n = pooled.len();
+    let mut rank_sum_x = 0.0;
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let count = (j - i + 1) as f64;
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for item in &pooled[i..=j] {
+            if item.1 {
+                rank_sum_x += avg_rank;
+            }
+        }
+        if count > 1.0 {
+            tie_term += count * (count * count - 1.0);
+        }
+        i = j + 1;
+    }
+
+    let u = rank_sum_x - nx * (nx + 1.0) / 2.0;
+    let mean_u = nx * ny / 2.0;
+    let nf = n as f64;
+    let var_u = nx * ny / 12.0 * ((nf + 1.0) - tie_term / (nf * (nf - 1.0)));
+    if var_u <= 0.0 {
+        return None;
+    }
+    let z = (u - mean_u) / var_u.sqrt();
+    Some(MannWhitneyTest {
+        u,
+        z,
+        p_value: special::two_sided_p(z),
+        log10_p: special::two_sided_log10_p(z),
+        effect_size: u / (nx * ny),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separated_samples_give_extreme_u_and_small_p() {
+        let x: Vec<f64> = (0..30).map(|i| 100.0 + i as f64).collect();
+        let y: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let t = mann_whitney_u(&x, &y).unwrap();
+        assert_eq!(t.u, 900.0); // every x beats every y
+        assert!(t.p_value < 1e-9);
+        assert!((t.effect_size - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_distributions_give_moderate_p() {
+        let x: Vec<f64> = (0..50).map(|i| (i * 2) as f64).collect();
+        let y: Vec<f64> = (0..50).map(|i| (i * 2 + 1) as f64).collect();
+        let t = mann_whitney_u(&x, &y).unwrap();
+        assert!(t.p_value > 0.5, "p = {}", t.p_value);
+        assert!((t.effect_size - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn ties_are_handled_with_average_ranks() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [2.0, 2.0, 4.0, 5.0];
+        let t = mann_whitney_u(&x, &y).unwrap();
+        assert!((0.0..=16.0).contains(&t.u));
+        assert!(t.p_value > 0.0 && t.p_value <= 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(mann_whitney_u(&[], &[1.0]).is_none());
+        assert!(mann_whitney_u(&[1.0], &[]).is_none());
+        assert!(mann_whitney_u(&[2.0, 2.0], &[2.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn swapping_samples_negates_z() {
+        let x = [1.0, 5.0, 3.0, 8.0];
+        let y = [2.0, 9.0, 4.0, 7.0];
+        let a = mann_whitney_u(&x, &y).unwrap();
+        let b = mann_whitney_u(&y, &x).unwrap();
+        assert!((a.z + b.z).abs() < 1e-9);
+        assert!((a.effect_size + b.effect_size - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the statistics stack.
+
+use fp_stats::histogram::Histogram;
+use fp_stats::kendall::kendall_tau_b;
+use fp_stats::roc::ScoreSet;
+use fp_stats::summary::{quantile, Summary};
+use proptest::prelude::*;
+
+fn scores() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0..100.0f64, 1..80)
+}
+
+proptest! {
+    // ---- Histogram ---------------------------------------------------------
+
+    #[test]
+    fn histogram_conserves_observations(values in prop::collection::vec(-10.0..110.0f64, 0..200)) {
+        let h = Histogram::from_values(0.0, 100.0, 20, values.iter().copied());
+        let binned: u64 = (0..h.bins()).map(|i| h.count(i)).sum();
+        prop_assert_eq!(binned + h.overflow(), values.len() as u64);
+    }
+
+    #[test]
+    fn histogram_frequencies_are_subprobabilities(values in scores()) {
+        let h = Histogram::from_values(0.0, 100.0, 10, values.iter().copied());
+        let total: f64 = (0..h.bins()).map(|i| h.frequency(i)).sum();
+        prop_assert!(total <= 1.0 + 1e-9);
+    }
+
+    // ---- Summary / quantiles -------------------------------------------------
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(values in scores(), q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&values, lo).unwrap();
+        let b = quantile(&values, hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+        let s = Summary::of(&values).unwrap();
+        prop_assert!(a >= s.min - 1e-9 && b <= s.max + 1e-9);
+    }
+
+    #[test]
+    fn variance_is_nonnegative_and_zero_for_constants(x in 0.0..10.0f64, n in 1usize..50) {
+        let values = vec![x; n];
+        let s = Summary::of(&values).unwrap();
+        prop_assert!(s.variance.abs() < 1e-12);
+        prop_assert_eq!(s.min, s.max);
+    }
+
+    // ---- ScoreSet / FMR / FNMR ------------------------------------------------
+
+    #[test]
+    fn error_rates_are_monotone_in_threshold(genuine in scores(), impostor in scores()) {
+        let set = ScoreSet::new(genuine, impostor);
+        let mut prev_fmr = 1.0;
+        let mut prev_fnmr = 0.0;
+        for i in 0..60 {
+            let t = i as f64 * 2.0 - 5.0;
+            let fmr = set.fmr_at(t);
+            let fnmr = set.fnmr_at(t);
+            prop_assert!(fmr <= prev_fmr + 1e-12);
+            prop_assert!(fnmr >= prev_fnmr - 1e-12);
+            prop_assert!((0.0..=1.0).contains(&fmr));
+            prop_assert!((0.0..=1.0).contains(&fnmr));
+            prev_fmr = fmr;
+            prev_fnmr = fnmr;
+        }
+    }
+
+    #[test]
+    fn threshold_at_fmr_is_always_conservative(
+        genuine in scores(),
+        impostor in scores(),
+        target in 0.0..1.0f64,
+    ) {
+        let set = ScoreSet::new(genuine, impostor);
+        let t = set.threshold_at_fmr(target);
+        prop_assert!(set.fmr_at(t) <= target + 1e-12);
+    }
+
+    #[test]
+    fn eer_balances_error_rates(genuine in scores(), impostor in scores()) {
+        let set = ScoreSet::new(genuine, impostor);
+        let (eer, t) = set.eer();
+        prop_assert!((0.0..=1.0).contains(&eer));
+        // At the reported threshold, the two rates bracket the EER value.
+        let lo = set.fmr_at(t).min(set.fnmr_at(t));
+        let hi = set.fmr_at(t).max(set.fnmr_at(t));
+        prop_assert!(eer >= lo - 1e-9 && eer <= hi + 1e-9);
+    }
+
+    // ---- Kendall ----------------------------------------------------------------
+
+    #[test]
+    fn kendall_tau_stays_in_range(
+        pairs in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), 3..60)
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(t) = kendall_tau_b(&x, &y) {
+            prop_assert!((-1.0..=1.0).contains(&t.tau));
+            prop_assert!(t.p_value >= 0.0 && t.p_value <= 2.0 + 1e-9);
+            prop_assert!(t.log10_p <= 0.5);
+        }
+    }
+
+    #[test]
+    fn kendall_is_invariant_under_monotone_transform(
+        pairs in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), 3..50)
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let y_scaled: Vec<f64> = y.iter().map(|v| v * 3.0 + 7.0).collect();
+        match (kendall_tau_b(&x, &y), kendall_tau_b(&x, &y_scaled)) {
+            (Some(a), Some(b)) => prop_assert!((a.tau - b.tau).abs() < 1e-12),
+            (None, None) => {}
+            _ => prop_assert!(false, "degeneracy changed under affine map"),
+        }
+    }
+
+    #[test]
+    fn kendall_negation_flips_tau(
+        pairs in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), 3..50)
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let neg: Vec<f64> = y.iter().map(|v| -v).collect();
+        if let (Some(a), Some(b)) = (kendall_tau_b(&x, &y), kendall_tau_b(&x, &neg)) {
+            prop_assert!((a.tau + b.tau).abs() < 1e-12);
+        }
+    }
+
+    // ---- Bootstrap -----------------------------------------------------------------
+
+    #[test]
+    fn bootstrap_interval_brackets_estimate(values in scores(), seed in 0u64..1000) {
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        let ci = fp_stats::bootstrap::bootstrap_ci(&values, mean, 100, 0.9, seed).unwrap();
+        prop_assert!(ci.lower <= ci.estimate + 1e-9);
+        prop_assert!(ci.estimate <= ci.upper + 1e-9);
+    }
+}

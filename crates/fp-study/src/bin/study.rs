@@ -1,0 +1,234 @@
+//! The study driver: regenerates every table and figure of Lugini et al.
+//! (DSN 2013) on the synthetic substrate.
+//!
+//! ```sh
+//! study all                         # every experiment at the default scale
+//! study table5 --subjects 494      # one experiment at paper scale
+//! study all --json results.json    # machine-readable output
+//! study devices                    # print the device table (paper Table 1)
+//! study verify --subjects 150      # check the paper's findings hold
+//! study render --seed 7 --json out.pgm   # render a synthetic print (PGM)
+//! ```
+
+use std::process::ExitCode;
+
+use fp_sensor::DEVICES;
+use fp_study::config::StudyConfig;
+use fp_study::experiments;
+use fp_study::scores::StudyData;
+
+struct Args {
+    experiment: String,
+    subjects: Option<usize>,
+    seed: Option<u64>,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let experiment = args.next().unwrap_or_else(|| "all".to_string());
+    let mut parsed = Args {
+        experiment,
+        subjects: None,
+        seed: None,
+        json: None,
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--subjects" => {
+                let v = args.next().ok_or("--subjects needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --subjects: {v}"))?;
+                if n < 2 {
+                    return Err(format!(
+                        "--subjects must be at least 2 (genuine and impostor pairs both need subjects), got {n}"
+                    ));
+                }
+                parsed.subjects = Some(n);
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                parsed.seed = Some(v.parse().map_err(|_| format!("bad --seed: {v}"))?);
+            }
+            "--json" => {
+                parsed.json = Some(args.next().ok_or("--json needs a path")?);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn print_devices() {
+    println!("devices (paper Table 1):");
+    println!(
+        "{:<6}{:<42}{:>8}{:>12}{:>14}",
+        "id", "model", "dpi", "image px", "capture mm"
+    );
+    for d in &DEVICES {
+        println!(
+            "{:<6}{:<42}{:>8}{:>12}{:>14}",
+            d.id.to_string(),
+            d.model,
+            d.resolution_dpi,
+            format!("{}x{}", d.image_px.0, d.image_px.1),
+            format!("{}x{}", d.capture_mm.0, d.capture_mm.1),
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: study <all|devices|{}> [--subjects N] [--seed S] [--json PATH]",
+                experiments::ALL_IDS.join("|"));
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.experiment == "devices" {
+        print_devices();
+        return ExitCode::SUCCESS;
+    }
+
+    if args.experiment == "render" {
+        // Render one synthetic fingerprint with its master minutiae marked,
+        // to the path given via --json (reused as the output path).
+        let seed = args.seed.unwrap_or(7);
+        let path = args.json.clone().unwrap_or_else(|| "fingerprint.pgm".to_string());
+        let master = fp_synth::master::MasterPrint::generate(
+            &fp_core::rng::SeedTree::new(seed),
+            fp_core::ids::Digit::Index,
+            1.0,
+        );
+        let window =
+            fp_core::geometry::Rect::centred(fp_core::geometry::Point::ORIGIN, 18.0, 22.0)
+                .expect("valid window");
+        let config = fp_image::render::RenderConfig::default();
+        eprintln!(
+            "rendering {} print (seed {seed}) at 500 dpi ...",
+            master.class()
+        );
+        let mut image = fp_image::render::render_master(
+            &master,
+            window,
+            &config,
+            &fp_core::rng::SeedTree::new(seed ^ 0x9E37),
+        );
+        let template = fp_core::template::Template::builder(500.0)
+            .capture_window(window)
+            .extend(
+                master
+                    .minutiae()
+                    .iter()
+                    .filter(|m| window.contains(&m.pos))
+                    .copied(),
+            )
+            .build()
+            .expect("valid template");
+        fp_image::render::overlay_minutiae(&mut image, &template, window, 500.0);
+        let file = match std::fs::File::create(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = fp_image::pgm::write_pgm(&image, file) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {path}: {}x{} px, {} master minutiae marked",
+            image.width(),
+            image.height(),
+            template.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if args.experiment == "verify" {
+        let mut builder = StudyConfig::builder();
+        if let Some(s) = args.subjects {
+            builder = builder.subjects(s);
+        }
+        if let Some(s) = args.seed {
+            builder = builder.seed(s);
+        }
+        let config = builder.build();
+        eprintln!(
+            "verifying paper findings on {} subjects (seed {}) ...",
+            config.subjects, config.seed
+        );
+        let data = StudyData::generate(&config);
+        let findings = fp_study::findings::check_all(&data);
+        let (report, all_hold) = fp_study::findings::render(&findings);
+        println!("{report}");
+        if let Some(path) = args.json {
+            let payload = serde_json::json!({"config": config, "findings": findings});
+            if let Err(e) = std::fs::write(&path, serde_json::to_string_pretty(&payload).expect("serializable")) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return if all_hold {
+            println!("all findings hold");
+            ExitCode::SUCCESS
+        } else {
+            println!("SOME FINDINGS FAILED (small cohorts are noisy; try --subjects 150+)");
+            ExitCode::FAILURE
+        };
+    }
+
+    let mut builder = StudyConfig::builder();
+    if let Some(s) = args.subjects {
+        builder = builder.subjects(s);
+    }
+    if let Some(s) = args.seed {
+        builder = builder.seed(s);
+    }
+    let config = builder.build();
+    eprintln!(
+        "generating study data: {} subjects, {} impostor pairs per cell, seed {} ...",
+        config.subjects, config.impostors_per_cell, config.seed
+    );
+    let start = std::time::Instant::now();
+    let data = StudyData::generate(&config);
+    eprintln!("score matrices ready in {:.1?}", start.elapsed());
+
+    let reports = if args.experiment == "all" {
+        experiments::run_all(&data)
+    } else {
+        match experiments::run(&args.experiment, &data) {
+            Some(r) => vec![r],
+            None => {
+                eprintln!(
+                    "unknown experiment `{}` (known: all, devices, {})",
+                    args.experiment,
+                    experiments::ALL_IDS.join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    for report in &reports {
+        println!("{}", report.render());
+    }
+
+    if let Some(path) = args.json {
+        let payload = serde_json::json!({
+            "config": config,
+            "reports": reports,
+        });
+        match std::fs::write(&path, serde_json::to_string_pretty(&payload).expect("serializable")) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

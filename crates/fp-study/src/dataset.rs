@@ -1,0 +1,197 @@
+//! The study dataset: every impression the protocol collects, with quality
+//! levels.
+
+use fp_core::ids::{DeviceId, Finger, SessionId, SubjectId};
+use fp_core::Matcher;
+use fp_quality::{NfiqLevel, QualityAssessor};
+use fp_sensor::{CaptureProtocol, Impression};
+use fp_synth::population::{Population, PopulationConfig, Subject};
+
+use crate::config::StudyConfig;
+use crate::parallel::parallel_map;
+
+/// One subject's captures on one device: gallery (session 0) and probe
+/// (session 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceCaptures {
+    /// The enrollment impression (session 0).
+    pub gallery: Impression,
+    /// The verification impression (session 1).
+    pub probe: Impression,
+    /// NFIQ level of the gallery impression.
+    pub gallery_quality: NfiqLevel,
+    /// NFIQ level of the probe impression.
+    pub probe_quality: NfiqLevel,
+}
+
+/// The complete captured dataset of a study run.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    config: StudyConfig,
+    population: Population,
+    /// `captures[subject][device]`.
+    captures: Vec<Vec<DeviceCaptures>>,
+}
+
+impl Dataset {
+    /// Captures the full study dataset (parallel across subjects;
+    /// deterministic in `config.seed`).
+    pub fn generate(config: &StudyConfig) -> Dataset {
+        let population =
+            Population::generate(&PopulationConfig::new(config.seed, config.subjects));
+        let protocol = CaptureProtocol::new();
+        let assessor = QualityAssessor::default();
+        let captures = parallel_map(population.len(), |i| {
+            let subject = &population.subjects()[i];
+            DeviceId::ALL
+                .iter()
+                .map(|&device| {
+                    let gallery =
+                        protocol.capture(subject, Finger::RIGHT_INDEX, device, SessionId(0));
+                    let probe =
+                        protocol.capture(subject, Finger::RIGHT_INDEX, device, SessionId(1));
+                    let gallery_quality = assessor.assess(&gallery);
+                    let probe_quality = assessor.assess(&probe);
+                    DeviceCaptures {
+                        gallery,
+                        probe,
+                        gallery_quality,
+                        probe_quality,
+                    }
+                })
+                .collect()
+        });
+        Dataset {
+            config: *config,
+            population,
+            captures,
+        }
+    }
+
+    /// The study configuration.
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
+    /// The generated cohort.
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// Number of subjects.
+    pub fn len(&self) -> usize {
+        self.captures.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.captures.is_empty()
+    }
+
+    /// The captures of `subject` on `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the subject or device index is out of range.
+    pub fn captures(&self, subject: SubjectId, device: DeviceId) -> &DeviceCaptures {
+        &self.captures[subject.0 as usize][device.0 as usize]
+    }
+
+    /// Iterates `(subject, device, captures)` over the dataset.
+    pub fn iter(&self) -> impl Iterator<Item = (SubjectId, DeviceId, &DeviceCaptures)> {
+        self.captures.iter().enumerate().flat_map(|(s, row)| {
+            row.iter()
+                .enumerate()
+                .map(move |(d, c)| (SubjectId(s as u32), DeviceId(d as u8), c))
+        })
+    }
+
+    /// The subject record behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is out of range.
+    pub fn subject(&self, id: SubjectId) -> &Subject {
+        &self.population.subjects()[id.0 as usize]
+    }
+
+    /// Convenience: the calibrated genuine match score of one subject for a
+    /// (gallery device, probe device) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the subject or device index is out of range.
+    pub fn genuine_score<M: Matcher>(
+        &self,
+        matcher: &M,
+        subject: SubjectId,
+        gallery_device: DeviceId,
+        probe_device: DeviceId,
+    ) -> fp_core::MatchScore {
+        let gallery = &self.captures(subject, gallery_device).gallery;
+        let probe = &self.captures(subject, probe_device).probe;
+        self.config
+            .calibration
+            .apply(matcher.compare(gallery.template(), probe.template()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_match::PairTableMatcher;
+
+    fn tiny() -> Dataset {
+        Dataset::generate(&StudyConfig::builder().subjects(6).seed(99).build())
+    }
+
+    #[test]
+    fn dataset_has_all_cells() {
+        let d = tiny();
+        assert_eq!(d.len(), 6);
+        for s in 0..6u32 {
+            for dev in DeviceId::ALL {
+                let c = d.captures(SubjectId(s), dev);
+                assert_eq!(c.gallery.device(), dev);
+                assert_eq!(c.probe.session(), SessionId(1));
+            }
+        }
+        assert_eq!(d.iter().count(), 30);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        for (s, dev, c) in a.iter() {
+            assert_eq!(c, b.captures(s, dev));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Dataset::generate(&StudyConfig::builder().subjects(3).seed(1).build());
+        let b = Dataset::generate(&StudyConfig::builder().subjects(3).seed(2).build());
+        assert_ne!(
+            a.captures(SubjectId(0), DeviceId(0)).gallery,
+            b.captures(SubjectId(0), DeviceId(0)).gallery
+        );
+    }
+
+    #[test]
+    fn genuine_score_is_higher_same_device_on_average() {
+        let d = Dataset::generate(&StudyConfig::builder().subjects(10).seed(5).build());
+        let matcher = PairTableMatcher::default();
+        let mut same = 0.0;
+        let mut cross = 0.0;
+        for s in 0..10u32 {
+            same += d
+                .genuine_score(&matcher, SubjectId(s), DeviceId(0), DeviceId(0))
+                .value();
+            cross += d
+                .genuine_score(&matcher, SubjectId(s), DeviceId(0), DeviceId(4))
+                .value();
+        }
+        assert!(same > cross, "same {same} vs cross {cross}");
+    }
+}

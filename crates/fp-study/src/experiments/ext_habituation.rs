@@ -1,0 +1,98 @@
+//! **Extension: user habituation** (paper §V, future work).
+//!
+//! "Do the quality of the images obtained improve when we compare, say, the
+//! first sample obtained from a participant with the last one?" The capture
+//! protocol models habituation as experience-dependent pressure control, so
+//! this report measures quality by protocol position: session 0 vs session
+//! 1 per device, and the first device in the protocol vs the last.
+
+use fp_core::ids::DeviceId;
+use serde_json::json;
+
+use crate::report::Report;
+use crate::scores::StudyData;
+
+/// Runs the experiment.
+pub fn run(data: &StudyData) -> Report {
+    let n = data.dataset.len() as f64;
+    let mut rows = Vec::new();
+    for d in DeviceId::ALL {
+        let (mut q0, mut q1) = (0.0, 0.0);
+        for s in 0..data.dataset.len() {
+            let caps = data
+                .dataset
+                .captures(fp_core::ids::SubjectId(s as u32), d);
+            q0 += caps.gallery_quality.value() as f64;
+            q1 += caps.probe_quality.value() as f64;
+        }
+        rows.push((d, q0 / n, q1 / n));
+    }
+
+    let mut body = format!(
+        "{:<8}{:>20}{:>20}\n",
+        "device", "mean NFIQ session 0", "mean NFIQ session 1"
+    );
+    for (d, q0, q1) in &rows {
+        body.push_str(&format!("{d:<8}{q0:>20.3}{q1:>20.3}\n"));
+    }
+    let first = rows[0].1; // D0 session 0: the subject's very first capture
+    let last_live = rows[3].2; // D3 session 1: the last live-scan capture
+    body.push_str(&format!(
+        "\nfirst capture of the protocol (D0 s0): mean NFIQ {first:.3}\n\
+         last live-scan capture (D3 s1):        mean NFIQ {last_live:.3}\n\
+         (lower is better; the habituation model pulls presentation pressure\n\
+          toward ideal as the subject gains experience, net of device bias)\n",
+    ));
+
+    Report::new(
+        "ext-habituation",
+        "Image quality by protocol position (paper §V future work)",
+        body,
+        json!({
+            "rows": rows
+                .iter()
+                .map(|(d, q0, q1)| json!({
+                    "device": d.to_string(), "session0": q0, "session1": q1
+                }))
+                .collect::<Vec<_>>(),
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testdata;
+
+    #[test]
+    fn all_devices_reported() {
+        let r = run(testdata::small());
+        assert_eq!(r.values["rows"].as_array().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn mean_nfiq_is_in_level_range() {
+        let r = run(testdata::small());
+        for row in r.values["rows"].as_array().unwrap() {
+            for key in ["session0", "session1"] {
+                let v = row[key].as_f64().unwrap();
+                assert!((1.0..=5.0).contains(&v), "{key} = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn habituation_does_not_hurt_within_device() {
+        // Session 1 benefits from more experience than session 0 on the
+        // same device; allow sampling noise but not systematic regression.
+        let r = run(testdata::small());
+        let rows = r.values["rows"].as_array().unwrap();
+        let regression = rows
+            .iter()
+            .filter(|row| {
+                row["session1"].as_f64().unwrap() > row["session0"].as_f64().unwrap() + 0.4
+            })
+            .count();
+        assert!(regression <= 1, "{regression} devices regressed sharply");
+    }
+}

@@ -1,0 +1,138 @@
+//! **Extension: closed-set identification (1:N search)** — the operational
+//! mode that motivates the paper's US-VISIT framing.
+//!
+//! Every subject is enrolled on the gallery device; each probe is searched
+//! against the *whole* gallery and the true identity's rank is recorded.
+//! Interoperability hits identification harder than verification: a genuine
+//! score only needs to clear the threshold to verify, but it must beat
+//! every impostor in the database to identify at rank 1.
+
+use fp_core::ids::{DeviceId, SubjectId};
+use fp_match::{PairTableMatcher, PreparableMatcher};
+use fp_stats::cmc::{genuine_rank, CmcCurve};
+use serde_json::json;
+
+use crate::parallel::parallel_map;
+use crate::report::Report;
+use crate::scores::StudyData;
+
+/// Gallery size cap: identification is O(gallery x probes), so very large
+/// cohorts are subsampled (the rank statistics converge long before 150).
+pub const MAX_GALLERY: usize = 150;
+
+/// Runs the experiment.
+pub fn run(data: &StudyData) -> Report {
+    let n = data.dataset.len().min(MAX_GALLERY);
+    let matcher = PairTableMatcher::default();
+    let gallery_device = DeviceId(0);
+
+    // Prepare the enrolled gallery once (D0, session 0).
+    let gallery: Vec<_> = parallel_map(n, |s| {
+        matcher.prepare(
+            data.dataset
+                .captures(SubjectId(s as u32), gallery_device)
+                .gallery
+                .template(),
+        )
+    });
+
+    let mut rows = Vec::new();
+    for probe_device in DeviceId::ALL {
+        // Rank of the true identity for every probe (parallel over probes).
+        let ranks: Vec<usize> = parallel_map(n, |s| {
+            let probe = matcher.prepare(
+                data.dataset
+                    .captures(SubjectId(s as u32), probe_device)
+                    .probe
+                    .template(),
+            );
+            let genuine = matcher.compare_prepared(&gallery[s], &probe).value();
+            let impostors: Vec<f64> = (0..n)
+                .filter(|&j| j != s)
+                .map(|j| matcher.compare_prepared(&gallery[j], &probe).value())
+                .collect();
+            genuine_rank(genuine, &impostors)
+        });
+        let curve = CmcCurve::from_ranks(ranks, 10);
+        rows.push((probe_device, curve));
+    }
+
+    let mut body = format!(
+        "closed-set identification: gallery = {n} subjects enrolled on D0\n\n\
+         {:<10}{:>10}{:>10}{:>10}\n",
+        "probe", "rank-1", "rank-5", "rank-10"
+    );
+    for (device, curve) in &rows {
+        body.push_str(&format!(
+            "{:<10}{:>10.3}{:>10.3}{:>10.3}\n",
+            device.to_string(),
+            curve.rank1(),
+            curve.rate_at_rank(5),
+            curve.rate_at_rank(10),
+        ));
+    }
+    let same_rank1 = rows[0].1.rank1();
+    let worst = rows
+        .iter()
+        .min_by(|a, b| a.1.rank1().partial_cmp(&b.1.rank1()).expect("finite rates"))
+        .expect("non-empty");
+    body.push_str(&format!(
+        "\nsame-device rank-1: {same_rank1:.3}; worst cross-device: {} at {:.3}\n\
+         identification amplifies the interoperability penalty: a probe must\n\
+         out-score the entire enrolled database, not just clear a threshold\n",
+        worst.0,
+        worst.1.rank1(),
+    ));
+
+    Report::new(
+        "ext-identification",
+        "Closed-set identification across devices (US-VISIT scenario)",
+        body,
+        json!({
+            "gallery_device": "D0",
+            "gallery_size": n,
+            "rows": rows
+                .iter()
+                .map(|(d, c)| json!({
+                    "probe": d.to_string(),
+                    "rank1": c.rank1(),
+                    "rank5": c.rate_at_rank(5),
+                    "rank10": c.rate_at_rank(10),
+                }))
+                .collect::<Vec<_>>(),
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testdata;
+
+    #[test]
+    fn all_probe_devices_are_evaluated() {
+        let r = run(testdata::small());
+        assert_eq!(r.values["rows"].as_array().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn rates_are_monotone_in_rank() {
+        let r = run(testdata::small());
+        for row in r.values["rows"].as_array().unwrap() {
+            let r1 = row["rank1"].as_f64().unwrap();
+            let r5 = row["rank5"].as_f64().unwrap();
+            let r10 = row["rank10"].as_f64().unwrap();
+            assert!(r1 <= r5 + 1e-12 && r5 <= r10 + 1e-12, "{row}");
+        }
+    }
+
+    #[test]
+    fn same_device_identification_works_at_small_scale() {
+        let r = run(testdata::small());
+        let same = &r.values["rows"][0];
+        assert!(
+            same["rank1"].as_f64().unwrap() > 0.7,
+            "same-device rank-1 {same}"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! **Extension: probabilistic FNM prediction** (paper §V, future work).
+//!
+//! "What is the probability that I will have a False Non-Match pertaining
+//! to a user enrolled using Device X and verified using Device Y?" — the
+//! point estimate is the cell's FNMR at the operating threshold; this
+//! report attaches percentile-bootstrap confidence intervals so the answer
+//! is usable as a prediction.
+
+use fp_core::ids::DeviceId;
+use fp_stats::bootstrap::bootstrap_ci;
+use serde_json::json;
+
+use crate::report::{render_device_matrix, Report};
+use crate::scores::StudyData;
+
+/// Runs the experiment.
+pub fn run(data: &StudyData) -> Report {
+    let fmr = data.dataset.config().table5_fmr;
+    let mut estimates = vec![vec![0.0; 5]; 5];
+    let mut lowers = vec![vec![0.0; 5]; 5];
+    let mut uppers = vec![vec![0.0; 5]; 5];
+    for g in 0..5u8 {
+        for p in 0..5u8 {
+            let set = data.scores.score_set(DeviceId(g), DeviceId(p));
+            let threshold = set.threshold_at_fmr(fmr);
+            let genuine = data.scores.genuine_values(DeviceId(g), DeviceId(p));
+            let fnm_rate = |xs: &[f64]| {
+                xs.iter().filter(|&&s| s < threshold).count() as f64 / xs.len().max(1) as f64
+            };
+            let ci = bootstrap_ci(
+                &genuine,
+                fnm_rate,
+                400,
+                0.95,
+                data.dataset.config().seed ^ ((g as u64) << 8 | p as u64),
+            )
+            .expect("non-empty genuine cell");
+            estimates[g as usize][p as usize] = ci.estimate;
+            lowers[g as usize][p as usize] = ci.lower;
+            uppers[g as usize][p as usize] = ci.upper;
+        }
+    }
+
+    let mut body = render_device_matrix(
+        &format!("P(false non-match) at FMR = {:.4}% (point estimate):", fmr * 100.0),
+        |g, p| format!("{:.2e}", estimates[g][p]),
+    );
+    body.push_str(&render_device_matrix("\n95% CI upper bound:", |g, p| {
+        format!("{:.2e}", uppers[g][p])
+    }));
+    body.push_str(
+        "\nreading: enroll on the row device, verify on the column device; the upper\n\
+         bound is what a deployment should budget for\n",
+    );
+
+    Report::new(
+        "ext-prediction",
+        "Predicted FNM probability with bootstrap CIs (paper §V future work)",
+        body,
+        json!({
+            "fmr": fmr,
+            "estimate": estimates,
+            "ci_lower": lowers,
+            "ci_upper": uppers,
+            "confidence": 0.95,
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testdata;
+
+    #[test]
+    fn intervals_bracket_estimates() {
+        let r = run(testdata::small());
+        for g in 0..5 {
+            for p in 0..5 {
+                let e = r.values["estimate"][g][p].as_f64().unwrap();
+                let lo = r.values["ci_lower"][g][p].as_f64().unwrap();
+                let hi = r.values["ci_upper"][g][p].as_f64().unwrap();
+                assert!(lo <= e && e <= hi, "cell ({g},{p}): [{lo}, {hi}] vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        let r = run(testdata::small());
+        for g in 0..5 {
+            for p in 0..5 {
+                let hi = r.values["ci_upper"][g][p].as_f64().unwrap();
+                assert!((0.0..=1.0).contains(&hi));
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! **Figure 1** — age and ethnicity of the participants.
+//!
+//! The paper reports 494 randomly selected participants, 53% aged 20–29 and
+//! 57.2% Caucasian. Our synthetic cohort is drawn from exactly those
+//! marginals, so this report is the demographic audit of the run.
+
+use serde_json::json;
+
+use crate::report::{render_bars, Report};
+use crate::scores::StudyData;
+
+/// Runs the experiment.
+pub fn run(data: &StudyData) -> Report {
+    let pop = data.dataset.population();
+    let age = pop.age_histogram();
+    let ethnicity = pop.ethnicity_histogram();
+    let n = pop.len() as f64;
+
+    let twenties = age
+        .iter()
+        .find(|(label, _)| *label == "20-29")
+        .map(|(_, c)| *c)
+        .unwrap_or(0) as f64
+        / n;
+    let caucasian = ethnicity
+        .iter()
+        .find(|(label, _)| *label == "Caucasian")
+        .map(|(_, c)| *c)
+        .unwrap_or(0) as f64
+        / n;
+
+    let mut body = format!("participants: {}\n\nage groups:\n", pop.len());
+    body.push_str(&render_bars(&age, 40));
+    body.push_str("\nethnicity groups:\n");
+    body.push_str(&render_bars(&ethnicity, 40));
+    body.push_str(&format!(
+        "\nages 20-29: {:.1}% (paper: 53%)\nCaucasian:  {:.1}% (paper: 57.2%)\n",
+        twenties * 100.0,
+        caucasian * 100.0
+    ));
+
+    Report::new(
+        "fig1",
+        "Demographics of the cohort (paper Figure 1)",
+        body,
+        json!({
+            "subjects": pop.len(),
+            "age": age.iter().map(|(l, c)| json!({"group": l, "count": c})).collect::<Vec<_>>(),
+            "ethnicity": ethnicity.iter().map(|(l, c)| json!({"group": l, "count": c})).collect::<Vec<_>>(),
+            "fraction_twenties": twenties,
+            "fraction_caucasian": caucasian,
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testdata;
+
+    #[test]
+    fn report_counts_cover_cohort() {
+        let r = run(testdata::small());
+        let total: u64 = r.values["age"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v["count"].as_u64().unwrap())
+            .sum();
+        assert_eq!(total, r.values["subjects"].as_u64().unwrap());
+    }
+
+    #[test]
+    fn fractions_are_probabilities() {
+        let r = run(testdata::small());
+        let t = r.values["fraction_twenties"].as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&t));
+    }
+}

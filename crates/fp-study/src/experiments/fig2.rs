@@ -1,0 +1,91 @@
+//! **Figure 2/3 (same-device panel)** — DMG vs DMI score distributions for
+//! the Cross Match Guardian R2 (D0).
+//!
+//! The paper's landmark observations: no impostor score exceeds 7, a few
+//! genuine scores fall below 7, and the genuine mass sits far to the right.
+//! (The published Figure 3 caption reports the DMI bin counts for score
+//! ranges 0–1, 1–2 and 2–3; we report the same bins.)
+
+use fp_core::ids::DeviceId;
+use fp_stats::histogram::Histogram;
+use serde_json::json;
+
+use crate::report::Report;
+use crate::scores::StudyData;
+
+/// Runs the experiment.
+pub fn run(data: &StudyData) -> Report {
+    let device = DeviceId(0);
+    let genuine = data.scores.genuine_values(device, device);
+    let impostor = data.scores.impostor_cell(device, device);
+
+    // Unit-width bins (the paper's captions quote per-unit bin counts),
+    // with the range capped at 60 so extreme top scores land in the
+    // overflow bin instead of growing the rendered report without bound.
+    let hi = (genuine.iter().cloned().fold(10.0, f64::max).ceil() + 1.0).min(60.0);
+    let bins = hi as usize;
+    let g_hist = Histogram::from_values(0.0, hi, bins, genuine.iter().copied());
+    let i_hist = Histogram::from_values(0.0, hi, bins, impostor.iter().copied());
+
+    let impostor_max = impostor.iter().cloned().fold(0.0, f64::max);
+    let genuine_below_7 = genuine.iter().filter(|&&s| s < 7.0).count();
+
+    let mut body = String::from("DMG (genuine, same device D0):\n");
+    body.push_str(&g_hist.render_ascii(40));
+    body.push_str("\nDMI (impostor, same device D0):\n");
+    body.push_str(&i_hist.render_ascii(40));
+    body.push_str(&format!(
+        "\nDMI counts: 0-1: {}, 1-2: {}, 2-3: {} (paper caption: 18,721 / 5,121 / 296)\n\
+         impostor max: {impostor_max:.2} (paper: never above 7)\n\
+         genuine below 7: {genuine_below_7} of {}\n",
+        i_hist.count(0),
+        i_hist.count(1),
+        i_hist.count(2),
+        genuine.len(),
+    ));
+
+    Report::new(
+        "fig2",
+        "DMG vs DMI score distributions, Cross Match Guardian R2 (paper Figures 2-3)",
+        body,
+        json!({
+            "device": "D0",
+            "genuine_histogram": (0..g_hist.bins()).map(|i| g_hist.count(i)).collect::<Vec<_>>(),
+            "impostor_histogram": (0..i_hist.bins()).map(|i| i_hist.count(i)).collect::<Vec<_>>(),
+            "impostor_max": impostor_max,
+            "genuine_below_7": genuine_below_7,
+            "genuine_count": genuine.len(),
+            "impostor_count": impostor.len(),
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testdata;
+
+    #[test]
+    fn impostor_mass_sits_left_of_genuine_mass() {
+        let data = testdata::small();
+        let r = run(data);
+        let imax = r.values["impostor_max"].as_f64().unwrap();
+        let genuine = data.scores.genuine_values(DeviceId(0), DeviceId(0));
+        let gmean = genuine.iter().sum::<f64>() / genuine.len() as f64;
+        assert!(gmean > imax, "genuine mean {gmean} below impostor max {imax}");
+    }
+
+    #[test]
+    fn histograms_conserve_counts() {
+        let data = testdata::small();
+        let r = run(data);
+        let g_total: u64 = r.values["genuine_histogram"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_u64().unwrap())
+            .sum();
+        // Overflow bin may hold the rest; total binned <= count.
+        assert!(g_total <= r.values["genuine_count"].as_u64().unwrap());
+    }
+}

@@ -1,0 +1,154 @@
+//! **Figure 5** — low genuine scores (< 10) by (gallery NFIQ, probe NFIQ).
+//!
+//! Panel (a) pools the same-device genuine comparisons (DMG), panel (b) the
+//! cross-device ones (DDMG). The paper's reading: with a single device, low
+//! scores only appear when quality is poor (one side at NFIQ 4–5); with
+//! diverse devices, low scores already appear at moderate quality — both
+//! sides must be NFIQ 1–2 to suppress them, i.e. interoperability makes
+//! quality control *more* important.
+
+use fp_core::ids::DeviceId;
+use serde_json::json;
+
+use crate::report::Report;
+use crate::scores::{GenuineScore, StudyData};
+
+/// The score below which a genuine comparison counts as "low" (the paper's
+/// Figure 5 threshold on the commercial score scale).
+pub const LOW_SCORE: f64 = 10.0;
+
+/// Builds the 5x5 (gallery quality, probe quality) grid of low-score counts
+/// from an iterator of genuine scores.
+pub fn quality_grid<'a, I: IntoIterator<Item = &'a GenuineScore>>(scores: I) -> [[u64; 5]; 5] {
+    let mut grid = [[0u64; 5]; 5];
+    for s in scores {
+        if s.score < LOW_SCORE {
+            let g = (s.gallery_quality.value() - 1) as usize;
+            let p = (s.probe_quality.value() - 1) as usize;
+            grid[g][p] += 1;
+        }
+    }
+    grid
+}
+
+fn render_grid(grid: &[[u64; 5]; 5]) -> String {
+    let mut out = String::from("   gallery\\probe   q1    q2    q3    q4    q5\n");
+    for (g, row) in grid.iter().enumerate() {
+        out.push_str(&format!("   q{}            ", g + 1));
+        for c in row {
+            out.push_str(&format!("{c:>6}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Runs the experiment.
+pub fn run(data: &StudyData) -> Report {
+    let mut dmg: Vec<&GenuineScore> = Vec::new();
+    let mut ddmg: Vec<&GenuineScore> = Vec::new();
+    for g in 0..5u8 {
+        for p in 0..5u8 {
+            let cell = data.scores.genuine_cell(DeviceId(g), DeviceId(p));
+            if g == p {
+                if g != 4 {
+                    dmg.extend(cell); // DMG excludes the ink card (paper §III)
+                }
+            } else {
+                ddmg.extend(cell);
+            }
+        }
+    }
+    let dmg_total = dmg.len();
+    let ddmg_total = ddmg.len();
+    let grid_a = quality_grid(dmg);
+    let grid_b = quality_grid(ddmg);
+
+    let sum = |g: &[[u64; 5]; 5]| g.iter().flatten().sum::<u64>();
+    let low_a = sum(&grid_a);
+    let low_b = sum(&grid_b);
+    // Low scores among good-quality pairs (both sides NFIQ 1-2).
+    let good_a: u64 = (0..2).flat_map(|g| (0..2).map(move |p| grid_a[g][p])).sum();
+    let good_b: u64 = (0..2).flat_map(|g| (0..2).map(move |p| grid_b[g][p])).sum();
+
+    let mut body = String::from("(a) DMG — same device, low genuine scores (< 10):\n");
+    body.push_str(&render_grid(&grid_a));
+    body.push_str("\n(b) DDMG — diverse devices, low genuine scores (< 10):\n");
+    body.push_str(&render_grid(&grid_b));
+    body.push_str(&format!(
+        "\nlow-score rate: same-device {:.2}% ({low_a}/{dmg_total}), \
+         diverse {:.2}% ({low_b}/{ddmg_total})\n\
+         low scores with both sides NFIQ 1-2: same-device {good_a}, diverse {good_b}\n",
+        100.0 * low_a as f64 / dmg_total.max(1) as f64,
+        100.0 * low_b as f64 / ddmg_total.max(1) as f64,
+    ));
+
+    Report::new(
+        "fig5",
+        "Low genuine scores by quality pair, DMG vs DDMG (paper Figure 5)",
+        body,
+        json!({
+            "low_threshold": LOW_SCORE,
+            "dmg_grid": grid_a,
+            "ddmg_grid": grid_b,
+            "dmg_low": low_a,
+            "ddmg_low": low_b,
+            "dmg_total": dmg_total,
+            "ddmg_total": ddmg_total,
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testdata;
+
+    #[test]
+    fn diverse_devices_have_higher_low_score_rate() {
+        let r = run(testdata::small());
+        let rate_a = r.values["dmg_low"].as_u64().unwrap() as f64
+            / r.values["dmg_total"].as_u64().unwrap() as f64;
+        let rate_b = r.values["ddmg_low"].as_u64().unwrap() as f64
+            / r.values["ddmg_total"].as_u64().unwrap() as f64;
+        assert!(
+            rate_b >= rate_a,
+            "diverse low-score rate {rate_b} below same-device {rate_a}"
+        );
+    }
+
+    #[test]
+    fn grid_counts_match_totals() {
+        let r = run(testdata::small());
+        let grid = r.values["dmg_grid"].as_array().unwrap();
+        let total: u64 = grid
+            .iter()
+            .flat_map(|row| row.as_array().unwrap().iter())
+            .map(|v| v.as_u64().unwrap())
+            .sum();
+        assert_eq!(total, r.values["dmg_low"].as_u64().unwrap());
+    }
+
+    #[test]
+    fn quality_grid_only_counts_low_scores() {
+        use fp_core::ids::SubjectId;
+        use fp_quality::NfiqLevel;
+        let scores = [
+            GenuineScore {
+                subject: SubjectId(0),
+                score: 5.0,
+                gallery_quality: NfiqLevel::Excellent,
+                probe_quality: NfiqLevel::Poor,
+            },
+            GenuineScore {
+                subject: SubjectId(1),
+                score: 50.0,
+                gallery_quality: NfiqLevel::Poor,
+                probe_quality: NfiqLevel::Poor,
+            },
+        ];
+        let grid = quality_grid(scores.iter());
+        assert_eq!(grid[0][4], 1);
+        assert_eq!(grid[4][4], 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! **Table 3** — score-set sizes per matching scenario.
+//!
+//! At the paper's scale (494 subjects, 24,171 impostor pairs per cell) the
+//! counts are exactly the paper's: DMG 1,976 / DDMG 9,880 / DMI 120,855 /
+//! DDMI 483,420.
+
+use serde_json::json;
+
+use crate::config::{PAPER_IMPOSTORS_PER_CELL, PAPER_SUBJECTS};
+use crate::report::Report;
+use crate::scores::StudyData;
+
+/// Runs the experiment.
+pub fn run(data: &StudyData) -> Report {
+    let s = &data.scores;
+    let measured = [
+        ("DMG", s.dmg().len(), 1_976usize),
+        ("DDMG", s.ddmg().len(), 9_880),
+        ("DMI", s.dmi().len(), 120_855),
+        ("DDMI", s.ddmi().len(), 483_420),
+    ];
+    let config = data.dataset.config();
+    let at_paper_scale = config.subjects == PAPER_SUBJECTS
+        && config.impostors_per_cell == PAPER_IMPOSTORS_PER_CELL;
+
+    let mut body = format!(
+        "{:<8}{:>12}{:>16}\n",
+        "set", "this run", "paper (494 subj)"
+    );
+    for (name, measured_n, paper_n) in measured {
+        body.push_str(&format!("{name:<8}{measured_n:>12}{paper_n:>16}\n"));
+    }
+    body.push_str(&format!(
+        "\nrun scale: {} subjects, {} impostor pairs/cell{}\n",
+        config.subjects,
+        config.impostors_per_cell,
+        if at_paper_scale {
+            " (paper scale: counts must match exactly)"
+        } else {
+            ""
+        }
+    ));
+
+    Report::new(
+        "table3",
+        "Score-set sizes per matching scenario (paper Table 3)",
+        body,
+        json!({
+            "dmg": s.dmg().len(),
+            "ddmg": s.ddmg().len(),
+            "dmi": s.dmi().len(),
+            "ddmi": s.ddmi().len(),
+            "paper": {"dmg": 1976, "ddmg": 9880, "dmi": 120855, "ddmi": 483420},
+            "at_paper_scale": at_paper_scale,
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testdata;
+
+    #[test]
+    fn counts_follow_the_design() {
+        let data = testdata::small();
+        let r = run(data);
+        let subjects = data.dataset.len() as u64;
+        assert_eq!(r.values["dmg"].as_u64().unwrap(), subjects * 4);
+        assert_eq!(r.values["ddmg"].as_u64().unwrap(), subjects * 20);
+        let per_cell = data.dataset.config().impostors_per_cell as u64;
+        assert_eq!(r.values["dmi"].as_u64().unwrap(), per_cell * 5);
+        assert_eq!(r.values["ddmi"].as_u64().unwrap(), per_cell * 20);
+    }
+
+    #[test]
+    fn ddmi_is_four_times_dmi_like_the_paper() {
+        let r = run(testdata::small());
+        assert_eq!(
+            r.values["ddmi"].as_u64().unwrap(),
+            4 * r.values["dmi"].as_u64().unwrap()
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! **Table 5** — the interoperability FNMR matrix at fixed FMR = 0.01%.
+//!
+//! Rows are the enrollment (gallery) device, columns the verification
+//! (probe) device. The paper's shape, which this run must reproduce:
+//!
+//! * diagonal (intra-device) FNMR is generally the row minimum…
+//! * …except {D1,D1} (noisy optics: two noisy captures match worse than a
+//!   noisy capture against a clean one) and {D3,D3} (small window: two D3
+//!   captures crop different parts of the finger);
+//! * the D4 row/column (ink cards) is the worst off-diagonal region, while
+//!   {D4,D4} is the *best* diagonal (operator-guided, large-area rolled
+//!   impressions are mutually consistent).
+
+use fp_core::ids::DeviceId;
+use serde_json::json;
+
+use crate::report::{render_device_matrix, Report};
+use crate::scores::StudyData;
+
+/// Computes the FNMR matrix at the configured FMR.
+pub fn fnmr_matrix(data: &StudyData, fmr: f64) -> Vec<Vec<f64>> {
+    (0..5u8)
+        .map(|g| {
+            (0..5u8)
+                .map(|p| {
+                    data.scores
+                        .score_set(DeviceId(g), DeviceId(p))
+                        .fnmr_at_fmr(fmr)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the experiment.
+pub fn run(data: &StudyData) -> Report {
+    let fmr = data.dataset.config().table5_fmr;
+    let matrix = fnmr_matrix(data, fmr);
+
+    let mut body = render_device_matrix(
+        &format!("FNMR at fixed FMR = {:.4}% (rows: enroll, cols: verify):", fmr * 100.0),
+        |g, p| format!("{:.2e}", matrix[g][p]),
+    );
+
+    // Shape diagnostics.
+    let diag_is_min: Vec<bool> = (0..5)
+        .map(|g| (0..5).all(|p| matrix[g][g] <= matrix[g][p] + 1e-12))
+        .collect();
+    let best_diag = (0..5)
+        .min_by(|&a, &b| matrix[a][a].partial_cmp(&matrix[b][b]).expect("finite"))
+        .expect("non-empty");
+    let mean_offdiag_by_probe: Vec<f64> = (0..5)
+        .map(|p| {
+            let xs: Vec<f64> = (0..5).filter(|&g| g != p).map(|g| matrix[g][p]).collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        })
+        .collect();
+    let worst_probe = (0..5)
+        .max_by(|&a, &b| {
+            mean_offdiag_by_probe[a]
+                .partial_cmp(&mean_offdiag_by_probe[b])
+                .expect("finite")
+        })
+        .expect("non-empty");
+
+    body.push_str(&format!(
+        "\nshape: diagonal is row minimum for {:?}\n\
+         best diagonal: D{best_diag} (paper: D4)\n\
+         worst probe column (mean off-diagonal FNMR): D{worst_probe} (paper: D4)\n",
+        (0..5).filter(|&g| diag_is_min[g]).map(|g| format!("D{g}")).collect::<Vec<_>>(),
+    ));
+
+    Report::new(
+        "table5",
+        "Interoperability FNMR matrix (paper Table 5)",
+        body,
+        json!({
+            "fmr": fmr,
+            "fnmr": matrix,
+            "diag_is_row_min": diag_is_min,
+            "best_diagonal": best_diag,
+            "worst_probe_column": worst_probe,
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testdata;
+
+    #[test]
+    fn matrix_is_5x5_of_rates() {
+        let r = run(testdata::small());
+        let m = r.values["fnmr"].as_array().unwrap();
+        assert_eq!(m.len(), 5);
+        for row in m {
+            for cell in row.as_array().unwrap() {
+                let v = cell.as_f64().unwrap();
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn fnmr_grows_with_stricter_fmr() {
+        let data = testdata::small();
+        let strict = fnmr_matrix(data, 1e-4);
+        let loose = fnmr_matrix(data, 1e-2);
+        for g in 0..5 {
+            for p in 0..5 {
+                assert!(
+                    strict[g][p] >= loose[g][p] - 1e-12,
+                    "cell ({g},{p}): strict {} < loose {}",
+                    strict[g][p],
+                    loose[g][p]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! **Table 6** — the FNMR matrix at fixed FMR = 0.1% restricted to
+//! good-quality captures (NFIQ < 3 on both sides).
+//!
+//! Two notes on fidelity to the paper:
+//!
+//! * The paper's caption says "NFIQ quality below 3" while its prose says
+//!   "quality four or less" — we follow the caption (both the gallery and
+//!   probe impressions must be NFIQ 1 or 2) since the caption matches the
+//!   table's improved rates.
+//! * The paper observes that, under the quality restriction, the intra- vs
+//!   inter-device differences "appear unpredictable" — the quality gate
+//!   removes most of the FNMR mass, so the residual cells are dominated by
+//!   sampling noise. Our reproduction reports the same instability via the
+//!   per-cell sample sizes.
+
+use fp_core::ids::DeviceId;
+use fp_stats::roc::ScoreSet;
+use serde_json::json;
+
+use crate::report::{render_device_matrix, Report};
+use crate::scores::StudyData;
+
+/// FNMR at `fmr` per cell, restricted to genuine pairs with both sides at
+/// NFIQ 1–2; also returns the per-cell restricted sample size.
+pub fn restricted_fnmr_matrix(data: &StudyData, fmr: f64) -> (Vec<Vec<f64>>, Vec<Vec<usize>>) {
+    let mut rates = vec![vec![0.0; 5]; 5];
+    let mut counts = vec![vec![0usize; 5]; 5];
+    for g in 0..5u8 {
+        for p in 0..5u8 {
+            let genuine: Vec<f64> = data
+                .scores
+                .genuine_cell(DeviceId(g), DeviceId(p))
+                .iter()
+                .filter(|s| s.gallery_quality.value() < 3 && s.probe_quality.value() < 3)
+                .map(|s| s.score)
+                .collect();
+            counts[g as usize][p as usize] = genuine.len();
+            let set = ScoreSet::new(
+                genuine,
+                data.scores.impostor_cell(DeviceId(g), DeviceId(p)).to_vec(),
+            );
+            rates[g as usize][p as usize] = set.fnmr_at_fmr(fmr);
+        }
+    }
+    (rates, counts)
+}
+
+/// Runs the experiment.
+pub fn run(data: &StudyData) -> Report {
+    let fmr = data.dataset.config().table6_fmr;
+    let (restricted, counts) = restricted_fnmr_matrix(data, fmr);
+    let unrestricted = super::table5::fnmr_matrix(data, fmr);
+
+    let mut body = render_device_matrix(
+        &format!(
+            "FNMR at FMR = {:.3}% restricted to NFIQ < 3 on both sides:",
+            fmr * 100.0
+        ),
+        |g, p| format!("{:.2e}", restricted[g][p]),
+    );
+    body.push_str(&render_device_matrix(
+        "\nrestricted genuine sample size per cell:",
+        |g, p| counts[g][p].to_string(),
+    ));
+
+    // How much of the FNMR mass does the quality gate remove?
+    let mean = |m: &Vec<Vec<f64>>| {
+        m.iter().flatten().sum::<f64>() / 25.0
+    };
+    let mean_restricted = mean(&restricted);
+    let mean_unrestricted = mean(&unrestricted);
+    body.push_str(&format!(
+        "\nmean FNMR over all cells: unrestricted {mean_unrestricted:.2e} vs NFIQ<3 {mean_restricted:.2e}\n\
+         paper: quality gating improves every cell and scrambles the intra/inter ordering\n",
+    ));
+
+    Report::new(
+        "table6",
+        "Quality-restricted FNMR matrix (paper Table 6)",
+        body,
+        json!({
+            "fmr": fmr,
+            "fnmr_restricted": restricted,
+            "sample_sizes": counts,
+            "mean_restricted": mean_restricted,
+            "mean_unrestricted_at_same_fmr": mean_unrestricted,
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testdata;
+
+    #[test]
+    fn quality_gate_does_not_worsen_mean_fnmr() {
+        let r = run(testdata::small());
+        let restricted = r.values["mean_restricted"].as_f64().unwrap();
+        let unrestricted = r.values["mean_unrestricted_at_same_fmr"].as_f64().unwrap();
+        assert!(
+            restricted <= unrestricted + 0.05,
+            "gating made FNMR worse: {unrestricted} -> {restricted}"
+        );
+    }
+
+    #[test]
+    fn sample_sizes_never_exceed_cohort() {
+        let data = testdata::small();
+        let r = run(data);
+        for row in r.values["sample_sizes"].as_array().unwrap() {
+            for cell in row.as_array().unwrap() {
+                assert!(cell.as_u64().unwrap() as usize <= data.dataset.len());
+            }
+        }
+    }
+
+    #[test]
+    fn restriction_keeps_only_good_quality_pairs() {
+        let data = testdata::small();
+        let (_, counts) = restricted_fnmr_matrix(data, 1e-3);
+        let full = data.dataset.len();
+        // At least one cell must actually be restricted (< full cohort) for
+        // the experiment to be meaningful; D4 cells skew to poor quality.
+        assert!(
+            counts.iter().flatten().any(|&c| c < full),
+            "quality gate never filtered anything"
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Tiny data-parallel helper on `std::thread::scope` — no extra runtime
+//! dependency for the score-matrix computation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every index in `0..n`, in parallel across the machine's
+/// cores, collecting results in index order.
+///
+/// `f` is called exactly once per index (work-stealing via an atomic
+/// counter), so it may be expensive; it must be `Sync` because multiple
+/// worker threads share it.
+pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let counter = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    // SAFETY-free sharing: each worker writes disjoint slots; we hand out
+    // slot ownership through a Mutex-free pattern by collecting into
+    // per-thread vectors instead.
+    let results: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = counter.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    for chunk in results {
+        for (i, value) in chunk {
+            slots[i] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index visited exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_all_indices_in_order() {
+        let out = parallel_map(1000, |i| i * 2);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let out: Vec<u32> = parallel_map(0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        assert_eq!(parallel_map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn each_index_visited_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let hits: Vec<AtomicU32> = (0..500).map(|_| AtomicU32::new(0)).collect();
+        let _ = parallel_map(500, |i| hits[i].fetch_add(1, Ordering::SeqCst));
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "index {i}");
+        }
+    }
+}

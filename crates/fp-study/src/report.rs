@@ -1,0 +1,104 @@
+//! Experiment reports: human-readable text plus machine-readable values.
+
+use serde::Serialize;
+use serde_json::Value;
+
+/// The outcome of one experiment: a rendered text body for the terminal and
+/// a JSON value for EXPERIMENTS.md bookkeeping and regression diffing.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Stable identifier, e.g. `"table5"`.
+    pub id: String,
+    /// Human-readable title (what the paper calls the artifact).
+    pub title: String,
+    /// Rendered text body.
+    pub body: String,
+    /// Machine-readable values.
+    pub values: Value,
+}
+
+impl Report {
+    /// Creates a report.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        body: impl Into<String>,
+        values: Value,
+    ) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            body: body.into(),
+            values,
+        }
+    }
+
+    /// Renders the report for the terminal.
+    pub fn render(&self) -> String {
+        let rule = "=".repeat(72);
+        format!("{rule}\n{} — {}\n{rule}\n{}\n", self.id, self.title, self.body)
+    }
+}
+
+/// Renders a 5x5 device matrix (rows = gallery device, columns = probe
+/// device) with a formatter for each cell.
+pub fn render_device_matrix<F>(header: &str, mut cell: F) -> String
+where
+    F: FnMut(usize, usize) -> String,
+{
+    let mut out = String::new();
+    out.push_str(&format!("{header}\n        "));
+    for p in 0..5 {
+        out.push_str(&format!("{:>12}", format!("D{p}")));
+    }
+    out.push('\n');
+    for g in 0..5 {
+        out.push_str(&format!("  D{g}    "));
+        for p in 0..5 {
+            out.push_str(&format!("{:>12}", cell(g, p)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders `(label, count)` rows as a bar chart.
+pub fn render_bars(rows: &[(&str, usize)], width: usize) -> String {
+    let peak = rows.iter().map(|(_, n)| *n).max().unwrap_or(0).max(1);
+    let mut out = String::new();
+    for (label, n) in rows {
+        let bar = "#".repeat((n * width) / peak);
+        out.push_str(&format!("  {label:<18} {n:>6} {bar}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_id_and_body() {
+        let r = Report::new("t1", "Title", "the body", serde_json::json!({"x": 1}));
+        let s = r.render();
+        assert!(s.contains("t1"));
+        assert!(s.contains("Title"));
+        assert!(s.contains("the body"));
+    }
+
+    #[test]
+    fn device_matrix_has_25_cells() {
+        let s = render_device_matrix("m", |g, p| format!("{}", g * 10 + p));
+        assert!(s.contains("44"));
+        assert!(s.contains("D4"));
+        assert_eq!(s.lines().count(), 7);
+    }
+
+    #[test]
+    fn bars_scale_to_peak() {
+        let s = render_bars(&[("a", 10), ("b", 5)], 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].matches('#').count() == 10);
+        assert!(lines[1].matches('#').count() == 5);
+    }
+}

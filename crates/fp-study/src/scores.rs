@@ -1,0 +1,280 @@
+//! The full score matrices: DMG, DDMG, DMI, DDMI in the paper's notation.
+
+use fp_core::ids::{DeviceId, SubjectId};
+use fp_core::rng::SeedTree;
+use fp_match::{PairTableMatcher, PreparableMatcher};
+use fp_quality::NfiqLevel;
+use fp_stats::roc::ScoreSet;
+use rand::Rng;
+
+use crate::config::{StudyConfig, DEVICE_COUNT};
+use crate::dataset::Dataset;
+use crate::parallel::parallel_map;
+
+/// One genuine comparison outcome, annotated for the quality analyses
+/// (Figure 5, Table 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenuineScore {
+    /// The subject both templates belong to.
+    pub subject: SubjectId,
+    /// Calibrated similarity score.
+    pub score: f64,
+    /// NFIQ level of the gallery impression.
+    pub gallery_quality: NfiqLevel,
+    /// NFIQ level of the probe impression.
+    pub probe_quality: NfiqLevel,
+}
+
+/// Genuine and impostor score matrices over all 25 (gallery device, probe
+/// device) cells. Scores are calibrated onto the paper's scale.
+#[derive(Debug, Clone)]
+pub struct ScoreMatrix {
+    genuine: Vec<Vec<Vec<GenuineScore>>>,
+    impostor: Vec<Vec<Vec<f64>>>,
+}
+
+impl ScoreMatrix {
+    /// Computes the full matrix for `dataset` with `matcher`.
+    ///
+    /// Genuine cells hold one score per subject (gallery session 0 vs probe
+    /// session 1); impostor cells hold
+    /// [`StudyConfig::impostors_per_cell`](crate::config::StudyConfig)
+    /// sampled ordered subject pairs. Sampling and therefore every score is
+    /// deterministic in the dataset's seed.
+    pub fn compute<M>(dataset: &Dataset, matcher: &M) -> ScoreMatrix
+    where
+        M: PreparableMatcher,
+    {
+        let n = dataset.len();
+        let config = dataset.config();
+
+        // Prepare every template once (2 sessions x 5 devices x n subjects).
+        let prepared: Vec<[(M::Prepared, M::Prepared); DEVICE_COUNT]> = parallel_map(n, |s| {
+            std::array::from_fn(|d| {
+                let c = dataset.captures(SubjectId(s as u32), DeviceId(d as u8));
+                (
+                    matcher.prepare(c.gallery.template()),
+                    matcher.prepare(c.probe.template()),
+                )
+            })
+        });
+
+        // Genuine: 25 cells x n subjects.
+        let genuine_flat = parallel_map(DEVICE_COUNT * DEVICE_COUNT, |cell| {
+            let (g, p) = (cell / DEVICE_COUNT, cell % DEVICE_COUNT);
+            (0..n)
+                .map(|s| {
+                    let score = config.calibration.apply(
+                        matcher.compare_prepared(&prepared[s][g].0, &prepared[s][p].1),
+                    );
+                    let caps_g = dataset.captures(SubjectId(s as u32), DeviceId(g as u8));
+                    let caps_p = dataset.captures(SubjectId(s as u32), DeviceId(p as u8));
+                    GenuineScore {
+                        subject: SubjectId(s as u32),
+                        score: score.value(),
+                        gallery_quality: caps_g.gallery_quality,
+                        probe_quality: caps_p.probe_quality,
+                    }
+                })
+                .collect::<Vec<_>>()
+        });
+
+        // Impostor: 25 cells x impostors_per_cell sampled ordered pairs.
+        let impostor_flat = parallel_map(DEVICE_COUNT * DEVICE_COUNT, |cell| {
+            let (g, p) = (cell / DEVICE_COUNT, cell % DEVICE_COUNT);
+            let mut rng = SeedTree::new(config.seed)
+                .child(&[0x1A, g as u64, p as u64])
+                .rng();
+            let mut scores = Vec::with_capacity(config.impostors_per_cell);
+            if n >= 2 {
+                for _ in 0..config.impostors_per_cell {
+                    let a = rng.gen_range(0..n);
+                    let b = {
+                        let mut b = rng.gen_range(0..n - 1);
+                        if b >= a {
+                            b += 1;
+                        }
+                        b
+                    };
+                    let score = config.calibration.apply(
+                        matcher.compare_prepared(&prepared[a][g].0, &prepared[b][p].1),
+                    );
+                    scores.push(score.value());
+                }
+            }
+            scores
+        });
+
+        let mut genuine: Vec<Vec<Vec<GenuineScore>>> =
+            (0..DEVICE_COUNT).map(|_| vec![Vec::new(); DEVICE_COUNT]).collect();
+        let mut impostor: Vec<Vec<Vec<f64>>> =
+            (0..DEVICE_COUNT).map(|_| vec![Vec::new(); DEVICE_COUNT]).collect();
+        for (cell, scores) in genuine_flat.into_iter().enumerate() {
+            genuine[cell / DEVICE_COUNT][cell % DEVICE_COUNT] = scores;
+        }
+        for (cell, scores) in impostor_flat.into_iter().enumerate() {
+            impostor[cell / DEVICE_COUNT][cell % DEVICE_COUNT] = scores;
+        }
+        ScoreMatrix { genuine, impostor }
+    }
+
+    /// The genuine scores of cell `(gallery, probe)`, one per subject.
+    pub fn genuine_cell(&self, gallery: DeviceId, probe: DeviceId) -> &[GenuineScore] {
+        &self.genuine[gallery.0 as usize][probe.0 as usize]
+    }
+
+    /// The sampled impostor scores of cell `(gallery, probe)`.
+    pub fn impostor_cell(&self, gallery: DeviceId, probe: DeviceId) -> &[f64] {
+        &self.impostor[gallery.0 as usize][probe.0 as usize]
+    }
+
+    /// Genuine score values of a cell.
+    pub fn genuine_values(&self, gallery: DeviceId, probe: DeviceId) -> Vec<f64> {
+        self.genuine_cell(gallery, probe)
+            .iter()
+            .map(|g| g.score)
+            .collect()
+    }
+
+    /// Builds the [`ScoreSet`] of a cell for FMR/FNMR analysis.
+    pub fn score_set(&self, gallery: DeviceId, probe: DeviceId) -> ScoreSet {
+        ScoreSet::new(
+            self.genuine_values(gallery, probe),
+            self.impostor_cell(gallery, probe).to_vec(),
+        )
+    }
+
+    /// All same-device genuine scores over live-scan devices — the paper's
+    /// **DMG** set (D4 excluded: the card contributes no second live
+    /// capture session; see DESIGN.md).
+    pub fn dmg(&self) -> Vec<f64> {
+        (0..4)
+            .flat_map(|d| self.genuine_values(DeviceId(d), DeviceId(d)))
+            .collect()
+    }
+
+    /// All cross-device genuine scores — the paper's **DDMG** set.
+    pub fn ddmg(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        for g in 0..DEVICE_COUNT as u8 {
+            for p in 0..DEVICE_COUNT as u8 {
+                if g != p {
+                    out.extend(self.genuine_values(DeviceId(g), DeviceId(p)));
+                }
+            }
+        }
+        out
+    }
+
+    /// All same-device impostor scores — the paper's **DMI** set.
+    pub fn dmi(&self) -> Vec<f64> {
+        (0..DEVICE_COUNT as u8)
+            .flat_map(|d| self.impostor_cell(DeviceId(d), DeviceId(d)).to_vec())
+            .collect()
+    }
+
+    /// All cross-device impostor scores — the paper's **DDMI** set.
+    pub fn ddmi(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        for g in 0..DEVICE_COUNT as u8 {
+            for p in 0..DEVICE_COUNT as u8 {
+                if g != p {
+                    out.extend_from_slice(self.impostor_cell(DeviceId(g), DeviceId(p)));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The shared input of every experiment: the dataset plus the computed
+/// score matrix.
+#[derive(Debug, Clone)]
+pub struct StudyData {
+    /// The captured dataset.
+    pub dataset: Dataset,
+    /// The calibrated score matrices.
+    pub scores: ScoreMatrix,
+}
+
+impl StudyData {
+    /// Generates the dataset and computes all scores with the default
+    /// pair-table matcher.
+    pub fn generate(config: &StudyConfig) -> StudyData {
+        let dataset = Dataset::generate(config);
+        let matcher = PairTableMatcher::default();
+        let scores = ScoreMatrix::compute(&dataset, &matcher);
+        StudyData { dataset, scores }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> StudyData {
+        StudyData::generate(
+            &StudyConfig::builder()
+                .subjects(12)
+                .seed(7)
+                .impostors_per_cell(40)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn matrix_has_expected_counts() {
+        let d = data();
+        assert_eq!(d.scores.dmg().len(), 12 * 4);
+        assert_eq!(d.scores.ddmg().len(), 12 * 20);
+        assert_eq!(d.scores.dmi().len(), 40 * 5);
+        assert_eq!(d.scores.ddmi().len(), 40 * 20);
+        for g in DeviceId::ALL {
+            for p in DeviceId::ALL {
+                assert_eq!(d.scores.genuine_cell(g, p).len(), 12);
+                assert_eq!(d.scores.impostor_cell(g, p).len(), 40);
+            }
+        }
+    }
+
+    #[test]
+    fn genuine_scores_beat_impostor_scores_on_average() {
+        let d = data();
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!(mean(&d.scores.dmg()) > mean(&d.scores.dmi()) + 5.0);
+        assert!(mean(&d.scores.ddmg()) > mean(&d.scores.ddmi()) + 5.0);
+    }
+
+    #[test]
+    fn computation_is_deterministic() {
+        let a = data();
+        let b = data();
+        assert_eq!(
+            a.scores.genuine_values(DeviceId(0), DeviceId(3)),
+            b.scores.genuine_values(DeviceId(0), DeviceId(3))
+        );
+        assert_eq!(
+            a.scores.impostor_cell(DeviceId(2), DeviceId(4)),
+            b.scores.impostor_cell(DeviceId(2), DeviceId(4))
+        );
+    }
+
+    #[test]
+    fn score_set_builds_with_both_classes() {
+        let d = data();
+        let set = d.scores.score_set(DeviceId(1), DeviceId(2));
+        assert_eq!(set.genuine().len(), 12);
+        assert_eq!(set.impostor().len(), 40);
+    }
+
+    #[test]
+    fn quality_annotations_are_consistent_with_dataset() {
+        let d = data();
+        for g in d.scores.genuine_cell(DeviceId(0), DeviceId(2)) {
+            let caps_g = d.dataset.captures(g.subject, DeviceId(0));
+            let caps_p = d.dataset.captures(g.subject, DeviceId(2));
+            assert_eq!(g.gallery_quality, caps_g.gallery_quality);
+            assert_eq!(g.probe_quality, caps_p.probe_quality);
+        }
+    }
+}

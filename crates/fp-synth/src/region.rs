@@ -1,0 +1,141 @@
+//! The finger-pad region: where ridges (and therefore minutiae) exist.
+//!
+//! Modelled as an axis-aligned ellipse centred on the pad with per-finger
+//! size variation. Thumbs are wider than little fingers; the study only
+//! matches right index fingers but the whole hand is generatable for the
+//! multi-finger fusion extension.
+
+use rand::Rng;
+
+use fp_core::dist;
+use fp_core::geometry::{Point, Rect};
+use fp_core::ids::Digit;
+
+/// An elliptical finger-pad region in finger-centred millimetres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FingerRegion {
+    /// Semi-axis along x (half-width of the pad), mm.
+    pub semi_x: f64,
+    /// Semi-axis along y (half-length of the pad), mm.
+    pub semi_y: f64,
+    /// Centre offset of the pad ellipse (usually near the origin).
+    pub centre: Point,
+}
+
+impl FingerRegion {
+    /// Mean pad half-width/half-length by digit (mm). Derived from
+    /// anthropometric finger-breadth tables; thumbs broadest, little fingers
+    /// narrowest.
+    fn mean_semi_axes(digit: Digit) -> (f64, f64) {
+        match digit {
+            Digit::Thumb => (10.5, 13.0),
+            Digit::Index => (9.0, 12.0),
+            Digit::Middle => (9.3, 12.5),
+            Digit::Ring => (8.8, 12.0),
+            Digit::Little => (7.5, 10.5),
+        }
+    }
+
+    /// Generates a pad region for `digit`, with a subject-level `size_factor`
+    /// (1.0 = average hand) and per-finger variation from `rng`.
+    pub fn generate<R: Rng + ?Sized>(digit: Digit, size_factor: f64, rng: &mut R) -> Self {
+        let (mx, my) = Self::mean_semi_axes(digit);
+        FingerRegion {
+            semi_x: mx * size_factor * dist::truncated_normal(rng, 1.0, 0.05, 0.85, 1.15),
+            semi_y: my * size_factor * dist::truncated_normal(rng, 1.0, 0.05, 0.85, 1.15),
+            centre: Point::new(dist::normal(rng, 0.0, 0.3), dist::normal(rng, 0.0, 0.3)),
+        }
+    }
+
+    /// Whether `p` lies on the ridge-bearing pad.
+    pub fn contains(&self, p: &Point) -> bool {
+        let dx = (p.x - self.centre.x) / self.semi_x;
+        let dy = (p.y - self.centre.y) / self.semi_y;
+        dx * dx + dy * dy <= 1.0
+    }
+
+    /// Pad area in square millimetres.
+    pub fn area_mm2(&self) -> f64 {
+        std::f64::consts::PI * self.semi_x * self.semi_y
+    }
+
+    /// Tight axis-aligned bounding box of the pad.
+    pub fn bounding_box(&self) -> Rect {
+        Rect::from_corners(
+            Point::new(self.centre.x - self.semi_x, self.centre.y - self.semi_y),
+            Point::new(self.centre.x + self.semi_x, self.centre.y + self.semi_y),
+        )
+    }
+
+    /// Samples a uniform point inside the pad.
+    pub fn sample_point<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        let (x, y) = dist::unit_disc(rng);
+        Point::new(
+            self.centre.x + x * self.semi_x,
+            self.centre.y + y * self.semi_y,
+        )
+    }
+
+    /// A scaled copy of the region (used to model the smaller flat-contact
+    /// area under light pressure).
+    pub fn scaled(&self, factor: f64) -> FingerRegion {
+        FingerRegion {
+            semi_x: self.semi_x * factor,
+            semi_y: self.semi_y * factor,
+            centre: self.centre,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_core::rng::SeedTree;
+
+    fn region(seed: u64) -> FingerRegion {
+        let mut rng = SeedTree::new(seed).rng();
+        FingerRegion::generate(Digit::Index, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn sampled_points_are_inside() {
+        let r = region(1);
+        let mut rng = SeedTree::new(2).rng();
+        for _ in 0..2000 {
+            let p = r.sample_point(&mut rng);
+            assert!(r.contains(&p), "{p:?} outside region");
+        }
+    }
+
+    #[test]
+    fn bounding_box_contains_region_boundary() {
+        let r = region(3);
+        let bb = r.bounding_box();
+        assert!(bb.contains(&Point::new(r.centre.x + r.semi_x - 1e-9, r.centre.y)));
+        assert!((bb.area() - 4.0 * r.semi_x * r.semi_y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_finger_area_is_anatomically_plausible() {
+        for seed in 0..10 {
+            let a = region(seed).area_mm2();
+            assert!((180.0..500.0).contains(&a), "area = {a}");
+        }
+    }
+
+    #[test]
+    fn thumbs_are_larger_than_little_fingers() {
+        let mut rng = SeedTree::new(9).rng();
+        let thumb = FingerRegion::generate(Digit::Thumb, 1.0, &mut rng);
+        let little = FingerRegion::generate(Digit::Little, 1.0, &mut rng);
+        assert!(thumb.area_mm2() > little.area_mm2());
+    }
+
+    #[test]
+    fn scaling_shrinks_area_quadratically() {
+        let r = region(4);
+        let s = r.scaled(0.5);
+        assert!((s.area_mm2() - r.area_mm2() * 0.25).abs() < 1e-9);
+        assert_eq!(s.centre, r.centre);
+    }
+}

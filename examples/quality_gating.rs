@@ -1,0 +1,72 @@
+//! Image-quality gating: how NFIQ-based acquisition control changes
+//! cross-device error rates (the paper's Figure 5 / Table 6 story).
+//!
+//! NIST recommends reacquiring a finger up to three times when NFIQ is
+//! worse than 3. This example quantifies what that buys in the
+//! interoperability setting: FNMR with no gate, with a lenient gate
+//! (NFIQ <= 3), and with a strict gate (NFIQ <= 2) on both sides.
+//!
+//! ```sh
+//! cargo run --release --example quality_gating -- 80
+//! ```
+
+use fingerprint_interop::prelude::*;
+use fp_study::config::StudyConfig;
+use fp_study::scores::StudyData;
+
+fn gated_fnmr(data: &StudyData, gallery: DeviceId, probe: DeviceId, max_level: u8, fmr: f64) -> (f64, usize) {
+    let genuine: Vec<f64> = data
+        .scores
+        .genuine_cell(gallery, probe)
+        .iter()
+        .filter(|s| {
+            s.gallery_quality.value() <= max_level && s.probe_quality.value() <= max_level
+        })
+        .map(|s| s.score)
+        .collect();
+    let n = genuine.len();
+    let set = ScoreSet::new(genuine, data.scores.impostor_cell(gallery, probe).to_vec());
+    (set.fnmr_at_fmr(fmr), n)
+}
+
+fn main() {
+    let subjects = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60usize);
+    eprintln!("running {subjects}-subject study ...");
+    let config = StudyConfig::builder().subjects(subjects).seed(404).build();
+    let data = StudyData::generate(&config);
+    let fmr = 1e-3;
+
+    let scenarios = [
+        ("same device (D0 -> D0)", DeviceId(0), DeviceId(0)),
+        ("cross optical (D0 -> D2)", DeviceId(0), DeviceId(2)),
+        ("ink to optical (D4 -> D0)", DeviceId(4), DeviceId(0)),
+    ];
+    println!(
+        "\nFNMR at FMR = {:.1}% under acquisition quality gates:\n",
+        fmr * 100.0
+    );
+    println!(
+        "{:<28}{:>14}{:>18}{:>18}",
+        "scenario", "no gate", "gate NFIQ<=3", "gate NFIQ<=2"
+    );
+    for (label, g, p) in scenarios {
+        let (all, n_all) = gated_fnmr(&data, g, p, 5, fmr);
+        let (lenient, n_len) = gated_fnmr(&data, g, p, 3, fmr);
+        let (strict, n_strict) = gated_fnmr(&data, g, p, 2, fmr);
+        println!(
+            "{label:<28}{:>14}{:>18}{:>18}",
+            format!("{all:.3} (n={n_all})"),
+            format!("{lenient:.3} (n={n_len})"),
+            format!("{strict:.3} (n={n_strict})"),
+        );
+    }
+    println!(
+        "\npaper finding: with one device, quality barely matters as long as one\n\
+         side is decent; across devices, BOTH sides need good quality — the\n\
+         stricter the gate, the more of the interoperability penalty is recovered\n\
+         (at the cost of reacquisition: note the shrinking n)."
+    );
+}
