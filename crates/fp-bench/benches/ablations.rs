@@ -13,7 +13,14 @@ use fp_core::Matcher;
 use fp_match::{PairTableConfig, PairTableMatcher};
 use fp_sensor::{Acquisition, Device};
 
-fn gap(matcher: &PairTableMatcher, fixtures: &(fp_core::template::Template, fp_core::template::Template, fp_core::template::Template)) -> (f64, f64) {
+fn gap(
+    matcher: &PairTableMatcher,
+    fixtures: &(
+        fp_core::template::Template,
+        fp_core::template::Template,
+        fp_core::template::Template,
+    ),
+) -> (f64, f64) {
     let (gallery, probe, impostor) = fixtures;
     (
         matcher.compare(gallery, probe).value(),
@@ -131,7 +138,9 @@ fn ablation_benches(c: &mut Criterion) {
                 0.0,
                 &SeedTree::new(0xAB1A + i as u64),
             );
-            total += matcher.compare(gallery.template(), probe.template()).value();
+            total += matcher
+                .compare(gallery.template(), probe.template())
+                .value();
         }
         eprintln!(
             "sensor ablation {name:<18} mean cross-device genuine {:.2}",

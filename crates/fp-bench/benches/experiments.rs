@@ -23,8 +23,8 @@ fn experiments_benches(c: &mut Criterion) {
         }
         group.bench_function(id, |b| {
             b.iter(|| {
-                let report = experiments::run(black_box(id), black_box(&data))
-                    .expect("known experiment id");
+                let report =
+                    experiments::run(black_box(id), black_box(&data)).expect("known experiment id");
                 black_box(report.values);
             })
         });
@@ -36,8 +36,8 @@ fn experiments_benches(c: &mut Criterion) {
     for id in ["ext-habituation", "ext-prediction"] {
         group.bench_function(id, |b| {
             b.iter(|| {
-                let report = experiments::run(black_box(id), black_box(&data))
-                    .expect("known experiment id");
+                let report =
+                    experiments::run(black_box(id), black_box(&data)).expect("known experiment id");
                 black_box(report.values);
             })
         });

@@ -54,7 +54,11 @@ pub fn bench_population(n: usize) -> Population {
 }
 
 /// A pair of same-finger impressions on the given devices (genuine pair).
-pub fn genuine_pair(subject: &Subject, gallery: DeviceId, probe: DeviceId) -> (Impression, Impression) {
+pub fn genuine_pair(
+    subject: &Subject,
+    gallery: DeviceId,
+    probe: DeviceId,
+) -> (Impression, Impression) {
     let protocol = CaptureProtocol::new();
     (
         protocol.capture(subject, Finger::RIGHT_INDEX, gallery, SessionId(0)),
@@ -68,7 +72,12 @@ pub fn matcher_fixtures() -> (Template, Template, Template) {
     let pop = bench_population(2);
     let (gallery, probe) = genuine_pair(&pop.subjects()[0], DeviceId(0), DeviceId(0));
     let protocol = CaptureProtocol::new();
-    let impostor = protocol.capture(&pop.subjects()[1], Finger::RIGHT_INDEX, DeviceId(0), SessionId(1));
+    let impostor = protocol.capture(
+        &pop.subjects()[1],
+        Finger::RIGHT_INDEX,
+        DeviceId(0),
+        SessionId(1),
+    );
     (
         gallery.template().clone(),
         probe.template().clone(),

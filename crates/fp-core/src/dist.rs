@@ -128,7 +128,10 @@ pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> crate::R
         total += w;
     }
     if total <= 0.0 {
-        return Err(crate::Error::invalid("weights", "weights must not all be zero"));
+        return Err(crate::Error::invalid(
+            "weights",
+            "weights must not all be zero",
+        ));
     }
     let mut target = rng.gen::<f64>() * total;
     for (i, &w) in weights.iter().enumerate() {
@@ -248,8 +251,7 @@ mod tests {
     fn poisson_mean_matches_lambda() {
         let mut r = rng();
         for lambda in [0.5, 4.0, 12.0, 45.0] {
-            let mean: f64 =
-                (0..N).map(|_| poisson(&mut r, lambda) as f64).sum::<f64>() / N as f64;
+            let mean: f64 = (0..N).map(|_| poisson(&mut r, lambda) as f64).sum::<f64>() / N as f64;
             assert!(
                 (mean - lambda).abs() < 0.15 * lambda.max(1.0),
                 "lambda={lambda} mean={mean}"
@@ -303,7 +305,10 @@ mod tests {
         let mut r = rng();
         for shape in [0.5, 1.0, 3.0, 9.0] {
             let mean: f64 = (0..N).map(|_| gamma(&mut r, shape)).sum::<f64>() / N as f64;
-            assert!((mean - shape).abs() < 0.12 * shape.max(1.0), "shape={shape} mean={mean}");
+            assert!(
+                (mean - shape).abs() < 0.12 * shape.max(1.0),
+                "shape={shape} mean={mean}"
+            );
         }
     }
 }

@@ -85,7 +85,10 @@ mod tests {
 
     #[test]
     fn empty_error_names_subject() {
-        assert_eq!(Error::empty("template").to_string(), "template must not be empty");
+        assert_eq!(
+            Error::empty("template").to_string(),
+            "template must not be empty"
+        );
     }
 
     #[test]

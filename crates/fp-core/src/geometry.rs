@@ -413,10 +413,16 @@ impl Rect {
     /// when width or height is not strictly positive and finite.
     pub fn centred(centre: Point, width: f64, height: f64) -> crate::Result<Self> {
         if !(width.is_finite() && width > 0.0) {
-            return Err(crate::Error::invalid("width", format!("{width} must be positive")));
+            return Err(crate::Error::invalid(
+                "width",
+                format!("{width} must be positive"),
+            ));
         }
         if !(height.is_finite() && height > 0.0) {
-            return Err(crate::Error::invalid("height", format!("{height} must be positive")));
+            return Err(crate::Error::invalid(
+                "height",
+                format!("{height} must be positive"),
+            ));
         }
         let half = Vector::new(width / 2.0, height / 2.0);
         Ok(Rect {
@@ -513,7 +519,10 @@ impl RigidMotion {
     /// Creates a motion that rotates by `rotation` and then translates by
     /// `translation`.
     pub fn new(rotation: Direction, translation: Vector) -> Self {
-        RigidMotion { rotation, translation }
+        RigidMotion {
+            rotation,
+            translation,
+        }
     }
 
     /// Pure rotation about the origin.
@@ -579,7 +588,11 @@ mod tests {
     fn direction_wraps_into_canonical_interval() {
         for k in -5..=5 {
             let d = Direction::from_radians(1.0 + TAU * k as f64);
-            assert!((d.radians() - 1.0).abs() < 1e-9, "k={k} got {}", d.radians());
+            assert!(
+                (d.radians() - 1.0).abs() < 1e-9,
+                "k={k} got {}",
+                d.radians()
+            );
         }
         assert!(Direction::from_radians(PI).radians() > 0.0);
         assert!(Direction::from_radians(-PI).radians() > 0.0);

@@ -79,9 +79,11 @@ impl Finger {
 
     /// All ten fingers, left thumb to right little finger.
     pub fn all() -> impl Iterator<Item = Finger> {
-        [Hand::Left, Hand::Right]
-            .into_iter()
-            .flat_map(|hand| Digit::ALL.into_iter().map(move |digit| Finger { hand, digit }))
+        [Hand::Left, Hand::Right].into_iter().flat_map(|hand| {
+            Digit::ALL
+                .into_iter()
+                .map(move |digit| Finger { hand, digit })
+        })
     }
 
     /// Stable small integer encoding in `0..10`, useful for seed derivation.

@@ -54,7 +54,9 @@ impl Eq for MatchScore {}
 impl Ord for MatchScore {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Construction forbids NaN, so total order is safe.
-        self.0.partial_cmp(&other.0).expect("MatchScore is never NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("MatchScore is never NaN")
     }
 }
 
@@ -105,9 +107,11 @@ mod tests {
 
     #[test]
     fn scores_sort_totally() {
-        let mut v = [MatchScore::new(3.0),
+        let mut v = [
+            MatchScore::new(3.0),
             MatchScore::new(1.0),
-            MatchScore::new(2.0)];
+            MatchScore::new(2.0),
+        ];
         v.sort();
         assert_eq!(v[0].value(), 1.0);
         assert_eq!(v[2].value(), 3.0);

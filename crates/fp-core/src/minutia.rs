@@ -90,11 +90,26 @@ mod tests {
 
     #[test]
     fn reliability_is_clamped() {
-        let m = Minutia::new(Point::ORIGIN, Direction::ZERO, MinutiaKind::RidgeEnding, 2.0);
+        let m = Minutia::new(
+            Point::ORIGIN,
+            Direction::ZERO,
+            MinutiaKind::RidgeEnding,
+            2.0,
+        );
         assert_eq!(m.reliability, 1.0);
-        let m = Minutia::new(Point::ORIGIN, Direction::ZERO, MinutiaKind::RidgeEnding, -0.5);
+        let m = Minutia::new(
+            Point::ORIGIN,
+            Direction::ZERO,
+            MinutiaKind::RidgeEnding,
+            -0.5,
+        );
         assert_eq!(m.reliability, 0.0);
-        let m = Minutia::new(Point::ORIGIN, Direction::ZERO, MinutiaKind::RidgeEnding, f64::NAN);
+        let m = Minutia::new(
+            Point::ORIGIN,
+            Direction::ZERO,
+            MinutiaKind::RidgeEnding,
+            f64::NAN,
+        );
         assert_eq!(m.reliability, 0.0, "NaN reliability must not propagate");
     }
 

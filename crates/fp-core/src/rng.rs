@@ -115,7 +115,10 @@ mod tests {
         let mut seen = HashSet::new();
         for a in 0..40u64 {
             for b in 0..40u64 {
-                assert!(seen.insert(root.child(&[a, b]).seed()), "collision at ({a},{b})");
+                assert!(
+                    seen.insert(root.child(&[a, b]).seed()),
+                    "collision at ({a},{b})"
+                );
             }
         }
     }

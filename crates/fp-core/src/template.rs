@@ -151,8 +151,12 @@ impl Template {
             self.capture_window.max(),
         ];
         let moved: Vec<Point> = corners.iter().map(|c| motion.apply(c)).collect();
-        let (mut min_x, mut min_y, mut max_x, mut max_y) =
-            (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        let (mut min_x, mut min_y, mut max_x, mut max_y) = (
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+        );
         for p in &moved {
             min_x = min_x.min(p.x);
             min_y = min_y.min(p.y);
@@ -160,7 +164,11 @@ impl Template {
             max_y = max_y.max(p.y);
         }
         Template {
-            minutiae: self.minutiae.iter().map(|m| m.transformed(motion)).collect(),
+            minutiae: self
+                .minutiae
+                .iter()
+                .map(|m| m.transformed(motion))
+                .collect(),
             resolution_dpi: self.resolution_dpi,
             capture_window: Rect::from_corners(Point::new(min_x, min_y), Point::new(max_x, max_y)),
         }
@@ -231,8 +239,12 @@ impl TemplateBuilder {
                 if self.minutiae.is_empty() {
                     Rect::centred(Point::ORIGIN, 1.0, 1.0)?
                 } else {
-                    let (mut min_x, mut min_y, mut max_x, mut max_y) =
-                        (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+                    let (mut min_x, mut min_y, mut max_x, mut max_y) = (
+                        f64::INFINITY,
+                        f64::INFINITY,
+                        f64::NEG_INFINITY,
+                        f64::NEG_INFINITY,
+                    );
                     for m in &self.minutiae {
                         min_x = min_x.min(m.pos.x);
                         min_y = min_y.min(m.pos.y);

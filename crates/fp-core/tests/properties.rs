@@ -16,9 +16,8 @@ fn point() -> impl Strategy<Value = Point> {
 }
 
 fn motion() -> impl Strategy<Value = RigidMotion> {
-    (finite_angle(), -20.0..20.0f64, -20.0..20.0f64).prop_map(|(r, x, y)| {
-        RigidMotion::new(Direction::from_radians(r), Vector::new(x, y))
-    })
+    (finite_angle(), -20.0..20.0f64, -20.0..20.0f64)
+        .prop_map(|(r, x, y)| RigidMotion::new(Direction::from_radians(r), Vector::new(x, y)))
 }
 
 proptest! {

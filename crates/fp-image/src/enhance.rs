@@ -106,8 +106,7 @@ pub fn gabor_enhance(
                 continue;
             }
             let orientation = field.orientation_at_pixel(x, y);
-            let period =
-                periods[(y / block).min(rows - 1) * cols + (x / block).min(cols - 1)];
+            let period = periods[(y / block).min(rows - 1) * cols + (x / block).min(cols - 1)];
             let (c, s) = (
                 orientation.radians().cos() as f32,
                 orientation.radians().sin() as f32,
@@ -192,7 +191,10 @@ mod tests {
             }
         }
         let period = 2.0 * 55.0 / transitions.max(1) as f64;
-        assert!((period - 9.0).abs() < 3.0, "period after enhancement {period}");
+        assert!(
+            (period - 9.0).abs() < 3.0,
+            "period after enhancement {period}"
+        );
     }
 
     #[test]

@@ -215,8 +215,8 @@ pub fn extract_minutiae(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::segment::segment;
     use crate::image::GrayImage;
+    use crate::segment::segment;
 
     fn from_rows(rows: &[&str]) -> BinaryImage {
         let h = rows.len();

@@ -64,10 +64,10 @@ pub fn sobel(img: &GrayImage) -> (GrayImage, GrayImage) {
         for x in 0..w {
             let (xi, yi) = (x as isize, y as isize);
             let p = |dx: isize, dy: isize| img.at_clamped(xi + dx, yi + dy);
-            gx[y * w + x] = (p(1, -1) + 2.0 * p(1, 0) + p(1, 1))
-                - (p(-1, -1) + 2.0 * p(-1, 0) + p(-1, 1));
-            gy[y * w + x] = (p(-1, 1) + 2.0 * p(0, 1) + p(1, 1))
-                - (p(-1, -1) + 2.0 * p(0, -1) + p(1, -1));
+            gx[y * w + x] =
+                (p(1, -1) + 2.0 * p(1, 0) + p(1, 1)) - (p(-1, -1) + 2.0 * p(-1, 0) + p(-1, 1));
+            gy[y * w + x] =
+                (p(-1, 1) + 2.0 * p(0, 1) + p(1, 1)) - (p(-1, -1) + 2.0 * p(0, -1) + p(1, -1));
         }
     }
     (

@@ -170,7 +170,10 @@ impl GrayImage {
             return (0.0, 0.0);
         }
         let mean = sum / n as f64;
-        ((mean) as f32, ((sum2 / n as f64) - mean * mean).max(0.0) as f32)
+        (
+            (mean) as f32,
+            ((sum2 / n as f64) - mean * mean).max(0.0) as f32,
+        )
     }
 }
 

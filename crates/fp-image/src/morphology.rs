@@ -56,7 +56,10 @@ pub fn remove_spurs(input: &BinaryImage, max_length: usize) -> BinaryImage {
         for y in 0..h {
             for x in 0..w {
                 let (xi, yi) = (x as isize, y as isize);
-                if !img.at(xi, yi) || crossing_number(&img, xi, yi) != 1 || degree(&img, xi, yi) != 1 {
+                if !img.at(xi, yi)
+                    || crossing_number(&img, xi, yi) != 1
+                    || degree(&img, xi, yi) != 1
+                {
                     continue;
                 }
                 // Walk the branch from this endpoint until the pixel where

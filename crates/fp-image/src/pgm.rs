@@ -79,7 +79,10 @@ pub fn read_pgm<R: Read>(mut reader: R) -> Result<GrayImage> {
         .parse()
         .map_err(|_| Error::invalid("pgm", "bad maxval"))?;
     if maxval == 0 || maxval > 255 {
-        return Err(Error::invalid("pgm", format!("unsupported maxval {maxval}")));
+        return Err(Error::invalid(
+            "pgm",
+            format!("unsupported maxval {maxval}"),
+        ));
     }
     pos += 1; // single whitespace after maxval
     let need = width * height;

@@ -99,7 +99,11 @@ mod tests {
         let mut img = GrayImage::filled(w, h, 0.0).unwrap();
         for y in 0..h {
             for x in 0..w {
-                img.set(x, y, 0.5 + 0.5 * (y as f32 * std::f32::consts::TAU / 9.0).cos());
+                img.set(
+                    x,
+                    y,
+                    0.5 + 0.5 * (y as f32 * std::f32::consts::TAU / 9.0).cos(),
+                );
             }
         }
         img

@@ -202,19 +202,22 @@ mod tests {
     fn renders_expected_dimensions() {
         let (_, img) = small_render(1);
         // 10mm at 500 dpi ≈ 197 px, 12mm ≈ 236 px.
-        assert!((img.width() as i64 - 197).abs() <= 1, "width {}", img.width());
-        assert!((img.height() as i64 - 236).abs() <= 1, "height {}", img.height());
+        assert!(
+            (img.width() as i64 - 197).abs() <= 1,
+            "width {}",
+            img.width()
+        );
+        assert!(
+            (img.height() as i64 - 236).abs() <= 1,
+            "height {}",
+            img.height()
+        );
     }
 
     #[test]
     fn ridge_pattern_has_contrast_inside_region() {
         let (_, img) = small_render(2);
-        let (_, var) = img.block_stats(
-            img.width() / 2 - 20,
-            img.height() / 2 - 20,
-            40,
-            40,
-        );
+        let (_, var) = img.block_stats(img.width() / 2 - 20, img.height() / 2 - 20, 40, 40);
         assert!(var > 0.05, "central variance {var} too low for ridges");
     }
 

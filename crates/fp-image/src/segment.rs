@@ -47,17 +47,19 @@ impl Mask {
                 if !self.fg[idx] {
                     continue;
                 }
-                let neighbours_ok = [(0i64, 1i64), (0, -1), (1, 0), (-1, 0)]
-                    .iter()
-                    .all(|&(dx, dy)| {
-                        let nx = bx as i64 + dx;
-                        let ny = by as i64 + dy;
-                        if nx < 0 || ny < 0 || nx >= self.cols as i64 || ny >= self.rows as i64 {
-                            false
-                        } else {
-                            self.fg[ny as usize * self.cols + nx as usize]
-                        }
-                    });
+                let neighbours_ok =
+                    [(0i64, 1i64), (0, -1), (1, 0), (-1, 0)]
+                        .iter()
+                        .all(|&(dx, dy)| {
+                            let nx = bx as i64 + dx;
+                            let ny = by as i64 + dy;
+                            if nx < 0 || ny < 0 || nx >= self.cols as i64 || ny >= self.rows as i64
+                            {
+                                false
+                            } else {
+                                self.fg[ny as usize * self.cols + nx as usize]
+                            }
+                        });
                 fg[idx] = neighbours_ok;
             }
         }

@@ -131,12 +131,7 @@ mod tests {
     #[allow(clippy::needless_range_loop)] // pixel indices mirror the grid
     fn skeleton_is_connected_for_l_shape() {
         let img = from_rows(&[
-            "........",
-            ".###....",
-            ".###....",
-            ".######.",
-            ".######.",
-            "........",
+            "........", ".###....", ".###....", ".######.", ".######.", "........",
         ]);
         let skel = zhang_suen(&img);
         assert!(skel.count_ones() >= 4, "skeleton vanished");

@@ -10,20 +10,17 @@ use fp_image::thin::zhang_suen;
 use proptest::prelude::*;
 
 fn small_image() -> impl Strategy<Value = GrayImage> {
-    (4usize..24, 4usize..24)
-        .prop_flat_map(|(w, h)| {
-            prop::collection::vec(0.0f32..1.0, w * h).prop_map(move |data| {
-                GrayImage::from_data(w, h, data).expect("valid dimensions")
-            })
-        })
+    (4usize..24, 4usize..24).prop_flat_map(|(w, h)| {
+        prop::collection::vec(0.0f32..1.0, w * h)
+            .prop_map(move |data| GrayImage::from_data(w, h, data).expect("valid dimensions"))
+    })
 }
 
 fn small_binary() -> impl Strategy<Value = BinaryImage> {
-    (4usize..20, 4usize..20)
-        .prop_flat_map(|(w, h)| {
-            prop::collection::vec(prop::bool::weighted(0.4), w * h)
-                .prop_map(move |data| BinaryImage::from_data(w, h, data))
-        })
+    (4usize..20, 4usize..20).prop_flat_map(|(w, h)| {
+        prop::collection::vec(prop::bool::weighted(0.4), w * h)
+            .prop_map(move |data| BinaryImage::from_data(w, h, data))
+    })
 }
 
 proptest! {

@@ -59,7 +59,10 @@ impl ScoreCalibration {
 
     /// Wraps a matcher so that every comparison is calibrated.
     pub fn wrap<M: Matcher>(self, inner: M) -> Calibrated<M> {
-        Calibrated { inner, calibration: self }
+        Calibrated {
+            inner,
+            calibration: self,
+        }
     }
 }
 
@@ -100,7 +103,8 @@ impl<M: PreparableMatcher> PreparableMatcher for Calibrated<M> {
     }
 
     fn compare_prepared(&self, gallery: &Self::Prepared, probe: &Self::Prepared) -> MatchScore {
-        self.calibration.apply(self.inner.compare_prepared(gallery, probe))
+        self.calibration
+            .apply(self.inner.compare_prepared(gallery, probe))
     }
 }
 
@@ -135,8 +139,12 @@ mod tests {
     #[test]
     fn genuine_region_uses_gain() {
         let c = ScoreCalibration::default();
-        let a = c.apply(MatchScore::new(c.raw_impostor_ceiling + 1.0)).value();
-        let b = c.apply(MatchScore::new(c.raw_impostor_ceiling + 2.0)).value();
+        let a = c
+            .apply(MatchScore::new(c.raw_impostor_ceiling + 1.0))
+            .value();
+        let b = c
+            .apply(MatchScore::new(c.raw_impostor_ceiling + 2.0))
+            .value();
         assert!((b - a - c.genuine_gain).abs() < 1e-12);
     }
 

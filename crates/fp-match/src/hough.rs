@@ -49,12 +49,23 @@ impl Default for HoughConfig {
 #[derive(Debug, Clone, Default)]
 pub struct HoughMatcher {
     config: HoughConfig,
+    metrics: crate::metrics::HoughMetrics,
 }
 
 impl HoughMatcher {
     /// Creates a matcher with explicit tuning parameters.
     pub fn new(config: HoughConfig) -> Self {
-        HoughMatcher { config }
+        HoughMatcher {
+            config,
+            metrics: Default::default(),
+        }
+    }
+
+    /// Registers this matcher's work counters (comparisons, occupied vote
+    /// cells, winning vote mass) on `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: &fp_telemetry::Telemetry) -> Self {
+        self.metrics = crate::metrics::HoughMetrics::new(telemetry);
+        self
     }
 
     /// The active configuration.
@@ -63,6 +74,7 @@ impl HoughMatcher {
     }
 
     fn score_templates(&self, gallery: &Template, probe: &Template) -> MatchScore {
+        self.metrics.comparisons.incr();
         let gs = gallery.minutiae();
         let ps = probe.minutiae();
         if gs.is_empty() || ps.is_empty() {
@@ -90,6 +102,7 @@ impl HoughMatcher {
                 *votes.entry(key).or_insert(0) += 1;
             }
         }
+        self.metrics.vote_cells.record(votes.len() as u64);
         let Some((&best_key, _)) = votes.iter().max_by_key(|(k, v)| (**v, k.0, k.1, k.2)) else {
             return MatchScore::ZERO;
         };
@@ -111,6 +124,7 @@ impl HoughMatcher {
                 }
             }
         }
+        self.metrics.peak_votes.record(mass as u64);
         if mass == 0 {
             return MatchScore::ZERO;
         }
@@ -193,7 +207,10 @@ mod tests {
         let mut attempts = 0;
         while minutiae.len() < n && attempts < 10_000 {
             attempts += 1;
-            let pos = Point::new(rng.gen::<f64>() * 16.0 - 8.0, rng.gen::<f64>() * 20.0 - 10.0);
+            let pos = Point::new(
+                rng.gen::<f64>() * 16.0 - 8.0,
+                rng.gen::<f64>() * 20.0 - 10.0,
+            );
             if minutiae.iter().any(|m| m.pos.distance(&pos) < 1.4) {
                 continue;
             }

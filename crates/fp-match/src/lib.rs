@@ -36,6 +36,7 @@ pub mod calibrate;
 pub mod fusion;
 pub mod hough;
 pub mod mcc;
+pub mod metrics;
 pub mod pairtable;
 
 pub use calibrate::ScoreCalibration;

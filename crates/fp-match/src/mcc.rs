@@ -92,12 +92,23 @@ impl PreparedCylinders {
 #[derive(Debug, Clone, Default)]
 pub struct MccMatcher {
     config: MccConfig,
+    metrics: crate::metrics::MccMetrics,
 }
 
 impl MccMatcher {
     /// Creates a matcher with explicit tuning parameters.
     pub fn new(config: MccConfig) -> Self {
-        MccMatcher { config }
+        MccMatcher {
+            config,
+            metrics: Default::default(),
+        }
+    }
+
+    /// Registers this matcher's work counters (comparisons, valid
+    /// descriptors per template) on `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: &fp_telemetry::Telemetry) -> Self {
+        self.metrics = crate::metrics::MccMetrics::new(telemetry);
+        self
     }
 
     /// The active configuration.
@@ -166,8 +177,7 @@ impl MccMatcher {
                                 let mass = (-ds2 / (2.0 * cfg.sigma_s * cfg.sigma_s)
                                     - da * da / (2.0 * cfg.sigma_d * cfg.sigma_d))
                                     .exp() as f32;
-                                let idx = (ga as usize * cfg.spatial_cells
-                                    + gy as usize)
+                                let idx = (ga as usize * cfg.spatial_cells + gy as usize)
                                     * cfg.spatial_cells
                                     + gx as usize;
                                 cells[idx] += mass;
@@ -187,10 +197,14 @@ impl MccMatcher {
                 }
             })
             .collect();
-        PreparedCylinders {
+        let prepared = PreparedCylinders {
             cylinders,
             minutia_count: ms.len(),
-        }
+        };
+        self.metrics
+            .valid_cylinders
+            .record(prepared.valid_count() as u64);
+        prepared
     }
 
     /// Normalized Euclidean similarity between two cylinders, in `[0, 1]`.
@@ -213,7 +227,12 @@ impl MccMatcher {
         }
     }
 
-    fn score_cylinders(&self, gallery: &PreparedCylinders, probe: &PreparedCylinders) -> MatchScore {
+    fn score_cylinders(
+        &self,
+        gallery: &PreparedCylinders,
+        probe: &PreparedCylinders,
+    ) -> MatchScore {
+        self.metrics.comparisons.incr();
         let ng = gallery.cylinders.len();
         let np = probe.cylinders.len();
         if ng == 0 || np == 0 {
@@ -278,7 +297,11 @@ impl PreparableMatcher for MccMatcher {
         self.build_cylinders(template)
     }
 
-    fn compare_prepared(&self, gallery: &PreparedCylinders, probe: &PreparedCylinders) -> MatchScore {
+    fn compare_prepared(
+        &self,
+        gallery: &PreparedCylinders,
+        probe: &PreparedCylinders,
+    ) -> MatchScore {
         self.score_cylinders(gallery, probe)
     }
 }
@@ -297,7 +320,10 @@ mod tests {
         let mut attempts = 0;
         while minutiae.len() < n && attempts < 10_000 {
             attempts += 1;
-            let pos = Point::new(rng.gen::<f64>() * 16.0 - 8.0, rng.gen::<f64>() * 20.0 - 10.0);
+            let pos = Point::new(
+                rng.gen::<f64>() * 16.0 - 8.0,
+                rng.gen::<f64>() * 20.0 - 10.0,
+            );
             if minutiae.iter().any(|m| m.pos.distance(&pos) < 1.4) {
                 continue;
             }
@@ -380,7 +406,8 @@ mod tests {
                         mi.pos.x + fp_core::dist::normal(&mut rng, 0.0, 0.12),
                         mi.pos.y + fp_core::dist::normal(&mut rng, 0.0, 0.12),
                     ),
-                    mi.direction.rotated(fp_core::dist::normal(&mut rng, 0.0, 0.06)),
+                    mi.direction
+                        .rotated(fp_core::dist::normal(&mut rng, 0.0, 0.06)),
                     mi.kind,
                     mi.reliability,
                 )
@@ -394,8 +421,14 @@ mod tests {
         let self_score = m.compare(&t, &t).value();
         let jitter_score = m.compare(&t, &jt).value();
         let impostor = m.compare(&t, &synthetic_template(9, 32)).value();
-        assert!(jitter_score > self_score * 0.55, "jitter {jitter_score:.1} self {self_score:.1}");
-        assert!(jitter_score > impostor, "jitter {jitter_score:.1} impostor {impostor:.1}");
+        assert!(
+            jitter_score > self_score * 0.55,
+            "jitter {jitter_score:.1} self {self_score:.1}"
+        );
+        assert!(
+            jitter_score > impostor,
+            "jitter {jitter_score:.1} impostor {impostor:.1}"
+        );
     }
 
     #[test]

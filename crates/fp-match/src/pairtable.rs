@@ -137,12 +137,23 @@ impl PreparedPairTable {
 #[derive(Debug, Clone, Default)]
 pub struct PairTableMatcher {
     config: PairTableConfig,
+    metrics: crate::metrics::PairTableMetrics,
 }
 
 impl PairTableMatcher {
     /// Creates a matcher with explicit tuning parameters.
     pub fn new(config: PairTableConfig) -> Self {
-        PairTableMatcher { config }
+        PairTableMatcher {
+            config,
+            metrics: Default::default(),
+        }
+    }
+
+    /// Registers this matcher's work counters (comparisons, table entries,
+    /// association counts, rotation-cluster sizes) on `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: &fp_telemetry::Telemetry) -> Self {
+        self.metrics = crate::metrics::PairTableMetrics::new(telemetry);
+        self
     }
 
     /// The active configuration.
@@ -172,6 +183,7 @@ impl PairTableMatcher {
             }
         }
         entries.sort_by(|a, b| a.d.partial_cmp(&b.d).expect("distances are finite"));
+        self.metrics.table_entries.record(entries.len() as u64);
         PreparedPairTable {
             entries,
             directions: ms.iter().map(|m| m.direction).collect(),
@@ -197,6 +209,7 @@ impl PairTableMatcher {
     }
 
     fn score_tables(&self, gallery: &PreparedPairTable, probe: &PreparedPairTable) -> MatchScore {
+        self.metrics.comparisons.incr();
         if gallery.is_empty() || probe.is_empty() {
             return MatchScore::ZERO;
         }
@@ -259,8 +272,16 @@ impl PairTableMatcher {
                     || (gallery.kinds[g.i as usize] == probe.kinds[p.j as usize]
                         && gallery.kinds[g.j as usize] == probe.kinds[p.i as usize]);
                 if kinds_swapped
-                    && Self::angles_close(g.beta1, Self::wrap(p.beta2 + std::f64::consts::PI), cfg.angle_tolerance)
-                    && Self::angles_close(g.beta2, Self::wrap(p.beta1 + std::f64::consts::PI), cfg.angle_tolerance)
+                    && Self::angles_close(
+                        g.beta1,
+                        Self::wrap(p.beta2 + std::f64::consts::PI),
+                        cfg.angle_tolerance,
+                    )
+                    && Self::angles_close(
+                        g.beta2,
+                        Self::wrap(p.beta1 + std::f64::consts::PI),
+                        cfg.angle_tolerance,
+                    )
                 {
                     let rotation = Self::wrap(
                         probe.directions[p.j as usize].radians()
@@ -277,6 +298,7 @@ impl PairTableMatcher {
                 }
             }
         }
+        self.metrics.associations.record(assocs.len() as u64);
         if assocs.is_empty() {
             return MatchScore::ZERO;
         }
@@ -293,20 +315,22 @@ impl PairTableMatcher {
             }
         }
         let bin_width = std::f64::consts::TAU / cfg.rotation_bins as f64;
-        let modal_rotation =
-            -std::f64::consts::PI + bin_width * (best_bin as f64 + 1.0); // boundary of the smoothed pair
+        let modal_rotation = -std::f64::consts::PI + bin_width * (best_bin as f64 + 1.0); // boundary of the smoothed pair
 
         // Pass 2: correspondences supported by rotation-consistent
         // associations.
         let mut support: HashMap<(u16, u16), u32> = HashMap::new();
+        let mut cluster_size = 0u64;
         for a in &assocs {
             if Self::wrap(a.rotation - modal_rotation).abs() > cfg.rotation_window + bin_width / 2.0
             {
                 continue;
             }
+            cluster_size += 1;
             *support.entry((a.g_i, a.p_i)).or_insert(0) += 1;
             *support.entry((a.g_j, a.p_j)).or_insert(0) += 1;
         }
+        self.metrics.cluster_size.record(cluster_size);
         if support.is_empty() {
             return MatchScore::ZERO;
         }
@@ -355,7 +379,11 @@ impl PreparableMatcher for PairTableMatcher {
         self.build_table(template)
     }
 
-    fn compare_prepared(&self, gallery: &PreparedPairTable, probe: &PreparedPairTable) -> MatchScore {
+    fn compare_prepared(
+        &self,
+        gallery: &PreparedPairTable,
+        probe: &PreparedPairTable,
+    ) -> MatchScore {
         self.score_tables(gallery, probe)
     }
 }
@@ -375,7 +403,10 @@ mod tests {
         let mut attempts = 0;
         while minutiae.len() < n && attempts < 10_000 {
             attempts += 1;
-            let pos = Point::new(rng.gen::<f64>() * 16.0 - 8.0, rng.gen::<f64>() * 20.0 - 10.0);
+            let pos = Point::new(
+                rng.gen::<f64>() * 16.0 - 8.0,
+                rng.gen::<f64>() * 20.0 - 10.0,
+            );
             if minutiae
                 .iter()
                 .any(|m: &Minutia| m.pos.distance(&pos) < 1.4)
@@ -471,8 +502,14 @@ mod tests {
         let self_score = m.compare(&t, &t).value();
         let partial_score = m.compare(&t, &partial).value();
         let impostor = m.compare(&t, &synthetic_template(9, 36)).value();
-        assert!(partial_score < self_score, "partial {partial_score} self {self_score}");
-        assert!(partial_score > impostor, "partial {partial_score} impostor {impostor}");
+        assert!(
+            partial_score < self_score,
+            "partial {partial_score} self {self_score}"
+        );
+        assert!(
+            partial_score > impostor,
+            "partial {partial_score} impostor {impostor}"
+        );
     }
 
     #[test]
@@ -489,7 +526,8 @@ mod tests {
                         mi.pos.x + fp_core::dist::normal(&mut rng, 0.0, 0.12),
                         mi.pos.y + fp_core::dist::normal(&mut rng, 0.0, 0.12),
                     ),
-                    mi.direction.rotated(fp_core::dist::normal(&mut rng, 0.0, 0.05)),
+                    mi.direction
+                        .rotated(fp_core::dist::normal(&mut rng, 0.0, 0.05)),
                     mi.kind,
                     mi.reliability,
                 )
@@ -502,7 +540,10 @@ mod tests {
             .unwrap();
         let self_score = m.compare(&t, &t).value();
         let jitter_score = m.compare(&t, &jt).value();
-        assert!(jitter_score > self_score * 0.5, "jitter {jitter_score} self {self_score}");
+        assert!(
+            jitter_score > self_score * 0.5,
+            "jitter {jitter_score} self {self_score}"
+        );
     }
 
     #[test]

@@ -29,7 +29,12 @@ fn template_strategy() -> impl Strategy<Value = Template> {
                 } else {
                     MinutiaKind::Bifurcation
                 };
-                minutiae.push(Minutia::new(pos, Direction::from_radians(*angle), kind, 1.0));
+                minutiae.push(Minutia::new(
+                    pos,
+                    Direction::from_radians(*angle),
+                    kind,
+                    1.0,
+                ));
             }
             Template::builder(500.0)
                 .capture_window_mm(24.0, 24.0)

@@ -251,13 +251,19 @@ mod tests {
     #[test]
     fn perfect_features_are_level_one() {
         let a = QualityAssessor::default();
-        assert_eq!(a.assess_features(&features(1.0, 1.0, 1.0, 40)), NfiqLevel::Excellent);
+        assert_eq!(
+            a.assess_features(&features(1.0, 1.0, 1.0, 40)),
+            NfiqLevel::Excellent
+        );
     }
 
     #[test]
     fn terrible_features_are_level_five() {
         let a = QualityAssessor::default();
-        assert_eq!(a.assess_features(&features(0.1, 0.3, 0.3, 5)), NfiqLevel::Poor);
+        assert_eq!(
+            a.assess_features(&features(0.1, 0.3, 0.3, 5)),
+            NfiqLevel::Poor
+        );
     }
 
     #[test]

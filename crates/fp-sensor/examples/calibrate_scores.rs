@@ -51,7 +51,11 @@ fn main() {
         for p in 0..5 {
             let mut xs: Vec<f64> = caps
                 .iter()
-                .map(|c| matcher.compare(c[g][0].template(), c[p][1].template()).value())
+                .map(|c| {
+                    matcher
+                        .compare(c[g][0].template(), c[p][1].template())
+                        .value()
+                })
                 .collect();
             xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
             row.push_str(&format!(
@@ -91,7 +95,12 @@ fn main() {
     );
     let mean_min: f64 = caps
         .iter()
-        .map(|c| c.iter().flat_map(|s| s.iter().map(|i| i.template().len())).min().unwrap() as f64)
+        .map(|c| {
+            c.iter()
+                .flat_map(|s| s.iter().map(|i| i.template().len()))
+                .min()
+                .unwrap() as f64
+        })
         .sum::<f64>()
         / caps.len() as f64;
     println!("mean per-subject minimum template size: {mean_min:.1}");

@@ -170,8 +170,8 @@ impl SkinWarp {
         condition: &CaptureCondition,
         rng: &mut R,
     ) -> Self {
-        let amplitude = (1.0 - skin.elasticity) * 0.10
-            + (2.0 * (condition.pressure - 0.5)).abs() * 0.05;
+        let amplitude =
+            (1.0 - skin.elasticity) * 0.10 + (2.0 * (condition.pressure - 0.5)).abs() * 0.05;
         SkinWarp {
             ax: amplitude * (0.6 + 0.4 * rng.gen::<f64>()),
             ay: amplitude * (0.6 + 0.4 * rng.gen::<f64>()),
@@ -229,10 +229,7 @@ impl SwipeStitch {
     fn displace(&self, q: Point) -> Point {
         let band_f = q.y / self.band_mm + Self::BANDS as f64 / 2.0;
         let band = (band_f.floor().max(0.0) as usize).min(Self::BANDS - 1);
-        Point::new(
-            q.x + self.offsets[band],
-            q.y * self.stretch[band],
-        )
+        Point::new(q.x + self.offsets[band], q.y * self.stretch[band])
     }
 }
 
@@ -294,6 +291,37 @@ impl Acquisition {
         setup_seed: &SeedTree,
         noise_seed: &SeedTree,
     ) -> Impression {
+        self.capture_with_seeds_metered(
+            master,
+            skin,
+            device,
+            subject,
+            finger,
+            session,
+            habituation,
+            setup_seed,
+            noise_seed,
+            &crate::metrics::CaptureMetrics::default(),
+        )
+    }
+
+    /// [`Acquisition::capture_with_seeds`] with telemetry: tallies the loss
+    /// channels of this capture (dropout, vignette, window clipping) and
+    /// the spurious detections into `metrics`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn capture_with_seeds_metered(
+        &self,
+        master: &MasterPrint,
+        skin: &SkinProfile,
+        device: &Device,
+        subject: SubjectId,
+        finger: Finger,
+        session: SessionId,
+        habituation: f64,
+        setup_seed: &SeedTree,
+        noise_seed: &SeedTree,
+        metrics: &crate::metrics::CaptureMetrics,
+    ) -> Impression {
         let mut setup_rng = setup_seed.rng();
         let mut rng = noise_seed.rng();
         let condition = CaptureCondition::sample(skin, habituation, &mut setup_rng);
@@ -349,6 +377,7 @@ impl Acquisition {
         };
 
         let mut minutiae: Vec<Minutia> = Vec::new();
+        let (mut lost_dropout, mut lost_vignette, mut lost_clipped) = (0u64, 0u64, 0u64);
         for m in master.minutiae() {
             // Contact test in finger coordinates, with the edge band suffering
             // extra dropout (partial ridge contact near the boundary).
@@ -358,8 +387,13 @@ impl Acquisition {
             if u > 1.0 {
                 continue;
             }
-            let edge_penalty = if u > 0.82 { 0.35 * ((u - 0.82) / 0.18) } else { 0.0 };
+            let edge_penalty = if u > 0.82 {
+                0.35 * ((u - 0.82) / 0.18)
+            } else {
+                0.0
+            };
             if rng.gen::<f64>() < dropout + edge_penalty {
+                lost_dropout += 1;
                 continue;
             }
             let projected = project(m.pos, &skin_warp);
@@ -368,15 +402,17 @@ impl Acquisition {
                 projected.y + dist::normal(&mut rng, 0.0, jitter_sd),
             );
             if !window.contains(&jittered) {
+                lost_clipped += 1;
                 continue;
             }
             // Illumination vignette: sensitivity falls off toward the window
             // edge, eating minutiae in the boundary band. This is the
             // dominant loss channel for the small-window handheld D3.
-            let edge_dist = (window.max().x - jittered.x.abs())
-                .min(window.max().y - jittered.y.abs());
+            let edge_dist =
+                (window.max().x - jittered.x.abs()).min(window.max().y - jittered.y.abs());
             let band = device.noise.vignette_band_mm;
             if edge_dist < band && rng.gen::<f64>() < 0.6 * (1.0 - edge_dist / band) {
+                lost_vignette += 1;
                 continue;
             }
             let quantized = Point::new(
@@ -386,8 +422,10 @@ impl Acquisition {
             let direction = placement
                 .apply_direction(m.direction)
                 .rotated(dist::von_mises(&mut rng, 0.0, kappa));
-            let reliability =
-                m.reliability * clarity.sqrt() * (1.0 - edge_penalty) * (0.85 + 0.15 * rng.gen::<f64>());
+            let reliability = m.reliability
+                * clarity.sqrt()
+                * (1.0 - edge_penalty)
+                * (0.85 + 0.15 * rng.gen::<f64>());
             // Extraction occasionally confuses endings with bifurcations
             // (broken ridges under dry skin look like endings, bridged
             // valleys under wet skin look like bifurcations).
@@ -407,12 +445,14 @@ impl Acquisition {
         let spurious_lambda =
             device.noise.spurious_rate * contact_area * (1.0 + 2.0 * (1.0 - clarity));
         let spurious_count = dist::poisson(&mut rng, spurious_lambda) as usize;
+        let mut spurious_added = 0u64;
         for _ in 0..spurious_count {
             let p = contact.sample_point(&mut rng);
             let projected = project(p, &skin_warp);
             if !window.contains(&projected) {
                 continue;
             }
+            spurious_added += 1;
             let quantized = Point::new(
                 (projected.x / pitch).round() * pitch,
                 (projected.y / pitch).round() * pitch,
@@ -430,6 +470,7 @@ impl Acquisition {
             ));
         }
         minutiae.truncate(MAX_MINUTIAE);
+        metrics.record_losses(lost_dropout, lost_vignette, lost_clipped, spurious_added);
 
         // Captured-area fraction by Monte Carlo over the contact region.
         let samples = 128;
@@ -524,10 +565,7 @@ mod tests {
         for d in 0..5usize {
             let imp = capture(d, 0, 7);
             let n = imp.template().len();
-            assert!(
-                (8..=90).contains(&n),
-                "device {d}: {n} minutiae"
-            );
+            assert!((8..=90).contains(&n), "device {d}: {n} minutiae");
         }
     }
 

@@ -38,8 +38,7 @@ impl CaptureCondition {
     /// user habituation: experienced presenters (later sessions) drift
     /// toward ideal pressure. 0 = first contact, 1 = fully habituated.
     pub fn sample<R: Rng + ?Sized>(skin: &SkinProfile, habituation: f64, rng: &mut R) -> Self {
-        let moisture =
-            (skin.moisture + dist::normal(rng, 0.0, 0.07)).clamp(0.02, 0.98);
+        let moisture = (skin.moisture + dist::normal(rng, 0.0, 0.07)).clamp(0.02, 0.98);
         let raw_pressure = dist::truncated_normal(rng, 0.5, 0.16, 0.05, 0.95);
         // Habituation pulls pressure toward the ideal 0.5.
         let pressure = 0.5 + (raw_pressure - 0.5) * (1.0 - 0.45 * habituation.clamp(0.0, 1.0));

@@ -319,7 +319,9 @@ mod tests {
         for a in 0..4usize {
             let mut to_ink = 0.0;
             for b in 0..5usize {
-                let rms = DEVICES[a].distortion.rms_difference(&DEVICES[b].distortion, 9.0);
+                let rms = DEVICES[a]
+                    .distortion
+                    .rms_difference(&DEVICES[b].distortion, 9.0);
                 if a == b {
                     assert_eq!(rms, 0.0);
                 } else {
@@ -331,7 +333,9 @@ mod tests {
             }
             for b in 0..4usize {
                 if a != b {
-                    let rms = DEVICES[a].distortion.rms_difference(&DEVICES[b].distortion, 9.0);
+                    let rms = DEVICES[a]
+                        .distortion
+                        .rms_difference(&DEVICES[b].distortion, 9.0);
                     assert!(
                         to_ink > rms,
                         "D{a}: ink residual {to_ink} not larger than D{b} residual {rms}"

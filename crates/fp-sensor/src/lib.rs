@@ -41,6 +41,7 @@ pub mod acquisition;
 pub mod condition;
 pub mod device;
 pub mod distortion;
+pub mod metrics;
 pub mod protocol;
 
 pub use acquisition::{Acquisition, Impression, ImpressionFeatures};

@@ -1,0 +1,65 @@
+//! Telemetry instruments for the capture pipeline.
+//!
+//! [`CaptureMetrics`] counts impressions per device and tallies the
+//! acquisition loss channels (condition dropout, vignette losses, window
+//! clipping) plus spurious detections. The `Default` bundle is disabled —
+//! every record is a no-op — so the uninstrumented capture path pays
+//! nothing. All values are pure functions of the seed: same-seed runs
+//! report identical tallies.
+
+use fp_core::ids::DeviceId;
+use fp_telemetry::{Counter, Telemetry, ValueHistogram};
+
+use crate::device::DEVICES;
+
+/// Instruments for [`crate::Acquisition`] / [`crate::CaptureProtocol`].
+#[derive(Debug, Clone, Default)]
+pub struct CaptureMetrics {
+    /// `sensor.d{d}.impressions` — impressions captured per device.
+    impressions: [Counter; DEVICES.len()],
+    /// `sensor.minutiae.dropped` — master minutiae lost to
+    /// condition-dependent dropout (including the contact-edge band).
+    dropped: Counter,
+    /// `sensor.minutiae.vignetted` — minutiae eaten by the illumination
+    /// vignette near the window edge.
+    vignetted: Counter,
+    /// `sensor.minutiae.clipped` — minutiae that landed outside the device
+    /// capture window.
+    clipped: Counter,
+    /// `sensor.minutiae.spurious` — spurious minutiae added by dirt, ink
+    /// blobs and bridged valleys.
+    spurious: Counter,
+    /// `sensor.minutiae_per_impression` — extracted template sizes.
+    minutiae: ValueHistogram,
+}
+
+impl CaptureMetrics {
+    /// Registers the capture instruments on `telemetry`.
+    pub fn new(telemetry: &Telemetry) -> CaptureMetrics {
+        CaptureMetrics {
+            impressions: std::array::from_fn(|d| {
+                telemetry.counter(&format!("sensor.d{d}.impressions"))
+            }),
+            dropped: telemetry.counter("sensor.minutiae.dropped"),
+            vignetted: telemetry.counter("sensor.minutiae.vignetted"),
+            clipped: telemetry.counter("sensor.minutiae.clipped"),
+            spurious: telemetry.counter("sensor.minutiae.spurious"),
+            minutiae: telemetry.value("sensor.minutiae_per_impression"),
+        }
+    }
+
+    /// Records one finished impression (any capture path, including ink
+    /// rescans).
+    pub(crate) fn record_impression(&self, device: DeviceId, minutia_count: usize) {
+        self.impressions[device.0 as usize].incr();
+        self.minutiae.record(minutia_count as u64);
+    }
+
+    /// Records the loss tallies of one acquisition pass.
+    pub(crate) fn record_losses(&self, dropped: u64, vignetted: u64, clipped: u64, spurious: u64) {
+        self.dropped.add(dropped);
+        self.vignetted.add(vignetted);
+        self.clipped.add(clipped);
+        self.spurious.add(spurious);
+    }
+}

@@ -9,24 +9,39 @@
 
 use fp_core::ids::{DeviceId, Finger, SessionId};
 use fp_core::rng::SeedTree;
+use fp_synth::metrics::SynthMetrics;
 use fp_synth::population::Subject;
+use fp_telemetry::Telemetry;
 
 use crate::acquisition::{Acquisition, Impression};
 use crate::device::{Device, DEVICES};
+use crate::metrics::CaptureMetrics;
 
 /// Number of capture sessions per device per participant.
 pub const SESSIONS_PER_DEVICE: u8 = 2;
 
 /// The fixed capture protocol of the study.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CaptureProtocol {
     acquisition: Acquisition,
+    metrics: CaptureMetrics,
+    synth_metrics: SynthMetrics,
 }
 
 impl CaptureProtocol {
     /// Creates the protocol engine.
     pub fn new() -> Self {
         CaptureProtocol::default()
+    }
+
+    /// Creates a protocol engine that records per-device impression counts,
+    /// acquisition loss tallies and master-synthesis work into `telemetry`.
+    pub fn with_telemetry(telemetry: &Telemetry) -> Self {
+        CaptureProtocol {
+            acquisition: Acquisition,
+            metrics: CaptureMetrics::new(telemetry),
+            synth_metrics: SynthMetrics::new(telemetry),
+        }
     }
 
     /// The device capture order used in the study: all live-scan devices in
@@ -50,7 +65,7 @@ impl CaptureProtocol {
         device: DeviceId,
         session: SessionId,
     ) -> Impression {
-        let master = subject.master_print(finger);
+        let master = subject.master_print_metered(finger, &self.synth_metrics);
         let dev: &Device = Device::by_id(device);
         // Habituation grows with the subject's position in the protocol:
         // later devices and the second session see a more practiced user.
@@ -67,18 +82,24 @@ impl CaptureProtocol {
         // presentation and fresh sensor noise every session.
         if dev.is_ink() && session.0 > 0 {
             let base = self.capture(subject, finger, device, SessionId(0));
-            let rescan_seed = subject
-                .seed()
-                .child(&[0xAC, device.0 as u64, session.0 as u64, finger.index(), 2]);
-            return base.rescanned(session, &rescan_seed);
+            let rescan_seed =
+                subject
+                    .seed()
+                    .child(&[0xAC, device.0 as u64, session.0 as u64, finger.index(), 2]);
+            let rescan = base.rescanned(session, &rescan_seed);
+            self.metrics
+                .record_impression(device, rescan.template().len());
+            return rescan;
         }
-        let setup_seed: SeedTree = subject
-            .seed()
-            .child(&[0xAC, device.0 as u64, session.0 as u64, finger.index(), 0]);
-        let noise_seed: SeedTree = subject
-            .seed()
-            .child(&[0xAC, device.0 as u64, session.0 as u64, finger.index(), 1]);
-        self.acquisition.capture_with_seeds(
+        let setup_seed: SeedTree =
+            subject
+                .seed()
+                .child(&[0xAC, device.0 as u64, session.0 as u64, finger.index(), 0]);
+        let noise_seed: SeedTree =
+            subject
+                .seed()
+                .child(&[0xAC, device.0 as u64, session.0 as u64, finger.index(), 1]);
+        let impression = self.acquisition.capture_with_seeds_metered(
             &master,
             &subject.skin(),
             dev,
@@ -88,7 +109,11 @@ impl CaptureProtocol {
             habituation,
             &setup_seed,
             &noise_seed,
-        )
+            &self.metrics,
+        );
+        self.metrics
+            .record_impression(device, impression.template().len());
+        impression
     }
 
     /// Captures the full protocol for one finger of one subject: both
@@ -131,7 +156,10 @@ mod tests {
 
     #[test]
     fn ink_is_captured_last() {
-        assert_eq!(*CaptureProtocol::device_order().last().unwrap(), DeviceId(4));
+        assert_eq!(
+            *CaptureProtocol::device_order().last().unwrap(),
+            DeviceId(4)
+        );
     }
 
     #[test]

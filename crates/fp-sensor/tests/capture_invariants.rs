@@ -13,7 +13,8 @@ fn every_capture_satisfies_structural_invariants() {
     for subject in pop.subjects() {
         for device in DeviceId::ALL {
             for session in 0..2u8 {
-                let imp = protocol.capture(subject, Finger::RIGHT_INDEX, device, SessionId(session));
+                let imp =
+                    protocol.capture(subject, Finger::RIGHT_INDEX, device, SessionId(session));
                 let dev = &DEVICES[device.0 as usize];
                 let window = dev.capture_window();
                 let pitch = dev.pixel_pitch_mm();
@@ -22,7 +23,11 @@ fn every_capture_satisfies_structural_invariants() {
                 // 1. Every minutia lies in the capture window, on the pixel
                 //    grid, with a valid reliability and finite direction.
                 for m in imp.template().minutiae() {
-                    assert!(window.contains(&m.pos), "{device}/{session}: {:?} outside", m.pos);
+                    assert!(
+                        window.contains(&m.pos),
+                        "{device}/{session}: {:?} outside",
+                        m.pos
+                    );
                     let gx = (m.pos.x / pitch).round() * pitch;
                     assert!((m.pos.x - gx).abs() < 1e-9, "off-grid x");
                     assert!((0.0..=1.0).contains(&m.reliability));
@@ -93,7 +98,11 @@ fn habituation_argument_is_clamped_not_trusted() {
             &fp_core::rng::SeedTree::new(1),
         );
         let c = imp.condition();
-        assert!((0.0..=1.0).contains(&c.pressure), "h={h}: pressure {}", c.pressure);
+        assert!(
+            (0.0..=1.0).contains(&c.pressure),
+            "h={h}: pressure {}",
+            c.pressure
+        );
         assert!((0.0..=1.0).contains(&c.moisture));
     }
 }

@@ -86,8 +86,8 @@ fn rescan_is_deterministic() {
 #[test]
 fn swipe_stitching_degrades_self_consistency() {
     use fp_core::rng::SeedTree;
-    use fp_sensor::{Acquisition, Device, DistortionSignature, SensingTechnology};
     use fp_sensor::device::NoiseProfile;
+    use fp_sensor::{Acquisition, Device, DistortionSignature, SensingTechnology};
 
     // Identical parameters except the technology: swipe reconstruction adds
     // per-capture stitch artifacts that the touch variant does not have.

@@ -30,7 +30,10 @@ impl Histogram {
     /// Panics when `bins == 0` or `lo >= hi` or either bound is non-finite.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid range [{lo}, {hi})"
+        );
         Histogram {
             lo,
             hi,
@@ -41,7 +44,12 @@ impl Histogram {
     }
 
     /// Builds a histogram from an iterator of values.
-    pub fn from_values<I: IntoIterator<Item = f64>>(lo: f64, hi: f64, bins: usize, values: I) -> Self {
+    pub fn from_values<I: IntoIterator<Item = f64>>(
+        lo: f64,
+        hi: f64,
+        bins: usize,
+        values: I,
+    ) -> Self {
         let mut h = Histogram::new(lo, hi, bins);
         for v in values {
             h.add(v);

@@ -151,7 +151,11 @@ mod tests {
             "log10 p = {}",
             t.log10_p
         );
-        assert!(t.format_p().ends_with("e-242"), "formatted: {}", t.format_p());
+        assert!(
+            t.format_p().ends_with("e-242"),
+            "formatted: {}",
+            t.format_p()
+        );
     }
 
     #[test]

@@ -4,10 +4,12 @@
 //! ```sh
 //! study all                         # every experiment at the default scale
 //! study table5 --subjects 494      # one experiment at paper scale
-//! study all --json results.json    # machine-readable output
+//! study all --json results.json    # machine-readable output (incl. telemetry)
+//! study all --metrics metrics.json # telemetry snapshot to its own file
 //! study devices                    # print the device table (paper Table 1)
+//! study metrics                    # explain the telemetry instruments
 //! study verify --subjects 150      # check the paper's findings hold
-//! study render --seed 7 --json out.pgm   # render a synthetic print (PGM)
+//! study render --seed 7 --out print.pgm   # render a synthetic print (PGM)
 //! ```
 
 use std::process::ExitCode;
@@ -16,12 +18,15 @@ use fp_sensor::DEVICES;
 use fp_study::config::StudyConfig;
 use fp_study::experiments;
 use fp_study::scores::StudyData;
+use fp_telemetry::Telemetry;
 
 struct Args {
     experiment: String,
     subjects: Option<usize>,
     seed: Option<u64>,
     json: Option<String>,
+    out: Option<String>,
+    metrics: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +37,8 @@ fn parse_args() -> Result<Args, String> {
         subjects: None,
         seed: None,
         json: None,
+        out: None,
+        metrics: None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -51,6 +58,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => {
                 parsed.json = Some(args.next().ok_or("--json needs a path")?);
+            }
+            "--out" => {
+                parsed.out = Some(args.next().ok_or("--out needs a path")?);
+            }
+            "--metrics" => {
+                parsed.metrics = Some(args.next().ok_or("--metrics needs a path")?);
             }
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -76,13 +89,65 @@ fn print_devices() {
     }
 }
 
+fn print_metrics_help() {
+    println!("telemetry instruments (enabled for every experiment run):");
+    println!();
+    println!("  export: `--json PATH` embeds a \"telemetry\" section in the results;");
+    println!("  `--metrics PATH` writes the snapshot alone. `study all` also prints a");
+    println!("  one-screen summary to stderr. Counters and work-size histograms are");
+    println!("  pure functions of the seed (identical across same-seed runs);");
+    println!("  durations, gauges and stage timings vary with the machine.");
+    println!();
+    println!("  counters (deterministic work tallies)");
+    println!("    synth.masters                     master prints synthesized");
+    println!("    sensor.d<d>.impressions           impressions captured per device");
+    println!("    sensor.minutiae.dropped/vignetted/clipped/spurious");
+    println!("                                      acquisition gain/loss channels");
+    println!("    match.{{pairtable,hough,mcc}}.comparisons   matcher invocations");
+    println!("    scores.comparisons.genuine/impostor        study comparisons");
+    println!();
+    println!("  work-size histograms (deterministic)");
+    println!("    synth.minutiae_per_master         master template sizes");
+    println!("    sensor.minutiae_per_impression    captured template sizes");
+    println!("    match.pairtable.table_entries/associations/cluster_size");
+    println!("    match.hough.vote_cells/peak_votes");
+    println!("    match.mcc.valid_cylinders");
+    println!();
+    println!("  duration histograms (spans; wall time)");
+    println!("    study.dataset, study.dataset.population, study.scores");
+    println!("    scores.cell.g<g>p<p>              per (gallery, probe) device cell");
+    println!("    experiment.<id>                   per report");
+    println!();
+    println!("  stages (per-thread utilization)");
+    println!("    dataset.capture, scores.prepare, scores.genuine, scores.impostor");
+}
+
+fn write_json(path: &str, value: &serde_json::Value) -> Result<(), ExitCode> {
+    match std::fs::write(
+        path,
+        serde_json::to_string_pretty(value).expect("serializable"),
+    ) {
+        Ok(()) => {
+            eprintln!("wrote {path}");
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: study <all|devices|{}> [--subjects N] [--seed S] [--json PATH]",
-                experiments::ALL_IDS.join("|"));
+            eprintln!(
+                "usage: study <all|devices|metrics|verify|render|{}> \
+                 [--subjects N] [--seed S] [--json PATH] [--metrics PATH] [--out PATH]",
+                experiments::ALL_IDS.join("|")
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -92,19 +157,25 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if args.experiment == "metrics" {
+        print_metrics_help();
+        return ExitCode::SUCCESS;
+    }
+
     if args.experiment == "render" {
-        // Render one synthetic fingerprint with its master minutiae marked,
-        // to the path given via --json (reused as the output path).
+        // Render one synthetic fingerprint with its master minutiae marked.
         let seed = args.seed.unwrap_or(7);
-        let path = args.json.clone().unwrap_or_else(|| "fingerprint.pgm".to_string());
+        let path = args
+            .out
+            .clone()
+            .unwrap_or_else(|| "fingerprint.pgm".to_string());
         let master = fp_synth::master::MasterPrint::generate(
             &fp_core::rng::SeedTree::new(seed),
             fp_core::ids::Digit::Index,
             1.0,
         );
-        let window =
-            fp_core::geometry::Rect::centred(fp_core::geometry::Point::ORIGIN, 18.0, 22.0)
-                .expect("valid window");
+        let window = fp_core::geometry::Rect::centred(fp_core::geometry::Point::ORIGIN, 18.0, 22.0)
+            .expect("valid window");
         let config = fp_image::render::RenderConfig::default();
         eprintln!(
             "rendering {} print (seed {seed}) at 500 dpi ...",
@@ -145,6 +216,18 @@ fn main() -> ExitCode {
             image.height(),
             template.len()
         );
+        if let Some(json_path) = args.json {
+            let payload = serde_json::json!({
+                "seed": seed,
+                "path": path,
+                "width": image.width(),
+                "height": image.height(),
+                "minutiae": template.len(),
+            });
+            if let Err(code) = write_json(&json_path, &payload) {
+                return code;
+            }
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -167,9 +250,8 @@ fn main() -> ExitCode {
         println!("{report}");
         if let Some(path) = args.json {
             let payload = serde_json::json!({"config": config, "findings": findings});
-            if let Err(e) = std::fs::write(&path, serde_json::to_string_pretty(&payload).expect("serializable")) {
-                eprintln!("failed to write {path}: {e}");
-                return ExitCode::FAILURE;
+            if let Err(code) = write_json(&path, &payload) {
+                return code;
             }
         }
         return if all_hold {
@@ -193,18 +275,19 @@ fn main() -> ExitCode {
         "generating study data: {} subjects, {} impostor pairs per cell, seed {} ...",
         config.subjects, config.impostors_per_cell, config.seed
     );
+    let telemetry = Telemetry::enabled();
     let start = std::time::Instant::now();
-    let data = StudyData::generate(&config);
+    let data = StudyData::generate_with(&config, &telemetry);
     eprintln!("score matrices ready in {:.1?}", start.elapsed());
 
     let reports = if args.experiment == "all" {
-        experiments::run_all(&data)
+        experiments::run_all_with(&data, &telemetry)
     } else {
         match experiments::run(&args.experiment, &data) {
             Some(r) => vec![r],
             None => {
                 eprintln!(
-                    "unknown experiment `{}` (known: all, devices, {})",
+                    "unknown experiment `{}` (known: all, devices, metrics, {})",
                     args.experiment,
                     experiments::ALL_IDS.join(", ")
                 );
@@ -217,17 +300,25 @@ fn main() -> ExitCode {
         println!("{}", report.render());
     }
 
+    let snapshot = telemetry.snapshot();
+    if args.experiment == "all" {
+        eprintln!("{}", fp_telemetry::render_summary(&snapshot));
+    }
+
     if let Some(path) = args.json {
         let payload = serde_json::json!({
             "config": config,
             "reports": reports,
+            "telemetry": snapshot,
         });
-        match std::fs::write(&path, serde_json::to_string_pretty(&payload).expect("serializable")) {
-            Ok(()) => eprintln!("wrote {path}"),
-            Err(e) => {
-                eprintln!("failed to write {path}: {e}");
-                return ExitCode::FAILURE;
-            }
+        if let Err(code) = write_json(&path, &payload) {
+            return code;
+        }
+    }
+    if let Some(path) = args.metrics {
+        let payload = serde_json::to_value(&snapshot).expect("serializable");
+        if let Err(code) = write_json(&path, &payload) {
+            return code;
         }
     }
     ExitCode::SUCCESS

@@ -132,7 +132,9 @@ impl StudyConfigBuilder {
         let impostors_per_cell = self.impostors_per_cell.unwrap_or_else(|| {
             // Scale the paper's per-cell sample with the number of ordered
             // subject pairs, but keep at least a usable floor.
-            let pairs = self.subjects.saturating_mul(self.subjects.saturating_sub(1));
+            let pairs = self
+                .subjects
+                .saturating_mul(self.subjects.saturating_sub(1));
             let paper_pairs = PAPER_SUBJECTS * (PAPER_SUBJECTS - 1);
             ((PAPER_IMPOSTORS_PER_CELL as u128 * pairs as u128 / paper_pairs as u128) as usize)
                 .max(200.min(pairs))

@@ -6,9 +6,10 @@ use fp_core::Matcher;
 use fp_quality::{NfiqLevel, QualityAssessor};
 use fp_sensor::{CaptureProtocol, Impression};
 use fp_synth::population::{Population, PopulationConfig, Subject};
+use fp_telemetry::Telemetry;
 
 use crate::config::StudyConfig;
-use crate::parallel::parallel_map;
+use crate::parallel::parallel_map_metered;
 
 /// One subject's captures on one device: gallery (session 0) and probe
 /// (session 1).
@@ -37,11 +38,21 @@ impl Dataset {
     /// Captures the full study dataset (parallel across subjects;
     /// deterministic in `config.seed`).
     pub fn generate(config: &StudyConfig) -> Dataset {
-        let population =
-            Population::generate(&PopulationConfig::new(config.seed, config.subjects));
-        let protocol = CaptureProtocol::new();
+        Dataset::generate_with(config, &Telemetry::disabled())
+    }
+
+    /// [`Dataset::generate`] with telemetry: records cohort-synthesis wall
+    /// time, per-device impression counts, acquisition loss tallies and the
+    /// capture stage's thread utilization. The generated dataset is
+    /// identical to the uninstrumented one.
+    pub fn generate_with(config: &StudyConfig, telemetry: &Telemetry) -> Dataset {
+        let population = {
+            let _span = telemetry.span("population");
+            Population::generate(&PopulationConfig::new(config.seed, config.subjects))
+        };
+        let protocol = CaptureProtocol::with_telemetry(telemetry);
         let assessor = QualityAssessor::default();
-        let captures = parallel_map(population.len(), |i| {
+        let captures = parallel_map_metered(population.len(), telemetry, "dataset.capture", |i| {
             let subject = &population.subjects()[i];
             DeviceId::ALL
                 .iter()

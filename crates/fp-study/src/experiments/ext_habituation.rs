@@ -19,9 +19,7 @@ pub fn run(data: &StudyData) -> Report {
     for d in DeviceId::ALL {
         let (mut q0, mut q1) = (0.0, 0.0);
         for s in 0..data.dataset.len() {
-            let caps = data
-                .dataset
-                .captures(fp_core::ids::SubjectId(s as u32), d);
+            let caps = data.dataset.captures(fp_core::ids::SubjectId(s as u32), d);
             q0 += caps.gallery_quality.value() as f64;
             q1 += caps.probe_quality.value() as f64;
         }

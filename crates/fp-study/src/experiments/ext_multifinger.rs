@@ -7,7 +7,7 @@
 //! two-finger FNMR at a fixed FMR in the hardest scenario (ink-card gallery
 //! vs live-scan probe) and an easy one (same-device D0).
 
-use fp_core::ids::{Digit, DeviceId, Finger, Hand, SessionId, SubjectId};
+use fp_core::ids::{DeviceId, Digit, Finger, Hand, SessionId, SubjectId};
 use fp_core::Matcher;
 use fp_match::PairTableMatcher;
 use fp_sensor::CaptureProtocol;

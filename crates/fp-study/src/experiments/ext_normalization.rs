@@ -96,7 +96,12 @@ pub fn run(data: &StudyData) -> Report {
                 continue;
             }
             let gain = gains[g as usize][p as usize];
-            for s in data.scores.genuine_cell(DeviceId(g), DeviceId(p)).iter().skip(split) {
+            for s in data
+                .scores
+                .genuine_cell(DeviceId(g), DeviceId(p))
+                .iter()
+                .skip(split)
+            {
                 raw_genuine.push(s.score);
                 norm_genuine.push(s.score * gain);
             }
@@ -125,9 +130,15 @@ pub fn run(data: &StudyData) -> Report {
          the matcher — the mitigation direction of Poh et al. [11]\n",
         n - split,
         fmr * 100.0,
-        "metric", "raw", "normalized",
-        "pooled cross FNMR", raw.fnmr, norm.fnmr,
-        "pooled cross AUC", raw.auc, norm.auc,
+        "metric",
+        "raw",
+        "normalized",
+        "pooled cross FNMR",
+        raw.fnmr,
+        norm.fnmr,
+        "pooled cross AUC",
+        raw.auc,
+        norm.auc,
         gains
             .iter()
             .flatten()

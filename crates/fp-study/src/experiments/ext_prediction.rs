@@ -42,7 +42,10 @@ pub fn run(data: &StudyData) -> Report {
     }
 
     let mut body = render_device_matrix(
-        &format!("P(false non-match) at FMR = {:.4}% (point estimate):", fmr * 100.0),
+        &format!(
+            "P(false non-match) at FMR = {:.4}% (point estimate):",
+            fmr * 100.0
+        ),
         |g, p| format!("{:.2e}", estimates[g][p]),
     );
     body.push_str(&render_device_matrix("\n95% CI upper bound:", |g, p| {

@@ -72,7 +72,10 @@ mod tests {
         let imax = r.values["impostor_max"].as_f64().unwrap();
         let genuine = data.scores.genuine_values(DeviceId(0), DeviceId(0));
         let gmean = genuine.iter().sum::<f64>() / genuine.len() as f64;
-        assert!(gmean > imax, "genuine mean {gmean} below impostor max {imax}");
+        assert!(
+            gmean > imax,
+            "genuine mean {gmean} below impostor max {imax}"
+        );
     }
 
     #[test]

@@ -92,6 +92,9 @@ mod tests {
         let r = run(testdata::small());
         let cross = r.values["ddmi_max"].as_f64().unwrap();
         let same = r.values["dmi_max"].as_f64().unwrap();
-        assert!((cross - same).abs() < 6.0, "impostor max moved: {same} -> {cross}");
+        assert!(
+            (cross - same).abs() < 6.0,
+            "impostor max moved: {same} -> {cross}"
+        );
     }
 }

@@ -2,6 +2,8 @@
 //! future-work extension analyses. Every experiment consumes the shared
 //! [`StudyData`] and returns a [`Report`].
 
+use fp_telemetry::Telemetry;
+
 use crate::report::Report;
 use crate::scores::StudyData;
 
@@ -64,9 +66,18 @@ pub fn run(id: &str, data: &StudyData) -> Option<Report> {
 
 /// Runs every experiment in presentation order.
 pub fn run_all(data: &StudyData) -> Vec<Report> {
+    run_all_with(data, &Telemetry::disabled())
+}
+
+/// [`run_all`] with telemetry: each experiment runs inside a span named
+/// `experiment.<id>`, so its wall time lands in the duration histograms.
+pub fn run_all_with(data: &StudyData, telemetry: &Telemetry) -> Vec<Report> {
     ALL_IDS
         .iter()
-        .map(|id| run(id, data).expect("ALL_IDS entries are runnable"))
+        .map(|id| {
+            let _span = telemetry.span(&format!("experiment.{id}"));
+            run(id, data).expect("ALL_IDS entries are runnable")
+        })
         .collect()
 }
 

@@ -20,13 +20,10 @@ pub fn run(data: &StudyData) -> Report {
         ("DDMI", s.ddmi().len(), 483_420),
     ];
     let config = data.dataset.config();
-    let at_paper_scale = config.subjects == PAPER_SUBJECTS
-        && config.impostors_per_cell == PAPER_IMPOSTORS_PER_CELL;
+    let at_paper_scale =
+        config.subjects == PAPER_SUBJECTS && config.impostors_per_cell == PAPER_IMPOSTORS_PER_CELL;
 
-    let mut body = format!(
-        "{:<8}{:>12}{:>16}\n",
-        "set", "this run", "paper (494 subj)"
-    );
+    let mut body = format!("{:<8}{:>12}{:>16}\n", "set", "this run", "paper (494 subj)");
     for (name, measured_n, paper_n) in measured {
         body.push_str(&format!("{name:<8}{measured_n:>12}{paper_n:>16}\n"));
     }

@@ -61,13 +61,16 @@ pub fn run(data: &StudyData) -> Report {
         }
         body.push('\n');
     }
-    body.push_str(&render_device_matrix("\ntau values (rows D0-D3):", |g, p| {
-        if g < 4 {
-            format!("{:.3}", tau_matrix[g][p])
-        } else {
-            "-".to_string()
-        }
-    }));
+    body.push_str(&render_device_matrix(
+        "\ntau values (rows D0-D3):",
+        |g, p| {
+            if g < 4 {
+                format!("{:.3}", tau_matrix[g][p])
+            } else {
+                "-".to_string()
+            }
+        },
+    ));
     body.push_str(
         "\npaper landmarks: diagonal ≈ 5e-242 at n = 494; matrix asymmetric;\n\
          the D4 (ten-print) column is the least correlated with DMG\n",
@@ -144,6 +147,9 @@ mod tests {
         let expected = fp_stats::special::two_sided_log10_p(1.0 / sigma);
         let r = run(data);
         let got = r.values["log10_p"][0][0].as_f64().unwrap();
-        assert!((got - expected).abs() < 0.1, "got {got}, expected {expected}");
+        assert!(
+            (got - expected).abs() < 0.1,
+            "got {got}, expected {expected}"
+        );
     }
 }

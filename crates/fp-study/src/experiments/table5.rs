@@ -38,7 +38,10 @@ pub fn run(data: &StudyData) -> Report {
     let matrix = fnmr_matrix(data, fmr);
 
     let mut body = render_device_matrix(
-        &format!("FNMR at fixed FMR = {:.4}% (rows: enroll, cols: verify):", fmr * 100.0),
+        &format!(
+            "FNMR at fixed FMR = {:.4}% (rows: enroll, cols: verify):",
+            fmr * 100.0
+        ),
         |g, p| format!("{:.2e}", matrix[g][p]),
     );
 
@@ -67,7 +70,10 @@ pub fn run(data: &StudyData) -> Report {
         "\nshape: diagonal is row minimum for {:?}\n\
          best diagonal: D{best_diag} (paper: D4)\n\
          worst probe column (mean off-diagonal FNMR): D{worst_probe} (paper: D4)\n",
-        (0..5).filter(|&g| diag_is_min[g]).map(|g| format!("D{g}")).collect::<Vec<_>>(),
+        (0..5)
+            .filter(|&g| diag_is_min[g])
+            .map(|g| format!("D{g}"))
+            .collect::<Vec<_>>(),
     ));
 
     Report::new(

@@ -64,9 +64,7 @@ pub fn run(data: &StudyData) -> Report {
     ));
 
     // How much of the FNMR mass does the quality gate remove?
-    let mean = |m: &Vec<Vec<f64>>| {
-        m.iter().flatten().sum::<f64>() / 25.0
-    };
+    let mean = |m: &Vec<Vec<f64>>| m.iter().flatten().sum::<f64>() / 25.0;
     let mean_restricted = mean(&restricted);
     let mean_unrestricted = mean(&unrestricted);
     body.push_str(&format!(

@@ -117,7 +117,14 @@ pub fn check_all(data: &StudyData) -> Vec<Finding> {
                 .score_set(DeviceId(g), DeviceId(p))
                 .fnmr_at_fmr(1e-4)
         };
-        let row_mean = |g: u8| mean(&(0..5).filter(|&p| p != g).map(|p| fnmr(g, p)).collect::<Vec<_>>());
+        let row_mean = |g: u8| {
+            mean(
+                &(0..5)
+                    .filter(|&p| p != g)
+                    .map(|p| fnmr(g, p))
+                    .collect::<Vec<_>>(),
+            )
+        };
         let ink_worst = (0..4).all(|g| row_mean(4) >= row_mean(g));
         findings.push(Finding {
             id: "ink-least-interoperable",
@@ -126,7 +133,10 @@ pub fn check_all(data: &StudyData) -> Vec<Finding> {
             holds: ink_worst,
             evidence: format!(
                 "mean off-diagonal FNMR by gallery: {}",
-                (0..5).map(|g| format!("D{g}={:.3}", row_mean(g))).collect::<Vec<_>>().join(" ")
+                (0..5)
+                    .map(|g| format!("D{g}={:.3}", row_mean(g)))
+                    .collect::<Vec<_>>()
+                    .join(" ")
             ),
         });
     }
@@ -140,7 +150,9 @@ pub fn check_all(data: &StudyData) -> Vec<Finding> {
             )
         };
         let diag_perfect = (0..4u8).all(|x| {
-            cell(x, x).map(|t| (t.tau - 1.0).abs() < 1e-9).unwrap_or(false)
+            cell(x, x)
+                .map(|t| (t.tau - 1.0).abs() < 1e-9)
+                .unwrap_or(false)
         });
         let mut max_gap = 0.0f64;
         for x in 0..4u8 {
@@ -157,7 +169,9 @@ pub fn check_all(data: &StudyData) -> Vec<Finding> {
             claim: "the results of Kendall's rank test are not symmetric, \
                     with a perfectly-correlated diagonal",
             holds: diag_perfect && max_gap > 0.01,
-            evidence: format!("diagonal tau = 1: {diag_perfect}, max |tau(x,y)-tau(y,x)| = {max_gap:.3}"),
+            evidence: format!(
+                "diagonal tau = 1: {diag_perfect}, max |tau(x,y)-tau(y,x)| = {max_gap:.3}"
+            ),
         });
     }
 
@@ -188,7 +202,10 @@ pub fn check_all(data: &StudyData) -> Vec<Finding> {
             claim: "the number of genuine match scores < 10 significantly \
                     increases when the verification device differs",
             holds: rate_cross > rate_same,
-            evidence: format!("low-score rate {:.3} (same) vs {:.3} (cross)", rate_same, rate_cross),
+            evidence: format!(
+                "low-score rate {:.3} (same) vs {:.3} (cross)",
+                rate_same, rate_cross
+            ),
         });
     }
 
@@ -202,7 +219,10 @@ pub fn render(findings: &[Finding]) -> (String, bool) {
     for f in findings {
         let mark = if f.holds { "PASS" } else { "FAIL" };
         all &= f.holds;
-        out.push_str(&format!("[{mark}] {}\n       {}\n       -> {}\n", f.id, f.claim, f.evidence));
+        out.push_str(&format!(
+            "[{mark}] {}\n       {}\n       -> {}\n",
+            f.id, f.claim, f.evidence
+        ));
     }
     (out, all)
 }

@@ -2,6 +2,9 @@
 //! dependency for the score-matrix computation.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use fp_telemetry::{StageRecorder, Telemetry, WorkerStats};
 
 /// Applies `f` to every index in `0..n`, in parallel across the machine's
 /// cores, collecting results in index order.
@@ -14,15 +17,43 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_map_metered(n, &Telemetry::disabled(), "", f)
+}
+
+/// [`parallel_map`] with telemetry: records the stage's wall time plus each
+/// worker thread's item count, busy time and utilization under `stage`.
+/// When `telemetry` is disabled the per-item clock reads are skipped and
+/// nothing is recorded.
+pub fn parallel_map_metered<T, F>(n: usize, telemetry: &Telemetry, stage: &str, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     if n == 0 {
         return Vec::new();
     }
+    let recorder = StageRecorder::start(telemetry, stage);
+    let timed = recorder.is_enabled();
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n);
     if threads <= 1 {
-        return (0..n).map(f).collect();
+        let mut stats = WorkerStats::default();
+        let out = (0..n)
+            .map(|i| {
+                if timed {
+                    let start = Instant::now();
+                    let value = f(i);
+                    stats.record(start.elapsed());
+                    value
+                } else {
+                    f(i)
+                }
+            })
+            .collect();
+        recorder.finish(vec![stats]);
+        return out;
     }
     let counter = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
@@ -30,29 +61,42 @@ where
     // SAFETY-free sharing: each worker writes disjoint slots; we hand out
     // slot ownership through a Mutex-free pattern by collecting into
     // per-thread vectors instead.
-    let results: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+    let results: Vec<(Vec<(usize, T)>, WorkerStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
                     let mut local = Vec::new();
+                    let mut stats = WorkerStats::default();
                     loop {
                         let i = counter.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(i)));
+                        if timed {
+                            let start = Instant::now();
+                            local.push((i, f(i)));
+                            stats.record(start.elapsed());
+                        } else {
+                            local.push((i, f(i)));
+                        }
                     }
-                    local
+                    (local, stats)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
-    for chunk in results {
+    let mut workers = Vec::with_capacity(results.len());
+    for (chunk, stats) in results {
+        workers.push(stats);
         for (i, value) in chunk {
             slots[i] = Some(value);
         }
     }
+    recorder.finish(workers);
     slots
         .into_iter()
         .map(|s| s.expect("every index visited exactly once"))
@@ -91,5 +135,25 @@ mod tests {
         for (i, h) in hits.iter().enumerate() {
             assert_eq!(h.load(Ordering::SeqCst), 1, "index {i}");
         }
+    }
+
+    #[test]
+    fn metered_map_records_stage_with_all_items() {
+        let t = Telemetry::enabled();
+        let out = parallel_map_metered(300, &t, "demo", |i| i + 1);
+        assert_eq!(out.len(), 300);
+        let stages = t.snapshot().stages;
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].stage, "demo");
+        assert_eq!(stages[0].items, 300);
+        assert_eq!(stages[0].threads.iter().map(|w| w.items).sum::<u64>(), 300);
+    }
+
+    #[test]
+    fn metered_map_with_disabled_telemetry_records_nothing() {
+        let t = Telemetry::disabled();
+        let out = parallel_map_metered(50, &t, "quiet", |i| i);
+        assert_eq!(out.len(), 50);
+        assert!(t.snapshot().stages.is_empty());
     }
 }

@@ -36,7 +36,10 @@ impl Report {
     /// Renders the report for the terminal.
     pub fn render(&self) -> String {
         let rule = "=".repeat(72);
-        format!("{rule}\n{} — {}\n{rule}\n{}\n", self.id, self.title, self.body)
+        format!(
+            "{rule}\n{} — {}\n{rule}\n{}\n",
+            self.id, self.title, self.body
+        )
     }
 }
 

@@ -5,11 +5,12 @@ use fp_core::rng::SeedTree;
 use fp_match::{PairTableMatcher, PreparableMatcher};
 use fp_quality::NfiqLevel;
 use fp_stats::roc::ScoreSet;
+use fp_telemetry::Telemetry;
 use rand::Rng;
 
 use crate::config::{StudyConfig, DEVICE_COUNT};
 use crate::dataset::Dataset;
-use crate::parallel::parallel_map;
+use crate::parallel::parallel_map_metered;
 
 /// One genuine comparison outcome, annotated for the quality analyses
 /// (Figure 5, Table 6).
@@ -45,28 +46,47 @@ impl ScoreMatrix {
     where
         M: PreparableMatcher,
     {
+        ScoreMatrix::compute_with(dataset, matcher, &Telemetry::disabled())
+    }
+
+    /// [`ScoreMatrix::compute`] with telemetry: records preparation and
+    /// per-cell matching wall time, comparison counters, per-stage thread
+    /// utilization, and throttled progress lines on stderr. The scores are
+    /// identical to the uninstrumented computation.
+    pub fn compute_with<M>(dataset: &Dataset, matcher: &M, telemetry: &Telemetry) -> ScoreMatrix
+    where
+        M: PreparableMatcher,
+    {
         let n = dataset.len();
         let config = dataset.config();
+        let cells = DEVICE_COUNT * DEVICE_COUNT;
+        let progress =
+            telemetry.progress("scores", (cells * (n + config.impostors_per_cell)) as u64);
+        let genuine_counter = telemetry.counter("scores.comparisons.genuine");
+        let impostor_counter = telemetry.counter("scores.comparisons.impostor");
 
         // Prepare every template once (2 sessions x 5 devices x n subjects).
-        let prepared: Vec<[(M::Prepared, M::Prepared); DEVICE_COUNT]> = parallel_map(n, |s| {
-            std::array::from_fn(|d| {
-                let c = dataset.captures(SubjectId(s as u32), DeviceId(d as u8));
-                (
-                    matcher.prepare(c.gallery.template()),
-                    matcher.prepare(c.probe.template()),
-                )
-            })
-        });
+        let prepared: Vec<[(M::Prepared, M::Prepared); DEVICE_COUNT]> =
+            parallel_map_metered(n, telemetry, "scores.prepare", |s| {
+                std::array::from_fn(|d| {
+                    let c = dataset.captures(SubjectId(s as u32), DeviceId(d as u8));
+                    (
+                        matcher.prepare(c.gallery.template()),
+                        matcher.prepare(c.probe.template()),
+                    )
+                })
+            });
 
         // Genuine: 25 cells x n subjects.
-        let genuine_flat = parallel_map(DEVICE_COUNT * DEVICE_COUNT, |cell| {
+        let genuine_flat = parallel_map_metered(cells, telemetry, "scores.genuine", |cell| {
             let (g, p) = (cell / DEVICE_COUNT, cell % DEVICE_COUNT);
-            (0..n)
+            let timer = telemetry.duration(&format!("scores.cell.g{g}p{p}"));
+            let start = std::time::Instant::now();
+            let scores = (0..n)
                 .map(|s| {
-                    let score = config.calibration.apply(
-                        matcher.compare_prepared(&prepared[s][g].0, &prepared[s][p].1),
-                    );
+                    let score = config
+                        .calibration
+                        .apply(matcher.compare_prepared(&prepared[s][g].0, &prepared[s][p].1));
                     let caps_g = dataset.captures(SubjectId(s as u32), DeviceId(g as u8));
                     let caps_p = dataset.captures(SubjectId(s as u32), DeviceId(p as u8));
                     GenuineScore {
@@ -76,12 +96,18 @@ impl ScoreMatrix {
                         probe_quality: caps_p.probe_quality,
                     }
                 })
-                .collect::<Vec<_>>()
+                .collect::<Vec<_>>();
+            timer.record(start.elapsed());
+            genuine_counter.add(n as u64);
+            progress.inc(n as u64);
+            scores
         });
 
         // Impostor: 25 cells x impostors_per_cell sampled ordered pairs.
-        let impostor_flat = parallel_map(DEVICE_COUNT * DEVICE_COUNT, |cell| {
+        let impostor_flat = parallel_map_metered(cells, telemetry, "scores.impostor", |cell| {
             let (g, p) = (cell / DEVICE_COUNT, cell % DEVICE_COUNT);
+            let timer = telemetry.duration(&format!("scores.cell.g{g}p{p}"));
+            let start = std::time::Instant::now();
             let mut rng = SeedTree::new(config.seed)
                 .child(&[0x1A, g as u64, p as u64])
                 .rng();
@@ -96,19 +122,25 @@ impl ScoreMatrix {
                         }
                         b
                     };
-                    let score = config.calibration.apply(
-                        matcher.compare_prepared(&prepared[a][g].0, &prepared[b][p].1),
-                    );
+                    let score = config
+                        .calibration
+                        .apply(matcher.compare_prepared(&prepared[a][g].0, &prepared[b][p].1));
                     scores.push(score.value());
                 }
             }
+            timer.record(start.elapsed());
+            impostor_counter.add(scores.len() as u64);
+            progress.inc(config.impostors_per_cell as u64);
             scores
         });
+        progress.finish();
 
-        let mut genuine: Vec<Vec<Vec<GenuineScore>>> =
-            (0..DEVICE_COUNT).map(|_| vec![Vec::new(); DEVICE_COUNT]).collect();
-        let mut impostor: Vec<Vec<Vec<f64>>> =
-            (0..DEVICE_COUNT).map(|_| vec![Vec::new(); DEVICE_COUNT]).collect();
+        let mut genuine: Vec<Vec<Vec<GenuineScore>>> = (0..DEVICE_COUNT)
+            .map(|_| vec![Vec::new(); DEVICE_COUNT])
+            .collect();
+        let mut impostor: Vec<Vec<Vec<f64>>> = (0..DEVICE_COUNT)
+            .map(|_| vec![Vec::new(); DEVICE_COUNT])
+            .collect();
         for (cell, scores) in genuine_flat.into_iter().enumerate() {
             genuine[cell / DEVICE_COUNT][cell % DEVICE_COUNT] = scores;
         }
@@ -201,9 +233,23 @@ impl StudyData {
     /// Generates the dataset and computes all scores with the default
     /// pair-table matcher.
     pub fn generate(config: &StudyConfig) -> StudyData {
-        let dataset = Dataset::generate(config);
-        let matcher = PairTableMatcher::default();
-        let scores = ScoreMatrix::compute(&dataset, &matcher);
+        StudyData::generate_with(config, &Telemetry::disabled())
+    }
+
+    /// [`StudyData::generate`] with telemetry: instruments the whole
+    /// pipeline — synthesis and capture work, matcher counters, per-cell
+    /// timing and parallel-stage utilization — into `telemetry`. The data
+    /// is identical to the uninstrumented run.
+    pub fn generate_with(config: &StudyConfig, telemetry: &Telemetry) -> StudyData {
+        let dataset = {
+            let _span = telemetry.span("study.dataset");
+            Dataset::generate_with(config, telemetry)
+        };
+        let matcher = PairTableMatcher::default().with_telemetry(telemetry);
+        let scores = {
+            let _span = telemetry.span("study.scores");
+            ScoreMatrix::compute_with(&dataset, &matcher, telemetry)
+        };
         StudyData { dataset, scores }
     }
 }

@@ -13,7 +13,10 @@ fn devices_prints_table1() {
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Cross Match Guardian R2"));
-    assert!(text.contains("40.6x38.1"), "Seek II window missing:\n{text}");
+    assert!(
+        text.contains("40.6x38.1"),
+        "Seek II window missing:\n{text}"
+    );
     assert!(text.contains("ink ten-print card"));
 }
 
@@ -23,7 +26,11 @@ fn single_experiment_runs_at_tiny_scale() {
         .args(["table3", "--subjects", "6", "--seed", "3"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("DMG"));
     assert!(text.contains("24")); // 6 subjects x 4 devices
@@ -63,7 +70,10 @@ fn unknown_experiment_fails_with_hint() {
 
 #[test]
 fn unknown_flag_fails_with_usage() {
-    let out = study().args(["all", "--bogus"]).output().expect("binary runs");
+    let out = study()
+        .args(["all", "--bogus"])
+        .output()
+        .expect("binary runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
@@ -77,6 +87,93 @@ fn verify_subcommand_reports_findings() {
         .output()
         .expect("binary runs");
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("same-device-genuine-higher"), "missing findings:\n{text}");
+    assert!(
+        text.contains("same-device-genuine-higher"),
+        "missing findings:\n{text}"
+    );
     assert!(text.contains("kendall-structure"));
+}
+
+#[test]
+fn json_export_includes_telemetry_section() {
+    let dir = std::env::temp_dir().join(format!("fp-study-telemetry-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json_path = dir.join("out.json");
+    let metrics_path = dir.join("metrics.json");
+    let out = study()
+        .args([
+            "fig1",
+            "--subjects",
+            "6",
+            "--json",
+            json_path.to_str().expect("utf-8 path"),
+            "--metrics",
+            metrics_path.to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&json_path).expect("json written"))
+            .expect("valid json");
+    let telemetry = &parsed["telemetry"];
+    assert!(
+        telemetry["counters"]["scores.comparisons.genuine"]
+            .as_u64()
+            .unwrap()
+            > 0
+    );
+    assert!(
+        telemetry["durations"]["scores.cell.g0p0"]["count"]
+            .as_u64()
+            .unwrap()
+            > 0
+    );
+    assert!(!telemetry["stages"].as_array().unwrap().is_empty());
+
+    let metrics: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics_path).expect("metrics written"))
+            .expect("valid json");
+    assert_eq!(metrics["counters"], telemetry["counters"]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_topic_documents_the_instruments() {
+    let out = study().arg("metrics").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("telemetry instruments"));
+    assert!(text.contains("scores.comparisons.genuine"));
+    assert!(text.contains("--metrics"));
+}
+
+#[test]
+fn render_writes_pgm_to_out_path() {
+    let dir = std::env::temp_dir().join(format!("fp-study-render-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let pgm_path = dir.join("print.pgm");
+    let out = study()
+        .args([
+            "render",
+            "--seed",
+            "3",
+            "--out",
+            pgm_path.to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let bytes = std::fs::read(&pgm_path).expect("pgm written");
+    assert!(bytes.starts_with(b"P5"), "not a binary PGM");
+    std::fs::remove_dir_all(&dir).ok();
 }

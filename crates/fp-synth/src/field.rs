@@ -231,7 +231,11 @@ impl OrientationField {
     /// centroid).
     ///
     /// `bounds` limits the scan; `step` is the grid pitch in mm.
-    pub fn detect_singularities(&self, bounds: fp_core::geometry::Rect, step: f64) -> Vec<Singularity> {
+    pub fn detect_singularities(
+        &self,
+        bounds: fp_core::geometry::Rect,
+        step: f64,
+    ) -> Vec<Singularity> {
         assert!(step > 0.0, "step must be positive");
         let mut raw: Vec<(Point, SingularityKind)> = Vec::new();
         let mut y = bounds.min().y + step / 2.0;
@@ -279,7 +283,9 @@ mod tests {
     use fp_core::rng::SeedTree;
 
     fn field(class: PatternClass, seed: u64) -> OrientationField {
-        let mut rng = SeedTree::new(seed).child(&[class.core_count() as u64]).rng();
+        let mut rng = SeedTree::new(seed)
+            .child(&[class.core_count() as u64])
+            .rng();
         OrientationField::generate(class, &mut rng)
     }
 
@@ -347,8 +353,14 @@ mod tests {
             let f = field(PatternClass::LeftLoop, seed);
             let bounds = Rect::centred(Point::new(0.0, -1.0), 22.0, 26.0).unwrap();
             let found = f.detect_singularities(bounds, 1.2);
-            let cores: Vec<_> = found.iter().filter(|s| s.kind == SingularityKind::Core).collect();
-            let deltas: Vec<_> = found.iter().filter(|s| s.kind == SingularityKind::Delta).collect();
+            let cores: Vec<_> = found
+                .iter()
+                .filter(|s| s.kind == SingularityKind::Core)
+                .collect();
+            let deltas: Vec<_> = found
+                .iter()
+                .filter(|s| s.kind == SingularityKind::Delta)
+                .collect();
             assert!(!cores.is_empty(), "seed {seed}: no core found");
             assert!(!deltas.is_empty(), "seed {seed}: no delta found");
             let truth_core = f.cores()[0];

@@ -87,7 +87,10 @@ mod tests {
             let m = map(seed);
             for (x, y) in [(0.0, 0.0), (0.0, 1.5), (9.0, 12.0), (-9.0, -12.0)] {
                 let p = m.period_at(Point::new(x, y));
-                assert!((0.25..0.8).contains(&p), "seed {seed}: period {p} at ({x},{y})");
+                assert!(
+                    (0.25..0.8).contains(&p),
+                    "seed {seed}: period {p} at ({x},{y})"
+                );
             }
         }
     }

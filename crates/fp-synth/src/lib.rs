@@ -40,6 +40,7 @@
 pub mod field;
 pub mod frequency;
 pub mod master;
+pub mod metrics;
 pub mod pattern;
 pub mod population;
 pub mod region;

@@ -41,13 +41,33 @@ impl MasterPrint {
     /// `seed` must be unique per `(subject, finger)`; `size_factor` carries
     /// subject-level hand size (1.0 = average).
     pub fn generate(seed: &SeedTree, digit: Digit, size_factor: f64) -> Self {
+        Self::generate_metered(
+            seed,
+            digit,
+            size_factor,
+            &crate::metrics::SynthMetrics::default(),
+        )
+    }
+
+    /// [`MasterPrint::generate`] with telemetry: records the generation
+    /// into `metrics` (master count, ground-truth minutiae count).
+    pub fn generate_metered(
+        seed: &SeedTree,
+        digit: Digit,
+        size_factor: f64,
+        metrics: &crate::metrics::SynthMetrics,
+    ) -> Self {
         let mut class_rng = seed.child(&[0]).rng();
         let class = PatternClass::sample(&mut class_rng);
 
         let mut field_rng = seed.child(&[1]).rng();
         let field = OrientationField::generate(class, &mut field_rng);
 
-        let core = field.cores().first().copied().unwrap_or(Point::new(0.0, 1.0));
+        let core = field
+            .cores()
+            .first()
+            .copied()
+            .unwrap_or(Point::new(0.0, 1.0));
         let mut freq_rng = seed.child(&[2]).rng();
         let frequency = RidgeFrequencyMap::generate(core, &mut freq_rng);
 
@@ -56,6 +76,7 @@ impl MasterPrint {
 
         let mut minutiae_rng = seed.child(&[4]).rng();
         let minutiae = sample_minutiae(&field, &region, &mut minutiae_rng);
+        metrics.record_master(minutiae.len());
 
         MasterPrint {
             class,
@@ -144,7 +165,11 @@ fn sample_minutiae<R: Rng + ?Sized>(
             // Lift the undirected ridge orientation to a direction with a
             // random polarity — endings/bifurcations point either way along
             // the ridge in real prints.
-            let flip = if rng.gen::<bool>() { std::f64::consts::PI } else { 0.0 };
+            let flip = if rng.gen::<bool>() {
+                std::f64::consts::PI
+            } else {
+                0.0
+            };
             let direction = Direction::from_radians(orient.radians() + flip);
             let kind = if rng.gen::<f64>() < ENDING_FRACTION {
                 MinutiaKind::RidgeEnding

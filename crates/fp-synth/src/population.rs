@@ -144,10 +144,10 @@ impl Subject {
     fn generate(root: &SeedTree, id: SubjectId) -> Self {
         let seed = root.child(&[0x5B, id.0 as u64]);
         let mut rng = seed.child(&[0]).rng();
-        let age = AgeGroup::ALL[dist::weighted_index(&mut rng, &AgeGroup::FREQUENCIES)
-            .expect("fixed distribution")];
-        let ethnicity = Ethnicity::ALL[dist::weighted_index(&mut rng, &Ethnicity::FREQUENCIES)
-            .expect("fixed distribution")];
+        let age = AgeGroup::ALL
+            [dist::weighted_index(&mut rng, &AgeGroup::FREQUENCIES).expect("fixed distribution")];
+        let ethnicity = Ethnicity::ALL
+            [dist::weighted_index(&mut rng, &Ethnicity::FREQUENCIES).expect("fixed distribution")];
         let size_factor = dist::truncated_normal(&mut rng, 1.0, 0.07, 0.8, 1.2);
         // Age-dependent skin: moisture drifts down and elasticity drops with
         // age; both saturate.
@@ -202,8 +202,18 @@ impl Subject {
     /// Derives the master print of one finger (deterministic; regenerating
     /// returns an identical value).
     pub fn master_print(&self, finger: Finger) -> MasterPrint {
+        self.master_print_metered(finger, &crate::metrics::SynthMetrics::default())
+    }
+
+    /// [`Subject::master_print`] with telemetry: records the generation
+    /// into `metrics`.
+    pub fn master_print_metered(
+        &self,
+        finger: Finger,
+        metrics: &crate::metrics::SynthMetrics,
+    ) -> MasterPrint {
         let node = self.seed.child(&[0xF1, finger.index()]);
-        MasterPrint::generate(&node, finger.digit, self.size_factor)
+        MasterPrint::generate_metered(&node, finger.digit, self.size_factor, metrics)
     }
 }
 

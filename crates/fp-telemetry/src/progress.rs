@@ -1,0 +1,127 @@
+//! A throttled progress reporter for the long score-matrix generation.
+//!
+//! Shared across worker threads (`inc` is an atomic add); at most one
+//! stderr line per throttle interval, claimed by a compare-exchange so
+//! concurrent workers never double-print.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Prints `label: done/total (rate, ETA)` lines to stderr while work
+/// progresses. Inert when built from a disabled
+/// [`Telemetry`](crate::Telemetry).
+#[derive(Debug)]
+pub struct Progress {
+    enabled: bool,
+    label: String,
+    total: u64,
+    done: AtomicU64,
+    start: Instant,
+    /// Milliseconds since `start` of the last print, for throttling.
+    last_print_ms: AtomicU64,
+    throttle_ms: u64,
+}
+
+impl crate::Telemetry {
+    /// Creates a progress reporter for `total` items of work.
+    pub fn progress(&self, label: &str, total: u64) -> Progress {
+        Progress {
+            enabled: self.is_enabled(),
+            label: label.to_string(),
+            total,
+            done: AtomicU64::new(0),
+            start: Instant::now(),
+            last_print_ms: AtomicU64::new(0),
+            throttle_ms: 500,
+        }
+    }
+}
+
+impl Progress {
+    /// Records `n` finished items and maybe prints a throttled update.
+    #[inline]
+    pub fn inc(&self, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        let done = self.done.fetch_add(n, Ordering::Relaxed) + n;
+        self.maybe_print(done);
+    }
+
+    /// Items recorded so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    fn maybe_print(&self, done: u64) {
+        let elapsed_ms = self.start.elapsed().as_millis() as u64;
+        let last = self.last_print_ms.load(Ordering::Relaxed);
+        if elapsed_ms < last.saturating_add(self.throttle_ms) {
+            return;
+        }
+        // One thread wins the right to print this interval.
+        if self
+            .last_print_ms
+            .compare_exchange(last, elapsed_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let secs = elapsed_ms as f64 / 1000.0;
+        let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+        let eta = if rate > 0.0 && done < self.total {
+            (self.total - done) as f64 / rate
+        } else {
+            0.0
+        };
+        eprintln!(
+            "{}: {done}/{} ({rate:.0}/s, ETA {eta:.0}s)",
+            self.label, self.total
+        );
+    }
+
+    /// Prints the final line (if enabled) with the total rate.
+    pub fn finish(&self) {
+        if !self.enabled {
+            return;
+        }
+        let done = self.done();
+        let secs = self.start.elapsed().as_secs_f64();
+        let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+        eprintln!(
+            "{}: {done}/{} done in {secs:.1}s ({rate:.0}/s)",
+            self.label, self.total
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Telemetry;
+
+    #[test]
+    fn progress_counts_across_threads() {
+        let t = Telemetry::enabled();
+        let progress = t.progress("test", 4000);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let progress = &progress;
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        progress.inc(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(progress.done(), 4000);
+    }
+
+    #[test]
+    fn disabled_progress_is_silent_and_counts_nothing() {
+        let t = Telemetry::disabled();
+        let progress = t.progress("quiet", 10);
+        progress.inc(5);
+        progress.finish();
+        assert_eq!(progress.done(), 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! RAII spans: wall-time scopes aggregated into named duration histograms.
+//!
+//! Spans nest: a span opened while another is live on the same thread gets
+//! a dotted path (`study.scores` inside `study`). The name stack is
+//! thread-local, so span creation takes no locks beyond the one-time
+//! histogram registration, and a disabled handle skips even the clock read.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::hist::HistogramCore;
+use crate::Telemetry;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+impl Telemetry {
+    /// Opens a span; its wall time is recorded into the duration histogram
+    /// named by the dotted path of all live spans on this thread when the
+    /// guard drops.
+    pub fn span(&self, name: &str) -> Span {
+        if !self.is_enabled() {
+            return Span {
+                start: None,
+                target: None,
+                _not_send: PhantomData,
+            };
+        }
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = if stack.is_empty() {
+                name.to_string()
+            } else {
+                format!("{}.{name}", stack.join("."))
+            };
+            stack.push(name.to_string());
+            path
+        });
+        let target = self.duration(&path);
+        Span {
+            start: Some(Instant::now()),
+            target: target.core().cloned(),
+            _not_send: PhantomData,
+        }
+    }
+}
+
+/// Guard returned by [`Telemetry::span`]; records on drop.
+///
+/// Deliberately `!Send`: the dotted path comes from this thread's span
+/// stack, so the guard must drop on the thread that opened it.
+#[derive(Debug)]
+pub struct Span {
+    start: Option<Instant>,
+    target: Option<Arc<HistogramCore>>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        if let Some(target) = &self.target {
+            let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            target.record(nanos);
+        }
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_get_dotted_paths() {
+        let t = Telemetry::enabled();
+        {
+            let _outer = t.span("outer");
+            {
+                let _inner = t.span("inner");
+            }
+            {
+                let _inner = t.span("inner");
+            }
+        }
+        let s = t.snapshot();
+        assert_eq!(s.durations["outer"].count, 1);
+        assert_eq!(s.durations["outer.inner"].count, 2);
+        assert!(!s.durations.contains_key("inner"));
+    }
+
+    #[test]
+    fn sibling_spans_share_a_path() {
+        let t = Telemetry::enabled();
+        for _ in 0..3 {
+            let _span = t.span("stage");
+        }
+        assert_eq!(t.snapshot().durations["stage"].count, 3);
+    }
+
+    #[test]
+    fn span_time_accumulates_into_sum() {
+        let t = Telemetry::enabled();
+        {
+            let _span = t.span("sleepy");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let snap = t.snapshot().durations["sleepy"];
+        assert!(snap.sum >= 5_000_000, "sum = {} ns", snap.sum);
+    }
+
+    #[test]
+    fn disabled_spans_leave_no_trace_and_no_stack_entry() {
+        let t = Telemetry::disabled();
+        let enabled = Telemetry::enabled();
+        {
+            let _noop = t.span("ghost");
+            // If the disabled span had pushed onto the stack, this span's
+            // path would be "ghost.real".
+            let _real = enabled.span("real");
+        }
+        let s = enabled.snapshot();
+        assert_eq!(s.durations["real"].count, 1);
+    }
+}

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. The classic extraction chain.
     let block = 16;
     let field = estimate_orientation(&image, block);
-    println!("orientation field: mean coherence {:.2}", field.mean_coherence());
+    println!(
+        "orientation field: mean coherence {:.2}",
+        field.mean_coherence()
+    );
     let mask = segment(&image, block, 0.25).eroded();
     println!("foreground fraction: {:.2}", mask.foreground_fraction());
     let enhanced = gabor_enhance(&image, &field, &mask, 9.0);
@@ -57,7 +60,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Match the extracted template against the ground truth.
     let ground_truth = Template::builder(500.0)
         .capture_window(window)
-        .extend(master.minutiae().iter().filter(|m| window.contains(&m.pos)).copied())
+        .extend(
+            master
+                .minutiae()
+                .iter()
+                .filter(|m| window.contains(&m.pos))
+                .copied(),
+        )
         .build()?;
     let matcher = PairTableMatcher::default();
     let calibration = fp_match::ScoreCalibration::default();
@@ -67,7 +76,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let other = MasterPrint::generate(&SeedTree::new(100), fp_core::ids::Digit::Index, 1.0);
     let other_template = Template::builder(500.0)
         .capture_window(window)
-        .extend(other.minutiae().iter().filter(|m| window.contains(&m.pos)).copied())
+        .extend(
+            other
+                .minutiae()
+                .iter()
+                .filter(|m| window.contains(&m.pos))
+                .copied(),
+        )
         .build()?;
     let impostor = calibration.apply(matcher.compare(&other_template, &extracted));
 

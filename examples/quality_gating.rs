@@ -14,14 +14,18 @@ use fingerprint_interop::prelude::*;
 use fp_study::config::StudyConfig;
 use fp_study::scores::StudyData;
 
-fn gated_fnmr(data: &StudyData, gallery: DeviceId, probe: DeviceId, max_level: u8, fmr: f64) -> (f64, usize) {
+fn gated_fnmr(
+    data: &StudyData,
+    gallery: DeviceId,
+    probe: DeviceId,
+    max_level: u8,
+    fmr: f64,
+) -> (f64, usize) {
     let genuine: Vec<f64> = data
         .scores
         .genuine_cell(gallery, probe)
         .iter()
-        .filter(|s| {
-            s.gallery_quality.value() <= max_level && s.probe_quality.value() <= max_level
-        })
+        .filter(|s| s.gallery_quality.value() <= max_level && s.probe_quality.value() <= max_level)
         .map(|s| s.score)
         .collect();
     let n = genuine.len();

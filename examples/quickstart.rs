@@ -35,11 +35,18 @@ fn main() {
         QualityAssessor::default().assess(&gallery).value(),
     );
 
-    println!("\nverification scores against the {} gallery:", enroll_device);
+    println!(
+        "\nverification scores against the {} gallery:",
+        enroll_device
+    );
     for device in DeviceId::ALL {
         let probe = protocol.capture(subject, Finger::RIGHT_INDEX, device, SessionId(1));
         let score = calibration.apply(matcher.compare(gallery.template(), probe.template()));
-        let marker = if device == enroll_device { "  <- same device" } else { "" };
+        let marker = if device == enroll_device {
+            "  <- same device"
+        } else {
+            ""
+        };
         println!(
             "  probe {:<4} {:<42} score {:>6.1}{marker}",
             device.to_string(),

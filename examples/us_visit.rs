@@ -19,8 +19,8 @@
 //! ```
 
 use fingerprint_interop::prelude::*;
-use fp_sensor::{Acquisition, CaptureProtocol, DistortionSignature, SensingTechnology};
 use fp_sensor::device::NoiseProfile;
+use fp_sensor::{Acquisition, CaptureProtocol, DistortionSignature, SensingTechnology};
 use fp_stats::roc::ScoreSet;
 use fp_synth::population::{Population, PopulationConfig};
 
@@ -148,12 +148,16 @@ fn main() {
     let per_device: Vec<(String, Vec<f64>, Vec<f64>)> = fleet
         .iter()
         .map(|(name, probes)| {
-            let genuine: Vec<f64> = (0..subjects).map(|i| score(&galleries[i], &probes[i])).collect();
+            let genuine: Vec<f64> = (0..subjects)
+                .map(|i| score(&galleries[i], &probes[i]))
+                .collect();
             // Ten impostor galleries per traveller give the threshold
             // search enough tail resolution.
             let impostor: Vec<f64> = (0..subjects)
                 .flat_map(|i| {
-                    (1..=10).map(move |k| (i, (i + k) % subjects)).filter(|(i, j)| i != j)
+                    (1..=10)
+                        .map(move |k| (i, (i + k) % subjects))
+                        .filter(|(i, j)| i != j)
                 })
                 .map(|(i, j)| score(&galleries[j], &probes[i]))
                 .collect();
@@ -172,12 +176,18 @@ fn main() {
     println!("{:<42}{:>10}{:>10}", "verification sensor", "FNMR", "FMR");
     for (name, genuine, impostor) in &per_device {
         let fnmr = genuine.iter().filter(|&&s| s < global_t).count() as f64 / subjects as f64;
-        let fmr = impostor.iter().filter(|&&s| s >= global_t).count() as f64 / impostor.len() as f64;
+        let fmr =
+            impostor.iter().filter(|&&s| s >= global_t).count() as f64 / impostor.len() as f64;
         println!("{name:<42}{fnmr:>10.3}{fmr:>10.3}");
     }
 
-    println!("\npolicy B: per-sensor thresholds (each calibrated to FMR <= 0.5% on its own data):\n");
-    println!("{:<42}{:>12}{:>10}", "verification sensor", "threshold", "FNMR");
+    println!(
+        "\npolicy B: per-sensor thresholds (each calibrated to FMR <= 0.5% on its own data):\n"
+    );
+    println!(
+        "{:<42}{:>12}{:>10}",
+        "verification sensor", "threshold", "FNMR"
+    );
     for (name, genuine, impostor) in &per_device {
         let set = ScoreSet::new(genuine.clone(), impostor.clone());
         let t = set.threshold_at_fmr(0.005);

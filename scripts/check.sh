@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints, release build, tests.
+# Mirrors .github/workflows/ci.yml so CI never surprises you.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+run cargo build --release --offline
+run cargo test -q --release --offline --workspace
+echo "all checks passed"

@@ -18,6 +18,7 @@
 //! | NFIQ-like quality levels 1–5 | [`fp_quality`] |
 //! | minutiae matchers (pair-table + Hough baseline) | [`fp_match`] |
 //! | biometric statistics (FMR/FNMR, Kendall τ, bootstrap) | [`fp_stats`] |
+//! | spans, counters & pipeline metrics | [`fp_telemetry`] |
 //! | the study harness reproducing every table & figure | [`fp_study`] |
 //!
 //! This facade crate re-exports all of them so applications can depend on a
@@ -47,6 +48,7 @@ pub use fp_sensor;
 pub use fp_stats;
 pub use fp_study;
 pub use fp_synth;
+pub use fp_telemetry;
 
 /// Convenience re-exports of the types used by nearly every application.
 pub mod prelude {
@@ -61,4 +63,5 @@ pub mod prelude {
     pub use fp_stats::roc::ScoreSet;
     pub use fp_study::config::StudyConfig;
     pub use fp_study::dataset::Dataset;
+    pub use fp_telemetry::Telemetry;
 }

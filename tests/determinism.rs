@@ -68,11 +68,14 @@ fn hough_matrix_is_reproducible_too() {
 fn prelude_exposes_the_advertised_api() {
     // Compile-time API surface check: the prelude names used throughout the
     // docs must exist and compose.
-    let config = StudyConfig::builder().subjects(2).seed(1).impostors_per_cell(2).build();
+    let config = StudyConfig::builder()
+        .subjects(2)
+        .seed(1)
+        .impostors_per_cell(2)
+        .build();
     let dataset = Dataset::generate(&config);
     let matcher = PairTableMatcher::default();
-    let score: MatchScore =
-        dataset.genuine_score(&matcher, SubjectId(0), DeviceId(0), DeviceId(1));
+    let score: MatchScore = dataset.genuine_score(&matcher, SubjectId(0), DeviceId(0), DeviceId(1));
     assert!(score.value() >= 0.0);
     let assessor = QualityAssessor::default();
     let level: NfiqLevel = assessor.assess(&dataset.captures(SubjectId(0), DeviceId(0)).gallery);

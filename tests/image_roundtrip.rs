@@ -56,7 +56,11 @@ fn extracted_template_identifies_its_finger() {
         let enrolled = extract(&master, 10 + seed);
         let probe = extract(&master, 20 + seed);
         let impostor_probe = extract(&other, 30 + seed);
-        assert!(enrolled.len() >= 8, "seed {seed}: only {} minutiae", enrolled.len());
+        assert!(
+            enrolled.len() >= 8,
+            "seed {seed}: only {} minutiae",
+            enrolled.len()
+        );
         let genuine = matcher.compare(&enrolled, &probe).value();
         let impostor = matcher.compare(&enrolled, &impostor_probe).value();
         eprintln!(
@@ -99,7 +103,13 @@ fn orientation_estimation_agrees_with_generating_field() {
     // probes.
     let pitch = 25.4 / 500.0;
     let mut errors = Vec::new();
-    for (mx, my) in [(-3.0, -3.0), (0.0, 0.0), (3.0, 3.0), (-3.0, 3.0), (3.0, -3.0)] {
+    for (mx, my) in [
+        (-3.0, -3.0),
+        (0.0, 0.0),
+        (3.0, 3.0),
+        (-3.0, 3.0),
+        (3.0, -3.0),
+    ] {
         let p = Point::new(mx, my);
         let px = ((mx - window().min().x) / pitch) as usize;
         let py = ((my - window().min().y) / pitch) as usize;

@@ -16,12 +16,7 @@ const SUBJECTS: usize = 120;
 fn data() -> &'static StudyData {
     static DATA: OnceLock<StudyData> = OnceLock::new();
     DATA.get_or_init(|| {
-        StudyData::generate(
-            &StudyConfig::builder()
-                .subjects(SUBJECTS)
-                .seed(2013)
-                .build(),
-        )
+        StudyData::generate(&StudyConfig::builder().subjects(SUBJECTS).seed(2013).build())
     })
 }
 
@@ -80,7 +75,10 @@ fn impostor_scores_have_a_low_ceiling() {
     let mut dmg = d.scores.dmg();
     dmg.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = dmg[dmg.len() / 2];
-    assert!(median > max_dmi, "genuine median {median:.1} under impostor ceiling");
+    assert!(
+        median > max_dmi,
+        "genuine median {median:.1} under impostor ceiling"
+    );
 }
 
 /// Table 5 shape: the diagonal is the row minimum exactly for D0, D2, D4 —
@@ -125,7 +123,14 @@ fn fnmr_matrix_has_the_papers_anomaly_structure() {
         );
     }
     // ... and the worst off-diagonal row on average.
-    let row_mean = |g: u8| mean(&(0..5).filter(|&p| p != g).map(|p| fnmr(g, p)).collect::<Vec<_>>());
+    let row_mean = |g: u8| {
+        mean(
+            &(0..5)
+                .filter(|&p| p != g)
+                .map(|p| fnmr(g, p))
+                .collect::<Vec<_>>(),
+        )
+    };
     for g in 0..4 {
         assert!(
             row_mean(4) >= row_mean(g),
@@ -251,8 +256,8 @@ fn quality_gating_never_hurts_fnmr() {
                 continue; // not enough gated data to compare rates
             }
             let impostor = d.scores.impostor_cell(DeviceId(g), DeviceId(p)).to_vec();
-            let t = fp_stats::roc::ScoreSet::new(all.clone(), impostor.clone())
-                .threshold_at_fmr(1e-3);
+            let t =
+                fp_stats::roc::ScoreSet::new(all.clone(), impostor.clone()).threshold_at_fmr(1e-3);
             let fnmr_all = all.iter().filter(|&&s| s < t).count() as f64 / all.len() as f64;
             let fnmr_good = good.iter().filter(|&&s| s < t).count() as f64 / good.len() as f64;
             assert!(
@@ -269,6 +274,12 @@ fn score_set_sizes_match_design() {
     let d = data();
     assert_eq!(d.scores.dmg().len(), SUBJECTS * 4);
     assert_eq!(d.scores.ddmg().len(), SUBJECTS * 20);
-    assert_eq!(d.scores.dmi().len(), d.dataset.config().impostors_per_cell * 5);
-    assert_eq!(d.scores.ddmi().len(), d.dataset.config().impostors_per_cell * 20);
+    assert_eq!(
+        d.scores.dmi().len(),
+        d.dataset.config().impostors_per_cell * 5
+    );
+    assert_eq!(
+        d.scores.ddmi().len(),
+        d.dataset.config().impostors_per_cell * 20
+    );
 }

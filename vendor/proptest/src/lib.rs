@@ -1,0 +1,201 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! Covers the subset the workspace's property tests use: the [`proptest!`]
+//! macro (with optional `#![proptest_config(...)]`), `prop_assert!` /
+//! `prop_assert_eq!`, the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_flat_map`, numeric range strategies, tuples,
+//! `prop::collection::vec` and `prop::bool::{ANY, weighted}`.
+//!
+//! Differences from real proptest: inputs are drawn from a deterministic
+//! per-test RNG (seeded from the test function's name), and failing cases
+//! are reported but **not shrunk**. Failures print the case number; re-runs
+//! are fully reproducible because there is no entropy source.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy modules under their conventional `prop::` paths.
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::collection::{vec, SizeRange, VecStrategy};
+    }
+    pub mod bool {
+        pub use crate::strategy::bool_strategies::{weighted, Weighted, ANY};
+    }
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: functions whose `ident in strategy` arguments
+/// are sampled for `ProptestConfig::cases` iterations.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);)*
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = result {
+                    ::std::panic!(
+                        "proptest: test {} failed on case {case}/{}: {e}",
+                        stringify!($name),
+                        config.cases,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Fails the current case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Skips the current case when `cond` is false (counted as a pass here;
+/// real proptest resamples).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn floats_stay_in_range(x in -2.0..3.0f64) {
+            prop_assert!((-2.0..3.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in prop::collection::vec(0u8..10, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+
+        #[test]
+        fn config_cases_apply(x in 0usize..100) {
+            prop_assert!(x < 100);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn tuples_and_maps_compose(
+            (a, b) in (0u64..50, 0u64..50).prop_map(|(x, y)| (x.min(y), x.max(y))),
+            flag in prop::bool::ANY,
+        ) {
+            prop_assert!(a <= b);
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_test_name() {
+        let mut a = crate::test_runner::TestRng::for_test("some_test");
+        let mut b = crate::test_runner::TestRng::for_test("some_test");
+        let mut c = crate::test_runner::TestRng::for_test("other_test");
+        let strat = 0u64..1000;
+        let xs: Vec<u64> = (0..16).map(|_| strat.sample(&mut a)).collect();
+        let ys: Vec<u64> = (0..16).map(|_| strat.sample(&mut b)).collect();
+        let zs: Vec<u64> = (0..16).map(|_| strat.sample(&mut c)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn flat_map_feeds_first_sample_into_second() {
+        let strat = (1usize..4).prop_flat_map(|n| prop::collection::vec(0u8..5, n..n + 1));
+        let mut rng = crate::test_runner::TestRng::for_test("flat_map");
+        for _ in 0..50 {
+            let v = strat.sample(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! The `Standard` distribution and uniform range sampling, matching the
+//! algorithms of `rand` 0.8.5 exactly.
+
+use crate::RngCore;
+
+/// Types that can produce values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "standard" distribution: uniform over all values for integers,
+/// `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<u32> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u128> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        // Low half first, as in rand 0.8.
+        let lo = rng.next_u64() as u128;
+        let hi = rng.next_u64() as u128;
+        (hi << 64) | lo
+    }
+}
+
+macro_rules! standard_int_via_u32 {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u32() as $ty
+            }
+        }
+    )*};
+}
+standard_int_via_u32!(u8, u16, i8, i16, i32);
+
+impl Distribution<i64> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Distribution<i128> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i128 {
+        let x: u128 = self.sample(rng);
+        x as i128
+    }
+}
+
+#[cfg(target_pointer_width = "64")]
+impl Distribution<usize> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+#[cfg(target_pointer_width = "32")]
+impl Distribution<usize> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u32() as usize
+    }
+}
+
+#[cfg(target_pointer_width = "64")]
+impl Distribution<isize> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> isize {
+        rng.next_u64() as isize
+    }
+}
+
+impl Distribution<f64> for Standard {
+    /// `[0, 1)` from the high 53 bits of one `u64`.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let value = rng.next_u64() >> (64 - 53);
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    /// `[0, 1)` from the high 24 bits of one `u32`.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> (32 - 24);
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    /// Sign bit of one `u32`, as in rand 0.8.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling over ranges with rand 0.8.5's single-sample
+    //! algorithms (widening-multiply rejection for integers).
+
+    use std::ops::{Range, RangeInclusive};
+
+    use super::{Distribution, Standard};
+    use crate::RngCore;
+
+    /// Types samplable uniformly from a range via `Rng::gen_range`.
+    pub trait SampleUniform: Sized {
+        /// Uniform sample from `[low, high)`.
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Uniform sample from `[low, high]`.
+        fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R)
+            -> Self;
+    }
+
+    /// Range types accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        /// Whether the range contains no values.
+        fn is_empty(&self) -> bool;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_single(self.start, self.end, rng)
+        }
+
+        #[inline]
+        // Matches upstream rand's emptiness test exactly, NaN behavior
+        // included, so seeded streams stay bit-identical.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        fn is_empty(&self) -> bool {
+            !(self.start < self.end)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            T::sample_single_inclusive(low, high, rng)
+        }
+
+        #[inline]
+        fn is_empty(&self) -> bool {
+            RangeInclusive::is_empty(self)
+        }
+    }
+
+    macro_rules! uniform_int {
+        ($ty:ty, $uty:ty, $large:ty, $wide:ty) => {
+            impl SampleUniform for $ty {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                    assert!(low < high, "sample_single: low >= high");
+                    Self::sample_single_inclusive(low, high - 1, rng)
+                }
+
+                #[inline]
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: $ty,
+                    high: $ty,
+                    rng: &mut R,
+                ) -> $ty {
+                    assert!(low <= high, "sample_single_inclusive: low > high");
+                    let range = high.wrapping_sub(low).wrapping_add(1) as $uty as $large;
+                    // `range == 0` encodes the full integer range.
+                    if range == 0 {
+                        let x: $large = Standard.sample(rng);
+                        return x as $ty;
+                    }
+                    // Rejection zone: largest multiple of `range` minus one,
+                    // computed with the "shift into the top bits" trick.
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v: $large = Standard.sample(rng);
+                        let m = (v as $wide) * (range as $wide);
+                        let hi = (m >> <$large>::BITS) as $large;
+                        let lo = m as $large;
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_int!(u8, u8, u32, u64);
+    uniform_int!(u16, u16, u32, u64);
+    uniform_int!(u32, u32, u32, u64);
+    uniform_int!(u64, u64, u64, u128);
+    uniform_int!(usize, usize, u64, u128);
+    uniform_int!(i8, u8, u32, u64);
+    uniform_int!(i16, u16, u32, u64);
+    uniform_int!(i32, u32, u32, u64);
+    uniform_int!(i64, u64, u64, u128);
+    uniform_int!(isize, usize, u64, u128);
+
+    macro_rules! uniform_float {
+        ($ty:ty) => {
+            impl SampleUniform for $ty {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                    debug_assert!(low.is_finite() && high.is_finite(), "non-finite bound");
+                    let scale = high - low;
+                    let value: $ty = Standard.sample(rng);
+                    value * scale + low
+                }
+
+                #[inline]
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: $ty,
+                    high: $ty,
+                    rng: &mut R,
+                ) -> $ty {
+                    // rand 0.8 samples inclusive float ranges with the same
+                    // scale-and-offset construction.
+                    Self::sample_single(low, high, rng)
+                }
+            }
+        };
+    }
+
+    uniform_float!(f32);
+    uniform_float!(f64);
+}

@@ -1,0 +1,189 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! Provides the subset of `rand` 0.8 the workspace uses — the [`Rng`]
+//! extension trait with `gen`, `gen_range` and `gen_bool` — with
+//! **bit-exact** sampling algorithms:
+//!
+//! - `Standard` floats use the "multiply 53/24 high bits" construction
+//!   (`(u >> 11) as f64 * 2^-53`), booleans use the sign bit of a `u32`;
+//! - `gen_range` over integers uses widening-multiply rejection sampling
+//!   (`sample_single_inclusive`) exactly as `rand` 0.8.5 does;
+//! - `gen_bool` uses the Bernoulli 64-bit integer threshold.
+//!
+//! Every seeded stream in the study harness therefore matches the real
+//! crates bit for bit, which keeps the tuned statistical thresholds valid.
+
+pub use rand_core::{RngCore, SeedableRng};
+
+pub mod distributions;
+
+use distributions::uniform::{SampleRange, SampleUniform};
+use distributions::{Distribution, Standard};
+
+/// Extension trait with convenient sampling methods, implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the [`Standard`] distribution.
+    #[inline]
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        assert!(!range.is_empty(), "cannot sample empty range");
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "p={p} is outside range [0.0, 1.0]"
+        );
+        // Bernoulli's integer threshold: p * 2^64, with p == 1 always true.
+        if p == 1.0 {
+            return true;
+        }
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.gen::<u64>() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::distributions::Distribution;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u8) -> ChaCha8Rng {
+        ChaCha8Rng::from_seed([seed; 32])
+    }
+
+    #[test]
+    fn f64_uses_high_53_bits() {
+        let mut a = rng(1);
+        let mut b = rng(1);
+        for _ in 0..100 {
+            let u = b.next_u64();
+            let expected = (u >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            assert_eq!(a.gen::<f64>(), expected);
+        }
+    }
+
+    #[test]
+    fn f32_uses_high_24_bits() {
+        let mut a = rng(2);
+        let mut b = rng(2);
+        for _ in 0..100 {
+            let u = b.next_u32();
+            let expected = (u >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+            assert_eq!(a.gen::<f32>(), expected);
+        }
+    }
+
+    #[test]
+    fn bool_uses_sign_bit_of_u32() {
+        let mut a = rng(3);
+        let mut b = rng(3);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<bool>(), (b.next_u32() as i32) < 0);
+        }
+    }
+
+    #[test]
+    fn floats_are_in_unit_interval() {
+        let mut r = rng(4);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_usize_covers_and_stays_in_bounds() {
+        let mut r = rng(5);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let x = r.gen_range(0..7usize);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_range_matches_widening_multiply_rejection() {
+        // Replay gen_range(0..n) by hand with the documented algorithm.
+        let n: usize = 23;
+        let mut a = rng(6);
+        let mut b = rng(6);
+        for _ in 0..200 {
+            let got = a.gen_range(0..n);
+            let range = n as u64;
+            let zone = (range << range.leading_zeros()).wrapping_sub(1);
+            let expected = loop {
+                let v = b.next_u64();
+                let m = (v as u128) * (range as u128);
+                let (hi, lo) = ((m >> 64) as u64, m as u64);
+                if lo <= zone {
+                    break hi as usize;
+                }
+            };
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn gen_range_float_is_lo_plus_unit_times_span() {
+        let mut a = rng(7);
+        let mut b = rng(7);
+        for _ in 0..100 {
+            let got = a.gen_range(-2.0..3.0f64);
+            let unit: f64 = b.gen();
+            assert_eq!(got, unit * 5.0 + -2.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = rng(8);
+        let _ = r.gen_range(5..5usize);
+    }
+
+    #[test]
+    fn gen_bool_uses_u64_threshold() {
+        let mut a = rng(9);
+        let mut b = rng(9);
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        for _ in 0..100 {
+            let got = a.gen_bool(0.3);
+            assert_eq!(got, b.next_u64() < (0.3 * SCALE) as u64);
+        }
+    }
+}

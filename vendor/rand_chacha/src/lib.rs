@@ -1,0 +1,266 @@
+//! Offline vendored stand-in for the `rand_chacha` crate.
+//!
+//! Implements `ChaCha8Rng`/`ChaCha12Rng`/`ChaCha20Rng` as plain-Rust ChaCha
+//! keystream generators with the exact output stream of `rand_chacha` 0.3:
+//!
+//! - the 32-byte seed is the ChaCha key (little-endian words), the block
+//!   counter starts at 0 and the nonce/stream is 0;
+//! - output words are the keystream interpreted as little-endian `u32`s;
+//! - word delivery follows `rand_core::block::BlockRng` semantics with a
+//!   64-word (four-block) buffer, including its `next_u64` alignment rules.
+//!
+//! Bit-exactness matters here: every statistical threshold in the study
+//! harness was tuned against streams from the real crates, so the core is
+//! validated against the RFC 8439 ChaCha20 test vector in the unit tests.
+
+pub use rand_core;
+use rand_core::{RngCore, SeedableRng};
+
+/// Words per ChaCha block.
+const BLOCK_WORDS: usize = 16;
+/// Blocks buffered per refill, matching `rand_chacha`'s four-block backend.
+const BUF_BLOCKS: usize = 4;
+/// Total buffered words.
+const BUF_WORDS: usize = BLOCK_WORDS * BUF_BLOCKS;
+
+#[inline(always)]
+fn quarter_round(x: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+/// Computes one ChaCha block (`rounds` must be even) into `out`.
+fn chacha_block(
+    key: &[u32; 8],
+    counter: u64,
+    stream: u64,
+    rounds: u32,
+    out: &mut [u32; BLOCK_WORDS],
+) {
+    let init: [u32; BLOCK_WORDS] = [
+        0x6170_7865,
+        0x3320_646e,
+        0x7962_2d32,
+        0x6b20_6574,
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        stream as u32,
+        (stream >> 32) as u32,
+    ];
+    let mut x = init;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for (o, (w, i)) in out.iter_mut().zip(x.iter().zip(init.iter())) {
+        *o = w.wrapping_add(*i);
+    }
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Clone)]
+        pub struct $name {
+            key: [u32; 8],
+            /// Block counter of the next block to generate.
+            counter: u64,
+            stream: u64,
+            buf: [u32; BUF_WORDS],
+            /// Read position in `buf`; `BUF_WORDS` means "empty, refill".
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                for block in 0..BUF_BLOCKS {
+                    let mut out = [0u32; BLOCK_WORDS];
+                    chacha_block(
+                        &self.key,
+                        self.counter.wrapping_add(block as u64),
+                        self.stream,
+                        $rounds,
+                        &mut out,
+                    );
+                    self.buf[block * BLOCK_WORDS..(block + 1) * BLOCK_WORDS].copy_from_slice(&out);
+                }
+                self.counter = self.counter.wrapping_add(BUF_BLOCKS as u64);
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: [u8; 32]) -> Self {
+                let mut key = [0u32; 8];
+                for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+                }
+                $name {
+                    key,
+                    counter: 0,
+                    stream: 0,
+                    buf: [0; BUF_WORDS],
+                    index: BUF_WORDS,
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            #[inline]
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= BUF_WORDS {
+                    self.refill();
+                    self.index = 0;
+                }
+                let value = self.buf[self.index];
+                self.index += 1;
+                value
+            }
+
+            #[inline]
+            fn next_u64(&mut self) -> u64 {
+                // BlockRng's read_u64_from_u32 semantics: low word first,
+                // with the two alignment edge cases at the buffer boundary.
+                let len = BUF_WORDS;
+                if self.index < len - 1 {
+                    let lo = self.buf[self.index] as u64;
+                    let hi = self.buf[self.index + 1] as u64;
+                    self.index += 2;
+                    (hi << 32) | lo
+                } else if self.index >= len {
+                    self.refill();
+                    self.index = 2;
+                    let lo = self.buf[0] as u64;
+                    let hi = self.buf[1] as u64;
+                    (hi << 32) | lo
+                } else {
+                    // index == len - 1: combine the last buffered word with
+                    // the first word of the next refill.
+                    let lo = self.buf[len - 1] as u64;
+                    self.refill();
+                    self.index = 1;
+                    let hi = self.buf[0] as u64;
+                    (hi << 32) | lo
+                }
+            }
+
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                let mut chunks = dest.chunks_exact_mut(4);
+                for chunk in &mut chunks {
+                    chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+                }
+                let rem = chunks.into_remainder();
+                if !rem.is_empty() {
+                    let last = self.next_u32().to_le_bytes();
+                    rem.copy_from_slice(&last[..rem.len()]);
+                }
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_struct(stringify!($name)).finish_non_exhaustive()
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, 8, "A ChaCha RNG with 8 rounds.");
+chacha_rng!(ChaCha12Rng, 12, "A ChaCha RNG with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 20, "A ChaCha RNG with 20 rounds.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// First keystream block of ChaCha20 with an all-zero key and nonce
+    /// (RFC 8439 / original djb test vector), as little-endian words.
+    const CHACHA20_ZERO_BLOCK0: [u32; 16] = [
+        0xade0_b876,
+        0x903d_f1a0,
+        0xe56a_5d40,
+        0x28bd_8653,
+        0xb819_d2bd,
+        0x1aed_8da0,
+        0xccef_36a8,
+        0xc70d_778b,
+        0x7c59_41da,
+        0x8d48_5751,
+        0x3fe0_2477,
+        0x374a_d8b8,
+        0xf4b8_436a,
+        0x1ca1_1815,
+        0x69b6_87c3,
+        0x8665_eeb2,
+    ];
+
+    #[test]
+    fn chacha20_matches_rfc_vector() {
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        for &expected in &CHACHA20_ZERO_BLOCK0 {
+            assert_eq!(rng.next_u32(), expected);
+        }
+    }
+
+    #[test]
+    fn next_u64_combines_low_word_first() {
+        let mut a = ChaCha8Rng::from_seed([7u8; 32]);
+        let mut b = ChaCha8Rng::from_seed([7u8; 32]);
+        for _ in 0..40 {
+            let lo = a.next_u32() as u64;
+            let hi = a.next_u32() as u64;
+            assert_eq!(b.next_u64(), (hi << 32) | lo);
+        }
+    }
+
+    #[test]
+    fn next_u64_straddles_buffer_boundary() {
+        // Consume 63 words, leaving one word in the buffer; the following
+        // next_u64 must pair word 63 with word 64 (first of the next refill).
+        let mut a = ChaCha8Rng::from_seed([3u8; 32]);
+        let mut b = ChaCha8Rng::from_seed([3u8; 32]);
+        let mut words = Vec::new();
+        for _ in 0..65 {
+            words.push(a.next_u32());
+        }
+        for _ in 0..31 {
+            b.next_u64();
+        }
+        b.next_u32(); // index 62 -> 63
+        let straddled = b.next_u64();
+        assert_eq!(straddled, ((words[64] as u64) << 32) | words[63] as u64);
+    }
+
+    #[test]
+    fn streams_differ_by_seed() {
+        let mut a = ChaCha8Rng::from_seed([0u8; 32]);
+        let mut b = ChaCha8Rng::from_seed([1u8; 32]);
+        assert_ne!(
+            (0..8).map(|_| a.next_u32()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u32()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,503 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! miniature serde: instead of the visitor/`Serializer` machinery, values
+//! serialize to (and deserialize from) a JSON-shaped [`Content`] tree. The
+//! derive macros in the companion `serde_derive` crate and the `serde_json`
+//! stand-in both speak this tree, which covers everything the workspace
+//! needs (derived structs/enums, `json!`, pretty printing, `from_str`).
+//!
+//! Limitations versus real serde (all unused by this workspace): no
+//! `#[serde(...)]` attributes, no generic types in derives, no zero-copy
+//! deserialization, data formats other than JSON are not pluggable.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the wire format of this mini-serde.
+///
+/// Maps preserve insertion order (they are association lists, not hash
+/// maps), so serialization output is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer (always `< 0`; non-negative values use [`Content::U64`]).
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Content>),
+    /// An object with insertion-ordered keys.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Looks up a field of a [`Content::Map`]; errors for missing fields or
+    /// non-map content.
+    pub fn field(&self, name: &str) -> Result<&Content, DeError> {
+        match self {
+            Content::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError::custom(format!("missing field `{name}`"))),
+            other => Err(DeError::custom(format!(
+                "expected map with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The sequence elements; errors when not a [`Content::Seq`] of length `len`.
+    pub fn tuple(&self, len: usize) -> Result<&[Content], DeError> {
+        match self {
+            Content::Seq(items) if items.len() == len => Ok(items),
+            Content::Seq(items) => Err(DeError::custom(format!(
+                "expected tuple of length {len}, found length {}",
+                items.len()
+            ))),
+            other => Err(DeError::custom(format!(
+                "expected tuple of length {len}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The string content of a unit enum variant.
+    pub fn variant(&self) -> Result<&str, DeError> {
+        match self {
+            Content::Str(s) => Ok(s),
+            other => Err(DeError::custom(format!(
+                "expected variant string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// A short name of the content's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Builds an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> DeError {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value that can serialize itself to a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into the content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can reconstruct itself from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `content` into `Self`.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+macro_rules! serialize_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($idx:tt $name:ident),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Maps serialize with sorted keys so output is deterministic even for
+/// hash maps (real serde_json leaves `HashMap` order unspecified).
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+fn integer(content: &Content) -> Result<i128, DeError> {
+    match content {
+        Content::U64(v) => Ok(*v as i128),
+        Content::I64(v) => Ok(*v as i128),
+        other => Err(DeError::custom(format!(
+            "expected integer, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($ty:ty),*) => {$(
+        impl Deserialize for $ty {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = integer(content)?;
+                <$ty>::try_from(v)
+                    .map_err(|_| DeError::custom(format!("integer {v} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            other => Err(DeError::custom(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Supports `&'static str` fields in derived structs by leaking the parsed
+/// string; acceptable for the workspace's static device tables, which are
+/// only ever deserialized in tests (if at all).
+impl Deserialize for &'static str {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        String::from_content(content).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let items = content.tuple(N)?;
+        let parsed: Vec<T> = items
+            .iter()
+            .map(T::from_content)
+            .collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError::custom("array length mismatch"))
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:expr; $($idx:tt $name:ident),+))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let items = content.tuple($len)?;
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+deserialize_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(42u32.to_content(), Content::U64(42));
+        assert_eq!((-3i32).to_content(), Content::I64(-3));
+        assert_eq!(3i32.to_content(), Content::U64(3));
+        assert_eq!(u32::from_content(&Content::U64(42)), Ok(42));
+        assert_eq!(
+            String::from_content(&Content::Str("hi".into())),
+            Ok("hi".to_string())
+        );
+        assert_eq!(Option::<u8>::from_content(&Content::Null), Ok(None));
+    }
+
+    #[test]
+    fn vec_and_tuple_round_trip() {
+        let v = vec![1.0f64, 2.5];
+        let c = v.to_content();
+        assert_eq!(Vec::<f64>::from_content(&c), Ok(v));
+        let t = (1u32, -2i64);
+        assert_eq!(<(u32, i64)>::from_content(&t.to_content()), Ok(t));
+    }
+
+    #[test]
+    fn field_lookup_reports_missing() {
+        let c = Content::Map(vec![("a".into(), Content::U64(1))]);
+        assert!(c.field("a").is_ok());
+        assert!(c
+            .field("b")
+            .unwrap_err()
+            .to_string()
+            .contains("missing field"));
+    }
+
+    #[test]
+    fn hashmap_serializes_sorted() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 2u64);
+        m.insert("a".to_string(), 1u64);
+        match m.to_content() {
+            Content::Map(entries) => {
+                assert_eq!(entries[0].0, "a");
+                assert_eq!(entries[1].0, "b");
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+    }
+}

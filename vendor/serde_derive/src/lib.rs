@@ -1,0 +1,280 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! A dependency-free derive (no `syn`/`quote`: the token stream is walked by
+//! hand and the generated impl is assembled as a string) targeting the
+//! mini-serde `Content` tree. Supported shapes — everything this workspace
+//! derives on:
+//!
+//! - structs with named fields  → JSON object keyed by field name
+//! - newtype structs            → transparent wrapper around the inner value
+//! - tuple structs              → JSON array
+//! - unit structs               → `null`
+//! - enums with unit variants   → variant-name string (discriminants like
+//!   `Excellent = 1` are accepted and ignored)
+//!
+//! Unsupported shapes (generics, data-carrying enum variants, `#[serde]`
+//! attributes) panic at expansion time with a clear message, which surfaces
+//! as a compile error on the deriving item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for the supported shapes above.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{entries}])")
+        }
+        Shape::Newtype => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::Tuple(arity) => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i}),"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{items}])")
+        }
+        Shape::Unit => "::serde::Content::Null".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "Self::{v} => ::serde::Content::Str(\
+                         ::std::string::String::from(\"{v}\")),"
+                    )
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let name = &item.name;
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for the supported shapes above.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                         content.field(\"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok(Self {{ {inits} }})")
+        }
+        Shape::Newtype => "::std::result::Result::Ok(Self(\
+                           ::serde::Deserialize::from_content(content)?))"
+            .to_string(),
+        Shape::Tuple(arity) => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?,"))
+                .collect();
+            format!(
+                "let items = content.tuple({arity})?;\n\
+                 ::std::result::Result::Ok(Self({items}))"
+            )
+        }
+        Shape::Unit => "::std::result::Result::Ok(Self)".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok(Self::{v}),"))
+                .collect();
+            format!(
+                "match content.variant()? {{\n\
+                     {arms}\n\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(content: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Struct with named fields, in declaration order.
+    Named(Vec<String>),
+    /// One-field tuple struct.
+    Newtype,
+    /// Tuple struct with this many fields (≥ 2).
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum whose variants are all unit variants.
+    UnitEnum(Vec<String>),
+}
+
+fn parse(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes, doc comments and visibility up to the keyword.
+    let is_enum = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                i += 1;
+                break false;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                i += 1;
+                break true;
+            }
+            Some(_) => i += 1,
+            None => panic!("mini serde_derive: no struct or enum found"),
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("mini serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("mini serde_derive: generic types are not supported ({name})");
+        }
+    }
+
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let chunks = split_top_level(g.stream());
+            if is_enum {
+                Shape::UnitEnum(chunks.iter().map(|c| parse_variant(c, &name)).collect())
+            } else {
+                Shape::Named(chunks.iter().map(|c| parse_named_field(c, &name)).collect())
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+            match split_top_level(g.stream()).len() {
+                1 => Shape::Newtype,
+                n => Shape::Tuple(n),
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && !is_enum => Shape::Unit,
+        other => panic!("mini serde_derive: unsupported item body for {name}: {other:?}"),
+    };
+
+    Item { name, shape }
+}
+
+/// Splits a group's tokens on top-level commas. Commas inside nested groups
+/// are invisible (groups are single token trees); commas inside generic
+/// arguments are skipped by tracking `<`/`>` depth.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().expect("non-empty").push(tt);
+    }
+    if chunks.last().map(Vec::is_empty).unwrap_or(false) {
+        chunks.pop(); // trailing comma
+    }
+    chunks
+}
+
+/// Extracts the field name from one named-field chunk:
+/// `#[attr]* pub(..)? name: Type`.
+fn parse_named_field(chunk: &[TokenTree], item: &str) -> String {
+    let mut i = skip_attrs_and_vis(chunk);
+    match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            let name = id.to_string();
+            i += 1;
+            match chunk.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => name,
+                other => panic!(
+                    "mini serde_derive: expected `:` after field `{name}` in {item}, found {other:?}"
+                ),
+            }
+        }
+        other => panic!("mini serde_derive: expected field name in {item}, found {other:?}"),
+    }
+}
+
+/// Extracts the variant name from one enum-variant chunk:
+/// `#[attr]* Name (= discriminant)?`. Data-carrying variants are rejected.
+fn parse_variant(chunk: &[TokenTree], item: &str) -> String {
+    let i = skip_attrs_and_vis(chunk);
+    let name = match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("mini serde_derive: expected variant name in {item}, found {other:?}"),
+    };
+    match chunk.get(i + 1) {
+        None => name,
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => name, // discriminant
+        Some(TokenTree::Group(_)) => {
+            panic!("mini serde_derive: data-carrying variant `{name}` in {item} is not supported")
+        }
+        other => panic!(
+            "mini serde_derive: unexpected token after variant `{name}` in {item}: {other:?}"
+        ),
+    }
+}
+
+/// Returns the index after leading `#[...]` attributes and a `pub`/`pub(...)`
+/// visibility qualifier.
+fn skip_attrs_and_vis(chunk: &[TokenTree]) -> usize {
+    let mut i = 0;
+    loop {
+        match chunk.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Offline vendored stand-in for the `serde_json` crate.
+//!
+//! Speaks the mini-serde [`Content`](serde::Content) tree and provides the
+//! pieces the workspace uses: [`Value`] with its accessors and indexing, the
+//! [`json!`] macro, compact and pretty printing, a strict JSON parser, and
+//! the `to_string`/`to_string_pretty`/`from_str`/`to_value` entry points.
+
+use std::fmt;
+
+use serde::{Content, Deserialize, Serialize};
+
+#[macro_use]
+mod macros;
+mod parser;
+mod print;
+mod value;
+
+pub use value::{Map, Number, Value};
+
+/// Serialization or parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn new(msg: impl fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::compact(&value.to_content()))
+}
+
+/// Serializes `value` to a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::pretty(&value.to_content()))
+}
+
+/// Parses a JSON string into any deserializable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let content = parser::parse(s)?;
+    T::from_content(&content).map_err(Error::new)
+}
+
+/// Converts any serializable value into a [`Value`].
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(Value::from_content(value.to_content()))
+}
+
+impl Value {
+    pub(crate) fn from_content(content: Content) -> Value {
+        match content {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(b),
+            Content::U64(v) => Value::Number(Number::from(v)),
+            Content::I64(v) => Value::Number(Number::from(v)),
+            Content::F64(v) => Value::Number(Number::from_f64_lossy(v)),
+            Content::Str(s) => Value::String(s),
+            Content::Seq(items) => {
+                Value::Array(items.into_iter().map(Value::from_content).collect())
+            }
+            Content::Map(entries) => {
+                let mut map = Map::new();
+                for (k, v) in entries {
+                    map.insert(k, Value::from_content(v));
+                }
+                Value::Object(map)
+            }
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Number(n) => n.to_content(),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(items) => Content::Seq(items.iter().map(Serialize::to_content).collect()),
+            Value::Object(map) => Content::Map(
+                map.iter()
+                    .map(|(k, v)| (k.clone(), v.to_content()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(content: &Content) -> Result<Self, serde::DeError> {
+        Ok(Value::from_content(content.clone()))
+    }
+}

@@ -1,0 +1,125 @@
+//! Compact and pretty JSON printers over the mini-serde `Content` tree.
+
+use serde::Content;
+
+/// Formats a float the way serde_json does: integral values keep a `.0`
+/// suffix, everything else uses Rust's shortest round-trip form. Non-finite
+/// values print as `null` (they are unrepresentable in JSON).
+pub(crate) fn format_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e16 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Compact (single-line) rendering.
+pub(crate) fn compact(content: &Content) -> String {
+    let mut out = String::new();
+    write_compact(&mut out, content);
+    out
+}
+
+fn write_compact(out: &mut String, content: &Content) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => out.push_str(&format_f64(*v)),
+        Content::Str(s) => escape_into(out, s),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, k);
+                out.push(':');
+                write_compact(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty rendering with 2-space indentation, matching serde_json's
+/// `to_string_pretty` layout.
+pub(crate) fn pretty(content: &Content) -> String {
+    let mut out = String::new();
+    write_pretty(&mut out, content, 0);
+    out
+}
+
+fn write_pretty(out: &mut String, content: &Content, depth: usize) {
+    match content {
+        Content::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(out, depth + 1);
+                write_pretty(out, item, depth + 1);
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push(']');
+        }
+        Content::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(out, depth + 1);
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, v, depth + 1);
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push('}');
+        }
+        other => write_compact(out, other),
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
