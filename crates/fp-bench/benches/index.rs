@@ -1,0 +1,44 @@
+//! 1:N candidate-index latency: build, indexed search, and the exhaustive
+//! brute-force baseline it replaces, at increasing gallery sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fp_bench::gallery_fixtures;
+use fp_index::{CandidateIndex, IndexConfig};
+use fp_match::PairTableMatcher;
+
+fn index_benches(c: &mut Criterion) {
+    for gallery_size in [50usize, 200] {
+        let (gallery, probe) = gallery_fixtures(gallery_size);
+
+        let group_name = format!("index_{gallery_size}");
+        let mut group = c.benchmark_group(&group_name);
+        group.bench_function("build", |b| {
+            b.iter(|| {
+                let mut index = CandidateIndex::with_config(
+                    PairTableMatcher::default(),
+                    IndexConfig::scaled(gallery.len()),
+                );
+                index.enroll_all(black_box(&gallery));
+                black_box(index.len())
+            })
+        });
+
+        let mut index = CandidateIndex::with_config(
+            PairTableMatcher::default(),
+            IndexConfig::scaled(gallery.len()),
+        );
+        index.enroll_all(&gallery);
+        group.bench_function("search", |b| {
+            b.iter(|| black_box(index.search(black_box(&probe))))
+        });
+        group.bench_function("brute_force", |b| {
+            b.iter(|| black_box(index.brute_force(black_box(&probe))))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, index_benches);
+criterion_main!(benches);

@@ -15,7 +15,9 @@
 //!   impostor pairs, direct vs prepared paths;
 //! * `benches/ablations.rs` — the design choices called out in DESIGN.md
 //!   (kind matching, rotation clustering, size normalization), measured for
-//!   both speed and discriminative effect.
+//!   both speed and discriminative effect;
+//! * `benches/index.rs` — 1:N candidate-index build and search latency vs
+//!   an exhaustive brute-force scan, at several gallery sizes.
 //!
 //! Shared fixtures live here so every bench sees identical inputs.
 
@@ -88,6 +90,33 @@ pub fn matcher_fixtures() -> (Template, Template, Template) {
 /// Seed tree root shared by rendering benches.
 pub fn bench_seed() -> SeedTree {
     SeedTree::new(0xBE7C)
+}
+
+/// A 1:N gallery of `n` D0 session-0 templates plus one genuine probe
+/// (subject 0, session 1) for the index benches.
+pub fn gallery_fixtures(n: usize) -> (Vec<Template>, Template) {
+    let pop = bench_population(n);
+    let protocol = CaptureProtocol::new();
+    let gallery: Vec<Template> = pop
+        .subjects()
+        .iter()
+        .map(|s| {
+            protocol
+                .capture(s, Finger::RIGHT_INDEX, DeviceId(0), SessionId(0))
+                .template()
+                .clone()
+        })
+        .collect();
+    let probe = protocol
+        .capture(
+            &pop.subjects()[0],
+            Finger::RIGHT_INDEX,
+            DeviceId(0),
+            SessionId(1),
+        )
+        .template()
+        .clone();
+    (gallery, probe)
 }
 
 #[cfg(test)]

@@ -1,0 +1,158 @@
+//! The pair-table geometric-hash bucket index.
+//!
+//! Every gallery template registers each of its pair-table entries under a
+//! quantized `(distance, beta1, beta2)` key — the same rotation- and
+//! translation-invariant features the pair-table matcher associates on. A
+//! probe then votes: each of its own entries looks up the neighbourhood of
+//! its key (±1 bin per dimension, so quantization boundaries cannot split a
+//! genuine pair from its mate) and every gallery template found there gains
+//! one vote. Genuine gallery entries share many compatible pairs with the
+//! probe and accumulate deep vote counts; impostors only collect accidental
+//! geometry.
+
+use std::collections::HashMap;
+
+use fp_match::PairFeature;
+
+/// Bucket index from quantized pair features to the gallery ids that own
+/// them.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BucketIndex {
+    buckets: HashMap<u64, Vec<u32>>,
+    distance_bin: f64,
+    angle_bins: usize,
+}
+
+impl BucketIndex {
+    pub(crate) fn new(distance_bin: f64, angle_bins: usize) -> BucketIndex {
+        assert!(distance_bin > 0.0, "distance bin must be positive");
+        assert!(angle_bins >= 2, "need at least two angular bins");
+        BucketIndex {
+            buckets: HashMap::new(),
+            distance_bin,
+            angle_bins,
+        }
+    }
+
+    /// Number of occupied buckets.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn angle_bin(&self, beta: f64) -> i64 {
+        // beta is in (-pi, pi]; map to [0, angle_bins).
+        let frac = (beta + std::f64::consts::PI) / std::f64::consts::TAU;
+        let bin = (frac * self.angle_bins as f64).floor() as i64;
+        bin.rem_euclid(self.angle_bins as i64)
+    }
+
+    fn key(&self, d_bin: i64, b1_bin: i64, b2_bin: i64) -> u64 {
+        // Distances are bounded by the pair-table max (~12 mm / bin width),
+        // angles by angle_bins; 21 bits per dimension is far more than
+        // enough and keeps the key a cheap single u64.
+        debug_assert!(d_bin >= 0 && (b1_bin as u64) < (1 << 21) && (b2_bin as u64) < (1 << 21));
+        ((d_bin as u64) << 42) | ((b1_bin as u64) << 21) | b2_bin as u64
+    }
+
+    /// Registers the pair features of gallery template `id`.
+    pub(crate) fn insert(&mut self, id: u32, features: impl Iterator<Item = PairFeature>) {
+        for f in features {
+            let key = self.key(
+                (f.d / self.distance_bin).floor() as i64,
+                self.angle_bin(f.beta1),
+                self.angle_bin(f.beta2),
+            );
+            self.buckets.entry(key).or_default().push(id);
+        }
+    }
+
+    /// Accumulates one vote into `votes[id]` for every gallery entry found
+    /// in the ±1-bin neighbourhood of each probe feature. Returns the number
+    /// of bucket hits (vote increments) performed.
+    pub(crate) fn accumulate(
+        &self,
+        features: impl Iterator<Item = PairFeature>,
+        votes: &mut [u32],
+    ) -> u64 {
+        let mut hits = 0u64;
+        let bins = self.angle_bins as i64;
+        for f in features {
+            let d_bin = (f.d / self.distance_bin).floor() as i64;
+            let b1_bin = self.angle_bin(f.beta1);
+            let b2_bin = self.angle_bin(f.beta2);
+            for dd in -1..=1i64 {
+                let d = d_bin + dd;
+                if d < 0 {
+                    continue;
+                }
+                for db1 in -1..=1i64 {
+                    let b1 = (b1_bin + db1).rem_euclid(bins);
+                    for db2 in -1..=1i64 {
+                        let b2 = (b2_bin + db2).rem_euclid(bins);
+                        if let Some(bucket) = self.buckets.get(&self.key(d, b1, b2)) {
+                            hits += bucket.len() as u64;
+                            for &id in bucket {
+                                votes[id as usize] += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feature(d: f64, beta1: f64, beta2: f64) -> PairFeature {
+        PairFeature { d, beta1, beta2 }
+    }
+
+    #[test]
+    fn identical_features_vote_for_their_owner() {
+        let mut index = BucketIndex::new(0.5, 16);
+        index.insert(0, [feature(4.2, 0.3, -1.1)].into_iter());
+        index.insert(1, [feature(9.0, 2.0, 2.5)].into_iter());
+        let mut votes = vec![0u32; 2];
+        let hits = index.accumulate([feature(4.2, 0.3, -1.1)].into_iter(), &mut votes);
+        assert_eq!(votes[0], 1);
+        assert_eq!(votes[1], 0);
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn near_boundary_features_still_match_via_neighbourhood() {
+        let mut index = BucketIndex::new(0.5, 16);
+        index.insert(0, [feature(4.49, 0.0, 0.0)].into_iter());
+        let mut votes = vec![0u32; 1];
+        // One distance bin over and slightly rotated: the ±1 neighbourhood
+        // still reaches the registered bucket.
+        index.accumulate([feature(4.51, 0.1, -0.1)].into_iter(), &mut votes);
+        assert_eq!(votes[0], 1);
+    }
+
+    #[test]
+    fn angle_bins_wrap_around_pi() {
+        let mut index = BucketIndex::new(0.5, 16);
+        let pi = std::f64::consts::PI;
+        index.insert(0, [feature(6.0, pi - 0.01, 0.0)].into_iter());
+        let mut votes = vec![0u32; 1];
+        // Just across the ±pi seam: wrapping neighbourhood must find it.
+        index.accumulate([feature(6.0, -pi + 0.01, 0.0)].into_iter(), &mut votes);
+        assert_eq!(votes[0], 1);
+    }
+
+    #[test]
+    fn far_features_do_not_vote() {
+        let mut index = BucketIndex::new(0.5, 16);
+        index.insert(0, [feature(3.0, 0.0, 0.0)].into_iter());
+        let mut votes = vec![0u32; 1];
+        index.accumulate([feature(8.0, 2.0, -2.0)].into_iter(), &mut votes);
+        assert_eq!(votes[0], 0);
+        assert_eq!(index.len(), 1);
+    }
+}

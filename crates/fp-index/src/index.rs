@@ -1,0 +1,398 @@
+//! The two-stage candidate index.
+
+use std::time::Instant;
+
+use fp_core::template::Template;
+use fp_core::MatchScore;
+use fp_match::{MccMatcher, PairTableMatcher, PreparableMatcher};
+use fp_telemetry::Telemetry;
+
+use crate::config::IndexConfig;
+use crate::geohash::BucketIndex;
+use crate::metrics::IndexMetrics;
+use crate::signature::CylinderCodes;
+
+/// One enrolled gallery template.
+#[derive(Debug, Clone)]
+struct GalleryEntry<P> {
+    prepared: P,
+    codes: CylinderCodes,
+    pair_count: u32,
+}
+
+/// One exactly-scored candidate of a search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The gallery id assigned at enrollment (dense, in enrollment order).
+    pub id: u32,
+    /// The exact matcher score against the probe.
+    pub score: MatchScore,
+}
+
+/// The outcome of one 1:N search: the shortlist, re-ranked exactly.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Shortlisted candidates, sorted by exact score descending (ties by id
+    /// ascending, so results are fully deterministic).
+    candidates: Vec<Candidate>,
+    gallery_len: usize,
+}
+
+impl SearchResult {
+    /// The re-ranked shortlist, best candidate first.
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    /// The best candidate, if the gallery was non-empty.
+    pub fn best(&self) -> Option<&Candidate> {
+        self.candidates.first()
+    }
+
+    /// Number of gallery entries at search time.
+    pub fn gallery_len(&self) -> usize {
+        self.gallery_len
+    }
+
+    /// Number of gallery entries the prefilter excluded from exact scoring.
+    pub fn pruned(&self) -> usize {
+        self.gallery_len - self.candidates.len()
+    }
+
+    /// Rank of gallery entry `id` among the exactly-scored candidates,
+    /// 1-based, with the same pessimistic tie handling as
+    /// `fp_stats::cmc::genuine_rank` (tied impostors rank ahead). `None`
+    /// when `id` did not make the shortlist — an identification miss.
+    pub fn genuine_rank(&self, id: u32) -> Option<usize> {
+        let own = self
+            .candidates
+            .iter()
+            .find(|c| c.id == id)
+            .map(|c| c.score)?;
+        Some(
+            1 + self
+                .candidates
+                .iter()
+                .filter(|c| c.id != id && c.score >= own)
+                .count(),
+        )
+    }
+}
+
+/// A two-stage candidate index for 1:N identification.
+///
+/// **Stage 1 (shortlist):** every gallery template is summarized at
+/// enrollment into (a) per-minutia binarized-MCC cylinder codes, compared by
+/// local-similarity-sort over packed `u64` Hamming words, and (b) its
+/// pair-table features, registered in a geometric-hash bucket index that
+/// lets a probe accumulate compatibility votes without touching individual
+/// gallery templates. Each channel ranks the gallery independently and the
+/// two rankings are fused by *best rank* — an entry's fused key is the
+/// better of its two channel ranks — so a genuine mate only needs to
+/// surface in one channel. The top-K fused entries survive.
+///
+/// **Stage 2 (re-rank):** the shortlist is scored *exactly* with the wrapped
+/// matcher's [`PreparableMatcher::compare_prepared`], so every score the
+/// index reports is identical to what a brute-force scan would have
+/// produced for that candidate; with `shortlist >= gallery` the whole
+/// result is identical to brute force.
+#[derive(Debug, Clone)]
+pub struct CandidateIndex<M: PreparableMatcher> {
+    matcher: M,
+    features: PairTableMatcher,
+    mcc: MccMatcher,
+    config: IndexConfig,
+    entries: Vec<GalleryEntry<M::Prepared>>,
+    buckets: BucketIndex,
+    metrics: IndexMetrics,
+}
+
+impl<M: PreparableMatcher> CandidateIndex<M> {
+    /// Creates an empty index around `matcher` with the default config.
+    pub fn new(matcher: M) -> CandidateIndex<M> {
+        CandidateIndex::with_config(matcher, IndexConfig::default())
+    }
+
+    /// Creates an empty index with an explicit config.
+    pub fn with_config(matcher: M, config: IndexConfig) -> CandidateIndex<M> {
+        CandidateIndex {
+            matcher,
+            features: PairTableMatcher::default(),
+            mcc: MccMatcher::default(),
+            config,
+            entries: Vec::new(),
+            buckets: BucketIndex::new(config.distance_bin, config.angle_bins),
+            metrics: IndexMetrics::default(),
+        }
+    }
+
+    /// Registers the index's work counters and timing histograms on
+    /// `telemetry` (candidates pruned, Hamming ops, bucket hits, re-rank
+    /// comparisons, build/search wall time).
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.metrics = IndexMetrics::new(telemetry);
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// The wrapped exact matcher.
+    pub fn matcher(&self) -> &M {
+        &self.matcher
+    }
+
+    /// Number of enrolled gallery templates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the gallery is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn make_entry(
+        &self,
+        template: &Template,
+    ) -> (GalleryEntry<M::Prepared>, Vec<fp_match::PairFeature>) {
+        let table = self.features.prepare(template);
+        let features: Vec<_> = table.pair_features().collect();
+        let codes = CylinderCodes::extract(&self.mcc, template, self.config.max_cylinders);
+        (
+            GalleryEntry {
+                prepared: self.matcher.prepare(template),
+                codes,
+                pair_count: features.len() as u32,
+            },
+            features,
+        )
+    }
+
+    fn insert(
+        &mut self,
+        entry: GalleryEntry<M::Prepared>,
+        features: Vec<fp_match::PairFeature>,
+    ) -> u32 {
+        let id = self.entries.len() as u32;
+        self.buckets.insert(id, features.into_iter());
+        self.entries.push(entry);
+        self.metrics.enrolled.incr();
+        id
+    }
+
+    /// Enrolls one gallery template, returning its dense id (enrollment
+    /// order, starting at 0).
+    pub fn enroll(&mut self, template: &Template) -> u32 {
+        let start = Instant::now();
+        let (entry, features) = self.make_entry(template);
+        let id = self.insert(entry, features);
+        self.metrics.build_time.record(start.elapsed());
+        id
+    }
+
+    /// Enrolls a batch, preparing templates in parallel across the
+    /// machine's cores (ids are still assigned in slice order, and the
+    /// resulting index is identical to sequential [`enroll`](Self::enroll)
+    /// calls). Returns the id of the first enrolled template.
+    pub fn enroll_all(&mut self, templates: &[Template]) -> u32
+    where
+        M: Sync,
+        M::Prepared: Send,
+    {
+        let start = Instant::now();
+        let first = self.entries.len() as u32;
+        let prepared = parallel_make(self, templates);
+        for (entry, features) in prepared {
+            self.insert(entry, features);
+        }
+        self.metrics.build_time.record(start.elapsed());
+        first
+    }
+
+    /// Searches the gallery with the configured shortlist budget.
+    pub fn search(&self, probe: &Template) -> SearchResult {
+        self.search_with_budget(probe, self.config.shortlist)
+    }
+
+    /// Searches with an explicit shortlist budget; `shortlist >= len()`
+    /// degenerates to an exact brute-force ranking.
+    pub fn search_with_budget(&self, probe: &Template, shortlist: usize) -> SearchResult {
+        let start = Instant::now();
+        let n = self.entries.len();
+        self.metrics.searches.incr();
+
+        // Stage 1a: geometric-hash votes, normalized by the *smaller* pair
+        // count of the two templates (min-support). Card-scan probes carry
+        // ~2.5x more (mostly spurious) pairs than their live-scan gallery
+        // mates; dividing by the larger count would bury exactly those
+        // genuine matches.
+        let table = self.features.prepare(probe);
+        let probe_pairs = table.len() as u32;
+        let mut votes = vec![0u32; n];
+        let hits = self.buckets.accumulate(table.pair_features(), &mut votes);
+        self.metrics.bucket_hits.add(hits);
+        let vote_scores: Vec<f64> = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(id, entry)| {
+                f64::from(votes[id]) / f64::from(probe_pairs.min(entry.pair_count).max(1))
+            })
+            .collect();
+
+        // Stage 1b: per-minutia cylinder codes scored by local similarity
+        // sort — robust to the same spurious-minutiae asymmetry because
+        // only the strongest local agreements count.
+        let probe_codes = CylinderCodes::extract(&self.mcc, probe, self.config.max_cylinders);
+        self.metrics.hamming_ops.add(n as u64);
+        let cyl_scores: Vec<f64> = self
+            .entries
+            .iter()
+            .map(|entry| probe_codes.similarity(&entry.codes, self.config.lss_depth))
+            .collect();
+
+        // Best-rank fusion under a strict total order: each channel ranks
+        // the gallery independently (score desc, id asc) and an entry's
+        // fused key is (better rank, worse rank, id) ascending. A genuine
+        // mate only needs to surface in ONE channel; the channels fail on
+        // disjoint probe populations, so the union covers both.
+        let vote_ranks = channel_ranks(&vote_scores);
+        let cyl_ranks = channel_ranks(&cyl_scores);
+        let mut fused: Vec<(u32, u32, u32)> = (0..n as u32)
+            .map(|id| {
+                let (v, c) = (vote_ranks[id as usize], cyl_ranks[id as usize]);
+                (v.min(c), v.max(c), id)
+            })
+            .collect();
+
+        let k = shortlist.min(n);
+        if k > 0 && k < n {
+            fused.select_nth_unstable_by(k - 1, |a, b| a.cmp(b));
+        }
+        fused.truncate(k);
+
+        // Stage 2: exact re-rank of the shortlist.
+        let probe_prepared = self.matcher.prepare(probe);
+        let mut candidates: Vec<Candidate> = fused
+            .iter()
+            .map(|&(_, _, id)| Candidate {
+                id,
+                score: self
+                    .matcher
+                    .compare_prepared(&self.entries[id as usize].prepared, &probe_prepared),
+            })
+            .collect();
+        candidates.sort_unstable_by(|a, b| b.score.cmp(&a.score).then(a.id.cmp(&b.id)));
+
+        self.metrics.rerank_comparisons.add(candidates.len() as u64);
+        self.metrics
+            .candidates_pruned
+            .add((n - candidates.len()) as u64);
+        self.metrics.shortlist.record(candidates.len() as u64);
+        self.metrics.search_time.record(start.elapsed());
+        SearchResult {
+            candidates,
+            gallery_len: n,
+        }
+    }
+
+    /// Exact brute-force ranking of the whole gallery — the reference the
+    /// index's results are validated against, sharing the prepared gallery
+    /// and the same deterministic ordering. Not metered as a search.
+    pub fn brute_force(&self, probe: &Template) -> SearchResult {
+        let probe_prepared = self.matcher.prepare(probe);
+        let mut candidates: Vec<Candidate> = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(id, entry)| Candidate {
+                id: id as u32,
+                score: self
+                    .matcher
+                    .compare_prepared(&entry.prepared, &probe_prepared),
+            })
+            .collect();
+        candidates.sort_unstable_by(|a, b| b.score.cmp(&a.score).then(a.id.cmp(&b.id)));
+        SearchResult {
+            candidates,
+            gallery_len: self.entries.len(),
+        }
+    }
+}
+
+/// Ranks one shortlist channel: position of every gallery id when sorted by
+/// score descending, ties broken by id ascending (rank 0 is best). The
+/// deterministic tie-break makes fused shortlists identical across runs.
+fn channel_ranks(scores: &[f64]) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..scores.len() as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .expect("channel scores are finite")
+            .then(a.cmp(&b))
+    });
+    let mut ranks = vec![0u32; scores.len()];
+    for (rank, &id) in order.iter().enumerate() {
+        ranks[id as usize] = rank as u32;
+    }
+    ranks
+}
+
+/// Prepares gallery entries for a batch in parallel (work-stealing over an
+/// atomic counter, like `fp-study`'s `parallel_map`), preserving slice
+/// order in the result.
+fn parallel_make<M>(
+    index: &CandidateIndex<M>,
+    templates: &[Template],
+) -> Vec<(GalleryEntry<M::Prepared>, Vec<fp_match::PairFeature>)>
+where
+    M: PreparableMatcher + Sync,
+    M::Prepared: Send,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let n = templates.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    if threads <= 1 {
+        return templates.iter().map(|t| index.make_entry(t)).collect();
+    }
+    let counter = AtomicUsize::new(0);
+    let chunks: Vec<Vec<(usize, _)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = counter.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, index.make_entry(&templates[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("index build worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<_>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for chunk in chunks {
+        for (i, value) in chunk {
+            slots[i] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every template prepared exactly once"))
+        .collect()
+}

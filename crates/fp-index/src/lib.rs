@@ -1,0 +1,62 @@
+//! # fp-index
+//!
+//! Candidate indexing for 1:N identification at full-cohort scale.
+//!
+//! The study's identification experiments must search a probe against every
+//! enrolled subject. Brute force is O(gallery) exact comparisons per probe —
+//! the scaling wall that capped the original closed-set experiment at 150 of
+//! the 494 subjects. This crate removes the wall with a classic two-stage
+//! design:
+//!
+//! 1. **Shortlist (cheap, approximate).** Two independent feature channels,
+//!    both derived from structures `fp-match` already computes:
+//!    * **per-minutia binarized-MCC cylinder codes** — each reliable
+//!      minutia's cylinder is binarized at its own mean into a packed `u64`
+//!      code, and templates are compared by local similarity sort over
+//!      per-cylinder Hamming matches ([`CylinderCodes`]);
+//!    * a **pair-table geometric hash** — every gallery pair-table entry is
+//!      registered under its quantized `(distance, beta1, beta2)` key, and a
+//!      probe accumulates compatibility votes by bucket lookup, never
+//!      touching individual gallery templates.
+//!
+//!    Each channel ranks the gallery independently; best-rank fusion
+//!    (an entry's fused key is the better of its two channel ranks) selects
+//!    the top-K shortlist, so a genuine mate only needs to surface in one
+//!    channel. Both channels are deliberately robust to the study's hardest
+//!    probe device — ink-card scans whose spurious extra minutiae would
+//!    drown any pooled whole-template descriptor or max-normalized vote.
+//! 2. **Re-rank (exact).** The shortlist is scored with the wrapped
+//!    matcher's [`fp_match::PreparableMatcher::compare_prepared`], so every
+//!    reported score equals what brute force would produce. With
+//!    `shortlist >= gallery` the result is *identical* to brute force — the
+//!    exactness property the test harness pins down.
+//!
+//! Recall is the only approximation: a genuine mate can fail to make the
+//! shortlist. The property tests require shortlist recall ≥ 0.98 at the
+//! default budget on seeded data; `study ext-scaling` reports it per run.
+//!
+//! ```
+//! use fp_index::{CandidateIndex, IndexConfig};
+//! use fp_match::PairTableMatcher;
+//! use fp_core::template::Template;
+//!
+//! # fn main() -> Result<(), fp_core::Error> {
+//! let mut index = CandidateIndex::new(PairTableMatcher::default());
+//! let empty = Template::builder(500.0).build()?;
+//! index.enroll(&empty);
+//! let result = index.search(&empty);
+//! assert_eq!(result.gallery_len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod config;
+mod geohash;
+pub mod index;
+pub mod metrics;
+pub mod signature;
+
+pub use config::IndexConfig;
+pub use index::{Candidate, CandidateIndex, SearchResult};
+pub use metrics::IndexMetrics;
+pub use signature::CylinderCodes;

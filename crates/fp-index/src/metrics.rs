@@ -1,0 +1,53 @@
+//! Pre-registered telemetry instruments for the candidate index.
+//!
+//! Mirrors the matcher-metrics pattern in `fp-match`: one bundle of
+//! counters and histograms registered via `with_telemetry`, every record a
+//! relaxed atomic op, and the `Default` bundle fully inert. Counters and
+//! work-size histograms measure *work* (pure functions of the enrolled
+//! templates and probes, identical across same-seed runs); the duration
+//! histograms measure wall time and vary with the machine.
+
+use fp_telemetry::{Counter, DurationHistogram, Telemetry, ValueHistogram};
+
+/// Instruments for [`crate::CandidateIndex`].
+#[derive(Debug, Clone, Default)]
+pub struct IndexMetrics {
+    /// `index.enrolled` — gallery templates enrolled.
+    pub(crate) enrolled: Counter,
+    /// `index.searches` — 1:N searches served.
+    pub(crate) searches: Counter,
+    /// `index.search.hamming_ops` — cylinder-code set comparisons performed
+    /// (one per gallery entry per search).
+    pub(crate) hamming_ops: Counter,
+    /// `index.search.bucket_hits` — geometric-hash vote increments.
+    pub(crate) bucket_hits: Counter,
+    /// `index.search.rerank_comparisons` — exact matcher comparisons spent
+    /// re-ranking shortlists.
+    pub(crate) rerank_comparisons: Counter,
+    /// `index.search.candidates_pruned` — gallery entries excluded from
+    /// exact re-ranking by the prefilter stages.
+    pub(crate) candidates_pruned: Counter,
+    /// `index.search.shortlist` — shortlist length per search.
+    pub(crate) shortlist: ValueHistogram,
+    /// `index.build.seconds` — wall time of each enrollment batch.
+    pub(crate) build_time: DurationHistogram,
+    /// `index.search.seconds` — wall time per search.
+    pub(crate) search_time: DurationHistogram,
+}
+
+impl IndexMetrics {
+    /// Registers the index instruments on `telemetry`.
+    pub fn new(telemetry: &Telemetry) -> IndexMetrics {
+        IndexMetrics {
+            enrolled: telemetry.counter("index.enrolled"),
+            searches: telemetry.counter("index.searches"),
+            hamming_ops: telemetry.counter("index.search.hamming_ops"),
+            bucket_hits: telemetry.counter("index.search.bucket_hits"),
+            rerank_comparisons: telemetry.counter("index.search.rerank_comparisons"),
+            candidates_pruned: telemetry.counter("index.search.candidates_pruned"),
+            shortlist: telemetry.value("index.search.shortlist"),
+            build_time: telemetry.duration("index.build.seconds"),
+            search_time: telemetry.duration("index.search.seconds"),
+        }
+    }
+}

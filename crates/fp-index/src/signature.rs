@@ -1,0 +1,244 @@
+//! Per-minutia binarized cylinder codes for the shortlist prefilter.
+//!
+//! Each template keeps one packed binary code per MCC cylinder (binarized at
+//! the cylinder's *own* mean activation, so dense and sparse impressions
+//! binarize comparably), restricted to the template's most reliable
+//! minutiae. Two templates are compared by **local similarity sort**: every
+//! probe cylinder finds its best Dice-style match among the gallery
+//! cylinders, and only the strongest `lss_depth` local agreements are
+//! averaged. A card-scan probe carrying hundreds of spurious minutiae still
+//! scores its genuine live-scan mate highly — the spurious cylinders simply
+//! never make the sorted prefix — where any pooled whole-template descriptor
+//! would drown the overlap.
+//!
+//! The cylinders live in each minutia's own rotated frame, so the codes
+//! inherit the MCC rotation/translation invariance; comparing a cylinder
+//! pair is a handful of XOR+popcount words.
+
+use fp_core::template::Template;
+use fp_match::{MccMatcher, PreparableMatcher};
+
+/// The packed per-cylinder binary codes of one template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CylinderCodes {
+    /// `len * words_per` packed words, cylinder-major.
+    words: Box<[u64]>,
+    /// Set-bit count per cylinder.
+    ones: Box<[u32]>,
+    words_per: usize,
+}
+
+impl CylinderCodes {
+    /// Extracts codes for the `max_cylinders` most reliable minutiae of
+    /// `template` (ties broken by minutia order) that produced a valid
+    /// cylinder. Every valid cylinder is binarized at its own mean cell
+    /// activation. Empty and very sparse templates yield no codes; their
+    /// [`similarity`](Self::similarity) against anything is zero, so the
+    /// shortlist falls back to the bucket-vote channel alone.
+    pub fn extract(mcc: &MccMatcher, template: &Template, max_cylinders: usize) -> CylinderCodes {
+        let minutiae = template.minutiae();
+        let mut order: Vec<usize> = (0..minutiae.len()).collect();
+        order.sort_unstable_by(|&a, &b| {
+            minutiae[b]
+                .reliability
+                .partial_cmp(&minutiae[a].reliability)
+                .expect("reliability is finite")
+                .then(a.cmp(&b))
+        });
+        let mut keep = vec![false; minutiae.len()];
+        for &i in order.iter().take(max_cylinders) {
+            keep[i] = true;
+        }
+
+        let prepared = mcc.prepare(template);
+        let mut words: Vec<u64> = Vec::new();
+        let mut ones: Vec<u32> = Vec::new();
+        let mut words_per = 0usize;
+        for (i, (cells, valid)) in prepared.cylinders().enumerate() {
+            if !valid || !keep.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            words_per = cells.len().div_ceil(64);
+            let base = words.len();
+            words.resize(base + words_per, 0);
+            let mut set = 0u32;
+            let mean: f32 = cells.iter().sum::<f32>() / cells.len() as f32;
+            for (cell, &v) in cells.iter().enumerate() {
+                if v > mean {
+                    words[base + cell / 64] |= 1u64 << (cell % 64);
+                    set += 1;
+                }
+            }
+            ones.push(set);
+        }
+        CylinderCodes {
+            words: words.into_boxed_slice(),
+            ones: ones.into_boxed_slice(),
+            words_per,
+        }
+    }
+
+    /// Number of coded cylinders.
+    pub fn len(&self) -> usize {
+        self.ones.len()
+    }
+
+    /// Whether the template produced no codes.
+    pub fn is_empty(&self) -> bool {
+        self.ones.is_empty()
+    }
+
+    fn cylinder(&self, i: usize) -> (&[u64], u32) {
+        (
+            &self.words[i * self.words_per..(i + 1) * self.words_per],
+            self.ones[i],
+        )
+    }
+
+    /// Local-similarity-sort score of this (probe) code set against a
+    /// gallery code set: each probe cylinder takes its best Dice-style
+    /// similarity `1 - hamming / (ones_p + ones_g)` over all gallery
+    /// cylinders, and the strongest `min(len_p, len_g, lss_depth)` of those
+    /// local bests are averaged. In `[0, 1]`; 0 when either side is empty.
+    pub fn similarity(&self, gallery: &CylinderCodes, lss_depth: usize) -> f64 {
+        if self.is_empty() || gallery.is_empty() {
+            return 0.0;
+        }
+        let mut bests: Vec<f64> = Vec::with_capacity(self.len());
+        for i in 0..self.len() {
+            let (pw, po) = self.cylinder(i);
+            let mut best = 0.0f64;
+            for j in 0..gallery.len() {
+                let (gw, go) = gallery.cylinder(j);
+                let mass = po + go;
+                if mass == 0 {
+                    continue;
+                }
+                let sim = 1.0 - f64::from(hamming(pw, gw)) / f64::from(mass);
+                if sim > best {
+                    best = sim;
+                }
+            }
+            bests.push(best);
+        }
+        let depth = self.len().min(gallery.len()).min(lss_depth).max(1);
+        bests.sort_unstable_by(|a, b| b.partial_cmp(a).expect("similarities are finite"));
+        bests[..depth].iter().sum::<f64>() / depth as f64
+    }
+}
+
+/// Hamming distance between two packed codes. Codes of different widths
+/// (templates prepared under different MCC configs) count every bit of the
+/// excess words.
+fn hamming(a: &[u64], b: &[u64]) -> u32 {
+    let common = a.len().min(b.len());
+    let mut distance = 0u32;
+    for i in 0..common {
+        distance += (a[i] ^ b[i]).count_ones();
+    }
+    for w in &a[common..] {
+        distance += w.count_ones();
+    }
+    for w in &b[common..] {
+        distance += w.count_ones();
+    }
+    distance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_core::geometry::{Direction, Point};
+    use fp_core::minutia::{Minutia, MinutiaKind};
+    use fp_core::rng::SeedTree;
+    use fp_core::template::Template;
+    use rand::Rng;
+
+    fn template(seed: u64, n: usize) -> Template {
+        let mut rng = SeedTree::new(seed).rng();
+        let mut minutiae: Vec<Minutia> = Vec::new();
+        let mut attempts = 0;
+        while minutiae.len() < n && attempts < 10_000 {
+            attempts += 1;
+            let pos = Point::new(
+                rng.gen::<f64>() * 16.0 - 8.0,
+                rng.gen::<f64>() * 20.0 - 10.0,
+            );
+            if minutiae.iter().any(|m| m.pos.distance(&pos) < 1.4) {
+                continue;
+            }
+            minutiae.push(Minutia::new(
+                pos,
+                Direction::from_radians(rng.gen::<f64>() * std::f64::consts::TAU),
+                MinutiaKind::RidgeEnding,
+                rng.gen::<f64>() * 0.5 + 0.5,
+            ));
+        }
+        Template::builder(500.0)
+            .capture_window_mm(20.0, 24.0)
+            .extend(minutiae)
+            .build()
+            .unwrap()
+    }
+
+    fn codes(seed: u64, n: usize, cap: usize) -> CylinderCodes {
+        CylinderCodes::extract(&MccMatcher::default(), &template(seed, n), cap)
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let c = codes(1, 30, 24);
+        assert!(!c.is_empty());
+        assert!(c.ones.iter().all(|&o| o > 0));
+        assert_eq!(c.similarity(&c, 12), 1.0);
+    }
+
+    #[test]
+    fn distinct_templates_score_below_one() {
+        let a = codes(2, 30, 24);
+        let b = codes(3, 30, 24);
+        assert!(a.similarity(&b, 12) < 1.0);
+    }
+
+    #[test]
+    fn genuine_mate_outranks_an_impostor() {
+        // A rigidly moved copy of the template re-codes to (nearly) the same
+        // cylinders; an unrelated template does not.
+        let base = template(4, 30);
+        let moved = base.transformed(&fp_core::geometry::RigidMotion::new(
+            Direction::from_radians(0.3),
+            fp_core::geometry::Vector::new(1.0, -0.5),
+        ));
+        let mcc = MccMatcher::default();
+        let a = CylinderCodes::extract(&mcc, &base, 24);
+        let b = CylinderCodes::extract(&mcc, &moved, 24);
+        let imp = codes(5, 30, 24);
+        assert!(a.similarity(&b, 12) > a.similarity(&imp, 12));
+    }
+
+    #[test]
+    fn max_cylinders_caps_the_code_count() {
+        let full = codes(6, 30, usize::MAX);
+        let capped = codes(6, 30, 8);
+        assert!(full.len() > 8);
+        assert_eq!(capped.len(), 8);
+    }
+
+    #[test]
+    fn empty_template_has_no_codes_and_scores_zero() {
+        let mcc = MccMatcher::default();
+        let empty = Template::builder(500.0).build().unwrap();
+        let zero = CylinderCodes::extract(&mcc, &empty, 24);
+        assert!(zero.is_empty());
+        assert_eq!(zero.similarity(&zero, 12), 0.0);
+        assert_eq!(zero.similarity(&codes(7, 25, 24), 12), 0.0);
+        assert_eq!(codes(7, 25, 24).similarity(&zero, 12), 0.0);
+    }
+
+    #[test]
+    fn hamming_handles_width_mismatch() {
+        assert_eq!(hamming(&[0b1011], &[]), 3);
+        assert_eq!(hamming(&[], &[0b1011]), 3);
+        assert_eq!(hamming(&[0b1011, u64::MAX], &[0b1001]), 65);
+    }
+}

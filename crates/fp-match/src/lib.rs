@@ -41,8 +41,8 @@ pub mod pairtable;
 
 pub use calibrate::ScoreCalibration;
 pub use hough::{HoughConfig, HoughMatcher};
-pub use mcc::{MccConfig, MccMatcher};
-pub use pairtable::{PairTableConfig, PairTableMatcher, PreparedPairTable};
+pub use mcc::{MccConfig, MccMatcher, PreparedCylinders};
+pub use pairtable::{PairFeature, PairTableConfig, PairTableMatcher, PreparedPairTable};
 
 use fp_core::template::Template;
 use fp_core::MatchScore;

@@ -86,6 +86,14 @@ impl PreparedCylinders {
     pub fn minutia_count(&self) -> usize {
         self.minutia_count
     }
+
+    /// Read access to the raw descriptors as `(cells, valid)` pairs, in
+    /// minutia order. `fp-index` pools and binarizes these into packed
+    /// bit-vector signatures for its Hamming prefilter; the cells of an
+    /// invalid cylinder carry no evidence and should be skipped.
+    pub fn cylinders(&self) -> impl Iterator<Item = (&[f32], bool)> {
+        self.cylinders.iter().map(|c| (c.cells.as_slice(), c.valid))
+    }
 }
 
 /// The MCC-style matcher. See the module docs.

@@ -115,6 +115,19 @@ pub struct PreparedPairTable {
     minutia_count: usize,
 }
 
+/// The rotation/translation-invariant features of one pair-table entry,
+/// exposed for geometric-hash indexing (`fp-index` quantizes these into
+/// bucket keys). Same quantities the matcher itself associates on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairFeature {
+    /// Inter-minutia distance (mm).
+    pub d: f64,
+    /// Angle between the first minutia's direction and the connecting line.
+    pub beta1: f64,
+    /// Angle between the second minutia's direction and the connecting line.
+    pub beta2: f64,
+}
+
 impl PreparedPairTable {
     /// Number of pair-table entries.
     pub fn len(&self) -> usize {
@@ -129,6 +142,15 @@ impl PreparedPairTable {
     /// Number of minutiae in the originating template.
     pub fn minutia_count(&self) -> usize {
         self.minutia_count
+    }
+
+    /// The invariant features of every pair-table entry, in distance order.
+    pub fn pair_features(&self) -> impl Iterator<Item = PairFeature> + '_ {
+        self.entries.iter().map(|e| PairFeature {
+            d: e.d,
+            beta1: e.beta1,
+            beta2: e.beta2,
+        })
     }
 }
 

@@ -4,6 +4,7 @@
 //! ```sh
 //! study all                         # every experiment at the default scale
 //! study table5 --subjects 494      # one experiment at paper scale
+//! study ext-scaling --subjects 1000 # 1:N search ladder: 1k/5k/10k galleries
 //! study all --json results.json    # machine-readable output (incl. telemetry)
 //! study all --metrics metrics.json # telemetry snapshot to its own file
 //! study devices                    # print the device table (paper Table 1)
@@ -270,6 +271,42 @@ fn main() -> ExitCode {
     if let Some(s) = args.seed {
         builder = builder.seed(s);
     }
+
+    if args.experiment == "ext-scaling" {
+        // The scaling ladder builds its own synthetic galleries (subjects,
+        // 5x, 10x); skip the full dataset/score pipeline so large ladders
+        // don't pay for rendering and score matrices they never read.
+        let config = builder.build();
+        eprintln!(
+            "scaling ladder: galleries of {}/{}/{} templates, seed {} ...",
+            config.subjects,
+            config.subjects * 5,
+            config.subjects * 10,
+            config.seed
+        );
+        let telemetry = Telemetry::enabled();
+        let report = fp_study::experiments::ext_scaling::run_with(&config, &telemetry);
+        println!("{}", report.render());
+        let snapshot = telemetry.snapshot();
+        if let Some(path) = args.json {
+            let payload = serde_json::json!({
+                "config": config,
+                "reports": [report],
+                "telemetry": snapshot,
+            });
+            if let Err(code) = write_json(&path, &payload) {
+                return code;
+            }
+        }
+        if let Some(path) = args.metrics {
+            let payload = serde_json::to_value(&snapshot).expect("serializable");
+            if let Err(code) = write_json(&path, &payload) {
+                return code;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
     let config = builder.build();
     eprintln!(
         "generating study data: {} subjects, {} impostor pairs per cell, seed {} ...",
@@ -283,7 +320,7 @@ fn main() -> ExitCode {
     let reports = if args.experiment == "all" {
         experiments::run_all_with(&data, &telemetry)
     } else {
-        match experiments::run(&args.experiment, &data) {
+        match experiments::run_with(&args.experiment, &data, &telemetry) {
             Some(r) => vec![r],
             None => {
                 eprintln!(

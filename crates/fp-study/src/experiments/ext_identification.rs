@@ -6,69 +6,141 @@
 //! Interoperability hits identification harder than verification: a genuine
 //! score only needs to clear the threshold to verify, but it must beat
 //! every impostor in the database to identify at rank 1.
+//!
+//! Earlier revisions brute-forced every probe against every gallery entry
+//! and had to cap the gallery at 150 subjects to stay tractable. The search
+//! now goes through [`fp_index::CandidateIndex`] — min-support geometric-hash
+//! votes and per-minutia cylinder codes shortlist the gallery, and only the
+//! shortlist is scored exactly — so the full cohort is searched at every
+//! scale. A deterministic probe subsample is audited against brute force to
+//! report rank-1 agreement alongside the comparison-count reduction; the
+//! report itself stays a pure function of the dataset, so indexed and
+//! brute-force wall clock go to telemetry
+//! (`ext_identification.indexed.seconds` over all searches,
+//! `ext_identification.brute.seconds` over the audited ones).
 
 use fp_core::ids::{DeviceId, SubjectId};
-use fp_match::{PairTableMatcher, PreparableMatcher};
-use fp_stats::cmc::{genuine_rank, CmcCurve};
+use fp_core::template::Template;
+use fp_index::{CandidateIndex, IndexConfig};
+use fp_match::PairTableMatcher;
+use fp_stats::cmc::CmcCurve;
+use fp_telemetry::Telemetry;
 use serde_json::json;
 
 use crate::parallel::parallel_map;
 use crate::report::Report;
 use crate::scores::StudyData;
 
-/// Gallery size cap: identification is O(gallery x probes), so very large
-/// cohorts are subsampled (the rank statistics converge long before 150).
-pub const MAX_GALLERY: usize = 150;
+/// Stride divisor for the brute-force audit: roughly this many probes per
+/// device are re-searched exhaustively to confirm the index agrees.
+const AUDIT_PROBES: usize = 24;
 
 /// Runs the experiment.
 pub fn run(data: &StudyData) -> Report {
-    let n = data.dataset.len().min(MAX_GALLERY);
-    let matcher = PairTableMatcher::default();
+    run_with(data, &Telemetry::disabled())
+}
+
+/// [`run`] with telemetry: index build/search counters and wall time land in
+/// `telemetry`. The report itself is a pure function of the dataset.
+pub fn run_with(data: &StudyData, telemetry: &Telemetry) -> Report {
+    let n = data.dataset.len();
     let gallery_device = DeviceId(0);
 
-    // Prepare the enrolled gallery once (D0, session 0).
-    let gallery: Vec<_> = parallel_map(n, |s| {
-        matcher.prepare(
+    // Enroll the whole cohort (D0, session 0) into the candidate index.
+    let templates: Vec<Template> = (0..n)
+        .map(|s| {
             data.dataset
                 .captures(SubjectId(s as u32), gallery_device)
                 .gallery
-                .template(),
-        )
-    });
+                .template()
+                .clone()
+        })
+        .collect();
+    let mut index =
+        CandidateIndex::with_config(PairTableMatcher::default(), IndexConfig::scaled(n))
+            .with_telemetry(telemetry);
+    index.enroll_all(&templates);
+    let shortlist = index.config().shortlist.min(n);
 
+    let audit_stride = n.div_ceil(AUDIT_PROBES).max(1);
+    let indexed_time = telemetry.duration("ext_identification.indexed.seconds");
+    let brute_time = telemetry.duration("ext_identification.brute.seconds");
     let mut rows = Vec::new();
+    let mut rank_vectors = serde_json::Map::new();
+    let mut audited = 0usize;
+    let mut audit_agreed = 0usize;
     for probe_device in DeviceId::ALL {
         // Rank of the true identity for every probe (parallel over probes).
-        let ranks: Vec<usize> = parallel_map(n, |s| {
-            let probe = matcher.prepare(
-                data.dataset
-                    .captures(SubjectId(s as u32), probe_device)
-                    .probe
-                    .template(),
-            );
-            let genuine = matcher.compare_prepared(&gallery[s], &probe).value();
-            let impostors: Vec<f64> = (0..n)
-                .filter(|&j| j != s)
-                .map(|j| matcher.compare_prepared(&gallery[j], &probe).value())
-                .collect();
-            genuine_rank(genuine, &impostors)
+        // A shortlist miss cannot rank better than the whole shortlist, so
+        // it is recorded pessimistically as rank `n` (beyond any CMC rank
+        // the report quotes).
+        let search_start = std::time::Instant::now();
+        let outcomes: Vec<(usize, bool)> = parallel_map(n, |s| {
+            let probe = data
+                .dataset
+                .captures(SubjectId(s as u32), probe_device)
+                .probe
+                .template();
+            let result = index.search(probe);
+            match result.genuine_rank(s as u32) {
+                Some(rank) => (rank, true),
+                None => (n.max(shortlist + 1), false),
+            }
         });
+        indexed_time.record(search_start.elapsed());
+        // Brute-force audit on a deterministic probe subsample: the index's
+        // top candidate must be the exhaustive scan's top candidate. The
+        // indexed and exhaustive passes run as separate parallel sweeps so
+        // each one's wall clock is measured on the same thread pool.
+        let audit_n = n.div_ceil(audit_stride);
+        let audit_probe = |i: usize| {
+            data.dataset
+                .captures(SubjectId((i * audit_stride) as u32), probe_device)
+                .probe
+                .template()
+        };
+        let indexed_best: Vec<Option<u32>> = parallel_map(audit_n, |i| {
+            index.search(audit_probe(i)).best().map(|c| c.id)
+        });
+        let brute_start = std::time::Instant::now();
+        let brute_best: Vec<Option<u32>> = parallel_map(audit_n, |i| {
+            index.brute_force(audit_probe(i)).best().map(|c| c.id)
+        });
+        brute_time.record(brute_start.elapsed());
+        audited += audit_n;
+        audit_agreed += indexed_best
+            .iter()
+            .zip(&brute_best)
+            .filter(|(a, b)| a == b)
+            .count();
+
+        let misses = outcomes.iter().filter(|(_, hit)| !hit).count();
+        let ranks: Vec<usize> = outcomes.iter().map(|&(r, _)| r).collect();
+        rank_vectors.insert(probe_device.to_string(), json!(ranks));
         let curve = CmcCurve::from_ranks(ranks, 10);
-        rows.push((probe_device, curve));
+        rows.push((probe_device, curve, misses));
     }
 
     let mut body = format!(
-        "closed-set identification: gallery = {n} subjects enrolled on D0\n\n\
-         {:<10}{:>10}{:>10}{:>10}\n",
-        "probe", "rank-1", "rank-5", "rank-10"
+        "closed-set identification: gallery = {n} subjects enrolled on D0\n\
+         indexed search: shortlist {shortlist} of {n} scored exactly \
+         ({:.1}x fewer comparisons than brute force)\n\n\
+         {:<10}{:>10}{:>10}{:>10}{:>10}\n",
+        n as f64 / shortlist.max(1) as f64,
+        "probe",
+        "rank-1",
+        "rank-5",
+        "rank-10",
+        "misses"
     );
-    for (device, curve) in &rows {
+    for (device, curve, misses) in &rows {
         body.push_str(&format!(
-            "{:<10}{:>10.3}{:>10.3}{:>10.3}\n",
+            "{:<10}{:>10.3}{:>10.3}{:>10.3}{:>10}\n",
             device.to_string(),
             curve.rank1(),
             curve.rate_at_rank(5),
             curve.rate_at_rank(10),
+            misses,
         ));
     }
     let same_rank1 = rows[0].1.rank1();
@@ -78,6 +150,7 @@ pub fn run(data: &StudyData) -> Report {
         .expect("non-empty");
     body.push_str(&format!(
         "\nsame-device rank-1: {same_rank1:.3}; worst cross-device: {} at {:.3}\n\
+         brute-force audit: indexed rank-1 matched on {audit_agreed}/{audited} sampled probes\n\
          identification amplifies the interoperability penalty: a probe must\n\
          out-score the entire enrolled database, not just clear a threshold\n",
         worst.0,
@@ -91,15 +164,22 @@ pub fn run(data: &StudyData) -> Report {
         json!({
             "gallery_device": "D0",
             "gallery_size": n,
+            "shortlist": shortlist,
             "rows": rows
                 .iter()
-                .map(|(d, c)| json!({
+                .map(|(d, c, misses)| json!({
                     "probe": d.to_string(),
                     "rank1": c.rank1(),
                     "rank5": c.rate_at_rank(5),
                     "rank10": c.rate_at_rank(10),
+                    "shortlist_misses": misses,
                 }))
                 .collect::<Vec<_>>(),
+            "ranks": serde_json::Value::Object(rank_vectors),
+            "audit": {
+                "sampled": audited,
+                "rank1_agreed": audit_agreed,
+            },
         }),
     )
 }
@@ -134,5 +214,32 @@ mod tests {
             same["rank1"].as_f64().unwrap() > 0.7,
             "same-device rank-1 {same}"
         );
+    }
+
+    #[test]
+    fn rank_vectors_cover_every_probe() {
+        let r = run(testdata::small());
+        let n = r.values["gallery_size"].as_u64().unwrap() as usize;
+        for device in ["D0", "D1", "D2", "D3", "D4"] {
+            let v = r.values["ranks"][device].as_array().unwrap();
+            assert_eq!(v.len(), n);
+            for rank in v {
+                let rank = rank.as_u64().unwrap() as usize;
+                assert!((1..=n).contains(&rank));
+            }
+        }
+    }
+
+    #[test]
+    fn small_cohorts_are_searched_exactly() {
+        // With 16 subjects the default shortlist covers the whole gallery:
+        // no misses, and the brute-force audit must agree everywhere.
+        let r = run(testdata::small());
+        for row in r.values["rows"].as_array().unwrap() {
+            assert_eq!(row["shortlist_misses"].as_u64().unwrap(), 0, "{row}");
+        }
+        let audit = &r.values["audit"];
+        assert_eq!(audit["rank1_agreed"], audit["sampled"]);
+        assert!(audit["sampled"].as_u64().unwrap() >= 5);
     }
 }

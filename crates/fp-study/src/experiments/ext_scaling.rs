@@ -1,0 +1,362 @@
+//! **Extension: identification scaling (1:N search throughput)** — how far
+//! the two-stage candidate index stretches beyond the paper's 494-subject
+//! cohort.
+//!
+//! The study's closed-set experiment asks *how accurate* identification is;
+//! this one asks *how expensive*. Galleries of `subjects`, `5 x subjects`
+//! and `10 x subjects` synthetic templates are enrolled into an
+//! [`fp_index::CandidateIndex`] and probed with jittered second captures in
+//! two perturbation profiles (same-device-like and cross-device-like, the
+//! same distortion scales the sensor model applies). Each rung reports
+//! indexed search throughput, an exhaustive-scan baseline on a probe
+//! subsample, the speedup, shortlist recall, and rank-1 agreement with
+//! brute force.
+//!
+//! Gallery templates here come from a cheap direct minutiae sampler rather
+//! than the full synthesis/render/capture pipeline: the index only sees
+//! minutiae, and a 10x ladder through the image pipeline would swamp the
+//! experiment with rendering cost that has nothing to do with search.
+
+use fp_core::dist::normal;
+use fp_core::geometry::{Direction, Point, RigidMotion, Vector};
+use fp_core::minutia::{Minutia, MinutiaKind};
+use fp_core::rng::SeedTree;
+use fp_core::template::Template;
+use fp_index::{CandidateIndex, IndexConfig};
+use fp_match::PairTableMatcher;
+use fp_telemetry::Telemetry;
+use rand::Rng;
+use serde_json::json;
+
+use crate::config::StudyConfig;
+use crate::parallel::parallel_map;
+use crate::report::Report;
+
+/// Gallery ladder: multiples of `config.subjects`.
+const LADDER: [usize; 3] = [1, 5, 10];
+
+/// Probes searched per rung (capped so the ladder stays wall-clock-bounded).
+const MAX_PROBES: usize = 96;
+
+/// Exhaustive-scan audits per rung (brute force is the expensive baseline).
+const MAX_AUDITS: usize = 12;
+
+/// One enrolled identity: a template plus two probe captures.
+struct ScalingRow {
+    gallery: usize,
+    shortlist: usize,
+    probes: usize,
+    recall: f64,
+    rank1: f64,
+    audit_sampled: usize,
+    audit_agreed: usize,
+    build_seconds: f64,
+    searches_per_second: f64,
+    brute_searches_per_second: f64,
+}
+
+/// A deterministic synthetic template with `n` well-spread minutiae.
+fn synthetic_template(seeds: &SeedTree, id: u64, n: usize) -> Template {
+    let mut rng = seeds.child(&[0x5C, id]).rng();
+    let mut minutiae: Vec<Minutia> = Vec::new();
+    let mut attempts = 0;
+    while minutiae.len() < n && attempts < 10_000 {
+        attempts += 1;
+        let pos = Point::new(
+            rng.gen::<f64>() * 16.0 - 8.0,
+            rng.gen::<f64>() * 20.0 - 10.0,
+        );
+        if minutiae.iter().any(|m| m.pos.distance(&pos) < 1.4) {
+            continue;
+        }
+        let kind = if rng.gen::<bool>() {
+            MinutiaKind::RidgeEnding
+        } else {
+            MinutiaKind::Bifurcation
+        };
+        minutiae.push(Minutia::new(
+            pos,
+            Direction::from_radians(rng.gen::<f64>() * std::f64::consts::TAU),
+            kind,
+            1.0,
+        ));
+    }
+    Template::builder(500.0)
+        .capture_window_mm(20.0, 24.0)
+        .extend(minutiae)
+        .build()
+        .expect("synthetic template is valid")
+}
+
+/// Perturbation profile of a probe capture.
+#[derive(Clone, Copy)]
+struct Profile {
+    drop: f64,
+    jitter_mm: f64,
+    jitter_rad: f64,
+    motion_mm: f64,
+    motion_rad: f64,
+}
+
+/// Roughly a second capture on the same device.
+const SAME_DEVICE: Profile = Profile {
+    drop: 0.06,
+    jitter_mm: 0.10,
+    jitter_rad: 0.04,
+    motion_mm: 0.8,
+    motion_rad: 0.10,
+};
+
+/// Roughly a capture on a different device (heavier loss and distortion).
+const CROSS_DEVICE: Profile = Profile {
+    drop: 0.14,
+    jitter_mm: 0.20,
+    jitter_rad: 0.09,
+    motion_mm: 1.4,
+    motion_rad: 0.16,
+};
+
+/// A jittered re-capture of `template` under `profile`.
+fn recapture(template: &Template, seeds: &SeedTree, id: u64, profile: Profile) -> Template {
+    let mut rng = seeds.child(&[0x5D, id]).rng();
+    let mut minutiae: Vec<Minutia> = Vec::new();
+    for m in template.minutiae() {
+        if rng.gen::<f64>() < profile.drop {
+            continue;
+        }
+        minutiae.push(Minutia::new(
+            Point::new(
+                m.pos.x + normal(&mut rng, 0.0, profile.jitter_mm),
+                m.pos.y + normal(&mut rng, 0.0, profile.jitter_mm),
+            ),
+            m.direction
+                .rotated(normal(&mut rng, 0.0, profile.jitter_rad)),
+            m.kind,
+            m.reliability,
+        ));
+    }
+    let motion = RigidMotion::new(
+        Direction::from_radians(normal(&mut rng, 0.0, profile.motion_rad)),
+        Vector::new(
+            normal(&mut rng, 0.0, profile.motion_mm),
+            normal(&mut rng, 0.0, profile.motion_mm),
+        ),
+    );
+    Template::builder(500.0)
+        .capture_window_mm(20.0, 24.0)
+        .extend(minutiae)
+        .build()
+        .expect("recaptured template is valid")
+        .transformed(&motion)
+}
+
+/// Runs the experiment.
+pub fn run(config: &StudyConfig) -> Report {
+    run_with(config, &Telemetry::disabled())
+}
+
+/// [`run`] with telemetry: the index's build/search instruments land in
+/// `telemetry`. Accuracy numbers (recall, rank-1, audit agreement) are pure
+/// functions of the seed; throughput numbers vary with the machine.
+pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
+    let seeds = SeedTree::new(config.seed).child(&[0xE5]);
+    let max_gallery = config.subjects * LADDER[LADDER.len() - 1];
+
+    // One template pool, shared by every rung as a prefix: rung results at
+    // size N are independent of the ladder above them.
+    let pool: Vec<Template> = parallel_map(max_gallery, |i| {
+        synthetic_template(&seeds, i as u64, 22 + i % 14)
+    });
+
+    let mut rows: Vec<ScalingRow> = Vec::new();
+    for multiple in LADDER {
+        let gallery = config.subjects * multiple;
+        let _span = telemetry.span(&format!("scaling.gallery{gallery}"));
+        let mut index =
+            CandidateIndex::with_config(PairTableMatcher::default(), IndexConfig::scaled(gallery))
+                .with_telemetry(telemetry);
+        let build_start = std::time::Instant::now();
+        index.enroll_all(&pool[..gallery]);
+        let build_seconds = build_start.elapsed().as_secs_f64();
+        let shortlist = index.config().shortlist.min(gallery);
+
+        // Probes spread over the whole gallery, alternating the two
+        // perturbation profiles.
+        let probes = gallery.min(MAX_PROBES);
+        let stride = gallery / probes;
+        let probe_of = |p: usize| -> (usize, Template) {
+            let subject = p * stride;
+            let profile = if p.is_multiple_of(2) {
+                SAME_DEVICE
+            } else {
+                CROSS_DEVICE
+            };
+            (
+                subject,
+                recapture(&pool[subject], &seeds, (gallery + subject) as u64, profile),
+            )
+        };
+
+        let search_start = std::time::Instant::now();
+        let outcomes: Vec<(bool, bool)> = parallel_map(probes, |p| {
+            let (subject, probe) = probe_of(p);
+            let result = index.search(&probe);
+            let rank = result.genuine_rank(subject as u32);
+            (rank.is_some(), rank == Some(1))
+        });
+        let search_seconds = search_start.elapsed().as_secs_f64();
+        let in_shortlist = outcomes.iter().filter(|(hit, _)| *hit).count();
+        let rank1_hits = outcomes.iter().filter(|(_, r1)| *r1).count();
+
+        // Exhaustive-scan baseline and agreement audit on a probe subsample.
+        let audits = probes.min(MAX_AUDITS);
+        let audit_stride = probes / audits;
+        let brute_start = std::time::Instant::now();
+        let agreed_flags: Vec<bool> = parallel_map(audits, |a| {
+            let (_, probe) = probe_of(a * audit_stride);
+            let exhaustive = index.brute_force(&probe);
+            let indexed = index.search(&probe);
+            indexed.best().map(|c| c.id) == exhaustive.best().map(|c| c.id)
+        });
+        let brute_seconds = brute_start.elapsed().as_secs_f64();
+        let audit_agreed = agreed_flags.iter().filter(|&&ok| ok).count();
+
+        rows.push(ScalingRow {
+            gallery,
+            shortlist,
+            probes,
+            recall: in_shortlist as f64 / probes as f64,
+            rank1: rank1_hits as f64 / probes as f64,
+            audit_sampled: audits,
+            audit_agreed,
+            build_seconds,
+            searches_per_second: probes as f64 / search_seconds.max(1e-9),
+            // Each audit also re-runs the indexed search; subtract its
+            // (much smaller) cost estimate to keep the baseline honest.
+            brute_searches_per_second: audits as f64
+                / (brute_seconds - audits as f64 * search_seconds.max(1e-9) / probes as f64)
+                    .max(1e-9),
+        });
+    }
+
+    let mut body = format!(
+        "identification scaling: gallery ladder x{:?} of {} subjects, \
+         {MAX_PROBES} probes per rung (two capture-perturbation profiles)\n\n\
+         {:<10}{:>10}{:>9}{:>10}{:>9}{:>12}{:>12}{:>10}\n",
+        LADDER,
+        config.subjects,
+        "gallery",
+        "shortlist",
+        "build s",
+        "recall",
+        "rank-1",
+        "search/s",
+        "brute/s",
+        "speedup"
+    );
+    for r in &rows {
+        body.push_str(&format!(
+            "{:<10}{:>10}{:>9.2}{:>10.3}{:>9.3}{:>12.1}{:>12.1}{:>10.1}\n",
+            r.gallery,
+            r.shortlist,
+            r.build_seconds,
+            r.recall,
+            r.rank1,
+            r.searches_per_second,
+            r.brute_searches_per_second,
+            r.searches_per_second / r.brute_searches_per_second.max(1e-9),
+        ));
+    }
+    let last = rows.last().expect("ladder is non-empty");
+    body.push_str(&format!(
+        "\nat {} gallery entries the shortlist scores {} candidates exactly \
+         ({:.0}x fewer exact comparisons than an exhaustive scan);\n\
+         rank-1 matched brute force on {} of {} audited probes\n",
+        last.gallery,
+        last.shortlist,
+        last.gallery as f64 / last.shortlist.max(1) as f64,
+        rows.iter().map(|r| r.audit_agreed).sum::<usize>(),
+        rows.iter().map(|r| r.audit_sampled).sum::<usize>(),
+    ));
+
+    Report::new(
+        "ext-scaling",
+        "1:N search throughput and recall vs gallery size",
+        body,
+        json!({
+            "base_subjects": config.subjects,
+            "ladder": LADDER,
+            "rows": rows
+                .iter()
+                .map(|r| json!({
+                    "gallery": r.gallery,
+                    "shortlist": r.shortlist,
+                    "probes": r.probes,
+                    "recall": r.recall,
+                    "rank1": r.rank1,
+                    "audit_sampled": r.audit_sampled,
+                    "audit_agreed": r.audit_agreed,
+                    "build_seconds": r.build_seconds,
+                    "searches_per_second": r.searches_per_second,
+                    "brute_searches_per_second": r.brute_searches_per_second,
+                }))
+                .collect::<Vec<_>>(),
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Report {
+        run(&StudyConfig::builder()
+            .subjects(12)
+            .seed(9)
+            .impostors_per_cell(10)
+            .build())
+    }
+
+    #[test]
+    fn ladder_has_three_rungs_with_expected_sizes() {
+        let r = tiny();
+        let rows = r.values["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0]["gallery"], 12);
+        assert_eq!(rows[1]["gallery"], 60);
+        assert_eq!(rows[2]["gallery"], 120);
+    }
+
+    #[test]
+    fn recall_and_rank1_are_high_at_small_scale() {
+        // Every rung's shortlist (min 48) covers these tiny galleries
+        // entirely except the last; recall must stay near-perfect and the
+        // audits must agree with brute force.
+        let r = tiny();
+        for row in r.values["rows"].as_array().unwrap() {
+            assert!(row["recall"].as_f64().unwrap() >= 0.97, "{row}");
+            assert!(row["rank1"].as_f64().unwrap() >= 0.9, "{row}");
+            assert_eq!(row["audit_agreed"], row["audit_sampled"], "{row}");
+        }
+    }
+
+    #[test]
+    fn accuracy_fields_are_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        let rows_a = a.values["rows"].as_array().unwrap();
+        let rows_b = b.values["rows"].as_array().unwrap();
+        for (ra, rb) in rows_a.iter().zip(rows_b) {
+            for key in [
+                "gallery",
+                "shortlist",
+                "probes",
+                "recall",
+                "rank1",
+                "audit_agreed",
+            ] {
+                assert_eq!(ra[key], rb[key], "{key}");
+            }
+        }
+    }
+}

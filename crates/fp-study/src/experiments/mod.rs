@@ -13,6 +13,7 @@ pub mod ext_identification;
 pub mod ext_multifinger;
 pub mod ext_normalization;
 pub mod ext_prediction;
+pub mod ext_scaling;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -24,7 +25,7 @@ pub mod table5;
 pub mod table6;
 
 /// Identifiers of all experiments in presentation order.
-pub const ALL_IDS: [&str; 15] = [
+pub const ALL_IDS: [&str; 16] = [
     "fig1",
     "table3",
     "fig2",
@@ -40,10 +41,18 @@ pub const ALL_IDS: [&str; 15] = [
     "ext-multifinger",
     "ext-normalization",
     "ext-identification",
+    "ext-scaling",
 ];
 
 /// Runs one experiment by id; `None` for an unknown id.
 pub fn run(id: &str, data: &StudyData) -> Option<Report> {
+    run_with(id, data, &Telemetry::disabled())
+}
+
+/// [`run`] with telemetry: experiments that do heavy 1:N search work
+/// (`ext-identification`, `ext-scaling`) route their index instruments into
+/// `telemetry`; the reports are identical either way.
+pub fn run_with(id: &str, data: &StudyData, telemetry: &Telemetry) -> Option<Report> {
     match id {
         "fig1" => Some(fig1::run(data)),
         "table3" => Some(table3::run(data)),
@@ -59,7 +68,8 @@ pub fn run(id: &str, data: &StudyData) -> Option<Report> {
         "ext-prediction" => Some(ext_prediction::run(data)),
         "ext-multifinger" => Some(ext_multifinger::run(data)),
         "ext-normalization" => Some(ext_normalization::run(data)),
-        "ext-identification" => Some(ext_identification::run(data)),
+        "ext-identification" => Some(ext_identification::run_with(data, telemetry)),
+        "ext-scaling" => Some(ext_scaling::run_with(data.dataset.config(), telemetry)),
         _ => None,
     }
 }
@@ -76,7 +86,7 @@ pub fn run_all_with(data: &StudyData, telemetry: &Telemetry) -> Vec<Report> {
         .iter()
         .map(|id| {
             let _span = telemetry.span(&format!("experiment.{id}"));
-            run(id, data).expect("ALL_IDS entries are runnable")
+            run_with(id, data, telemetry).expect("ALL_IDS entries are runnable")
         })
         .collect()
 }

@@ -60,8 +60,10 @@ impl ScoreMatrix {
         let n = dataset.len();
         let config = dataset.config();
         let cells = DEVICE_COUNT * DEVICE_COUNT;
-        let progress =
-            telemetry.progress("scores", (cells * (n + config.impostors_per_cell)) as u64);
+        // Impostor pairs need two distinct subjects; a degenerate one-subject
+        // study produces no impostor scores at all.
+        let impostors_per_cell = if n >= 2 { config.impostors_per_cell } else { 0 };
+        let progress = telemetry.progress("scores", (cells * (n + impostors_per_cell)) as u64);
         let genuine_counter = telemetry.counter("scores.comparisons.genuine");
         let impostor_counter = telemetry.counter("scores.comparisons.impostor");
 
@@ -130,7 +132,7 @@ impl ScoreMatrix {
             }
             timer.record(start.elapsed());
             impostor_counter.add(scores.len() as u64);
-            progress.inc(config.impostors_per_cell as u64);
+            progress.inc(scores.len() as u64);
             scores
         });
         progress.finish();
@@ -311,6 +313,32 @@ mod tests {
         let set = d.scores.score_set(DeviceId(1), DeviceId(2));
         assert_eq!(set.genuine().len(), 12);
         assert_eq!(set.impostor().len(), 40);
+    }
+
+    #[test]
+    fn single_subject_study_yields_no_impostor_scores() {
+        // A one-subject cohort cannot form impostor pairs: every impostor
+        // cell must stay empty, and the progress/counter accounting must
+        // reflect the zero scores actually produced (not the configured
+        // per-cell sample size).
+        let telemetry = Telemetry::enabled();
+        let config = StudyConfig::builder()
+            .subjects(1)
+            .seed(3)
+            .impostors_per_cell(40)
+            .build();
+        let dataset = Dataset::generate(&config);
+        let matcher = PairTableMatcher::default();
+        let scores = ScoreMatrix::compute_with(&dataset, &matcher, &telemetry);
+        for g in DeviceId::ALL {
+            for p in DeviceId::ALL {
+                assert!(scores.impostor_cell(g, p).is_empty());
+                assert_eq!(scores.genuine_cell(g, p).len(), 1);
+            }
+        }
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counters["scores.comparisons.impostor"], 0);
+        assert_eq!(snap.counters["scores.comparisons.genuine"], 25);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full local gate: formatting, lints, release build, tests.
+# Full local gate: formatting, lints, release build, tests, bench
+# compilation, and the 1:N scaling smoke run.
 # Mirrors .github/workflows/ci.yml so CI never surprises you.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -12,5 +13,22 @@ run() {
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo build --release --offline
+# Workspace tests include the fp-index exactness/recall property suite and
+# the fp-study golden-regression + determinism suite.
 run cargo test -q --release --offline --workspace
+# Benches must at least compile; running them is opt-in (`cargo bench`).
+run cargo bench --offline --no-run
+# 1:N scaling smoke: a 200-subject ladder (200/1000/2000 galleries) must
+# finish inside a 10-minute wall-clock budget and keep shortlist recall
+# at spec on every rung.
+run timeout 600 cargo run -q --release --offline -p fp-study --bin study -- \
+    ext-scaling --subjects 200 --json target/ext-scaling-smoke.json
+python3 - <<'EOF'
+import json
+report = json.load(open("target/ext-scaling-smoke.json"))["reports"][0]
+for row in report["values"]["rows"]:
+    assert row["recall"] >= 0.98, f"shortlist recall regressed: {row}"
+    assert row["audit_agreed"] == row["audit_sampled"], f"audit mismatch: {row}"
+print("ext-scaling smoke ok")
+EOF
 echo "all checks passed"

@@ -17,6 +17,7 @@
 //! | capture devices D0–D4 and acquisition physics | [`fp_sensor`] |
 //! | NFIQ-like quality levels 1–5 | [`fp_quality`] |
 //! | minutiae matchers (pair-table + Hough baseline) | [`fp_match`] |
+//! | 1:N candidate indexing (shortlist + exact re-rank) | [`fp_index`] |
 //! | biometric statistics (FMR/FNMR, Kendall τ, bootstrap) | [`fp_stats`] |
 //! | spans, counters & pipeline metrics | [`fp_telemetry`] |
 //! | the study harness reproducing every table & figure | [`fp_study`] |
@@ -42,6 +43,7 @@
 
 pub use fp_core;
 pub use fp_image;
+pub use fp_index;
 pub use fp_match;
 pub use fp_quality;
 pub use fp_sensor;
@@ -57,6 +59,7 @@ pub mod prelude {
     pub use fp_core::minutia::{Minutia, MinutiaKind};
     pub use fp_core::template::Template;
     pub use fp_core::{MatchScore, Matcher};
+    pub use fp_index::{CandidateIndex, IndexConfig};
     pub use fp_match::{HoughMatcher, PairTableMatcher};
     pub use fp_quality::{NfiqLevel, QualityAssessor};
     pub use fp_sensor::{Acquisition, Device, Impression};
