@@ -1,0 +1,98 @@
+//! Compares two `BENCH_*.json` snapshots and gates on regressions.
+//!
+//! ```text
+//! bench-diff BASELINE.json NEW.json [--fail-pct 15] [--warn-pct 5]
+//! ```
+//!
+//! Exits non-zero when any bench present in both snapshots is slower than
+//! the fail threshold (widened per bench to the baseline's own p95 noise).
+
+use std::process::ExitCode;
+
+use fp_bench::diff::{diff, render, BenchSnapshot};
+
+const USAGE: &str = "usage: bench-diff BASELINE.json NEW.json [--fail-pct N] [--warn-pct N]";
+
+struct Args {
+    baseline: String,
+    new: String,
+    fail_pct: f64,
+    warn_pct: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut positional = Vec::new();
+    let mut fail_pct = 15.0;
+    let mut warn_pct = 5.0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fail-pct" => {
+                fail_pct = args
+                    .next()
+                    .ok_or("--fail-pct needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--fail-pct: {e}"))?;
+            }
+            "--warn-pct" => {
+                warn_pct = args
+                    .next()
+                    .ok_or("--warn-pct needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--warn-pct: {e}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n{USAGE}"))
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [baseline, new] = positional.try_into().map_err(|_| USAGE.to_string())?;
+    Ok(Args {
+        baseline,
+        new,
+        fail_pct: fail_pct / 100.0,
+        warn_pct: warn_pct / 100.0,
+    })
+}
+
+fn load(path: &str) -> Result<BenchSnapshot, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchSnapshot::from_json(&raw).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (old, new) = match (load(&args.baseline), load(&args.new)) {
+        (Ok(old), Ok(new)) => (old, new),
+        (Err(msg), _) | (_, Err(msg)) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if old.host != new.host {
+        eprintln!(
+            "note: snapshots measured on different hosts ({} vs {}) — timings may not be comparable",
+            old.host, new.host
+        );
+    }
+    let report = diff(&old, &new, args.fail_pct, args.warn_pct);
+    print!("{}", render(&report));
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench gate failed: {} regression(s) beyond the {:.0}% threshold",
+            report.regressions(),
+            args.fail_pct * 100.0
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,290 @@
+//! Comparing `BENCH_*.json` performance snapshots.
+//!
+//! A snapshot is what the bench harness writes under `--save`: a versioned
+//! record of `{bench, median_ns, p95_ns, iters}` per benchmark. [`diff`]
+//! compares an old (baseline) snapshot against a new one and classifies
+//! every shared bench as regressed, warned, improved, or unchanged.
+//!
+//! Thresholds are noise-aware: the harness's p95 captures how jittery each
+//! bench is on the measuring host, so the effective fail threshold for a
+//! bench is `max(fail_pct, p95/median - 1)` of the *baseline* — a bench
+//! whose own samples spread 30% cannot meaningfully fail a 15% gate.
+
+use serde::Deserialize;
+
+/// A `BENCH_*.json` file as written by the bench harness's `--save`.
+#[derive(Debug, Clone, Deserialize)]
+pub struct BenchSnapshot {
+    /// Schema version; only version 1 is understood.
+    pub version: u32,
+    /// Hostname the snapshot was measured on.
+    pub host: String,
+    /// One entry per measured benchmark.
+    pub benches: Vec<BenchEntry>,
+}
+
+/// One benchmark's measurements within a snapshot.
+#[derive(Debug, Clone, Deserialize)]
+pub struct BenchEntry {
+    /// Full bench name (`group/bench`).
+    pub bench: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// 95th-percentile nanoseconds per iteration.
+    pub p95_ns: f64,
+    /// Iterations per timed sample.
+    pub iters: u64,
+}
+
+impl BenchSnapshot {
+    /// Parses a snapshot from JSON, rejecting unknown schema versions.
+    pub fn from_json(raw: &str) -> Result<BenchSnapshot, String> {
+        let snapshot: BenchSnapshot =
+            serde_json::from_str(raw).map_err(|e| format!("invalid snapshot JSON: {e}"))?;
+        if snapshot.version != 1 {
+            return Err(format!(
+                "unsupported snapshot version {} (expected 1)",
+                snapshot.version
+            ));
+        }
+        Ok(snapshot)
+    }
+}
+
+/// How one bench moved between two snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Slower than the effective fail threshold — gate fails.
+    Regressed,
+    /// Slower than the warn threshold but within the fail threshold.
+    Warned,
+    /// Faster than the warn threshold (in the improving direction).
+    Improved,
+    /// Within the warn band either way.
+    Unchanged,
+}
+
+/// One bench's comparison between baseline and new snapshots.
+#[derive(Debug, Clone)]
+pub struct BenchDelta {
+    /// Full bench name.
+    pub bench: String,
+    /// Baseline median ns/iter.
+    pub old_ns: f64,
+    /// New median ns/iter.
+    pub new_ns: f64,
+    /// Relative change: `new/old - 1` (positive = slower).
+    pub change: f64,
+    /// The fail threshold actually applied (after noise widening).
+    pub fail_threshold: f64,
+    /// Classification under the applied thresholds.
+    pub verdict: Verdict,
+}
+
+/// Result of comparing two snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Per-bench deltas for benches present in both snapshots.
+    pub deltas: Vec<BenchDelta>,
+    /// Benches only in the baseline (removed).
+    pub removed: Vec<String>,
+    /// Benches only in the new snapshot (added).
+    pub added: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when no shared bench regressed past its fail threshold.
+    pub fn passed(&self) -> bool {
+        self.deltas.iter().all(|d| d.verdict != Verdict::Regressed)
+    }
+
+    /// Number of regressions.
+    pub fn regressions(&self) -> usize {
+        self.deltas
+            .iter()
+            .filter(|d| d.verdict == Verdict::Regressed)
+            .count()
+    }
+}
+
+/// Compares `old` (baseline) and `new` snapshots.
+///
+/// `fail_pct` and `warn_pct` are fractional thresholds (0.15 = 15%). The
+/// effective fail threshold per bench is widened to the baseline's own
+/// relative noise, `p95/median - 1`, when that exceeds `fail_pct`.
+pub fn diff(old: &BenchSnapshot, new: &BenchSnapshot, fail_pct: f64, warn_pct: f64) -> DiffReport {
+    let mut report = DiffReport::default();
+    for entry in &old.benches {
+        let Some(fresh) = new.benches.iter().find(|b| b.bench == entry.bench) else {
+            report.removed.push(entry.bench.clone());
+            continue;
+        };
+        let change = if entry.median_ns > 0.0 {
+            fresh.median_ns / entry.median_ns - 1.0
+        } else {
+            0.0
+        };
+        let noise = if entry.median_ns > 0.0 {
+            (entry.p95_ns / entry.median_ns - 1.0).max(0.0)
+        } else {
+            0.0
+        };
+        let fail_threshold = fail_pct.max(noise);
+        let verdict = if change > fail_threshold {
+            Verdict::Regressed
+        } else if change > warn_pct {
+            Verdict::Warned
+        } else if change < -warn_pct {
+            Verdict::Improved
+        } else {
+            Verdict::Unchanged
+        };
+        report.deltas.push(BenchDelta {
+            bench: entry.bench.clone(),
+            old_ns: entry.median_ns,
+            new_ns: fresh.median_ns,
+            change,
+            fail_threshold,
+            verdict,
+        });
+    }
+    for entry in &new.benches {
+        if !old.benches.iter().any(|b| b.bench == entry.bench) {
+            report.added.push(entry.bench.clone());
+        }
+    }
+    report
+}
+
+/// Renders the report as an aligned human-readable table.
+pub fn render(report: &DiffReport) -> String {
+    let mut out = String::new();
+    for d in &report.deltas {
+        let tag = match d.verdict {
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Warned => "warn",
+            Verdict::Improved => "improved",
+            Verdict::Unchanged => "ok",
+        };
+        out.push_str(&format!(
+            "{:<50} {:>12.1} -> {:>12.1} ns/iter  {:>+7.1}%  (fail at +{:.0}%)  {}\n",
+            d.bench,
+            d.old_ns,
+            d.new_ns,
+            d.change * 100.0,
+            d.fail_threshold * 100.0,
+            tag
+        ));
+    }
+    for name in &report.removed {
+        out.push_str(&format!("{name:<50} removed (present only in baseline)\n"));
+    }
+    for name in &report.added {
+        out.push_str(&format!("{name:<50} added (absent from baseline)\n"));
+    }
+    let regressions = report.regressions();
+    out.push_str(&format!(
+        "{} benches compared, {} regression{}\n",
+        report.deltas.len(),
+        regressions,
+        if regressions == 1 { "" } else { "s" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(entries: &[(&str, f64, f64)]) -> BenchSnapshot {
+        BenchSnapshot {
+            version: 1,
+            host: "test".to_string(),
+            benches: entries
+                .iter()
+                .map(|(name, median, p95)| BenchEntry {
+                    bench: name.to_string(),
+                    median_ns: *median,
+                    p95_ns: *p95,
+                    iters: 100,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let base = snapshot(&[("a/x", 1000.0, 1050.0), ("a/y", 2000.0, 2100.0)]);
+        let report = diff(&base, &base.clone(), 0.15, 0.05);
+        assert!(report.passed());
+        assert_eq!(report.regressions(), 0);
+        assert!(report
+            .deltas
+            .iter()
+            .all(|d| d.verdict == Verdict::Unchanged));
+    }
+
+    #[test]
+    fn twenty_percent_regression_fails_the_default_gate() {
+        let base = snapshot(&[("a/x", 1000.0, 1050.0)]);
+        let new = snapshot(&[("a/x", 1200.0, 1260.0)]);
+        let report = diff(&base, &new, 0.15, 0.05);
+        assert!(!report.passed());
+        assert_eq!(report.regressions(), 1);
+        assert_eq!(report.deltas[0].verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn ten_percent_slowdown_warns_but_passes() {
+        let base = snapshot(&[("a/x", 1000.0, 1050.0)]);
+        let new = snapshot(&[("a/x", 1100.0, 1150.0)]);
+        let report = diff(&base, &new, 0.15, 0.05);
+        assert!(report.passed());
+        assert_eq!(report.deltas[0].verdict, Verdict::Warned);
+    }
+
+    #[test]
+    fn noisy_baselines_widen_the_fail_threshold() {
+        // Baseline p95 is 40% over its median, so a 20% slowdown is within
+        // the bench's own measured noise and must not fail a 15% gate.
+        let base = snapshot(&[("a/noisy", 1000.0, 1400.0)]);
+        let new = snapshot(&[("a/noisy", 1200.0, 1300.0)]);
+        let report = diff(&base, &new, 0.15, 0.05);
+        assert!(report.passed());
+        assert_eq!(report.deltas[0].verdict, Verdict::Warned);
+        assert!((report.deltas[0].fail_threshold - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvements_and_membership_changes_are_reported() {
+        let base = snapshot(&[("a/x", 1000.0, 1050.0), ("a/gone", 500.0, 510.0)]);
+        let new = snapshot(&[("a/x", 800.0, 840.0), ("a/new", 100.0, 105.0)]);
+        let report = diff(&base, &new, 0.15, 0.05);
+        assert!(report.passed());
+        assert_eq!(report.deltas[0].verdict, Verdict::Improved);
+        assert_eq!(report.removed, vec!["a/gone".to_string()]);
+        assert_eq!(report.added, vec!["a/new".to_string()]);
+        let table = render(&report);
+        assert!(table.contains("improved"));
+        assert!(table.contains("a/gone"));
+        assert!(table.contains("a/new"));
+        assert!(table.contains("1 benches compared, 0 regressions"));
+    }
+
+    #[test]
+    fn snapshot_parser_accepts_harness_output_and_rejects_bad_versions() {
+        let raw = r#"{
+  "version": 1,
+  "host": "ci",
+  "benches": [
+    {"bench": "telemetry/span", "median_ns": 120.5, "p95_ns": 130.1, "iters": 1000}
+  ]
+}"#;
+        let snap = BenchSnapshot::from_json(raw).expect("valid snapshot");
+        assert_eq!(snap.host, "ci");
+        assert_eq!(snap.benches.len(), 1);
+        assert_eq!(snap.benches[0].bench, "telemetry/span");
+        assert!(BenchSnapshot::from_json(r#"{"version": 2, "host": "x", "benches": []}"#).is_err());
+        assert!(BenchSnapshot::from_json("not json").is_err());
+    }
+}

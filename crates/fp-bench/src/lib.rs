@@ -21,6 +21,8 @@
 //!
 //! Shared fixtures live here so every bench sees identical inputs.
 
+pub mod diff;
+
 use fp_core::ids::{DeviceId, Finger, SessionId};
 use fp_core::rng::SeedTree;
 use fp_core::template::Template;

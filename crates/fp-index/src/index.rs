@@ -203,6 +203,10 @@ impl<M: PreparableMatcher> CandidateIndex<M> {
         M::Prepared: Send,
     {
         let start = Instant::now();
+        let _span = self.metrics.telemetry.trace_span(
+            "index.enroll_all",
+            &[("batch", templates.len().to_string())],
+        );
         let first = self.entries.len() as u32;
         let prepared = parallel_make(self, templates);
         for (entry, features) in prepared {
@@ -222,6 +226,10 @@ impl<M: PreparableMatcher> CandidateIndex<M> {
     pub fn search_with_budget(&self, probe: &Template, shortlist: usize) -> SearchResult {
         let start = Instant::now();
         let n = self.entries.len();
+        let _span = self
+            .metrics
+            .telemetry
+            .trace_span("index.search", &[("gallery", n.to_string())]);
         self.metrics.searches.incr();
 
         // Stage 1a: geometric-hash votes, normalized by the *smaller* pair
@@ -234,6 +242,7 @@ impl<M: PreparableMatcher> CandidateIndex<M> {
         let mut votes = vec![0u32; n];
         let hits = self.buckets.accumulate(table.pair_features(), &mut votes);
         self.metrics.bucket_hits.add(hits);
+        self.metrics.bucket_hits_per_search.record(hits);
         let vote_scores: Vec<f64> = self
             .entries
             .iter()
@@ -248,6 +257,7 @@ impl<M: PreparableMatcher> CandidateIndex<M> {
         // only the strongest local agreements count.
         let probe_codes = CylinderCodes::extract(&self.mcc, probe, self.config.max_cylinders);
         self.metrics.hamming_ops.add(n as u64);
+        self.metrics.hamming_per_search.record(n as u64);
         let cyl_scores: Vec<f64> = self
             .entries
             .iter()

@@ -29,10 +29,19 @@ pub struct IndexMetrics {
     pub(crate) candidates_pruned: Counter,
     /// `index.search.shortlist` — shortlist length per search.
     pub(crate) shortlist: ValueHistogram,
+    /// `index.search.hamming_ops_per_search` — stage-1 cylinder-code
+    /// comparisons per probe. The global counter hides outliers; this
+    /// distribution shows when one probe paid far more than the median.
+    pub(crate) hamming_per_search: ValueHistogram,
+    /// `index.search.bucket_hits_per_search` — geometric-hash vote
+    /// increments per probe (shortlist-quality outliers per search).
+    pub(crate) bucket_hits_per_search: ValueHistogram,
     /// `index.build.seconds` — wall time of each enrollment batch.
     pub(crate) build_time: DurationHistogram,
     /// `index.search.seconds` — wall time per search.
     pub(crate) search_time: DurationHistogram,
+    /// Handle for flight-recorder spans around enroll/search batches.
+    pub(crate) telemetry: Telemetry,
 }
 
 impl IndexMetrics {
@@ -46,8 +55,11 @@ impl IndexMetrics {
             rerank_comparisons: telemetry.counter("index.search.rerank_comparisons"),
             candidates_pruned: telemetry.counter("index.search.candidates_pruned"),
             shortlist: telemetry.value("index.search.shortlist"),
+            hamming_per_search: telemetry.value("index.search.hamming_ops_per_search"),
+            bucket_hits_per_search: telemetry.value("index.search.bucket_hits_per_search"),
             build_time: telemetry.duration("index.build.seconds"),
             search_time: telemetry.duration("index.search.seconds"),
+            telemetry: telemetry.clone(),
         }
     }
 }

@@ -7,9 +7,13 @@
 //! study ext-scaling --subjects 1000 # 1:N search ladder: 1k/5k/10k galleries
 //! study all --json results.json    # machine-readable output (incl. telemetry)
 //! study all --metrics metrics.json # telemetry snapshot to its own file
+//! study --all --trace trace.json   # flight-recorder timeline (chrome://tracing)
+//! study all --events events.jsonl  # structured event log (JSON Lines)
 //! study devices                    # print the device table (paper Table 1)
 //! study metrics                    # explain the telemetry instruments
 //! study verify --subjects 150      # check the paper's findings hold
+//! study check-scaling results.json # gate an ext-scaling JSON (recall/audits)
+//! study check-telemetry results.json # gate a study JSON's telemetry section
 //! study render --seed 7 --out print.pgm   # render a synthetic print (PGM)
 //! ```
 
@@ -19,30 +23,53 @@ use fp_sensor::DEVICES;
 use fp_study::config::StudyConfig;
 use fp_study::experiments;
 use fp_study::scores::StudyData;
-use fp_telemetry::Telemetry;
+use fp_telemetry::{Level, Telemetry};
 
 struct Args {
     experiment: String,
+    /// Positional input path (`check-scaling RESULTS.json`).
+    path: Option<String>,
     subjects: Option<usize>,
     seed: Option<u64>,
     json: Option<String>,
     out: Option<String>,
     metrics: Option<String>,
+    trace: Option<String>,
+    events: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = std::env::args().skip(1);
-    let experiment = args.next().unwrap_or_else(|| "all".to_string());
+    let mut args = std::env::args().skip(1).peekable();
+    // `study --trace t.json` / `study --all ...` run every experiment: a
+    // leading flag means the experiment name was omitted.
+    let experiment = match args.peek() {
+        Some(first) if !first.starts_with('-') => args.next().expect("peeked"),
+        _ => "all".to_string(),
+    };
     let mut parsed = Args {
         experiment,
+        path: None,
         subjects: None,
         seed: None,
         json: None,
         out: None,
         metrics: None,
+        trace: None,
+        events: None,
     };
+    if matches!(
+        parsed.experiment.as_str(),
+        "check-scaling" | "check-telemetry"
+    ) {
+        if let Some(next) = args.peek() {
+            if !next.starts_with('-') {
+                parsed.path = Some(args.next().expect("peeked"));
+            }
+        }
+    }
     while let Some(flag) = args.next() {
         match flag.as_str() {
+            "--all" => parsed.experiment = "all".to_string(),
             "--subjects" => {
                 let v = args.next().ok_or("--subjects needs a value")?;
                 let n: usize = v.parse().map_err(|_| format!("bad --subjects: {v}"))?;
@@ -65,6 +92,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--metrics" => {
                 parsed.metrics = Some(args.next().ok_or("--metrics needs a path")?);
+            }
+            "--trace" => {
+                parsed.trace = Some(args.next().ok_or("--trace needs a path")?);
+            }
+            "--events" => {
+                parsed.events = Some(args.next().ok_or("--events needs a path")?);
             }
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -94,10 +127,13 @@ fn print_metrics_help() {
     println!("telemetry instruments (enabled for every experiment run):");
     println!();
     println!("  export: `--json PATH` embeds a \"telemetry\" section in the results;");
-    println!("  `--metrics PATH` writes the snapshot alone. `study all` also prints a");
-    println!("  one-screen summary to stderr. Counters and work-size histograms are");
-    println!("  pure functions of the seed (identical across same-seed runs);");
-    println!("  durations, gauges and stage timings vary with the machine.");
+    println!("  `--metrics PATH` writes the snapshot alone. `--trace PATH` writes the");
+    println!("  flight recorder as Chrome trace-event JSON (open in chrome://tracing");
+    println!("  or https://ui.perfetto.dev); `--events PATH` writes the structured");
+    println!("  event log as JSON Lines. `study all` also prints a one-screen summary");
+    println!("  to stderr. Counters and work-size histograms are pure functions of");
+    println!("  the seed (identical across same-seed runs); durations, gauges, stage");
+    println!("  timings and trace timestamps vary with the machine.");
     println!();
     println!("  counters (deterministic work tallies)");
     println!("    synth.masters                     master prints synthesized");
@@ -106,6 +142,7 @@ fn print_metrics_help() {
     println!("                                      acquisition gain/loss channels");
     println!("    match.{{pairtable,hough,mcc}}.comparisons   matcher invocations");
     println!("    scores.comparisons.genuine/impostor        study comparisons");
+    println!("    index.enrolled/searches/hamming_ops/bucket_hits  1:N index work");
     println!();
     println!("  work-size histograms (deterministic)");
     println!("    synth.minutiae_per_master         master template sizes");
@@ -113,46 +150,176 @@ fn print_metrics_help() {
     println!("    match.pairtable.table_entries/associations/cluster_size");
     println!("    match.hough.vote_cells/peak_votes");
     println!("    match.mcc.valid_cylinders");
+    println!("    index.search.hamming_ops_per_search    stage-1 work per probe");
+    println!("    index.search.bucket_hits_per_search    stage-2 votes per probe");
     println!();
     println!("  duration histograms (spans; wall time)");
     println!("    study.dataset, study.dataset.population, study.scores");
+    println!("    dataset.subject                   per-subject capture work");
     println!("    scores.cell.g<g>p<p>              per (gallery, probe) device cell");
     println!("    experiment.<id>                   per report");
     println!();
     println!("  stages (per-thread utilization)");
     println!("    dataset.capture, scores.prepare, scores.genuine, scores.impostor");
+    println!("    scaling.pool, scaling.search, scaling.audit");
+    println!();
+    println!("  flight recorder (--trace / --events)");
+    println!("    hierarchical span tree with per-span attributes (experiment,");
+    println!("    gallery/probe device, subject, worker lane) and self-time");
+    println!("    attribution; log events carry a severity (debug|info|warn|error).");
+    println!("    Span names/parents/attributes are deterministic; timestamps vary.");
 }
 
-fn write_json(path: &str, value: &serde_json::Value) -> Result<(), ExitCode> {
+fn write_json(
+    telemetry: &Telemetry,
+    path: &str,
+    value: &serde_json::Value,
+) -> Result<(), ExitCode> {
     match std::fs::write(
         path,
         serde_json::to_string_pretty(value).expect("serializable"),
     ) {
         Ok(()) => {
-            eprintln!("wrote {path}");
+            telemetry.event_with(Level::Info, "wrote output", &[("path", path.to_string())]);
             Ok(())
         }
         Err(e) => {
-            eprintln!("failed to write {path}: {e}");
+            telemetry.event_with(
+                Level::Error,
+                "failed to write output",
+                &[("path", path.to_string()), ("error", e.to_string())],
+            );
             Err(ExitCode::FAILURE)
         }
     }
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
+/// Gates an `ext-scaling --json` results file: every rung must hold
+/// shortlist recall >= 0.98 and full brute-force audit agreement. The Rust
+/// replacement for the python heredocs the smoke gates used to need.
+fn check_scaling(telemetry: &Telemetry, path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
         Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!(
-                "usage: study <all|devices|metrics|verify|render|{}> \
-                 [--subjects N] [--seed S] [--json PATH] [--metrics PATH] [--out PATH]",
-                experiments::ALL_IDS.join("|")
+            telemetry.event_with(
+                Level::Error,
+                "cannot read results file",
+                &[("path", path.to_string()), ("error", e.to_string())],
             );
             return ExitCode::FAILURE;
         }
     };
+    let payload: serde_json::Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            telemetry.event_with(
+                Level::Error,
+                "results file is not valid JSON",
+                &[("path", path.to_string()), ("error", e.to_string())],
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = payload["reports"]
+        .as_array()
+        .into_iter()
+        .flatten()
+        .find(|r| r["id"] == "ext-scaling");
+    let Some(report) = report else {
+        telemetry.event_with(
+            Level::Error,
+            "no ext-scaling report in results file",
+            &[("path", path.to_string())],
+        );
+        return ExitCode::FAILURE;
+    };
+    let Some(rows) = report["values"]["rows"]
+        .as_array()
+        .filter(|r| !r.is_empty())
+    else {
+        telemetry.event(Level::Error, "ext-scaling report has no rows");
+        return ExitCode::FAILURE;
+    };
+    let mut ok = true;
+    for row in rows {
+        let recall = row["recall"].as_f64().unwrap_or(0.0);
+        if recall < 0.98 {
+            telemetry.event_with(
+                Level::Error,
+                "shortlist recall regressed",
+                &[("row", row.to_string()), ("recall", format!("{recall}"))],
+            );
+            ok = false;
+        }
+        if row["audit_agreed"] != row["audit_sampled"] {
+            telemetry.event_with(
+                Level::Error,
+                "brute-force audit mismatch",
+                &[("row", row.to_string())],
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        println!("ext-scaling smoke ok ({} rungs)", rows.len());
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
 
+/// Gates a study `--json` results file on its embedded telemetry section:
+/// the run must have done real comparison and index work and recorded cell
+/// spans and stage timings. The Rust replacement for CI's acceptance
+/// heredoc.
+fn check_telemetry(telemetry: &Telemetry, path: &str) -> ExitCode {
+    let payload: serde_json::Value = match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| serde_json::from_str(&t).map_err(|e| e.to_string()))
+    {
+        Ok(v) => v,
+        Err(e) => {
+            telemetry.event_with(
+                Level::Error,
+                "cannot load results file",
+                &[("path", path.to_string()), ("error", e)],
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let snap = &payload["telemetry"];
+    let counter = |key: &str| snap["counters"][key].as_u64().unwrap_or(0);
+    let mut ok = true;
+    for key in ["scores.comparisons.genuine", "index.searches"] {
+        if counter(key) == 0 {
+            telemetry.event_with(
+                Level::Error,
+                "expected counter is zero or missing",
+                &[("counter", key.to_string())],
+            );
+            ok = false;
+        }
+    }
+    let has_cells = snap["durations"]
+        .as_object()
+        .is_some_and(|d| d.keys().any(|k| k.starts_with("scores.cell.")));
+    if !has_cells {
+        telemetry.event(Level::Error, "no scores.cell.* duration histograms");
+        ok = false;
+    }
+    if snap["stages"].as_array().is_none_or(|s| s.is_empty()) {
+        telemetry.event(Level::Error, "no stage records");
+        ok = false;
+    }
+    if ok {
+        println!("telemetry section ok");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run(args: &Args, telemetry: &Telemetry) -> ExitCode {
     if args.experiment == "devices" {
         print_devices();
         return ExitCode::SUCCESS;
@@ -161,6 +328,25 @@ fn main() -> ExitCode {
     if args.experiment == "metrics" {
         print_metrics_help();
         return ExitCode::SUCCESS;
+    }
+
+    if matches!(
+        args.experiment.as_str(),
+        "check-scaling" | "check-telemetry"
+    ) {
+        let Some(path) = &args.path else {
+            telemetry.event_with(
+                Level::Error,
+                "gate subcommand needs a results JSON path",
+                &[("subcommand", args.experiment.clone())],
+            );
+            return ExitCode::FAILURE;
+        };
+        return if args.experiment == "check-scaling" {
+            check_scaling(telemetry, path)
+        } else {
+            check_telemetry(telemetry, path)
+        };
     }
 
     if args.experiment == "render" {
@@ -178,9 +364,13 @@ fn main() -> ExitCode {
         let window = fp_core::geometry::Rect::centred(fp_core::geometry::Point::ORIGIN, 18.0, 22.0)
             .expect("valid window");
         let config = fp_image::render::RenderConfig::default();
-        eprintln!(
-            "rendering {} print (seed {seed}) at 500 dpi ...",
-            master.class()
+        telemetry.event_with(
+            Level::Info,
+            "rendering synthetic print at 500 dpi",
+            &[
+                ("class", master.class().to_string()),
+                ("seed", seed.to_string()),
+            ],
         );
         let mut image = fp_image::render::render_master(
             &master,
@@ -203,12 +393,20 @@ fn main() -> ExitCode {
         let file = match std::fs::File::create(&path) {
             Ok(f) => f,
             Err(e) => {
-                eprintln!("cannot create {path}: {e}");
+                telemetry.event_with(
+                    Level::Error,
+                    "cannot create render output",
+                    &[("path", path.clone()), ("error", e.to_string())],
+                );
                 return ExitCode::FAILURE;
             }
         };
         if let Err(e) = fp_image::pgm::write_pgm(&image, file) {
-            eprintln!("cannot write {path}: {e}");
+            telemetry.event_with(
+                Level::Error,
+                "cannot write render output",
+                &[("path", path.clone()), ("error", e.to_string())],
+            );
             return ExitCode::FAILURE;
         }
         println!(
@@ -217,7 +415,7 @@ fn main() -> ExitCode {
             image.height(),
             template.len()
         );
-        if let Some(json_path) = args.json {
+        if let Some(json_path) = &args.json {
             let payload = serde_json::json!({
                 "seed": seed,
                 "path": path,
@@ -225,7 +423,7 @@ fn main() -> ExitCode {
                 "height": image.height(),
                 "minutiae": template.len(),
             });
-            if let Err(code) = write_json(&json_path, &payload) {
+            if let Err(code) = write_json(telemetry, json_path, &payload) {
                 return code;
             }
         }
@@ -241,17 +439,21 @@ fn main() -> ExitCode {
             builder = builder.seed(s);
         }
         let config = builder.build();
-        eprintln!(
-            "verifying paper findings on {} subjects (seed {}) ...",
-            config.subjects, config.seed
+        telemetry.event_with(
+            Level::Info,
+            "verifying paper findings",
+            &[
+                ("subjects", config.subjects.to_string()),
+                ("seed", config.seed.to_string()),
+            ],
         );
-        let data = StudyData::generate(&config);
+        let data = StudyData::generate_with(&config, telemetry);
         let findings = fp_study::findings::check_all(&data);
         let (report, all_hold) = fp_study::findings::render(&findings);
         println!("{report}");
-        if let Some(path) = args.json {
+        if let Some(path) = &args.json {
             let payload = serde_json::json!({"config": config, "findings": findings});
-            if let Err(code) = write_json(&path, &payload) {
+            if let Err(code) = write_json(telemetry, path, &payload) {
                 return code;
             }
         }
@@ -277,30 +479,38 @@ fn main() -> ExitCode {
         // 5x, 10x); skip the full dataset/score pipeline so large ladders
         // don't pay for rendering and score matrices they never read.
         let config = builder.build();
-        eprintln!(
-            "scaling ladder: galleries of {}/{}/{} templates, seed {} ...",
-            config.subjects,
-            config.subjects * 5,
-            config.subjects * 10,
-            config.seed
+        telemetry.event_with(
+            Level::Info,
+            "scaling ladder",
+            &[
+                (
+                    "galleries",
+                    format!(
+                        "{}/{}/{}",
+                        config.subjects,
+                        config.subjects * 5,
+                        config.subjects * 10
+                    ),
+                ),
+                ("seed", config.seed.to_string()),
+            ],
         );
-        let telemetry = Telemetry::enabled();
-        let report = fp_study::experiments::ext_scaling::run_with(&config, &telemetry);
+        let report = fp_study::experiments::ext_scaling::run_with(&config, telemetry);
         println!("{}", report.render());
         let snapshot = telemetry.snapshot();
-        if let Some(path) = args.json {
+        if let Some(path) = &args.json {
             let payload = serde_json::json!({
                 "config": config,
                 "reports": [report],
                 "telemetry": snapshot,
             });
-            if let Err(code) = write_json(&path, &payload) {
+            if let Err(code) = write_json(telemetry, path, &payload) {
                 return code;
             }
         }
-        if let Some(path) = args.metrics {
+        if let Some(path) = &args.metrics {
             let payload = serde_json::to_value(&snapshot).expect("serializable");
-            if let Err(code) = write_json(&path, &payload) {
+            if let Err(code) = write_json(telemetry, path, &payload) {
                 return code;
             }
         }
@@ -308,25 +518,39 @@ fn main() -> ExitCode {
     }
 
     let config = builder.build();
-    eprintln!(
-        "generating study data: {} subjects, {} impostor pairs per cell, seed {} ...",
-        config.subjects, config.impostors_per_cell, config.seed
+    telemetry.event_with(
+        Level::Info,
+        "generating study data",
+        &[
+            ("subjects", config.subjects.to_string()),
+            ("impostors_per_cell", config.impostors_per_cell.to_string()),
+            ("seed", config.seed.to_string()),
+        ],
     );
-    let telemetry = Telemetry::enabled();
     let start = std::time::Instant::now();
-    let data = StudyData::generate_with(&config, &telemetry);
-    eprintln!("score matrices ready in {:.1?}", start.elapsed());
+    let data = StudyData::generate_with(&config, telemetry);
+    telemetry.event_with(
+        Level::Info,
+        "score matrices ready",
+        &[("elapsed", format!("{:.1?}", start.elapsed()))],
+    );
 
     let reports = if args.experiment == "all" {
-        experiments::run_all_with(&data, &telemetry)
+        experiments::run_all_with(&data, telemetry)
     } else {
-        match experiments::run_with(&args.experiment, &data, &telemetry) {
+        match experiments::run_with(&args.experiment, &data, telemetry) {
             Some(r) => vec![r],
             None => {
-                eprintln!(
-                    "unknown experiment `{}` (known: all, devices, metrics, {})",
-                    args.experiment,
-                    experiments::ALL_IDS.join(", ")
+                telemetry.event_with(
+                    Level::Error,
+                    "unknown experiment",
+                    &[
+                        ("experiment", args.experiment.clone()),
+                        (
+                            "known",
+                            format!("all, devices, metrics, {}", experiments::ALL_IDS.join(", ")),
+                        ),
+                    ],
                 );
                 return ExitCode::FAILURE;
             }
@@ -342,21 +566,93 @@ fn main() -> ExitCode {
         eprintln!("{}", fp_telemetry::render_summary(&snapshot));
     }
 
-    if let Some(path) = args.json {
+    if let Some(path) = &args.json {
         let payload = serde_json::json!({
             "config": config,
             "reports": reports,
             "telemetry": snapshot,
         });
-        if let Err(code) = write_json(&path, &payload) {
+        if let Err(code) = write_json(telemetry, path, &payload) {
             return code;
         }
     }
-    if let Some(path) = args.metrics {
+    if let Some(path) = &args.metrics {
         let payload = serde_json::to_value(&snapshot).expect("serializable");
-        if let Err(code) = write_json(&path, &payload) {
+        if let Err(code) = write_json(telemetry, path, &payload) {
             return code;
         }
     }
     ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: study <all|devices|metrics|verify|render|check-scaling|check-telemetry|{}> \
+                 [--subjects N] [--seed S] [--json PATH] [--metrics PATH] \
+                 [--trace PATH] [--events PATH] [--out PATH]",
+                experiments::ALL_IDS.join("|")
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    // Informational subcommands stay allocation-free unless a flight
+    // recorder export was requested; experiment runs always record.
+    let inert = matches!(
+        args.experiment.as_str(),
+        "devices" | "metrics" | "render" | "check-scaling" | "check-telemetry"
+    ) && args.trace.is_none()
+        && args.events.is_none();
+    let telemetry = if inert {
+        Telemetry::disabled()
+    } else {
+        Telemetry::enabled()
+    };
+
+    let code = run(&args, &telemetry);
+
+    // Export the flight recorder even when the run failed: a trace of a
+    // failing run is exactly what you want on the desk.
+    let trace = (args.trace.is_some() || args.events.is_some()).then(|| telemetry.trace_snapshot());
+    if let Some(trace) = &trace {
+        if trace.dropped_spans > 0 || trace.dropped_events > 0 {
+            telemetry.event_with(
+                Level::Warn,
+                "flight recorder buffer overflowed; trace is truncated",
+                &[
+                    ("dropped_spans", trace.dropped_spans.to_string()),
+                    ("dropped_events", trace.dropped_events.to_string()),
+                ],
+            );
+        }
+        if let Some(path) = &args.trace {
+            match std::fs::write(
+                path,
+                serde_json::to_string(&trace.to_chrome_trace()).expect("serializable"),
+            ) {
+                Ok(()) => eprintln!(
+                    "wrote {path} ({} spans, {} events; open in chrome://tracing or ui.perfetto.dev)",
+                    trace.spans.len(),
+                    trace.events.len()
+                ),
+                Err(e) => {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Some(path) = &args.events {
+            match std::fs::write(path, trace.events_jsonl()) {
+                Ok(()) => eprintln!("wrote {path} ({} events)", trace.events.len()),
+                Err(e) => {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    code
 }

@@ -47,13 +47,15 @@ impl Dataset {
     /// identical to the uninstrumented one.
     pub fn generate_with(config: &StudyConfig, telemetry: &Telemetry) -> Dataset {
         let population = {
-            let _span = telemetry.span("population");
+            let _span =
+                telemetry.span_with("population", &[("subjects", config.subjects.to_string())]);
             Population::generate(&PopulationConfig::new(config.seed, config.subjects))
         };
         let protocol = CaptureProtocol::with_telemetry(telemetry);
         let assessor = QualityAssessor::default();
         let captures = parallel_map_metered(population.len(), telemetry, "dataset.capture", |i| {
             let subject = &population.subjects()[i];
+            let _span = telemetry.span_with("dataset.subject", &[("subject", i.to_string())]);
             DeviceId::ALL
                 .iter()
                 .map(|&device| {

@@ -29,7 +29,7 @@ use rand::Rng;
 use serde_json::json;
 
 use crate::config::StudyConfig;
-use crate::parallel::parallel_map;
+use crate::parallel::parallel_map_metered;
 use crate::report::Report;
 
 /// Gallery ladder: multiples of `config.subjects`.
@@ -164,14 +164,17 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
 
     // One template pool, shared by every rung as a prefix: rung results at
     // size N are independent of the ladder above them.
-    let pool: Vec<Template> = parallel_map(max_gallery, |i| {
+    let pool: Vec<Template> = parallel_map_metered(max_gallery, telemetry, "scaling.pool", |i| {
         synthetic_template(&seeds, i as u64, 22 + i % 14)
     });
 
     let mut rows: Vec<ScalingRow> = Vec::new();
     for multiple in LADDER {
         let gallery = config.subjects * multiple;
-        let _span = telemetry.span(&format!("scaling.gallery{gallery}"));
+        let _span = telemetry.span_with(
+            &format!("scaling.gallery{gallery}"),
+            &[("gallery", gallery.to_string())],
+        );
         let mut index =
             CandidateIndex::with_config(PairTableMatcher::default(), IndexConfig::scaled(gallery))
                 .with_telemetry(telemetry);
@@ -198,12 +201,13 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
         };
 
         let search_start = std::time::Instant::now();
-        let outcomes: Vec<(bool, bool)> = parallel_map(probes, |p| {
-            let (subject, probe) = probe_of(p);
-            let result = index.search(&probe);
-            let rank = result.genuine_rank(subject as u32);
-            (rank.is_some(), rank == Some(1))
-        });
+        let outcomes: Vec<(bool, bool)> =
+            parallel_map_metered(probes, telemetry, "scaling.search", |p| {
+                let (subject, probe) = probe_of(p);
+                let result = index.search(&probe);
+                let rank = result.genuine_rank(subject as u32);
+                (rank.is_some(), rank == Some(1))
+            });
         let search_seconds = search_start.elapsed().as_secs_f64();
         let in_shortlist = outcomes.iter().filter(|(hit, _)| *hit).count();
         let rank1_hits = outcomes.iter().filter(|(_, r1)| *r1).count();
@@ -212,12 +216,13 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
         let audits = probes.min(MAX_AUDITS);
         let audit_stride = probes / audits;
         let brute_start = std::time::Instant::now();
-        let agreed_flags: Vec<bool> = parallel_map(audits, |a| {
-            let (_, probe) = probe_of(a * audit_stride);
-            let exhaustive = index.brute_force(&probe);
-            let indexed = index.search(&probe);
-            indexed.best().map(|c| c.id) == exhaustive.best().map(|c| c.id)
-        });
+        let agreed_flags: Vec<bool> =
+            parallel_map_metered(audits, telemetry, "scaling.audit", |a| {
+                let (_, probe) = probe_of(a * audit_stride);
+                let exhaustive = index.brute_force(&probe);
+                let indexed = index.search(&probe);
+                indexed.best().map(|c| c.id) == exhaustive.best().map(|c| c.id)
+            });
         let brute_seconds = brute_start.elapsed().as_secs_f64();
         let audit_agreed = agreed_flags.iter().filter(|&&ok| ok).count();
 

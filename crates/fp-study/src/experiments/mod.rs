@@ -85,7 +85,10 @@ pub fn run_all_with(data: &StudyData, telemetry: &Telemetry) -> Vec<Report> {
     ALL_IDS
         .iter()
         .map(|id| {
-            let _span = telemetry.span(&format!("experiment.{id}"));
+            let _span = telemetry.span_with(
+                &format!("experiment.{id}"),
+                &[("experiment", id.to_string())],
+            );
             run_with(id, data, telemetry).expect("ALL_IDS entries are runnable")
         })
         .collect()

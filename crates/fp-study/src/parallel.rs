@@ -34,11 +34,19 @@ where
     }
     let recorder = StageRecorder::start(telemetry, stage);
     let timed = recorder.is_enabled();
+    // Capture the spawning thread's span as the parent for worker-side
+    // spans, so the trace tree stays connected across the thread hop.
+    let ctx = telemetry.trace_ctx();
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n);
     if threads <= 1 {
+        let _lane = if timed {
+            Some(telemetry.worker_span(stage, &[("worker", "0".to_string())]))
+        } else {
+            None
+        };
         let mut stats = WorkerStats::default();
         let out = (0..n)
             .map(|i| {
@@ -63,8 +71,18 @@ where
     // per-thread vectors instead.
     let results: Vec<(Vec<(usize, T)>, WorkerStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                let (ctx, counter, f) = (&ctx, &counter, &f);
+                scope.spawn(move || {
+                    let _adopt = telemetry.in_ctx(ctx);
+                    // Trace-only: shows each worker's lane on the timeline
+                    // without adding a segment to the dotted histogram
+                    // paths of the spans `f` opens.
+                    let _lane = if timed {
+                        Some(telemetry.worker_span(stage, &[("worker", w.to_string())]))
+                    } else {
+                        None
+                    };
                     let mut local = Vec::new();
                     let mut stats = WorkerStats::default();
                     loop {
@@ -147,6 +165,34 @@ mod tests {
         assert_eq!(stages[0].stage, "demo");
         assert_eq!(stages[0].items, 300);
         assert_eq!(stages[0].threads.iter().map(|w| w.items).sum::<u64>(), 300);
+    }
+
+    #[test]
+    fn metered_map_connects_worker_spans_to_the_calling_span() {
+        let t = Telemetry::enabled();
+        {
+            let _stage = t.span("stage");
+            let _ = parallel_map_metered(64, &t, "stage.items", |i| {
+                let _item = t.span_with("item", &[("i", i.to_string())]);
+                i
+            });
+        }
+        let trace = t.trace_snapshot();
+        assert_eq!(trace.validate_tree().expect("well-formed"), 1);
+        let stage = trace.spans.iter().find(|s| s.name == "stage").unwrap();
+        let lanes: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|s| s.name == "stage.items")
+            .collect();
+        assert!(!lanes.is_empty());
+        for lane in &lanes {
+            assert_eq!(lane.parent, Some(stage.id));
+        }
+        let items = trace.spans.iter().filter(|s| s.name == "item").count();
+        assert_eq!(items, 64);
+        // Worker lanes are trace-only: item histogram paths are unchanged.
+        assert_eq!(t.snapshot().durations["item"].count, 64);
     }
 
     #[test]

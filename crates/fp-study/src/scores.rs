@@ -82,8 +82,15 @@ impl ScoreMatrix {
         // Genuine: 25 cells x n subjects.
         let genuine_flat = parallel_map_metered(cells, telemetry, "scores.genuine", |cell| {
             let (g, p) = (cell / DEVICE_COUNT, cell % DEVICE_COUNT);
-            let timer = telemetry.duration(&format!("scores.cell.g{g}p{p}"));
-            let start = std::time::Instant::now();
+            let _cell = telemetry.span_with(
+                &format!("scores.cell.g{g}p{p}"),
+                &[
+                    ("gallery", g.to_string()),
+                    ("probe", p.to_string()),
+                    ("pass", "genuine".to_string()),
+                    ("subjects", n.to_string()),
+                ],
+            );
             let scores = (0..n)
                 .map(|s| {
                     let score = config
@@ -99,7 +106,6 @@ impl ScoreMatrix {
                     }
                 })
                 .collect::<Vec<_>>();
-            timer.record(start.elapsed());
             genuine_counter.add(n as u64);
             progress.inc(n as u64);
             scores
@@ -108,8 +114,15 @@ impl ScoreMatrix {
         // Impostor: 25 cells x impostors_per_cell sampled ordered pairs.
         let impostor_flat = parallel_map_metered(cells, telemetry, "scores.impostor", |cell| {
             let (g, p) = (cell / DEVICE_COUNT, cell % DEVICE_COUNT);
-            let timer = telemetry.duration(&format!("scores.cell.g{g}p{p}"));
-            let start = std::time::Instant::now();
+            let _cell = telemetry.span_with(
+                &format!("scores.cell.g{g}p{p}"),
+                &[
+                    ("gallery", g.to_string()),
+                    ("probe", p.to_string()),
+                    ("pass", "impostor".to_string()),
+                    ("pairs", impostors_per_cell.to_string()),
+                ],
+            );
             let mut rng = SeedTree::new(config.seed)
                 .child(&[0x1A, g as u64, p as u64])
                 .rng();
@@ -130,7 +143,6 @@ impl ScoreMatrix {
                     scores.push(score.value());
                 }
             }
-            timer.record(start.elapsed());
             impostor_counter.add(scores.len() as u64);
             progress.inc(scores.len() as u64);
             scores

@@ -154,6 +154,176 @@ fn metrics_topic_documents_the_instruments() {
 }
 
 #[test]
+fn trace_flag_writes_chrome_trace_and_event_log() {
+    let dir = std::env::temp_dir().join(format!("fp-study-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("trace.json");
+    let events_path = dir.join("events.jsonl");
+    // `--all` with no positional experiment must run every experiment.
+    let out = study()
+        .args([
+            "--all",
+            "--subjects",
+            "4",
+            "--trace",
+            trace_path.to_str().expect("utf-8 path"),
+            "--events",
+            events_path.to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let trace: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace_path).expect("trace written"))
+            .expect("valid chrome trace json");
+    let events = trace["traceEvents"].as_array().expect("traceEvents array");
+    let span_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e["ph"] == "X")
+        .map(|e| e["name"].as_str().unwrap())
+        .collect();
+    // One span per experiment and per device-pair cell.
+    for id in fp_study::experiments::ALL_IDS {
+        let name = format!("experiment.{id}");
+        assert!(span_names.contains(&name.as_str()), "missing {name}");
+    }
+    for g in 0..5 {
+        for p in 0..5 {
+            let name = format!("scores.cell.g{g}p{p}");
+            assert!(span_names.contains(&name.as_str()), "missing {name}");
+        }
+    }
+    assert_eq!(trace["otherData"]["dropped_spans"], 0);
+
+    // The event log is one valid JSON object per line, and the progress
+    // narration that used to be bare eprintln is captured in it.
+    let jsonl = std::fs::read_to_string(&events_path).expect("events written");
+    let mut messages = Vec::new();
+    for line in jsonl.lines() {
+        let event: serde_json::Value = serde_json::from_str(line).expect("valid json line");
+        messages.push(event["message"].as_str().unwrap().to_string());
+    }
+    assert!(messages.iter().any(|m| m == "generating study data"));
+    assert!(messages.iter().any(|m| m == "score matrices ready"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn check_scaling_gates_on_recall_and_audits() {
+    let dir = std::env::temp_dir().join(format!("fp-study-gate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let results = |recall: f64, agreed: u64| {
+        serde_json::json!({
+            "reports": [{
+                "id": "ext-scaling",
+                "values": {
+                    "rows": [
+                        {"gallery": 200, "recall": 1.0, "audit_agreed": 12, "audit_sampled": 12},
+                        {"gallery": 1000, "recall": recall, "audit_agreed": agreed, "audit_sampled": 12},
+                    ]
+                }
+            }]
+        })
+    };
+
+    let good = dir.join("good.json");
+    std::fs::write(&good, results(0.99, 12).to_string()).expect("fixture written");
+    let out = study()
+        .args(["check-scaling", good.to_str().expect("utf-8 path")])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ext-scaling smoke ok"));
+
+    let bad_recall = dir.join("bad-recall.json");
+    std::fs::write(&bad_recall, results(0.5, 12).to_string()).expect("fixture written");
+    let out = study()
+        .args(["check-scaling", bad_recall.to_str().expect("utf-8 path")])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "recall 0.5 must fail the gate");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("recall"));
+
+    let bad_audit = dir.join("bad-audit.json");
+    std::fs::write(&bad_audit, results(1.0, 7).to_string()).expect("fixture written");
+    let out = study()
+        .args(["check-scaling", bad_audit.to_str().expect("utf-8 path")])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "audit mismatch must fail the gate");
+
+    let out = study()
+        .args(["check-scaling", dir.join("missing.json").to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "missing file must fail the gate");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn check_telemetry_gates_on_recorded_work() {
+    let dir = std::env::temp_dir().join(format!("fp-study-tgate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // A real tiny full run's --json output must pass the gate (only the
+    // full run exercises the 1:N index the gate checks for).
+    let results = dir.join("results.json");
+    let out = study()
+        .args([
+            "all",
+            "--subjects",
+            "4",
+            "--json",
+            results.to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let out = study()
+        .args(["check-telemetry", results.to_str().expect("utf-8 path")])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("telemetry section ok"));
+
+    // Zero out the index work in the snapshot: the gate must fail.
+    let mut payload: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&results).expect("results readable"))
+            .expect("valid json");
+    fn field_mut<'a>(v: &'a mut serde_json::Value, key: &str) -> &'a mut serde_json::Value {
+        match v {
+            serde_json::Value::Object(map) => map.get_mut(key).expect("key present"),
+            other => panic!("expected object at {key}, got {other:?}"),
+        }
+    }
+    let counter = field_mut(field_mut(&mut payload, "telemetry"), "counters");
+    *field_mut(counter, "index.searches") = serde_json::json!(0);
+    let gutted = dir.join("gutted.json");
+    std::fs::write(&gutted, payload.to_string()).expect("fixture written");
+    let out = study()
+        .args(["check-telemetry", gutted.to_str().expect("utf-8 path")])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "zeroed counter must fail the gate");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("index.searches"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn render_writes_pgm_to_out_path() {
     let dir = std::env::temp_dir().join(format!("fp-study-render-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");

@@ -105,6 +105,17 @@ fn identification_report_is_deterministic_and_telemetry_neutral() {
     let snap = telemetry.snapshot();
     assert_eq!(snap.counters["index.enrolled"], 16);
     assert!(snap.counters["index.searches"] > 0);
+
+    // Per-search shortlist-quality histograms: one record per search, and
+    // their exact sums must reproduce the global counters (work measures
+    // are deterministic, so sums — not just counts — line up).
+    let searches = snap.counters["index.searches"];
+    let hamming = &snap.values["index.search.hamming_ops_per_search"];
+    assert_eq!(hamming.count, searches);
+    assert_eq!(hamming.sum, snap.counters["index.search.hamming_ops"]);
+    let bucket_hits = &snap.values["index.search.bucket_hits_per_search"];
+    assert_eq!(bucket_hits.count, searches);
+    assert_eq!(bucket_hits.sum, snap.counters["index.search.bucket_hits"]);
 }
 
 const GOLDEN_DMG_MEAN: f64 = 30.10882426039874;

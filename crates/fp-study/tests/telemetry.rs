@@ -145,6 +145,88 @@ fn deterministic_sections_are_identical_across_same_seed_runs() {
 }
 
 #[test]
+fn study_trace_is_a_well_formed_tree_with_cell_spans() {
+    let telemetry = Telemetry::enabled();
+    let wall = std::time::Instant::now();
+    let _ = StudyData::generate_with(&tiny_config(), &telemetry);
+    let wall_ns = wall.elapsed().as_nanos() as u64;
+    let trace = telemetry.trace_snapshot();
+
+    assert_eq!(trace.dropped_spans, 0, "tiny study must fit the buffer");
+    trace.validate_tree().expect("span tree is well-formed");
+
+    // One span per device-pair cell and per pass, carrying its attributes.
+    for g in 0..DEVICES.len() {
+        for p in 0..DEVICES.len() {
+            let name = format!("scores.cell.g{g}p{p}");
+            let cell_spans: Vec<_> = trace.spans.iter().filter(|s| s.name == name).collect();
+            assert_eq!(cell_spans.len(), 2, "{name}: genuine + impostor passes");
+            for span in cell_spans {
+                let attr = |k: &str| {
+                    span.attrs
+                        .iter()
+                        .find(|(key, _)| key == k)
+                        .map(|(_, v)| v.as_str())
+                };
+                assert_eq!(attr("gallery"), Some(g.to_string().as_str()));
+                assert_eq!(attr("probe"), Some(p.to_string().as_str()));
+                assert!(matches!(attr("pass"), Some("genuine" | "impostor")));
+            }
+        }
+    }
+
+    // Self-time attribution telescopes: on every thread, self times sum
+    // exactly to that thread's top spans (roots, or spans whose parent ran
+    // on another thread), and the root spans cover the pipeline's wall
+    // clock to within 5%.
+    let total_self: u64 = trace.self_times().values().map(|t| t.self_ns).sum();
+    let thread_of: std::collections::BTreeMap<u64, u64> =
+        trace.spans.iter().map(|s| (s.id, s.thread)).collect();
+    let top_ns: u64 = trace
+        .spans
+        .iter()
+        .filter(|s| match s.parent {
+            None => true,
+            Some(p) => thread_of.get(&p) != Some(&s.thread),
+        })
+        .map(|s| s.dur_ns)
+        .sum();
+    assert_eq!(
+        total_self, top_ns,
+        "self times must telescope to thread tops"
+    );
+    let root_ns: u64 = trace
+        .spans
+        .iter()
+        .filter(|s| s.parent.is_none())
+        .map(|s| s.dur_ns)
+        .sum();
+    assert!(
+        root_ns as f64 >= wall_ns as f64 * 0.95 && root_ns <= wall_ns,
+        "root spans cover {root_ns} ns of {wall_ns} ns wall clock"
+    );
+}
+
+#[test]
+fn trace_structure_is_deterministic_across_same_seed_runs() {
+    // Timestamps vary run to run; the *structure* — which spans exist, with
+    // which names and attributes — is a pure function of the seed.
+    let run = || {
+        let telemetry = Telemetry::enabled();
+        let _ = StudyData::generate_with(&tiny_config(), &telemetry);
+        let mut shape: Vec<(String, Vec<(String, String)>)> = telemetry
+            .trace_snapshot()
+            .spans
+            .into_iter()
+            .map(|s| (s.name, s.attrs))
+            .collect();
+        shape.sort();
+        shape
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
 fn summary_renders_from_a_real_run() {
     let telemetry = Telemetry::enabled();
     let _ = StudyData::generate_with(&tiny_config(), &telemetry);

@@ -49,19 +49,27 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+mod event;
 mod hist;
 mod progress;
 mod snapshot;
 mod span;
 mod stage;
+mod trace;
 
+pub use event::{EventRecord, Level};
 pub use hist::{DurationHistogram, HistogramSnapshot, ValueHistogram};
 pub use progress::Progress;
 pub use snapshot::{render_summary, MetricsSnapshot};
 pub use span::Span;
 pub use stage::{StageRecorder, StageStats, ThreadStats, WorkerStats};
+pub use trace::{
+    CtxGuard, SelfTime, SpanRecord, TraceCtx, TraceSnapshot, DEFAULT_EVENT_CAPACITY,
+    DEFAULT_SPAN_CAPACITY,
+};
 
 use hist::HistogramCore;
+use trace::TraceBuffer;
 
 /// The telemetry handle: all instruments are created through it.
 ///
@@ -83,6 +91,8 @@ struct Inner {
     values: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
     /// Per-stage thread statistics from instrumented `parallel_map` runs.
     stages: Mutex<Vec<StageStats>>,
+    /// The flight recorder: span tree + structured event log.
+    trace: TraceBuffer,
 }
 
 impl Telemetry {
@@ -90,6 +100,18 @@ impl Telemetry {
     pub fn enabled() -> Telemetry {
         Telemetry {
             inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// A live handle whose flight-recorder buffers hold at most `spans`
+    /// spans and `events` events (see [`DEFAULT_SPAN_CAPACITY`]). Overflow
+    /// is counted, never blocking.
+    pub fn with_trace_capacity(spans: usize, events: usize) -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                trace: TraceBuffer::with_capacity(spans, events),
+                ..Inner::default()
+            })),
         }
     }
 

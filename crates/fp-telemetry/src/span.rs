@@ -1,70 +1,201 @@
-//! RAII spans: wall-time scopes aggregated into named duration histograms.
+//! RAII spans: wall-time scopes aggregated into named duration histograms
+//! and recorded as nodes of the flight recorder's span tree.
 //!
-//! Spans nest: a span opened while another is live on the same thread gets
-//! a dotted path (`study.scores` inside `study`). The name stack is
-//! thread-local, so span creation takes no locks beyond the one-time
-//! histogram registration, and a disabled handle skips even the clock read.
+//! Spans nest two ways at once:
+//!
+//! * the **histogram path** is the dotted join of the live span names on
+//!   this thread (`study.scores` inside `study`), exactly as before the
+//!   flight recorder existed — aggregate timings stay stable across runs;
+//! * the **trace tree** links spans by id: the parent is the innermost
+//!   live span on this thread, or — when a [`crate::TraceCtx`] has been
+//!   adopted via [`Telemetry::in_ctx`](crate::Telemetry::in_ctx) — the span
+//!   captured on the spawning thread. Trace-only spans
+//!   ([`Telemetry::trace_span`]) join the tree without contributing a
+//!   histogram or a path segment, so worker-lane wrappers don't perturb
+//!   the dotted names.
+//!
+//! The name stack is thread-local, so span creation takes no locks beyond
+//! the one-time histogram registration, and a disabled handle skips even
+//! the clock read.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
 use std::sync::Arc;
-use std::time::Instant;
 
 use crate::hist::HistogramCore;
+use crate::trace::{thread_lane, SpanRecord};
 use crate::Telemetry;
 
+/// One live span on this thread's stack.
+struct Frame {
+    /// Contribution to the dotted histogram path; `None` for trace-only
+    /// spans.
+    path_name: Option<String>,
+    /// Path barrier: spans opened above this frame ignore the names below
+    /// it, as if on a fresh thread. Used by worker lanes so histogram
+    /// paths don't depend on whether a stage ran inline or on spawned
+    /// threads.
+    barrier: bool,
+    /// Trace span id.
+    id: u64,
+}
+
 thread_local! {
-    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    static SPAN_STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    /// Parent adopted from another thread via `Telemetry::in_ctx`. Used
+    /// when the local stack is empty.
+    static ADOPTED_PARENT: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// The innermost live span id on this thread (falling back to the adopted
+/// cross-thread parent).
+pub(crate) fn current_parent() -> Option<u64> {
+    SPAN_STACK
+        .with(|stack| stack.borrow().last().map(|frame| frame.id))
+        .or_else(|| ADOPTED_PARENT.with(|cell| cell.get()))
+}
+
+pub(crate) fn swap_adopted_parent(parent: Option<u64>) -> Option<u64> {
+    ADOPTED_PARENT.with(|cell| cell.replace(parent))
+}
+
+pub(crate) fn set_adopted_parent(parent: Option<u64>) {
+    ADOPTED_PARENT.with(|cell| cell.set(parent));
 }
 
 impl Telemetry {
     /// Opens a span; its wall time is recorded into the duration histogram
     /// named by the dotted path of all live spans on this thread when the
-    /// guard drops.
+    /// guard drops, and a [`SpanRecord`] node lands in the flight recorder.
     pub fn span(&self, name: &str) -> Span {
-        if !self.is_enabled() {
+        self.span_impl(name, &[], true, false)
+    }
+
+    /// [`Telemetry::span`] with attributes attached to the trace node
+    /// (device pair, experiment, subject batch, ...). Attributes don't
+    /// affect the histogram path.
+    pub fn span_with(&self, name: &str, attrs: &[(&str, String)]) -> Span {
+        self.span_impl(name, attrs, true, false)
+    }
+
+    /// A trace-only span: joins the span tree (and parents any spans opened
+    /// inside it) but records no duration histogram and contributes no
+    /// dotted-path segment. Used for worker-lane wrappers where the
+    /// aggregate timing already lives in a stage record.
+    pub fn trace_span(&self, name: &str, attrs: &[(&str, String)]) -> Span {
+        self.span_impl(name, attrs, false, false)
+    }
+
+    /// A trace-only span that is also a *path barrier*: spans opened inside
+    /// it build their histogram paths as if on a fresh thread. Worker lanes
+    /// use this so a stage records the same histogram keys whether it ran
+    /// inline (one core) or on spawned worker threads.
+    pub fn worker_span(&self, name: &str, attrs: &[(&str, String)]) -> Span {
+        self.span_impl(name, attrs, false, true)
+    }
+
+    fn span_impl(
+        &self,
+        name: &str,
+        attrs: &[(&str, String)],
+        in_path: bool,
+        barrier: bool,
+    ) -> Span {
+        let Some(inner) = &self.inner else {
             return Span {
-                start: None,
+                trace: None,
                 target: None,
                 _not_send: PhantomData,
             };
-        }
+        };
+        let id = inner.trace.next_span_id();
+        let parent = current_parent();
         let path = SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
-            let path = if stack.is_empty() {
-                name.to_string()
-            } else {
-                format!("{}.{name}", stack.join("."))
-            };
-            stack.push(name.to_string());
+            let path = in_path.then(|| {
+                let base = stack
+                    .iter()
+                    .rposition(|frame| frame.barrier)
+                    .map(|i| i + 1)
+                    .unwrap_or(0);
+                let mut path = String::new();
+                for frame in &stack[base..] {
+                    if let Some(segment) = &frame.path_name {
+                        path.push_str(segment);
+                        path.push('.');
+                    }
+                }
+                path.push_str(name);
+                path
+            });
+            stack.push(Frame {
+                path_name: in_path.then(|| name.to_string()),
+                barrier,
+                id,
+            });
             path
         });
-        let target = self.duration(&path);
+        let target = path.and_then(|path| self.duration(&path).core().cloned());
         Span {
-            start: Some(Instant::now()),
-            target: target.core().cloned(),
+            target,
+            trace: Some(TracePart {
+                telemetry: self.clone(),
+                id,
+                parent,
+                name: name.to_string(),
+                attrs: attrs
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+                start_ns: inner.trace.now_ns(),
+            }),
             _not_send: PhantomData,
         }
     }
 }
 
+/// Trace bookkeeping carried by a live [`Span`].
+#[derive(Debug)]
+struct TracePart {
+    telemetry: Telemetry,
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    attrs: Vec<(String, String)>,
+    start_ns: u64,
+}
+
 /// Guard returned by [`Telemetry::span`]; records on drop.
 ///
-/// Deliberately `!Send`: the dotted path comes from this thread's span
-/// stack, so the guard must drop on the thread that opened it.
+/// Deliberately `!Send`: the dotted path and tree parent come from this
+/// thread's span stack, so the guard must drop on the thread that opened
+/// it.
 #[derive(Debug)]
 pub struct Span {
-    start: Option<Instant>,
     target: Option<Arc<HistogramCore>>,
+    trace: Option<TracePart>,
     _not_send: PhantomData<*const ()>,
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        let Some(start) = self.start else { return };
-        if let Some(target) = &self.target {
-            let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-            target.record(nanos);
+        let Some(part) = self.trace.take() else {
+            return;
+        };
+        if let Some(inner) = &part.telemetry.inner {
+            let dur_ns = inner.trace.now_ns().saturating_sub(part.start_ns);
+            if let Some(target) = &self.target {
+                target.record(dur_ns);
+            }
+            inner.trace.push_span(SpanRecord {
+                id: part.id,
+                parent: part.parent,
+                name: part.name,
+                thread: thread_lane(),
+                start_ns: part.start_ns,
+                dur_ns,
+                attrs: part.attrs,
+            });
         }
         SPAN_STACK.with(|stack| {
             stack.borrow_mut().pop();
@@ -126,5 +257,66 @@ mod tests {
         }
         let s = enabled.snapshot();
         assert_eq!(s.durations["real"].count, 1);
+    }
+
+    #[test]
+    fn trace_only_spans_skip_the_histogram_and_the_path() {
+        let t = Telemetry::enabled();
+        {
+            let _lane = t.trace_span("worker-lane", &[]);
+            let _work = t.span("work");
+        }
+        let s = t.snapshot();
+        // The trace-only wrapper contributes no histogram and no segment.
+        assert!(!s.durations.contains_key("worker-lane"));
+        assert_eq!(s.durations["work"].count, 1);
+        // But it does join the tree, as the parent of `work`.
+        let trace = t.trace_snapshot();
+        let lane = trace
+            .spans
+            .iter()
+            .find(|x| x.name == "worker-lane")
+            .unwrap();
+        let work = trace.spans.iter().find(|x| x.name == "work").unwrap();
+        assert_eq!(work.parent, Some(lane.id));
+    }
+
+    #[test]
+    fn worker_spans_reset_the_path_but_keep_the_tree() {
+        let t = Telemetry::enabled();
+        {
+            let _outer = t.span("outer");
+            let _lane = t.worker_span("lane", &[]);
+            // Inside the barrier the path restarts, as on a fresh thread.
+            let _work = t.span("work");
+        }
+        let s = t.snapshot();
+        assert_eq!(s.durations["work"].count, 1);
+        assert!(!s.durations.contains_key("outer.work"));
+        let trace = t.trace_snapshot();
+        let outer = trace.spans.iter().find(|x| x.name == "outer").unwrap();
+        let lane = trace.spans.iter().find(|x| x.name == "lane").unwrap();
+        let work = trace.spans.iter().find(|x| x.name == "work").unwrap();
+        assert_eq!(lane.parent, Some(outer.id));
+        assert_eq!(work.parent, Some(lane.id));
+    }
+
+    #[test]
+    fn span_attrs_land_on_the_trace_node() {
+        let t = Telemetry::enabled();
+        {
+            let _span = t.span_with(
+                "scores.cell",
+                &[("gallery", "0".to_string()), ("probe", "4".to_string())],
+            );
+        }
+        let trace = t.trace_snapshot();
+        assert_eq!(
+            trace.spans[0].attrs,
+            vec![
+                ("gallery".to_string(), "0".to_string()),
+                ("probe".to_string(), "4".to_string())
+            ]
+        );
     }
 }

@@ -1,0 +1,163 @@
+//! Integration tests for the flight recorder's public API: concurrent
+//! tree construction, export round-trips, and the disabled fast path.
+
+use std::collections::BTreeMap;
+
+use fp_telemetry::{Level, Telemetry};
+
+/// Satellite requirement: 8 threads building spans concurrently (with ctx
+/// handoff) yield one well-formed tree — no orphaned parents, one root.
+#[test]
+fn eight_threads_build_a_single_well_formed_tree() {
+    let t = Telemetry::enabled();
+    {
+        let _root = t.span("study");
+        let _stage = t.span("scores");
+        let ctx = t.trace_ctx();
+        std::thread::scope(|scope| {
+            for w in 0..8usize {
+                let t = t.clone();
+                let ctx = ctx.clone();
+                scope.spawn(move || {
+                    let _adopt = t.in_ctx(&ctx);
+                    let _lane = t.trace_span("worker", &[("worker", w.to_string())]);
+                    for cell in 0..4 {
+                        let _span = t.span_with("cell", &[("cell", cell.to_string())]);
+                        std::hint::black_box(cell);
+                    }
+                });
+            }
+        });
+    }
+    let trace = t.trace_snapshot();
+    assert_eq!(trace.dropped_spans, 0);
+    // 1 root + 1 stage + 8 workers + 32 cells.
+    assert_eq!(trace.spans.len(), 42);
+    let roots = trace.validate_tree().expect("tree is well-formed");
+    assert_eq!(roots, 1, "every span must reach the single root");
+
+    // Structure is deterministic even though timing is not: the name
+    // multiset and the per-name parent names are fixed.
+    let by_id: BTreeMap<u64, &str> = trace
+        .spans
+        .iter()
+        .map(|s| (s.id, s.name.as_str()))
+        .collect();
+    for span in &trace.spans {
+        let parent_name = span.parent.map(|p| by_id[&p]);
+        match span.name.as_str() {
+            "study" => assert_eq!(parent_name, None),
+            "scores" => assert_eq!(parent_name, Some("study")),
+            "worker" => assert_eq!(parent_name, Some("scores")),
+            "cell" => assert_eq!(parent_name, Some("worker")),
+            other => panic!("unexpected span {other}"),
+        }
+    }
+}
+
+#[test]
+fn chrome_export_round_trips_with_per_thread_monotonic_ts() {
+    let t = Telemetry::enabled();
+    {
+        let _root = t.span("root");
+        let ctx = t.trace_ctx();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let t = t.clone();
+                let ctx = ctx.clone();
+                scope.spawn(move || {
+                    let _adopt = t.in_ctx(&ctx);
+                    for _ in 0..8 {
+                        let _span = t.span("tick");
+                    }
+                });
+            }
+        });
+        t.event_with(Level::Warn, "done", &[("n", "64".to_string())]);
+    }
+    let json = t.trace_snapshot().to_chrome_trace();
+    let text = serde_json::to_string_pretty(&json).unwrap();
+    let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let events = back["traceEvents"].as_array().unwrap();
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut spans = 0;
+    let mut instants = 0;
+    for e in events {
+        match e["ph"].as_str().unwrap() {
+            "X" => {
+                spans += 1;
+                let tid = e["tid"].as_u64().unwrap();
+                let ts = e["ts"].as_f64().unwrap();
+                if let Some(prev) = last_ts.insert(tid, ts) {
+                    assert!(ts >= prev, "lane {tid} ts regressed: {prev} -> {ts}");
+                }
+            }
+            "i" => {
+                instants += 1;
+                assert_eq!(e["args"]["level"], "warn");
+                assert_eq!(e["args"]["n"], "64");
+            }
+            "M" => {}
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    assert_eq!(spans, 65);
+    assert_eq!(instants, 1);
+}
+
+/// The disabled handle must record nothing on the trace path — no spans,
+/// no events, no drop counts — while keeping the API callable.
+#[test]
+fn disabled_handle_records_zero_events_on_trace_path() {
+    let t = Telemetry::disabled();
+    {
+        let _span = t.span_with("ghost", &[("k", "v".to_string())]);
+        let _lane = t.trace_span("lane", &[]);
+        let ctx = t.trace_ctx();
+        let _adopt = t.in_ctx(&ctx);
+        t.event(Level::Debug, "unrecorded");
+    }
+    let trace = t.trace_snapshot();
+    assert!(trace.spans.is_empty());
+    assert!(trace.events.is_empty());
+    assert_eq!(trace.dropped_spans, 0);
+    assert_eq!(trace.dropped_events, 0);
+    assert!(trace.to_chrome_trace()["traceEvents"]
+        .as_array()
+        .unwrap()
+        .is_empty());
+    assert!(trace.events_jsonl().is_empty());
+}
+
+/// Self-time attribution over a multi-thread trace: per-thread self times
+/// telescope to that thread's root spans, so summing self_ns by lane
+/// reproduces each lane's busy time exactly.
+#[test]
+fn self_times_account_for_all_span_time() {
+    let t = Telemetry::enabled();
+    {
+        let _root = t.span("root");
+        {
+            let _prep = t.span("prep");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let ctx = t.trace_ctx();
+        std::thread::scope(|scope| {
+            let t = t.clone();
+            scope.spawn(move || {
+                let _adopt = t.in_ctx(&ctx);
+                let _work = t.span("work");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            });
+        });
+    }
+    let trace = t.trace_snapshot();
+    let times = trace.self_times();
+    let total_self: u64 = times.values().map(|v| v.self_ns).sum();
+    // `work` ran on its own lane: it is nobody's same-thread child, so it
+    // contributes its full duration, and root+prep telescope on the main
+    // lane.
+    let root = trace.spans.iter().find(|s| s.name == "root").unwrap();
+    let work = trace.spans.iter().find(|s| s.name == "work").unwrap();
+    assert_eq!(total_self, root.dur_ns + work.dur_ns);
+}

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Full local gate: formatting, lints, release build, tests, bench
-# compilation, and the 1:N scaling smoke run.
+# compilation, the 1:N scaling smoke run, and the perf-regression gate.
 # Mirrors .github/workflows/ci.yml so CI never surprises you.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+ROOT="$PWD"
 
 run() {
     echo "==> $*"
@@ -16,19 +17,21 @@ run cargo build --release --offline
 # Workspace tests include the fp-index exactness/recall property suite and
 # the fp-study golden-regression + determinism suite.
 run cargo test -q --release --offline --workspace
-# Benches must at least compile; running them is opt-in (`cargo bench`).
+# Benches must at least compile; the budgeted telemetry subset runs below.
 run cargo bench --offline --no-run
 # 1:N scaling smoke: a 200-subject ladder (200/1000/2000 galleries) must
 # finish inside a 10-minute wall-clock budget and keep shortlist recall
-# at spec on every rung.
+# at spec on every rung. The gate itself is Rust (`study check-scaling`).
 run timeout 600 cargo run -q --release --offline -p fp-study --bin study -- \
     ext-scaling --subjects 200 --json target/ext-scaling-smoke.json
-python3 - <<'EOF'
-import json
-report = json.load(open("target/ext-scaling-smoke.json"))["reports"][0]
-for row in report["values"]["rows"]:
-    assert row["recall"] >= 0.98, f"shortlist recall regressed: {row}"
-    assert row["audit_agreed"] == row["audit_sampled"], f"audit mismatch: {row}"
-print("ext-scaling smoke ok")
-EOF
+run cargo run -q --release --offline -p fp-study --bin study -- \
+    check-scaling target/ext-scaling-smoke.json
+# Perf gate: rerun the telemetry bench suite (the cheapest one) and diff it
+# against the committed baseline. Thresholds are generous because the
+# baseline was measured on a different machine; bench-diff additionally
+# widens each bench's threshold to its own recorded p95 noise.
+run cargo bench -q --offline -p fp-bench --bench telemetry -- \
+    --save "$ROOT/target/BENCH_current.json"
+run cargo run -q --release --offline -p fp-bench --bin bench-diff -- \
+    BENCH_baseline.json target/BENCH_current.json --fail-pct 50 --warn-pct 10
 echo "all checks passed"

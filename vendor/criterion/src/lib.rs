@@ -4,13 +4,118 @@
 //! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
 //! `benchmark_group` with `sample_size`, `Bencher::iter`, `black_box`) but
 //! replaces the statistical engine with a simple median-of-samples timer
-//! that prints one line per benchmark. Good enough to compare runs by hand;
-//! no HTML reports, no outlier analysis.
+//! that prints one line per benchmark. No HTML reports, no outlier
+//! analysis — but results are *retained*: every measured bench lands in a
+//! process-global collector, and `--save PATH` writes them as a versioned
+//! `BENCH_*.json` snapshot (`{"version":1,"host":...,"benches":[{"bench",
+//! "median_ns","p95_ns","iters"}]}`) that `bench-diff` can compare across
+//! commits. Positional CLI arguments filter benches by substring, exactly
+//! like real criterion; `--bench` and other harness flags are ignored.
 
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier, re-exported for bench code.
 pub use std::hint::black_box;
+
+/// One measured benchmark, as retained in the collector and written by
+/// `--save`.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full bench name (`group/bench`).
+    pub bench: String,
+    /// Median nanoseconds per iteration across samples.
+    pub median_ns: f64,
+    /// 95th-percentile nanoseconds per iteration (noise estimate).
+    pub p95_ns: f64,
+    /// Iterations per timed sample.
+    pub iters: u64,
+}
+
+struct Config {
+    save: Option<String>,
+    filters: Vec<String>,
+}
+
+static CONFIG: OnceLock<Config> = OnceLock::new();
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Parses the bench binary's CLI: `--save PATH` requests a snapshot,
+/// positional arguments become substring filters, `--bench` and any other
+/// flag the harness passes are ignored. Called by `criterion_main!`; must
+/// run before the first benchmark.
+pub fn init_from_args() {
+    let mut save = None;
+    let mut filters = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--save" => save = args.next(),
+            other if other.starts_with('-') => {}
+            other => filters.push(other.to_string()),
+        }
+    }
+    let _ = CONFIG.set(Config { save, filters });
+}
+
+fn active_config() -> &'static Config {
+    static DEFAULT: Config = Config {
+        save: None,
+        filters: Vec::new(),
+    };
+    CONFIG.get().unwrap_or(&DEFAULT)
+}
+
+/// Writes the collected records to the `--save` path (if any) and prints a
+/// confirmation. Called by `criterion_main!` after all groups ran.
+pub fn finalize() {
+    let cfg = active_config();
+    let Some(path) = &cfg.save else { return };
+    let records = RESULTS.lock().expect("bench collector poisoned");
+    let host = std::env::var("HOSTNAME")
+        .or_else(|_| std::env::var("HOST"))
+        .unwrap_or_else(|_| "unknown".to_string());
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"host\": {},\n", json_string(&host)));
+    out.push_str("  \"benches\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"bench\": {}, \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \"iters\": {}}}{}\n",
+            json_string(&r.bench),
+            r.median_ns,
+            r.p95_ns,
+            r.iters,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(path, out) {
+        Ok(()) => println!("saved {} bench records to {path}", records.len()),
+        Err(e) => {
+            eprintln!("failed to write bench snapshot {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
 
 /// Entry point handed to benchmark functions.
 pub struct Criterion {
@@ -83,6 +188,10 @@ pub struct Bencher {
     sample_size: usize,
     /// Median nanoseconds per iteration, filled by `iter`.
     result_ns: f64,
+    /// 95th-percentile nanoseconds per iteration, filled by `iter`.
+    p95_ns: f64,
+    /// Iterations per timed sample, filled by `iter`.
+    iters: u64,
 }
 
 impl Bencher {
@@ -107,19 +216,38 @@ impl Bencher {
         }
         samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
         self.result_ns = samples[samples.len() / 2];
+        // Nearest-rank p95: the sample at ceil(0.95 * n) - 1.
+        let rank = ((samples.len() as f64 * 0.95).ceil() as usize).max(1) - 1;
+        self.p95_ns = samples[rank.min(samples.len() - 1)];
+        self.iters = iters;
     }
 }
 
 fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let cfg = active_config();
+    if !cfg.filters.is_empty() && !cfg.filters.iter().any(|pat| name.contains(pat.as_str())) {
+        return;
+    }
     let mut bencher = Bencher {
         sample_size,
         result_ns: f64::NAN,
+        p95_ns: f64::NAN,
+        iters: 0,
     };
     f(&mut bencher);
     if bencher.result_ns.is_nan() {
         println!("{name:<60} (no measurement: Bencher::iter not called)");
     } else {
         println!("{name:<60} {}", format_ns(bencher.result_ns));
+        RESULTS
+            .lock()
+            .expect("bench collector poisoned")
+            .push(BenchRecord {
+                bench: name.to_string(),
+                median_ns: bencher.result_ns,
+                p95_ns: bencher.p95_ns,
+                iters: bencher.iters,
+            });
     }
 }
 
@@ -146,12 +274,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench `main` running the listed groups.
+/// Declares the bench `main`: parses `--save`/filters, runs the listed
+/// groups, then writes the snapshot if one was requested.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::init_from_args();
             $( $group(); )+
+            $crate::finalize();
         }
     };
 }
@@ -174,5 +305,29 @@ mod tests {
         });
         group.finish();
         assert!(calls > 0);
+    }
+
+    #[test]
+    fn measured_benches_land_in_the_collector() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("collector");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        let records = RESULTS.lock().unwrap();
+        let r = records
+            .iter()
+            .find(|r| r.bench == "collector/noop")
+            .expect("record retained");
+        assert!(r.median_ns.is_finite() && r.median_ns >= 0.0);
+        assert!(r.p95_ns >= r.median_ns);
+        assert!(r.iters >= 1);
+    }
+
+    #[test]
+    fn json_strings_escape_quotes_and_control_chars() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
     }
 }
