@@ -1,0 +1,41 @@
+//! Sharded 1:N search latency: the same gallery served by a `ShardedIndex`
+//! at increasing shard counts, against the single-shard baseline. Sharded
+//! results are byte-identical to unsharded (pinned by fp-index's proptest
+//! suite); these benches measure only the wall-clock effect of fanning
+//! stage 1 and stage 2 out across shard threads. On a single-core host the
+//! ladder is expected to be flat-to-slightly-slower (thread overhead, no
+//! parallelism); the speedup materializes with cores >= shards.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fp_bench::synthetic_gallery;
+use fp_index::{IndexConfig, ShardedIndex};
+use fp_match::PairTableMatcher;
+
+fn shard_benches(c: &mut Criterion) {
+    for (gallery_size, shard_counts, samples) in [
+        (2_000usize, &[1usize, 2, 4, 8][..], 20),
+        (10_000, &[1, 8][..], 10),
+    ] {
+        let (gallery, probe) = synthetic_gallery(gallery_size);
+        let group_name = format!("shard_search_{gallery_size}");
+        let mut group = c.benchmark_group(&group_name);
+        group.sample_size(samples);
+        for &shards in shard_counts {
+            let mut index = ShardedIndex::with_config(
+                PairTableMatcher::default(),
+                IndexConfig::scaled(gallery.len()),
+                shards,
+            );
+            index.enroll_all(&gallery);
+            group.bench_function(format!("s{shards}"), |b| {
+                b.iter(|| black_box(index.search(black_box(&probe))))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, shard_benches);
+criterion_main!(benches);

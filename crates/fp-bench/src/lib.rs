@@ -121,6 +121,81 @@ pub fn gallery_fixtures(n: usize) -> (Vec<Template>, Template) {
     (gallery, probe)
 }
 
+/// A 1:N gallery of `n` cheap synthetic minutiae templates plus a jittered
+/// genuine probe of subject 0, for the shard benches. Unlike
+/// [`gallery_fixtures`] this skips the full synthesis/render/capture
+/// pipeline (the same direct sampler `ext-scaling` uses), so thousands of
+/// templates are generated in milliseconds — the index only sees minutiae.
+pub fn synthetic_gallery(n: usize) -> (Vec<Template>, Template) {
+    use fp_core::geometry::{Direction, Point, RigidMotion, Vector};
+    use fp_core::minutia::{Minutia, MinutiaKind};
+    use rand::Rng;
+
+    let seeds = SeedTree::new(0xBE7C).child(&[0x5A]);
+    let template_of = |id: u64, count: usize| -> Template {
+        let mut rng = seeds.child(&[0x01, id]).rng();
+        let mut minutiae: Vec<Minutia> = Vec::new();
+        let mut attempts = 0;
+        while minutiae.len() < count && attempts < 10_000 {
+            attempts += 1;
+            let pos = Point::new(
+                rng.gen::<f64>() * 16.0 - 8.0,
+                rng.gen::<f64>() * 20.0 - 10.0,
+            );
+            if minutiae.iter().any(|m| m.pos.distance(&pos) < 1.4) {
+                continue;
+            }
+            let kind = if rng.gen::<bool>() {
+                MinutiaKind::RidgeEnding
+            } else {
+                MinutiaKind::Bifurcation
+            };
+            minutiae.push(Minutia::new(
+                pos,
+                Direction::from_radians(rng.gen::<f64>() * std::f64::consts::TAU),
+                kind,
+                1.0,
+            ));
+        }
+        Template::builder(500.0)
+            .capture_window_mm(20.0, 24.0)
+            .extend(minutiae)
+            .build()
+            .expect("synthetic template is valid")
+    };
+
+    let gallery: Vec<Template> = (0..n).map(|i| template_of(i as u64, 22 + i % 14)).collect();
+
+    // A jittered second capture of subject 0.
+    let mut rng = seeds.child(&[0x02]).rng();
+    let mut minutiae: Vec<Minutia> = Vec::new();
+    for m in gallery[0].minutiae() {
+        if rng.gen::<f64>() < 0.06 {
+            continue;
+        }
+        minutiae.push(Minutia::new(
+            Point::new(
+                m.pos.x + fp_core::dist::normal(&mut rng, 0.0, 0.10),
+                m.pos.y + fp_core::dist::normal(&mut rng, 0.0, 0.10),
+            ),
+            m.direction
+                .rotated(fp_core::dist::normal(&mut rng, 0.0, 0.04)),
+            m.kind,
+            m.reliability,
+        ));
+    }
+    let probe = Template::builder(500.0)
+        .capture_window_mm(20.0, 24.0)
+        .extend(minutiae)
+        .build()
+        .expect("probe template is valid")
+        .transformed(&RigidMotion::new(
+            Direction::from_radians(0.08),
+            Vector::new(0.6, -0.4),
+        ));
+    (gallery, probe)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +211,15 @@ mod tests {
         let c = bench_config();
         assert_eq!(c.subjects, BENCH_SUBJECTS);
         assert_eq!(c.impostors_per_cell, BENCH_IMPOSTORS);
+    }
+
+    #[test]
+    fn synthetic_gallery_is_fast_and_deterministic() {
+        let (gallery, probe) = synthetic_gallery(64);
+        assert_eq!(gallery.len(), 64);
+        assert!(probe.len() > 10);
+        let (again, probe_again) = synthetic_gallery(64);
+        assert_eq!(gallery[17].minutiae(), again[17].minutiae());
+        assert_eq!(probe.minutiae(), probe_again.minutiae());
     }
 }

@@ -47,6 +47,25 @@ impl BucketIndex {
         bin.rem_euclid(self.angle_bins as i64)
     }
 
+    /// The distinct angular bins within ±1 of `bin`. With few bins the
+    /// neighbourhood wraps onto itself (`angle_bins = 2` maps `bin - 1` and
+    /// `bin + 1` to the same bucket), so the offsets are deduplicated —
+    /// otherwise a probe feature would visit one bucket key twice and
+    /// double-count both its votes and the `bucket_hits` meter.
+    fn angle_neighbourhood(&self, bin: i64) -> ([i64; 3], usize) {
+        let bins = self.angle_bins as i64;
+        let mut out = [0i64; 3];
+        let mut n = 0;
+        for db in -1..=1i64 {
+            let b = (bin + db).rem_euclid(bins);
+            if !out[..n].contains(&b) {
+                out[n] = b;
+                n += 1;
+            }
+        }
+        (out, n)
+    }
+
     fn key(&self, d_bin: i64, b1_bin: i64, b2_bin: i64) -> u64 {
         // Distances are bounded by the pair-table max (~12 mm / bin width),
         // angles by angle_bins; 21 bits per dimension is far more than
@@ -68,28 +87,30 @@ impl BucketIndex {
     }
 
     /// Accumulates one vote into `votes[id]` for every gallery entry found
-    /// in the ±1-bin neighbourhood of each probe feature. Returns the number
-    /// of bucket hits (vote increments) performed.
+    /// in the ±1-bin neighbourhood of each probe feature. Each distinct
+    /// bucket key is visited at most once per probe feature (the angular
+    /// neighbourhoods are deduplicated, so tiny `angle_bins` cannot wrap a
+    /// feature back onto a key it already voted through). Returns the
+    /// number of bucket hits (vote increments) performed.
     pub(crate) fn accumulate(
         &self,
         features: impl Iterator<Item = PairFeature>,
         votes: &mut [u32],
     ) -> u64 {
         let mut hits = 0u64;
-        let bins = self.angle_bins as i64;
         for f in features {
             let d_bin = (f.d / self.distance_bin).floor() as i64;
-            let b1_bin = self.angle_bin(f.beta1);
-            let b2_bin = self.angle_bin(f.beta2);
+            let (b1s, n1) = self.angle_neighbourhood(self.angle_bin(f.beta1));
+            let (b2s, n2) = self.angle_neighbourhood(self.angle_bin(f.beta2));
+            // The distance offsets are distinct integers, so only the
+            // angular dimensions can collide.
             for dd in -1..=1i64 {
                 let d = d_bin + dd;
                 if d < 0 {
                     continue;
                 }
-                for db1 in -1..=1i64 {
-                    let b1 = (b1_bin + db1).rem_euclid(bins);
-                    for db2 in -1..=1i64 {
-                        let b2 = (b2_bin + db2).rem_euclid(bins);
+                for &b1 in &b1s[..n1] {
+                    for &b2 in &b2s[..n2] {
                         if let Some(bucket) = self.buckets.get(&self.key(d, b1, b2)) {
                             hits += bucket.len() as u64;
                             for &id in bucket {
@@ -144,6 +165,50 @@ mod tests {
         // Just across the ±pi seam: wrapping neighbourhood must find it.
         index.accumulate([feature(6.0, -pi + 0.01, 0.0)].into_iter(), &mut votes);
         assert_eq!(votes[0], 1);
+    }
+
+    #[test]
+    fn two_angle_bins_do_not_double_count_the_wrapped_neighbour() {
+        // With angle_bins = 2 the ±1 angular offsets wrap onto the same
+        // bin (`bin - 1 ≡ bin + 1 mod 2`), so before deduplication a probe
+        // feature visited the opposite-bin bucket 2x per angular dimension
+        // (4x combined) and double-counted votes and bucket_hits.
+        let pi = std::f64::consts::PI;
+        let mut index = BucketIndex::new(0.5, 2);
+        // beta = +pi/2 lands in bin 1 on both angles; the probe below (bin
+        // 0 on both) reaches it only through the wrapping neighbourhood.
+        index.insert(0, [feature(5.0, pi / 2.0, pi / 2.0)].into_iter());
+        let mut votes = vec![0u32; 1];
+        let hits = index.accumulate([feature(5.0, -pi / 2.0, -pi / 2.0)].into_iter(), &mut votes);
+        assert_eq!(votes[0], 1, "wrapped neighbour must be visited once");
+        assert_eq!(hits, 1, "bucket_hits must match the deduped visits");
+
+        // A same-bin probe also votes exactly once.
+        let mut votes = vec![0u32; 1];
+        let hits = index.accumulate([feature(5.0, pi / 2.0, pi / 2.0)].into_iter(), &mut votes);
+        assert_eq!(votes[0], 1);
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn three_angle_bins_visit_every_bucket_exactly_once() {
+        // angle_bins = 3: the ±1 neighbourhood spans all three bins, each
+        // exactly once — any same-distance feature gets exactly one vote
+        // per probe feature, never two.
+        let tau = std::f64::consts::TAU;
+        let mut index = BucketIndex::new(0.5, 3);
+        for (id, frac) in [(0u32, 0.1), (1, 0.45), (2, 0.8)] {
+            let beta = frac * tau - std::f64::consts::PI;
+            index.insert(id, [feature(5.0, beta, beta)].into_iter());
+        }
+        let mut votes = vec![0u32; 3];
+        let probe_beta = 0.45 * tau - std::f64::consts::PI;
+        let hits = index.accumulate(
+            [feature(5.0, probe_beta, probe_beta)].into_iter(),
+            &mut votes,
+        );
+        assert_eq!(votes, vec![1, 1, 1], "one vote per reachable entry");
+        assert_eq!(hits, 3);
     }
 
     #[test]

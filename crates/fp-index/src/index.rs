@@ -39,6 +39,16 @@ pub struct SearchResult {
 }
 
 impl SearchResult {
+    /// Assembles a result from an already-sorted candidate list (used by
+    /// the sharded merge, which produces the same `(score desc, id asc)`
+    /// order by construction).
+    pub(crate) fn from_parts(candidates: Vec<Candidate>, gallery_len: usize) -> SearchResult {
+        SearchResult {
+            candidates,
+            gallery_len,
+        }
+    }
+
     /// The re-ranked shortlist, best candidate first.
     pub fn candidates(&self) -> &[Candidate] {
         &self.candidates
@@ -77,6 +87,36 @@ impl SearchResult {
                 .count(),
         )
     }
+}
+
+/// The probe-side features of one search, computed once per probe: the
+/// prepared pair table (for geometric-hash voting) and the binarized
+/// cylinder codes. A [`crate::ShardedIndex`] computes this once and shares
+/// it read-only across every shard's stage-1 pass — the features depend
+/// only on the probe and the (shard-invariant) extraction config, so every
+/// shard sees bit-identical probe features.
+pub(crate) struct ProbeFeatures {
+    table: <PairTableMatcher as PreparableMatcher>::Prepared,
+    pairs: u32,
+    codes: CylinderCodes,
+}
+
+/// Per-entry stage-1 channel scores over one (sub)gallery, plus the work
+/// the pass performed. Both score vectors are *pure per-entry functions* of
+/// (probe, entry): an entry's vote score counts only its own registered
+/// pair features against the probe, and its code score compares only its
+/// own cylinders — neither depends on which other entries share the
+/// gallery. This is the property that makes sharded search exact: scores
+/// computed shard-locally are bit-identical to the unsharded ones.
+pub(crate) struct StageOneScores {
+    /// Min-support-normalized geometric-hash votes per entry.
+    pub(crate) vote_scores: Vec<f64>,
+    /// Local-similarity-sort cylinder-code score per entry.
+    pub(crate) cyl_scores: Vec<f64>,
+    /// Geometric-hash vote increments performed.
+    pub(crate) bucket_hits: u64,
+    /// Packed-`u64` Hamming word comparisons performed.
+    pub(crate) hamming_word_ops: u64,
 }
 
 /// A two-stage candidate index for 1:N identification.
@@ -127,11 +167,22 @@ impl<M: PreparableMatcher> CandidateIndex<M> {
     }
 
     /// Registers the index's work counters and timing histograms on
-    /// `telemetry` (candidates pruned, Hamming ops, bucket hits, re-rank
-    /// comparisons, build/search wall time).
-    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
-        self.metrics = IndexMetrics::new(telemetry);
+    /// `telemetry` (candidates pruned, Hamming word ops, bucket hits,
+    /// re-rank comparisons, build/search wall time).
+    pub fn with_telemetry(self, telemetry: &Telemetry) -> Self {
+        self.with_metrics(IndexMetrics::new(telemetry))
+    }
+
+    /// Installs a pre-registered instrument bundle (the sharded index uses
+    /// this to give every shard its own `index.shard<k>` label prefix).
+    pub(crate) fn with_metrics(mut self, metrics: IndexMetrics) -> Self {
+        self.metrics = metrics;
         self
+    }
+
+    /// The installed instrument bundle.
+    pub(crate) fn metrics(&self) -> &IndexMetrics {
+        &self.metrics
     }
 
     /// The active configuration.
@@ -202,18 +253,117 @@ impl<M: PreparableMatcher> CandidateIndex<M> {
         M: Sync,
         M::Prepared: Send,
     {
-        let start = Instant::now();
         let _span = self.metrics.telemetry.trace_span(
             "index.enroll_all",
             &[("batch", templates.len().to_string())],
         );
+        let refs: Vec<&Template> = templates.iter().collect();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
+        self.enroll_all_bounded(&refs, threads)
+    }
+
+    /// [`enroll_all`](Self::enroll_all) over template references with an
+    /// explicit worker-thread budget. The sharded index divides the
+    /// machine's cores across shards through this path so S shards
+    /// enrolling concurrently do not oversubscribe S x cores.
+    pub(crate) fn enroll_all_bounded(&mut self, templates: &[&Template], threads: usize) -> u32
+    where
+        M: Sync,
+        M::Prepared: Send,
+    {
+        let start = Instant::now();
         let first = self.entries.len() as u32;
-        let prepared = parallel_make(self, templates);
+        let prepared = parallel_make(self, templates, threads);
         for (entry, features) in prepared {
             self.insert(entry, features);
         }
-        self.metrics.build_time.record(start.elapsed());
+        // Per-template preparation timings were recorded inside
+        // `parallel_make`; the whole-batch wall time gets its own
+        // histogram so build-time percentiles are not skewed by mixing
+        // batch samples in with per-template ones.
+        self.metrics.build_batch_time.record(start.elapsed());
         first
+    }
+
+    /// Computes the probe-side features (prepared pair table + cylinder
+    /// codes) once for a search.
+    pub(crate) fn probe_features(&self, probe: &Template) -> ProbeFeatures {
+        let table = self.features.prepare(probe);
+        let pairs = table.len() as u32;
+        let codes = CylinderCodes::extract(&self.mcc, probe, self.config.max_cylinders);
+        ProbeFeatures {
+            table,
+            pairs,
+            codes,
+        }
+    }
+
+    /// Stage 1: per-entry channel scores over this index's gallery.
+    ///
+    /// **Votes:** geometric-hash votes, normalized by the *smaller* pair
+    /// count of the two templates (min-support). Card-scan probes carry
+    /// ~2.5x more (mostly spurious) pairs than their live-scan gallery
+    /// mates; dividing by the larger count would bury exactly those genuine
+    /// matches.
+    ///
+    /// **Codes:** per-minutia cylinder codes scored by local similarity
+    /// sort — robust to the same spurious-minutiae asymmetry because only
+    /// the strongest local agreements count.
+    pub(crate) fn stage1(&self, probe: &ProbeFeatures) -> StageOneScores {
+        let n = self.entries.len();
+        let mut votes = vec![0u32; n];
+        let bucket_hits = self
+            .buckets
+            .accumulate(probe.table.pair_features(), &mut votes);
+        let vote_scores: Vec<f64> = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(id, entry)| {
+                f64::from(votes[id]) / f64::from(probe.pairs.min(entry.pair_count).max(1))
+            })
+            .collect();
+
+        let mut hamming_word_ops = 0u64;
+        let cyl_scores: Vec<f64> = self
+            .entries
+            .iter()
+            .map(|entry| {
+                let (score, ops) = probe
+                    .codes
+                    .similarity_counted(&entry.codes, self.config.lss_depth);
+                hamming_word_ops += ops;
+                score
+            })
+            .collect();
+
+        StageOneScores {
+            vote_scores,
+            cyl_scores,
+            bucket_hits,
+            hamming_word_ops,
+        }
+    }
+
+    /// Stage 2: exact scores for the selected entry ids (local ids of this
+    /// index), in selection order — callers sort.
+    pub(crate) fn rerank(&self, selected: &[u32], probe_prepared: &M::Prepared) -> Vec<Candidate> {
+        selected
+            .iter()
+            .map(|&id| Candidate {
+                id,
+                score: self
+                    .matcher
+                    .compare_prepared(&self.entries[id as usize].prepared, probe_prepared),
+            })
+            .collect()
+    }
+
+    /// Prepares the probe for exact stage-2 scoring.
+    pub(crate) fn prepare_probe(&self, probe: &Template) -> M::Prepared {
+        self.matcher.prepare(probe)
     }
 
     /// Searches the gallery with the configured shortlist budget.
@@ -232,69 +382,20 @@ impl<M: PreparableMatcher> CandidateIndex<M> {
             .trace_span("index.search", &[("gallery", n.to_string())]);
         self.metrics.searches.incr();
 
-        // Stage 1a: geometric-hash votes, normalized by the *smaller* pair
-        // count of the two templates (min-support). Card-scan probes carry
-        // ~2.5x more (mostly spurious) pairs than their live-scan gallery
-        // mates; dividing by the larger count would bury exactly those
-        // genuine matches.
-        let table = self.features.prepare(probe);
-        let probe_pairs = table.len() as u32;
-        let mut votes = vec![0u32; n];
-        let hits = self.buckets.accumulate(table.pair_features(), &mut votes);
-        self.metrics.bucket_hits.add(hits);
-        self.metrics.bucket_hits_per_search.record(hits);
-        let vote_scores: Vec<f64> = self
-            .entries
-            .iter()
-            .enumerate()
-            .map(|(id, entry)| {
-                f64::from(votes[id]) / f64::from(probe_pairs.min(entry.pair_count).max(1))
-            })
-            .collect();
+        let probe_features = self.probe_features(probe);
+        let stage1 = self.stage1(&probe_features);
+        self.metrics.bucket_hits.add(stage1.bucket_hits);
+        self.metrics
+            .bucket_hits_per_search
+            .record(stage1.bucket_hits);
+        self.metrics.hamming_ops.add(stage1.hamming_word_ops);
+        self.metrics
+            .hamming_per_search
+            .record(stage1.hamming_word_ops);
 
-        // Stage 1b: per-minutia cylinder codes scored by local similarity
-        // sort — robust to the same spurious-minutiae asymmetry because
-        // only the strongest local agreements count.
-        let probe_codes = CylinderCodes::extract(&self.mcc, probe, self.config.max_cylinders);
-        self.metrics.hamming_ops.add(n as u64);
-        self.metrics.hamming_per_search.record(n as u64);
-        let cyl_scores: Vec<f64> = self
-            .entries
-            .iter()
-            .map(|entry| probe_codes.similarity(&entry.codes, self.config.lss_depth))
-            .collect();
-
-        // Best-rank fusion under a strict total order: each channel ranks
-        // the gallery independently (score desc, id asc) and an entry's
-        // fused key is (better rank, worse rank, id) ascending. A genuine
-        // mate only needs to surface in ONE channel; the channels fail on
-        // disjoint probe populations, so the union covers both.
-        let vote_ranks = channel_ranks(&vote_scores);
-        let cyl_ranks = channel_ranks(&cyl_scores);
-        let mut fused: Vec<(u32, u32, u32)> = (0..n as u32)
-            .map(|id| {
-                let (v, c) = (vote_ranks[id as usize], cyl_ranks[id as usize]);
-                (v.min(c), v.max(c), id)
-            })
-            .collect();
-
-        let k = shortlist.min(n);
-        if k > 0 && k < n {
-            fused.select_nth_unstable_by(k - 1, |a, b| a.cmp(b));
-        }
-        fused.truncate(k);
-
-        // Stage 2: exact re-rank of the shortlist.
+        let selected = fuse_select(&stage1.vote_scores, &stage1.cyl_scores, shortlist);
         let probe_prepared = self.matcher.prepare(probe);
-        let mut candidates: Vec<Candidate> = fused
-            .iter()
-            .map(|&(_, _, id)| Candidate {
-                id,
-                score: self
-                    .matcher
-                    .compare_prepared(&self.entries[id as usize].prepared, &probe_prepared),
-            })
-            .collect();
+        let mut candidates = self.rerank(&selected, &probe_prepared);
         candidates.sort_unstable_by(|a, b| b.score.cmp(&a.score).then(a.id.cmp(&b.id)));
 
         self.metrics.rerank_comparisons.add(candidates.len() as u64);
@@ -333,6 +434,32 @@ impl<M: PreparableMatcher> CandidateIndex<M> {
     }
 }
 
+/// Best-rank fusion under a strict total order: each channel ranks the
+/// gallery independently (score desc, id asc) and an entry's fused key is
+/// `(better rank, worse rank, id)` ascending. A genuine mate only needs to
+/// surface in ONE channel; the channels fail on disjoint probe
+/// populations, so the union covers both. Returns the ids of the top
+/// `min(k, n)` fused entries (in no particular order).
+pub(crate) fn fuse_select(vote_scores: &[f64], cyl_scores: &[f64], k: usize) -> Vec<u32> {
+    let n = vote_scores.len();
+    debug_assert_eq!(n, cyl_scores.len());
+    let vote_ranks = channel_ranks(vote_scores);
+    let cyl_ranks = channel_ranks(cyl_scores);
+    let mut fused: Vec<(u32, u32, u32)> = (0..n as u32)
+        .map(|id| {
+            let (v, c) = (vote_ranks[id as usize], cyl_ranks[id as usize]);
+            (v.min(c), v.max(c), id)
+        })
+        .collect();
+
+    let k = k.min(n);
+    if k > 0 && k < n {
+        fused.select_nth_unstable_by(k - 1, |a, b| a.cmp(b));
+    }
+    fused.truncate(k);
+    fused.into_iter().map(|(_, _, id)| id).collect()
+}
+
 /// Ranks one shortlist channel: position of every gallery id when sorted by
 /// score descending, ties broken by id ascending (rank 0 is best). The
 /// deterministic tie-break makes fused shortlists identical across runs.
@@ -353,10 +480,12 @@ fn channel_ranks(scores: &[f64]) -> Vec<u32> {
 
 /// Prepares gallery entries for a batch in parallel (work-stealing over an
 /// atomic counter, like `fp-study`'s `parallel_map`), preserving slice
-/// order in the result.
+/// order in the result and recording each template's preparation time in
+/// the `index.build.seconds` histogram when telemetry is live.
 fn parallel_make<M>(
     index: &CandidateIndex<M>,
-    templates: &[Template],
+    templates: &[&Template],
+    max_threads: usize,
 ) -> Vec<(GalleryEntry<M::Prepared>, Vec<fp_match::PairFeature>)>
 where
     M: PreparableMatcher + Sync,
@@ -365,12 +494,24 @@ where
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     let n = templates.len();
+    let timed = index.metrics.telemetry.is_enabled();
+    let make_timed = |t: &Template| {
+        if timed {
+            let start = Instant::now();
+            let made = index.make_entry(t);
+            index.metrics.build_time.record(start.elapsed());
+            made
+        } else {
+            index.make_entry(t)
+        }
+    };
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
+        .min(max_threads.max(1))
         .min(n.max(1));
     if threads <= 1 {
-        return templates.iter().map(|t| index.make_entry(t)).collect();
+        return templates.iter().map(|t| make_timed(t)).collect();
     }
     let counter = AtomicUsize::new(0);
     let chunks: Vec<Vec<(usize, _)>> = std::thread::scope(|scope| {
@@ -383,7 +524,7 @@ where
                         if i >= n {
                             break;
                         }
-                        local.push((i, index.make_entry(&templates[i])));
+                        local.push((i, make_timed(templates[i])));
                     }
                     local
                 })

@@ -35,6 +35,13 @@
 //! shortlist. The property tests require shortlist recall ≥ 0.98 at the
 //! default budget on seeded data; `study ext-scaling` reports it per run.
 //!
+//! For large galleries, [`ShardedIndex`] splits the gallery round-robin
+//! across S thread-parallel shards and merges per-shard results
+//! deterministically — byte-identical to the unsharded index at the same
+//! total budget (per-entry stage-1 scores are shard-invariant; fusion runs
+//! once, globally — see `shard.rs` for the argument), with both stages
+//! fanning out across shard threads.
+//!
 //! ```
 //! use fp_index::{CandidateIndex, IndexConfig};
 //! use fp_match::PairTableMatcher;
@@ -54,9 +61,11 @@ pub mod config;
 mod geohash;
 pub mod index;
 pub mod metrics;
+pub mod shard;
 pub mod signature;
 
 pub use config::IndexConfig;
 pub use index::{Candidate, CandidateIndex, SearchResult};
 pub use metrics::IndexMetrics;
+pub use shard::ShardedIndex;
 pub use signature::CylinderCodes;

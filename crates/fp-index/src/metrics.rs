@@ -6,6 +6,11 @@
 //! work-size histograms measure *work* (pure functions of the enrolled
 //! templates and probes, identical across same-seed runs); the duration
 //! histograms measure wall time and vary with the machine.
+//!
+//! A [`crate::ShardedIndex`] registers one bundle per shard under an
+//! `index.shard<k>` prefix plus an unprefixed `index` roll-up bundle, so
+//! per-shard work is attributable while the roll-up stays comparable with
+//! an unsharded [`crate::CandidateIndex`] serving the same gallery.
 
 use fp_telemetry::{Counter, DurationHistogram, Telemetry, ValueHistogram};
 
@@ -16,8 +21,9 @@ pub struct IndexMetrics {
     pub(crate) enrolled: Counter,
     /// `index.searches` — 1:N searches served.
     pub(crate) searches: Counter,
-    /// `index.search.hamming_ops` — cylinder-code set comparisons performed
-    /// (one per gallery entry per search).
+    /// `index.search.hamming_ops` — packed-`u64` Hamming word comparisons
+    /// performed inside [`crate::CylinderCodes::similarity`] (the full
+    /// cylinder-pair x word fan-out, not one op per gallery entry).
     pub(crate) hamming_ops: Counter,
     /// `index.search.bucket_hits` — geometric-hash vote increments.
     pub(crate) bucket_hits: Counter,
@@ -29,15 +35,21 @@ pub struct IndexMetrics {
     pub(crate) candidates_pruned: Counter,
     /// `index.search.shortlist` — shortlist length per search.
     pub(crate) shortlist: ValueHistogram,
-    /// `index.search.hamming_ops_per_search` — stage-1 cylinder-code
+    /// `index.search.hamming_ops_per_search` — stage-1 Hamming word
     /// comparisons per probe. The global counter hides outliers; this
     /// distribution shows when one probe paid far more than the median.
     pub(crate) hamming_per_search: ValueHistogram,
     /// `index.search.bucket_hits_per_search` — geometric-hash vote
     /// increments per probe (shortlist-quality outliers per search).
     pub(crate) bucket_hits_per_search: ValueHistogram,
-    /// `index.build.seconds` — wall time of each enrollment batch.
+    /// `index.build.seconds` — wall time per enrolled template, in both the
+    /// sequential and the batch path (the batch path records each
+    /// template's preparation time individually, so percentiles are not
+    /// skewed by whole-batch samples).
     pub(crate) build_time: DurationHistogram,
+    /// `index.build.batch_seconds` — wall time of each whole
+    /// `enroll_all` batch.
+    pub(crate) build_batch_time: DurationHistogram,
     /// `index.search.seconds` — wall time per search.
     pub(crate) search_time: DurationHistogram,
     /// Handle for flight-recorder spans around enroll/search batches.
@@ -45,20 +57,31 @@ pub struct IndexMetrics {
 }
 
 impl IndexMetrics {
-    /// Registers the index instruments on `telemetry`.
+    /// Registers the index instruments on `telemetry` under the canonical
+    /// `index` prefix.
     pub fn new(telemetry: &Telemetry) -> IndexMetrics {
+        IndexMetrics::with_prefix(telemetry, "index")
+    }
+
+    /// Registers the instruments under an explicit name prefix
+    /// (`<prefix>.searches`, `<prefix>.search.hamming_ops`, ...). Sharded
+    /// galleries use `index.shard<k>` so every shard's work is separately
+    /// attributable.
+    pub fn with_prefix(telemetry: &Telemetry, prefix: &str) -> IndexMetrics {
         IndexMetrics {
-            enrolled: telemetry.counter("index.enrolled"),
-            searches: telemetry.counter("index.searches"),
-            hamming_ops: telemetry.counter("index.search.hamming_ops"),
-            bucket_hits: telemetry.counter("index.search.bucket_hits"),
-            rerank_comparisons: telemetry.counter("index.search.rerank_comparisons"),
-            candidates_pruned: telemetry.counter("index.search.candidates_pruned"),
-            shortlist: telemetry.value("index.search.shortlist"),
-            hamming_per_search: telemetry.value("index.search.hamming_ops_per_search"),
-            bucket_hits_per_search: telemetry.value("index.search.bucket_hits_per_search"),
-            build_time: telemetry.duration("index.build.seconds"),
-            search_time: telemetry.duration("index.search.seconds"),
+            enrolled: telemetry.counter(&format!("{prefix}.enrolled")),
+            searches: telemetry.counter(&format!("{prefix}.searches")),
+            hamming_ops: telemetry.counter(&format!("{prefix}.search.hamming_ops")),
+            bucket_hits: telemetry.counter(&format!("{prefix}.search.bucket_hits")),
+            rerank_comparisons: telemetry.counter(&format!("{prefix}.search.rerank_comparisons")),
+            candidates_pruned: telemetry.counter(&format!("{prefix}.search.candidates_pruned")),
+            shortlist: telemetry.value(&format!("{prefix}.search.shortlist")),
+            hamming_per_search: telemetry.value(&format!("{prefix}.search.hamming_ops_per_search")),
+            bucket_hits_per_search: telemetry
+                .value(&format!("{prefix}.search.bucket_hits_per_search")),
+            build_time: telemetry.duration(&format!("{prefix}.build.seconds")),
+            build_batch_time: telemetry.duration(&format!("{prefix}.build.batch_seconds")),
+            search_time: telemetry.duration(&format!("{prefix}.search.seconds")),
             telemetry: telemetry.clone(),
         }
     }

@@ -1,0 +1,372 @@
+//! Sharded gallery: one logical 1:N index split across S thread-parallel
+//! shards, exactly equivalent to the unsharded [`CandidateIndex`].
+//!
+//! # Id mapping
+//!
+//! Templates are distributed round-robin by enrollment order: the g-th
+//! enrolled template lands on shard `g % S` as that shard's local id
+//! `g / S`, so `global_id = local_id * S + shard` recovers exactly the
+//! dense enrollment-order id the unsharded index would have assigned.
+//!
+//! # Why this is *provably* identical, not just approximately
+//!
+//! Naively running the whole two-stage search per shard and merging the
+//! per-shard shortlists is **not** equivalent to the unsharded index: the
+//! stage-1 channels are fused by *rank*, and ranks computed inside a shard
+//! (against only that shard's entries) differ from global ranks — an entry
+//! whose global channel ranks are (5, 100) beats one at (6, 7) globally but
+//! can lose to it inside a small shard. Rank fusion is not monotone under
+//! entry removal, so per-shard fusion can select a different shortlist and
+//! the merged result can miss candidates the unsharded index would return.
+//!
+//! The sharded search therefore splits along the one seam that *is*
+//! shard-invariant: **per-entry channel scores**. An entry's vote score
+//! (its own bucket votes over min pair support) and its cylinder-code score
+//! are pure functions of (probe, entry) — bit-identical whether the entry
+//! shares a gallery with 10 or 10 million others. Each shard computes its
+//! entries' scores in parallel (stage 1), the scores are stitched into
+//! global arrays via the id mapping, and **one** global rank fusion selects
+//! the shortlist — the exact same `fuse_select` the unsharded index runs on
+//! the exact same score arrays. The selected ids are handed back to their
+//! owning shards for exact stage-2 re-ranking in parallel (per-entry exact
+//! scores are trivially shard-invariant too), each shard sorts its part by
+//! `(score desc, global id asc)`, and the per-shard lists are merged by the
+//! same comparator. Since global ids are unique the comparator is a strict
+//! total order, so the S-way merge of sorted parts equals sorting the
+//! concatenation — byte-identical to the unsharded [`SearchResult`].
+
+use std::time::{Duration, Instant};
+
+use fp_core::template::Template;
+use fp_telemetry::Telemetry;
+
+use crate::config::IndexConfig;
+use crate::index::{fuse_select, Candidate, CandidateIndex, SearchResult, StageOneScores};
+use crate::metrics::IndexMetrics;
+
+/// A gallery sharded across S thread-parallel [`CandidateIndex`] shards.
+///
+/// Searches return [`SearchResult`]s byte-identical to an unsharded index
+/// enrolled in the same order with the same budget; shards buy wall-clock
+/// parallelism (stage 1 and stage 2 both fan out across shard threads) and
+/// are the in-process rehearsal for the ROADMAP's cross-process sharding.
+pub struct ShardedIndex<M: fp_match::PreparableMatcher> {
+    shards: Vec<CandidateIndex<M>>,
+    /// Roll-up instruments under the canonical `index` prefix, comparable
+    /// 1:1 with an unsharded index serving the same gallery.
+    rollup: IndexMetrics,
+    config: IndexConfig,
+    enrolled: usize,
+}
+
+impl<M: fp_match::PreparableMatcher + Clone> ShardedIndex<M> {
+    /// Creates an empty index of `shard_count` shards around `matcher`
+    /// with the default config.
+    pub fn new(matcher: M, shard_count: usize) -> ShardedIndex<M> {
+        ShardedIndex::with_config(matcher, IndexConfig::default(), shard_count)
+    }
+
+    /// Creates an empty sharded index with an explicit config.
+    pub fn with_config(matcher: M, config: IndexConfig, shard_count: usize) -> ShardedIndex<M> {
+        assert!(shard_count >= 1, "need at least one shard");
+        ShardedIndex {
+            shards: (0..shard_count)
+                .map(|_| CandidateIndex::with_config(matcher.clone(), config))
+                .collect(),
+            rollup: IndexMetrics::default(),
+            config,
+            enrolled: 0,
+        }
+    }
+}
+
+impl<M: fp_match::PreparableMatcher> ShardedIndex<M> {
+    /// Registers the roll-up instruments under the canonical `index` prefix
+    /// (so dashboards compare sharded and unsharded runs 1:1) plus one
+    /// per-shard bundle under `index.shard<k>` for work attribution.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.rollup = IndexMetrics::new(telemetry);
+        self.shards = self
+            .shards
+            .into_iter()
+            .enumerate()
+            .map(|(k, shard)| {
+                shard.with_metrics(IndexMetrics::with_prefix(
+                    telemetry,
+                    &format!("index.shard{k}"),
+                ))
+            })
+            .collect();
+        self
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total enrolled gallery templates across all shards.
+    pub fn len(&self) -> usize {
+        self.enrolled
+    }
+
+    /// Whether the gallery is empty.
+    pub fn is_empty(&self) -> bool {
+        self.enrolled == 0
+    }
+
+    /// The active configuration (shared by every shard).
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Enrolls one template, returning its dense global id (enrollment
+    /// order, starting at 0 — identical to the unsharded assignment).
+    pub fn enroll(&mut self, template: &Template) -> u32 {
+        let s = self.shards.len();
+        let global = self.enrolled as u32;
+        let shard = self.enrolled % s;
+        let local = self.shards[shard].enroll(template);
+        debug_assert_eq!(global, local * s as u32 + shard as u32);
+        self.rollup.enrolled.incr();
+        self.enrolled += 1;
+        global
+    }
+
+    /// Enrolls a batch: templates are dealt round-robin to the shards and
+    /// each shard prepares its share on its own thread (dividing the
+    /// machine's cores across shards). The resulting index is identical to
+    /// sequential [`enroll`](Self::enroll) calls in slice order. Returns
+    /// the global id of the first enrolled template.
+    pub fn enroll_all(&mut self, templates: &[Template]) -> u32
+    where
+        M: Sync,
+        M::Prepared: Send,
+    {
+        let telemetry = self.rollup.telemetry.clone();
+        let _span = telemetry.trace_span(
+            "index.enroll_all",
+            &[
+                ("batch", templates.len().to_string()),
+                ("shards", self.shards.len().to_string()),
+            ],
+        );
+        let start = Instant::now();
+        let s = self.shards.len();
+        let first = self.enrolled as u32;
+        let mut per_shard: Vec<Vec<&Template>> = vec![Vec::new(); s];
+        for (offset, template) in templates.iter().enumerate() {
+            per_shard[(self.enrolled + offset) % s].push(template);
+        }
+        let threads_per_shard = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            .div_ceil(s)
+            .max(1);
+        let ctx = telemetry.trace_ctx();
+        std::thread::scope(|scope| {
+            for (k, (shard, batch)) in self.shards.iter_mut().zip(&per_shard).enumerate() {
+                let (ctx, telemetry) = (&ctx, &telemetry);
+                scope.spawn(move || {
+                    let _adopt = telemetry.in_ctx(ctx);
+                    let _lane = telemetry.trace_span(
+                        "index.shard.enroll",
+                        &[("shard", k.to_string()), ("batch", batch.len().to_string())],
+                    );
+                    shard.enroll_all_bounded(batch, threads_per_shard);
+                });
+            }
+        });
+        self.rollup.enrolled.add(templates.len() as u64);
+        self.rollup.build_batch_time.record(start.elapsed());
+        self.enrolled += templates.len();
+        first
+    }
+
+    /// Searches every shard with the configured shortlist budget.
+    pub fn search(&self, probe: &Template) -> SearchResult
+    where
+        M: Sync,
+    {
+        self.search_with_budget(probe, self.config.shortlist)
+    }
+
+    /// Searches with an explicit **total** shortlist budget (the budget is
+    /// global, applied at the single global fusion — not per shard).
+    /// Returns a result byte-identical to
+    /// [`CandidateIndex::search_with_budget`] on the same gallery.
+    pub fn search_with_budget(&self, probe: &Template, shortlist: usize) -> SearchResult
+    where
+        M: Sync,
+    {
+        let start = Instant::now();
+        let n = self.enrolled;
+        let s = self.shards.len();
+        let telemetry = &self.rollup.telemetry;
+        let _span = telemetry.trace_span(
+            "index.search",
+            &[("gallery", n.to_string()), ("shards", s.to_string())],
+        );
+        self.rollup.searches.incr();
+
+        // Probe-side features are pure functions of (probe, config); every
+        // shard shares one read-only copy computed on shard 0's extractors.
+        let probe_features = self.shards[0].probe_features(probe);
+        let probe_prepared = self.shards[0].prepare_probe(probe);
+
+        // Stage 1, one thread per shard: shard-local per-entry channel
+        // scores (shard-invariant — see the module docs).
+        let stage1: Vec<(StageOneScores, Duration)> =
+            self.per_shard("index.shard.search", |shard| {
+                let t0 = Instant::now();
+                let scores = shard.stage1(&probe_features);
+                (scores, t0.elapsed())
+            });
+
+        // Stitch the shard score arrays into global arrays and run ONE
+        // global fusion — the same `fuse_select` over the same scores the
+        // unsharded index would see.
+        let mut vote_scores = vec![0.0f64; n];
+        let mut cyl_scores = vec![0.0f64; n];
+        let mut bucket_hits = 0u64;
+        let mut hamming_word_ops = 0u64;
+        for (k, (scores, _)) in stage1.iter().enumerate() {
+            bucket_hits += scores.bucket_hits;
+            hamming_word_ops += scores.hamming_word_ops;
+            for (local, (&v, &c)) in scores
+                .vote_scores
+                .iter()
+                .zip(&scores.cyl_scores)
+                .enumerate()
+            {
+                let global = local * s + k;
+                vote_scores[global] = v;
+                cyl_scores[global] = c;
+            }
+        }
+        self.rollup.bucket_hits.add(bucket_hits);
+        self.rollup.bucket_hits_per_search.record(bucket_hits);
+        self.rollup.hamming_ops.add(hamming_word_ops);
+        self.rollup.hamming_per_search.record(hamming_word_ops);
+
+        let selected = fuse_select(&vote_scores, &cyl_scores, shortlist);
+        let mut selected_local: Vec<Vec<u32>> = vec![Vec::new(); s];
+        for global in selected {
+            selected_local[global as usize % s].push(global / s as u32);
+        }
+
+        // Stage 2, one thread per shard: exact scores for the selected
+        // entries, mapped back to global ids and sorted by the final
+        // comparator within each shard.
+        let parts: Vec<(Vec<Candidate>, Duration)> = {
+            let selected_local = &selected_local;
+            self.per_shard_indexed("index.shard.rerank", |k, shard| {
+                let t0 = Instant::now();
+                let mut part = shard.rerank(&selected_local[k], &probe_prepared);
+                for candidate in &mut part {
+                    candidate.id = candidate.id * s as u32 + k as u32;
+                }
+                part.sort_unstable_by(|a, b| b.score.cmp(&a.score).then(a.id.cmp(&b.id)));
+                (part, t0.elapsed())
+            })
+        };
+
+        // Per-shard metering: each shard served one (partial) search.
+        for (k, shard) in self.shards.iter().enumerate() {
+            let metrics = shard.metrics();
+            let (scores, stage1_time) = &stage1[k];
+            let (part, rerank_time) = &parts[k];
+            metrics.searches.incr();
+            metrics.bucket_hits.add(scores.bucket_hits);
+            metrics.bucket_hits_per_search.record(scores.bucket_hits);
+            metrics.hamming_ops.add(scores.hamming_word_ops);
+            metrics.hamming_per_search.record(scores.hamming_word_ops);
+            metrics.rerank_comparisons.add(part.len() as u64);
+            metrics
+                .candidates_pruned
+                .add((shard.len() - part.len()) as u64);
+            metrics.shortlist.record(part.len() as u64);
+            metrics.search_time.record(*stage1_time + *rerank_time);
+        }
+
+        // S-way merge of the sorted per-shard parts by (score desc, global
+        // id asc). Ids are unique, so the comparator is a strict total
+        // order and the merge equals sorting the concatenation — i.e. the
+        // unsharded final sort.
+        let total: usize = parts.iter().map(|(p, _)| p.len()).sum();
+        let mut candidates = Vec::with_capacity(total);
+        let mut heads = vec![0usize; s];
+        for _ in 0..total {
+            let mut best: Option<(usize, &Candidate)> = None;
+            for (k, (part, _)) in parts.iter().enumerate() {
+                if let Some(c) = part.get(heads[k]) {
+                    let better = match best {
+                        None => true,
+                        Some((_, b)) => (c.score, std::cmp::Reverse(c.id))
+                            .cmp(&(b.score, std::cmp::Reverse(b.id)))
+                            .is_gt(),
+                    };
+                    if better {
+                        best = Some((k, c));
+                    }
+                }
+            }
+            let (k, c) = best.expect("total counts every remaining candidate");
+            candidates.push(*c);
+            heads[k] += 1;
+        }
+
+        self.rollup.rerank_comparisons.add(candidates.len() as u64);
+        self.rollup
+            .candidates_pruned
+            .add((n - candidates.len()) as u64);
+        self.rollup.shortlist.record(candidates.len() as u64);
+        self.rollup.search_time.record(start.elapsed());
+        SearchResult::from_parts(candidates, n)
+    }
+
+    /// Runs `f` once per shard, one thread per shard (inline when there is
+    /// only one shard), collecting results in shard order. Worker threads
+    /// adopt the calling span so `name` spans nest under it.
+    fn per_shard<T: Send>(&self, name: &str, f: impl Fn(&CandidateIndex<M>) -> T + Sync) -> Vec<T>
+    where
+        M: Sync,
+    {
+        self.per_shard_indexed(name, |_, shard| f(shard))
+    }
+
+    fn per_shard_indexed<T: Send>(
+        &self,
+        name: &str,
+        f: impl Fn(usize, &CandidateIndex<M>) -> T + Sync,
+    ) -> Vec<T>
+    where
+        M: Sync,
+    {
+        let telemetry = &self.rollup.telemetry;
+        if self.shards.len() == 1 {
+            let _lane = telemetry.trace_span(name, &[("shard", "0".to_string())]);
+            return vec![f(0, &self.shards[0])];
+        }
+        let ctx = telemetry.trace_ctx();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(k, shard)| {
+                    let (ctx, f) = (&ctx, &f);
+                    scope.spawn(move || {
+                        let _adopt = telemetry.in_ctx(ctx);
+                        let _lane = telemetry.trace_span(name, &[("shard", k.to_string())]);
+                        f(k, shard)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+    }
+}

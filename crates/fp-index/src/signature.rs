@@ -101,9 +101,21 @@ impl CylinderCodes {
     /// cylinders, and the strongest `min(len_p, len_g, lss_depth)` of those
     /// local bests are averaged. In `[0, 1]`; 0 when either side is empty.
     pub fn similarity(&self, gallery: &CylinderCodes, lss_depth: usize) -> f64 {
+        self.similarity_counted(gallery, lss_depth).0
+    }
+
+    /// [`similarity`](Self::similarity) plus the number of packed-`u64`
+    /// Hamming word comparisons it performed — `max(words_p, words_g)` per
+    /// cylinder pair actually XOR+popcounted (pairs whose combined set-bit
+    /// mass is zero are skipped before touching any word). This is the
+    /// true work measure the `index.search.hamming_ops` counter meters; the
+    /// old per-gallery-entry tally undercounted by the whole
+    /// cylinders² x words fan-out.
+    pub fn similarity_counted(&self, gallery: &CylinderCodes, lss_depth: usize) -> (f64, u64) {
         if self.is_empty() || gallery.is_empty() {
-            return 0.0;
+            return (0.0, 0);
         }
+        let mut word_ops = 0u64;
         let mut bests: Vec<f64> = Vec::with_capacity(self.len());
         for i in 0..self.len() {
             let (pw, po) = self.cylinder(i);
@@ -114,6 +126,7 @@ impl CylinderCodes {
                 if mass == 0 {
                     continue;
                 }
+                word_ops += pw.len().max(gw.len()) as u64;
                 let sim = 1.0 - f64::from(hamming(pw, gw)) / f64::from(mass);
                 if sim > best {
                     best = sim;
@@ -123,7 +136,7 @@ impl CylinderCodes {
         }
         let depth = self.len().min(gallery.len()).min(lss_depth).max(1);
         bests.sort_unstable_by(|a, b| b.partial_cmp(a).expect("similarities are finite"));
-        bests[..depth].iter().sum::<f64>() / depth as f64
+        (bests[..depth].iter().sum::<f64>() / depth as f64, word_ops)
     }
 }
 
@@ -233,6 +246,30 @@ mod tests {
         assert_eq!(zero.similarity(&zero, 12), 0.0);
         assert_eq!(zero.similarity(&codes(7, 25, 24), 12), 0.0);
         assert_eq!(codes(7, 25, 24).similarity(&zero, 12), 0.0);
+    }
+
+    #[test]
+    fn counted_similarity_matches_and_meters_word_ops() {
+        let a = codes(2, 30, 24);
+        let b = codes(3, 30, 24);
+        let (sim, ops) = a.similarity_counted(&b, 12);
+        assert_eq!(sim, a.similarity(&b, 12));
+        // Every cylinder pair with nonzero combined mass compares
+        // `words_per` packed words (both sides share a width here).
+        assert!(a.ones.iter().all(|&o| o > 0) && b.ones.iter().all(|&o| o > 0));
+        assert_eq!(
+            ops,
+            (a.len() * b.len() * a.words_per) as u64,
+            "word ops must count the full cylinder-pair fan-out"
+        );
+        // Empty sides never touch a word.
+        let empty = CylinderCodes::extract(
+            &MccMatcher::default(),
+            &Template::builder(500.0).build().unwrap(),
+            24,
+        );
+        assert_eq!(a.similarity_counted(&empty, 12), (0.0, 0));
+        assert_eq!(empty.similarity_counted(&a, 12), (0.0, 0));
     }
 
     #[test]

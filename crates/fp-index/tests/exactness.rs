@@ -230,11 +230,31 @@ fn telemetry_does_not_change_results_and_counts_work() {
     let snap = telemetry.snapshot();
     assert_eq!(snap.counters["index.enrolled"], 60);
     assert_eq!(snap.counters["index.searches"], 1);
-    assert_eq!(snap.counters["index.search.hamming_ops"], 60);
+
+    // hamming_ops meters the true packed-u64 word comparisons inside
+    // CylinderCodes::similarity — recompute the expectation through the
+    // public counted API (one similarity per gallery entry).
+    let mcc = fp_match::MccMatcher::default();
+    let cap = plain.config().max_cylinders;
+    let depth = plain.config().lss_depth;
+    let probe_codes = fp_index::CylinderCodes::extract(&mcc, &probe, cap);
+    let expected_word_ops: u64 = templates
+        .iter()
+        .map(|t| {
+            let codes = fp_index::CylinderCodes::extract(&mcc, t, cap);
+            probe_codes.similarity_counted(&codes, depth).1
+        })
+        .sum();
+    assert!(expected_word_ops > 60, "word ops must exceed one-per-entry");
+    assert_eq!(snap.counters["index.search.hamming_ops"], expected_word_ops);
+
     let k = snap.counters["index.search.rerank_comparisons"];
     assert_eq!(k, plain.config().shortlist as u64);
     assert_eq!(snap.counters["index.search.candidates_pruned"], 60 - k);
     assert!(snap.counters["index.search.bucket_hits"] > 0);
-    assert!(snap.durations["index.build.seconds"].count > 0);
+    // The batch path records one build sample per template plus one
+    // whole-batch sample in its own histogram — no mixing.
+    assert_eq!(snap.durations["index.build.seconds"].count, 60);
+    assert_eq!(snap.durations["index.build.batch_seconds"].count, 1);
     assert_eq!(snap.durations["index.search.seconds"].count, 1);
 }

@@ -1,0 +1,298 @@
+//! Sharded search must be *byte-identical* to the unsharded index.
+//!
+//! The sharded design's whole claim is exactness (DESIGN.md §5c): per-entry
+//! stage-1 channel scores are shard-invariant, fusion runs once globally,
+//! and the per-shard exact re-ranks merge under the same strict total
+//! order. These tests pin that claim across shard counts (including more
+//! shards than templates, so some shards are empty), gallery sizes not
+//! divisible by S, and shortlist budgets from 0 through past the gallery
+//! size — plus telemetry roll-up parity with an unsharded run.
+
+use fp_core::geometry::{Direction, Point, RigidMotion, Vector};
+use fp_core::minutia::{Minutia, MinutiaKind};
+use fp_core::rng::SeedTree;
+use fp_core::template::Template;
+use fp_index::{CandidateIndex, IndexConfig, ShardedIndex};
+use fp_match::PairTableMatcher;
+use proptest::prelude::*;
+use rand::Rng;
+
+fn synthetic_template(seed: u64, n: usize) -> Template {
+    let mut rng = SeedTree::new(seed).child(&[0x5D]).rng();
+    let mut minutiae: Vec<Minutia> = Vec::new();
+    let mut attempts = 0;
+    while minutiae.len() < n && attempts < 10_000 {
+        attempts += 1;
+        let pos = Point::new(
+            rng.gen::<f64>() * 16.0 - 8.0,
+            rng.gen::<f64>() * 20.0 - 10.0,
+        );
+        if minutiae.iter().any(|m| m.pos.distance(&pos) < 1.4) {
+            continue;
+        }
+        let kind = if rng.gen::<bool>() {
+            MinutiaKind::RidgeEnding
+        } else {
+            MinutiaKind::Bifurcation
+        };
+        minutiae.push(Minutia::new(
+            pos,
+            Direction::from_radians(rng.gen::<f64>() * std::f64::consts::TAU),
+            kind,
+            rng.gen::<f64>() * 0.5 + 0.5,
+        ));
+    }
+    Template::builder(500.0)
+        .capture_window_mm(20.0, 24.0)
+        .extend(minutiae)
+        .build()
+        .unwrap()
+}
+
+fn second_capture(template: &Template, seed: u64) -> Template {
+    let mut rng = SeedTree::new(seed).child(&[0x5E]).rng();
+    let mut minutiae: Vec<Minutia> = Vec::new();
+    for m in template.minutiae() {
+        if rng.gen::<f64>() <= 0.08 {
+            continue;
+        }
+        minutiae.push(Minutia::new(
+            Point::new(
+                m.pos.x + fp_core::dist::normal(&mut rng, 0.0, 0.12),
+                m.pos.y + fp_core::dist::normal(&mut rng, 0.0, 0.12),
+            ),
+            m.direction
+                .rotated(fp_core::dist::normal(&mut rng, 0.0, 0.05)),
+            m.kind,
+            m.reliability,
+        ));
+    }
+    let motion = RigidMotion::new(
+        Direction::from_radians(fp_core::dist::normal(&mut rng, 0.0, 0.15)),
+        Vector::new(
+            fp_core::dist::normal(&mut rng, 0.0, 1.0),
+            fp_core::dist::normal(&mut rng, 0.0, 1.0),
+        ),
+    );
+    Template::builder(500.0)
+        .capture_window_mm(20.0, 24.0)
+        .extend(minutiae)
+        .build()
+        .unwrap()
+        .transformed(&motion)
+}
+
+fn gallery(seed: u64, n: usize) -> Vec<Template> {
+    (0..n)
+        .map(|i| synthetic_template(seed * 1_000 + i as u64, 16 + (i * 7) % 16))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The central claim: for every shard count (1, 2, 3, and a 7 that
+    /// exceeds small galleries, leaving shards empty), every budget
+    /// (empty, single, partial, exact, and over-full), and gallery sizes
+    /// that do not divide evenly, the sharded candidate list — ids AND
+    /// scores, in order — equals the unsharded one; and at full budget
+    /// both equal brute force.
+    #[test]
+    fn sharded_equals_unsharded_equals_brute_force(
+        seed in 0u64..500,
+        n in 1usize..15,
+        probe_pick in 0usize..15,
+    ) {
+        let templates = gallery(seed, n);
+        let probe = second_capture(&templates[probe_pick % n], seed ^ 0x51AD);
+        let config = IndexConfig::default();
+
+        let mut unsharded = CandidateIndex::with_config(PairTableMatcher::default(), config);
+        unsharded.enroll_all(&templates);
+
+        for s in [1usize, 2, 3, 7] {
+            let mut sharded =
+                ShardedIndex::with_config(PairTableMatcher::default(), config, s);
+            sharded.enroll_all(&templates);
+            prop_assert_eq!(sharded.len(), n);
+
+            for budget in [0usize, 1, n / 2, n, n + 5] {
+                let a = unsharded.search_with_budget(&probe, budget);
+                let b = sharded.search_with_budget(&probe, budget);
+                prop_assert_eq!(
+                    a.candidates(),
+                    b.candidates(),
+                    "shards={} budget={} n={}",
+                    s,
+                    budget,
+                    n
+                );
+                prop_assert_eq!(a.gallery_len(), b.gallery_len());
+                prop_assert_eq!(a.pruned(), b.pruned());
+            }
+
+            // Full budget degenerates to exact brute force.
+            let full = sharded.search_with_budget(&probe, n);
+            let reference = unsharded.brute_force(&probe);
+            prop_assert_eq!(full.candidates(), reference.candidates());
+        }
+    }
+
+    /// Batch and sequential sharded enrollment assign the same global ids
+    /// and build the same index.
+    #[test]
+    fn sharded_batch_and_sequential_enrollment_agree(
+        seed in 0u64..200,
+        n in 1usize..12,
+        s in 1usize..5,
+    ) {
+        let templates = gallery(seed + 7_000, n);
+        let probe = second_capture(&templates[0], seed ^ 0xBEEF);
+
+        let mut batch = ShardedIndex::new(PairTableMatcher::default(), s);
+        prop_assert_eq!(batch.enroll_all(&templates), 0);
+
+        let mut sequential = ShardedIndex::new(PairTableMatcher::default(), s);
+        for (g, t) in templates.iter().enumerate() {
+            prop_assert_eq!(sequential.enroll(t), g as u32);
+        }
+
+        let a = batch.search(&probe);
+        let b = sequential.search(&probe);
+        prop_assert_eq!(a.candidates(), b.candidates());
+    }
+}
+
+#[test]
+fn empty_sharded_gallery_returns_empty_result() {
+    let sharded: ShardedIndex<PairTableMatcher> = ShardedIndex::new(PairTableMatcher::default(), 4);
+    assert!(sharded.is_empty());
+    assert_eq!(sharded.shard_count(), 4);
+    let probe = synthetic_template(1, 20);
+    let result = sharded.search(&probe);
+    assert!(result.candidates().is_empty());
+    assert_eq!(result.gallery_len(), 0);
+}
+
+#[test]
+#[should_panic(expected = "at least one shard")]
+fn zero_shards_is_rejected() {
+    let _ = ShardedIndex::new(PairTableMatcher::default(), 0);
+}
+
+/// Roll-up telemetry parity: a sharded run's `index.*` roll-up counters
+/// must equal an unsharded run's on the same gallery and probes (the work
+/// counters are pure functions of probe x entries, so sharding cannot
+/// change them), and the per-shard `index.shard<k>.*` counters must sum to
+/// the roll-up exactly.
+#[test]
+fn rollup_counters_match_unsharded_and_shards_partition_them() {
+    const N: usize = 30;
+    const S: usize = 3;
+    let templates = gallery(42, N);
+    let probes: Vec<Template> = (0..4)
+        .map(|p| second_capture(&templates[p * 5], 9_000 + p as u64))
+        .collect();
+
+    let plain_tel = fp_telemetry::Telemetry::enabled();
+    let mut plain = CandidateIndex::new(PairTableMatcher::default()).with_telemetry(&plain_tel);
+    plain.enroll_all(&templates);
+
+    let sharded_tel = fp_telemetry::Telemetry::enabled();
+    let mut sharded =
+        ShardedIndex::new(PairTableMatcher::default(), S).with_telemetry(&sharded_tel);
+    sharded.enroll_all(&templates);
+
+    for probe in &probes {
+        assert_eq!(
+            plain.search(probe).candidates(),
+            sharded.search(probe).candidates()
+        );
+    }
+
+    let a = plain_tel.snapshot();
+    let b = sharded_tel.snapshot();
+    // `index.searches` fans out (every shard serves every search) rather
+    // than partitioning; it is checked per shard below.
+    assert_eq!(a.counters["index.searches"], b.counters["index.searches"]);
+    for key in [
+        "index.enrolled",
+        "index.search.hamming_ops",
+        "index.search.bucket_hits",
+        "index.search.rerank_comparisons",
+        "index.search.candidates_pruned",
+    ] {
+        assert_eq!(a.counters[key], b.counters[key], "roll-up {key}");
+        let shard_sum: u64 = (0..S)
+            .map(|k| {
+                let name = format!("index.shard{k}.{}", &key["index.".len()..]);
+                b.counters.get(&name).copied().unwrap_or_else(|| {
+                    panic!("missing per-shard counter {name}");
+                })
+            })
+            .sum();
+        assert_eq!(shard_sum, b.counters[key], "shard partition of {key}");
+    }
+
+    // Every shard served every search, and per-shard build histograms
+    // carry one sample per locally enrolled template.
+    for k in 0..S {
+        assert_eq!(b.counters[&format!("index.shard{k}.searches")], 4);
+        assert_eq!(
+            b.durations[&format!("index.shard{k}.build.seconds")].count,
+            (N / S) as u64
+        );
+        assert_eq!(
+            b.durations[&format!("index.shard{k}.build.batch_seconds")].count,
+            1
+        );
+        assert_eq!(
+            b.durations[&format!("index.shard{k}.search.seconds")].count,
+            4
+        );
+    }
+    assert_eq!(b.durations["index.search.seconds"].count, 4);
+    assert_eq!(b.durations["index.build.batch_seconds"].count, 1);
+}
+
+/// The sharded search's flight-recorder spans nest per-shard work under
+/// the probe's `index.search` root.
+#[test]
+fn shard_spans_nest_under_the_search_span() {
+    const S: usize = 2;
+    let telemetry = fp_telemetry::Telemetry::enabled();
+    let templates = gallery(77, 10);
+    let mut sharded = ShardedIndex::new(PairTableMatcher::default(), S).with_telemetry(&telemetry);
+    sharded.enroll_all(&templates);
+    let probe = second_capture(&templates[3], 1_234);
+    let _ = sharded.search(&probe);
+
+    let trace = telemetry.trace_snapshot();
+    trace.validate_tree().expect("well-formed trace");
+    let search = trace
+        .spans
+        .iter()
+        .find(|s| s.name == "index.search")
+        .expect("search span recorded");
+    for name in ["index.shard.search", "index.shard.rerank"] {
+        let lanes: Vec<_> = trace.spans.iter().filter(|s| s.name == name).collect();
+        assert_eq!(lanes.len(), S, "{name} once per shard");
+        for lane in lanes {
+            assert_eq!(lane.parent, Some(search.id), "{name} parented");
+        }
+    }
+    let enroll = trace
+        .spans
+        .iter()
+        .find(|s| s.name == "index.enroll_all")
+        .expect("enroll span recorded");
+    let enroll_lanes: Vec<_> = trace
+        .spans
+        .iter()
+        .filter(|s| s.name == "index.shard.enroll")
+        .collect();
+    assert_eq!(enroll_lanes.len(), S);
+    for lane in enroll_lanes {
+        assert_eq!(lane.parent, Some(enroll.id));
+    }
+}

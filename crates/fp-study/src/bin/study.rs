@@ -31,6 +31,7 @@ struct Args {
     path: Option<String>,
     subjects: Option<usize>,
     seed: Option<u64>,
+    shards: Option<usize>,
     json: Option<String>,
     out: Option<String>,
     metrics: Option<String>,
@@ -51,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         path: None,
         subjects: None,
         seed: None,
+        shards: None,
         json: None,
         out: None,
         metrics: None,
@@ -83,6 +85,14 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
                 parsed.seed = Some(v.parse().map_err(|_| format!("bad --seed: {v}"))?);
+            }
+            "--shards" => {
+                let v = args.next().ok_or("--shards needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --shards: {v}"))?;
+                if n < 1 {
+                    return Err(format!("--shards must be at least 1, got {n}"));
+                }
+                parsed.shards = Some(n);
             }
             "--json" => {
                 parsed.json = Some(args.next().ok_or("--json needs a path")?);
@@ -143,6 +153,9 @@ fn print_metrics_help() {
     println!("    match.{{pairtable,hough,mcc}}.comparisons   matcher invocations");
     println!("    scores.comparisons.genuine/impostor        study comparisons");
     println!("    index.enrolled/searches/hamming_ops/bucket_hits  1:N index work");
+    println!("      (hamming_ops counts packed-u64 word comparisons, not entries;");
+    println!("       sharded runs add per-shard index.shard<k>.* labels whose work");
+    println!("       counters sum to the index.* roll-up)");
     println!();
     println!("  work-size histograms (deterministic)");
     println!("    synth.minutiae_per_master         master template sizes");
@@ -154,6 +167,9 @@ fn print_metrics_help() {
     println!("    index.search.bucket_hits_per_search    stage-2 votes per probe");
     println!();
     println!("  duration histograms (spans; wall time)");
+    println!("    index.build.seconds               per-template enrollment cost");
+    println!("    index.build.batch_seconds         whole enroll_all batches");
+    println!("    index.search.seconds              per 1:N search");
     println!("    study.dataset, study.dataset.population, study.scores");
     println!("    dataset.subject                   per-subject capture work");
     println!("    scores.cell.g<g>p<p>              per (gallery, probe) device cell");
@@ -260,8 +276,45 @@ fn check_scaling(telemetry: &Telemetry, path: &str) -> ExitCode {
             ok = false;
         }
     }
+    // Shard ladder (when run with --shards): every shard row must show
+    // full candidate-list parity with the unsharded index, and — because
+    // sharded search is provably identical — recall must equal the top
+    // unsharded rung's recall *exactly*, not just within tolerance.
+    let shard_rows = report["values"]["shard_rows"].as_array();
+    let mut shard_count = 0usize;
+    if let Some(shard_rows) = shard_rows.filter(|r| !r.is_empty()) {
+        shard_count = shard_rows.len();
+        let top_recall = rows.last().expect("non-empty")["recall"].as_f64();
+        for row in shard_rows {
+            if row["parity_checked"].as_u64().unwrap_or(0) == 0
+                || row["parity_agreed"] != row["parity_checked"]
+            {
+                telemetry.event_with(
+                    Level::Error,
+                    "sharded search diverged from the unsharded index",
+                    &[("row", row.to_string())],
+                );
+                ok = false;
+            }
+            if row["recall"].as_f64() != top_recall {
+                telemetry.event_with(
+                    Level::Error,
+                    "sharded recall differs from the unsharded top rung",
+                    &[("row", row.to_string())],
+                );
+                ok = false;
+            }
+        }
+    }
     if ok {
-        println!("ext-scaling smoke ok ({} rungs)", rows.len());
+        if shard_count > 0 {
+            println!(
+                "ext-scaling smoke ok ({} rungs, {shard_count} shard rows at exact parity)",
+                rows.len()
+            );
+        } else {
+            println!("ext-scaling smoke ok ({} rungs)", rows.len());
+        }
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -473,6 +526,9 @@ fn run(args: &Args, telemetry: &Telemetry) -> ExitCode {
     if let Some(s) = args.seed {
         builder = builder.seed(s);
     }
+    if let Some(s) = args.shards {
+        builder = builder.shards(s);
+    }
 
     if args.experiment == "ext-scaling" {
         // The scaling ladder builds its own synthetic galleries (subjects,
@@ -592,7 +648,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: study <all|devices|metrics|verify|render|check-scaling|check-telemetry|{}> \
-                 [--subjects N] [--seed S] [--json PATH] [--metrics PATH] \
+                 [--subjects N] [--seed S] [--shards S] [--json PATH] [--metrics PATH] \
                  [--trace PATH] [--events PATH] [--out PATH]",
                 experiments::ALL_IDS.join("|")
             );

@@ -32,6 +32,11 @@ pub struct StudyConfig {
     /// Fixed FMR for the Table 6 quality-restricted FNMR matrix (paper:
     /// 0.1%).
     pub table6_fmr: f64,
+    /// Maximum shard count of the `ext-scaling` shard ladder (powers of two
+    /// up to this value run over the top gallery rung). 0 disables the
+    /// ladder — the default, since the unsharded rungs already cover the
+    /// accuracy story.
+    pub shards: usize,
 }
 
 impl StudyConfig {
@@ -86,6 +91,7 @@ pub struct StudyConfigBuilder {
     calibration: ScoreCalibration,
     table5_fmr: f64,
     table6_fmr: f64,
+    shards: usize,
 }
 
 impl Default for StudyConfigBuilder {
@@ -97,6 +103,7 @@ impl Default for StudyConfigBuilder {
             calibration: ScoreCalibration::default(),
             table5_fmr: 1e-4,
             table6_fmr: 1e-3,
+            shards: 0,
         }
     }
 }
@@ -127,6 +134,12 @@ impl StudyConfigBuilder {
         self
     }
 
+    /// Sets the maximum shard count of the `ext-scaling` shard ladder.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Finalizes the config.
     pub fn build(self) -> StudyConfig {
         let impostors_per_cell = self.impostors_per_cell.unwrap_or_else(|| {
@@ -146,6 +159,7 @@ impl StudyConfigBuilder {
             calibration: self.calibration,
             table5_fmr: self.table5_fmr,
             table6_fmr: self.table6_fmr,
+            shards: self.shards,
         }
     }
 }
@@ -177,10 +191,12 @@ mod tests {
             .seed(9)
             .subjects(42)
             .impostors_per_cell(777)
+            .shards(8)
             .build();
         assert_eq!(c.seed, 9);
         assert_eq!(c.subjects, 42);
         assert_eq!(c.impostors_per_cell, 777);
+        assert_eq!(c.shards, 8);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use fp_core::geometry::{Direction, Point, RigidMotion, Vector};
 use fp_core::minutia::{Minutia, MinutiaKind};
 use fp_core::rng::SeedTree;
 use fp_core::template::Template;
-use fp_index::{CandidateIndex, IndexConfig};
+use fp_index::{CandidateIndex, IndexConfig, ShardedIndex};
 use fp_match::PairTableMatcher;
 use fp_telemetry::Telemetry;
 use rand::Rng;
@@ -41,7 +41,7 @@ const MAX_PROBES: usize = 96;
 /// Exhaustive-scan audits per rung (brute force is the expensive baseline).
 const MAX_AUDITS: usize = 12;
 
-/// One enrolled identity: a template plus two probe captures.
+/// One rung of the gallery ladder.
 struct ScalingRow {
     gallery: usize,
     shortlist: usize,
@@ -53,6 +53,33 @@ struct ScalingRow {
     build_seconds: f64,
     searches_per_second: f64,
     brute_searches_per_second: f64,
+}
+
+/// One rung of the shard ladder (always over the top gallery rung).
+struct ShardRow {
+    shards: usize,
+    probes: usize,
+    recall: f64,
+    build_seconds: f64,
+    searches_per_second: f64,
+    speedup_vs_1: f64,
+    parity_checked: usize,
+    parity_agreed: usize,
+}
+
+/// Shard counts to run: powers of two up to `max`, plus `max` itself when
+/// it is not a power of two. `max = 0` disables the ladder.
+fn shard_ladder(max: usize) -> Vec<usize> {
+    let mut ladder = Vec::new();
+    let mut s = 1;
+    while s <= max {
+        ladder.push(s);
+        s *= 2;
+    }
+    if max >= 1 && ladder.last() != Some(&max) {
+        ladder.push(max);
+    }
+    ladder
 }
 
 /// A deterministic synthetic template with `n` well-spread minutiae.
@@ -169,6 +196,7 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
     });
 
     let mut rows: Vec<ScalingRow> = Vec::new();
+    let mut top_index: Option<CandidateIndex<PairTableMatcher>> = None;
     for multiple in LADDER {
         let gallery = config.subjects * multiple;
         let _span = telemetry.span_with(
@@ -242,6 +270,92 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
                 / (brute_seconds - audits as f64 * search_seconds.max(1e-9) / probes as f64)
                     .max(1e-9),
         });
+        if multiple == LADDER[LADDER.len() - 1] {
+            top_index = Some(index);
+        }
+    }
+
+    // Shard ladder over the top rung: same gallery, same config, same
+    // probes — the sharded results are provably identical to the unsharded
+    // index, so recall must match the top rung *exactly* and the parity
+    // audit compares full candidate lists, not just rank-1.
+    let mut shard_rows: Vec<ShardRow> = Vec::new();
+    if config.shards >= 1 {
+        let gallery = max_gallery;
+        let unsharded = top_index.as_ref().expect("ladder is non-empty");
+        let probes = gallery.min(MAX_PROBES);
+        let stride = gallery / probes;
+        let probe_of = |p: usize| -> (usize, Template) {
+            let subject = p * stride;
+            let profile = if p.is_multiple_of(2) {
+                SAME_DEVICE
+            } else {
+                CROSS_DEVICE
+            };
+            (
+                subject,
+                recapture(&pool[subject], &seeds, (gallery + subject) as u64, profile),
+            )
+        };
+        for s in shard_ladder(config.shards) {
+            let _span = telemetry.span_with(
+                &format!("scaling.shards{s}"),
+                &[("gallery", gallery.to_string()), ("shards", s.to_string())],
+            );
+            let mut sharded = ShardedIndex::with_config(
+                PairTableMatcher::default(),
+                IndexConfig::scaled(gallery),
+                s,
+            )
+            .with_telemetry(telemetry);
+            let build_start = std::time::Instant::now();
+            sharded.enroll_all(&pool[..gallery]);
+            let build_seconds = build_start.elapsed().as_secs_f64();
+
+            // Sequential probe loop: each search fans out across the shard
+            // threads internally, so this measures per-search latency.
+            let search_start = std::time::Instant::now();
+            let mut in_shortlist = 0usize;
+            for p in 0..probes {
+                let (subject, probe) = probe_of(p);
+                if sharded
+                    .search(&probe)
+                    .genuine_rank(subject as u32)
+                    .is_some()
+                {
+                    in_shortlist += 1;
+                }
+            }
+            let search_seconds = search_start.elapsed().as_secs_f64();
+            let searches_per_second = probes as f64 / search_seconds.max(1e-9);
+
+            // Exact-parity audit: full candidate lists (ids AND scores, in
+            // order) against the unsharded top-rung index.
+            let audits = probes.min(MAX_AUDITS);
+            let audit_stride = probes / audits;
+            let mut parity_agreed = 0usize;
+            for a in 0..audits {
+                let (_, probe) = probe_of(a * audit_stride);
+                if sharded.search(&probe).candidates() == unsharded.search(&probe).candidates() {
+                    parity_agreed += 1;
+                }
+            }
+
+            let base = shard_rows
+                .first()
+                .map(|r| r.searches_per_second)
+                .unwrap_or(searches_per_second);
+            shard_rows.push(ShardRow {
+                shards: s,
+                probes,
+                recall: in_shortlist as f64 / probes as f64,
+                build_seconds,
+                searches_per_second,
+                speedup_vs_1: searches_per_second / base.max(1e-9),
+                parity_checked: audits,
+                parity_agreed,
+            });
+        }
     }
 
     let mut body = format!(
@@ -283,6 +397,26 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
         rows.iter().map(|r| r.audit_agreed).sum::<usize>(),
         rows.iter().map(|r| r.audit_sampled).sum::<usize>(),
     ));
+    if !shard_rows.is_empty() {
+        body.push_str(&format!(
+            "\nshard ladder over the {}-entry gallery (per-shard stage-1 + \
+             stage-2 threads, one global fusion):\n\
+             {:<8}{:>9}{:>10}{:>12}{:>10}{:>10}\n",
+            max_gallery, "shards", "build s", "recall", "search/s", "speedup", "parity"
+        ));
+        for r in &shard_rows {
+            body.push_str(&format!(
+                "{:<8}{:>9.2}{:>10.3}{:>12.1}{:>10.2}{:>7}/{}\n",
+                r.shards,
+                r.build_seconds,
+                r.recall,
+                r.searches_per_second,
+                r.speedup_vs_1,
+                r.parity_agreed,
+                r.parity_checked,
+            ));
+        }
+    }
 
     Report::new(
         "ext-scaling",
@@ -291,6 +425,20 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
         json!({
             "base_subjects": config.subjects,
             "ladder": LADDER,
+            "shards": config.shards,
+            "shard_rows": shard_rows
+                .iter()
+                .map(|r| json!({
+                    "shards": r.shards,
+                    "probes": r.probes,
+                    "recall": r.recall,
+                    "build_seconds": r.build_seconds,
+                    "searches_per_second": r.searches_per_second,
+                    "speedup_vs_1": r.speedup_vs_1,
+                    "parity_checked": r.parity_checked,
+                    "parity_agreed": r.parity_agreed,
+                }))
+                .collect::<Vec<_>>(),
             "rows": rows
                 .iter()
                 .map(|r| json!({
@@ -342,6 +490,41 @@ mod tests {
             assert!(row["recall"].as_f64().unwrap() >= 0.97, "{row}");
             assert!(row["rank1"].as_f64().unwrap() >= 0.9, "{row}");
             assert_eq!(row["audit_agreed"], row["audit_sampled"], "{row}");
+        }
+    }
+
+    #[test]
+    fn shard_ladder_is_off_by_default_and_spans_powers_of_two() {
+        let r = tiny();
+        assert_eq!(r.values["shards"], 0);
+        assert!(r.values["shard_rows"].as_array().unwrap().is_empty());
+        assert_eq!(shard_ladder(0), Vec::<usize>::new());
+        assert_eq!(shard_ladder(1), vec![1]);
+        assert_eq!(shard_ladder(4), vec![1, 2, 4]);
+        assert_eq!(shard_ladder(8), vec![1, 2, 4, 8]);
+        assert_eq!(shard_ladder(6), vec![1, 2, 4, 6]);
+    }
+
+    #[test]
+    fn shard_rows_show_exact_parity_with_the_unsharded_index() {
+        let r = run(&StudyConfig::builder()
+            .subjects(12)
+            .seed(9)
+            .impostors_per_cell(10)
+            .shards(4)
+            .build());
+        let rows = r.values["rows"].as_array().unwrap();
+        let top_recall = rows.last().unwrap()["recall"].as_f64().unwrap();
+        let shard_rows = r.values["shard_rows"].as_array().unwrap();
+        assert_eq!(shard_rows.len(), 3); // shards 1, 2, 4
+        for (i, row) in shard_rows.iter().enumerate() {
+            assert_eq!(row["shards"], [1, 2, 4][i] as u64, "{row}");
+            // Sharded search is provably identical to unsharded: every
+            // audited candidate list must match and recall must equal the
+            // top rung's recall exactly (same probes, same budget).
+            assert_eq!(row["parity_agreed"], row["parity_checked"], "{row}");
+            assert!(row["parity_checked"].as_u64().unwrap() > 0, "{row}");
+            assert_eq!(row["recall"].as_f64().unwrap(), top_recall, "{row}");
         }
     }
 

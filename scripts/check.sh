@@ -19,11 +19,13 @@ run cargo build --release --offline
 run cargo test -q --release --offline --workspace
 # Benches must at least compile; the budgeted telemetry subset runs below.
 run cargo bench --offline --no-run
-# 1:N scaling smoke: a 200-subject ladder (200/1000/2000 galleries) must
-# finish inside a 10-minute wall-clock budget and keep shortlist recall
-# at spec on every rung. The gate itself is Rust (`study check-scaling`).
+# 1:N scaling smoke: a 200-subject ladder (200/1000/2000 galleries) plus a
+# sharded ladder (1/2/4 shards over the 2000 gallery) must finish inside a
+# 10-minute wall-clock budget, keep shortlist recall at spec on every rung,
+# and show exact candidate-list parity between sharded and unsharded
+# search. The gate itself is Rust (`study check-scaling`).
 run timeout 600 cargo run -q --release --offline -p fp-study --bin study -- \
-    ext-scaling --subjects 200 --json target/ext-scaling-smoke.json
+    ext-scaling --subjects 200 --shards 4 --json target/ext-scaling-smoke.json
 run cargo run -q --release --offline -p fp-study --bin study -- \
     check-scaling target/ext-scaling-smoke.json
 # Perf gate: rerun the telemetry bench suite (the cheapest one) and diff it
@@ -34,4 +36,11 @@ run cargo bench -q --offline -p fp-bench --bench telemetry -- \
     --save "$ROOT/target/BENCH_current.json"
 run cargo run -q --release --offline -p fp-bench --bin bench-diff -- \
     BENCH_baseline.json target/BENCH_current.json --fail-pct 50 --warn-pct 10
+# Shard-search perf gate: the budgeted 2000-entry group only (the 10k group
+# lives in the committed baseline for local runs; missing benches are
+# reported as removed, never failed).
+run cargo bench -q --offline -p fp-bench --bench shard -- shard_search_2000 \
+    --save "$ROOT/target/BENCH_shard_current.json"
+run cargo run -q --release --offline -p fp-bench --bin bench-diff -- \
+    BENCH_baseline.json target/BENCH_shard_current.json --fail-pct 50 --warn-pct 10
 echo "all checks passed"
