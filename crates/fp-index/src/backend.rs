@@ -1,0 +1,168 @@
+//! The cross-process score seam: [`ShardBackend`].
+//!
+//! `ShardedIndex` proved (shard.rs module docs) that the one seam along
+//! which a two-stage 1:N search can be split without changing a single
+//! byte of the result is **per-entry stage-1 channel scores** plus
+//! **per-entry exact stage-2 scores** — both pure functions of (probe,
+//! entry), bit-identical whatever gallery the entry shares. This module
+//! names that seam as a trait so the fusion/merge driver can be written
+//! once and run over *any* shard transport:
+//!
+//! * [`CandidateIndex`] implements it directly — the in-process shard;
+//! * `fp-serve`'s `RemoteShard` implements it over a length-prefixed
+//!   binary wire protocol — the cross-process shard.
+//!
+//! Everything above the seam (stitching shard score arrays into global
+//! ones, the single global best-rank fusion, dealing the selected ids back
+//! to their owning shards, and the final total-order merge) lives in
+//! [`crate::shard`] as pure functions shared by `ShardedIndex`, the
+//! reference driver [`search_backends`], and the remote coordinator.
+//!
+//! In-process backends cannot fail, so their impl is infallible in
+//! practice; remote backends surface [`ShardError`] — a search over a dead
+//! shard must fail loudly, never silently return a truncated candidate
+//! list (a truncated list would look like a clean miss and quietly shift
+//! the study's rank-1/FNMR numbers).
+
+use std::fmt;
+
+use fp_core::template::Template;
+use fp_match::PreparableMatcher;
+
+use crate::index::{Candidate, CandidateIndex, StageOneScores};
+
+/// Why a shard backend could not serve its part of a search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The shard cannot be reached: dead process, refused or reset
+    /// connection, or an exhausted retry budget. The whole search fails —
+    /// results must never silently omit a shard's gallery slice.
+    Unavailable {
+        /// Index of the failing shard.
+        shard: usize,
+        /// Human-readable transport diagnostics (last error, attempts).
+        detail: String,
+    },
+    /// The shard answered, but with something protocol-invalid: a frame of
+    /// the wrong type, a score array of the wrong length, or a typed error
+    /// frame. Retrying cannot help; the search fails immediately.
+    Protocol {
+        /// Index of the offending shard.
+        shard: usize,
+        /// What was wrong with the reply.
+        detail: String,
+    },
+}
+
+impl ShardError {
+    /// The shard the error originated from.
+    pub fn shard(&self) -> usize {
+        match self {
+            ShardError::Unavailable { shard, .. } | ShardError::Protocol { shard, .. } => *shard,
+        }
+    }
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Unavailable { shard, detail } => {
+                write!(f, "shard {shard} unavailable: {detail}")
+            }
+            ShardError::Protocol { shard, detail } => {
+                write!(f, "shard {shard} protocol error: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// One shard of a sharded 1:N gallery, behind any transport.
+///
+/// Both methods take the raw probe [`Template`]: probe-side features are
+/// pure functions of (probe, config), so a remote shard recomputing them
+/// from the template sees bit-identical features to an in-process shard
+/// handed a precomputed copy. Local ids are dense per shard; callers own
+/// the `global = local * shards + shard` mapping.
+pub trait ShardBackend {
+    /// Number of templates enrolled on this shard.
+    fn shard_len(&self) -> usize;
+
+    /// Stage 1: per-entry channel scores of this shard's gallery against
+    /// `probe` (shard-invariant — see the shard.rs module docs).
+    fn stage_one(&self, probe: &Template) -> Result<StageOneScores, ShardError>;
+
+    /// Stage 2: exact matcher scores for the selected **local** ids, in
+    /// selection order (callers globalize the ids and sort).
+    fn stage_two(
+        &self,
+        probe: &Template,
+        selected_local: &[u32],
+    ) -> Result<Vec<Candidate>, ShardError>;
+}
+
+impl<M: PreparableMatcher> ShardBackend for CandidateIndex<M> {
+    fn shard_len(&self) -> usize {
+        self.len()
+    }
+
+    fn stage_one(&self, probe: &Template) -> Result<StageOneScores, ShardError> {
+        Ok(self.stage1(&self.probe_features(probe)))
+    }
+
+    fn stage_two(
+        &self,
+        probe: &Template,
+        selected_local: &[u32],
+    ) -> Result<Vec<Candidate>, ShardError> {
+        let prepared = self.prepare_probe(probe);
+        Ok(self.rerank(selected_local, &prepared))
+    }
+}
+
+/// The reference driver: a full two-stage search over any set of shard
+/// backends, byte-identical to [`CandidateIndex::search_with_budget`] on
+/// the round-robin-concatenated gallery.
+///
+/// This is the exact sequence `ShardedIndex` and the remote coordinator
+/// run — stage 1 on every shard, one global fusion, per-shard exact
+/// re-rank, total-order merge — without their telemetry and threading
+/// machinery, so tests can pin transport-independent correctness and new
+/// transports have a model to diff against. Shards are visited
+/// sequentially; parallel fan-out is the callers' concern.
+pub fn search_backends<B: ShardBackend>(
+    backends: &[B],
+    probe: &Template,
+    shortlist: usize,
+) -> Result<crate::SearchResult, ShardError> {
+    use crate::shard::{
+        globalize_and_sort, merge_sorted_parts, select_per_shard, stitch_stage_one,
+    };
+
+    let s = backends.len();
+    assert!(s >= 1, "need at least one shard backend");
+    let total: usize = backends.iter().map(|b| b.shard_len()).sum();
+
+    let mut per_shard = Vec::with_capacity(s);
+    for backend in backends {
+        per_shard.push(backend.stage_one(probe)?);
+    }
+    let (vote_scores, cyl_scores) = stitch_stage_one(&per_shard, total);
+    let selected_local = select_per_shard(&vote_scores, &cyl_scores, shortlist, s);
+
+    let mut parts = Vec::with_capacity(s);
+    for (k, backend) in backends.iter().enumerate() {
+        let mut part = if selected_local[k].is_empty() {
+            Vec::new()
+        } else {
+            backend.stage_two(probe, &selected_local[k])?
+        };
+        globalize_and_sort(&mut part, k, s);
+        parts.push(part);
+    }
+    Ok(crate::SearchResult::from_parts(
+        merge_sorted_parts(&parts),
+        total,
+    ))
+}

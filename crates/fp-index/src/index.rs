@@ -40,9 +40,10 @@ pub struct SearchResult {
 
 impl SearchResult {
     /// Assembles a result from an already-sorted candidate list (used by
-    /// the sharded merge, which produces the same `(score desc, id asc)`
-    /// order by construction).
-    pub(crate) fn from_parts(candidates: Vec<Candidate>, gallery_len: usize) -> SearchResult {
+    /// the sharded and cross-process merges, which produce the same
+    /// `(score desc, id asc)` order by construction — callers are
+    /// responsible for that invariant).
+    pub fn from_parts(candidates: Vec<Candidate>, gallery_len: usize) -> SearchResult {
         SearchResult {
             candidates,
             gallery_len,
@@ -107,16 +108,20 @@ pub(crate) struct ProbeFeatures {
 /// pair features against the probe, and its code score compares only its
 /// own cylinders — neither depends on which other entries share the
 /// gallery. This is the property that makes sharded search exact: scores
-/// computed shard-locally are bit-identical to the unsharded ones.
-pub(crate) struct StageOneScores {
+/// computed shard-locally are bit-identical to the unsharded ones —
+/// whether the shard lives in this process ([`crate::ShardedIndex`]) or
+/// answers over `fp-serve`'s wire protocol, which is why this struct is
+/// public: it *is* the cross-process score seam.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageOneScores {
     /// Min-support-normalized geometric-hash votes per entry.
-    pub(crate) vote_scores: Vec<f64>,
+    pub vote_scores: Vec<f64>,
     /// Local-similarity-sort cylinder-code score per entry.
-    pub(crate) cyl_scores: Vec<f64>,
+    pub cyl_scores: Vec<f64>,
     /// Geometric-hash vote increments performed.
-    pub(crate) bucket_hits: u64,
+    pub bucket_hits: u64,
     /// Packed-`u64` Hamming word comparisons performed.
-    pub(crate) hamming_word_ops: u64,
+    pub hamming_word_ops: u64,
 }
 
 /// A two-stage candidate index for 1:N identification.

@@ -40,7 +40,11 @@
 //! deterministically — byte-identical to the unsharded index at the same
 //! total budget (per-entry stage-1 scores are shard-invariant; fusion runs
 //! once, globally — see `shard.rs` for the argument), with both stages
-//! fanning out across shard threads.
+//! fanning out across shard threads. The seam itself is named by the
+//! [`ShardBackend`] trait (`backend.rs`): anything that can answer stage-1
+//! scores and stage-2 exact scores for its slice of the gallery — an
+//! in-process [`CandidateIndex`] or `fp-serve`'s remote shard connection —
+//! plugs into the same fusion/merge code and produces the same bytes.
 //!
 //! ```
 //! use fp_index::{CandidateIndex, IndexConfig};
@@ -57,6 +61,7 @@
 //! # }
 //! ```
 
+pub mod backend;
 pub mod config;
 mod geohash;
 pub mod index;
@@ -64,8 +69,9 @@ pub mod metrics;
 pub mod shard;
 pub mod signature;
 
+pub use backend::{search_backends, ShardBackend, ShardError};
 pub use config::IndexConfig;
-pub use index::{Candidate, CandidateIndex, SearchResult};
+pub use index::{Candidate, CandidateIndex, SearchResult, StageOneScores};
 pub use metrics::IndexMetrics;
 pub use shard::ShardedIndex;
 pub use signature::CylinderCodes;

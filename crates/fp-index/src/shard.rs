@@ -216,44 +216,31 @@ impl<M: fp_match::PreparableMatcher> ShardedIndex<M> {
 
         // Stage 1, one thread per shard: shard-local per-entry channel
         // scores (shard-invariant — see the module docs).
-        let stage1: Vec<(StageOneScores, Duration)> =
-            self.per_shard("index.shard.search", |shard| {
+        let (stage1, stage1_times): (Vec<StageOneScores>, Vec<Duration>) = self
+            .per_shard("index.shard.search", |shard| {
                 let t0 = Instant::now();
                 let scores = shard.stage1(&probe_features);
                 (scores, t0.elapsed())
-            });
+            })
+            .into_iter()
+            .unzip();
 
         // Stitch the shard score arrays into global arrays and run ONE
         // global fusion — the same `fuse_select` over the same scores the
         // unsharded index would see.
-        let mut vote_scores = vec![0.0f64; n];
-        let mut cyl_scores = vec![0.0f64; n];
         let mut bucket_hits = 0u64;
         let mut hamming_word_ops = 0u64;
-        for (k, (scores, _)) in stage1.iter().enumerate() {
+        for scores in &stage1 {
             bucket_hits += scores.bucket_hits;
             hamming_word_ops += scores.hamming_word_ops;
-            for (local, (&v, &c)) in scores
-                .vote_scores
-                .iter()
-                .zip(&scores.cyl_scores)
-                .enumerate()
-            {
-                let global = local * s + k;
-                vote_scores[global] = v;
-                cyl_scores[global] = c;
-            }
         }
         self.rollup.bucket_hits.add(bucket_hits);
         self.rollup.bucket_hits_per_search.record(bucket_hits);
         self.rollup.hamming_ops.add(hamming_word_ops);
         self.rollup.hamming_per_search.record(hamming_word_ops);
 
-        let selected = fuse_select(&vote_scores, &cyl_scores, shortlist);
-        let mut selected_local: Vec<Vec<u32>> = vec![Vec::new(); s];
-        for global in selected {
-            selected_local[global as usize % s].push(global / s as u32);
-        }
+        let (vote_scores, cyl_scores) = stitch_stage_one(&stage1, n);
+        let selected_local = select_per_shard(&vote_scores, &cyl_scores, shortlist, s);
 
         // Stage 2, one thread per shard: exact scores for the selected
         // entries, mapped back to global ids and sorted by the final
@@ -263,10 +250,7 @@ impl<M: fp_match::PreparableMatcher> ShardedIndex<M> {
             self.per_shard_indexed("index.shard.rerank", |k, shard| {
                 let t0 = Instant::now();
                 let mut part = shard.rerank(&selected_local[k], &probe_prepared);
-                for candidate in &mut part {
-                    candidate.id = candidate.id * s as u32 + k as u32;
-                }
-                part.sort_unstable_by(|a, b| b.score.cmp(&a.score).then(a.id.cmp(&b.id)));
+                globalize_and_sort(&mut part, k, s);
                 (part, t0.elapsed())
             })
         };
@@ -274,7 +258,7 @@ impl<M: fp_match::PreparableMatcher> ShardedIndex<M> {
         // Per-shard metering: each shard served one (partial) search.
         for (k, shard) in self.shards.iter().enumerate() {
             let metrics = shard.metrics();
-            let (scores, stage1_time) = &stage1[k];
+            let scores = &stage1[k];
             let (part, rerank_time) = &parts[k];
             metrics.searches.incr();
             metrics.bucket_hits.add(scores.bucket_hits);
@@ -286,35 +270,11 @@ impl<M: fp_match::PreparableMatcher> ShardedIndex<M> {
                 .candidates_pruned
                 .add((shard.len() - part.len()) as u64);
             metrics.shortlist.record(part.len() as u64);
-            metrics.search_time.record(*stage1_time + *rerank_time);
+            metrics.search_time.record(stage1_times[k] + *rerank_time);
         }
 
-        // S-way merge of the sorted per-shard parts by (score desc, global
-        // id asc). Ids are unique, so the comparator is a strict total
-        // order and the merge equals sorting the concatenation — i.e. the
-        // unsharded final sort.
-        let total: usize = parts.iter().map(|(p, _)| p.len()).sum();
-        let mut candidates = Vec::with_capacity(total);
-        let mut heads = vec![0usize; s];
-        for _ in 0..total {
-            let mut best: Option<(usize, &Candidate)> = None;
-            for (k, (part, _)) in parts.iter().enumerate() {
-                if let Some(c) = part.get(heads[k]) {
-                    let better = match best {
-                        None => true,
-                        Some((_, b)) => (c.score, std::cmp::Reverse(c.id))
-                            .cmp(&(b.score, std::cmp::Reverse(b.id)))
-                            .is_gt(),
-                    };
-                    if better {
-                        best = Some((k, c));
-                    }
-                }
-            }
-            let (k, c) = best.expect("total counts every remaining candidate");
-            candidates.push(*c);
-            heads[k] += 1;
-        }
+        let sorted_parts: Vec<Vec<Candidate>> = parts.into_iter().map(|(p, _)| p).collect();
+        let candidates = merge_sorted_parts(&sorted_parts);
 
         self.rollup.rerank_comparisons.add(candidates.len() as u64);
         self.rollup
@@ -369,4 +329,96 @@ impl<M: fp_match::PreparableMatcher> ShardedIndex<M> {
                 .collect()
         })
     }
+}
+
+// ---------------------------------------------------------------------------
+// The shared seam: pure functions between stage 1 and stage 2.
+//
+// These four helpers are the *entire* shard-count-dependent logic of a
+// sharded search. [`ShardedIndex`] runs them over in-process shards and
+// `fp-serve`'s coordinator runs the very same functions over remote shard
+// connections, which is how cross-process results stay byte-identical to
+// in-process ones: the only code that differs between the two is transport.
+// ---------------------------------------------------------------------------
+
+/// Stitches per-shard stage-1 score arrays into global score arrays via the
+/// round-robin id mapping `global = local * shards + shard`. `total` is the
+/// full gallery size (must equal the sum of the per-shard lengths).
+pub fn stitch_stage_one(per_shard: &[StageOneScores], total: usize) -> (Vec<f64>, Vec<f64>) {
+    let s = per_shard.len();
+    debug_assert_eq!(
+        total,
+        per_shard.iter().map(|p| p.vote_scores.len()).sum::<usize>()
+    );
+    let mut vote_scores = vec![0.0f64; total];
+    let mut cyl_scores = vec![0.0f64; total];
+    for (k, scores) in per_shard.iter().enumerate() {
+        for (local, (&v, &c)) in scores
+            .vote_scores
+            .iter()
+            .zip(&scores.cyl_scores)
+            .enumerate()
+        {
+            let global = local * s + k;
+            vote_scores[global] = v;
+            cyl_scores[global] = c;
+        }
+    }
+    (vote_scores, cyl_scores)
+}
+
+/// Runs the ONE global best-rank fusion over stitched global score arrays
+/// and deals the selected global ids back to their owning shards as local
+/// ids (selection order within each shard is preserved; stage 2 does not
+/// depend on it — parts are sorted afterwards).
+pub fn select_per_shard(
+    vote_scores: &[f64],
+    cyl_scores: &[f64],
+    shortlist: usize,
+    shards: usize,
+) -> Vec<Vec<u32>> {
+    let selected = fuse_select(vote_scores, cyl_scores, shortlist);
+    let mut selected_local: Vec<Vec<u32>> = vec![Vec::new(); shards];
+    for global in selected {
+        selected_local[global as usize % shards].push(global / shards as u32);
+    }
+    selected_local
+}
+
+/// Maps one shard's stage-2 part from local to global ids and sorts it by
+/// the final `(score desc, id asc)` comparator, making it a mergeable run.
+pub fn globalize_and_sort(part: &mut [Candidate], shard: usize, shards: usize) {
+    for candidate in part.iter_mut() {
+        candidate.id = candidate.id * shards as u32 + shard as u32;
+    }
+    part.sort_unstable_by(|a, b| b.score.cmp(&a.score).then(a.id.cmp(&b.id)));
+}
+
+/// S-way merge of sorted per-shard parts by (score desc, global id asc).
+/// Ids are unique, so the comparator is a strict total order and the merge
+/// equals sorting the concatenation — i.e. the unsharded final sort.
+pub fn merge_sorted_parts(parts: &[Vec<Candidate>]) -> Vec<Candidate> {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut candidates = Vec::with_capacity(total);
+    let mut heads = vec![0usize; parts.len()];
+    for _ in 0..total {
+        let mut best: Option<(usize, &Candidate)> = None;
+        for (k, part) in parts.iter().enumerate() {
+            if let Some(c) = part.get(heads[k]) {
+                let better = match best {
+                    None => true,
+                    Some((_, b)) => (c.score, std::cmp::Reverse(c.id))
+                        .cmp(&(b.score, std::cmp::Reverse(b.id)))
+                        .is_gt(),
+                };
+                if better {
+                    best = Some((k, c));
+                }
+            }
+        }
+        let (k, c) = best.expect("total counts every remaining candidate");
+        candidates.push(*c);
+        heads[k] += 1;
+    }
+    candidates
 }

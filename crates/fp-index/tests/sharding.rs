@@ -296,3 +296,46 @@ fn shard_spans_nest_under_the_search_span() {
         assert_eq!(lane.parent, Some(enroll.id));
     }
 }
+
+/// The transport-independent reference driver (`search_backends` over the
+/// `ShardBackend` trait) produces the same bytes as both `ShardedIndex`
+/// and the unsharded index: round-robin-dealt `CandidateIndex` backends
+/// are exactly what a set of remote shard servers holds.
+#[test]
+fn backend_driver_matches_sharded_and_unsharded() {
+    use fp_index::search_backends;
+
+    const N: usize = 26;
+    let templates = gallery(77, N);
+    let config = IndexConfig::default();
+
+    let mut unsharded = CandidateIndex::with_config(PairTableMatcher::default(), config);
+    unsharded.enroll_all(&templates);
+
+    for s in [1usize, 2, 3, 5] {
+        // Deal templates round-robin into standalone per-shard indexes —
+        // the same distribution ShardedIndex (and a remote coordinator)
+        // uses.
+        let mut backends: Vec<CandidateIndex<PairTableMatcher>> = (0..s)
+            .map(|_| CandidateIndex::with_config(PairTableMatcher::default(), config))
+            .collect();
+        for (g, t) in templates.iter().enumerate() {
+            backends[g % s].enroll(t);
+        }
+
+        let mut sharded = ShardedIndex::with_config(PairTableMatcher::default(), config, s);
+        sharded.enroll_all(&templates);
+
+        for p in [0usize, 7, 19] {
+            let probe = second_capture(&templates[p], 4_400 + p as u64);
+            for budget in [0usize, 1, N / 2, N, N + 3] {
+                let via_trait = search_backends(&backends, &probe, budget).expect("in-process");
+                let via_sharded = sharded.search_with_budget(&probe, budget);
+                let via_plain = unsharded.search_with_budget(&probe, budget);
+                assert_eq!(via_trait.candidates(), via_plain.candidates(), "s={s}");
+                assert_eq!(via_trait.candidates(), via_sharded.candidates(), "s={s}");
+                assert_eq!(via_trait.gallery_len(), N);
+            }
+        }
+    }
+}

@@ -1,0 +1,555 @@
+//! The coordinator: `ShardedIndex` semantics over TCP shards.
+//!
+//! [`Coordinator`] mirrors [`fp_index::ShardedIndex`] exactly — round-robin
+//! enrollment, parallel stage-1 fan-out, **one** global best-rank fusion,
+//! parallel per-shard exact re-rank, total-order merge — but each shard is
+//! a [`RemoteShard`] connection instead of an in-process
+//! [`fp_index::CandidateIndex`]. The fusion and merge steps call the very
+//! same pure helpers in `fp_index::shard`, so a remote search is
+//! byte-identical to the in-process sharded search, which is itself
+//! byte-identical to the unsharded index (`study check-serve` audits the
+//! whole chain).
+//!
+//! # Failure semantics
+//!
+//! Every RPC runs under a per-request deadline and a bounded retry budget
+//! with deterministic exponential backoff (jitter comes from a seeded
+//! splitmix64, so reruns behave identically). A shard that stays dead after
+//! the budget surfaces as [`ShardError::Unavailable`] and fails the whole
+//! search: a truncated candidate list would silently shift rank-1 /
+//! FNIR numbers, which is strictly worse than a loud error.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use fp_core::template::Template;
+use fp_index::shard::{globalize_and_sort, merge_sorted_parts, select_per_shard, stitch_stage_one};
+use fp_index::{IndexConfig, SearchResult, ShardBackend, ShardError, StageOneScores};
+use fp_telemetry::Telemetry;
+
+use crate::metrics::ServeMetrics;
+use crate::wire::{code, read_frame, write_frame, Frame, WireError};
+
+/// Templates per [`Frame::EnrollBatch`]: keeps every frame far below
+/// [`crate::wire::MAX_PAYLOAD`] while amortizing round trips.
+const ENROLL_CHUNK: usize = 2048;
+
+/// Bounded retry with deterministic exponential backoff.
+///
+/// Sleep before attempt `a` (1-based, attempt 0 never sleeps) is
+/// `min(base * 2^(a-1), cap)` plus up to 25% seeded jitter. Determinism
+/// matters here the way it does everywhere else in the study: a rerun of a
+/// flaky experiment must behave identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per RPC (first try included). 1 disables retries.
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+    /// Jitter seed; mixed with (shard, attempt) via splitmix64.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 3,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(1),
+            seed: 0x5eed_f00d,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff to sleep before retry attempt `attempt` (1-based) on
+    /// shard `shard`. Pure function of (policy, shard, attempt).
+    pub fn backoff(&self, shard: usize, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.cap);
+        let jitter_frac =
+            (splitmix64(self.seed ^ (shard as u64) << 32 ^ attempt as u64) % 1000) as f64 / 1000.0;
+        exp + exp.mul_f64(0.25 * jitter_frac)
+    }
+}
+
+/// SplitMix64 — tiny, seedable, std-only; only used to decorrelate backoff
+/// across shards, never for statistics.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One TCP connection to a shard server, with reconnection, deadlines,
+/// bounded retry, and `serve.*` metrics. Implements [`ShardBackend`], so it
+/// plugs into the same fusion/merge driver as an in-process shard.
+pub struct RemoteShard {
+    addr: SocketAddr,
+    shard: usize,
+    conn: Mutex<Option<TcpStream>>,
+    /// Cached gallery size, refreshed by enroll acks and health checks
+    /// (the [`ShardBackend::shard_len`] accessor is infallible).
+    len: AtomicUsize,
+    deadline: Duration,
+    retry: RetryPolicy,
+    metrics: ServeMetrics,
+}
+
+impl RemoteShard {
+    /// Creates a (not yet connected) handle to the shard at `addr`.
+    /// `shard` is this shard's index in the coordinator's round-robin
+    /// mapping; it salts backoff jitter and labels errors and spans.
+    pub fn new(addr: SocketAddr, shard: usize, deadline: Duration, retry: RetryPolicy) -> Self {
+        RemoteShard {
+            addr,
+            shard,
+            conn: Mutex::new(None),
+            len: AtomicUsize::new(0),
+            deadline,
+            retry,
+            metrics: ServeMetrics::default(),
+        }
+    }
+
+    /// Attaches the `serve.*` instrument bundle.
+    pub fn with_metrics(mut self, metrics: ServeMetrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// This shard's index in the round-robin id mapping.
+    pub fn shard_index(&self) -> usize {
+        self.shard
+    }
+
+    fn unavailable(&self, detail: String) -> ShardError {
+        ShardError::Unavailable {
+            shard: self.shard,
+            detail,
+        }
+    }
+
+    fn protocol(&self, detail: String) -> ShardError {
+        ShardError::Protocol {
+            shard: self.shard,
+            detail,
+        }
+    }
+
+    fn connect(&self) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.deadline)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.deadline))?;
+        stream.set_write_timeout(Some(self.deadline))?;
+        Ok(stream)
+    }
+
+    /// One request/response exchange with deadline, reconnection and
+    /// bounded retry. Transport failures are retried with backoff;
+    /// protocol-invalid replies (including typed [`Frame::Error`]s) fail
+    /// immediately — resending the same bytes cannot fix those.
+    pub fn call(&self, request: &Frame) -> Result<Frame, ShardError> {
+        let kind = request.kind();
+        let _span = self.metrics.telemetry.trace_span(
+            "serve.rpc",
+            &[
+                ("kind", kind.to_string()),
+                ("shard", self.shard.to_string()),
+            ],
+        );
+        let mut last_io = String::new();
+        for attempt in 0..self.retry.attempts {
+            if attempt > 0 {
+                self.metrics.retries.incr();
+                std::thread::sleep(self.retry.backoff(self.shard, attempt));
+            }
+            match self.try_call(request, kind) {
+                Ok(response) => return Ok(response),
+                Err(CallError::Transport(detail, timed_out)) => {
+                    if timed_out {
+                        self.metrics.timeouts.incr();
+                    }
+                    last_io = detail;
+                }
+                Err(CallError::Fatal(e)) => return Err(e),
+            }
+        }
+        Err(self.unavailable(format!(
+            "{} attempts exhausted; last error: {last_io}",
+            self.retry.attempts
+        )))
+    }
+
+    fn try_call(&self, request: &Frame, kind: &'static str) -> Result<Frame, CallError> {
+        let start = Instant::now();
+        let mut guard = self.conn.lock().expect("connection lock poisoned");
+        if guard.is_none() {
+            *guard =
+                Some(self.connect().map_err(|e| {
+                    CallError::Transport(format!("connect {}: {e}", self.addr), false)
+                })?);
+        }
+        let stream = guard.as_mut().expect("connection populated above");
+        self.metrics.requests.incr();
+        let result = write_frame(stream, request)
+            .map_err(WireError::from)
+            .and_then(|tx| {
+                self.metrics.bytes_tx.add(tx as u64);
+                read_frame(stream)
+            });
+        let response = match result {
+            Ok((frame, rx)) => {
+                self.metrics.bytes_rx.add(rx as u64);
+                frame
+            }
+            Err(e) => {
+                // The connection's framing can no longer be trusted.
+                *guard = None;
+                return Err(match e {
+                    WireError::Io(_) | WireError::Truncated { .. } => {
+                        CallError::Transport(e.to_string(), e.is_timeout())
+                    }
+                    other => CallError::Fatal(self.protocol(other.to_string())),
+                });
+            }
+        };
+        drop(guard);
+        self.metrics.record_rpc(kind, start.elapsed());
+        if let Frame::Error { code: c, detail } = response {
+            let name = match c {
+                code::CONFIG_MISMATCH => "config mismatch",
+                code::BAD_REQUEST => "bad request",
+                code::INTERNAL => "internal shard error",
+                _ => "unknown error code",
+            };
+            return Err(CallError::Fatal(self.protocol(format!("{name}: {detail}"))));
+        }
+        Ok(response)
+    }
+
+    /// Enrolls `templates` on this shard in chunked batches, carrying
+    /// `config` so the server can reject a tuning mismatch.
+    pub fn enroll(&self, config: &IndexConfig, templates: &[Template]) -> Result<(), ShardError> {
+        for chunk in templates.chunks(ENROLL_CHUNK.max(1)) {
+            let request = Frame::EnrollBatch {
+                config: *config,
+                templates: chunk.to_vec(),
+            };
+            match self.call(&request)? {
+                Frame::EnrollOk { shard_len, .. } => {
+                    self.len.store(shard_len as usize, Ordering::Relaxed);
+                }
+                other => {
+                    return Err(self.protocol(format!("expected enroll_ok, got '{}'", other.kind())))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Health round trip; refreshes the cached shard length.
+    pub fn health(&self) -> Result<usize, ShardError> {
+        match self.call(&Frame::Health)? {
+            Frame::HealthOk { shard_len } => {
+                self.len.store(shard_len as usize, Ordering::Relaxed);
+                Ok(shard_len as usize)
+            }
+            other => Err(self.protocol(format!("expected health_ok, got '{}'", other.kind()))),
+        }
+    }
+
+    /// Best-effort clean shutdown of the shard process.
+    pub fn shutdown(&self) -> Result<(), ShardError> {
+        match self.call(&Frame::Shutdown)? {
+            Frame::ShutdownOk => Ok(()),
+            other => Err(self.protocol(format!("expected shutdown_ok, got '{}'", other.kind()))),
+        }
+    }
+}
+
+enum CallError {
+    /// Retryable transport failure (detail, was-a-timeout).
+    Transport(String, bool),
+    /// Non-retryable: protocol violation or typed error frame.
+    Fatal(ShardError),
+}
+
+impl ShardBackend for RemoteShard {
+    fn shard_len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    fn stage_one(&self, probe: &Template) -> Result<StageOneScores, ShardError> {
+        let response = self.call(&Frame::StageOne {
+            probe: probe.clone(),
+        })?;
+        let scores = match response {
+            Frame::StageOneOk { scores } => scores,
+            other => {
+                return Err(self.protocol(format!("expected stage1_ok, got '{}'", other.kind())))
+            }
+        };
+        let want = self.shard_len();
+        if scores.vote_scores.len() != want || scores.cyl_scores.len() != want {
+            return Err(self.protocol(format!(
+                "stage-1 scored {} entries, shard holds {want}",
+                scores.vote_scores.len()
+            )));
+        }
+        Ok(scores)
+    }
+
+    fn stage_two(
+        &self,
+        probe: &Template,
+        selected_local: &[u32],
+    ) -> Result<Vec<fp_index::Candidate>, ShardError> {
+        let response = self.call(&Frame::Rerank {
+            probe: probe.clone(),
+            selected: selected_local.to_vec(),
+        })?;
+        let candidates = match response {
+            Frame::RerankOk { candidates } => candidates,
+            other => {
+                return Err(self.protocol(format!("expected rerank_ok, got '{}'", other.kind())))
+            }
+        };
+        if candidates.len() != selected_local.len()
+            || candidates
+                .iter()
+                .zip(selected_local)
+                .any(|(c, &id)| c.id != id)
+        {
+            return Err(self.protocol(format!(
+                "re-rank returned {} candidates for {} requested ids (or ids differ)",
+                candidates.len(),
+                selected_local.len()
+            )));
+        }
+        Ok(candidates)
+    }
+}
+
+/// A cross-process sharded 1:N index: the drop-in remote counterpart of
+/// [`fp_index::ShardedIndex`], returning byte-identical [`SearchResult`]s.
+pub struct Coordinator {
+    shards: Vec<RemoteShard>,
+    config: IndexConfig,
+    enrolled: usize,
+    telemetry: Telemetry,
+}
+
+impl Coordinator {
+    /// Connects to one shard server per address (shard k = `addrs[k]` in
+    /// the round-robin id mapping) and health-checks each.
+    pub fn connect(
+        addrs: &[SocketAddr],
+        config: IndexConfig,
+        deadline: Duration,
+        retry: RetryPolicy,
+    ) -> Result<Coordinator, ShardError> {
+        assert!(!addrs.is_empty(), "need at least one shard address");
+        let shards: Vec<RemoteShard> = addrs
+            .iter()
+            .enumerate()
+            .map(|(k, &addr)| RemoteShard::new(addr, k, deadline, retry))
+            .collect();
+        let mut enrolled = 0;
+        for shard in &shards {
+            enrolled += shard.health()?;
+        }
+        Ok(Coordinator {
+            shards,
+            config,
+            enrolled,
+            telemetry: Telemetry::disabled(),
+        })
+    }
+
+    /// Registers `serve.*` instruments and the trace-span source on
+    /// `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        let metrics = ServeMetrics::new(telemetry);
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|shard| shard.with_metrics(metrics.clone()))
+            .collect();
+        self
+    }
+
+    /// Number of remote shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total enrolled templates across all shards.
+    pub fn len(&self) -> usize {
+        self.enrolled
+    }
+
+    /// Whether the distributed gallery is empty.
+    pub fn is_empty(&self) -> bool {
+        self.enrolled == 0
+    }
+
+    /// The config every shard must score under.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Enrolls a batch: templates are dealt round-robin (continuing from
+    /// previous batches) and each shard enrolls its share on its own
+    /// thread — the same global id assignment as [`fp_index::ShardedIndex`]
+    /// and, transitively, the unsharded index.
+    pub fn enroll_all(&mut self, templates: &[Template]) -> Result<(), ShardError> {
+        let s = self.shards.len();
+        let _span = self.telemetry.trace_span(
+            "index.enroll_all",
+            &[
+                ("batch", templates.len().to_string()),
+                ("shards", s.to_string()),
+                ("transport", "tcp".to_string()),
+            ],
+        );
+        let mut per_shard: Vec<Vec<Template>> = vec![Vec::new(); s];
+        for (offset, template) in templates.iter().enumerate() {
+            per_shard[(self.enrolled + offset) % s].push(template.clone());
+        }
+        let config = &self.config;
+        let ctx = self.telemetry.trace_ctx();
+        let telemetry = &self.telemetry;
+        let results: Vec<Result<(), ShardError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .zip(&per_shard)
+                .map(|(shard, batch)| {
+                    let ctx = &ctx;
+                    scope.spawn(move || {
+                        let _adopt = telemetry.in_ctx(ctx);
+                        shard.enroll(config, batch)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("enroll worker panicked"))
+                .collect()
+        });
+        for result in results {
+            result?;
+        }
+        self.enrolled += templates.len();
+        Ok(())
+    }
+
+    /// Searches with the configured shortlist budget.
+    pub fn search(&self, probe: &Template) -> Result<SearchResult, ShardError> {
+        self.search_with_budget(probe, self.config.shortlist)
+    }
+
+    /// Searches with an explicit **total** shortlist budget. Structurally
+    /// the same sequence as [`fp_index::ShardedIndex::search_with_budget`]:
+    /// parallel stage-1, one global fusion (local), parallel stage-2,
+    /// total-order merge — only the transport differs.
+    pub fn search_with_budget(
+        &self,
+        probe: &Template,
+        shortlist: usize,
+    ) -> Result<SearchResult, ShardError> {
+        let s = self.shards.len();
+        let n = self.enrolled;
+        let _span = self.telemetry.trace_span(
+            "index.search",
+            &[
+                ("gallery", n.to_string()),
+                ("shards", s.to_string()),
+                ("transport", "tcp".to_string()),
+            ],
+        );
+
+        // Stage 1 on every shard in parallel; each worker adopts the search
+        // span so its serve.rpc spans nest under index.search.
+        let stage1: Vec<StageOneScores> = sequence(self.fan_out(|shard| shard.stage_one(probe)))?;
+
+        // ONE global fusion over the stitched score arrays — same helpers,
+        // same bytes as the in-process sharded index.
+        let (vote_scores, cyl_scores) = stitch_stage_one(&stage1, n);
+        let selected_local = select_per_shard(&vote_scores, &cyl_scores, shortlist, s);
+
+        // Stage 2: exact re-rank of each shard's slice, in parallel. Empty
+        // slices skip the round trip entirely.
+        let selected_local = &selected_local;
+        let parts: Vec<Vec<fp_index::Candidate>> = sequence(self.fan_out(|shard| {
+            let k = shard.shard_index();
+            if selected_local[k].is_empty() {
+                return Ok(Vec::new());
+            }
+            let mut part = shard.stage_two(probe, &selected_local[k])?;
+            globalize_and_sort(&mut part, k, s);
+            Ok(part)
+        }))?;
+
+        Ok(SearchResult::from_parts(merge_sorted_parts(&parts), n))
+    }
+
+    /// Sends every shard a clean shutdown. Returns the first error, but
+    /// attempts all shards regardless.
+    pub fn shutdown_all(&self) -> Result<(), ShardError> {
+        let mut first_err = None;
+        for shard in &self.shards {
+            if let Err(e) = shard.shutdown() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Runs `f` once per shard on its own thread (inline for one shard),
+    /// collecting results in shard order under the calling trace span.
+    fn fan_out<T: Send>(
+        &self,
+        f: impl Fn(&RemoteShard) -> Result<T, ShardError> + Sync,
+    ) -> Vec<Result<T, ShardError>> {
+        if self.shards.len() == 1 {
+            return vec![f(&self.shards[0])];
+        }
+        let ctx = self.telemetry.trace_ctx();
+        let telemetry = &self.telemetry;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| {
+                    let (ctx, f) = (&ctx, &f);
+                    scope.spawn(move || {
+                        let _adopt = telemetry.in_ctx(ctx);
+                        f(shard)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard rpc worker panicked"))
+                .collect()
+        })
+    }
+}
+
+/// First error wins; otherwise unwraps every element in order.
+fn sequence<T>(results: Vec<Result<T, ShardError>>) -> Result<Vec<T>, ShardError> {
+    results.into_iter().collect()
+}

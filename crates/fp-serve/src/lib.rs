@@ -1,0 +1,54 @@
+//! # fp-serve
+//!
+//! Cross-process sharded 1:N search: the scaling seam of `fp-index` (stage-1
+//! channel scores in, one global fusion, exact per-shard re-rank out)
+//! stretched over a process boundary, byte-identical to the in-process
+//! result.
+//!
+//! The crate has three layers:
+//!
+//! * [`wire`] — a std-only, versioned, length-prefixed binary protocol
+//!   (magic + version + frame type + CRC32) with explicit little-endian
+//!   encode/decode for templates, stage-1 score arrays and re-ranked
+//!   candidates. Every `f64` travels as its IEEE-754 bit pattern, so remote
+//!   scores are **bit-exact** copies of what the shard computed. No serde.
+//! * [`server`] — [`ShardServer`]: one process owning one
+//!   [`fp_index::CandidateIndex`] behind a TCP listener, blocking
+//!   thread-per-connection, answering enroll / stage-1 / re-rank / health /
+//!   shutdown frames.
+//! * [`coordinator`] — [`Coordinator`]: holds one connection per shard,
+//!   implements the same [`fp_index::ShardBackend`] seam as an in-process
+//!   shard, fans stage-1 out in parallel, runs the single global best-rank
+//!   fusion locally, dispatches per-shard re-rank slices, and S-way merges
+//!   under the same strict `(score desc, id asc)` order as
+//!   [`fp_index::ShardedIndex`]. Per-request deadlines, bounded
+//!   deterministic retry with exponential backoff, and typed
+//!   [`fp_index::ShardError`]s: a dead shard fails the search loudly —
+//!   truncated results are never returned.
+//!
+//! [`proc`] rounds it out with child-process plumbing (`spawn_shard` /
+//! [`proc::ShardChild`]) used by `study ext-scaling --remote-shards N`.
+//!
+//! ## Why byte-identical is cheap here
+//!
+//! Stage-1 channel scores are pure functions of (probe, entry, config);
+//! features are recomputed shard-side from the probe template, and both
+//! sides run the same code on the same bits. The only cross-shard
+//! computation — best-rank fusion over the stitched global score arrays and
+//! the final merge — happens exactly once, on the coordinator, using the
+//! very same `fp_index::shard` helpers the in-process [`ShardedIndex`]
+//! uses. Equality of results is therefore structural, not a numerical
+//! accident; `study check-serve` audits it end-to-end anyway.
+//!
+//! [`ShardedIndex`]: fp_index::ShardedIndex
+
+pub mod coordinator;
+pub mod metrics;
+pub mod proc;
+pub mod server;
+pub mod wire;
+
+pub use coordinator::{Coordinator, RemoteShard, RetryPolicy};
+pub use metrics::ServeMetrics;
+pub use server::ShardServer;
+pub use wire::{decode_frame, encode_frame, read_frame, write_frame, Frame, WireError};

@@ -1,0 +1,263 @@
+//! The shard server: one process, one [`CandidateIndex`], one TCP listener.
+//!
+//! Deliberately boring concurrency — blocking thread-per-connection over an
+//! `RwLock`-guarded index. Stage-1 and stage-2 requests take the read lock
+//! (concurrent searches proceed in parallel); enrollment takes the write
+//! lock. The accept loop polls a stop flag so [`Frame::Shutdown`] (or a
+//! test's [`ServerHandle::stop`]) terminates the process cleanly without
+//! async machinery — the whole crate stays std-only.
+//!
+//! # Config adoption
+//!
+//! The first [`Frame::EnrollBatch`] carries the coordinator's
+//! [`IndexConfig`]; an **empty** shard adopts it wholesale. Once enrolled,
+//! any batch carrying a *different* config is rejected with
+//! [`code::CONFIG_MISMATCH`] — stage-1 scores depend on the tuning, and a
+//! shard silently scoring under different parameters would break the
+//! byte-identical guarantee in the quietest possible way.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use fp_core::template::Template;
+use fp_index::{CandidateIndex, IndexConfig, ShardBackend};
+use fp_match::PreparableMatcher;
+
+use crate::wire::{code, read_frame, write_frame, Frame, WireError};
+
+/// How long the accept loop and idle connections sleep between stop-flag
+/// polls. Bounds shutdown latency.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Read deadline once a frame has started arriving. Loopback frames land in
+/// microseconds; this only bounds how long a half-written frame from a
+/// dying peer can pin a connection thread.
+const FRAME_DEADLINE: Duration = Duration::from_secs(10);
+
+struct State<M: PreparableMatcher> {
+    matcher: M,
+    index: RwLock<CandidateIndex<M>>,
+    stop: Arc<AtomicBool>,
+}
+
+/// A TCP server exposing one gallery shard over the wire protocol.
+///
+/// `study serve-shard` wraps this in a binary; tests drive it in-process
+/// via [`ShardServer::spawn`].
+pub struct ShardServer<M: PreparableMatcher> {
+    listener: TcpListener,
+    state: Arc<State<M>>,
+}
+
+/// Handle to a server running on a background thread (see
+/// [`ShardServer::spawn`]).
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// Asks the accept loop and every connection thread to wind down.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops the server and waits for the accept loop to exit.
+    pub fn join(self) {
+        self.stop();
+        let _ = self.thread.join();
+    }
+}
+
+impl<M> ShardServer<M>
+where
+    M: PreparableMatcher + Clone + Send + Sync + 'static,
+    M::Prepared: Send + Sync,
+{
+    /// Binds a listener (use port 0 for an OS-assigned port) around an
+    /// empty index with the default config; the first enroll batch brings
+    /// the coordinator's config.
+    pub fn bind(matcher: M, addr: impl ToSocketAddrs) -> std::io::Result<ShardServer<M>> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(ShardServer {
+            listener,
+            state: Arc::new(State {
+                index: RwLock::new(CandidateIndex::new(matcher.clone())),
+                matcher,
+                stop: Arc::new(AtomicBool::new(false)),
+            }),
+        })
+    }
+
+    /// The bound address (the port to advertise when bound to port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a [`Frame::Shutdown`] arrives (or [`ServerHandle::stop`]
+    /// flips the flag). Blocking; each connection gets its own thread.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut workers = Vec::new();
+        while !self.state.stop.load(Ordering::Relaxed) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let state = Arc::clone(&self.state);
+                    workers.push(std::thread::spawn(move || serve_connection(stream, state)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                Err(_) => std::thread::sleep(POLL),
+            }
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the server on a background thread, returning a stop/join
+    /// handle. Used by in-process tests; the `serve-shard` binary calls
+    /// [`run`](Self::run) directly.
+    pub fn spawn(self) -> ServerHandle {
+        let stop = Arc::clone(&self.state.stop);
+        let thread = std::thread::spawn(move || {
+            let _ = self.run();
+        });
+        ServerHandle { stop, thread }
+    }
+}
+
+/// Serves one client connection until it closes, errors, or the server
+/// stops. Peeks with a short read deadline so the stop flag is honoured on
+/// idle connections, then reads whole frames under a longer deadline.
+fn serve_connection<M>(stream: TcpStream, state: Arc<State<M>>)
+where
+    M: PreparableMatcher + Clone + Send + Sync,
+    M::Prepared: Send + Sync,
+{
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    let mut peek = [0u8; 1];
+    loop {
+        if state.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(POLL));
+        match stream.peek(&mut peek) {
+            Ok(0) => return, // peer closed
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue
+            }
+            Err(_) => return,
+        }
+        let _ = stream.set_read_timeout(Some(FRAME_DEADLINE));
+        let request = match read_frame(&mut stream) {
+            Ok((frame, _bytes)) => frame,
+            Err(WireError::Io(_)) | Err(WireError::Truncated { .. }) => return,
+            Err(e) => {
+                // Decodable-but-invalid bytes: answer with a typed error.
+                // Framing may be out of sync afterwards, so close.
+                let _ = write_frame(
+                    &mut stream,
+                    &Frame::Error {
+                        code: code::BAD_REQUEST,
+                        detail: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let shutdown = matches!(request, Frame::Shutdown);
+        let response = handle_request(request, &state);
+        if write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+        let _ = stream.flush();
+        if shutdown {
+            state.stop.store(true, Ordering::Relaxed);
+            return;
+        }
+    }
+}
+
+fn handle_request<M>(request: Frame, state: &State<M>) -> Frame
+where
+    M: PreparableMatcher + Clone + Send + Sync,
+    M::Prepared: Send + Sync,
+{
+    match request {
+        Frame::EnrollBatch { config, templates } => enroll(config, templates, state),
+        Frame::StageOne { probe } => {
+            let index = state.index.read().expect("index lock poisoned");
+            match index.stage_one(&probe) {
+                Ok(scores) => Frame::StageOneOk { scores },
+                Err(e) => Frame::Error {
+                    code: code::INTERNAL,
+                    detail: e.to_string(),
+                },
+            }
+        }
+        Frame::Rerank { probe, selected } => {
+            let index = state.index.read().expect("index lock poisoned");
+            let len = index.len() as u32;
+            if let Some(&bad) = selected.iter().find(|&&id| id >= len) {
+                return Frame::Error {
+                    code: code::BAD_REQUEST,
+                    detail: format!("re-rank id {bad} out of range (shard holds {len})"),
+                };
+            }
+            match index.stage_two(&probe, &selected) {
+                Ok(candidates) => Frame::RerankOk { candidates },
+                Err(e) => Frame::Error {
+                    code: code::INTERNAL,
+                    detail: e.to_string(),
+                },
+            }
+        }
+        Frame::Health => Frame::HealthOk {
+            shard_len: state.index.read().expect("index lock poisoned").len() as u32,
+        },
+        Frame::Shutdown => Frame::ShutdownOk,
+        // Response frames arriving as requests are a client bug.
+        other => Frame::Error {
+            code: code::BAD_REQUEST,
+            detail: format!("frame '{}' is not a request", other.kind()),
+        },
+    }
+}
+
+fn enroll<M>(config: IndexConfig, templates: Vec<Template>, state: &State<M>) -> Frame
+where
+    M: PreparableMatcher + Clone + Send + Sync,
+    M::Prepared: Send + Sync,
+{
+    let mut index = state.index.write().expect("index lock poisoned");
+    if index.is_empty() {
+        if *index.config() != config {
+            *index = CandidateIndex::with_config(state.matcher.clone(), config);
+        }
+    } else if *index.config() != config {
+        return Frame::Error {
+            code: code::CONFIG_MISMATCH,
+            detail: format!(
+                "shard enrolled under {:?}, coordinator sent {:?}",
+                index.config(),
+                config
+            ),
+        };
+    }
+    index.enroll_all(&templates);
+    Frame::EnrollOk {
+        enrolled: templates.len() as u32,
+        shard_len: index.len() as u32,
+    }
+}

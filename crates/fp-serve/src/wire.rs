@@ -1,0 +1,774 @@
+//! The std-only binary wire format of the shard protocol.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! +----------+----------+---------+--------------+===========+----------+
+//! |  magic   | version  |  type   | payload_len  |  payload  |  crc32   |
+//! |  4 bytes |  u16 LE  |  u8     |  u32 LE      |  bytes    |  u32 LE  |
+//! +----------+----------+---------+--------------+===========+----------+
+//! ```
+//!
+//! Every multi-byte integer is little-endian; every `f64` travels as its
+//! IEEE-754 bit pattern (`to_bits`/`from_bits`), so scores and coordinates
+//! cross the process boundary **bit-exact** — the property the whole
+//! cross-process sharding design rests on. The CRC32 (IEEE, reflected)
+//! covers the payload bytes; header corruption is caught by the magic and
+//! version checks, payload corruption by the checksum.
+//!
+//! There is no serde and no schema compiler: encode and decode are written
+//! out by hand against a tiny cursor ([`Dec`]), mirroring the vendored-deps
+//! philosophy of the rest of the workspace. Decoding is total — every
+//! malformed input maps to a typed [`WireError`], never a panic and never a
+//! partially decoded frame.
+//!
+//! # Frames
+//!
+//! Requests: [`Frame::EnrollBatch`] (carries the [`IndexConfig`] so a shard
+//! can never silently score under the wrong tuning), [`Frame::StageOne`],
+//! [`Frame::Rerank`], [`Frame::Health`], [`Frame::Shutdown`]. Each has a
+//! paired `*Ok` response; any request can instead be answered by
+//! [`Frame::Error`] with a typed error code.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use fp_core::geometry::{Direction, Point, Rect};
+use fp_core::minutia::{Minutia, MinutiaKind};
+use fp_core::template::Template;
+use fp_core::MatchScore;
+use fp_index::{Candidate, IndexConfig, StageOneScores};
+
+/// Frame magic: "FPSH" (FingerPrint SHard).
+pub const MAGIC: [u8; 4] = *b"FPSH";
+
+/// Protocol version. Bump on any layout change; mismatches are rejected
+/// with [`WireError::VersionMismatch`] before a single payload byte is
+/// interpreted.
+pub const VERSION: u16 = 1;
+
+/// Upper bound on a frame payload (64 MiB): large enough for a 100k-entry
+/// enroll batch, small enough that a corrupted length prefix cannot ask the
+/// reader to allocate the machine.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// Frame header size: magic + version + type + payload length.
+pub const HEADER_LEN: usize = 4 + 2 + 1 + 4;
+
+/// Typed error codes carried by [`Frame::Error`].
+pub mod code {
+    /// The shard is already enrolled under a different [`super::IndexConfig`].
+    pub const CONFIG_MISMATCH: u8 = 1;
+    /// The request was structurally valid but unserviceable (e.g. re-rank
+    /// ids out of range).
+    pub const BAD_REQUEST: u8 = 2;
+    /// The shard failed internally.
+    pub const INTERNAL: u8 = 3;
+}
+
+/// Everything that can go wrong turning bytes into a [`Frame`].
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying transport failed (connection reset, timeout, ...).
+    Io(std::io::Error),
+    /// The stream ended (or the payload ran out) before a complete frame.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+    },
+    /// The first four bytes were not [`MAGIC`] — not a shard-protocol peer.
+    BadMagic([u8; 4]),
+    /// The peer speaks a different protocol version.
+    VersionMismatch {
+        /// Version advertised by the peer.
+        got: u16,
+        /// Version this build speaks ([`VERSION`]).
+        want: u16,
+    },
+    /// Unknown frame-type byte.
+    BadFrameType(u8),
+    /// The payload checksum did not match — corruption in transit.
+    BadCrc {
+        /// Checksum carried by the frame.
+        got: u32,
+        /// Checksum computed over the received payload.
+        want: u32,
+    },
+    /// The length prefix exceeds [`MAX_PAYLOAD`].
+    Oversize(u32),
+    /// The payload decoded to something structurally invalid (bad minutia
+    /// kind, trailing bytes, a template the validator rejects, ...).
+    Malformed(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o: {e}"),
+            WireError::Truncated { context } => {
+                write!(f, "truncated frame while reading {context}")
+            }
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02x?} (want {MAGIC:02x?})"),
+            WireError::VersionMismatch { got, want } => {
+                write!(
+                    f,
+                    "protocol version mismatch: peer speaks v{got}, we speak v{want}"
+                )
+            }
+            WireError::BadFrameType(t) => write!(f, "unknown frame type {t}"),
+            WireError::BadCrc { got, want } => {
+                write!(
+                    f,
+                    "payload checksum mismatch: frame says {got:#010x}, computed {want:#010x}"
+                )
+            }
+            WireError::Oversize(len) => {
+                write!(f, "payload length {len} exceeds the {MAX_PAYLOAD}-byte cap")
+            }
+            WireError::Malformed(detail) => write!(f, "malformed payload: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated { context: "stream" }
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+impl WireError {
+    /// Whether the error came from a blocking-read deadline expiring (the
+    /// per-request timeout the coordinator sets on its sockets).
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            )
+        )
+    }
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Enroll `templates` (in order) into the shard's gallery under
+    /// `config`. The config rides along so a shard can reject a coordinator
+    /// tuned differently instead of silently scoring under the wrong
+    /// parameters.
+    EnrollBatch {
+        /// The index tuning both sides must agree on.
+        config: IndexConfig,
+        /// Templates to enroll, dealt by the coordinator.
+        templates: Vec<Template>,
+    },
+    /// Enrollment succeeded.
+    EnrollOk {
+        /// Number of templates enrolled by this request.
+        enrolled: u32,
+        /// Shard-local gallery size after the batch.
+        shard_len: u32,
+    },
+    /// Compute stage-1 channel scores of the whole local gallery against
+    /// `probe`.
+    StageOne {
+        /// The probe template (features are recomputed shard-side —
+        /// bit-identical, they are pure functions of probe and config).
+        probe: Template,
+    },
+    /// Stage-1 scores (the shard-invariant seam).
+    StageOneOk {
+        /// Per-entry channel scores plus work tallies.
+        scores: StageOneScores,
+    },
+    /// Exactly score the selected local ids against `probe`.
+    Rerank {
+        /// The probe template.
+        probe: Template,
+        /// Shard-local candidate ids, in global selection order.
+        selected: Vec<u32>,
+    },
+    /// Exact stage-2 scores, in request order (ids still shard-local).
+    RerankOk {
+        /// One candidate per requested id.
+        candidates: Vec<Candidate>,
+    },
+    /// Liveness / state probe.
+    Health,
+    /// The shard is alive.
+    HealthOk {
+        /// Shard-local gallery size.
+        shard_len: u32,
+    },
+    /// Ask the shard process to exit cleanly.
+    Shutdown,
+    /// Acknowledged; the server stops accepting after sending this.
+    ShutdownOk,
+    /// Typed failure answering any request.
+    Error {
+        /// One of the [`code`] constants.
+        code: u8,
+        /// Human-readable diagnostics.
+        detail: String,
+    },
+}
+
+impl Frame {
+    /// Stable label of the frame type, for metrics and span attributes.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Frame::EnrollBatch { .. } => "enroll",
+            Frame::EnrollOk { .. } => "enroll_ok",
+            Frame::StageOne { .. } => "stage1",
+            Frame::StageOneOk { .. } => "stage1_ok",
+            Frame::Rerank { .. } => "rerank",
+            Frame::RerankOk { .. } => "rerank_ok",
+            Frame::Health => "health",
+            Frame::HealthOk { .. } => "health_ok",
+            Frame::Shutdown => "shutdown",
+            Frame::ShutdownOk => "shutdown_ok",
+            Frame::Error { .. } => "error",
+        }
+    }
+
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::EnrollBatch { .. } => 1,
+            Frame::EnrollOk { .. } => 2,
+            Frame::StageOne { .. } => 3,
+            Frame::StageOneOk { .. } => 4,
+            Frame::Rerank { .. } => 5,
+            Frame::RerankOk { .. } => 6,
+            Frame::Health => 7,
+            Frame::HealthOk { .. } => 8,
+            Frame::Shutdown => 9,
+            Frame::ShutdownOk => 10,
+            Frame::Error { .. } => 11,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected) — table generated at compile time.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) of `bytes` — the checksum carried after every payload.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian encode helpers.
+// ---------------------------------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_template(buf: &mut Vec<u8>, t: &Template) {
+    put_f64(buf, t.resolution_dpi());
+    let w = t.capture_window();
+    put_f64(buf, w.min().x);
+    put_f64(buf, w.min().y);
+    put_f64(buf, w.max().x);
+    put_f64(buf, w.max().y);
+    put_u32(buf, t.len() as u32);
+    for m in t.minutiae() {
+        put_f64(buf, m.pos.x);
+        put_f64(buf, m.pos.y);
+        put_f64(buf, m.direction.radians());
+        buf.push(match m.kind {
+            MinutiaKind::RidgeEnding => 0,
+            MinutiaKind::Bifurcation => 1,
+        });
+        put_f64(buf, m.reliability);
+    }
+}
+
+fn put_config(buf: &mut Vec<u8>, c: &IndexConfig) {
+    put_u64(buf, c.shortlist as u64);
+    put_u64(buf, c.max_cylinders as u64);
+    put_u64(buf, c.lss_depth as u64);
+    put_f64(buf, c.distance_bin);
+    put_u64(buf, c.angle_bins as u64);
+}
+
+// ---------------------------------------------------------------------------
+// Bounds-checked decode cursor.
+// ---------------------------------------------------------------------------
+
+/// A fallible little-endian cursor over a payload slice. Every getter
+/// returns [`WireError::Truncated`] instead of panicking when the bytes run
+/// out, and collection getters refuse element counts that cannot possibly
+/// fit in the remaining bytes (so a corrupted count cannot trigger a huge
+/// allocation).
+struct Dec<'a> {
+    buf: &'a [u8],
+    context: &'static str,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8], context: &'static str) -> Dec<'a> {
+        Dec { buf, context }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated {
+                context: self.context,
+            });
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Validates that `count` elements of at least `min_bytes` each can
+    /// still fit in the remaining payload, returning a safe capacity.
+    fn checked_count(&self, count: u64, min_bytes: usize) -> Result<usize, WireError> {
+        let fits = count
+            .checked_mul(min_bytes as u64)
+            .is_some_and(|need| need <= self.buf.len() as u64);
+        if fits {
+            Ok(count as usize)
+        } else {
+            Err(WireError::Truncated {
+                context: self.context,
+            })
+        }
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed("string is not UTF-8".to_string()))
+    }
+
+    fn template(&mut self) -> Result<Template, WireError> {
+        let dpi = self.f64()?;
+        let min = Point::new(self.f64()?, self.f64()?);
+        let max = Point::new(self.f64()?, self.f64()?);
+        let raw_count = self.u32()? as u64;
+        let count = self.checked_count(raw_count, 33)?;
+        let mut minutiae = Vec::with_capacity(count);
+        for _ in 0..count {
+            let pos = Point::new(self.f64()?, self.f64()?);
+            let direction = Direction::from_radians(self.f64()?);
+            let kind = match self.u8()? {
+                0 => MinutiaKind::RidgeEnding,
+                1 => MinutiaKind::Bifurcation,
+                other => {
+                    return Err(WireError::Malformed(format!(
+                        "unknown minutia kind {other}"
+                    )))
+                }
+            };
+            let reliability = self.f64()?;
+            minutiae.push(Minutia::new(pos, direction, kind, reliability));
+        }
+        Template::from_minutiae(minutiae, dpi, Rect::from_corners(min, max))
+            .map_err(|e| WireError::Malformed(format!("invalid template: {e}")))
+    }
+
+    fn config(&mut self) -> Result<IndexConfig, WireError> {
+        Ok(IndexConfig {
+            shortlist: self.u64()? as usize,
+            max_cylinders: self.u64()? as usize,
+            lss_depth: self.u64()? as usize,
+            distance_bin: self.f64()?,
+            angle_bins: self.u64()? as usize,
+        })
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed(format!(
+                "{} trailing payload bytes after {}",
+                self.buf.len(),
+                self.context
+            )))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame encode / decode.
+// ---------------------------------------------------------------------------
+
+fn encode_payload(frame: &Frame) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match frame {
+        Frame::EnrollBatch { config, templates } => {
+            put_config(&mut buf, config);
+            put_u32(&mut buf, templates.len() as u32);
+            for t in templates {
+                put_template(&mut buf, t);
+            }
+        }
+        Frame::EnrollOk {
+            enrolled,
+            shard_len,
+        } => {
+            put_u32(&mut buf, *enrolled);
+            put_u32(&mut buf, *shard_len);
+        }
+        Frame::StageOne { probe } => put_template(&mut buf, probe),
+        Frame::StageOneOk { scores } => {
+            put_u32(&mut buf, scores.vote_scores.len() as u32);
+            for &v in &scores.vote_scores {
+                put_f64(&mut buf, v);
+            }
+            for &c in &scores.cyl_scores {
+                put_f64(&mut buf, c);
+            }
+            put_u64(&mut buf, scores.bucket_hits);
+            put_u64(&mut buf, scores.hamming_word_ops);
+        }
+        Frame::Rerank { probe, selected } => {
+            put_template(&mut buf, probe);
+            put_u32(&mut buf, selected.len() as u32);
+            for &id in selected {
+                put_u32(&mut buf, id);
+            }
+        }
+        Frame::RerankOk { candidates } => {
+            put_u32(&mut buf, candidates.len() as u32);
+            for c in candidates {
+                put_u32(&mut buf, c.id);
+                put_f64(&mut buf, c.score.value());
+            }
+        }
+        Frame::Health | Frame::Shutdown | Frame::ShutdownOk => {}
+        Frame::HealthOk { shard_len } => put_u32(&mut buf, *shard_len),
+        Frame::Error { code, detail } => {
+            buf.push(*code);
+            put_str(&mut buf, detail);
+        }
+    }
+    buf
+}
+
+fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, WireError> {
+    let frame = match frame_type {
+        1 => {
+            let mut dec = Dec::new(payload, "enroll batch");
+            let config = dec.config()?;
+            let raw_count = dec.u32()? as u64;
+            let count = dec.checked_count(raw_count, 44)?;
+            let mut templates = Vec::with_capacity(count);
+            for _ in 0..count {
+                templates.push(dec.template()?);
+            }
+            dec.finish()?;
+            Frame::EnrollBatch { config, templates }
+        }
+        2 => {
+            let mut dec = Dec::new(payload, "enroll ack");
+            let enrolled = dec.u32()?;
+            let shard_len = dec.u32()?;
+            dec.finish()?;
+            Frame::EnrollOk {
+                enrolled,
+                shard_len,
+            }
+        }
+        3 => {
+            let mut dec = Dec::new(payload, "stage-1 request");
+            let probe = dec.template()?;
+            dec.finish()?;
+            Frame::StageOne { probe }
+        }
+        4 => {
+            let mut dec = Dec::new(payload, "stage-1 scores");
+            let raw_count = dec.u32()? as u64;
+            let n = dec.checked_count(raw_count, 16)?;
+            let mut vote_scores = Vec::with_capacity(n);
+            for _ in 0..n {
+                vote_scores.push(dec.f64()?);
+            }
+            let mut cyl_scores = Vec::with_capacity(n);
+            for _ in 0..n {
+                cyl_scores.push(dec.f64()?);
+            }
+            let bucket_hits = dec.u64()?;
+            let hamming_word_ops = dec.u64()?;
+            dec.finish()?;
+            Frame::StageOneOk {
+                scores: StageOneScores {
+                    vote_scores,
+                    cyl_scores,
+                    bucket_hits,
+                    hamming_word_ops,
+                },
+            }
+        }
+        5 => {
+            let mut dec = Dec::new(payload, "re-rank request");
+            let probe = dec.template()?;
+            let raw_count = dec.u32()? as u64;
+            let count = dec.checked_count(raw_count, 4)?;
+            let mut selected = Vec::with_capacity(count);
+            for _ in 0..count {
+                selected.push(dec.u32()?);
+            }
+            dec.finish()?;
+            Frame::Rerank { probe, selected }
+        }
+        6 => {
+            let mut dec = Dec::new(payload, "re-rank candidates");
+            let raw_count = dec.u32()? as u64;
+            let count = dec.checked_count(raw_count, 12)?;
+            let mut candidates = Vec::with_capacity(count);
+            for _ in 0..count {
+                let id = dec.u32()?;
+                let score = dec.f64()?;
+                if score.is_nan() || score < 0.0 {
+                    return Err(WireError::Malformed(format!(
+                        "candidate score {score} is not a valid MatchScore"
+                    )));
+                }
+                candidates.push(Candidate {
+                    id,
+                    score: MatchScore::new(score),
+                });
+            }
+            dec.finish()?;
+            Frame::RerankOk { candidates }
+        }
+        7 => {
+            Dec::new(payload, "health request").finish()?;
+            Frame::Health
+        }
+        8 => {
+            let mut dec = Dec::new(payload, "health ack");
+            let shard_len = dec.u32()?;
+            dec.finish()?;
+            Frame::HealthOk { shard_len }
+        }
+        9 => {
+            Dec::new(payload, "shutdown request").finish()?;
+            Frame::Shutdown
+        }
+        10 => {
+            Dec::new(payload, "shutdown ack").finish()?;
+            Frame::ShutdownOk
+        }
+        11 => {
+            let mut dec = Dec::new(payload, "error frame");
+            let code = dec.u8()?;
+            let detail = dec.string()?;
+            dec.finish()?;
+            Frame::Error { code, detail }
+        }
+        other => return Err(WireError::BadFrameType(other)),
+    };
+    Ok(frame)
+}
+
+/// Encodes `frame` into a complete wire frame (header + payload + CRC).
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let payload = encode_payload(frame);
+    assert!(
+        payload.len() as u64 <= MAX_PAYLOAD as u64,
+        "frame payload exceeds MAX_PAYLOAD; chunk the request"
+    );
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    buf.extend_from_slice(&MAGIC);
+    put_u16(&mut buf, VERSION);
+    buf.push(frame.type_byte());
+    put_u32(&mut buf, payload.len() as u32);
+    buf.extend_from_slice(&payload);
+    put_u32(&mut buf, crc32(&payload));
+    buf
+}
+
+/// Decodes one complete wire frame from `buf` (header through CRC).
+/// The inverse of [`encode_frame`]; rejects trailing bytes.
+pub fn decode_frame(buf: &[u8]) -> Result<Frame, WireError> {
+    let mut header = Dec::new(buf, "frame header");
+    let magic: [u8; 4] = header.take(4)?.try_into().expect("4 bytes");
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(header.take(2)?.try_into().expect("2 bytes"));
+    if version != VERSION {
+        return Err(WireError::VersionMismatch {
+            got: version,
+            want: VERSION,
+        });
+    }
+    let frame_type = header.u8()?;
+    let len = header.u32()?;
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversize(len));
+    }
+    let rest = header.buf;
+    if rest.len() != len as usize + 4 {
+        return Err(WireError::Truncated {
+            context: "frame payload",
+        });
+    }
+    let (payload, crc_bytes) = rest.split_at(len as usize);
+    let got = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    let want = crc32(payload);
+    if got != want {
+        return Err(WireError::BadCrc { got, want });
+    }
+    decode_payload(frame_type, payload)
+}
+
+/// Writes one frame to `w`, returning the number of bytes put on the wire.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<usize> {
+    let bytes = encode_frame(frame);
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(bytes.len())
+}
+
+/// Reads one complete frame from `r`, returning it with the number of
+/// bytes consumed. Validates magic and version before trusting the length
+/// prefix, caps the payload at [`MAX_PAYLOAD`], and checks the CRC before
+/// decoding a single payload byte.
+pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let magic: [u8; 4] = header[..4].try_into().expect("4 bytes");
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
+    if version != VERSION {
+        return Err(WireError::VersionMismatch {
+            got: version,
+            want: VERSION,
+        });
+    }
+    let frame_type = header[6];
+    let len = u32::from_le_bytes(header[7..11].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversize(len));
+    }
+    let mut body = vec![0u8; len as usize + 4];
+    r.read_exact(&mut body)?;
+    let (payload, crc_bytes) = body.split_at(len as usize);
+    let got = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    let want = crc32(payload);
+    if got != want {
+        return Err(WireError::BadCrc { got, want });
+    }
+    let frame = decode_payload(frame_type, payload)?;
+    Ok((frame, HEADER_LEN + body.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn empty_frames_round_trip() {
+        for frame in [Frame::Health, Frame::Shutdown, Frame::ShutdownOk] {
+            let bytes = encode_frame(&frame);
+            assert_eq!(decode_frame(&bytes).unwrap(), frame);
+            let (via_reader, n) = read_frame(&mut &bytes[..]).unwrap();
+            assert_eq!(via_reader, frame);
+            assert_eq!(n, bytes.len());
+        }
+    }
+
+    #[test]
+    fn error_frame_round_trips() {
+        let frame = Frame::Error {
+            code: code::BAD_REQUEST,
+            detail: "id 99 out of range".to_string(),
+        };
+        let bytes = encode_frame(&frame);
+        assert_eq!(decode_frame(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn header_is_exactly_eleven_bytes() {
+        let bytes = encode_frame(&Frame::Health);
+        assert_eq!(bytes.len(), HEADER_LEN + 4); // empty payload + crc
+        assert_eq!(&bytes[..4], &MAGIC);
+    }
+}

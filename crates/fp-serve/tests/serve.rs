@@ -1,0 +1,359 @@
+//! End-to-end server + coordinator tests over real loopback sockets.
+//!
+//! The load-bearing test is `remote_matches_sharded_and_unsharded`: a
+//! coordinator over TCP shard servers must return candidate lists **byte
+//! identical** to the in-process [`ShardedIndex`] and the unsharded
+//! [`CandidateIndex`] across shard counts and budgets. The rest pin the
+//! failure contract — dead shards fail loudly with typed errors after a
+//! bounded retry budget, config drift is rejected, shutdown is clean —
+//! and the `serve.*` telemetry wiring.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use fp_core::geometry::{Direction, Point, RigidMotion, Vector};
+use fp_core::minutia::{Minutia, MinutiaKind};
+use fp_core::rng::SeedTree;
+use fp_core::template::Template;
+use fp_index::{CandidateIndex, IndexConfig, ShardError, ShardedIndex};
+use fp_match::PairTableMatcher;
+use fp_serve::server::ServerHandle;
+use fp_serve::{Coordinator, RetryPolicy, ShardServer};
+use fp_telemetry::Telemetry;
+use rand::Rng;
+
+fn synthetic_template(seed: u64, n: usize) -> Template {
+    let mut rng = SeedTree::new(seed).child(&[0x5D]).rng();
+    let mut minutiae: Vec<Minutia> = Vec::new();
+    let mut attempts = 0;
+    while minutiae.len() < n && attempts < 10_000 {
+        attempts += 1;
+        let pos = Point::new(
+            rng.gen::<f64>() * 16.0 - 8.0,
+            rng.gen::<f64>() * 20.0 - 10.0,
+        );
+        if minutiae.iter().any(|m| m.pos.distance(&pos) < 1.4) {
+            continue;
+        }
+        let kind = if rng.gen::<bool>() {
+            MinutiaKind::RidgeEnding
+        } else {
+            MinutiaKind::Bifurcation
+        };
+        minutiae.push(Minutia::new(
+            pos,
+            Direction::from_radians(rng.gen::<f64>() * std::f64::consts::TAU),
+            kind,
+            rng.gen::<f64>() * 0.5 + 0.5,
+        ));
+    }
+    Template::builder(500.0)
+        .capture_window_mm(20.0, 24.0)
+        .extend(minutiae)
+        .build()
+        .unwrap()
+}
+
+fn second_capture(template: &Template, seed: u64) -> Template {
+    let mut rng = SeedTree::new(seed).child(&[0x5E]).rng();
+    let mut minutiae: Vec<Minutia> = Vec::new();
+    for m in template.minutiae() {
+        if rng.gen::<f64>() <= 0.08 {
+            continue;
+        }
+        minutiae.push(Minutia::new(
+            Point::new(
+                m.pos.x + fp_core::dist::normal(&mut rng, 0.0, 0.12),
+                m.pos.y + fp_core::dist::normal(&mut rng, 0.0, 0.12),
+            ),
+            m.direction
+                .rotated(fp_core::dist::normal(&mut rng, 0.0, 0.05)),
+            m.kind,
+            m.reliability,
+        ));
+    }
+    let motion = RigidMotion::new(
+        Direction::from_radians(fp_core::dist::normal(&mut rng, 0.0, 0.15)),
+        Vector::new(
+            fp_core::dist::normal(&mut rng, 0.0, 1.0),
+            fp_core::dist::normal(&mut rng, 0.0, 1.0),
+        ),
+    );
+    Template::builder(500.0)
+        .capture_window_mm(20.0, 24.0)
+        .extend(minutiae)
+        .build()
+        .unwrap()
+        .transformed(&motion)
+}
+
+fn gallery(seed: u64, n: usize) -> Vec<Template> {
+    (0..n)
+        .map(|i| synthetic_template(seed * 1_000 + i as u64, 16 + (i * 7) % 16))
+        .collect()
+}
+
+/// Spawns `s` in-process shard servers on loopback, returning their
+/// handles (for fault injection) and addresses.
+fn spawn_servers(s: usize) -> (Vec<ServerHandle>, Vec<SocketAddr>) {
+    let mut handles = Vec::new();
+    let mut addrs = Vec::new();
+    for _ in 0..s {
+        let server = ShardServer::bind(PairTableMatcher::default(), "127.0.0.1:0").unwrap();
+        addrs.push(server.local_addr().unwrap());
+        handles.push(server.spawn());
+    }
+    (handles, addrs)
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 3,
+        base: Duration::from_millis(5),
+        cap: Duration::from_millis(20),
+        seed: 7,
+    }
+}
+
+#[test]
+fn remote_matches_sharded_and_unsharded() {
+    let n = 17;
+    let templates = gallery(42, n);
+    let config = IndexConfig::default();
+
+    let mut unsharded = CandidateIndex::with_config(PairTableMatcher::default(), config);
+    unsharded.enroll_all(&templates);
+
+    for s in [1usize, 2, 3] {
+        let (handles, addrs) = spawn_servers(s);
+        let mut remote =
+            Coordinator::connect(&addrs, config, Duration::from_secs(5), fast_retry()).unwrap();
+        remote.enroll_all(&templates).unwrap();
+        assert_eq!(remote.len(), n);
+        assert_eq!(remote.shard_count(), s);
+
+        let mut sharded = ShardedIndex::with_config(PairTableMatcher::default(), config, s);
+        sharded.enroll_all(&templates);
+
+        for probe_pick in [0usize, 5, 11] {
+            let probe = second_capture(&templates[probe_pick], 42 ^ probe_pick as u64);
+            for budget in [0usize, 1, n / 2, n, n + 5] {
+                let a = unsharded.search_with_budget(&probe, budget);
+                let b = sharded.search_with_budget(&probe, budget);
+                let c = remote.search_with_budget(&probe, budget).unwrap();
+                assert_eq!(
+                    a.candidates(),
+                    c.candidates(),
+                    "remote != unsharded at s={s} budget={budget}"
+                );
+                assert_eq!(
+                    b.candidates(),
+                    c.candidates(),
+                    "remote != in-process sharded at s={s} budget={budget}"
+                );
+                assert_eq!(a.gallery_len(), c.gallery_len());
+                assert_eq!(a.pruned(), c.pruned());
+            }
+        }
+
+        remote.shutdown_all().unwrap();
+        for handle in handles {
+            handle.join();
+        }
+    }
+}
+
+#[test]
+fn incremental_enrollment_keeps_global_ids_aligned() {
+    let templates = gallery(77, 10);
+    let config = IndexConfig::default();
+    let (handles, addrs) = spawn_servers(3);
+    let mut remote =
+        Coordinator::connect(&addrs, config, Duration::from_secs(5), fast_retry()).unwrap();
+    // Two batches with an awkward split: round-robin must continue where
+    // the first batch stopped, exactly like ShardedIndex::enroll_all.
+    remote.enroll_all(&templates[..4]).unwrap();
+    remote.enroll_all(&templates[4..]).unwrap();
+
+    let mut sharded = ShardedIndex::with_config(PairTableMatcher::default(), config, 3);
+    sharded.enroll_all(&templates);
+
+    let probe = second_capture(&templates[3], 0xA11CE);
+    let a = sharded.search_with_budget(&probe, 10);
+    let b = remote.search_with_budget(&probe, 10).unwrap();
+    assert_eq!(a.candidates(), b.candidates());
+
+    remote.shutdown_all().unwrap();
+    for handle in handles {
+        handle.join();
+    }
+}
+
+/// Kill a shard under a live coordinator: the next search must fail with
+/// `ShardError::Unavailable` naming the dead shard after the bounded retry
+/// budget — never return a truncated candidate list.
+#[test]
+fn dead_shard_fails_loudly_after_retries() {
+    let templates = gallery(9, 9);
+    let (handles, addrs) = spawn_servers(3);
+    let mut remote = Coordinator::connect(
+        &addrs,
+        IndexConfig::default(),
+        Duration::from_millis(500),
+        fast_retry(),
+    )
+    .unwrap();
+    remote.enroll_all(&templates).unwrap();
+    let probe = second_capture(&templates[2], 123);
+    assert!(remote.search_with_budget(&probe, 9).is_ok());
+
+    // Kill shard 1 (its connections die within the server's poll interval).
+    let mut handles = handles;
+    handles.remove(1).join();
+    std::thread::sleep(Duration::from_millis(300));
+
+    match remote.search_with_budget(&probe, 9) {
+        Err(ShardError::Unavailable { shard, detail }) => {
+            assert_eq!(shard, 1, "the dead shard must be named");
+            assert!(detail.contains("attempts"), "detail: {detail}");
+        }
+        Err(other) => panic!("expected Unavailable, got {other}"),
+        Ok(_) => panic!("search over a dead shard must not succeed"),
+    }
+
+    for handle in handles {
+        handle.join();
+    }
+}
+
+/// A coordinator whose config differs from what the shard enrolled under
+/// is rejected with a typed protocol error (config mismatch), not served
+/// under the wrong tuning.
+#[test]
+fn config_drift_is_rejected() {
+    let templates = gallery(5, 6);
+    let (handles, addrs) = spawn_servers(1);
+    let config_a = IndexConfig::default();
+    let mut remote_a =
+        Coordinator::connect(&addrs, config_a, Duration::from_secs(5), fast_retry()).unwrap();
+    remote_a.enroll_all(&templates).unwrap();
+
+    let config_b = IndexConfig {
+        lss_depth: config_a.lss_depth + 1,
+        ..config_a
+    };
+    let mut remote_b =
+        Coordinator::connect(&addrs, config_b, Duration::from_secs(5), fast_retry()).unwrap();
+    match remote_b.enroll_all(&templates) {
+        Err(ShardError::Protocol { detail, .. }) => {
+            assert!(detail.contains("config mismatch"), "detail: {detail}");
+        }
+        other => panic!("expected Protocol(config mismatch), got {other:?}"),
+    }
+
+    remote_a.shutdown_all().unwrap();
+    for handle in handles {
+        handle.join();
+    }
+}
+
+/// A connection refused outright (no listener) exhausts the retry budget
+/// and reports Unavailable; the whole dance stays bounded in time.
+#[test]
+fn unreachable_shard_reports_unavailable() {
+    // Bind-then-drop to get a port with no listener.
+    let addr = {
+        let sock = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        sock.local_addr().unwrap()
+    };
+    match Coordinator::connect(
+        &[addr],
+        IndexConfig::default(),
+        Duration::from_millis(200),
+        fast_retry(),
+    ) {
+        Err(ShardError::Unavailable { shard, .. }) => assert_eq!(shard, 0),
+        Err(other) => panic!("expected Unavailable, got {other}"),
+        Ok(_) => panic!("connecting to a dead port must fail"),
+    }
+}
+
+/// serve.* counters and per-frame-type latency histograms are recorded,
+/// and serve.rpc spans nest under the coordinator's index.search span.
+#[test]
+fn telemetry_counts_rpcs_and_nests_spans() {
+    let telemetry = Telemetry::enabled();
+    let templates = gallery(13, 8);
+    let (handles, addrs) = spawn_servers(2);
+    let mut remote = Coordinator::connect(
+        &addrs,
+        IndexConfig::default(),
+        Duration::from_secs(5),
+        fast_retry(),
+    )
+    .unwrap()
+    .with_telemetry(&telemetry);
+    remote.enroll_all(&templates).unwrap();
+    let probe = second_capture(&templates[0], 999);
+    remote.search_with_budget(&probe, 8).unwrap();
+
+    let snapshot = telemetry.snapshot();
+    let requests = snapshot.counters["serve.requests"];
+    assert!(requests >= 6, "enroll x2 + stage1 x2 + rerank: {requests}");
+    assert!(snapshot.counters["serve.bytes_tx"] > 0);
+    assert!(snapshot.counters["serve.bytes_rx"] > 0);
+    assert_eq!(snapshot.counters["serve.retries"], 0);
+    assert_eq!(snapshot.counters["serve.timeouts"], 0);
+    assert!(snapshot.durations.contains_key("serve.rpc.stage1"));
+    assert!(snapshot.durations.contains_key("serve.rpc.enroll"));
+
+    let trace = telemetry.trace_snapshot();
+    let search = trace
+        .spans
+        .iter()
+        .find(|s| s.name == "index.search")
+        .expect("index.search span recorded");
+    let nested_rpc = trace
+        .spans
+        .iter()
+        .any(|s| s.name == "serve.rpc" && ancestor_of(&trace.spans, search.id, s));
+    assert!(nested_rpc, "serve.rpc spans must nest under index.search");
+
+    remote.shutdown_all().unwrap();
+    for handle in handles {
+        handle.join();
+    }
+}
+
+fn ancestor_of(
+    spans: &[fp_telemetry::SpanRecord],
+    ancestor: u64,
+    span: &fp_telemetry::SpanRecord,
+) -> bool {
+    let mut parent = span.parent;
+    while let Some(id) = parent {
+        if id == ancestor {
+            return true;
+        }
+        parent = spans.iter().find(|s| s.id == id).and_then(|s| s.parent);
+    }
+    false
+}
+
+/// Wire-level shutdown stops the server's accept loop (run() returns), so
+/// the `serve-shard` process exits by itself.
+#[test]
+fn shutdown_frame_stops_the_server() {
+    let server = ShardServer::bind(PairTableMatcher::default(), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+    let runner = std::thread::spawn(move || server.run());
+    let remote = Coordinator::connect(
+        &[addr],
+        IndexConfig::default(),
+        Duration::from_secs(5),
+        fast_retry(),
+    )
+    .unwrap();
+    remote.shutdown_all().unwrap();
+    runner.join().unwrap().unwrap();
+}

@@ -12,7 +12,10 @@
 //! study devices                    # print the device table (paper Table 1)
 //! study metrics                    # explain the telemetry instruments
 //! study verify --subjects 150      # check the paper's findings hold
+//! study ext-scaling --remote-shards 2 # 1:N over serve-shard child processes
+//! study serve-shard                # one gallery shard behind a TCP socket
 //! study check-scaling results.json # gate an ext-scaling JSON (recall/audits)
+//! study check-serve results.json   # gate the cross-process parity rung
 //! study check-telemetry results.json # gate a study JSON's telemetry section
 //! study render --seed 7 --out print.pgm   # render a synthetic print (PGM)
 //! ```
@@ -32,6 +35,8 @@ struct Args {
     subjects: Option<usize>,
     seed: Option<u64>,
     shards: Option<usize>,
+    remote_shards: Option<usize>,
+    port: Option<u16>,
     json: Option<String>,
     out: Option<String>,
     metrics: Option<String>,
@@ -53,6 +58,8 @@ fn parse_args() -> Result<Args, String> {
         subjects: None,
         seed: None,
         shards: None,
+        remote_shards: None,
+        port: None,
         json: None,
         out: None,
         metrics: None,
@@ -61,7 +68,7 @@ fn parse_args() -> Result<Args, String> {
     };
     if matches!(
         parsed.experiment.as_str(),
-        "check-scaling" | "check-telemetry"
+        "check-scaling" | "check-telemetry" | "check-serve"
     ) {
         if let Some(next) = args.peek() {
             if !next.starts_with('-') {
@@ -93,6 +100,18 @@ fn parse_args() -> Result<Args, String> {
                     return Err(format!("--shards must be at least 1, got {n}"));
                 }
                 parsed.shards = Some(n);
+            }
+            "--remote-shards" => {
+                let v = args.next().ok_or("--remote-shards needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --remote-shards: {v}"))?;
+                if n < 1 {
+                    return Err(format!("--remote-shards must be at least 1, got {n}"));
+                }
+                parsed.remote_shards = Some(n);
+            }
+            "--port" => {
+                let v = args.next().ok_or("--port needs a value")?;
+                parsed.port = Some(v.parse().map_err(|_| format!("bad --port: {v}"))?);
             }
             "--json" => {
                 parsed.json = Some(args.next().ok_or("--json needs a path")?);
@@ -321,6 +340,110 @@ fn check_scaling(telemetry: &Telemetry, path: &str) -> ExitCode {
     }
 }
 
+/// Gates an `ext-scaling --remote-shards --json` results file: the
+/// cross-process rung must have run, every audited probe must show full
+/// candidate-list parity with BOTH the unsharded index and the in-process
+/// sharded index, recall must equal the top unsharded rung exactly, and the
+/// `serve.*` transport counters must show real wire traffic.
+fn check_serve(telemetry: &Telemetry, path: &str) -> ExitCode {
+    let payload: serde_json::Value = match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| serde_json::from_str(&t).map_err(|e| e.to_string()))
+    {
+        Ok(v) => v,
+        Err(e) => {
+            telemetry.event_with(
+                Level::Error,
+                "cannot load results file",
+                &[("path", path.to_string()), ("error", e)],
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = payload["reports"]
+        .as_array()
+        .into_iter()
+        .flatten()
+        .find(|r| r["id"] == "ext-scaling");
+    let Some(report) = report else {
+        telemetry.event_with(
+            Level::Error,
+            "no ext-scaling report in results file",
+            &[("path", path.to_string())],
+        );
+        return ExitCode::FAILURE;
+    };
+    let mut ok = true;
+    if !report["values"]["remote_error"].is_null() {
+        telemetry.event_with(
+            Level::Error,
+            "cross-process rung failed",
+            &[("error", report["values"]["remote_error"].to_string())],
+        );
+        ok = false;
+    }
+    let remote_rows = report["values"]["remote_rows"].as_array();
+    let Some(remote_rows) = remote_rows.filter(|r| !r.is_empty()) else {
+        telemetry.event(
+            Level::Error,
+            "no remote rows (run ext-scaling with --remote-shards N)",
+        );
+        return ExitCode::FAILURE;
+    };
+    let top_recall = report["values"]["rows"]
+        .as_array()
+        .and_then(|rows| rows.last())
+        .and_then(|row| row["recall"].as_f64());
+    for row in remote_rows {
+        let checked = row["parity_checked"].as_u64().unwrap_or(0);
+        if checked == 0
+            || row["parity_agreed"] != row["parity_checked"]
+            || row["parity_sharded_agreed"] != row["parity_checked"]
+        {
+            telemetry.event_with(
+                Level::Error,
+                "remote search diverged from the in-process indexes",
+                &[("row", row.to_string())],
+            );
+            ok = false;
+        }
+        // Remote sharded search is provably identical to the unsharded
+        // index, so recall must match the top rung exactly — same probes,
+        // same budget, not a tolerance check.
+        if row["recall"].as_f64() != top_recall {
+            telemetry.event_with(
+                Level::Error,
+                "remote recall differs from the unsharded top rung",
+                &[("row", row.to_string())],
+            );
+            ok = false;
+        }
+    }
+    let counters = &payload["telemetry"]["counters"];
+    for key in ["serve.requests", "serve.bytes_tx", "serve.bytes_rx"] {
+        if counters[key].as_u64().unwrap_or(0) == 0 {
+            telemetry.event_with(
+                Level::Error,
+                "serve counter is zero or missing",
+                &[("counter", key.to_string())],
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        println!(
+            "serve smoke ok ({} remote row(s) at exact parity, {} rpcs, {} bytes on the wire)",
+            remote_rows.len(),
+            counters["serve.requests"].as_u64().unwrap_or(0),
+            counters["serve.bytes_tx"].as_u64().unwrap_or(0)
+                + counters["serve.bytes_rx"].as_u64().unwrap_or(0),
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 /// Gates a study `--json` results file on its embedded telemetry section:
 /// the run must have done real comparison and index work and recorded cell
 /// spans and stage timings. The Rust replacement for CI's acceptance
@@ -385,7 +508,7 @@ fn run(args: &Args, telemetry: &Telemetry) -> ExitCode {
 
     if matches!(
         args.experiment.as_str(),
-        "check-scaling" | "check-telemetry"
+        "check-scaling" | "check-telemetry" | "check-serve"
     ) {
         let Some(path) = &args.path else {
             telemetry.event_with(
@@ -395,10 +518,44 @@ fn run(args: &Args, telemetry: &Telemetry) -> ExitCode {
             );
             return ExitCode::FAILURE;
         };
-        return if args.experiment == "check-scaling" {
-            check_scaling(telemetry, path)
-        } else {
-            check_telemetry(telemetry, path)
+        return match args.experiment.as_str() {
+            "check-scaling" => check_scaling(telemetry, path),
+            "check-serve" => check_serve(telemetry, path),
+            _ => check_telemetry(telemetry, path),
+        };
+    }
+
+    if args.experiment == "serve-shard" {
+        // One gallery shard behind the fp-serve wire protocol. Binds
+        // loopback (port 0 unless --port), prints the LISTENING handshake
+        // line for the spawning coordinator, and serves until a wire-level
+        // shutdown frame arrives.
+        use std::io::Write as _;
+        let addr = format!("127.0.0.1:{}", args.port.unwrap_or(0));
+        let server =
+            match fp_serve::ShardServer::bind(fp_match::PairTableMatcher::default(), addr.as_str())
+            {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+        let local = match server.local_addr() {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: no local address: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{} {local}", fp_serve::proc::LISTENING_PREFIX);
+        let _ = std::io::stdout().flush();
+        return match server.run() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: serve loop failed: {e}");
+                ExitCode::FAILURE
+            }
         };
     }
 
@@ -529,6 +686,9 @@ fn run(args: &Args, telemetry: &Telemetry) -> ExitCode {
     if let Some(s) = args.shards {
         builder = builder.shards(s);
     }
+    if let Some(s) = args.remote_shards {
+        builder = builder.remote_shards(s);
+    }
 
     if args.experiment == "ext-scaling" {
         // The scaling ladder builds its own synthetic galleries (subjects,
@@ -647,9 +807,10 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: study <all|devices|metrics|verify|render|check-scaling|check-telemetry|{}> \
-                 [--subjects N] [--seed S] [--shards S] [--json PATH] [--metrics PATH] \
-                 [--trace PATH] [--events PATH] [--out PATH]",
+                "usage: study <all|devices|metrics|verify|render|serve-shard|check-scaling|\
+                 check-telemetry|check-serve|{}> \
+                 [--subjects N] [--seed S] [--shards S] [--remote-shards N] [--port P] \
+                 [--json PATH] [--metrics PATH] [--trace PATH] [--events PATH] [--out PATH]",
                 experiments::ALL_IDS.join("|")
             );
             return ExitCode::FAILURE;
@@ -659,7 +820,13 @@ fn main() -> ExitCode {
     // recorder export was requested; experiment runs always record.
     let inert = matches!(
         args.experiment.as_str(),
-        "devices" | "metrics" | "render" | "check-scaling" | "check-telemetry"
+        "devices"
+            | "metrics"
+            | "render"
+            | "check-scaling"
+            | "check-telemetry"
+            | "check-serve"
+            | "serve-shard"
     ) && args.trace.is_none()
         && args.events.is_none();
     let telemetry = if inert {

@@ -24,6 +24,8 @@ use fp_core::rng::SeedTree;
 use fp_core::template::Template;
 use fp_index::{CandidateIndex, IndexConfig, ShardedIndex};
 use fp_match::PairTableMatcher;
+use fp_serve::proc::spawn_shard;
+use fp_serve::{Coordinator, RetryPolicy};
 use fp_telemetry::Telemetry;
 use rand::Rng;
 use serde_json::json;
@@ -65,6 +67,23 @@ struct ShardRow {
     speedup_vs_1: f64,
     parity_checked: usize,
     parity_agreed: usize,
+}
+
+/// The cross-process rung: `remote_shards` child `serve-shard` processes
+/// behind an `fp-serve` coordinator, always over the top gallery rung.
+struct RemoteRow {
+    shards: usize,
+    probes: usize,
+    recall: f64,
+    build_seconds: f64,
+    searches_per_second: f64,
+    /// Parity audits against the unsharded top-rung index (full candidate
+    /// lists: ids AND scores, in order).
+    parity_checked: usize,
+    parity_agreed: usize,
+    /// The same audits against an in-process `ShardedIndex` with the same
+    /// shard count — pins remote == in-process sharded == unsharded.
+    parity_sharded_agreed: usize,
 }
 
 /// Shard counts to run: powers of two up to `max`, plus `max` itself when
@@ -358,6 +377,20 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
         }
     }
 
+    // Cross-process rung: N `serve-shard` children over loopback behind a
+    // coordinator, audited for byte-identical parity against both the
+    // unsharded index and an in-process sharded index.
+    let mut remote_rows: Vec<RemoteRow> = Vec::new();
+    let mut remote_error: Option<String> = None;
+    if config.remote_shards >= 1 {
+        let gallery = max_gallery;
+        let unsharded = top_index.as_ref().expect("ladder is non-empty");
+        match remote_rung(config, telemetry, &pool, unsharded, &seeds, gallery) {
+            Ok(row) => remote_rows.push(row),
+            Err(e) => remote_error = Some(e),
+        }
+    }
+
     let mut body = format!(
         "identification scaling: gallery ladder x{:?} of {} subjects, \
          {MAX_PROBES} probes per rung (two capture-perturbation profiles)\n\n\
@@ -418,6 +451,31 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
         }
     }
 
+    if !remote_rows.is_empty() {
+        body.push_str(&format!(
+            "\ncross-process rung over the {max_gallery}-entry gallery \
+             (serve-shard children over loopback, fp-serve wire protocol):\n\
+             {:<8}{:>9}{:>10}{:>12}{:>17}{:>17}\n",
+            "shards", "build s", "recall", "search/s", "parity(unshard)", "parity(sharded)"
+        ));
+        for r in &remote_rows {
+            body.push_str(&format!(
+                "{:<8}{:>9.2}{:>10.3}{:>12.1}{:>14}/{}{:>14}/{}\n",
+                r.shards,
+                r.build_seconds,
+                r.recall,
+                r.searches_per_second,
+                r.parity_agreed,
+                r.parity_checked,
+                r.parity_sharded_agreed,
+                r.parity_checked,
+            ));
+        }
+    }
+    if let Some(e) = &remote_error {
+        body.push_str(&format!("\ncross-process rung FAILED: {e}\n"));
+    }
+
     Report::new(
         "ext-scaling",
         "1:N search throughput and recall vs gallery size",
@@ -426,6 +484,21 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
             "base_subjects": config.subjects,
             "ladder": LADDER,
             "shards": config.shards,
+            "remote_shards": config.remote_shards,
+            "remote_error": remote_error,
+            "remote_rows": remote_rows
+                .iter()
+                .map(|r| json!({
+                    "shards": r.shards,
+                    "probes": r.probes,
+                    "recall": r.recall,
+                    "build_seconds": r.build_seconds,
+                    "searches_per_second": r.searches_per_second,
+                    "parity_checked": r.parity_checked,
+                    "parity_agreed": r.parity_agreed,
+                    "parity_sharded_agreed": r.parity_sharded_agreed,
+                }))
+                .collect::<Vec<_>>(),
             "shard_rows": shard_rows
                 .iter()
                 .map(|r| json!({
@@ -456,6 +529,125 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
                 .collect::<Vec<_>>(),
         }),
     )
+}
+
+/// Runs the cross-process rung: spawns `config.remote_shards` `serve-shard`
+/// children of this very binary (`FP_SERVE_SHARD_EXE` overrides the
+/// executable, e.g. for tests driving a library build), enrolls the top
+/// gallery rung through an `fp-serve` [`Coordinator`], and audits full
+/// candidate-list parity against both the unsharded index and an
+/// in-process [`ShardedIndex`] with the same shard count.
+///
+/// Children are killed on every exit path ([`fp_serve::proc::ShardChild`]
+/// kills on drop); errors are returned as strings so a failed rung shows up
+/// loudly in the report (and fails `check-serve`) without aborting the
+/// in-process ladder results.
+fn remote_rung(
+    config: &StudyConfig,
+    telemetry: &Telemetry,
+    pool: &[Template],
+    unsharded: &CandidateIndex<PairTableMatcher>,
+    seeds: &SeedTree,
+    gallery: usize,
+) -> Result<RemoteRow, String> {
+    use std::time::{Duration, Instant};
+
+    let s = config.remote_shards;
+    let _span = telemetry.span_with(
+        &format!("scaling.remote{s}"),
+        &[("gallery", gallery.to_string()), ("shards", s.to_string())],
+    );
+    let exe = match std::env::var_os("FP_SERVE_SHARD_EXE") {
+        Some(path) => std::path::PathBuf::from(path),
+        None => std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?,
+    };
+    let mut children = Vec::with_capacity(s);
+    for _ in 0..s {
+        children.push(
+            spawn_shard(&exe, &["serve-shard"])
+                .map_err(|e| format!("spawn {exe:?} serve-shard: {e}"))?,
+        );
+    }
+    let addrs: Vec<std::net::SocketAddr> = children.iter().map(|c| c.addr).collect();
+
+    let index_config = IndexConfig::scaled(gallery);
+    let mut remote = Coordinator::connect(
+        &addrs,
+        index_config,
+        Duration::from_secs(60),
+        RetryPolicy::default(),
+    )
+    .map_err(|e| e.to_string())?
+    .with_telemetry(telemetry);
+
+    let build_start = Instant::now();
+    remote
+        .enroll_all(&pool[..gallery])
+        .map_err(|e| e.to_string())?;
+    let build_seconds = build_start.elapsed().as_secs_f64();
+
+    // The in-process sharded reference at the same shard count: the audit
+    // pins remote == in-process sharded == unsharded, full lists.
+    let mut sharded = ShardedIndex::with_config(PairTableMatcher::default(), index_config, s);
+    sharded.enroll_all(&pool[..gallery]);
+
+    let probes = gallery.min(MAX_PROBES);
+    let stride = gallery / probes;
+    let probe_of = |p: usize| -> (usize, Template) {
+        let subject = p * stride;
+        let profile = if p.is_multiple_of(2) {
+            SAME_DEVICE
+        } else {
+            CROSS_DEVICE
+        };
+        (
+            subject,
+            recapture(&pool[subject], seeds, (gallery + subject) as u64, profile),
+        )
+    };
+
+    let search_start = Instant::now();
+    let mut in_shortlist = 0usize;
+    for p in 0..probes {
+        let (subject, probe) = probe_of(p);
+        let result = remote.search(&probe).map_err(|e| e.to_string())?;
+        if result.genuine_rank(subject as u32).is_some() {
+            in_shortlist += 1;
+        }
+    }
+    let search_seconds = search_start.elapsed().as_secs_f64();
+
+    let audits = probes.min(MAX_AUDITS);
+    let audit_stride = probes / audits;
+    let mut parity_agreed = 0usize;
+    let mut parity_sharded_agreed = 0usize;
+    for a in 0..audits {
+        let (_, probe) = probe_of(a * audit_stride);
+        let remote_result = remote.search(&probe).map_err(|e| e.to_string())?;
+        if remote_result.candidates() == unsharded.search(&probe).candidates() {
+            parity_agreed += 1;
+        }
+        if remote_result.candidates() == sharded.search(&probe).candidates() {
+            parity_sharded_agreed += 1;
+        }
+    }
+
+    // Clean wire-level shutdown, then reap; ShardChild kills stragglers.
+    let _ = remote.shutdown_all();
+    for child in &mut children {
+        child.wait_exit(Duration::from_secs(5));
+    }
+
+    Ok(RemoteRow {
+        shards: s,
+        probes,
+        recall: in_shortlist as f64 / probes as f64,
+        build_seconds,
+        searches_per_second: probes as f64 / search_seconds.max(1e-9),
+        parity_checked: audits,
+        parity_agreed,
+        parity_sharded_agreed,
+    })
 }
 
 #[cfg(test)]
@@ -498,6 +690,9 @@ mod tests {
         let r = tiny();
         assert_eq!(r.values["shards"], 0);
         assert!(r.values["shard_rows"].as_array().unwrap().is_empty());
+        assert_eq!(r.values["remote_shards"], 0);
+        assert!(r.values["remote_rows"].as_array().unwrap().is_empty());
+        assert!(r.values["remote_error"].is_null());
         assert_eq!(shard_ladder(0), Vec::<usize>::new());
         assert_eq!(shard_ladder(1), vec![1]);
         assert_eq!(shard_ladder(4), vec![1, 2, 4]);

@@ -28,6 +28,15 @@ run timeout 600 cargo run -q --release --offline -p fp-study --bin study -- \
     ext-scaling --subjects 200 --shards 4 --json target/ext-scaling-smoke.json
 run cargo run -q --release --offline -p fp-study --bin study -- \
     check-scaling target/ext-scaling-smoke.json
+# Cross-process smoke: the same ladder's top gallery served by two real
+# `study serve-shard` child processes over loopback. `study check-serve`
+# gates on exact candidate-list parity with BOTH in-process indexes, equal
+# recall, and non-zero serve.* wire-traffic counters.
+run timeout 600 cargo run -q --release --offline -p fp-study --bin study -- \
+    ext-scaling --subjects 200 --remote-shards 2 \
+    --json target/ext-serve-smoke.json --metrics target/ext-serve-metrics.json
+run cargo run -q --release --offline -p fp-study --bin study -- \
+    check-serve target/ext-serve-smoke.json
 # Perf gate: rerun the telemetry bench suite (the cheapest one) and diff it
 # against the committed baseline. Thresholds are generous because the
 # baseline was measured on a different machine; bench-diff additionally
@@ -43,4 +52,10 @@ run cargo bench -q --offline -p fp-bench --bench shard -- shard_search_2000 \
     --save "$ROOT/target/BENCH_shard_current.json"
 run cargo run -q --release --offline -p fp-bench --bin bench-diff -- \
     BENCH_baseline.json target/BENCH_shard_current.json --fail-pct 50 --warn-pct 10
+# Wire-format perf gate: encode/decode cost of the frames the cross-process
+# search pays per probe and per enrollment batch.
+run cargo bench -q --offline -p fp-bench --bench wire -- \
+    --save "$ROOT/target/BENCH_wire_current.json"
+run cargo run -q --release --offline -p fp-bench --bin bench-diff -- \
+    BENCH_baseline.json target/BENCH_wire_current.json --fail-pct 50 --warn-pct 10
 echo "all checks passed"
