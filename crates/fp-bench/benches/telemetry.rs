@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use fp_telemetry::Telemetry;
+use fp_core::MatchScore;
+use fp_index::{Candidate, IndexConfig, SearchResult};
+use fp_telemetry::{RunFingerprint, Telemetry};
 
 fn telemetry_benches(c: &mut Criterion) {
     let disabled = Telemetry::disabled();
@@ -35,6 +37,34 @@ fn telemetry_benches(c: &mut Criterion) {
         b.iter(|| {
             let _span = enabled.span(black_box("bench.span"));
         })
+    });
+    group.finish();
+
+    // RUNFP cost: what every search pays to maintain the run fingerprint.
+    // `fold_shortlist48` is one full per-search chain (a default-shortlist
+    // result folded candidate by candidate); `record_shortlist48` adds the
+    // commutative combine into the shared accumulator — the whole
+    // per-search overhead, which must stay trivial against a ~25 ms
+    // 2000-entry search.
+    let shortlist: Vec<Candidate> = (0..48)
+        .map(|i| Candidate {
+            id: i * 41 % 2000,
+            score: MatchScore::new(30.0 - f64::from(i) * 0.37),
+        })
+        .collect();
+    let result = SearchResult::from_parts(shortlist, 2_000);
+    let base = IndexConfig::default().fingerprint_base(7);
+    let runfp = RunFingerprint::new(base);
+    let mut group = c.benchmark_group("fingerprint");
+    group.bench_function("fold_shortlist48", |b| {
+        b.iter(|| {
+            let mut chain = base;
+            chain.fold(black_box(&result));
+            black_box(chain.value())
+        })
+    });
+    group.bench_function("record_shortlist48", |b| {
+        b.iter(|| black_box(runfp.record_item(black_box(&result))))
     });
     group.finish();
 

@@ -5,25 +5,32 @@
 //! ```
 //!
 //! Exits non-zero when any bench present in both snapshots is slower than
-//! the fail threshold (widened per bench to the baseline's own p95 noise).
+//! the fail threshold (widened per bench to the baseline's own p95 noise),
+//! or when a required baseline bench is missing from the new snapshot. By
+//! default every baseline bench is required; a filtered bench run passes
+//! repeatable `--require PREFIX` flags naming the slice of the baseline it
+//! is answerable for.
 
 use std::process::ExitCode;
 
 use fp_bench::diff::{diff, render, BenchSnapshot};
 
-const USAGE: &str = "usage: bench-diff BASELINE.json NEW.json [--fail-pct N] [--warn-pct N]";
+const USAGE: &str =
+    "usage: bench-diff BASELINE.json NEW.json [--fail-pct N] [--warn-pct N] [--require PREFIX]...";
 
 struct Args {
     baseline: String,
     new: String,
     fail_pct: f64,
     warn_pct: f64,
+    require: Vec<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut positional = Vec::new();
     let mut fail_pct = 15.0;
     let mut warn_pct = 5.0;
+    let mut require = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -41,6 +48,9 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--warn-pct: {e}"))?;
             }
+            "--require" => {
+                require.push(args.next().ok_or("--require needs a bench-name prefix")?);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other}\n{USAGE}"))
@@ -54,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
         new,
         fail_pct: fail_pct / 100.0,
         warn_pct: warn_pct / 100.0,
+        require,
     })
 }
 
@@ -85,14 +96,28 @@ fn main() -> ExitCode {
     }
     let report = diff(&old, &new, args.fail_pct, args.warn_pct);
     print!("{}", render(&report));
-    if report.passed() {
-        ExitCode::SUCCESS
-    } else {
+    let missing = report.missing_required(&args.require);
+    let mut failed = false;
+    if !missing.is_empty() {
+        for name in &missing {
+            eprintln!(
+                "bench gate failed: required bench `{name}` is missing from {}",
+                args.new
+            );
+        }
+        failed = true;
+    }
+    if !report.passed() {
         eprintln!(
             "bench gate failed: {} regression(s) beyond the {:.0}% threshold",
             report.regressions(),
             args.fail_pct * 100.0
         );
+        failed = true;
+    }
+    if failed {
         ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -94,8 +94,29 @@ pub struct DiffReport {
 
 impl DiffReport {
     /// True when no shared bench regressed past its fail threshold.
+    ///
+    /// Missing benches are a separate failure axis: gate callers must also
+    /// check [`DiffReport::missing_required`], since a bench that silently
+    /// vanished from the candidate snapshot can never regress.
     pub fn passed(&self) -> bool {
         self.deltas.iter().all(|d| d.verdict != Verdict::Regressed)
+    }
+
+    /// Baseline benches absent from the candidate snapshot that the caller
+    /// required to be present.
+    ///
+    /// With an empty `required` list every baseline bench is required — a
+    /// candidate produced by a full bench run must cover the whole
+    /// baseline. A non-empty list restricts the requirement to benches
+    /// whose full name starts with one of the given prefixes, which is how
+    /// a deliberately filtered bench run (e.g. `cargo bench -- wire_`)
+    /// states which slice of the shared baseline it is answerable for.
+    pub fn missing_required(&self, required: &[String]) -> Vec<String> {
+        self.removed
+            .iter()
+            .filter(|name| required.is_empty() || required.iter().any(|p| name.starts_with(p)))
+            .cloned()
+            .collect()
     }
 
     /// Number of regressions.
@@ -269,6 +290,49 @@ mod tests {
         assert!(table.contains("a/gone"));
         assert!(table.contains("a/new"));
         assert!(table.contains("1 benches compared, 0 regressions"));
+    }
+
+    #[test]
+    fn missing_baseline_benches_are_required_by_default() {
+        // A bench present in the baseline but absent from the candidate
+        // must be surfaced by name — `passed()` alone cannot see it, and
+        // a gate that ignores it would wave through a deleted benchmark.
+        let base = snapshot(&[
+            ("wire_x/encode", 1000.0, 1050.0),
+            ("span/enabled", 300.0, 310.0),
+        ]);
+        let new = snapshot(&[("span/enabled", 305.0, 315.0)]);
+        let report = diff(&base, &new, 0.15, 0.05);
+        assert!(report.passed(), "no shared bench regressed");
+        assert_eq!(
+            report.missing_required(&[]),
+            vec!["wire_x/encode".to_string()],
+            "empty require list means the whole baseline is required"
+        );
+    }
+
+    #[test]
+    fn require_prefixes_scope_the_missing_bench_check() {
+        let base = snapshot(&[
+            ("wire_x/encode", 1000.0, 1050.0),
+            ("wire_y/decode", 900.0, 950.0),
+            ("span/enabled", 300.0, 310.0),
+        ]);
+        let new = snapshot(&[("wire_x/encode", 1010.0, 1060.0)]);
+        let report = diff(&base, &new, 0.15, 0.05);
+        // A filtered wire-only run is answerable for `wire_` benches: the
+        // missing span bench is fine, the missing wire bench is not.
+        assert_eq!(
+            report.missing_required(&["wire_".to_string()]),
+            vec!["wire_y/decode".to_string()]
+        );
+        // A prefix matching none of the removed benches requires nothing.
+        assert!(report.missing_required(&["shard".to_string()]).is_empty());
+        // Multiple prefixes union their requirements.
+        assert_eq!(
+            report.missing_required(&["shard".to_string(), "wire_y".to_string()]),
+            vec!["wire_y/decode".to_string()]
+        );
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Process-level tests of the `bench-diff` gate binary: exit codes and
+//! stderr wording for regressions, missing required benches, and the
+//! `--require` prefix scoping used by deliberately filtered bench runs.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bench_diff_exe() -> &'static Path {
+    Path::new(env!("CARGO_BIN_EXE_bench-diff"))
+}
+
+fn snapshot_json(entries: &[(&str, f64, f64)]) -> String {
+    let benches: Vec<String> = entries
+        .iter()
+        .map(|(name, median, p95)| {
+            format!(
+                r#"{{"bench": "{name}", "median_ns": {median}, "p95_ns": {p95}, "iters": 100}}"#
+            )
+        })
+        .collect();
+    format!(
+        r#"{{"version": 1, "host": "test", "benches": [{}]}}"#,
+        benches.join(", ")
+    )
+}
+
+fn write_snapshot(dir: &Path, name: &str, entries: &[(&str, f64, f64)]) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, snapshot_json(entries)).expect("snapshot written");
+    path
+}
+
+fn run_diff(baseline: &Path, new: &Path, extra: &[&str]) -> Output {
+    Command::new(bench_diff_exe())
+        .arg(baseline)
+        .arg(new)
+        .args(extra)
+        .output()
+        .expect("bench-diff runs")
+}
+
+#[test]
+fn missing_baseline_bench_fails_loudly_and_names_the_bench() {
+    let dir = std::env::temp_dir().join(format!("fp-bench-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let baseline = write_snapshot(
+        &dir,
+        "base.json",
+        &[
+            ("wire_x/encode", 1000.0, 1050.0),
+            ("span/enabled", 300.0, 310.0),
+        ],
+    );
+    // The candidate dropped wire_x/encode entirely — e.g. the bench was
+    // deleted, or a filter typo skipped it. Pre-fix this passed silently.
+    let partial = write_snapshot(&dir, "partial.json", &[("span/enabled", 305.0, 315.0)]);
+
+    let out = run_diff(&baseline, &partial, &[]);
+    assert!(
+        !out.status.success(),
+        "a missing baseline bench must fail the default gate"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("wire_x/encode"),
+        "the missing bench must be named on stderr: {stderr}"
+    );
+    assert!(stderr.contains("missing"), "{stderr}");
+
+    // A filtered run that declares its slice with --require passes when
+    // its slice is fully covered...
+    let out = run_diff(&baseline, &partial, &["--require", "span"]);
+    assert!(
+        out.status.success(),
+        "span-scoped run covers every span bench; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // ...and still fails when the missing bench is inside the slice.
+    let out = run_diff(&baseline, &partial, &["--require", "wire_"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("wire_x/encode"));
+
+    // A complete candidate passes the strict default.
+    let full = write_snapshot(
+        &dir,
+        "full.json",
+        &[
+            ("wire_x/encode", 1005.0, 1055.0),
+            ("span/enabled", 305.0, 315.0),
+        ],
+    );
+    let out = run_diff(&baseline, &full, &[]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn regressions_and_missing_benches_both_reported_in_one_run() {
+    let dir = std::env::temp_dir().join(format!("fp-bench-diff-both-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let baseline = write_snapshot(
+        &dir,
+        "base.json",
+        &[("a/fast", 1000.0, 1050.0), ("a/gone", 500.0, 510.0)],
+    );
+    let new = write_snapshot(&dir, "new.json", &[("a/fast", 2000.0, 2100.0)]);
+
+    let out = run_diff(&baseline, &new, &[]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("a/gone"), "{stderr}");
+    assert!(stderr.contains("regression"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -52,13 +52,29 @@ pub enum ShardError {
         /// What was wrong with the reply.
         detail: String,
     },
+    /// The shard's scraped run-fingerprint chain disagrees with the
+    /// coordinator's mirror of the responses it actually received: the
+    /// shard computed (or recorded) something different from what it
+    /// served. Behavioral drift — corrupted state, a version skew, a
+    /// forged score — that a candidate-list diff could only catch by
+    /// re-scoring the gallery.
+    FingerprintDrift {
+        /// Index of the drifting shard.
+        shard: usize,
+        /// The coordinator's mirror chain value.
+        expected: u64,
+        /// The value the shard reported.
+        reported: u64,
+    },
 }
 
 impl ShardError {
     /// The shard the error originated from.
     pub fn shard(&self) -> usize {
         match self {
-            ShardError::Unavailable { shard, .. } | ShardError::Protocol { shard, .. } => *shard,
+            ShardError::Unavailable { shard, .. }
+            | ShardError::Protocol { shard, .. }
+            | ShardError::FingerprintDrift { shard, .. } => *shard,
         }
     }
 }
@@ -71,6 +87,17 @@ impl fmt::Display for ShardError {
             }
             ShardError::Protocol { shard, detail } => {
                 write!(f, "shard {shard} protocol error: {detail}")
+            }
+            ShardError::FingerprintDrift {
+                shard,
+                expected,
+                reported,
+            } => {
+                write!(
+                    f,
+                    "shard {shard} fingerprint drift: expected {expected:016x}, \
+                     shard reported {reported:016x}"
+                )
             }
         }
     }
@@ -117,7 +144,11 @@ impl<M: PreparableMatcher> ShardBackend for CandidateIndex<M> {
         selected_local: &[u32],
     ) -> Result<Vec<Candidate>, ShardError> {
         let prepared = self.prepare_probe(probe);
-        Ok(self.rerank(selected_local, &prepared))
+        let part = self.rerank(selected_local, &prepared);
+        // Fold the part exactly as served (local ids, selection order) so
+        // a coordinator mirroring the response can verify the chain.
+        self.fold_part(&part);
+        Ok(part)
     }
 }
 

@@ -1,5 +1,6 @@
 //! Tuning parameters for the candidate index.
 
+use fp_telemetry::{FingerprintChain, Fingerprinted};
 use serde::{Deserialize, Serialize};
 
 /// Tuning parameters for [`CandidateIndex`](crate::CandidateIndex).
@@ -60,6 +61,29 @@ impl IndexConfig {
     pub fn with_shortlist(mut self, shortlist: usize) -> IndexConfig {
         self.shortlist = shortlist;
         self
+    }
+
+    /// The base RUNFP chain every per-search fingerprint of a run starts
+    /// from: `seed` plus this config, folded in declaration order. Two
+    /// runs differing in any behavior-relevant parameter diverge before
+    /// the first candidate is folded.
+    pub fn fingerprint_base(&self, seed: u64) -> FingerprintChain {
+        let mut chain = FingerprintChain::new(seed);
+        chain.fold(self);
+        chain
+    }
+}
+
+impl Fingerprinted for IndexConfig {
+    /// Folds every behavior-relevant field in declaration order. All five
+    /// parameters change scores or shortlists, so all five are folded;
+    /// `distance_bin` goes in as raw `f64` bits.
+    fn fold_into(&self, chain: &mut FingerprintChain) {
+        chain.fold_u64(self.shortlist as u64);
+        chain.fold_u64(self.max_cylinders as u64);
+        chain.fold_u64(self.lss_depth as u64);
+        chain.fold_f64(self.distance_bin);
+        chain.fold_u64(self.angle_bins as u64);
     }
 }
 

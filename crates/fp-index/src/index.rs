@@ -5,7 +5,9 @@ use std::time::Instant;
 use fp_core::template::Template;
 use fp_core::MatchScore;
 use fp_match::{MccMatcher, PairTableMatcher, PreparableMatcher};
-use fp_telemetry::Telemetry;
+use fp_telemetry::{
+    FingerprintChain, FingerprintSnapshot, Fingerprinted, RunFingerprint, Telemetry,
+};
 
 use crate::config::IndexConfig;
 use crate::geohash::BucketIndex;
@@ -27,6 +29,15 @@ pub struct Candidate {
     pub id: u32,
     /// The exact matcher score against the probe.
     pub score: MatchScore,
+}
+
+impl Fingerprinted for Candidate {
+    /// `(id, score)` — the score as raw `f64` bits, so a single flipped
+    /// mantissa bit changes the fingerprint.
+    fn fold_into(&self, chain: &mut FingerprintChain) {
+        chain.fold_u64(u64::from(self.id));
+        chain.fold_f64(self.score.value());
+    }
 }
 
 /// The outcome of one 1:N search: the shortlist, re-ranked exactly.
@@ -90,6 +101,21 @@ impl SearchResult {
     }
 }
 
+impl Fingerprinted for SearchResult {
+    /// The canonical per-search fold: gallery size, shortlist length, then
+    /// every candidate as `(id, score bits, rank)` in global-fusion order
+    /// (score desc, id asc). Sharded and unsharded searches produce the
+    /// same merged list, so they fold identically.
+    fn fold_into(&self, chain: &mut FingerprintChain) {
+        chain.fold_u64(self.gallery_len as u64);
+        chain.fold_u64(self.candidates.len() as u64);
+        for (rank, candidate) in self.candidates.iter().enumerate() {
+            candidate.fold_into(chain);
+            chain.fold_u64(rank as u64);
+        }
+    }
+}
+
 /// The probe-side features of one search, computed once per probe: the
 /// prepared pair table (for geometric-hash voting) and the binarized
 /// cylinder codes. A [`crate::ShardedIndex`] computes this once and shares
@@ -150,6 +176,14 @@ pub struct CandidateIndex<M: PreparableMatcher> {
     entries: Vec<GalleryEntry<M::Prepared>>,
     buckets: BucketIndex,
     metrics: IndexMetrics,
+    /// Canonical run fingerprint: folds every [`search`](Self::search)'s
+    /// merged candidate list. Clones of the index share it.
+    runfp: RunFingerprint,
+    /// Stage-2 part fingerprint: folds the candidate parts this index
+    /// serves as a *shard backend* (`ShardBackend::stage_two`), in
+    /// selection order with shard-local ids — the chain a coordinator
+    /// mirrors and verifies over the wire.
+    part_fp: RunFingerprint,
 }
 
 impl<M: PreparableMatcher> CandidateIndex<M> {
@@ -168,7 +202,41 @@ impl<M: PreparableMatcher> CandidateIndex<M> {
             entries: Vec::new(),
             buckets: BucketIndex::new(config.distance_bin, config.angle_bins),
             metrics: IndexMetrics::default(),
+            runfp: RunFingerprint::new(config.fingerprint_base(0)),
+            part_fp: RunFingerprint::new(config.fingerprint_base(0)),
         }
+    }
+
+    /// Re-seeds the canonical run fingerprint (default seed 0). Call
+    /// before the first search: the cumulative chain restarts from the
+    /// new `(seed, config)` base. The stage-2 part chain keeps seed 0 —
+    /// it must match a coordinator's mirror, which has no run seed.
+    pub fn with_run_seed(mut self, seed: u64) -> Self {
+        self.runfp = RunFingerprint::new(self.config.fingerprint_base(seed));
+        self
+    }
+
+    /// Snapshot of the canonical run fingerprint: `(seed, config)` plus
+    /// every search's merged candidate list, combined commutatively (so
+    /// concurrent searches reach a thread-order-independent value).
+    pub fn run_fingerprint(&self) -> FingerprintSnapshot {
+        self.runfp.snapshot()
+    }
+
+    /// Snapshot of the stage-2 part chain this index accumulated while
+    /// serving as a shard backend.
+    pub fn part_fingerprint(&self) -> FingerprintSnapshot {
+        self.part_fp.snapshot()
+    }
+
+    /// Folds one served stage-2 part (shard-local ids, selection order)
+    /// into the part chain. Called by the `ShardBackend` impl and by
+    /// `ShardedIndex`'s per-shard re-rank lane, so in-process and remote
+    /// shards fold bit-identical sequences.
+    pub(crate) fn fold_part(&self, part: &[Candidate]) {
+        let mut chain = self.part_fp.begin();
+        chain.fold(part);
+        self.part_fp.record(&chain);
     }
 
     /// Registers the index's work counters and timing histograms on
@@ -409,10 +477,12 @@ impl<M: PreparableMatcher> CandidateIndex<M> {
             .add((n - candidates.len()) as u64);
         self.metrics.shortlist.record(candidates.len() as u64);
         self.metrics.search_time.record(start.elapsed());
-        SearchResult {
+        let result = SearchResult {
             candidates,
             gallery_len: n,
-        }
+        };
+        self.runfp.record_item(&result);
+        result
     }
 
     /// Exact brute-force ranking of the whole gallery — the reference the

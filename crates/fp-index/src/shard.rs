@@ -38,7 +38,7 @@
 use std::time::{Duration, Instant};
 
 use fp_core::template::Template;
-use fp_telemetry::Telemetry;
+use fp_telemetry::{FingerprintSnapshot, RunFingerprint, Telemetry};
 
 use crate::config::IndexConfig;
 use crate::index::{fuse_select, Candidate, CandidateIndex, SearchResult, StageOneScores};
@@ -57,6 +57,10 @@ pub struct ShardedIndex<M: fp_match::PreparableMatcher> {
     rollup: IndexMetrics,
     config: IndexConfig,
     enrolled: usize,
+    /// Canonical run fingerprint over merged (global-fusion-order) results
+    /// — byte-for-byte comparable with an unsharded index's, because the
+    /// merged candidate lists are byte-identical.
+    runfp: RunFingerprint,
 }
 
 impl<M: fp_match::PreparableMatcher + Clone> ShardedIndex<M> {
@@ -76,6 +80,7 @@ impl<M: fp_match::PreparableMatcher + Clone> ShardedIndex<M> {
             rollup: IndexMetrics::default(),
             config,
             enrolled: 0,
+            runfp: RunFingerprint::new(config.fingerprint_base(0)),
         }
     }
 }
@@ -98,6 +103,30 @@ impl<M: fp_match::PreparableMatcher> ShardedIndex<M> {
             })
             .collect();
         self
+    }
+
+    /// Re-seeds the canonical run fingerprint (default seed 0). Call
+    /// before the first search. Equal seeds, configs, galleries and probe
+    /// sequences give a value equal to an unsharded
+    /// [`CandidateIndex::run_fingerprint`] — for any shard count.
+    pub fn with_run_seed(mut self, seed: u64) -> Self {
+        self.runfp = RunFingerprint::new(self.config.fingerprint_base(seed));
+        self
+    }
+
+    /// Snapshot of the canonical run fingerprint (see
+    /// [`CandidateIndex::run_fingerprint`]).
+    pub fn run_fingerprint(&self) -> FingerprintSnapshot {
+        self.runfp.snapshot()
+    }
+
+    /// Per-shard stage-2 part chains, in shard order — what a remote
+    /// coordinator would scrape from each shard process.
+    pub fn shard_fingerprints(&self) -> Vec<FingerprintSnapshot> {
+        self.shards
+            .iter()
+            .map(|shard| shard.part_fingerprint())
+            .collect()
     }
 
     /// Number of shards.
@@ -250,6 +279,14 @@ impl<M: fp_match::PreparableMatcher> ShardedIndex<M> {
             self.per_shard_indexed("index.shard.rerank", |k, shard| {
                 let t0 = Instant::now();
                 let mut part = shard.rerank(&selected_local[k], &probe_prepared);
+                // Fold the part chain before globalizing — local ids in
+                // selection order, the same sequence a remote shard folds
+                // when serving the equivalent stage-2 request. Empty
+                // selections fold nothing: remote drivers skip the round
+                // trip entirely, and the chains must match.
+                if !selected_local[k].is_empty() {
+                    shard.fold_part(&part);
+                }
                 globalize_and_sort(&mut part, k, s);
                 (part, t0.elapsed())
             })
@@ -282,7 +319,9 @@ impl<M: fp_match::PreparableMatcher> ShardedIndex<M> {
             .add((n - candidates.len()) as u64);
         self.rollup.shortlist.record(candidates.len() as u64);
         self.rollup.search_time.record(start.elapsed());
-        SearchResult::from_parts(candidates, n)
+        let result = SearchResult::from_parts(candidates, n);
+        self.runfp.record_item(&result);
+        result
     }
 
     /// Runs `f` once per shard, one thread per shard (inline when there is

@@ -20,14 +20,16 @@
 //! FNIR numbers, which is strictly worse than a loud error.
 
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use fp_core::template::Template;
 use fp_index::shard::{globalize_and_sort, merge_sorted_parts, select_per_shard, stitch_stage_one};
 use fp_index::{IndexConfig, SearchResult, ShardBackend, ShardError, StageOneScores};
-use fp_telemetry::Telemetry;
+use fp_telemetry::{
+    FingerprintChain, FingerprintSnapshot, HistogramSnapshot, RunFingerprint, Telemetry,
+};
 
 use crate::metrics::ServeMetrics;
 use crate::wire::{code, read_frame, write_frame, Frame, WireError};
@@ -101,6 +103,12 @@ pub struct RemoteShard {
     deadline: Duration,
     retry: RetryPolicy,
     metrics: ServeMetrics,
+    /// The coordinator's mirror of this shard's served-part fingerprint
+    /// chain: every decoded re-rank response is folded here exactly as the
+    /// shard folds what it serves (local ids, selection order), so scraping
+    /// the shard's chain with [`Frame::Fingerprint`] and comparing detects
+    /// any divergence between what the shard computed and what arrived.
+    mirror: RunFingerprint,
 }
 
 impl RemoteShard {
@@ -116,6 +124,7 @@ impl RemoteShard {
             deadline,
             retry,
             metrics: ServeMetrics::default(),
+            mirror: RunFingerprint::new(IndexConfig::default().fingerprint_base(0)),
         }
     }
 
@@ -123,6 +132,20 @@ impl RemoteShard {
     pub fn with_metrics(mut self, metrics: ServeMetrics) -> Self {
         self.metrics = metrics;
         self
+    }
+
+    /// Re-bases the mirror chain. The coordinator calls this with its
+    /// config's fingerprint base so the mirror starts from the same state
+    /// as the shard's own part chain.
+    pub fn with_fingerprint_base(mut self, base: FingerprintChain) -> Self {
+        self.mirror = RunFingerprint::new(base);
+        self
+    }
+
+    /// The mirror chain built from this connection's decoded re-rank
+    /// responses.
+    pub fn mirror_fingerprint(&self) -> FingerprintSnapshot {
+        self.mirror.snapshot()
     }
 
     /// This shard's index in the round-robin id mapping.
@@ -266,6 +289,53 @@ impl RemoteShard {
         }
     }
 
+    /// Scrapes the shard's served-part fingerprint chain and compares it
+    /// with this connection's mirror. A mismatch means the shard's recorded
+    /// chain disagrees with the responses the coordinator actually decoded
+    /// — behavioral drift that a candidate-list diff could only catch by
+    /// re-scoring — and surfaces as [`ShardError::FingerprintDrift`] with
+    /// the `serve.drift` counter bumped.
+    pub fn verify_fingerprint(&self) -> Result<FingerprintSnapshot, ShardError> {
+        let expected = self.mirror.snapshot();
+        match self.call(&Frame::Fingerprint)? {
+            Frame::FingerprintOk { value, searches } => {
+                if value != expected.value {
+                    self.metrics.drift.incr();
+                    return Err(ShardError::FingerprintDrift {
+                        shard: self.shard,
+                        expected: expected.value,
+                        reported: value,
+                    });
+                }
+                Ok(FingerprintSnapshot { value, searches })
+            }
+            other => Err(self.protocol(format!("expected fingerprint_ok, got '{}'", other.kind()))),
+        }
+    }
+
+    /// Fetches the shard process's telemetry snapshot (counters plus
+    /// duration and value histograms) over [`Frame::Stats`].
+    #[allow(clippy::type_complexity)]
+    pub fn fetch_stats(
+        &self,
+    ) -> Result<
+        (
+            Vec<(String, u64)>,
+            Vec<(String, HistogramSnapshot)>,
+            Vec<(String, HistogramSnapshot)>,
+        ),
+        ShardError,
+    > {
+        match self.call(&Frame::Stats)? {
+            Frame::StatsOk {
+                counters,
+                durations,
+                values,
+            } => Ok((counters, durations, values)),
+            other => Err(self.protocol(format!("expected stats_ok, got '{}'", other.kind()))),
+        }
+    }
+
     /// Best-effort clean shutdown of the shard process.
     pub fn shutdown(&self) -> Result<(), ShardError> {
         match self.call(&Frame::Shutdown)? {
@@ -334,6 +404,10 @@ impl ShardBackend for RemoteShard {
                 selected_local.len()
             )));
         }
+        // Mirror-fold the decoded part exactly as the shard folds what it
+        // serves (local ids, selection order) before the ids are
+        // globalized, so the two chains agree iff shard and wire agree.
+        self.mirror.record_item(&candidates[..]);
         Ok(candidates)
     }
 }
@@ -345,6 +419,14 @@ pub struct Coordinator {
     config: IndexConfig,
     enrolled: usize,
     telemetry: Telemetry,
+    /// Canonical run fingerprint, folded over merged results in
+    /// global-fusion order — the same chain an unsharded
+    /// [`fp_index::CandidateIndex`] builds for the same probes.
+    runfp: RunFingerprint,
+    /// Searches completed, driving the every-Nth drift check.
+    searches: AtomicU64,
+    /// Verify shard fingerprints after every Nth search (0 = never).
+    fingerprint_every: u64,
 }
 
 impl Coordinator {
@@ -360,7 +442,10 @@ impl Coordinator {
         let shards: Vec<RemoteShard> = addrs
             .iter()
             .enumerate()
-            .map(|(k, &addr)| RemoteShard::new(addr, k, deadline, retry))
+            .map(|(k, &addr)| {
+                RemoteShard::new(addr, k, deadline, retry)
+                    .with_fingerprint_base(config.fingerprint_base(0))
+            })
             .collect();
         let mut enrolled = 0;
         for shard in &shards {
@@ -368,10 +453,29 @@ impl Coordinator {
         }
         Ok(Coordinator {
             shards,
+            runfp: RunFingerprint::new(config.fingerprint_base(0)),
             config,
             enrolled,
             telemetry: Telemetry::disabled(),
+            searches: AtomicU64::new(0),
+            fingerprint_every: 0,
         })
+    }
+
+    /// Re-seeds the canonical run fingerprint (the per-shard mirror chains
+    /// keep seed 0 — shard servers have no notion of the run seed).
+    pub fn with_run_seed(mut self, seed: u64) -> Self {
+        self.runfp = RunFingerprint::new(self.config.fingerprint_base(seed));
+        self
+    }
+
+    /// Verifies every shard's fingerprint chain after every `every`th
+    /// search (0, the default, disables the periodic check;
+    /// [`verify_fingerprints`](Self::verify_fingerprints) can always be
+    /// called explicitly).
+    pub fn with_fingerprint_every(mut self, every: u64) -> Self {
+        self.fingerprint_every = every;
+        self
     }
 
     /// Registers `serve.*` instruments and the trace-span source on
@@ -500,7 +604,74 @@ impl Coordinator {
             Ok(part)
         }))?;
 
-        Ok(SearchResult::from_parts(merge_sorted_parts(&parts), n))
+        let result = SearchResult::from_parts(merge_sorted_parts(&parts), n);
+        self.runfp.record_item(&result);
+        let done = self.searches.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.fingerprint_every > 0 && done.is_multiple_of(self.fingerprint_every) {
+            self.verify_fingerprints()?;
+        }
+        Ok(result)
+    }
+
+    /// The canonical run fingerprint over every search served so far —
+    /// equal to the unsharded index's chain for the same config, seed and
+    /// probe sequence.
+    pub fn run_fingerprint(&self) -> FingerprintSnapshot {
+        self.runfp.snapshot()
+    }
+
+    /// The per-shard mirror chains (what the coordinator decoded), in
+    /// shard order.
+    pub fn shard_fingerprints(&self) -> Vec<FingerprintSnapshot> {
+        self.shards
+            .iter()
+            .map(|shard| shard.mirror_fingerprint())
+            .collect()
+    }
+
+    /// Scrapes every shard's served-part chain over [`Frame::Fingerprint`]
+    /// and compares it with this coordinator's mirror of the responses it
+    /// decoded. The first drifting shard fails the call with
+    /// [`ShardError::FingerprintDrift`] (after bumping `serve.drift`);
+    /// otherwise returns the verified snapshots in shard order.
+    pub fn verify_fingerprints(&self) -> Result<Vec<FingerprintSnapshot>, ShardError> {
+        let _span = self.telemetry.trace_span(
+            "serve.fingerprint",
+            &[("shards", self.shards.len().to_string())],
+        );
+        self.shards
+            .iter()
+            .map(|shard| shard.verify_fingerprint())
+            .collect()
+    }
+
+    /// Fetches every shard process's telemetry snapshot over
+    /// [`Frame::Stats`] and merges it into this coordinator's telemetry as
+    /// gauges under `shard<k>.remote.*` (counters as their value,
+    /// histograms as `<name>.count` / `<name>.sum`). Gauges make re-scrapes
+    /// idempotent: each scrape overwrites the last.
+    pub fn scrape_stats(&self) -> Result<(), ShardError> {
+        let _span = self
+            .telemetry
+            .trace_span("serve.stats", &[("shards", self.shards.len().to_string())]);
+        for shard in &self.shards {
+            let (counters, durations, values) = shard.fetch_stats()?;
+            let k = shard.shard_index();
+            for (name, value) in counters {
+                self.telemetry
+                    .gauge(&format!("shard{k}.remote.{name}"))
+                    .set(value as f64);
+            }
+            for (name, h) in durations.into_iter().chain(values) {
+                self.telemetry
+                    .gauge(&format!("shard{k}.remote.{name}.count"))
+                    .set(h.count as f64);
+                self.telemetry
+                    .gauge(&format!("shard{k}.remote.{name}.sum"))
+                    .set(h.sum as f64);
+            }
+        }
+        Ok(())
     }
 
     /// Sends every shard a clean shutdown. Returns the first error, but

@@ -9,6 +9,9 @@
 //! * `serve.bytes_tx` / `serve.bytes_rx` — wire bytes written / read;
 //! * `serve.retries` — attempts beyond the first;
 //! * `serve.timeouts` — attempts that died on the per-request deadline;
+//! * `serve.drift` — fingerprint-chain mismatches between a shard's
+//!   scraped chain and the coordinator's mirror (each one also surfaced
+//!   as a typed `ShardError::FingerprintDrift`);
 //! * `serve.rpc.<kind>` — one latency histogram per request frame type
 //!   (`enroll`, `stage1`, `rerank`, `health`, `shutdown`), timing the full
 //!   round trip including encode/decode.
@@ -27,6 +30,7 @@ pub struct ServeMetrics {
     pub(crate) bytes_rx: Counter,
     pub(crate) retries: Counter,
     pub(crate) timeouts: Counter,
+    pub(crate) drift: Counter,
 }
 
 impl ServeMetrics {
@@ -39,6 +43,7 @@ impl ServeMetrics {
             bytes_rx: telemetry.counter("serve.bytes_rx"),
             retries: telemetry.counter("serve.retries"),
             timeouts: telemetry.counter("serve.timeouts"),
+            drift: telemetry.counter("serve.drift"),
         }
     }
 

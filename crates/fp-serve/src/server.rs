@@ -18,13 +18,14 @@
 
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 use fp_core::template::Template;
 use fp_index::{CandidateIndex, IndexConfig, ShardBackend};
 use fp_match::PreparableMatcher;
+use fp_telemetry::Telemetry;
 
 use crate::wire::{code, read_frame, write_frame, Frame, WireError};
 
@@ -41,6 +42,14 @@ struct State<M: PreparableMatcher> {
     matcher: M,
     index: RwLock<CandidateIndex<M>>,
     stop: Arc<AtomicBool>,
+    /// Instruments the [`Frame::Stats`] snapshot is taken from; inert
+    /// unless [`ShardServer::with_telemetry`] was called.
+    telemetry: Telemetry,
+    /// Fault-injection hook: XORed into every reported
+    /// [`Frame::FingerprintOk`] value. Zero (the default) is a no-op; the
+    /// loopback e2e suite sets it non-zero to prove a drifting shard is
+    /// caught by the coordinator's mirror comparison.
+    skew: Arc<AtomicU64>,
 }
 
 /// A TCP server exposing one gallery shard over the wire protocol.
@@ -88,8 +97,32 @@ where
                 index: RwLock::new(CandidateIndex::new(matcher.clone())),
                 matcher,
                 stop: Arc::new(AtomicBool::new(false)),
+                telemetry: Telemetry::disabled(),
+                skew: Arc::new(AtomicU64::new(0)),
             }),
         })
+    }
+
+    /// Attaches a telemetry handle: the index registers its `index.*`
+    /// instruments on it, and [`Frame::Stats`] answers with a snapshot of
+    /// it. Must be called before [`run`](Self::run)/[`spawn`](Self::spawn)
+    /// (while the server is still a builder).
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        let state =
+            Arc::get_mut(&mut self.state).expect("with_telemetry must be called before spawn/run");
+        state.telemetry = telemetry.clone();
+        let mut index = state.index.write().expect("index lock poisoned");
+        *index = CandidateIndex::new(state.matcher.clone()).with_telemetry(telemetry);
+        drop(index);
+        self
+    }
+
+    /// Fault-injection handle for tests: any non-zero word stored here is
+    /// XORed into every [`Frame::FingerprintOk`] value this server reports,
+    /// simulating a shard whose recorded chain disagrees with what it
+    /// actually served (bit rot, version skew, a forged score).
+    pub fn skew_fingerprint(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.state.skew)
     }
 
     /// The bound address (the port to advertise when bound to port 0).
@@ -226,6 +259,25 @@ where
         Frame::Health => Frame::HealthOk {
             shard_len: state.index.read().expect("index lock poisoned").len() as u32,
         },
+        Frame::Fingerprint => {
+            let snapshot = state
+                .index
+                .read()
+                .expect("index lock poisoned")
+                .part_fingerprint();
+            Frame::FingerprintOk {
+                value: snapshot.value ^ state.skew.load(Ordering::Relaxed),
+                searches: snapshot.searches,
+            }
+        }
+        Frame::Stats => {
+            let snapshot = state.telemetry.snapshot();
+            Frame::StatsOk {
+                counters: snapshot.counters.into_iter().collect(),
+                durations: snapshot.durations.into_iter().collect(),
+                values: snapshot.values.into_iter().collect(),
+            }
+        }
         Frame::Shutdown => Frame::ShutdownOk,
         // Response frames arriving as requests are a client bug.
         other => Frame::Error {
@@ -243,7 +295,12 @@ where
     let mut index = state.index.write().expect("index lock poisoned");
     if index.is_empty() {
         if *index.config() != config {
-            *index = CandidateIndex::with_config(state.matcher.clone(), config);
+            // Rebuilding on config adoption resets the part-fingerprint
+            // chain too — correct, since the new chain must start from the
+            // adopted config's base. Re-attach the telemetry handle the
+            // rebuild would otherwise lose.
+            *index = CandidateIndex::with_config(state.matcher.clone(), config)
+                .with_telemetry(&state.telemetry);
         }
     } else if *index.config() != config {
         return Frame::Error {

@@ -26,9 +26,16 @@
 //!
 //! Requests: [`Frame::EnrollBatch`] (carries the [`IndexConfig`] so a shard
 //! can never silently score under the wrong tuning), [`Frame::StageOne`],
-//! [`Frame::Rerank`], [`Frame::Health`], [`Frame::Shutdown`]. Each has a
-//! paired `*Ok` response; any request can instead be answered by
-//! [`Frame::Error`] with a typed error code.
+//! [`Frame::Rerank`], [`Frame::Health`], [`Frame::Fingerprint`],
+//! [`Frame::Stats`], [`Frame::Shutdown`]. Each has a paired `*Ok`
+//! response; any request can instead be answered by [`Frame::Error`] with
+//! a typed error code.
+//!
+//! Protocol v2 added the introspection plane: [`Frame::Fingerprint`]
+//! scrapes the shard's cumulative RUNFP chain (the coordinator verifies it
+//! against its own mirror — O(1) behavioral parity per scrape) and
+//! [`Frame::Stats`] scrapes a remote snapshot of the shard's counters and
+//! histograms.
 
 use std::fmt;
 use std::io::{Read, Write};
@@ -38,14 +45,16 @@ use fp_core::minutia::{Minutia, MinutiaKind};
 use fp_core::template::Template;
 use fp_core::MatchScore;
 use fp_index::{Candidate, IndexConfig, StageOneScores};
+use fp_telemetry::HistogramSnapshot;
 
 /// Frame magic: "FPSH" (FingerPrint SHard).
 pub const MAGIC: [u8; 4] = *b"FPSH";
 
 /// Protocol version. Bump on any layout change; mismatches are rejected
 /// with [`WireError::VersionMismatch`] before a single payload byte is
-/// interpreted.
-pub const VERSION: u16 = 1;
+/// interpreted. v2: added the `Fingerprint`/`Stats` introspection frames
+/// (types 12–15).
+pub const VERSION: u16 = 2;
 
 /// Upper bound on a frame payload (64 MiB): large enough for a 100k-entry
 /// enroll batch, small enough that a corrupted length prefix cannot ask the
@@ -211,6 +220,31 @@ pub enum Frame {
     Shutdown,
     /// Acknowledged; the server stops accepting after sending this.
     ShutdownOk,
+    /// Scrape the shard's cumulative stage-2 run-fingerprint chain.
+    Fingerprint,
+    /// The shard's RUNFP chain state. The coordinator compares `value`
+    /// (and `searches`) against its own mirror of the stage-2 responses it
+    /// received — inequality means the shard recorded something different
+    /// from what it served: behavioral drift.
+    FingerprintOk {
+        /// Cumulative chain value.
+        value: u64,
+        /// Number of stage-2 parts folded into the chain.
+        searches: u64,
+    },
+    /// Scrape a remote snapshot of the shard's telemetry.
+    Stats,
+    /// The shard's counters and histograms (empty when the shard runs with
+    /// telemetry disabled). Entries are sorted by name — snapshots come
+    /// from `BTreeMap`s — so encoding is deterministic.
+    StatsOk {
+        /// Monotonic counters, by name.
+        counters: Vec<(String, u64)>,
+        /// Wall-time histograms (nanoseconds), by name.
+        durations: Vec<(String, HistogramSnapshot)>,
+        /// Work-size histograms, by name.
+        values: Vec<(String, HistogramSnapshot)>,
+    },
     /// Typed failure answering any request.
     Error {
         /// One of the [`code`] constants.
@@ -234,6 +268,10 @@ impl Frame {
             Frame::HealthOk { .. } => "health_ok",
             Frame::Shutdown => "shutdown",
             Frame::ShutdownOk => "shutdown_ok",
+            Frame::Fingerprint => "fingerprint",
+            Frame::FingerprintOk { .. } => "fingerprint_ok",
+            Frame::Stats => "stats",
+            Frame::StatsOk { .. } => "stats_ok",
             Frame::Error { .. } => "error",
         }
     }
@@ -251,6 +289,10 @@ impl Frame {
             Frame::Shutdown => 9,
             Frame::ShutdownOk => 10,
             Frame::Error { .. } => 11,
+            Frame::Fingerprint => 12,
+            Frame::FingerprintOk { .. } => 13,
+            Frame::Stats => 14,
+            Frame::StatsOk { .. } => 15,
         }
     }
 }
@@ -341,6 +383,26 @@ fn put_config(buf: &mut Vec<u8>, c: &IndexConfig) {
     put_u64(buf, c.lss_depth as u64);
     put_f64(buf, c.distance_bin);
     put_u64(buf, c.angle_bins as u64);
+}
+
+fn put_histogram(buf: &mut Vec<u8>, h: &HistogramSnapshot) {
+    put_u64(buf, h.count);
+    put_u64(buf, h.sum);
+    put_u64(buf, h.min);
+    put_u64(buf, h.max);
+    put_u64(buf, h.p50);
+    put_u64(buf, h.p95);
+}
+
+/// Minimum encoded size of a named histogram entry (empty name).
+const HISTOGRAM_ENTRY_MIN: usize = 4 + 6 * 8;
+
+fn put_histograms(buf: &mut Vec<u8>, entries: &[(String, HistogramSnapshot)]) {
+    put_u32(buf, entries.len() as u32);
+    for (name, h) in entries {
+        put_str(buf, name);
+        put_histogram(buf, h);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -441,6 +503,28 @@ impl<'a> Dec<'a> {
             .map_err(|e| WireError::Malformed(format!("invalid template: {e}")))
     }
 
+    fn histogram(&mut self) -> Result<HistogramSnapshot, WireError> {
+        Ok(HistogramSnapshot {
+            count: self.u64()?,
+            sum: self.u64()?,
+            min: self.u64()?,
+            max: self.u64()?,
+            p50: self.u64()?,
+            p95: self.u64()?,
+        })
+    }
+
+    fn histograms(&mut self) -> Result<Vec<(String, HistogramSnapshot)>, WireError> {
+        let raw_count = self.u32()? as u64;
+        let count = self.checked_count(raw_count, HISTOGRAM_ENTRY_MIN)?;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = self.string()?;
+            entries.push((name, self.histogram()?));
+        }
+        Ok(entries)
+    }
+
     fn config(&mut self) -> Result<IndexConfig, WireError> {
         Ok(IndexConfig {
             shortlist: self.u64()? as usize,
@@ -511,8 +595,26 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
                 put_f64(&mut buf, c.score.value());
             }
         }
-        Frame::Health | Frame::Shutdown | Frame::ShutdownOk => {}
+        Frame::Health | Frame::Shutdown | Frame::ShutdownOk | Frame::Fingerprint | Frame::Stats => {
+        }
         Frame::HealthOk { shard_len } => put_u32(&mut buf, *shard_len),
+        Frame::FingerprintOk { value, searches } => {
+            put_u64(&mut buf, *value);
+            put_u64(&mut buf, *searches);
+        }
+        Frame::StatsOk {
+            counters,
+            durations,
+            values,
+        } => {
+            put_u32(&mut buf, counters.len() as u32);
+            for (name, value) in counters {
+                put_str(&mut buf, name);
+                put_u64(&mut buf, *value);
+            }
+            put_histograms(&mut buf, durations);
+            put_histograms(&mut buf, values);
+        }
         Frame::Error { code, detail } => {
             buf.push(*code);
             put_str(&mut buf, detail);
@@ -633,6 +735,39 @@ fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, WireError> {
             dec.finish()?;
             Frame::Error { code, detail }
         }
+        12 => {
+            Dec::new(payload, "fingerprint request").finish()?;
+            Frame::Fingerprint
+        }
+        13 => {
+            let mut dec = Dec::new(payload, "fingerprint chain");
+            let value = dec.u64()?;
+            let searches = dec.u64()?;
+            dec.finish()?;
+            Frame::FingerprintOk { value, searches }
+        }
+        14 => {
+            Dec::new(payload, "stats request").finish()?;
+            Frame::Stats
+        }
+        15 => {
+            let mut dec = Dec::new(payload, "stats snapshot");
+            let raw_count = dec.u32()? as u64;
+            let count = dec.checked_count(raw_count, 12)?;
+            let mut counters = Vec::with_capacity(count);
+            for _ in 0..count {
+                let name = dec.string()?;
+                counters.push((name, dec.u64()?));
+            }
+            let durations = dec.histograms()?;
+            let values = dec.histograms()?;
+            dec.finish()?;
+            Frame::StatsOk {
+                counters,
+                durations,
+                values,
+            }
+        }
         other => return Err(WireError::BadFrameType(other)),
     };
     Ok(frame)
@@ -746,7 +881,13 @@ mod tests {
 
     #[test]
     fn empty_frames_round_trip() {
-        for frame in [Frame::Health, Frame::Shutdown, Frame::ShutdownOk] {
+        for frame in [
+            Frame::Health,
+            Frame::Shutdown,
+            Frame::ShutdownOk,
+            Frame::Fingerprint,
+            Frame::Stats,
+        ] {
             let bytes = encode_frame(&frame);
             assert_eq!(decode_frame(&bytes).unwrap(), frame);
             let (via_reader, n) = read_frame(&mut &bytes[..]).unwrap();
@@ -763,6 +904,66 @@ mod tests {
         };
         let bytes = encode_frame(&frame);
         assert_eq!(decode_frame(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn fingerprint_ok_round_trips() {
+        let frame = Frame::FingerprintOk {
+            value: 0xDEAD_BEEF_0BAD_F00D,
+            searches: 96,
+        };
+        let bytes = encode_frame(&frame);
+        assert_eq!(decode_frame(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn stats_ok_round_trips() {
+        let h = HistogramSnapshot {
+            count: 3,
+            sum: 300,
+            min: 50,
+            max: 150,
+            p50: 100,
+            p95: 150,
+        };
+        let frame = Frame::StatsOk {
+            counters: vec![
+                ("index.searches".to_string(), 96),
+                ("serve.requests".to_string(), 200),
+            ],
+            durations: vec![("index.search.seconds".to_string(), h)],
+            values: vec![("index.shortlist".to_string(), h)],
+        };
+        let bytes = encode_frame(&frame);
+        assert_eq!(decode_frame(&bytes).unwrap(), frame);
+        // Empty snapshot (telemetry-disabled shard) round-trips too.
+        let empty = Frame::StatsOk {
+            counters: Vec::new(),
+            durations: Vec::new(),
+            values: Vec::new(),
+        };
+        let bytes = encode_frame(&empty);
+        assert_eq!(decode_frame(&bytes).unwrap(), empty);
+    }
+
+    #[test]
+    fn stats_ok_rejects_lying_counts() {
+        // A counter count that cannot fit the remaining payload must be
+        // rejected before any allocation.
+        let mut bytes = encode_frame(&Frame::StatsOk {
+            counters: Vec::new(),
+            durations: Vec::new(),
+            values: Vec::new(),
+        });
+        // Payload starts at HEADER_LEN: first u32 is the counter count.
+        bytes[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let fixed = crc32(&bytes[HEADER_LEN..bytes.len() - 4]);
+        let crc_at = bytes.len() - 4;
+        bytes[crc_at..].copy_from_slice(&fixed.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]

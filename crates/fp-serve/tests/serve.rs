@@ -340,6 +340,180 @@ fn ancestor_of(
     false
 }
 
+/// The canonical run fingerprint is transport-invariant: unsharded,
+/// in-process sharded and remote coordinators fold byte-identical merged
+/// results, so their chains are equal — and the per-shard chain scrape
+/// verifies cleanly when nothing drifted.
+#[test]
+fn run_fingerprints_agree_across_transports() {
+    let n = 14;
+    let templates = gallery(21, n);
+    let config = IndexConfig::default();
+    let seed = 2013;
+
+    let mut unsharded =
+        CandidateIndex::with_config(PairTableMatcher::default(), config).with_run_seed(seed);
+    unsharded.enroll_all(&templates);
+
+    for s in [1usize, 3] {
+        let (handles, addrs) = spawn_servers(s);
+        let telemetry = Telemetry::enabled();
+        let mut remote = Coordinator::connect(&addrs, config, Duration::from_secs(5), fast_retry())
+            .unwrap()
+            .with_telemetry(&telemetry)
+            .with_run_seed(seed)
+            .with_fingerprint_every(1);
+        remote.enroll_all(&templates).unwrap();
+
+        let mut sharded =
+            ShardedIndex::with_config(PairTableMatcher::default(), config, s).with_run_seed(seed);
+        sharded.enroll_all(&templates);
+
+        let mut fresh =
+            CandidateIndex::with_config(PairTableMatcher::default(), config).with_run_seed(seed);
+        fresh.enroll_all(&templates);
+
+        for probe_pick in [0usize, 4, 9] {
+            let probe = second_capture(&templates[probe_pick], 21 ^ probe_pick as u64);
+            fresh.search_with_budget(&probe, n / 2);
+            sharded.search_with_budget(&probe, n / 2);
+            remote.search_with_budget(&probe, n / 2).unwrap();
+        }
+
+        let a = fresh.run_fingerprint();
+        let b = sharded.run_fingerprint();
+        let c = remote.run_fingerprint();
+        assert_eq!(a, b, "unsharded != in-process sharded at s={s}");
+        assert_eq!(a, c, "unsharded != remote at s={s}");
+
+        // The in-process sharded index's per-shard part chains equal the
+        // coordinator's mirrors of its remote shards: both fold the same
+        // served parts in the same order.
+        assert_eq!(sharded.shard_fingerprints(), remote.shard_fingerprints());
+
+        // Every search already ran the every-1 scrape; an explicit pass
+        // must agree too and the drift counter must have stayed at zero.
+        let scraped = remote.verify_fingerprints().unwrap();
+        assert_eq!(scraped, remote.shard_fingerprints());
+        let snapshot = telemetry.snapshot();
+        assert_eq!(snapshot.counters.get("serve.drift").copied(), Some(0));
+
+        remote.shutdown_all().unwrap();
+        for handle in handles {
+            handle.join();
+        }
+    }
+}
+
+/// Inject fingerprint skew into a shard server: the every-Nth scrape must
+/// surface a typed `FingerprintDrift` naming the shard and bump the
+/// `serve.drift` counter — a shard whose recorded chain disagrees with
+/// what it served is never trusted silently.
+#[test]
+fn injected_drift_surfaces_as_typed_error() {
+    let templates = gallery(33, 8);
+    let server = ShardServer::bind(PairTableMatcher::default(), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+    let skew = server.skew_fingerprint();
+    let handle = server.spawn();
+
+    let telemetry = Telemetry::enabled();
+    let mut remote = Coordinator::connect(
+        &[addr],
+        IndexConfig::default(),
+        Duration::from_secs(5),
+        fast_retry(),
+    )
+    .unwrap()
+    .with_telemetry(&telemetry)
+    .with_fingerprint_every(1);
+    remote.enroll_all(&templates).unwrap();
+
+    let probe = second_capture(&templates[1], 0xD21F7);
+    // Clean shard: the every-1 check passes.
+    remote.search_with_budget(&probe, 8).unwrap();
+
+    // Now skew the shard's reported chain and search again.
+    skew.store(0xBAD_C0DE, std::sync::atomic::Ordering::Relaxed);
+    match remote.search_with_budget(&probe, 8) {
+        Err(ShardError::FingerprintDrift {
+            shard,
+            expected,
+            reported,
+        }) => {
+            assert_eq!(shard, 0, "the drifting shard must be named");
+            assert_eq!(reported, expected ^ 0xBAD_C0DE);
+        }
+        Err(other) => panic!("expected FingerprintDrift, got {other}"),
+        Ok(_) => panic!("a drifting shard must fail the search"),
+    }
+    let snapshot = telemetry.snapshot();
+    assert_eq!(snapshot.counters.get("serve.drift").copied(), Some(1));
+
+    // Clearing the skew restores agreement: drift is detection, not state
+    // corruption — the underlying chains never actually diverged.
+    skew.store(0, std::sync::atomic::Ordering::Relaxed);
+    remote.verify_fingerprints().unwrap();
+
+    remote.shutdown_all().unwrap();
+    handle.join();
+}
+
+/// STATS scrapes a shard process's own telemetry and lands it in the
+/// coordinator's snapshot under `shard<k>.remote.*`, so a remote run's
+/// per-shard work counters are visible from one process.
+#[test]
+fn stats_scrape_merges_remote_instruments() {
+    let templates = gallery(55, 10);
+    let server_telemetry = Telemetry::enabled();
+    let server = ShardServer::bind(PairTableMatcher::default(), "127.0.0.1:0")
+        .unwrap()
+        .with_telemetry(&server_telemetry);
+    let addr = server.local_addr().unwrap();
+    let handle = server.spawn();
+
+    let telemetry = Telemetry::enabled();
+    let mut remote = Coordinator::connect(
+        &[addr],
+        IndexConfig::default(),
+        Duration::from_secs(5),
+        fast_retry(),
+    )
+    .unwrap()
+    .with_telemetry(&telemetry);
+    remote.enroll_all(&templates).unwrap();
+    let probe = second_capture(&templates[0], 77);
+    remote.search_with_budget(&probe, 10).unwrap();
+
+    remote.scrape_stats().unwrap();
+    let snapshot = telemetry.snapshot();
+    assert_eq!(
+        snapshot.gauges.get("shard0.remote.index.enrolled").copied(),
+        Some(templates.len() as f64),
+        "gauges: {:?}",
+        snapshot.gauges.keys().collect::<Vec<_>>()
+    );
+    // Histograms arrive as .count/.sum gauge pairs; one enroll batch was
+    // built server-side.
+    assert_eq!(
+        snapshot
+            .gauges
+            .get("shard0.remote.index.build.batch_seconds.count")
+            .copied(),
+        Some(1.0)
+    );
+    // Re-scraping is idempotent: gauges overwrite, never accumulate.
+    remote.scrape_stats().unwrap();
+    let again = telemetry.snapshot();
+    assert_eq!(
+        again.gauges.get("shard0.remote.index.enrolled"),
+        snapshot.gauges.get("shard0.remote.index.enrolled")
+    );
+
+    remote.shutdown_all().unwrap();
+    handle.join();
+}
+
 /// Wire-level shutdown stops the server's accept loop (run() returns), so
 /// the `serve-shard` process exits by itself.
 #[test]

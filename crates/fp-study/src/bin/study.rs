@@ -17,6 +17,8 @@
 //! study check-scaling results.json # gate an ext-scaling JSON (recall/audits)
 //! study check-serve results.json   # gate the cross-process parity rung
 //! study check-telemetry results.json # gate a study JSON's telemetry section
+//! study fingerprint results.json   # print/save the run-fingerprint manifest
+//! study check-fingerprint results.json [--deep] # gate fingerprint parity
 //! study render --seed 7 --out print.pgm   # render a synthetic print (PGM)
 //! ```
 
@@ -42,6 +44,8 @@ struct Args {
     metrics: Option<String>,
     trace: Option<String>,
     events: Option<String>,
+    /// `check-fingerprint --deep`: stricter audit of the manifest.
+    deep: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -65,10 +69,11 @@ fn parse_args() -> Result<Args, String> {
         metrics: None,
         trace: None,
         events: None,
+        deep: false,
     };
     if matches!(
         parsed.experiment.as_str(),
-        "check-scaling" | "check-telemetry" | "check-serve"
+        "check-scaling" | "check-telemetry" | "check-serve" | "check-fingerprint" | "fingerprint"
     ) {
         if let Some(next) = args.peek() {
             if !next.starts_with('-') {
@@ -128,6 +133,7 @@ fn parse_args() -> Result<Args, String> {
             "--events" => {
                 parsed.events = Some(args.next().ok_or("--events needs a path")?);
             }
+            "--deep" => parsed.deep = true,
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -444,6 +450,225 @@ fn check_serve(telemetry: &Telemetry, path: &str) -> ExitCode {
     }
 }
 
+/// Loads a `--json` results file and extracts its ext-scaling report.
+fn load_scaling_report(telemetry: &Telemetry, path: &str) -> Result<serde_json::Value, ExitCode> {
+    let payload: serde_json::Value = match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| serde_json::from_str(&t).map_err(|e| e.to_string()))
+    {
+        Ok(v) => v,
+        Err(e) => {
+            telemetry.event_with(
+                Level::Error,
+                "cannot load results file",
+                &[("path", path.to_string()), ("error", e)],
+            );
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    let report = payload["reports"]
+        .as_array()
+        .into_iter()
+        .flatten()
+        .find(|r| r["id"] == "ext-scaling")
+        .cloned();
+    report.ok_or_else(|| {
+        telemetry.event_with(
+            Level::Error,
+            "no ext-scaling report in results file",
+            &[("path", path.to_string())],
+        );
+        ExitCode::FAILURE
+    })
+}
+
+/// A well-formed run fingerprint: exactly 16 lowercase hex digits.
+fn is_runfp_hex(s: &str) -> bool {
+    s.len() == 16
+        && s.chars()
+            .all(|c| c.is_ascii_digit() || ('a'..='f').contains(&c))
+}
+
+/// Prints (and optionally saves) the run-fingerprint manifest of an
+/// `ext-scaling --json` results file: the seed plus every rung's RUNFP
+/// chain value. The manifest is the O(1) artifact two runs compare to
+/// prove behavioral parity without diffing candidate lists.
+fn fingerprint_manifest(telemetry: &Telemetry, path: &str, json_out: Option<&str>) -> ExitCode {
+    let report = match load_scaling_report(telemetry, path) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let values = &report["values"];
+    let seed = values["seed"].as_u64().unwrap_or(0);
+    let rung = |row: &serde_json::Value, label: &str| {
+        serde_json::json!({
+            "kind": label,
+            "gallery": row["gallery"],
+            "shards": row["shards"],
+            "runfp": row["runfp"],
+        })
+    };
+    let mut rungs = Vec::new();
+    println!("run-fingerprint manifest (RUNFP v1, seed {seed}):");
+    for row in values["rows"].as_array().into_iter().flatten() {
+        println!(
+            "  gallery {:<8} unsharded        {}",
+            row["gallery"],
+            row["runfp"].as_str().unwrap_or("<missing>")
+        );
+        rungs.push(rung(row, "unsharded"));
+    }
+    for row in values["shard_rows"].as_array().into_iter().flatten() {
+        println!(
+            "  shards  {:<8} in-process       {}",
+            row["shards"],
+            row["runfp"].as_str().unwrap_or("<missing>")
+        );
+        rungs.push(rung(row, "sharded"));
+    }
+    for row in values["remote_rows"].as_array().into_iter().flatten() {
+        println!(
+            "  shards  {:<8} cross-process    {}",
+            row["shards"],
+            row["runfp"].as_str().unwrap_or("<missing>")
+        );
+        rungs.push(rung(row, "remote"));
+    }
+    if rungs.is_empty() {
+        telemetry.event_with(
+            Level::Error,
+            "results file has no fingerprinted rungs",
+            &[("path", path.to_string())],
+        );
+        return ExitCode::FAILURE;
+    }
+    if let Some(out) = json_out {
+        let manifest = serde_json::json!({
+            "format": "RUNFP v1",
+            "source": path,
+            "seed": seed,
+            "base_subjects": values["base_subjects"],
+            "rungs": rungs,
+        });
+        if let Err(code) = write_json(telemetry, out, &manifest) {
+            return code;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Gates fingerprint parity in an `ext-scaling --json` results file: the
+/// unsharded top rung, every in-process shard rung and every cross-process
+/// rung ran the same probes under the same seed, so their RUNFP chains must
+/// be *equal*. One flipped score bit anywhere in a multi-thousand-search
+/// run changes the chain — this is the O(1) behavioral-parity proof.
+///
+/// `--deep` additionally requires cross-process evidence (remote rungs
+/// present) and audits the unsharded ladder itself: every rung must carry a
+/// well-formed chain, and different gallery sizes must produce *different*
+/// chains (equal values across different workloads signal a pinned or
+/// forged constant).
+fn check_fingerprint(telemetry: &Telemetry, path: &str, deep: bool) -> ExitCode {
+    let report = match load_scaling_report(telemetry, path) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let values = &report["values"];
+    let mut ok = true;
+    let Some(rows) = values["rows"].as_array().filter(|r| !r.is_empty()) else {
+        telemetry.event(Level::Error, "ext-scaling report has no rows");
+        return ExitCode::FAILURE;
+    };
+    for row in rows {
+        let fp = row["runfp"].as_str().unwrap_or("");
+        if !is_runfp_hex(fp) {
+            telemetry.event_with(
+                Level::Error,
+                "rung carries no well-formed run fingerprint",
+                &[("row", row.to_string())],
+            );
+            ok = false;
+        }
+    }
+    let top = rows.last().expect("non-empty")["runfp"]
+        .as_str()
+        .unwrap_or("");
+    if !values["remote_error"].is_null() {
+        telemetry.event_with(
+            Level::Error,
+            "cross-process rung failed; its fingerprint is unverifiable",
+            &[("error", values["remote_error"].to_string())],
+        );
+        ok = false;
+    }
+    let mut cross_checked = 0usize;
+    for (section, label) in [
+        ("shard_rows", "in-process sharded"),
+        ("remote_rows", "remote"),
+    ] {
+        for row in values[section].as_array().into_iter().flatten() {
+            cross_checked += 1;
+            let fp = row["runfp"].as_str().unwrap_or("");
+            if fp != top {
+                telemetry.event_with(
+                    Level::Error,
+                    "run fingerprint diverged from the unsharded top rung",
+                    &[
+                        ("kind", label.to_string()),
+                        ("expected", top.to_string()),
+                        ("row", row.to_string()),
+                    ],
+                );
+                ok = false;
+            }
+        }
+    }
+    if cross_checked == 0 {
+        telemetry.event(
+            Level::Error,
+            "nothing to cross-check: run ext-scaling with --shards and/or --remote-shards",
+        );
+        ok = false;
+    }
+    if deep {
+        if values["remote_rows"]
+            .as_array()
+            .is_none_or(|r| r.is_empty())
+        {
+            telemetry.event(
+                Level::Error,
+                "--deep requires cross-process evidence (run with --remote-shards N)",
+            );
+            ok = false;
+        }
+        // Different gallery sizes are different workloads: their chains
+        // must differ, or someone pinned a constant.
+        let mut seen = std::collections::BTreeMap::new();
+        for row in rows {
+            if let Some(prev) = seen.insert(row["runfp"].as_str().unwrap_or(""), &row["gallery"]) {
+                telemetry.event_with(
+                    Level::Error,
+                    "distinct rungs report identical fingerprints",
+                    &[
+                        ("gallery_a", prev.to_string()),
+                        ("gallery_b", row["gallery"].to_string()),
+                    ],
+                );
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        println!(
+            "fingerprint parity ok (top rung {top}, {cross_checked} sharded/remote rung(s) equal{})",
+            if deep { ", deep audit passed" } else { "" }
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 /// Gates a study `--json` results file on its embedded telemetry section:
 /// the run must have done real comparison and index work and recorded cell
 /// spans and stage timings. The Rust replacement for CI's acceptance
@@ -508,7 +733,7 @@ fn run(args: &Args, telemetry: &Telemetry) -> ExitCode {
 
     if matches!(
         args.experiment.as_str(),
-        "check-scaling" | "check-telemetry" | "check-serve"
+        "check-scaling" | "check-telemetry" | "check-serve" | "check-fingerprint" | "fingerprint"
     ) {
         let Some(path) = &args.path else {
             telemetry.event_with(
@@ -521,6 +746,8 @@ fn run(args: &Args, telemetry: &Telemetry) -> ExitCode {
         return match args.experiment.as_str() {
             "check-scaling" => check_scaling(telemetry, path),
             "check-serve" => check_serve(telemetry, path),
+            "check-fingerprint" => check_fingerprint(telemetry, path, args.deep),
+            "fingerprint" => fingerprint_manifest(telemetry, path, args.json.as_deref()),
             _ => check_telemetry(telemetry, path),
         };
     }
@@ -532,10 +759,14 @@ fn run(args: &Args, telemetry: &Telemetry) -> ExitCode {
         // shutdown frame arrives.
         use std::io::Write as _;
         let addr = format!("127.0.0.1:{}", args.port.unwrap_or(0));
+        // The shard keeps its own enabled registry so a coordinator's
+        // STATS scrape sees real index.* instruments, whatever this
+        // process's own telemetry mode.
+        let shard_telemetry = Telemetry::enabled();
         let server =
             match fp_serve::ShardServer::bind(fp_match::PairTableMatcher::default(), addr.as_str())
             {
-                Ok(s) => s,
+                Ok(s) => s.with_telemetry(&shard_telemetry),
                 Err(e) => {
                     eprintln!("error: cannot bind {addr}: {e}");
                     return ExitCode::FAILURE;
@@ -808,9 +1039,10 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: study <all|devices|metrics|verify|render|serve-shard|check-scaling|\
-                 check-telemetry|check-serve|{}> \
+                 check-telemetry|check-serve|fingerprint|check-fingerprint|{}> \
                  [--subjects N] [--seed S] [--shards S] [--remote-shards N] [--port P] \
-                 [--json PATH] [--metrics PATH] [--trace PATH] [--events PATH] [--out PATH]",
+                 [--json PATH] [--metrics PATH] [--trace PATH] [--events PATH] [--out PATH] \
+                 [--deep]",
                 experiments::ALL_IDS.join("|")
             );
             return ExitCode::FAILURE;
@@ -826,6 +1058,8 @@ fn main() -> ExitCode {
             | "check-scaling"
             | "check-telemetry"
             | "check-serve"
+            | "check-fingerprint"
+            | "fingerprint"
             | "serve-shard"
     ) && args.trace.is_none()
         && args.events.is_none();

@@ -55,6 +55,11 @@ struct ScalingRow {
     build_seconds: f64,
     searches_per_second: f64,
     brute_searches_per_second: f64,
+    /// Run fingerprint (hex) over exactly the rung's probe loop — the
+    /// chain is snapshotted before the audits re-search the index, so
+    /// sharded and remote rungs running the same probes must report the
+    /// very same value.
+    runfp: String,
 }
 
 /// One rung of the shard ladder (always over the top gallery rung).
@@ -67,6 +72,9 @@ struct ShardRow {
     speedup_vs_1: f64,
     parity_checked: usize,
     parity_agreed: usize,
+    /// Run fingerprint (hex) over the rung's probe loop; must equal the
+    /// unsharded top rung's.
+    runfp: String,
 }
 
 /// The cross-process rung: `remote_shards` child `serve-shard` processes
@@ -84,6 +92,9 @@ struct RemoteRow {
     /// The same audits against an in-process `ShardedIndex` with the same
     /// shard count — pins remote == in-process sharded == unsharded.
     parity_sharded_agreed: usize,
+    /// Run fingerprint (hex) over the rung's probe loop; must equal both
+    /// the unsharded top rung's and the in-process shard rows'.
+    runfp: String,
 }
 
 /// Shard counts to run: powers of two up to `max`, plus `max` itself when
@@ -224,7 +235,8 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
         );
         let mut index =
             CandidateIndex::with_config(PairTableMatcher::default(), IndexConfig::scaled(gallery))
-                .with_telemetry(telemetry);
+                .with_telemetry(telemetry)
+                .with_run_seed(config.seed);
         let build_start = std::time::Instant::now();
         index.enroll_all(&pool[..gallery]);
         let build_seconds = build_start.elapsed().as_secs_f64();
@@ -258,6 +270,10 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
         let search_seconds = search_start.elapsed().as_secs_f64();
         let in_shortlist = outcomes.iter().filter(|(hit, _)| *hit).count();
         let rank1_hits = outcomes.iter().filter(|(_, r1)| *r1).count();
+        // Snapshot the run fingerprint NOW: the audits below re-search the
+        // index, and the rung's reported chain must cover exactly the
+        // probe loop the sharded/remote rungs replay.
+        let runfp = index.run_fingerprint().hex();
 
         // Exhaustive-scan baseline and agreement audit on a probe subsample.
         let audits = probes.min(MAX_AUDITS);
@@ -288,6 +304,7 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
             brute_searches_per_second: audits as f64
                 / (brute_seconds - audits as f64 * search_seconds.max(1e-9) / probes as f64)
                     .max(1e-9),
+            runfp,
         });
         if multiple == LADDER[LADDER.len() - 1] {
             top_index = Some(index);
@@ -326,7 +343,8 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
                 IndexConfig::scaled(gallery),
                 s,
             )
-            .with_telemetry(telemetry);
+            .with_telemetry(telemetry)
+            .with_run_seed(config.seed);
             let build_start = std::time::Instant::now();
             sharded.enroll_all(&pool[..gallery]);
             let build_seconds = build_start.elapsed().as_secs_f64();
@@ -347,6 +365,8 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
             }
             let search_seconds = search_start.elapsed().as_secs_f64();
             let searches_per_second = probes as f64 / search_seconds.max(1e-9);
+            // Snapshot before the parity audits re-search this index.
+            let runfp = sharded.run_fingerprint().hex();
 
             // Exact-parity audit: full candidate lists (ids AND scores, in
             // order) against the unsharded top-rung index.
@@ -373,6 +393,7 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
                 speedup_vs_1: searches_per_second / base.max(1e-9),
                 parity_checked: audits,
                 parity_agreed,
+                runfp,
             });
         }
     }
@@ -475,6 +496,11 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
     if let Some(e) = &remote_error {
         body.push_str(&format!("\ncross-process rung FAILED: {e}\n"));
     }
+    body.push_str(&format!(
+        "\nrun fingerprint (top rung, seed {}): {} — sharded and remote \
+         rungs over the same probes must report this exact value\n",
+        config.seed, last.runfp
+    ));
 
     Report::new(
         "ext-scaling",
@@ -485,6 +511,7 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
             "ladder": LADDER,
             "shards": config.shards,
             "remote_shards": config.remote_shards,
+            "seed": config.seed,
             "remote_error": remote_error,
             "remote_rows": remote_rows
                 .iter()
@@ -497,6 +524,7 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
                     "parity_checked": r.parity_checked,
                     "parity_agreed": r.parity_agreed,
                     "parity_sharded_agreed": r.parity_sharded_agreed,
+                    "runfp": r.runfp,
                 }))
                 .collect::<Vec<_>>(),
             "shard_rows": shard_rows
@@ -510,6 +538,7 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
                     "speedup_vs_1": r.speedup_vs_1,
                     "parity_checked": r.parity_checked,
                     "parity_agreed": r.parity_agreed,
+                    "runfp": r.runfp,
                 }))
                 .collect::<Vec<_>>(),
             "rows": rows
@@ -525,6 +554,7 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
                     "build_seconds": r.build_seconds,
                     "searches_per_second": r.searches_per_second,
                     "brute_searches_per_second": r.brute_searches_per_second,
+                    "runfp": r.runfp,
                 }))
                 .collect::<Vec<_>>(),
         }),
@@ -578,7 +608,8 @@ fn remote_rung(
         RetryPolicy::default(),
     )
     .map_err(|e| e.to_string())?
-    .with_telemetry(telemetry);
+    .with_telemetry(telemetry)
+    .with_run_seed(config.seed);
 
     let build_start = Instant::now();
     remote
@@ -616,6 +647,13 @@ fn remote_rung(
         }
     }
     let search_seconds = search_start.elapsed().as_secs_f64();
+    // Snapshot before the parity audits, then scrape every shard's served
+    // chain: a shard whose recorded chain disagrees with what the
+    // coordinator decoded fails the whole rung loudly.
+    let runfp = remote.run_fingerprint().hex();
+    remote
+        .verify_fingerprints()
+        .map_err(|e| format!("fingerprint verification: {e}"))?;
 
     let audits = probes.min(MAX_AUDITS);
     let audit_stride = probes / audits;
@@ -647,6 +685,7 @@ fn remote_rung(
         parity_checked: audits,
         parity_agreed,
         parity_sharded_agreed,
+        runfp,
     })
 }
 
@@ -710,6 +749,8 @@ mod tests {
             .build());
         let rows = r.values["rows"].as_array().unwrap();
         let top_recall = rows.last().unwrap()["recall"].as_f64().unwrap();
+        let top_runfp = rows.last().unwrap()["runfp"].as_str().unwrap();
+        assert_eq!(top_runfp.len(), 16, "runfp is 16 hex digits: {top_runfp}");
         let shard_rows = r.values["shard_rows"].as_array().unwrap();
         assert_eq!(shard_rows.len(), 3); // shards 1, 2, 4
         for (i, row) in shard_rows.iter().enumerate() {
@@ -720,6 +761,9 @@ mod tests {
             assert_eq!(row["parity_agreed"], row["parity_checked"], "{row}");
             assert!(row["parity_checked"].as_u64().unwrap() > 0, "{row}");
             assert_eq!(row["recall"].as_f64().unwrap(), top_recall, "{row}");
+            // The O(1) parity proof: same probes, same budget, same seed
+            // ⇒ the same run-fingerprint chain, whatever the shard count.
+            assert_eq!(row["runfp"].as_str().unwrap(), top_runfp, "{row}");
         }
     }
 
@@ -737,6 +781,7 @@ mod tests {
                 "recall",
                 "rank1",
                 "audit_agreed",
+                "runfp",
             ] {
                 assert_eq!(ra[key], rb[key], "{key}");
             }

@@ -250,5 +250,81 @@ fn ext_scaling_remote_rung_passes_check_serve_gate() {
     );
     assert!(String::from_utf8_lossy(&out.stderr).contains("--remote-shards"));
 
+    // The remote rung reports the same run fingerprint as the unsharded
+    // top rung, so the fingerprint gate passes (deep: remote evidence is
+    // present)...
+    let out = Command::new(study_exe())
+        .args([
+            "check-fingerprint",
+            json_path.to_str().expect("utf-8 path"),
+            "--deep",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("fingerprint parity ok"));
+
+    // ...the manifest subcommand prints every rung's chain and saves it...
+    let manifest_path = dir.join("manifest.json");
+    let out = Command::new(study_exe())
+        .args([
+            "fingerprint",
+            json_path.to_str().expect("utf-8 path"),
+            "--json",
+            manifest_path.to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("run-fingerprint manifest"), "{text}");
+    assert!(text.contains("cross-process"), "{text}");
+    let manifest: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&manifest_path).expect("manifest written"))
+            .expect("valid json");
+    let rungs = manifest["rungs"].as_array().expect("rungs array");
+    assert!(rungs.iter().any(|r| r["kind"] == "remote"));
+    assert!(rungs.iter().all(|r| r["runfp"].as_str().is_some()));
+
+    // ...and a single forged hex digit in the remote rung's chain — the
+    // footprint of one flipped score bit — is rejected.
+    let mut drifted: serde_json::Value = serde_json::from_str(&raw).expect("valid json");
+    let fp_field = field_mut(elem_mut(remote_rows_mut(&mut drifted), 0), "runfp");
+    let genuine_fp = fp_field.as_str().expect("runfp present").to_string();
+    let forged_fp: String = genuine_fp
+        .chars()
+        .enumerate()
+        .map(|(i, c)| {
+            if i == 0 {
+                if c == '0' {
+                    '1'
+                } else {
+                    '0'
+                }
+            } else {
+                c
+            }
+        })
+        .collect();
+    *fp_field = serde_json::json!(forged_fp);
+    let drifted_path = dir.join("drifted.json");
+    std::fs::write(&drifted_path, drifted.to_string()).expect("fixture written");
+    let out = Command::new(study_exe())
+        .args([
+            "check-fingerprint",
+            drifted_path.to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        !out.status.success(),
+        "a perturbed fingerprint must fail the gate"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("diverged"));
+
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -52,6 +52,7 @@ use std::sync::{Arc, Mutex};
 mod event;
 mod hist;
 mod progress;
+mod runfp;
 mod snapshot;
 mod span;
 mod stage;
@@ -60,7 +61,10 @@ mod trace;
 pub use event::{EventRecord, Level};
 pub use hist::{DurationHistogram, HistogramSnapshot, ValueHistogram};
 pub use progress::Progress;
-pub use snapshot::{render_summary, MetricsSnapshot};
+pub use runfp::{
+    FingerprintChain, FingerprintSnapshot, Fingerprinted, RunFingerprint, RUNFP_VERSION,
+};
+pub use snapshot::{render_summary, MetricsSnapshot, TraceHealth};
 pub use span::Span;
 pub use stage::{StageRecorder, StageStats, ThreadStats, WorkerStats};
 pub use trace::{

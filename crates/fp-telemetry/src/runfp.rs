@@ -1,0 +1,418 @@
+//! Run fingerprints: an incremental, seeded 64-bit hash chain (RUNFP).
+//!
+//! The study's cross-process honesty checks used to be heavyweight full
+//! candidate-list compares that cannot run on every search. A RUNFP chain
+//! compresses the *behavior* of a run — config, seed, and every search's
+//! ordered candidate list `(id, score, rank)` with scores folded as raw
+//! `f64` bits — into a single `u64` that two independent executions can
+//! compare in O(1). Sharded and unsharded searches fold the same merged
+//! candidate lists in the same global-fusion order, so exactness of the
+//! distributed index becomes a single integer equality.
+//!
+//! Everything here is std-only: the mix is an xxhash/splitmix-style
+//! multiply-xor-shift avalanche, not a cryptographic MAC. It detects
+//! drift (a shard scoring differently, a forged score bit, a reordered
+//! candidate), not adversaries.
+//!
+//! Two layers:
+//!
+//! * [`FingerprintChain`] — a pure value type. Folding is order-dependent:
+//!   `fold_u64(a); fold_u64(b)` and `fold_u64(b); fold_u64(a)` diverge.
+//!   Use one chain per logical unit (one search, one config block).
+//! * [`RunFingerprint`] — a cheap-to-clone shared accumulator combining
+//!   many per-search chain values **commutatively** (wrapping add of
+//!   avalanched values), so concurrent searches on different threads
+//!   reach the same cumulative value regardless of interleaving.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Version tag folded into every chain; bump when fold semantics change.
+pub const RUNFP_VERSION: u64 = 1;
+
+/// Domain-separation tag: the ASCII bytes of `"RUNFP_V1"`.
+const RUNFP_TAG: u64 = u64::from_le_bytes(*b"RUNFP_V1");
+
+/// One multiply-xor-shift round folding `word` into `state`.
+///
+/// Constants are the splitmix64 finalizer's; the rotate decorrelates
+/// consecutive words before the avalanche so `fold(a); fold(b)` and
+/// `fold(b); fold(a)` diverge.
+#[inline]
+pub(crate) fn mix(state: u64, word: u64) -> u64 {
+    let mut x = state
+        .rotate_left(27)
+        .wrapping_add(word.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Full avalanche of a single word (splitmix64 finalizer). Used when
+/// combining already-chained values commutatively.
+#[inline]
+fn avalanche(word: u64) -> u64 {
+    mix(RUNFP_TAG, word)
+}
+
+/// Anything that can fold itself into a [`FingerprintChain`].
+///
+/// Implementations must be deterministic and fold every behavior-relevant
+/// field in a fixed documented order; logging/debug/output options must be
+/// excluded so cosmetic flags cannot change a fingerprint.
+pub trait Fingerprinted {
+    /// Folds this value's canonical encoding into `chain`.
+    fn fold_into(&self, chain: &mut FingerprintChain);
+}
+
+impl Fingerprinted for u64 {
+    fn fold_into(&self, chain: &mut FingerprintChain) {
+        chain.fold_u64(*self);
+    }
+}
+
+impl Fingerprinted for u32 {
+    fn fold_into(&self, chain: &mut FingerprintChain) {
+        chain.fold_u64(u64::from(*self));
+    }
+}
+
+impl Fingerprinted for usize {
+    fn fold_into(&self, chain: &mut FingerprintChain) {
+        chain.fold_u64(*self as u64);
+    }
+}
+
+impl Fingerprinted for f64 {
+    fn fold_into(&self, chain: &mut FingerprintChain) {
+        chain.fold_f64(*self);
+    }
+}
+
+impl Fingerprinted for str {
+    fn fold_into(&self, chain: &mut FingerprintChain) {
+        chain.fold_str(self);
+    }
+}
+
+impl<T: Fingerprinted> Fingerprinted for [T] {
+    fn fold_into(&self, chain: &mut FingerprintChain) {
+        chain.fold_u64(self.len() as u64);
+        for item in self {
+            item.fold_into(chain);
+        }
+    }
+}
+
+/// An incremental seeded hash chain. `Copy`-cheap; order-dependent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FingerprintChain {
+    state: u64,
+    folds: u64,
+}
+
+impl Default for FingerprintChain {
+    fn default() -> FingerprintChain {
+        FingerprintChain::new(0)
+    }
+}
+
+impl FingerprintChain {
+    /// A fresh chain: the tag, format version and `seed` are pre-folded,
+    /// so two runs with different seeds diverge from the first word.
+    pub fn new(seed: u64) -> FingerprintChain {
+        let mut chain = FingerprintChain {
+            state: RUNFP_TAG,
+            folds: 0,
+        };
+        chain.fold_u64(RUNFP_VERSION);
+        chain.fold_u64(seed);
+        chain
+    }
+
+    /// Folds one raw word.
+    #[inline]
+    pub fn fold_u64(&mut self, word: u64) {
+        self.state = mix(self.state, word);
+        self.folds += 1;
+    }
+
+    /// Folds an `f64` as its raw IEEE-754 bits (no rounding, `-0.0` and
+    /// `0.0` are distinct, every NaN payload is distinct).
+    #[inline]
+    pub fn fold_f64(&mut self, value: f64) {
+        self.fold_u64(value.to_bits());
+    }
+
+    /// Folds a string: length first, then bytes in 8-byte little-endian
+    /// words (zero-padded tail).
+    pub fn fold_str(&mut self, s: &str) {
+        self.fold_u64(s.len() as u64);
+        for word in s.as_bytes().chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..word.len()].copy_from_slice(word);
+            self.fold_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    /// Folds any [`Fingerprinted`] value.
+    #[inline]
+    pub fn fold<T: Fingerprinted + ?Sized>(&mut self, item: &T) -> &mut Self {
+        item.fold_into(self);
+        self
+    }
+
+    /// The chain's current fingerprint: a final avalanche over the state
+    /// and the fold count (so a truncated chain never collides with its
+    /// own prefix). Non-destructive; folding may continue afterwards.
+    pub fn value(&self) -> u64 {
+        mix(self.state, self.folds)
+    }
+
+    /// Number of words folded so far.
+    pub fn folds(&self) -> u64 {
+        self.folds
+    }
+}
+
+/// A point-in-time view of a [`RunFingerprint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FingerprintSnapshot {
+    /// The cumulative fingerprint.
+    pub value: u64,
+    /// Number of per-search chains recorded.
+    pub searches: u64,
+}
+
+impl FingerprintSnapshot {
+    /// The fingerprint as a fixed-width lowercase hex string — the wire
+    /// and JSON representation (JSON numbers cannot hold all `u64`s).
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.value)
+    }
+}
+
+#[derive(Debug, Default)]
+struct RunInner {
+    base_state: u64,
+    base_folds: u64,
+    /// Commutative accumulator: wrapping sum of avalanched per-search
+    /// chain values. `fetch_add` wraps, so thread interleaving is
+    /// irrelevant — 8 workers and a single thread reach the same value.
+    acc: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A shared cumulative run fingerprint.
+///
+/// Clones share state (like [`crate::Telemetry`]). Per-search chains are
+/// started from a fixed base (seed + config) via [`RunFingerprint::begin`]
+/// and folded back in with [`RunFingerprint::record`]; the cumulative
+/// combine is commutative, so the final value is independent of the order
+/// in which concurrent searches complete.
+#[derive(Debug, Clone, Default)]
+pub struct RunFingerprint {
+    inner: Arc<RunInner>,
+}
+
+impl RunFingerprint {
+    /// A fresh accumulator whose per-search chains all start from `base`
+    /// (typically `FingerprintChain::new(seed)` with the index config
+    /// folded in).
+    pub fn new(base: FingerprintChain) -> RunFingerprint {
+        RunFingerprint {
+            inner: Arc::new(RunInner {
+                base_state: base.state,
+                base_folds: base.folds,
+                acc: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The base chain shared by every per-search chain.
+    pub fn base(&self) -> FingerprintChain {
+        FingerprintChain {
+            state: self.inner.base_state,
+            folds: self.inner.base_folds,
+        }
+    }
+
+    /// Starts a per-search chain at the base.
+    pub fn begin(&self) -> FingerprintChain {
+        self.base()
+    }
+
+    /// Records a completed per-search chain and returns its value.
+    pub fn record(&self, chain: &FingerprintChain) -> u64 {
+        let value = chain.value();
+        self.inner
+            .acc
+            .fetch_add(avalanche(value), Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        value
+    }
+
+    /// Folds `item` into a fresh per-search chain and records it.
+    pub fn record_item<T: Fingerprinted + ?Sized>(&self, item: &T) -> u64 {
+        let mut chain = self.begin();
+        chain.fold(item);
+        self.record(&chain)
+    }
+
+    /// Number of recorded searches.
+    pub fn searches(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// The cumulative fingerprint: the base chain folded with the search
+    /// count and the commutative accumulator.
+    pub fn value(&self) -> u64 {
+        let mut chain = self.base();
+        chain.fold_u64(self.inner.count.load(Ordering::Relaxed));
+        chain.fold_u64(self.inner.acc.load(Ordering::Relaxed));
+        chain.value()
+    }
+
+    /// A consistent snapshot (`value`, `searches`).
+    pub fn snapshot(&self) -> FingerprintSnapshot {
+        FingerprintSnapshot {
+            value: self.value(),
+            searches: self.searches(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_is_deterministic() {
+        let mut a = FingerprintChain::new(7);
+        let mut b = FingerprintChain::new(7);
+        for w in [1u64, 2, 3, u64::MAX] {
+            a.fold_u64(w);
+            b.fold_u64(w);
+        }
+        assert_eq!(a.value(), b.value());
+        assert_eq!(a.folds(), 6); // version + seed + 4 words
+    }
+
+    #[test]
+    fn seed_changes_everything() {
+        assert_ne!(
+            FingerprintChain::new(1).value(),
+            FingerprintChain::new(2).value()
+        );
+    }
+
+    #[test]
+    fn fold_order_matters_within_a_chain() {
+        let mut ab = FingerprintChain::new(0);
+        ab.fold_u64(1);
+        ab.fold_u64(2);
+        let mut ba = FingerprintChain::new(0);
+        ba.fold_u64(2);
+        ba.fold_u64(1);
+        assert_ne!(ab.value(), ba.value());
+    }
+
+    #[test]
+    fn prefix_never_matches_extension() {
+        let mut chain = FingerprintChain::new(0);
+        chain.fold_u64(42);
+        let short = chain.value();
+        chain.fold_u64(0);
+        assert_ne!(short, chain.value(), "folding a zero must still move");
+    }
+
+    #[test]
+    fn f64_folds_raw_bits() {
+        let mut pos = FingerprintChain::new(0);
+        pos.fold_f64(0.0);
+        let mut neg = FingerprintChain::new(0);
+        neg.fold_f64(-0.0);
+        assert_ne!(pos.value(), neg.value());
+    }
+
+    #[test]
+    fn strings_fold_length_then_bytes() {
+        let mut a = FingerprintChain::new(0);
+        a.fold_str("ab");
+        let mut b = FingerprintChain::new(0);
+        b.fold_str("ab\0");
+        // Same padded words, different length prefix.
+        assert_ne!(a.value(), b.value());
+    }
+
+    #[test]
+    fn slices_fold_length_prefixed() {
+        let mut a = FingerprintChain::new(0);
+        a.fold(&[1u64, 2][..]);
+        let mut b = FingerprintChain::new(0);
+        b.fold(&[1u64, 2, 0][..]);
+        assert_ne!(a.value(), b.value());
+    }
+
+    #[test]
+    fn run_fingerprint_is_order_independent() {
+        let base = FingerprintChain::new(9);
+        let forward = RunFingerprint::new(base);
+        let backward = RunFingerprint::new(base);
+        let searches: Vec<u64> = (0..32).collect();
+        for &s in &searches {
+            forward.record_item(&s);
+        }
+        for &s in searches.iter().rev() {
+            backward.record_item(&s);
+        }
+        assert_eq!(forward.snapshot(), backward.snapshot());
+        assert_eq!(forward.searches(), 32);
+    }
+
+    #[test]
+    fn run_fingerprint_is_thread_deterministic() {
+        let base = FingerprintChain::new(3);
+        let sequential = RunFingerprint::new(base);
+        for s in 0..64u64 {
+            sequential.record_item(&s);
+        }
+        let parallel = RunFingerprint::new(base);
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let handle = parallel.clone();
+                scope.spawn(move || {
+                    for s in (t * 8)..(t * 8 + 8) {
+                        handle.record_item(&s);
+                    }
+                });
+            }
+        });
+        assert_eq!(sequential.snapshot(), parallel.snapshot());
+    }
+
+    #[test]
+    fn different_search_sets_diverge() {
+        let base = FingerprintChain::new(0);
+        let a = RunFingerprint::new(base);
+        let b = RunFingerprint::new(base);
+        a.record_item(&1u64);
+        b.record_item(&2u64);
+        assert_ne!(a.value(), b.value());
+        // Count is folded: an empty run differs from one with a no-op fold.
+        let empty = RunFingerprint::new(base);
+        assert_ne!(empty.value(), a.value());
+    }
+
+    #[test]
+    fn snapshot_hex_is_fixed_width() {
+        let snapshot = FingerprintSnapshot {
+            value: 0xab,
+            searches: 1,
+        };
+        assert_eq!(snapshot.hex(), "00000000000000ab");
+    }
+}

@@ -17,7 +17,7 @@ use crate::Inner;
 /// work); `durations`, `gauges` and `stages` measure time and vary run to
 /// run. Keys are sorted (`BTreeMap`), so serialized output has a stable
 /// field order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Default)]
 pub struct MetricsSnapshot {
     /// Monotonic counters, by name.
     pub counters: BTreeMap<String, u64>,
@@ -29,6 +29,40 @@ pub struct MetricsSnapshot {
     pub values: BTreeMap<String, HistogramSnapshot>,
     /// Parallel-stage thread statistics, in completion order.
     pub stages: Vec<StageStats>,
+    /// Flight-recorder health: how much of the trace was truncated.
+    /// Defaults to zeros when parsing snapshots written before the field
+    /// existed (see the hand-written `Deserialize` below — the vendored
+    /// derive has no `#[serde(default)]`).
+    pub trace: TraceHealth,
+}
+
+impl serde::Deserialize for MetricsSnapshot {
+    fn from_content(content: &serde::Content) -> Result<MetricsSnapshot, serde::DeError> {
+        Ok(MetricsSnapshot {
+            counters: serde::Deserialize::from_content(content.field("counters")?)?,
+            gauges: serde::Deserialize::from_content(content.field("gauges")?)?,
+            durations: serde::Deserialize::from_content(content.field("durations")?)?,
+            values: serde::Deserialize::from_content(content.field("values")?)?,
+            stages: serde::Deserialize::from_content(content.field("stages")?)?,
+            trace: match content.field("trace") {
+                Ok(trace) => serde::Deserialize::from_content(trace)?,
+                Err(_) => TraceHealth::default(),
+            },
+        })
+    }
+}
+
+/// Flight-recorder truncation counters.
+///
+/// The span/event slot buffers are bounded and never block: overflow is
+/// counted, not stored. Non-zero numbers here mean the trace export is
+/// incomplete and span-derived figures undercount.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct TraceHealth {
+    /// Spans discarded because the span buffer was full.
+    pub dropped_spans: u64,
+    /// Events discarded because the event buffer was full.
+    pub dropped_events: u64,
 }
 
 pub(crate) fn take(inner: Option<&Inner>) -> MetricsSnapshot {
@@ -69,6 +103,13 @@ pub(crate) fn take(inner: Option<&Inner>) -> MetricsSnapshot {
             .lock()
             .expect("stage registry poisoned")
             .clone(),
+        trace: {
+            let (dropped_spans, dropped_events) = inner.trace.dropped_counts();
+            TraceHealth {
+                dropped_spans,
+                dropped_events,
+            }
+        },
     }
 }
 
@@ -125,6 +166,14 @@ pub fn render_summary(snapshot: &MetricsSnapshot) -> String {
                 stage.items,
             ));
         }
+    }
+
+    // Trace truncation: only worth a line when something was lost.
+    if snapshot.trace != TraceHealth::default() {
+        out.push_str(&format!(
+            "  trace truncated: {} spans dropped, {} events dropped\n",
+            snapshot.trace.dropped_spans, snapshot.trace.dropped_events,
+        ));
     }
 
     // Deterministic work counters.
@@ -199,6 +248,29 @@ mod tests {
         let json = serde_json::to_string(&snapshot).expect("serializes");
         let back: MetricsSnapshot = serde_json::from_str(&json).expect("parses");
         assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn forced_drops_surface_in_snapshot_and_json() {
+        let t = Telemetry::with_trace_capacity(2, 1);
+        for i in 0..5 {
+            let _span = t.trace_span("work", &[]);
+            t.event(crate::Level::Info, &format!("e{i}"));
+        }
+        let snapshot = t.snapshot();
+        assert_eq!(snapshot.trace.dropped_spans, 3);
+        assert_eq!(snapshot.trace.dropped_events, 4);
+        let json = serde_json::to_value(&snapshot).expect("serializes");
+        assert_eq!(json["trace"]["dropped_spans"], 3);
+        assert_eq!(json["trace"]["dropped_events"], 4);
+        let text = render_summary(&snapshot);
+        assert!(text.contains("3 spans dropped"), "{text}");
+        // Old snapshots without the field still parse, as all-zeros.
+        let legacy: MetricsSnapshot = serde_json::from_str(
+            r#"{"counters":{},"gauges":{},"durations":{},"values":{},"stages":[]}"#,
+        )
+        .expect("legacy parses");
+        assert_eq!(legacy.trace, TraceHealth::default());
     }
 
     #[test]

@@ -205,6 +205,12 @@ impl TraceBuffer {
             dropped_events: self.events.dropped(),
         }
     }
+
+    /// `(dropped spans, dropped events)` without materializing a snapshot
+    /// — feeds the metrics snapshot's trace-health section.
+    pub(crate) fn dropped_counts(&self) -> (u64, u64) {
+        (self.spans.dropped(), self.events.dropped())
+    }
 }
 
 /// Captured parent context for handing span parenting across threads.

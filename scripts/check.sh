@@ -37,25 +37,40 @@ run timeout 600 cargo run -q --release --offline -p fp-study --bin study -- \
     --json target/ext-serve-smoke.json --metrics target/ext-serve-metrics.json
 run cargo run -q --release --offline -p fp-study --bin study -- \
     check-serve target/ext-serve-smoke.json
+# Fingerprint gate: the same remote smoke run must show one RUNFP chain on
+# every rung — unsharded, in-process sharded, and the two real child
+# processes — and `--deep` insists the cross-process evidence is present.
+# The manifest artifact is what a release run would publish for O(1)
+# behavioral comparison against any re-run.
+run cargo run -q --release --offline -p fp-study --bin study -- \
+    check-fingerprint target/ext-serve-smoke.json --deep
+run cargo run -q --release --offline -p fp-study --bin study -- \
+    fingerprint target/ext-serve-smoke.json --json target/fingerprint-manifest.json
 # Perf gate: rerun the telemetry bench suite (the cheapest one) and diff it
 # against the committed baseline. Thresholds are generous because the
 # baseline was measured on a different machine; bench-diff additionally
-# widens each bench's threshold to its own recorded p95 noise.
+# widens each bench's threshold to its own recorded p95 noise. Each gate
+# declares the baseline slice its filtered bench run is answerable for via
+# --require: a bench that silently vanishes from the run fails the gate.
 run cargo bench -q --offline -p fp-bench --bench telemetry -- \
     --save "$ROOT/target/BENCH_current.json"
 run cargo run -q --release --offline -p fp-bench --bin bench-diff -- \
-    BENCH_baseline.json target/BENCH_current.json --fail-pct 50 --warn-pct 10
+    BENCH_baseline.json target/BENCH_current.json --fail-pct 50 --warn-pct 10 \
+    --require counter/ --require value_histogram/ --require span/ \
+    --require fingerprint/ --require study/
 # Shard-search perf gate: the budgeted 2000-entry group only (the 10k group
-# lives in the committed baseline for local runs; missing benches are
-# reported as removed, never failed).
+# lives in the committed baseline for local runs; missing benches outside
+# the required slice are reported as removed, never failed).
 run cargo bench -q --offline -p fp-bench --bench shard -- shard_search_2000 \
     --save "$ROOT/target/BENCH_shard_current.json"
 run cargo run -q --release --offline -p fp-bench --bin bench-diff -- \
-    BENCH_baseline.json target/BENCH_shard_current.json --fail-pct 50 --warn-pct 10
+    BENCH_baseline.json target/BENCH_shard_current.json --fail-pct 50 --warn-pct 10 \
+    --require shard_search_2000/
 # Wire-format perf gate: encode/decode cost of the frames the cross-process
 # search pays per probe and per enrollment batch.
 run cargo bench -q --offline -p fp-bench --bench wire -- \
     --save "$ROOT/target/BENCH_wire_current.json"
 run cargo run -q --release --offline -p fp-bench --bin bench-diff -- \
-    BENCH_baseline.json target/BENCH_wire_current.json --fail-pct 50 --warn-pct 10
+    BENCH_baseline.json target/BENCH_wire_current.json --fail-pct 50 --warn-pct 10 \
+    --require wire_
 echo "all checks passed"
