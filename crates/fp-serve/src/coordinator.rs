@@ -1,27 +1,40 @@
 //! The coordinator: `ShardedIndex` semantics over TCP shards.
 //!
 //! [`Coordinator`] mirrors [`fp_index::ShardedIndex`] exactly — round-robin
-//! enrollment, parallel stage-1 fan-out, **one** global best-rank fusion,
-//! parallel per-shard exact re-rank, total-order merge — but each shard is
-//! a [`RemoteShard`] connection instead of an in-process
+//! enrollment, pipelined stage-1 across shards, **one** global best-rank
+//! fusion, pipelined per-shard exact re-rank, total-order merge — but each
+//! shard is a [`RemoteShard`] connection instead of an in-process
 //! [`fp_index::CandidateIndex`]. The fusion and merge steps call the very
 //! same pure helpers in `fp_index::shard`, so a remote search is
 //! byte-identical to the in-process sharded search, which is itself
 //! byte-identical to the unsharded index (`study check-serve` audits the
 //! whole chain).
 //!
+//! # Pipelining, not fan-out/join
+//!
+//! Each shard connection is a [`MuxConn`]: requests carry wire-v3 ids, so
+//! the coordinator writes stage-1 requests to **every** shard before
+//! awaiting the first response — the shards compute concurrently without
+//! the coordinator spawning a thread per shard per search. Because the
+//! connections multiplex, `search` takes `&self` and is thread-safe: N
+//! client threads can drive one coordinator at once, their requests
+//! interleaving on the same shard connections (`MuxConn::peak_in_flight`
+//! counts how deep that interleaving actually got).
+//!
 //! # Failure semantics
 //!
 //! Every RPC runs under a per-request deadline and a bounded retry budget
 //! with deterministic exponential backoff (jitter comes from a seeded
-//! splitmix64, so reruns behave identically). A shard that stays dead after
-//! the budget surfaces as [`ShardError::Unavailable`] and fails the whole
-//! search: a truncated candidate list would silently shift rank-1 /
-//! FNIR numbers, which is strictly worse than a loud error.
+//! splitmix64, so reruns behave identically). A typed `OVERLOADED` frame —
+//! the server shedding at its admission watermark — is retryable like a
+//! transport error (backoff gives the queue room to drain); a shard that
+//! stays dead or saturated after the budget surfaces as
+//! [`ShardError::Unavailable`] and fails the whole search: a truncated
+//! candidate list would silently shift rank-1 / FNIR numbers, which is
+//! strictly worse than a loud error.
 
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use fp_core::template::Template;
@@ -32,7 +45,8 @@ use fp_telemetry::{
 };
 
 use crate::metrics::ServeMetrics;
-use crate::wire::{code, read_frame, write_frame, Frame, WireError};
+use crate::mux::{MuxConn, MuxError, Ticket};
+use crate::wire::{code, Frame};
 
 /// Templates per [`Frame::EnrollBatch`]: keeps every frame far below
 /// [`crate::wire::MAX_PAYLOAD`] while amortizing round trips.
@@ -90,17 +104,16 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// One TCP connection to a shard server, with reconnection, deadlines,
-/// bounded retry, and `serve.*` metrics. Implements [`ShardBackend`], so it
-/// plugs into the same fusion/merge driver as an in-process shard.
+/// One multiplexed TCP connection to a shard server, with reconnection,
+/// deadlines, bounded retry, and `serve.*` metrics. Implements
+/// [`ShardBackend`], so it plugs into the same fusion/merge driver as an
+/// in-process shard.
 pub struct RemoteShard {
-    addr: SocketAddr,
     shard: usize,
-    conn: Mutex<Option<TcpStream>>,
+    conn: MuxConn,
     /// Cached gallery size, refreshed by enroll acks and health checks
     /// (the [`ShardBackend::shard_len`] accessor is infallible).
     len: AtomicUsize,
-    deadline: Duration,
     retry: RetryPolicy,
     metrics: ServeMetrics,
     /// The coordinator's mirror of this shard's served-part fingerprint
@@ -117,11 +130,9 @@ impl RemoteShard {
     /// mapping; it salts backoff jitter and labels errors and spans.
     pub fn new(addr: SocketAddr, shard: usize, deadline: Duration, retry: RetryPolicy) -> Self {
         RemoteShard {
-            addr,
             shard,
-            conn: Mutex::new(None),
+            conn: MuxConn::new(addr, deadline),
             len: AtomicUsize::new(0),
-            deadline,
             retry,
             metrics: ServeMetrics::default(),
             mirror: RunFingerprint::new(IndexConfig::default().fingerprint_base(0)),
@@ -153,6 +164,12 @@ impl RemoteShard {
         self.shard
     }
 
+    /// The deepest concurrent-request interleaving this shard's connection
+    /// has ever carried (see [`MuxConn::peak_in_flight`]).
+    pub fn peak_in_flight(&self) -> usize {
+        self.conn.peak_in_flight()
+    }
+
     fn unavailable(&self, detail: String) -> ShardError {
         ShardError::Unavailable {
             shard: self.shard,
@@ -167,34 +184,31 @@ impl RemoteShard {
         }
     }
 
-    fn connect(&self) -> std::io::Result<TcpStream> {
-        let stream = TcpStream::connect_timeout(&self.addr, self.deadline)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(self.deadline))?;
-        stream.set_write_timeout(Some(self.deadline))?;
-        Ok(stream)
+    fn map_mux(&self, e: MuxError) -> CallError {
+        match e {
+            MuxError::Transport { detail, timeout } => CallError::Transport(detail, timeout),
+            MuxError::Protocol { detail } => CallError::Fatal(self.protocol(detail)),
+        }
     }
 
     /// One request/response exchange with deadline, reconnection and
-    /// bounded retry. Transport failures are retried with backoff;
-    /// protocol-invalid replies (including typed [`Frame::Error`]s) fail
-    /// immediately — resending the same bytes cannot fix those.
+    /// bounded retry. Transport failures — and typed `OVERLOADED` sheds,
+    /// which mean "try again once the queue drains" — are retried with
+    /// backoff; protocol-invalid replies (including other typed
+    /// [`Frame::Error`]s) fail immediately — resending the same bytes
+    /// cannot fix those.
     pub fn call(&self, request: &Frame) -> Result<Frame, ShardError> {
         let kind = request.kind();
-        let _span = self.metrics.telemetry.trace_span(
-            "serve.rpc",
-            &[
-                ("kind", kind.to_string()),
-                ("shard", self.shard.to_string()),
-            ],
-        );
         let mut last_io = String::new();
         for attempt in 0..self.retry.attempts {
             if attempt > 0 {
                 self.metrics.retries.incr();
                 std::thread::sleep(self.retry.backoff(self.shard, attempt));
             }
-            match self.try_call(request, kind) {
+            let outcome = self
+                .begin_rpc(request)
+                .and_then(|pending| self.finish_rpc(pending, kind));
+            match outcome {
                 Ok(response) => return Ok(response),
                 Err(CallError::Transport(detail, timed_out)) => {
                     if timed_out {
@@ -211,42 +225,47 @@ impl RemoteShard {
         )))
     }
 
-    fn try_call(&self, request: &Frame, kind: &'static str) -> Result<Frame, CallError> {
-        let start = Instant::now();
-        let mut guard = self.conn.lock().expect("connection lock poisoned");
-        if guard.is_none() {
-            *guard =
-                Some(self.connect().map_err(|e| {
-                    CallError::Transport(format!("connect {}: {e}", self.addr), false)
-                })?);
-        }
-        let stream = guard.as_mut().expect("connection populated above");
+    /// Puts `request` on the wire without waiting for the response — the
+    /// pipelining half. Pair with [`finish_rpc`](Self::finish_rpc).
+    pub(crate) fn begin_rpc(&self, request: &Frame) -> Result<PendingRpc, CallError> {
         self.metrics.requests.incr();
-        let result = write_frame(stream, request)
-            .map_err(WireError::from)
-            .and_then(|tx| {
-                self.metrics.bytes_tx.add(tx as u64);
-                read_frame(stream)
-            });
-        let response = match result {
-            Ok((frame, rx)) => {
-                self.metrics.bytes_rx.add(rx as u64);
-                frame
-            }
-            Err(e) => {
-                // The connection's framing can no longer be trusted.
-                *guard = None;
-                return Err(match e {
-                    WireError::Io(_) | WireError::Truncated { .. } => {
-                        CallError::Transport(e.to_string(), e.is_timeout())
-                    }
-                    other => CallError::Fatal(self.protocol(other.to_string())),
-                });
-            }
-        };
-        drop(guard);
-        self.metrics.record_rpc(kind, start.elapsed());
+        let (ticket, tx) = self.conn.begin(request).map_err(|e| self.map_mux(e))?;
+        self.metrics.bytes_tx.add(tx as u64);
+        Ok(PendingRpc {
+            ticket,
+            start: Instant::now(),
+        })
+    }
+
+    /// Awaits the response for a [`begin_rpc`](Self::begin_rpc), mapping
+    /// typed error frames: `OVERLOADED` is retryable (the `serve.shed`
+    /// counter records each shed observed), everything else is fatal.
+    pub(crate) fn finish_rpc(
+        &self,
+        pending: PendingRpc,
+        kind: &'static str,
+    ) -> Result<Frame, CallError> {
+        let _span = self.metrics.telemetry.trace_span(
+            "serve.rpc",
+            &[
+                ("kind", kind.to_string()),
+                ("shard", self.shard.to_string()),
+            ],
+        );
+        let (response, rx) = self
+            .conn
+            .finish(pending.ticket)
+            .map_err(|e| self.map_mux(e))?;
+        self.metrics.bytes_rx.add(rx as u64);
+        self.metrics.record_rpc(kind, pending.start.elapsed());
         if let Frame::Error { code: c, detail } = response {
+            if c == code::OVERLOADED {
+                self.metrics.shed.incr();
+                return Err(CallError::Transport(
+                    format!("shed by shard: {detail}"),
+                    false,
+                ));
+            }
             let name = match c {
                 code::CONFIG_MISMATCH => "config mismatch",
                 code::BAD_REQUEST => "bad request",
@@ -256,6 +275,57 @@ impl RemoteShard {
             return Err(CallError::Fatal(self.protocol(format!("{name}: {detail}"))));
         }
         Ok(response)
+    }
+
+    /// Checks a stage-1 response's shape against the cached shard length.
+    fn validate_stage_one(&self, response: Frame) -> Result<StageOneScores, ShardError> {
+        let scores = match response {
+            Frame::StageOneOk { scores } => scores,
+            other => {
+                return Err(self.protocol(format!("expected stage1_ok, got '{}'", other.kind())))
+            }
+        };
+        let want = self.shard_len();
+        if scores.vote_scores.len() != want || scores.cyl_scores.len() != want {
+            return Err(self.protocol(format!(
+                "stage-1 scored {} entries, shard holds {want}",
+                scores.vote_scores.len()
+            )));
+        }
+        Ok(scores)
+    }
+
+    /// Checks a re-rank response echoes the requested ids in order, then
+    /// folds it into the mirror chain exactly as the shard folds what it
+    /// serves.
+    fn validate_stage_two(
+        &self,
+        selected_local: &[u32],
+        response: Frame,
+    ) -> Result<Vec<fp_index::Candidate>, ShardError> {
+        let candidates = match response {
+            Frame::RerankOk { candidates } => candidates,
+            other => {
+                return Err(self.protocol(format!("expected rerank_ok, got '{}'", other.kind())))
+            }
+        };
+        if candidates.len() != selected_local.len()
+            || candidates
+                .iter()
+                .zip(selected_local)
+                .any(|(c, &id)| c.id != id)
+        {
+            return Err(self.protocol(format!(
+                "re-rank returned {} candidates for {} requested ids (or ids differ)",
+                candidates.len(),
+                selected_local.len()
+            )));
+        }
+        // Mirror-fold the decoded part exactly as the shard folds what it
+        // serves (local ids, selection order) before the ids are
+        // globalized, so the two chains agree iff shard and wire agree.
+        self.mirror.record_item(&candidates[..]);
+        Ok(candidates)
     }
 
     /// Enrolls `templates` on this shard in chunked batches, carrying
@@ -345,10 +415,18 @@ impl RemoteShard {
     }
 }
 
-enum CallError {
-    /// Retryable transport failure (detail, was-a-timeout).
+/// An RPC whose request is on the wire but whose response has not been
+/// awaited yet.
+pub(crate) struct PendingRpc {
+    ticket: Ticket,
+    start: Instant,
+}
+
+pub(crate) enum CallError {
+    /// Retryable failure (detail, was-a-timeout): transport trouble or a
+    /// typed `OVERLOADED` shed.
     Transport(String, bool),
-    /// Non-retryable: protocol violation or typed error frame.
+    /// Non-retryable: protocol violation or any other typed error frame.
     Fatal(ShardError),
 }
 
@@ -361,20 +439,7 @@ impl ShardBackend for RemoteShard {
         let response = self.call(&Frame::StageOne {
             probe: probe.clone(),
         })?;
-        let scores = match response {
-            Frame::StageOneOk { scores } => scores,
-            other => {
-                return Err(self.protocol(format!("expected stage1_ok, got '{}'", other.kind())))
-            }
-        };
-        let want = self.shard_len();
-        if scores.vote_scores.len() != want || scores.cyl_scores.len() != want {
-            return Err(self.protocol(format!(
-                "stage-1 scored {} entries, shard holds {want}",
-                scores.vote_scores.len()
-            )));
-        }
-        Ok(scores)
+        self.validate_stage_one(response)
     }
 
     fn stage_two(
@@ -386,34 +451,14 @@ impl ShardBackend for RemoteShard {
             probe: probe.clone(),
             selected: selected_local.to_vec(),
         })?;
-        let candidates = match response {
-            Frame::RerankOk { candidates } => candidates,
-            other => {
-                return Err(self.protocol(format!("expected rerank_ok, got '{}'", other.kind())))
-            }
-        };
-        if candidates.len() != selected_local.len()
-            || candidates
-                .iter()
-                .zip(selected_local)
-                .any(|(c, &id)| c.id != id)
-        {
-            return Err(self.protocol(format!(
-                "re-rank returned {} candidates for {} requested ids (or ids differ)",
-                candidates.len(),
-                selected_local.len()
-            )));
-        }
-        // Mirror-fold the decoded part exactly as the shard folds what it
-        // serves (local ids, selection order) before the ids are
-        // globalized, so the two chains agree iff shard and wire agree.
-        self.mirror.record_item(&candidates[..]);
-        Ok(candidates)
+        self.validate_stage_two(selected_local, response)
     }
 }
 
 /// A cross-process sharded 1:N index: the drop-in remote counterpart of
 /// [`fp_index::ShardedIndex`], returning byte-identical [`SearchResult`]s.
+/// Searches take `&self` and are thread-safe — N client threads may drive
+/// one coordinator concurrently, multiplexing on the shard connections.
 pub struct Coordinator {
     shards: Vec<RemoteShard>,
     config: IndexConfig,
@@ -421,7 +466,9 @@ pub struct Coordinator {
     telemetry: Telemetry,
     /// Canonical run fingerprint, folded over merged results in
     /// global-fusion order — the same chain an unsharded
-    /// [`fp_index::CandidateIndex`] builds for the same probes.
+    /// [`fp_index::CandidateIndex`] builds for the same probes. The
+    /// accumulator is commutative, so concurrent searches reach the same
+    /// cumulative value regardless of interleaving.
     runfp: RunFingerprint,
     /// Searches completed, driving the every-Nth drift check.
     searches: AtomicU64,
@@ -511,6 +558,19 @@ impl Coordinator {
         &self.config
     }
 
+    /// The deepest concurrent-request interleaving observed on any shard
+    /// connection — how many requests were actually in flight at once on
+    /// one socket. Sequential callers keep this at 1; N threads driving
+    /// [`search`](Self::search) concurrently push it toward N × the
+    /// per-search RPC overlap.
+    pub fn peak_in_flight(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.peak_in_flight())
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Enrolls a batch: templates are dealt round-robin (continuing from
     /// previous batches) and each shard enrolls its share on its own
     /// thread — the same global id assignment as [`fp_index::ShardedIndex`]
@@ -564,8 +624,10 @@ impl Coordinator {
 
     /// Searches with an explicit **total** shortlist budget. Structurally
     /// the same sequence as [`fp_index::ShardedIndex::search_with_budget`]:
-    /// parallel stage-1, one global fusion (local), parallel stage-2,
-    /// total-order merge — only the transport differs.
+    /// stage-1 on every shard, one global fusion (local), stage-2 on every
+    /// shard, total-order merge — only the transport differs, and the
+    /// per-shard RPCs are pipelined (all requests written before any
+    /// response is awaited) rather than fanned out on threads.
     pub fn search_with_budget(
         &self,
         probe: &Template,
@@ -582,27 +644,64 @@ impl Coordinator {
             ],
         );
 
-        // Stage 1 on every shard in parallel; each worker adopts the search
-        // span so its serve.rpc spans nest under index.search.
-        let stage1: Vec<StageOneScores> = sequence(self.fan_out(|shard| shard.stage_one(probe)))?;
+        // Stage 1, pipelined: every shard has the request on the wire
+        // before the first response is awaited, so shards compute
+        // concurrently. A shard whose pipelined exchange hits a retryable
+        // failure falls back to the full retrying `call` path.
+        let pending: Vec<Result<PendingRpc, CallError>> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                shard.begin_rpc(&Frame::StageOne {
+                    probe: probe.clone(),
+                })
+            })
+            .collect();
+        let mut stage1 = Vec::with_capacity(s);
+        for (shard, begun) in self.shards.iter().zip(pending) {
+            let scores = match begun.and_then(|p| shard.finish_rpc(p, "stage1")) {
+                Ok(response) => shard.validate_stage_one(response)?,
+                Err(CallError::Fatal(e)) => return Err(e),
+                Err(CallError::Transport(..)) => shard.stage_one(probe)?,
+            };
+            stage1.push(scores);
+        }
 
         // ONE global fusion over the stitched score arrays — same helpers,
         // same bytes as the in-process sharded index.
         let (vote_scores, cyl_scores) = stitch_stage_one(&stage1, n);
         let selected_local = select_per_shard(&vote_scores, &cyl_scores, shortlist, s);
 
-        // Stage 2: exact re-rank of each shard's slice, in parallel. Empty
-        // slices skip the round trip entirely.
-        let selected_local = &selected_local;
-        let parts: Vec<Vec<fp_index::Candidate>> = sequence(self.fan_out(|shard| {
+        // Stage 2, pipelined the same way: exact re-rank of each shard's
+        // slice. Empty slices skip the round trip entirely.
+        let pending: Vec<Option<Result<PendingRpc, CallError>>> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let k = shard.shard_index();
+                if selected_local[k].is_empty() {
+                    return None;
+                }
+                Some(shard.begin_rpc(&Frame::Rerank {
+                    probe: probe.clone(),
+                    selected: selected_local[k].clone(),
+                }))
+            })
+            .collect();
+        let mut parts = Vec::with_capacity(s);
+        for (shard, begun) in self.shards.iter().zip(pending) {
             let k = shard.shard_index();
-            if selected_local[k].is_empty() {
-                return Ok(Vec::new());
-            }
-            let mut part = shard.stage_two(probe, &selected_local[k])?;
+            let mut part = match begun {
+                None => Vec::new(),
+                Some(begun) => match begun.and_then(|p| shard.finish_rpc(p, "rerank")) {
+                    Ok(response) => shard.validate_stage_two(&selected_local[k], response)?,
+                    Err(CallError::Fatal(e)) => return Err(e),
+                    Err(CallError::Transport(..)) => shard.stage_two(probe, &selected_local[k])?,
+                },
+            };
             globalize_and_sort(&mut part, k, s);
-            Ok(part)
-        }))?;
+            parts.push(part);
+        }
 
         let result = SearchResult::from_parts(merge_sorted_parts(&parts), n);
         self.runfp.record_item(&result);
@@ -688,39 +787,4 @@ impl Coordinator {
             Some(e) => Err(e),
         }
     }
-
-    /// Runs `f` once per shard on its own thread (inline for one shard),
-    /// collecting results in shard order under the calling trace span.
-    fn fan_out<T: Send>(
-        &self,
-        f: impl Fn(&RemoteShard) -> Result<T, ShardError> + Sync,
-    ) -> Vec<Result<T, ShardError>> {
-        if self.shards.len() == 1 {
-            return vec![f(&self.shards[0])];
-        }
-        let ctx = self.telemetry.trace_ctx();
-        let telemetry = &self.telemetry;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter()
-                .map(|shard| {
-                    let (ctx, f) = (&ctx, &f);
-                    scope.spawn(move || {
-                        let _adopt = telemetry.in_ctx(ctx);
-                        f(shard)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard rpc worker panicked"))
-                .collect()
-        })
-    }
-}
-
-/// First error wins; otherwise unwraps every element in order.
-fn sequence<T>(results: Vec<Result<T, ShardError>>) -> Result<Vec<T>, ShardError> {
-    results.into_iter().collect()
 }

@@ -9,6 +9,8 @@
 //! * `serve.bytes_tx` / `serve.bytes_rx` — wire bytes written / read;
 //! * `serve.retries` — attempts beyond the first;
 //! * `serve.timeouts` — attempts that died on the per-request deadline;
+//! * `serve.shed` — typed `OVERLOADED` responses observed (the shard's
+//!   admission control refusing work; retried like a transport failure);
 //! * `serve.drift` — fingerprint-chain mismatches between a shard's
 //!   scraped chain and the coordinator's mirror (each one also surfaced
 //!   as a typed `ShardError::FingerprintDrift`);
@@ -30,6 +32,7 @@ pub struct ServeMetrics {
     pub(crate) bytes_rx: Counter,
     pub(crate) retries: Counter,
     pub(crate) timeouts: Counter,
+    pub(crate) shed: Counter,
     pub(crate) drift: Counter,
 }
 
@@ -43,6 +46,7 @@ impl ServeMetrics {
             bytes_rx: telemetry.counter("serve.bytes_rx"),
             retries: telemetry.counter("serve.retries"),
             timeouts: telemetry.counter("serve.timeouts"),
+            shed: telemetry.counter("serve.shed"),
             drift: telemetry.counter("serve.drift"),
         }
     }

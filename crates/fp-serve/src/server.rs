@@ -1,11 +1,27 @@
 //! The shard server: one process, one [`CandidateIndex`], one TCP listener.
 //!
-//! Deliberately boring concurrency — blocking thread-per-connection over an
-//! `RwLock`-guarded index. Stage-1 and stage-2 requests take the read lock
-//! (concurrent searches proceed in parallel); enrollment takes the write
-//! lock. The accept loop polls a stop flag so [`Frame::Shutdown`] (or a
-//! test's [`ServerHandle::stop`]) terminates the process cleanly without
-//! async machinery — the whole crate stays std-only.
+//! Concurrency model (wire v3): each connection gets a **reader thread**
+//! that decodes frames and dispatches them — tagged with their request id
+//! — into a bounded, server-wide **worker pool**. Workers execute requests
+//! against the `RwLock`-guarded index (stage-1/stage-2 under the read
+//! lock, enrollment under the write lock) and write each response back
+//! under the request's id, in whatever order the work completes; a client
+//! may therefore keep many requests in flight on one connection (see
+//! `crate::mux` for the client half).
+//!
+//! # Admission control
+//!
+//! Admission is decided by a queue-depth counter against a configured
+//! watermark: a request arriving while `watermark` jobs are already
+//! queued (not yet picked up by a worker) is shed immediately with a
+//! typed [`code::OVERLOADED`] error frame instead of letting the queue
+//! (and every caller's latency) grow without bound.
+//! Nothing is ever dropped silently — every offered request is either
+//! accepted (and answered by a worker) or shed (and answered with
+//! `OVERLOADED` by the reader), and the `serve.offered` /
+//! `serve.accepted` / `serve.overloaded` counters account for exactly
+//! that: offered = accepted + overloaded. [`Frame::Shutdown`] bypasses the
+//! queue entirely — overload must never make a server unstoppable.
 //!
 //! # Config adoption
 //!
@@ -16,18 +32,20 @@
 //! shard silently scoring under different parameters would break the
 //! byte-identical guarantee in the quietest possible way.
 
+use std::collections::HashSet;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 use fp_core::template::Template;
 use fp_index::{CandidateIndex, IndexConfig, ShardBackend};
 use fp_match::PreparableMatcher;
-use fp_telemetry::Telemetry;
+use fp_telemetry::{Counter, Telemetry, ValueHistogram};
 
-use crate::wire::{code, read_frame, write_frame, Frame, WireError};
+use crate::wire::{code, read_frame_with, write_frame_with, Frame, WireError};
 
 /// How long the accept loop and idle connections sleep between stop-flag
 /// polls. Bounds shutdown latency.
@@ -38,6 +56,36 @@ const POLL: Duration = Duration::from_millis(100);
 /// dying peer can pin a connection thread.
 const FRAME_DEADLINE: Duration = Duration::from_secs(10);
 
+/// Default worker-pool size when [`ShardServer::with_pool`] is not called.
+pub const DEFAULT_WORKERS: usize = 4;
+
+/// Default admission-queue capacity (the overload watermark).
+pub const DEFAULT_QUEUE: usize = 64;
+
+/// Admission-control instruments. The invariant the overload fault test
+/// pins down: `offered == accepted + overloaded`, always.
+struct Admission {
+    offered: Counter,
+    accepted: Counter,
+    overloaded: Counter,
+    /// Queue depth observed at each admission decision (before enqueue).
+    queue_depth: ValueHistogram,
+    /// Jobs currently queued but not yet picked up by a worker.
+    depth: AtomicUsize,
+}
+
+impl Admission {
+    fn new(telemetry: &Telemetry) -> Admission {
+        Admission {
+            offered: telemetry.counter("serve.offered"),
+            accepted: telemetry.counter("serve.accepted"),
+            overloaded: telemetry.counter("serve.overloaded"),
+            queue_depth: telemetry.value("serve.queue.depth"),
+            depth: AtomicUsize::new(0),
+        }
+    }
+}
+
 struct State<M: PreparableMatcher> {
     matcher: M,
     index: RwLock<CandidateIndex<M>>,
@@ -45,11 +93,34 @@ struct State<M: PreparableMatcher> {
     /// Instruments the [`Frame::Stats`] snapshot is taken from; inert
     /// unless [`ShardServer::with_telemetry`] was called.
     telemetry: Telemetry,
+    admission: Admission,
     /// Fault-injection hook: XORed into every reported
     /// [`Frame::FingerprintOk`] value. Zero (the default) is a no-op; the
     /// loopback e2e suite sets it non-zero to prove a drifting shard is
     /// caught by the coordinator's mirror comparison.
     skew: Arc<AtomicU64>,
+    /// Fault-injection hook: milliseconds every stage-1/re-rank request
+    /// sleeps before touching the index. Zero (the default) is a no-op;
+    /// the soak suite sets it non-zero to prove correctness holds when a
+    /// shard answers slowly and out of order.
+    delay_ms: Arc<AtomicU64>,
+    /// Live connection-reader threads, as maintained by the accept loop's
+    /// reaping pass (the churn test watches this to prove handles don't
+    /// accumulate).
+    connections: Arc<AtomicUsize>,
+}
+
+/// One unit of work: a decoded request, the id to answer under, and the
+/// connection plumbing to answer through.
+struct Job<M: PreparableMatcher> {
+    request_id: u32,
+    request: Frame,
+    writer: Arc<Mutex<TcpStream>>,
+    /// Ids in flight on the job's connection; the worker clears its id
+    /// *before* writing the response (once the client has the response it
+    /// may legally reuse the id).
+    in_flight: Arc<Mutex<HashSet<u32>>>,
+    state: Arc<State<M>>,
 }
 
 /// A TCP server exposing one gallery shard over the wire protocol.
@@ -59,6 +130,8 @@ struct State<M: PreparableMatcher> {
 pub struct ShardServer<M: PreparableMatcher> {
     listener: TcpListener,
     state: Arc<State<M>>,
+    workers: usize,
+    queue: usize,
 }
 
 /// Handle to a server running on a background thread (see
@@ -98,22 +171,39 @@ where
                 matcher,
                 stop: Arc::new(AtomicBool::new(false)),
                 telemetry: Telemetry::disabled(),
+                admission: Admission::new(&Telemetry::disabled()),
                 skew: Arc::new(AtomicU64::new(0)),
+                delay_ms: Arc::new(AtomicU64::new(0)),
+                connections: Arc::new(AtomicUsize::new(0)),
             }),
+            workers: DEFAULT_WORKERS,
+            queue: DEFAULT_QUEUE,
         })
     }
 
     /// Attaches a telemetry handle: the index registers its `index.*`
-    /// instruments on it, and [`Frame::Stats`] answers with a snapshot of
-    /// it. Must be called before [`run`](Self::run)/[`spawn`](Self::spawn)
-    /// (while the server is still a builder).
+    /// instruments on it, admission control its `serve.*` instruments, and
+    /// [`Frame::Stats`] answers with a snapshot of it. Must be called
+    /// before [`run`](Self::run)/[`spawn`](Self::spawn) (while the server
+    /// is still a builder).
     pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
         let state =
             Arc::get_mut(&mut self.state).expect("with_telemetry must be called before spawn/run");
         state.telemetry = telemetry.clone();
+        state.admission = Admission::new(telemetry);
         let mut index = state.index.write().expect("index lock poisoned");
         *index = CandidateIndex::new(state.matcher.clone()).with_telemetry(telemetry);
         drop(index);
+        self
+    }
+
+    /// Sizes the worker pool: `workers` threads executing requests,
+    /// `queue` slots of admission buffer (the overload watermark — a
+    /// request arriving with the queue full is shed with a typed
+    /// [`code::OVERLOADED`] frame). Both are clamped to at least 1.
+    pub fn with_pool(mut self, workers: usize, queue: usize) -> Self {
+        self.workers = workers.max(1);
+        self.queue = queue.max(1);
         self
     }
 
@@ -125,26 +215,79 @@ where
         Arc::clone(&self.state.skew)
     }
 
+    /// Fault-injection handle for tests: any non-zero value stored here
+    /// makes every stage-1 and re-rank request sleep that many
+    /// milliseconds before touching the index — a deterministically slow
+    /// shard, for proving multiplexed correctness under skewed completion
+    /// order.
+    pub fn delay_stage(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.state.delay_ms)
+    }
+
+    /// Live connection-thread count, as seen by the accept loop's reaping
+    /// pass. A churn of short-lived connections must return this to 0.
+    pub fn tracked_connections(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.state.connections)
+    }
+
     /// The bound address (the port to advertise when bound to port 0).
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.listener.local_addr()
     }
 
     /// Serves until a [`Frame::Shutdown`] arrives (or [`ServerHandle::stop`]
-    /// flips the flag). Blocking; each connection gets its own thread.
+    /// flips the flag). Blocking; each connection gets a reader thread and
+    /// all connections share the bounded worker pool.
     pub fn run(self) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
-        let mut workers = Vec::new();
+
+        // The worker pool, shared by every connection. The channel itself
+        // is unbounded; boundedness comes from the admission check in
+        // `serve_connection` (shedding keeps the bookkeeping exact, which
+        // a full `sync_channel` could not).
+        let (job_tx, job_rx) = std::sync::mpsc::channel::<Job<M>>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let workers: Vec<_> = (0..self.workers)
+            .map(|_| {
+                let job_rx = Arc::clone(&job_rx);
+                std::thread::spawn(move || worker_loop(job_rx))
+            })
+            .collect();
+
+        let watermark = self.queue;
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
         while !self.state.stop.load(Ordering::Relaxed) {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     let state = Arc::clone(&self.state);
-                    workers.push(std::thread::spawn(move || serve_connection(stream, state)));
+                    let job_tx = job_tx.clone();
+                    conns.push(std::thread::spawn(move || {
+                        serve_connection(stream, state, job_tx, watermark)
+                    }));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
                 Err(_) => std::thread::sleep(POLL),
             }
+            // Reap finished connection readers so a long-lived server does
+            // not accumulate one dead JoinHandle per connection it ever
+            // served.
+            let mut i = 0;
+            while i < conns.len() {
+                if conns[i].is_finished() {
+                    let _ = conns.swap_remove(i).join();
+                } else {
+                    i += 1;
+                }
+            }
+            self.state.connections.store(conns.len(), Ordering::Relaxed);
         }
+        for conn in conns {
+            let _ = conn.join();
+        }
+        self.state.connections.store(0, Ordering::Relaxed);
+        // Readers are gone; dropping the last sender lets the workers
+        // drain whatever was queued and exit.
+        drop(job_tx);
         for worker in workers {
             let _ = worker.join();
         }
@@ -163,15 +306,61 @@ where
     }
 }
 
-/// Serves one client connection until it closes, errors, or the server
-/// stops. Peeks with a short read deadline so the stop flag is honoured on
-/// idle connections, then reads whole frames under a longer deadline.
-fn serve_connection<M>(stream: TcpStream, state: Arc<State<M>>)
+/// Pops jobs until every sender is gone (server shutdown), executing each
+/// and answering under its request id. The `Mutex<Receiver>` is the
+/// standard shared-consumer pattern: the lock is held across the blocking
+/// `recv`, so idle workers queue on the mutex instead of the channel.
+fn worker_loop<M>(job_rx: Arc<Mutex<Receiver<Job<M>>>>)
 where
     M: PreparableMatcher + Clone + Send + Sync,
     M::Prepared: Send + Sync,
 {
+    loop {
+        let job = match job_rx.lock().expect("job queue lock poisoned").recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders dropped: server is done
+        };
+        job.state.admission.depth.fetch_sub(1, Ordering::Relaxed);
+        let response = handle_request(job.request, &job.state);
+        // Release the id before the response can reach the client: once
+        // the client sees the answer it may legally reuse the id.
+        job.in_flight
+            .lock()
+            .expect("in-flight set poisoned")
+            .remove(&job.request_id);
+        let mut writer = job.writer.lock().expect("connection writer poisoned");
+        if write_frame_with(&mut *writer, job.request_id, &response).is_ok() {
+            let _ = writer.flush();
+        }
+    }
+}
+
+/// Reads frames off one client connection until it closes, errors, or the
+/// server stops, dispatching each into the worker pool (or shedding it
+/// with [`code::OVERLOADED`] when the pool's queue is at the watermark).
+/// Peeks with a short read deadline so the stop flag is honoured on idle
+/// connections, then reads whole frames under a longer deadline.
+fn serve_connection<M>(
+    stream: TcpStream,
+    state: Arc<State<M>>,
+    job_tx: Sender<Job<M>>,
+    watermark: usize,
+) where
+    M: PreparableMatcher + Clone + Send + Sync,
+    M::Prepared: Send + Sync,
+{
     let _ = stream.set_nodelay(true);
+    let writer = match stream.try_clone() {
+        Ok(clone) => Arc::new(Mutex::new(clone)),
+        Err(_) => return,
+    };
+    let in_flight: Arc<Mutex<HashSet<u32>>> = Arc::new(Mutex::new(HashSet::new()));
+    let answer = |id: u32, frame: &Frame| -> bool {
+        let mut w = writer.lock().expect("connection writer poisoned");
+        let ok = write_frame_with(&mut *w, id, frame).is_ok();
+        let _ = w.flush();
+        ok
+    };
     let mut stream = stream;
     let mut peek = [0u8; 1];
     loop {
@@ -193,14 +382,14 @@ where
             Err(_) => return,
         }
         let _ = stream.set_read_timeout(Some(FRAME_DEADLINE));
-        let request = match read_frame(&mut stream) {
-            Ok((frame, _bytes)) => frame,
+        let (request_id, request) = match read_frame_with(&mut stream) {
+            Ok((id, frame, _bytes)) => (id, frame),
             Err(WireError::Io(_)) | Err(WireError::Truncated { .. }) => return,
             Err(e) => {
                 // Decodable-but-invalid bytes: answer with a typed error.
                 // Framing may be out of sync afterwards, so close.
-                let _ = write_frame(
-                    &mut stream,
+                let _ = answer(
+                    0,
                     &Frame::Error {
                         code: code::BAD_REQUEST,
                         detail: e.to_string(),
@@ -209,15 +398,66 @@ where
                 return;
             }
         };
-        let shutdown = matches!(request, Frame::Shutdown);
-        let response = handle_request(request, &state);
-        if write_frame(&mut stream, &response).is_err() {
-            return;
-        }
-        let _ = stream.flush();
-        if shutdown {
+        // Shutdown is handled inline: it must work even when the pool is
+        // saturated, and it ends this connection anyway.
+        if matches!(request, Frame::Shutdown) {
+            let _ = answer(request_id, &Frame::ShutdownOk);
             state.stop.store(true, Ordering::Relaxed);
             return;
+        }
+        // A request id already in flight on this connection cannot be
+        // dispatched — its response would be indistinguishable from the
+        // first one's. Typed error, connection stays up.
+        if !in_flight
+            .lock()
+            .expect("in-flight set poisoned")
+            .insert(request_id)
+        {
+            let _ = answer(
+                request_id,
+                &Frame::Error {
+                    code: code::BAD_REQUEST,
+                    detail: format!("request id {request_id} is already in flight"),
+                },
+            );
+            continue;
+        }
+        state.admission.offered.incr();
+        let depth_before = state.admission.depth.fetch_add(1, Ordering::Relaxed);
+        state.admission.queue_depth.record(depth_before as u64);
+        if depth_before >= watermark {
+            // Admission control: shed *now*, loudly, with a typed frame —
+            // the caller learns within its deadline instead of queueing
+            // into the dark.
+            state.admission.depth.fetch_sub(1, Ordering::Relaxed);
+            state.admission.overloaded.incr();
+            in_flight
+                .lock()
+                .expect("in-flight set poisoned")
+                .remove(&request_id);
+            let _ = answer(
+                request_id,
+                &Frame::Error {
+                    code: code::OVERLOADED,
+                    detail: format!("admission queue at watermark ({watermark}); retry later"),
+                },
+            );
+            continue;
+        }
+        // Counted *before* the send so any later snapshot — including one
+        // taken by the worker answering this very request — already sees
+        // it: offered == accepted + overloaded holds at every quiescent
+        // point.
+        state.admission.accepted.incr();
+        let job = Job {
+            request_id,
+            request,
+            writer: Arc::clone(&writer),
+            in_flight: Arc::clone(&in_flight),
+            state: Arc::clone(&state),
+        };
+        if job_tx.send(job).is_err() {
+            return; // server is down
         }
     }
 }
@@ -230,6 +470,7 @@ where
     match request {
         Frame::EnrollBatch { config, templates } => enroll(config, templates, state),
         Frame::StageOne { probe } => {
+            stage_delay(state);
             let index = state.index.read().expect("index lock poisoned");
             match index.stage_one(&probe) {
                 Ok(scores) => Frame::StageOneOk { scores },
@@ -240,6 +481,7 @@ where
             }
         }
         Frame::Rerank { probe, selected } => {
+            stage_delay(state);
             let index = state.index.read().expect("index lock poisoned");
             let len = index.len() as u32;
             if let Some(&bad) = selected.iter().find(|&&id| id >= len) {
@@ -284,6 +526,14 @@ where
             code: code::BAD_REQUEST,
             detail: format!("frame '{}' is not a request", other.kind()),
         },
+    }
+}
+
+/// Applies the injected-slowness fault hook (no-op when unset).
+fn stage_delay<M: PreparableMatcher>(state: &State<M>) {
+    let ms = state.delay_ms.load(Ordering::Relaxed);
+    if ms > 0 {
+        std::thread::sleep(Duration::from_millis(ms));
     }
 }
 

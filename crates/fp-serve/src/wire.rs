@@ -3,18 +3,30 @@
 //! # Frame layout
 //!
 //! ```text
-//! +----------+----------+---------+--------------+===========+----------+
-//! |  magic   | version  |  type   | payload_len  |  payload  |  crc32   |
-//! |  4 bytes |  u16 LE  |  u8     |  u32 LE      |  bytes    |  u32 LE  |
-//! +----------+----------+---------+--------------+===========+----------+
+//! +----------+----------+---------+-------------+--------------+===========+----------+
+//! |  magic   | version  |  type   | request_id  | payload_len  |  payload  |  crc32   |
+//! |  4 bytes |  u16 LE  |  u8     |  u32 LE     |  u32 LE      |  bytes    |  u32 LE  |
+//! +----------+----------+---------+-------------+--------------+===========+----------+
 //! ```
 //!
 //! Every multi-byte integer is little-endian; every `f64` travels as its
 //! IEEE-754 bit pattern (`to_bits`/`from_bits`), so scores and coordinates
 //! cross the process boundary **bit-exact** — the property the whole
 //! cross-process sharding design rests on. The CRC32 (IEEE, reflected)
-//! covers the payload bytes; header corruption is caught by the magic and
-//! version checks, payload corruption by the checksum.
+//! covers the request id, the length prefix and the payload bytes — a
+//! flipped bit in the request id would re-route a response to the wrong
+//! caller, so it must be under the checksum; magic and version corruption
+//! is caught by their own checks before the length prefix is trusted.
+//!
+//! # Multiplexing (v3)
+//!
+//! The `request_id` field lets a client keep many requests in flight on
+//! one connection: the server answers each request with a frame carrying
+//! the *same* id, in whatever order the work completes, and the client
+//! rejoins responses to callers by id (see `crate::mux`). Id 0 is the
+//! conventional id of un-multiplexed traffic — [`encode_frame`] /
+//! [`read_frame`] use it so single-request-at-a-time peers never have to
+//! think about ids.
 //!
 //! There is no serde and no schema compiler: encode and decode are written
 //! out by hand against a tiny cursor ([`Dec`]), mirroring the vendored-deps
@@ -53,16 +65,21 @@ pub const MAGIC: [u8; 4] = *b"FPSH";
 /// Protocol version. Bump on any layout change; mismatches are rejected
 /// with [`WireError::VersionMismatch`] before a single payload byte is
 /// interpreted. v2: added the `Fingerprint`/`Stats` introspection frames
-/// (types 12–15).
-pub const VERSION: u16 = 2;
+/// (types 12–15). v3: added the `request_id` header field (multiplexing)
+/// and extended the CRC to cover it.
+pub const VERSION: u16 = 3;
 
 /// Upper bound on a frame payload (64 MiB): large enough for a 100k-entry
 /// enroll batch, small enough that a corrupted length prefix cannot ask the
 /// reader to allocate the machine.
 pub const MAX_PAYLOAD: u32 = 64 << 20;
 
-/// Frame header size: magic + version + type + payload length.
-pub const HEADER_LEN: usize = 4 + 2 + 1 + 4;
+/// Frame header size: magic + version + type + request id + payload length.
+pub const HEADER_LEN: usize = 4 + 2 + 1 + 4 + 4;
+
+/// Byte offset of the request id within the header — also where the
+/// CRC-covered region starts (request id + payload length + payload).
+const CRC_START: usize = 4 + 2 + 1;
 
 /// Typed error codes carried by [`Frame::Error`].
 pub mod code {
@@ -73,6 +90,9 @@ pub mod code {
     pub const BAD_REQUEST: u8 = 2;
     /// The shard failed internally.
     pub const INTERNAL: u8 = 3;
+    /// The shard's admission queue is at its watermark; the request was
+    /// shed *before* any work started. Retryable by construction.
+    pub const OVERLOADED: u8 = 4;
 }
 
 /// Everything that can go wrong turning bytes into a [`Frame`].
@@ -323,13 +343,25 @@ const fn crc32_table() -> [u32; 256] {
 
 static CRC_TABLE: [u32; 256] = crc32_table();
 
-/// CRC32 (IEEE) of `bytes` — the checksum carried after every payload.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
+fn crc32_feed(mut crc: u32, bytes: &[u8]) -> u32 {
     for &b in bytes {
         crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
-    !crc
+    crc
+}
+
+/// CRC32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !crc32_feed(0xFFFF_FFFF, bytes)
+}
+
+/// The frame checksum: CRC32 over request id + payload length + payload
+/// (the two header fields are fed as their little-endian bytes, exactly as
+/// they appear on the wire).
+fn frame_crc(request_id: u32, payload_len: u32, payload: &[u8]) -> u32 {
+    let mut crc = crc32_feed(0xFFFF_FFFF, &request_id.to_le_bytes());
+    crc = crc32_feed(crc, &payload_len.to_le_bytes());
+    !crc32_feed(crc, payload)
 }
 
 // ---------------------------------------------------------------------------
@@ -392,10 +424,12 @@ fn put_histogram(buf: &mut Vec<u8>, h: &HistogramSnapshot) {
     put_u64(buf, h.max);
     put_u64(buf, h.p50);
     put_u64(buf, h.p95);
+    put_u64(buf, h.p99);
+    put_u64(buf, h.p999);
 }
 
 /// Minimum encoded size of a named histogram entry (empty name).
-const HISTOGRAM_ENTRY_MIN: usize = 4 + 6 * 8;
+const HISTOGRAM_ENTRY_MIN: usize = 4 + 8 * 8;
 
 fn put_histograms(buf: &mut Vec<u8>, entries: &[(String, HistogramSnapshot)]) {
     put_u32(buf, entries.len() as u32);
@@ -511,6 +545,8 @@ impl<'a> Dec<'a> {
             max: self.u64()?,
             p50: self.u64()?,
             p95: self.u64()?,
+            p99: self.u64()?,
+            p999: self.u64()?,
         })
     }
 
@@ -773,8 +809,9 @@ fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, WireError> {
     Ok(frame)
 }
 
-/// Encodes `frame` into a complete wire frame (header + payload + CRC).
-pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+/// Encodes `frame` under `request_id` into a complete wire frame (header +
+/// payload + CRC).
+pub fn encode_frame_with(request_id: u32, frame: &Frame) -> Vec<u8> {
     let payload = encode_payload(frame);
     assert!(
         payload.len() as u64 <= MAX_PAYLOAD as u64,
@@ -784,15 +821,25 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     buf.extend_from_slice(&MAGIC);
     put_u16(&mut buf, VERSION);
     buf.push(frame.type_byte());
+    put_u32(&mut buf, request_id);
     put_u32(&mut buf, payload.len() as u32);
     buf.extend_from_slice(&payload);
-    put_u32(&mut buf, crc32(&payload));
+    put_u32(
+        &mut buf,
+        frame_crc(request_id, payload.len() as u32, &payload),
+    );
     buf
 }
 
-/// Decodes one complete wire frame from `buf` (header through CRC).
-/// The inverse of [`encode_frame`]; rejects trailing bytes.
-pub fn decode_frame(buf: &[u8]) -> Result<Frame, WireError> {
+/// Encodes `frame` under request id 0 (un-multiplexed traffic).
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    encode_frame_with(0, frame)
+}
+
+/// Decodes one complete wire frame from `buf` (header through CRC),
+/// returning the request id with the frame. The inverse of
+/// [`encode_frame_with`]; rejects trailing bytes.
+pub fn decode_frame_with(buf: &[u8]) -> Result<(u32, Frame), WireError> {
     let mut header = Dec::new(buf, "frame header");
     let magic: [u8; 4] = header.take(4)?.try_into().expect("4 bytes");
     if magic != MAGIC {
@@ -806,6 +853,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<Frame, WireError> {
         });
     }
     let frame_type = header.u8()?;
+    let request_id = header.u32()?;
     let len = header.u32()?;
     if len > MAX_PAYLOAD {
         return Err(WireError::Oversize(len));
@@ -818,26 +866,42 @@ pub fn decode_frame(buf: &[u8]) -> Result<Frame, WireError> {
     }
     let (payload, crc_bytes) = rest.split_at(len as usize);
     let got = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
-    let want = crc32(payload);
+    let want = frame_crc(request_id, len, payload);
     if got != want {
         return Err(WireError::BadCrc { got, want });
     }
-    decode_payload(frame_type, payload)
+    Ok((request_id, decode_payload(frame_type, payload)?))
 }
 
-/// Writes one frame to `w`, returning the number of bytes put on the wire.
-pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<usize> {
-    let bytes = encode_frame(frame);
+/// Decodes one complete wire frame, discarding the request id.
+pub fn decode_frame(buf: &[u8]) -> Result<Frame, WireError> {
+    decode_frame_with(buf).map(|(_, frame)| frame)
+}
+
+/// Writes one frame under `request_id`, returning the number of bytes put
+/// on the wire.
+pub fn write_frame_with(
+    w: &mut impl Write,
+    request_id: u32,
+    frame: &Frame,
+) -> std::io::Result<usize> {
+    let bytes = encode_frame_with(request_id, frame);
     w.write_all(&bytes)?;
     w.flush()?;
     Ok(bytes.len())
 }
 
-/// Reads one complete frame from `r`, returning it with the number of
-/// bytes consumed. Validates magic and version before trusting the length
-/// prefix, caps the payload at [`MAX_PAYLOAD`], and checks the CRC before
-/// decoding a single payload byte.
-pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), WireError> {
+/// Writes one frame under request id 0.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<usize> {
+    write_frame_with(w, 0, frame)
+}
+
+/// Reads one complete frame from `r`, returning its request id, the frame,
+/// and the number of bytes consumed. Validates magic and version before
+/// trusting the length prefix, caps the payload at [`MAX_PAYLOAD`], and
+/// checks the CRC (which covers the request id) before decoding a single
+/// payload byte.
+pub fn read_frame_with(r: &mut impl Read) -> Result<(u32, Frame, usize), WireError> {
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)?;
     let magic: [u8; 4] = header[..4].try_into().expect("4 bytes");
@@ -852,7 +916,8 @@ pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), WireError> {
         });
     }
     let frame_type = header[6];
-    let len = u32::from_le_bytes(header[7..11].try_into().expect("4 bytes"));
+    let request_id = u32::from_le_bytes(header[CRC_START..CRC_START + 4].try_into().expect("4"));
+    let len = u32::from_le_bytes(header[CRC_START + 4..HEADER_LEN].try_into().expect("4"));
     if len > MAX_PAYLOAD {
         return Err(WireError::Oversize(len));
     }
@@ -860,12 +925,17 @@ pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), WireError> {
     r.read_exact(&mut body)?;
     let (payload, crc_bytes) = body.split_at(len as usize);
     let got = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
-    let want = crc32(payload);
+    let want = frame_crc(request_id, len, payload);
     if got != want {
         return Err(WireError::BadCrc { got, want });
     }
     let frame = decode_payload(frame_type, payload)?;
-    Ok((frame, HEADER_LEN + body.len()))
+    Ok((request_id, frame, HEADER_LEN + body.len()))
+}
+
+/// Reads one complete frame, discarding the request id.
+pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), WireError> {
+    read_frame_with(r).map(|(_, frame, n)| (frame, n))
 }
 
 #[cfg(test)]
@@ -925,6 +995,8 @@ mod tests {
             max: 150,
             p50: 100,
             p95: 150,
+            p99: 150,
+            p999: 150,
         };
         let frame = Frame::StatsOk {
             counters: vec![
@@ -957,8 +1029,10 @@ mod tests {
         });
         // Payload starts at HEADER_LEN: first u32 is the counter count.
         bytes[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&u32::MAX.to_le_bytes());
-        let fixed = crc32(&bytes[HEADER_LEN..bytes.len() - 4]);
+        // Re-seal the checksum over the CRC-covered region (id + len +
+        // payload) so the corruption reaches the payload decoder.
         let crc_at = bytes.len() - 4;
+        let fixed = crc32(&bytes[CRC_START..crc_at]);
         bytes[crc_at..].copy_from_slice(&fixed.to_le_bytes());
         assert!(matches!(
             decode_frame(&bytes),
@@ -967,9 +1041,49 @@ mod tests {
     }
 
     #[test]
-    fn header_is_exactly_eleven_bytes() {
+    fn header_is_exactly_fifteen_bytes() {
         let bytes = encode_frame(&Frame::Health);
+        assert_eq!(HEADER_LEN, 15);
         assert_eq!(bytes.len(), HEADER_LEN + 4); // empty payload + crc
         assert_eq!(&bytes[..4], &MAGIC);
+    }
+
+    #[test]
+    fn request_ids_round_trip_in_any_order() {
+        for id in [0u32, 1, 7, u32::MAX] {
+            let bytes = encode_frame_with(id, &Frame::HealthOk { shard_len: id % 97 });
+            let (got_id, frame) = decode_frame_with(&bytes).unwrap();
+            assert_eq!(got_id, id);
+            assert_eq!(frame, Frame::HealthOk { shard_len: id % 97 });
+            let (via_reader, reader_frame, n) = read_frame_with(&mut &bytes[..]).unwrap();
+            assert_eq!((via_reader, reader_frame), (id, frame));
+            assert_eq!(n, bytes.len());
+        }
+    }
+
+    #[test]
+    fn flipped_request_id_bit_is_caught_by_the_crc() {
+        // A request id outside the CRC would silently re-route a response
+        // to the wrong caller — the exact failure multiplexing cannot
+        // tolerate. Prove every bit of the id field is covered.
+        let bytes = encode_frame_with(0x0102_0304, &Frame::Health);
+        for byte in CRC_START..CRC_START + 4 {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    matches!(decode_frame_with(&corrupt), Err(WireError::BadCrc { .. })),
+                    "flip of header byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_entry_points_use_request_id_zero() {
+        let bytes = encode_frame(&Frame::Fingerprint);
+        let (id, frame) = decode_frame_with(&bytes).unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(frame, Frame::Fingerprint);
     }
 }

@@ -1,0 +1,220 @@
+//! Multiplexing contract tests for [`MuxConn`] against scripted raw-wire
+//! servers.
+//!
+//! The property the whole serving stack leans on: **a response rejoins
+//! exactly the caller that issued its request id — or fails loudly** — no
+//! matter what order the server answers in, how many callers share the
+//! socket, or how hostile the peer is with ids. Mis-delivery is the one
+//! unacceptable outcome: a candidate list answered to the wrong probe
+//! would corrupt study results silently.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fp_serve::mux::{MuxConn, MuxError};
+use fp_serve::wire::{read_frame_with, write_frame_with, Frame};
+use proptest::prelude::*;
+
+/// Binds a loopback listener and runs `script` against the first accepted
+/// connection on a background thread.
+fn scripted_server<F>(script: F) -> (SocketAddr, JoinHandle<()>)
+where
+    F: FnOnce(TcpStream) + Send + 'static,
+{
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        stream.set_nodelay(true).expect("nodelay");
+        script(stream);
+    });
+    (addr, handle)
+}
+
+/// The tagged frame the tests pump through the mux: any frame type works
+/// (the mux never looks inside), and `HealthOk` carries a u32 we can use
+/// to prove which request a response belongs to.
+fn tagged(tag: u32) -> Frame {
+    Frame::HealthOk { shard_len: tag }
+}
+
+fn tag_of(frame: &Frame) -> u32 {
+    match frame {
+        Frame::HealthOk { shard_len } => *shard_len,
+        other => panic!("expected tagged frame, got '{}'", other.kind()),
+    }
+}
+
+/// Deterministic Fisher–Yates driven by splitmix64, so proptest shrinks
+/// over a single seed instead of a permutation vector.
+fn shuffled(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        seed = seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        order.swap(i, (seed % (i as u64 + 1)) as usize);
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// K requests begun before any is finished; the server answers them in
+    /// an arbitrary permutation; the client finishes them in another. Every
+    /// response must rejoin exactly the caller whose ticket issued it, and
+    /// the connection must have observably carried all K at once.
+    #[test]
+    fn out_of_order_completions_rejoin_their_callers(
+        k in 2usize..10,
+        answer_seed in 0u64..10_000,
+        finish_seed in 0u64..10_000,
+    ) {
+        let (addr, server) = scripted_server(move |mut stream| {
+            let mut received = Vec::new();
+            for _ in 0..k {
+                let (id, frame, _) = read_frame_with(&mut stream).expect("server read");
+                received.push((id, tag_of(&frame)));
+            }
+            for &i in &shuffled(k, answer_seed) {
+                let (id, tag) = received[i];
+                write_frame_with(&mut stream, id, &tagged(tag)).expect("server write");
+            }
+        });
+
+        let conn = MuxConn::new(addr, Duration::from_secs(5));
+        let tickets: Vec<_> = (0..k as u32)
+            .map(|tag| conn.begin(&tagged(tag)).expect("begin").0)
+            .collect();
+        // All K were in flight before the first finish.
+        prop_assert_eq!(conn.peak_in_flight(), k);
+        let mut seen = vec![false; k];
+        for &i in &shuffled(k, finish_seed) {
+            let (response, _) = conn.finish(tickets[i]).expect("finish");
+            // The response that rejoined ticket i carries ticket i's tag.
+            prop_assert_eq!(tag_of(&response), i as u32);
+            seen[i] = true;
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+        server.join().expect("server thread");
+    }
+}
+
+/// A response whose id matches no in-flight request is a protocol
+/// violation: the caller gets a typed error and the frame is never
+/// delivered to anyone.
+#[test]
+fn unsolicited_response_id_fails_loudly() {
+    let (addr, server) = scripted_server(|mut stream| {
+        let (id, _, _) = read_frame_with(&mut stream).expect("server read");
+        // Answer under an id nobody asked with.
+        write_frame_with(&mut stream, id.wrapping_add(7), &tagged(99)).expect("server write");
+    });
+
+    let conn = MuxConn::new(addr, Duration::from_secs(5));
+    match conn.call(&tagged(1)) {
+        Err(MuxError::Protocol { detail }) => {
+            assert!(detail.contains("unsolicited"), "detail: {detail}")
+        }
+        other => panic!("expected Protocol error, got {other:?}"),
+    }
+    server.join().expect("server thread");
+}
+
+/// A duplicated response id — answered once correctly, then again — must
+/// not be delivered twice: the second copy arrives with no in-flight
+/// request to claim it and poisons the connection instead of rejoining a
+/// *different* caller that happens to be waiting.
+#[test]
+fn duplicate_response_id_is_rejected_not_misdelivered() {
+    let (addr, server) = scripted_server(|mut stream| {
+        let (id_a, frame_a, _) = read_frame_with(&mut stream).expect("read a");
+        write_frame_with(&mut stream, id_a, &tagged(tag_of(&frame_a))).expect("answer a");
+        // The hostile part: answer id A a second time while B is waiting.
+        let (_id_b, _, _) = read_frame_with(&mut stream).expect("read b");
+        write_frame_with(&mut stream, id_a, &tagged(tag_of(&frame_a))).expect("duplicate a");
+    });
+
+    let conn = MuxConn::new(addr, Duration::from_secs(5));
+    let (response, _, _) = conn.call(&tagged(10)).expect("first call");
+    assert_eq!(tag_of(&response), 10);
+    match conn.call(&tagged(20)) {
+        // The duplicate must never surface as B's answer…
+        Ok((frame, _, _)) => panic!("duplicate delivered as '{}'", frame.kind()),
+        // …it must fail as a protocol violation.
+        Err(MuxError::Protocol { detail }) => {
+            assert!(detail.contains("unsolicited"), "detail: {detail}")
+        }
+        Err(other) => panic!("expected Protocol error, got {other:?}"),
+    }
+    server.join().expect("server thread");
+}
+
+/// A request the server never answers times out with a typed transport
+/// error, and the *next* call transparently reconnects and succeeds — a
+/// stuck request costs its caller a deadline, not the connection.
+#[test]
+fn timeout_is_typed_and_the_connection_recovers() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let server = std::thread::spawn(move || {
+        // First connection: swallow one request, never answer.
+        let (mut first, _) = listener.accept().expect("accept first");
+        let _ = read_frame_with(&mut first);
+        // Second connection (the client's reconnect): echo until EOF.
+        let (mut second, _) = listener.accept().expect("accept second");
+        while let Ok((id, frame, _)) = read_frame_with(&mut second) {
+            write_frame_with(&mut second, id, &frame).expect("echo");
+        }
+        drop(first);
+    });
+
+    let conn = MuxConn::new(addr, Duration::from_millis(300));
+    match conn.call(&tagged(1)) {
+        Err(MuxError::Transport { timeout, .. }) => assert!(timeout, "expected a timeout"),
+        other => panic!("expected Transport timeout, got {other:?}"),
+    }
+    let (response, _, _) = conn.call(&tagged(2)).expect("call after reconnect");
+    assert_eq!(tag_of(&response), 2);
+    drop(conn);
+    server.join().expect("server thread");
+}
+
+/// Many threads hammering one connection against an out-of-order echo
+/// server: every caller gets exactly its own tag back. This is the
+/// mis-delivery stress test — any crossed wire shows up as a wrong tag.
+#[test]
+fn concurrent_callers_never_receive_each_others_responses() {
+    const THREADS: u32 = 8;
+    const CALLS: u32 = 25;
+    let (addr, server) = scripted_server(|mut stream| {
+        // Echo every frame back under its own id until the client closes.
+        while let Ok((id, frame, _)) = read_frame_with(&mut stream) {
+            write_frame_with(&mut stream, id, &frame).expect("echo");
+        }
+    });
+
+    let conn = MuxConn::new(addr, Duration::from_secs(10));
+    // Deterministic overlap first: two begun before either finishes.
+    let (a, _) = conn.begin(&tagged(700_000)).expect("begin a");
+    let (b, _) = conn.begin(&tagged(700_001)).expect("begin b");
+    assert_eq!(conn.peak_in_flight(), 2);
+    assert_eq!(tag_of(&conn.finish(b).expect("finish b").0), 700_001);
+    assert_eq!(tag_of(&conn.finish(a).expect("finish a").0), 700_000);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let conn = &conn;
+            scope.spawn(move || {
+                for i in 0..CALLS {
+                    let tag = t * 1_000 + i;
+                    let (response, _, _) = conn.call(&tagged(tag)).expect("call");
+                    assert_eq!(tag_of(&response), tag, "thread {t} got a foreign response");
+                }
+            });
+        }
+    });
+    drop(conn);
+    server.join().expect("server thread");
+}

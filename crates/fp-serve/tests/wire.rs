@@ -17,11 +17,23 @@ use fp_core::template::Template;
 use fp_core::MatchScore;
 use fp_index::{Candidate, IndexConfig, StageOneScores};
 use fp_serve::wire::{
-    code, crc32, decode_frame, encode_frame, read_frame, write_frame, Frame, WireError, HEADER_LEN,
-    MAGIC, MAX_PAYLOAD, VERSION,
+    code, crc32, decode_frame, decode_frame_with, encode_frame, encode_frame_with, read_frame,
+    read_frame_with, write_frame, Frame, WireError, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,
 };
 use proptest::prelude::*;
 use rand::Rng;
+
+/// Re-signs a mutated frame the way the encoder would: the CRC covers the
+/// request id and payload length (header bytes 7..15) plus the payload, so
+/// hostile-payload tests must seal their tampering with the same formula.
+fn reseal(header: &[u8], payload: &[u8]) -> Vec<u8> {
+    let mut bytes = header[..HEADER_LEN].to_vec();
+    bytes.extend_from_slice(payload);
+    let mut signed = header[7..HEADER_LEN].to_vec();
+    signed.extend_from_slice(payload);
+    bytes.extend_from_slice(&crc32(&signed).to_le_bytes());
+    bytes
+}
 
 fn synthetic_template(seed: u64, n: usize) -> Template {
     let mut rng = SeedTree::new(seed).child(&[0x3E]).rng();
@@ -178,6 +190,39 @@ proptest! {
         prop_assert!(read_frame(&mut &bytes[..cut]).is_err());
     }
 
+    /// Wire v3: any request id rides the header round trip unharmed, and
+    /// the frame body decodes identically regardless of the id — through
+    /// both the slice codec and the stream codec.
+    #[test]
+    fn request_ids_round_trip(seed in 0u64..10_000, id in 0u32..=u32::MAX, n in 0usize..12) {
+        let frame = Frame::StageOne { probe: synthetic_template(seed, n) };
+        let bytes = encode_frame_with(id, &frame);
+        let (decoded_id, decoded) = decode_frame_with(&bytes).expect("decodes");
+        prop_assert_eq!(decoded_id, id);
+        prop_assert_eq!(&decoded, &frame);
+        let (streamed_id, streamed, consumed) =
+            read_frame_with(&mut &bytes[..]).expect("stream decodes");
+        prop_assert_eq!(streamed_id, id);
+        prop_assert_eq!(&streamed, &frame);
+        prop_assert_eq!(consumed, bytes.len());
+        // The id-0 compatibility surface sees the same body bytes.
+        prop_assert_eq!(&bytes[..7], &encode_frame(&frame)[..7]);
+    }
+
+    /// Wire v3: corrupting any bit of the request-id header field is caught
+    /// by the frame CRC — a response can never rejoin the wrong caller via
+    /// an undetected id flip.
+    #[test]
+    fn request_id_corruption_is_caught(seed in 0u64..5_000, id in 0u32..=u32::MAX, bit in 0usize..32) {
+        let frame = Frame::HealthOk { shard_len: seed as u32 };
+        let mut bytes = encode_frame_with(id, &frame);
+        bytes[7 + bit / 8] ^= 1 << (bit % 8);
+        match decode_frame_with(&bytes) {
+            Err(WireError::BadCrc { .. }) => {}
+            other => prop_assert!(false, "expected BadCrc, got {:?}", other),
+        }
+    }
+
     /// Arbitrary garbage never panics the decoder.
     #[test]
     fn random_bytes_never_panic(seed in 0u64..20_000, len in 0usize..300) {
@@ -243,7 +288,7 @@ fn flipped_crc_is_typed() {
 #[test]
 fn oversize_length_prefix_is_typed() {
     let mut bytes = encode_frame(&Frame::Health);
-    bytes[7..11].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+    bytes[11..15].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
     match decode_frame(&bytes) {
         Err(WireError::Oversize(len)) => assert_eq!(len, MAX_PAYLOAD + 1),
         other => panic!("expected Oversize, got {other:?}"),
@@ -272,9 +317,7 @@ fn hostile_count_with_valid_crc_is_rejected_cheaply() {
     let payload_len = bytes.len() - HEADER_LEN - 4;
     let mut payload = bytes[HEADER_LEN..HEADER_LEN + payload_len].to_vec();
     payload[..4].copy_from_slice(&u32::MAX.to_le_bytes()); // count = 4 billion
-    let mut hostile = bytes[..HEADER_LEN].to_vec();
-    hostile.extend_from_slice(&payload);
-    hostile.extend_from_slice(&crc32(&payload).to_le_bytes());
+    let hostile = reseal(&bytes, &payload);
     match decode_frame(&hostile) {
         Err(WireError::Truncated { .. }) => {}
         other => panic!("expected Truncated, got {other:?}"),
@@ -286,13 +329,13 @@ fn trailing_payload_bytes_are_rejected() {
     // Append a byte to a Health payload and re-sign it: structurally valid
     // CRC, but the frame decodes to more bytes than the type consumes.
     let payload = vec![0u8];
-    let mut bytes = Vec::new();
-    bytes.extend_from_slice(&MAGIC);
-    bytes.extend_from_slice(&VERSION.to_le_bytes());
-    bytes.push(7); // Health
-    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    bytes.extend_from_slice(&payload);
-    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    let mut header = Vec::new();
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&VERSION.to_le_bytes());
+    header.push(7); // Health
+    header.extend_from_slice(&0u32.to_le_bytes()); // request id
+    header.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let bytes = reseal(&header, &payload);
     match decode_frame(&bytes) {
         Err(WireError::Malformed(_)) => {}
         other => panic!("expected Malformed, got {other:?}"),
@@ -309,9 +352,7 @@ fn unknown_minutia_kind_is_rejected() {
     let payload_len = bytes.len() - HEADER_LEN - 4;
     let mut payload = bytes[HEADER_LEN..HEADER_LEN + payload_len].to_vec();
     payload[kind_at - HEADER_LEN] = 9;
-    let mut hostile = bytes[..HEADER_LEN].to_vec();
-    hostile.extend_from_slice(&payload);
-    hostile.extend_from_slice(&crc32(&payload).to_le_bytes());
+    let hostile = reseal(&bytes, &payload);
     match decode_frame(&hostile) {
         Err(WireError::Malformed(detail)) => assert!(detail.contains("minutia kind")),
         other => panic!("expected Malformed, got {other:?}"),

@@ -14,8 +14,10 @@
 //! study verify --subjects 150      # check the paper's findings hold
 //! study ext-scaling --remote-shards 2 # 1:N over serve-shard child processes
 //! study serve-shard                # one gallery shard behind a TCP socket
+//! study load --subjects 200        # concurrent-load harness over serve-shards
 //! study check-scaling results.json # gate an ext-scaling JSON (recall/audits)
 //! study check-serve results.json   # gate the cross-process parity rung
+//! study check-load load.json       # gate the load harness (parity/ledger/tails)
 //! study check-telemetry results.json # gate a study JSON's telemetry section
 //! study fingerprint results.json   # print/save the run-fingerprint manifest
 //! study check-fingerprint results.json [--deep] # gate fingerprint parity
@@ -73,7 +75,12 @@ fn parse_args() -> Result<Args, String> {
     };
     if matches!(
         parsed.experiment.as_str(),
-        "check-scaling" | "check-telemetry" | "check-serve" | "check-fingerprint" | "fingerprint"
+        "check-scaling"
+            | "check-telemetry"
+            | "check-serve"
+            | "check-load"
+            | "check-fingerprint"
+            | "fingerprint"
     ) {
         if let Some(next) = args.peek() {
             if !next.starts_with('-') {
@@ -450,6 +457,154 @@ fn check_serve(telemetry: &Telemetry, path: &str) -> ExitCode {
     }
 }
 
+/// Gates a `study load --json` results file: the concurrent pass must show
+/// byte-identical candidate lists and an equal RUNFP chain vs the
+/// sequential in-process baseline, the deterministic pipeline probe must
+/// have carried at least 4 concurrent requests on one connection with
+/// responses equal to sequential replies, the shards' admission ledger must
+/// balance exactly (offered == accepted + overloaded — a silently dropped
+/// request breaks it), and every latency rung must have answered every
+/// search with monotone percentiles.
+fn check_load(telemetry: &Telemetry, path: &str) -> ExitCode {
+    let payload: serde_json::Value = match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| serde_json::from_str(&t).map_err(|e| e.to_string()))
+    {
+        Ok(v) => v,
+        Err(e) => {
+            telemetry.event_with(
+                Level::Error,
+                "cannot load results file",
+                &[("path", path.to_string()), ("error", e)],
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = payload["reports"]
+        .as_array()
+        .into_iter()
+        .flatten()
+        .find(|r| r["id"] == "ext-load");
+    let Some(report) = report else {
+        telemetry.event_with(
+            Level::Error,
+            "no ext-load report in results file",
+            &[("path", path.to_string())],
+        );
+        return ExitCode::FAILURE;
+    };
+    let values = &report["values"];
+    let mut ok = true;
+    if !values["error"].is_null() {
+        telemetry.event_with(
+            Level::Error,
+            "load rung failed",
+            &[("error", values["error"].to_string())],
+        );
+        ok = false;
+    }
+    let checked = values["parity_checked"].as_u64().unwrap_or(0);
+    if checked == 0 || values["parity_agreed"] != values["parity_checked"] {
+        telemetry.event_with(
+            Level::Error,
+            "concurrent results diverged from the sequential baseline",
+            &[
+                ("agreed", values["parity_agreed"].to_string()),
+                ("checked", values["parity_checked"].to_string()),
+            ],
+        );
+        ok = false;
+    }
+    let remote_fp = values["runfp_remote"].as_str().unwrap_or("");
+    if !is_runfp_hex(remote_fp) || values["runfp_remote"] != values["runfp_baseline"] {
+        telemetry.event_with(
+            Level::Error,
+            "run fingerprint diverged from the sequential baseline",
+            &[
+                ("remote", values["runfp_remote"].to_string()),
+                ("baseline", values["runfp_baseline"].to_string()),
+            ],
+        );
+        ok = false;
+    }
+    let pipeline = &values["pipeline"];
+    if pipeline["peak_in_flight"].as_u64().unwrap_or(0) < 4 || pipeline["responses_match"] != true {
+        telemetry.event_with(
+            Level::Error,
+            "pipeline probe failed (need >= 4 in flight with sequential-equal responses)",
+            &[("pipeline", pipeline.to_string())],
+        );
+        ok = false;
+    }
+    let admission = &values["admission"];
+    let offered = admission["offered"].as_u64().unwrap_or(0);
+    let accepted = admission["accepted"].as_u64().unwrap_or(0);
+    let overloaded = admission["overloaded"].as_u64().unwrap_or(0);
+    if offered == 0 || offered != accepted + overloaded {
+        telemetry.event_with(
+            Level::Error,
+            "admission ledger broken: a request was dropped without a typed answer",
+            &[("admission", admission.to_string())],
+        );
+        ok = false;
+    }
+    let Some(rungs) = values["rungs"].as_array().filter(|r| !r.is_empty()) else {
+        telemetry.event(Level::Error, "ext-load report has no latency rungs");
+        return ExitCode::FAILURE;
+    };
+    for rung in rungs {
+        if rung["answered"] != rung["searches"] {
+            telemetry.event_with(
+                Level::Error,
+                "latency rung dropped searches",
+                &[("rung", rung.to_string())],
+            );
+            ok = false;
+        }
+        let p = |key: &str| rung[key].as_u64().unwrap_or(0);
+        if !(p("p50_ns") <= p("p95_ns")
+            && p("p95_ns") <= p("p99_ns")
+            && p("p99_ns") <= p("p999_ns"))
+        {
+            telemetry.event_with(
+                Level::Error,
+                "latency percentiles are not monotone",
+                &[("rung", rung.to_string())],
+            );
+            ok = false;
+        }
+        if rung["throughput_per_s"].as_f64().unwrap_or(0.0) <= 0.0 {
+            telemetry.event_with(
+                Level::Error,
+                "latency rung reports no throughput",
+                &[("rung", rung.to_string())],
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        let top = rungs.last().expect("non-empty");
+        println!(
+            "load smoke ok ({} probes at exact parity, pipeline depth {}, \
+             offered {} = accepted {} + overloaded {}; {} clients: \
+             p50 {:.1}us p95 {:.1}us p99 {:.1}us p999 {:.1}us)",
+            checked,
+            pipeline["peak_in_flight"],
+            offered,
+            accepted,
+            overloaded,
+            top["clients"],
+            top["p50_ns"].as_u64().unwrap_or(0) as f64 / 1e3,
+            top["p95_ns"].as_u64().unwrap_or(0) as f64 / 1e3,
+            top["p99_ns"].as_u64().unwrap_or(0) as f64 / 1e3,
+            top["p999_ns"].as_u64().unwrap_or(0) as f64 / 1e3,
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 /// Loads a `--json` results file and extracts its ext-scaling report.
 fn load_scaling_report(telemetry: &Telemetry, path: &str) -> Result<serde_json::Value, ExitCode> {
     let payload: serde_json::Value = match std::fs::read_to_string(path)
@@ -733,7 +888,12 @@ fn run(args: &Args, telemetry: &Telemetry) -> ExitCode {
 
     if matches!(
         args.experiment.as_str(),
-        "check-scaling" | "check-telemetry" | "check-serve" | "check-fingerprint" | "fingerprint"
+        "check-scaling"
+            | "check-telemetry"
+            | "check-serve"
+            | "check-load"
+            | "check-fingerprint"
+            | "fingerprint"
     ) {
         let Some(path) = &args.path else {
             telemetry.event_with(
@@ -746,6 +906,7 @@ fn run(args: &Args, telemetry: &Telemetry) -> ExitCode {
         return match args.experiment.as_str() {
             "check-scaling" => check_scaling(telemetry, path),
             "check-serve" => check_serve(telemetry, path),
+            "check-load" => check_load(telemetry, path),
             "check-fingerprint" => check_fingerprint(telemetry, path, args.deep),
             "fingerprint" => fingerprint_manifest(telemetry, path, args.json.as_deref()),
             _ => check_telemetry(telemetry, path),
@@ -921,6 +1082,71 @@ fn run(args: &Args, telemetry: &Telemetry) -> ExitCode {
         builder = builder.remote_shards(s);
     }
 
+    if args.experiment == "load" {
+        // The concurrent-serving load harness spawns its own serve-shard
+        // children and builds its own synthetic gallery; no dataset/score
+        // pipeline needed.
+        let config = builder.build();
+        telemetry.event_with(
+            Level::Info,
+            "serving load harness",
+            &[
+                ("subjects", config.subjects.to_string()),
+                ("seed", config.seed.to_string()),
+            ],
+        );
+        let report = fp_study::experiments::ext_load::run_with(&config, telemetry);
+        println!("{}", report.render());
+        let failed = !report.values["error"].is_null();
+        let snapshot = telemetry.snapshot();
+        if let Some(path) = &args.json {
+            let payload = serde_json::json!({
+                "config": config,
+                "reports": [report.clone()],
+                "telemetry": snapshot,
+            });
+            if let Err(code) = write_json(telemetry, path, &payload) {
+                return code;
+            }
+        }
+        if let Some(path) = &args.metrics {
+            let payload = serde_json::to_value(&snapshot).expect("serializable");
+            if let Err(code) = write_json(telemetry, path, &payload) {
+                return code;
+            }
+        }
+        // `--out` writes the latency rungs as a BENCH snapshot so
+        // bench-diff can gate them like any other perf number.
+        if let Some(path) = &args.out {
+            let benches: Vec<serde_json::Value> = report.values["rungs"]
+                .as_array()
+                .into_iter()
+                .flatten()
+                .map(|r| {
+                    serde_json::json!({
+                        "bench": format!("load/search_c{}", r["clients"]),
+                        "median_ns": r["p50_ns"],
+                        "p95_ns": r["p95_ns"],
+                        "iters": r["answered"],
+                    })
+                })
+                .collect();
+            let payload = serde_json::json!({
+                "version": 1,
+                "host": std::env::var("HOSTNAME").unwrap_or_else(|_| "unknown".to_string()),
+                "benches": benches,
+            });
+            if let Err(code) = write_json(telemetry, path, &payload) {
+                return code;
+            }
+        }
+        return if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
     if args.experiment == "ext-scaling" {
         // The scaling ladder builds its own synthetic galleries (subjects,
         // 5x, 10x); skip the full dataset/score pipeline so large ladders
@@ -1038,8 +1264,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: study <all|devices|metrics|verify|render|serve-shard|check-scaling|\
-                 check-telemetry|check-serve|fingerprint|check-fingerprint|{}> \
+                "usage: study <all|devices|metrics|verify|render|serve-shard|load|check-scaling|\
+                 check-telemetry|check-serve|check-load|fingerprint|check-fingerprint|{}> \
                  [--subjects N] [--seed S] [--shards S] [--remote-shards N] [--port P] \
                  [--json PATH] [--metrics PATH] [--trace PATH] [--events PATH] [--out PATH] \
                  [--deep]",
@@ -1058,6 +1284,7 @@ fn main() -> ExitCode {
             | "check-scaling"
             | "check-telemetry"
             | "check-serve"
+            | "check-load"
             | "check-fingerprint"
             | "fingerprint"
             | "serve-shard"

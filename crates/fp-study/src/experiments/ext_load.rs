@@ -1,0 +1,518 @@
+//! **Extension: concurrent-serving load harness** — sustained multiplexed
+//! 1:N identification traffic through a real coordinator + `serve-shard`
+//! topology, proven byte-identical to a sequential in-process baseline.
+//!
+//! The scaling experiment (`ext_scaling`) asks how far one search
+//! stretches; this one asks what happens when many searches share the
+//! wire. It spawns `serve-shard` child processes over loopback, enrolls a
+//! synthetic gallery, and then:
+//!
+//! 1. **Correctness under concurrency** — N client threads drive the one
+//!    coordinator at once; every candidate list must be byte-identical
+//!    (ids AND score bits) to an unsharded in-process index searching the
+//!    same probes sequentially, and the coordinator's RUNFP chain must
+//!    equal the baseline's. One flipped bit anywhere fails the run.
+//! 2. **Pipeline-depth proof** — a raw [`MuxConn`] to shard 0 puts eight
+//!    stage-1 requests on the wire before awaiting any; the connection's
+//!    `peak_in_flight` must observably reach eight and every pipelined
+//!    response must equal the sequential reply to the same request. This
+//!    is deterministic, not a race the scheduler has to win.
+//! 3. **Latency ladder** — 1/2/4/8 client threads replay the probe set,
+//!    each search timed into a histogram; every rung reports throughput
+//!    and p50/p95/p99/p999, which is where overload and head-of-line
+//!    blocking actually show up.
+//! 4. **Admission ledger** — the shards' `serve.offered` /
+//!    `serve.accepted` / `serve.overloaded` counters are scraped over the
+//!    wire; offered must equal accepted + overloaded exactly. A request
+//!    the server dropped without a typed answer breaks the ledger (and
+//!    would already have hung or failed its caller).
+//!
+//! `study check-load` gates the emitted JSON on all four.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use fp_core::rng::SeedTree;
+use fp_core::template::Template;
+use fp_index::{CandidateIndex, IndexConfig, SearchResult};
+use fp_match::PairTableMatcher;
+use fp_serve::proc::spawn_shard;
+use fp_serve::wire::Frame;
+use fp_serve::{Coordinator, MuxConn, RetryPolicy};
+use fp_telemetry::Telemetry;
+use serde_json::json;
+
+use crate::config::StudyConfig;
+use crate::experiments::ext_scaling::{recapture, synthetic_template, CROSS_DEVICE, SAME_DEVICE};
+use crate::report::Report;
+
+/// Probes per pass (capped so the whole harness stays seconds-scale).
+const MAX_PROBES: usize = 48;
+
+/// Client threads for the concurrent-correctness pass.
+const PARITY_THREADS: usize = 4;
+
+/// Requests put on the wire before any is awaited in the pipeline probe.
+const PIPELINE_DEPTH: usize = 8;
+
+/// Client-thread counts of the latency ladder.
+const LADDER: [usize; 4] = [1, 2, 4, 8];
+
+/// One rung of the latency ladder.
+struct LoadRung {
+    clients: usize,
+    searches: usize,
+    answered: usize,
+    wall_seconds: f64,
+    throughput_per_s: f64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+}
+
+/// Everything the load rungs measured; serialized into the report values.
+struct LoadData {
+    gallery: usize,
+    probes: usize,
+    shards: usize,
+    parity_checked: usize,
+    parity_agreed: usize,
+    runfp_remote: String,
+    runfp_baseline: String,
+    pipeline_peak: usize,
+    pipeline_parity: bool,
+    coordinator_peak: usize,
+    offered: u64,
+    accepted: u64,
+    overloaded: u64,
+    rungs: Vec<LoadRung>,
+}
+
+/// Runs the experiment (inert telemetry).
+pub fn run(config: &StudyConfig) -> Report {
+    run_with(config, &Telemetry::disabled())
+}
+
+/// [`run`] with telemetry. Parity counts, fingerprints and the admission
+/// ledger are pure functions of the seed; latency and throughput vary with
+/// the machine.
+pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
+    let (data, error) = match load_rung(config, telemetry) {
+        Ok(data) => (Some(data), None),
+        Err(e) => (None, Some(e)),
+    };
+
+    let mut body = String::new();
+    if let Some(d) = &data {
+        body.push_str(&format!(
+            "serving load harness: {} subjects over {} serve-shard process(es), \
+             {} probes per pass\n\n\
+             concurrent pass ({PARITY_THREADS} client threads) vs sequential \
+             in-process baseline:\n  \
+             candidate-list parity {}/{} probes, RUNFP {} {} baseline {}\n\
+             pipeline probe: {} requests in flight on one connection \
+             (target {PIPELINE_DEPTH}), responses {} sequential replies\n\
+             coordinator peak interleaving: {} concurrent requests on one \
+             shard connection\n\
+             admission ledger: offered {} = accepted {} + overloaded {}\n\n\
+             {:<9}{:>10}{:>12}{:>11}{:>11}{:>11}{:>11}\n",
+            d.gallery,
+            d.shards,
+            d.probes,
+            d.parity_agreed,
+            d.parity_checked,
+            d.runfp_remote,
+            if d.runfp_remote == d.runfp_baseline {
+                "=="
+            } else {
+                "!="
+            },
+            d.runfp_baseline,
+            d.pipeline_peak,
+            if d.pipeline_parity {
+                "equal"
+            } else {
+                "DIFFER from"
+            },
+            d.coordinator_peak,
+            d.offered,
+            d.accepted,
+            d.overloaded,
+            "clients",
+            "answered",
+            "search/s",
+            "p50 us",
+            "p95 us",
+            "p99 us",
+            "p999 us",
+        ));
+        for r in &d.rungs {
+            body.push_str(&format!(
+                "{:<9}{:>7}/{:<3}{:>11.1}{:>11.1}{:>11.1}{:>11.1}{:>11.1}\n",
+                r.clients,
+                r.answered,
+                r.searches,
+                r.throughput_per_s,
+                r.p50_ns as f64 / 1e3,
+                r.p95_ns as f64 / 1e3,
+                r.p99_ns as f64 / 1e3,
+                r.p999_ns as f64 / 1e3,
+            ));
+        }
+        let knee = d
+            .rungs
+            .iter()
+            .max_by(|a, b| a.throughput_per_s.total_cmp(&b.throughput_per_s))
+            .map(|r| r.clients)
+            .unwrap_or(1);
+        body.push_str(&format!(
+            "\nthroughput knee at {knee} client thread(s); latency numbers vary \
+             with the machine, parity and the ledger do not\n"
+        ));
+    }
+    if let Some(e) = &error {
+        body.push_str(&format!("load rung FAILED: {e}\n"));
+    }
+
+    let values = match &data {
+        Some(d) => {
+            let knee = d
+                .rungs
+                .iter()
+                .max_by(|a, b| a.throughput_per_s.total_cmp(&b.throughput_per_s))
+                .map(|r| r.clients)
+                .unwrap_or(1);
+            json!({
+                "subjects": d.gallery,
+                "probes": d.probes,
+                "shards": d.shards,
+                "seed": config.seed,
+                "error": error,
+                "parity_checked": d.parity_checked,
+                "parity_agreed": d.parity_agreed,
+                "runfp_remote": d.runfp_remote,
+                "runfp_baseline": d.runfp_baseline,
+                "pipeline": {
+                    "target": PIPELINE_DEPTH,
+                    "peak_in_flight": d.pipeline_peak,
+                    "responses_match": d.pipeline_parity,
+                    "coordinator_peak": d.coordinator_peak,
+                },
+                "admission": {
+                    "offered": d.offered,
+                    "accepted": d.accepted,
+                    "overloaded": d.overloaded,
+                },
+                "knee_clients": knee,
+                "rungs": d.rungs.iter().map(|r| json!({
+                    "clients": r.clients,
+                    "searches": r.searches,
+                    "answered": r.answered,
+                    "wall_seconds": r.wall_seconds,
+                    "throughput_per_s": r.throughput_per_s,
+                    "p50_ns": r.p50_ns,
+                    "p95_ns": r.p95_ns,
+                    "p99_ns": r.p99_ns,
+                    "p999_ns": r.p999_ns,
+                })).collect::<Vec<_>>(),
+            })
+        }
+        None => json!({
+            "subjects": config.subjects,
+            "seed": config.seed,
+            "error": error,
+            "rungs": [],
+        }),
+    };
+
+    Report::new(
+        "ext-load",
+        "multiplexed serving under concurrent load",
+        body,
+        values,
+    )
+}
+
+/// Spawns the topology, runs all four load phases, tears everything down.
+fn load_rung(config: &StudyConfig, telemetry: &Telemetry) -> Result<LoadData, String> {
+    let seeds = SeedTree::new(config.seed).child(&[0xEA]);
+    let gallery = config.subjects;
+    let shards = if config.remote_shards >= 1 {
+        config.remote_shards
+    } else {
+        2
+    };
+    let _span = telemetry.span_with(
+        "load.harness",
+        &[
+            ("gallery", gallery.to_string()),
+            ("shards", shards.to_string()),
+        ],
+    );
+
+    let pool: Vec<Template> = (0..gallery)
+        .map(|i| synthetic_template(&seeds, i as u64, 22 + i % 14))
+        .collect();
+    let probes: Vec<Template> = (0..gallery.min(MAX_PROBES))
+        .map(|p| {
+            let subject = p * (gallery / gallery.min(MAX_PROBES));
+            let profile = if p.is_multiple_of(2) {
+                SAME_DEVICE
+            } else {
+                CROSS_DEVICE
+            };
+            recapture(&pool[subject], &seeds, (gallery + subject) as u64, profile)
+        })
+        .collect();
+    let n = probes.len();
+
+    // Sequential in-process baseline: the byte-level ground truth every
+    // concurrent result — and the coordinator's RUNFP chain — must equal.
+    let mut baseline_index =
+        CandidateIndex::with_config(PairTableMatcher::default(), IndexConfig::scaled(gallery))
+            .with_run_seed(config.seed);
+    baseline_index.enroll_all(&pool);
+    let baseline: Vec<SearchResult> = probes.iter().map(|p| baseline_index.search(p)).collect();
+    let runfp_baseline = baseline_index.run_fingerprint().hex();
+
+    // The loopback topology: serve-shard children of this very binary
+    // (FP_SERVE_SHARD_EXE overrides, e.g. for tests driving a test build).
+    let exe = match std::env::var_os("FP_SERVE_SHARD_EXE") {
+        Some(path) => std::path::PathBuf::from(path),
+        None => std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?,
+    };
+    let mut children = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        children.push(
+            spawn_shard(&exe, &["serve-shard"])
+                .map_err(|e| format!("spawn {exe:?} serve-shard: {e}"))?,
+        );
+    }
+    let addrs: Vec<std::net::SocketAddr> = children.iter().map(|c| c.addr).collect();
+    let deadline = Duration::from_secs(60);
+    let mut remote = Coordinator::connect(
+        &addrs,
+        IndexConfig::scaled(gallery),
+        deadline,
+        RetryPolicy::default(),
+    )
+    .map_err(|e| e.to_string())?
+    .with_telemetry(telemetry)
+    .with_run_seed(config.seed);
+    remote.enroll_all(&pool).map_err(|e| e.to_string())?;
+
+    // Phase 1: concurrent correctness. PARITY_THREADS threads share the
+    // one coordinator; probe i goes to thread i % PARITY_THREADS. Results
+    // come back tagged with their probe index, so parity is per-probe.
+    let results = Mutex::new(vec![None::<SearchResult>; n]);
+    std::thread::scope(|scope| -> Result<(), String> {
+        let handles: Vec<_> = (0..PARITY_THREADS)
+            .map(|t| {
+                let remote = &remote;
+                let probes = &probes;
+                let results = &results;
+                scope.spawn(move || -> Result<(), String> {
+                    for i in (t..probes.len()).step_by(PARITY_THREADS) {
+                        let result = remote.search(&probes[i]).map_err(|e| e.to_string())?;
+                        results.lock().expect("results lock")[i] = Some(result);
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("client thread panicked")?;
+        }
+        Ok(())
+    })?;
+    let results = results.into_inner().expect("results lock");
+    let mut parity_agreed = 0usize;
+    for (got, want) in results.iter().zip(&baseline) {
+        let got = got.as_ref().expect("every probe searched");
+        // Byte-level parity: same ids in the same order with the very same
+        // score bits (`Candidate: PartialEq` compares the f64 exactly).
+        if got.candidates() == want.candidates() && got.gallery_len() == want.gallery_len() {
+            parity_agreed += 1;
+        }
+    }
+    // The chain covers exactly the concurrent pass; snapshot before the
+    // ladder replays the probes, then check shard chains for drift.
+    let runfp_remote = remote.run_fingerprint().hex();
+    remote
+        .verify_fingerprints()
+        .map_err(|e| format!("fingerprint verification after concurrent pass: {e}"))?;
+
+    // Phase 2: deterministic pipeline-depth proof on a raw connection to
+    // shard 0. Eight requests go on the wire before any response is
+    // awaited — peak_in_flight reaching eight is guaranteed by
+    // construction, not by scheduler luck — and each pipelined response
+    // must equal the sequential reply to the same request.
+    let conn = MuxConn::new(addrs[0], deadline);
+    let request = Frame::StageOne {
+        probe: probes[0].clone(),
+    };
+    let tickets: Vec<_> = (0..PIPELINE_DEPTH)
+        .map(|_| conn.begin(&request).map(|(t, _)| t))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("pipeline begin: {e}"))?;
+    let pipeline_peak = conn.peak_in_flight();
+    let mut pipelined = Vec::with_capacity(PIPELINE_DEPTH);
+    for ticket in tickets {
+        pipelined.push(
+            conn.finish(ticket)
+                .map_err(|e| format!("pipeline finish: {e}"))?
+                .0,
+        );
+    }
+    let (reference, _, _) = conn
+        .call(&request)
+        .map_err(|e| format!("pipeline sequential reference: {e}"))?;
+    let pipeline_parity = pipelined.iter().all(|f| *f == reference);
+    drop(conn);
+
+    // Phase 3: the latency ladder. Each rung replays every probe across
+    // `clients` threads; per-search wall time lands in a histogram whose
+    // snapshot provides the percentiles. Correctness was already pinned in
+    // phase 1 — here only the distribution changes with concurrency.
+    let hist_registry = Telemetry::enabled();
+    let mut rungs = Vec::with_capacity(LADDER.len());
+    for clients in LADDER {
+        let _rung_span = telemetry.span_with("load.rung", &[("clients", clients.to_string())]);
+        let hist = hist_registry.value(&format!("load.search_ns.c{clients}"));
+        let mirror = telemetry.value(&format!("load.search_ns.c{clients}"));
+        let answered = std::sync::atomic::AtomicUsize::new(0);
+        let wall = Instant::now();
+        std::thread::scope(|scope| -> Result<(), String> {
+            let handles: Vec<_> = (0..clients)
+                .map(|t| {
+                    let remote = &remote;
+                    let probes = &probes;
+                    let hist = &hist;
+                    let mirror = &mirror;
+                    let answered = &answered;
+                    scope.spawn(move || -> Result<(), String> {
+                        for i in (t..probes.len()).step_by(clients) {
+                            let start = Instant::now();
+                            remote.search(&probes[i]).map_err(|e| e.to_string())?;
+                            let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                            hist.record(ns);
+                            mirror.record(ns);
+                            answered.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("client thread panicked")?;
+            }
+            Ok(())
+        })
+        .map_err(|e| format!("ladder rung ({clients} clients): {e}"))?;
+        let wall_seconds = wall.elapsed().as_secs_f64();
+        let snap = hist.snapshot();
+        rungs.push(LoadRung {
+            clients,
+            searches: n,
+            answered: answered.into_inner(),
+            wall_seconds,
+            throughput_per_s: n as f64 / wall_seconds.max(1e-9),
+            p50_ns: snap.p50,
+            p95_ns: snap.p95,
+            p99_ns: snap.p99,
+            p999_ns: snap.p999,
+        });
+    }
+    let coordinator_peak = remote.peak_in_flight();
+    remote
+        .verify_fingerprints()
+        .map_err(|e| format!("fingerprint verification after ladder: {e}"))?;
+
+    // Phase 4: scrape the admission ledger straight off each shard over
+    // the wire. Every shard must satisfy offered == accepted + overloaded
+    // on its own; the report sums them.
+    let (mut offered, mut accepted, mut overloaded) = (0u64, 0u64, 0u64);
+    for (k, &addr) in addrs.iter().enumerate() {
+        let stats_conn = MuxConn::new(addr, deadline);
+        let (response, _, _) = stats_conn
+            .call(&Frame::Stats)
+            .map_err(|e| format!("stats scrape shard {k}: {e}"))?;
+        let Frame::StatsOk { counters, .. } = response else {
+            return Err(format!(
+                "stats scrape shard {k}: expected stats_ok, got '{}'",
+                response.kind()
+            ));
+        };
+        let get = |name: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        let (o, a, v) = (
+            get("serve.offered"),
+            get("serve.accepted"),
+            get("serve.overloaded"),
+        );
+        if o != a + v {
+            return Err(format!(
+                "shard {k} admission ledger broken: offered {o} != accepted {a} + overloaded {v}"
+            ));
+        }
+        offered += o;
+        accepted += a;
+        overloaded += v;
+    }
+
+    // Clean wire-level shutdown, then reap; ShardChild kills stragglers.
+    let _ = remote.shutdown_all();
+    for child in &mut children {
+        child.wait_exit(Duration::from_secs(5));
+    }
+
+    Ok(LoadData {
+        gallery,
+        probes: n,
+        shards,
+        parity_checked: n,
+        parity_agreed,
+        runfp_remote,
+        runfp_baseline,
+        pipeline_peak,
+        pipeline_parity,
+        coordinator_peak,
+        offered,
+        accepted,
+        overloaded,
+        rungs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The whole harness end to end at a tiny scale, driving real
+    /// serve-shard children (the test binary is not the study binary, so
+    /// point FP_SERVE_SHARD_EXE at the study executable when set by CI;
+    /// without it the spawn fails and the report carries the error — the
+    /// run itself must not panic).
+    #[test]
+    fn tiny_run_reports_error_or_full_parity() {
+        let config = StudyConfig::builder().subjects(16).seed(11).build();
+        let report = run(&config);
+        assert_eq!(report.id, "ext-load");
+        let values = &report.values;
+        if values["error"].is_null() {
+            assert_eq!(values["parity_agreed"], values["parity_checked"]);
+            assert_eq!(values["runfp_remote"], values["runfp_baseline"]);
+            assert!(values["pipeline"]["peak_in_flight"].as_u64().unwrap() >= 4);
+        } else {
+            // Spawn failed (no serve-shard binary): rungs must be absent,
+            // not half-filled.
+            assert!(values["rungs"].as_array().unwrap().is_empty());
+        }
+    }
+}

@@ -113,7 +113,9 @@ fn shard_ladder(max: usize) -> Vec<usize> {
 }
 
 /// A deterministic synthetic template with `n` well-spread minutiae.
-fn synthetic_template(seeds: &SeedTree, id: u64, n: usize) -> Template {
+/// Shared with the load harness (`ext_load`), which enrolls the same kind
+/// of gallery.
+pub(crate) fn synthetic_template(seeds: &SeedTree, id: u64, n: usize) -> Template {
     let mut rng = seeds.child(&[0x5C, id]).rng();
     let mut minutiae: Vec<Minutia> = Vec::new();
     let mut attempts = 0;
@@ -147,7 +149,7 @@ fn synthetic_template(seeds: &SeedTree, id: u64, n: usize) -> Template {
 
 /// Perturbation profile of a probe capture.
 #[derive(Clone, Copy)]
-struct Profile {
+pub(crate) struct Profile {
     drop: f64,
     jitter_mm: f64,
     jitter_rad: f64,
@@ -156,7 +158,7 @@ struct Profile {
 }
 
 /// Roughly a second capture on the same device.
-const SAME_DEVICE: Profile = Profile {
+pub(crate) const SAME_DEVICE: Profile = Profile {
     drop: 0.06,
     jitter_mm: 0.10,
     jitter_rad: 0.04,
@@ -165,7 +167,7 @@ const SAME_DEVICE: Profile = Profile {
 };
 
 /// Roughly a capture on a different device (heavier loss and distortion).
-const CROSS_DEVICE: Profile = Profile {
+pub(crate) const CROSS_DEVICE: Profile = Profile {
     drop: 0.14,
     jitter_mm: 0.20,
     jitter_rad: 0.09,
@@ -174,7 +176,12 @@ const CROSS_DEVICE: Profile = Profile {
 };
 
 /// A jittered re-capture of `template` under `profile`.
-fn recapture(template: &Template, seeds: &SeedTree, id: u64, profile: Profile) -> Template {
+pub(crate) fn recapture(
+    template: &Template,
+    seeds: &SeedTree,
+    id: u64,
+    profile: Profile,
+) -> Template {
     let mut rng = seeds.child(&[0x5D, id]).rng();
     let mut minutiae: Vec<Minutia> = Vec::new();
     for m in template.minutiae() {

@@ -10,6 +10,7 @@ use crate::scores::StudyData;
 pub mod ext_diversity;
 pub mod ext_habituation;
 pub mod ext_identification;
+pub mod ext_load;
 pub mod ext_multifinger;
 pub mod ext_normalization;
 pub mod ext_prediction;

@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// Exact buckets below this value.
 const LINEAR: u64 = 16;
@@ -110,15 +110,17 @@ impl HistogramCore {
             max: self.max.load(Ordering::Relaxed),
             p50: percentile(0.50),
             p95: percentile(0.95),
+            p99: percentile(0.99),
+            p999: percentile(0.999),
         }
     }
 }
 
 /// Aggregated view of one histogram. For duration histograms every figure
 /// is in nanoseconds; for value histograms they are plain magnitudes.
-/// `p50`/`p95` are bucket midpoints (≤ ~10% relative error); `min`, `max`
-/// and `sum` are exact.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// `p50`/`p95`/`p99`/`p999` are bucket midpoints (≤ ~10% relative error);
+/// `min`, `max` and `sum` are exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct HistogramSnapshot {
     /// Number of recorded values.
     pub count: u64,
@@ -132,6 +134,33 @@ pub struct HistogramSnapshot {
     pub p50: u64,
     /// Approximate 95th percentile.
     pub p95: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+    /// Approximate 99.9th percentile (the tail the load harness lives on).
+    pub p999: u64,
+}
+
+impl serde::Deserialize for HistogramSnapshot {
+    fn from_content(content: &serde::Content) -> Result<HistogramSnapshot, serde::DeError> {
+        // `p99`/`p999` default to 0 when parsing snapshots written before
+        // the fields existed (the vendored derive has no `#[serde(default)]`).
+        let tail = |name: &str| -> Result<u64, serde::DeError> {
+            match content.field(name) {
+                Ok(v) => serde::Deserialize::from_content(v),
+                Err(_) => Ok(0),
+            }
+        };
+        Ok(HistogramSnapshot {
+            count: serde::Deserialize::from_content(content.field("count")?)?,
+            sum: serde::Deserialize::from_content(content.field("sum")?)?,
+            min: serde::Deserialize::from_content(content.field("min")?)?,
+            max: serde::Deserialize::from_content(content.field("max")?)?,
+            p50: serde::Deserialize::from_content(content.field("p50")?)?,
+            p95: serde::Deserialize::from_content(content.field("p95")?)?,
+            p99: tail("p99")?,
+            p999: tail("p999")?,
+        })
+    }
 }
 
 impl HistogramSnapshot {
@@ -213,6 +242,8 @@ const EMPTY_SNAPSHOT: HistogramSnapshot = HistogramSnapshot {
     max: 0,
     p50: 0,
     p95: 0,
+    p99: 0,
+    p999: 0,
 };
 
 #[cfg(test)]
@@ -256,6 +287,10 @@ mod tests {
         let rel = |a: u64, b: u64| (a as f64 - b as f64).abs() / b as f64;
         assert!(rel(s.p50, 500) < 0.15, "p50 = {}", s.p50);
         assert!(rel(s.p95, 950) < 0.15, "p95 = {}", s.p95);
+        assert!(rel(s.p99, 990) < 0.15, "p99 = {}", s.p99);
+        assert!(rel(s.p999, 999) < 0.15, "p999 = {}", s.p999);
+        // The tail is ordered by construction.
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.p999);
     }
 
     #[test]
@@ -279,7 +314,9 @@ mod tests {
                 min: 0,
                 max: 0,
                 p50: 0,
-                p95: 0
+                p95: 0,
+                p99: 0,
+                p999: 0,
             }
         );
         assert_eq!(s.mean(), 0.0);

@@ -37,6 +37,22 @@ run timeout 600 cargo run -q --release --offline -p fp-study --bin study -- \
     --json target/ext-serve-smoke.json --metrics target/ext-serve-metrics.json
 run cargo run -q --release --offline -p fp-study --bin study -- \
     check-serve target/ext-serve-smoke.json
+# Concurrent-load smoke: the same 200-subject gallery on two serve-shard
+# children, driven by concurrent client threads. `study check-load` gates
+# on byte-identical candidate lists and an equal RUNFP chain vs a
+# sequential in-process baseline, a deterministic 8-deep pipeline probe,
+# an exact admission ledger (offered == accepted + overloaded), and
+# monotone p50/p95/p99/p999 latency rungs; the rungs also feed a BENCH
+# snapshot gated by bench-diff with very loose thresholds (loopback
+# latency is the noisiest number a CI host produces).
+run timeout 600 cargo run -q --release --offline -p fp-study --bin study -- \
+    load --subjects 200 --json target/load-smoke.json \
+    --out target/BENCH_load_current.json
+run cargo run -q --release --offline -p fp-study --bin study -- \
+    check-load target/load-smoke.json
+run cargo run -q --release --offline -p fp-bench --bin bench-diff -- \
+    BENCH_baseline.json target/BENCH_load_current.json --fail-pct 300 --warn-pct 50 \
+    --require load/
 # Fingerprint gate: the same remote smoke run must show one RUNFP chain on
 # every rung — unsharded, in-process sharded, and the two real child
 # processes — and `--deep` insists the cross-process evidence is present.
