@@ -23,6 +23,7 @@ fn stage1_frame(entries: usize) -> Frame {
             bucket_hits: 0x5EED_1234,
             hamming_word_ops: 0xABCD_9876,
         },
+        timing: None,
     }
 }
 
@@ -31,6 +32,7 @@ fn enroll_frame(templates: usize) -> Frame {
     Frame::EnrollBatch {
         config: IndexConfig::default(),
         templates: gallery,
+        trace: None,
     }
 }
 
@@ -42,6 +44,7 @@ fn rerank_ok_frame(entries: usize) -> Frame {
                 score: fp_core::MatchScore::new(1.0 / (1.0 + i as f64)),
             })
             .collect(),
+        timing: None,
     }
 }
 

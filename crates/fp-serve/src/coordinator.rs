@@ -35,18 +35,21 @@
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use fp_core::template::Template;
 use fp_index::shard::{globalize_and_sort, merge_sorted_parts, select_per_shard, stitch_stage_one};
 use fp_index::{IndexConfig, SearchResult, ShardBackend, ShardError, StageOneScores};
 use fp_telemetry::{
-    FingerprintChain, FingerprintSnapshot, HistogramSnapshot, RunFingerprint, Telemetry,
+    DetachedSpan, FingerprintChain, FingerprintSnapshot, HistogramSnapshot, RunFingerprint,
+    SpanRecord, Telemetry, TraceSnapshot,
 };
 
 use crate::metrics::ServeMetrics;
 use crate::mux::{MuxConn, MuxError, Ticket};
-use crate::wire::{code, Frame};
+use crate::slowlog::{ShardBreakdown, SlowLog};
+use crate::wire::{code, Frame, ServerTiming, TraceContext};
 
 /// Templates per [`Frame::EnrollBatch`]: keeps every frame far below
 /// [`crate::wire::MAX_PAYLOAD`] while amortizing round trips.
@@ -122,6 +125,9 @@ pub struct RemoteShard {
     /// the shard's chain with [`Frame::Fingerprint`] and comparing detects
     /// any divergence between what the shard computed and what arrived.
     mirror: RunFingerprint,
+    /// Exclusive upper bound of the last [`Frame::Trace`] drain: the next
+    /// drain only fetches spans with `id >= trace_high_water`.
+    trace_high_water: AtomicU64,
 }
 
 impl RemoteShard {
@@ -136,6 +142,7 @@ impl RemoteShard {
             retry,
             metrics: ServeMetrics::default(),
             mirror: RunFingerprint::new(IndexConfig::default().fingerprint_base(0)),
+            trace_high_water: AtomicU64::new(0),
         }
     }
 
@@ -209,7 +216,7 @@ impl RemoteShard {
                 .begin_rpc(request)
                 .and_then(|pending| self.finish_rpc(pending, kind));
             match outcome {
-                Ok(response) => return Ok(response),
+                Ok((response, _observation)) => return Ok(response),
                 Err(CallError::Transport(detail, timed_out)) => {
                     if timed_out {
                         self.metrics.timeouts.incr();
@@ -227,37 +234,81 @@ impl RemoteShard {
 
     /// Puts `request` on the wire without waiting for the response — the
     /// pipelining half. Pair with [`finish_rpc`](Self::finish_rpc).
+    ///
+    /// When telemetry is live, a detached `serve.rpc` span opens *here*
+    /// (so it covers serialization, the write, and the whole pipelined
+    /// wait) and the request is stamped with a [`TraceContext`] carrying
+    /// that span's id — the id the shard's `server.request` span records
+    /// as `remote_parent`, which is what lets the post-drain merge stitch
+    /// the two process-local trees into one.
     pub(crate) fn begin_rpc(&self, request: &Frame) -> Result<PendingRpc, CallError> {
         self.metrics.requests.incr();
-        let (ticket, tx) = self.conn.begin(request).map_err(|e| self.map_mux(e))?;
+        let telemetry = &self.metrics.telemetry;
+        let span = telemetry.is_enabled().then(|| {
+            telemetry.detached_span(
+                "serve.rpc",
+                &[
+                    ("kind", request.kind().to_string()),
+                    ("shard", self.shard.to_string()),
+                ],
+            )
+        });
+        // Stamp a copy only when there is a context to carry — untraced
+        // runs put the caller's frame on the wire untouched.
+        let stamped = span.as_ref().and_then(|s| s.id()).and_then(|rpc_id| {
+            let ctx = TraceContext {
+                trace_id: telemetry.trace_ctx().span_id().unwrap_or(rpc_id),
+                parent_span_id: rpc_id,
+                sampled: true,
+            };
+            let mut request = request.clone();
+            match &mut request {
+                Frame::EnrollBatch { trace, .. }
+                | Frame::StageOne { trace, .. }
+                | Frame::Rerank { trace, .. } => {
+                    *trace = Some(ctx);
+                    Some(request)
+                }
+                _ => None, // this frame type has no context section
+            }
+        });
+        let (ticket, tx) = self
+            .conn
+            .begin(stamped.as_ref().unwrap_or(request))
+            .map_err(|e| self.map_mux(e))?;
         self.metrics.bytes_tx.add(tx as u64);
         Ok(PendingRpc {
             ticket,
             start: Instant::now(),
+            tx_bytes: tx as u64,
+            span,
         })
     }
 
     /// Awaits the response for a [`begin_rpc`](Self::begin_rpc), mapping
     /// typed error frames: `OVERLOADED` is retryable (the `serve.shed`
     /// counter records each shed observed), everything else is fatal.
+    /// Closes the rpc span opened at begin (failed exchanges record it
+    /// too) and returns what the exchange observed — round-trip time,
+    /// bytes, and any [`ServerTiming`] the shard echoed — as slow-log raw
+    /// material.
     pub(crate) fn finish_rpc(
         &self,
         pending: PendingRpc,
         kind: &'static str,
-    ) -> Result<Frame, CallError> {
-        let _span = self.metrics.telemetry.trace_span(
-            "serve.rpc",
-            &[
-                ("kind", kind.to_string()),
-                ("shard", self.shard.to_string()),
-            ],
-        );
-        let (response, rx) = self
-            .conn
-            .finish(pending.ticket)
-            .map_err(|e| self.map_mux(e))?;
+    ) -> Result<(Frame, RpcObservation), CallError> {
+        let PendingRpc {
+            ticket,
+            start,
+            tx_bytes,
+            span,
+        } = pending;
+        // On a transport/protocol error `span` drops right here, recording
+        // the failed attempt with its true duration.
+        let (response, rx) = self.conn.finish(ticket).map_err(|e| self.map_mux(e))?;
+        let elapsed = start.elapsed();
         self.metrics.bytes_rx.add(rx as u64);
-        self.metrics.record_rpc(kind, pending.start.elapsed());
+        self.metrics.record_rpc(kind, elapsed);
         if let Frame::Error { code: c, detail } = response {
             if c == code::OVERLOADED {
                 self.metrics.shed.incr();
@@ -274,13 +325,30 @@ impl RemoteShard {
             };
             return Err(CallError::Fatal(self.protocol(format!("{name}: {detail}"))));
         }
-        Ok(response)
+        let timing = match &response {
+            Frame::StageOneOk { timing, .. } | Frame::RerankOk { timing, .. } => *timing,
+            _ => None,
+        };
+        if let Some(mut span) = span {
+            if let Some(t) = timing {
+                span.add_attr("server_queue_wait_ns", t.queue_wait_ns.to_string());
+                span.add_attr("server_work_ns", t.work_ns.to_string());
+            }
+            span.finish();
+        }
+        let observation = RpcObservation {
+            elapsed_ns: elapsed.as_nanos().min(u64::MAX as u128) as u64,
+            bytes_tx: tx_bytes,
+            bytes_rx: rx as u64,
+            timing,
+        };
+        Ok((response, observation))
     }
 
     /// Checks a stage-1 response's shape against the cached shard length.
     fn validate_stage_one(&self, response: Frame) -> Result<StageOneScores, ShardError> {
         let scores = match response {
-            Frame::StageOneOk { scores } => scores,
+            Frame::StageOneOk { scores, timing: _ } => scores,
             other => {
                 return Err(self.protocol(format!("expected stage1_ok, got '{}'", other.kind())))
             }
@@ -304,7 +372,10 @@ impl RemoteShard {
         response: Frame,
     ) -> Result<Vec<fp_index::Candidate>, ShardError> {
         let candidates = match response {
-            Frame::RerankOk { candidates } => candidates,
+            Frame::RerankOk {
+                candidates,
+                timing: _,
+            } => candidates,
             other => {
                 return Err(self.protocol(format!("expected rerank_ok, got '{}'", other.kind())))
             }
@@ -335,6 +406,7 @@ impl RemoteShard {
             let request = Frame::EnrollBatch {
                 config: *config,
                 templates: chunk.to_vec(),
+                trace: None,
             };
             match self.call(&request)? {
                 Frame::EnrollOk { shard_len, .. } => {
@@ -413,6 +485,81 @@ impl RemoteShard {
             other => Err(self.protocol(format!("expected shutdown_ok, got '{}'", other.kind()))),
         }
     }
+
+    /// Drains the shard's flight recorder — spans newer than the previous
+    /// drain's high-water mark — and estimates the offset between the
+    /// shard's trace clock and `telemetry`'s.
+    ///
+    /// The shard reads its clock while building the response; the
+    /// coordinator brackets the RPC with its own clock reads and assumes
+    /// the shard's read happened at the bracket midpoint. The estimate and
+    /// the bracket width are recorded on the `serve.collect_trace` span,
+    /// so skew is visible in the merged trace instead of silently folded
+    /// into the shifted timestamps.
+    pub fn collect_trace(&self, telemetry: &Telemetry) -> Result<RemoteTrace, ShardError> {
+        let mut span = telemetry.is_enabled().then(|| {
+            telemetry.detached_span("serve.collect_trace", &[("shard", self.shard.to_string())])
+        });
+        let since = self.trace_high_water.load(Ordering::Relaxed);
+        let t_send = telemetry.trace_now_ns();
+        let response = self.call(&Frame::Trace {
+            since_span_id: since,
+        })?;
+        let t_recv = telemetry.trace_now_ns();
+        let (now_ns, dropped_spans, spans) = match response {
+            Frame::TraceOk {
+                now_ns,
+                dropped_spans,
+                spans,
+            } => (now_ns, dropped_spans, spans),
+            other => {
+                return Err(self.protocol(format!("expected trace_ok, got '{}'", other.kind())))
+            }
+        };
+        let bracket_ns = t_recv.saturating_sub(t_send);
+        let midpoint = t_send + bracket_ns / 2;
+        let clock_offset_ns =
+            (now_ns as i128 - midpoint as i128).clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+        if let Some(next) = spans.iter().map(|s| s.id).max().map(|max| max + 1) {
+            self.trace_high_water.fetch_max(next, Ordering::Relaxed);
+        }
+        if let Some(span) = &mut span {
+            span.add_attr("clock_offset_ns", clock_offset_ns.to_string());
+            span.add_attr("bracket_ns", bracket_ns.to_string());
+            span.add_attr("spans", spans.len().to_string());
+        }
+        Ok(RemoteTrace {
+            shard: self.shard,
+            spans,
+            clock_offset_ns,
+            dropped_spans,
+        })
+    }
+}
+
+/// Spans drained from one shard by [`RemoteShard::collect_trace`], with
+/// the clock-offset estimate used to place them on the coordinator's
+/// timeline at merge time.
+#[derive(Debug, Clone)]
+pub struct RemoteTrace {
+    /// The shard they came from (= the merged trace's process lane).
+    pub shard: usize,
+    /// Drained span records (shard-local ids).
+    pub spans: Vec<SpanRecord>,
+    /// Estimated `shard clock − coordinator clock` (ns).
+    pub clock_offset_ns: i64,
+    /// Spans the shard lost to buffer capacity (cumulative).
+    pub dropped_spans: u64,
+}
+
+/// What one completed RPC observed — the per-shard raw material of a
+/// slow-log exemplar.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct RpcObservation {
+    pub(crate) elapsed_ns: u64,
+    pub(crate) bytes_tx: u64,
+    pub(crate) bytes_rx: u64,
+    pub(crate) timing: Option<ServerTiming>,
 }
 
 /// An RPC whose request is on the wire but whose response has not been
@@ -420,6 +567,11 @@ impl RemoteShard {
 pub(crate) struct PendingRpc {
     ticket: Ticket,
     start: Instant,
+    /// Wire bytes the request put on the socket.
+    tx_bytes: u64,
+    /// The detached `serve.rpc` span opened at begin; finished (or dropped,
+    /// on failure) at finish. `None` when telemetry is disabled.
+    span: Option<DetachedSpan>,
 }
 
 pub(crate) enum CallError {
@@ -438,6 +590,7 @@ impl ShardBackend for RemoteShard {
     fn stage_one(&self, probe: &Template) -> Result<StageOneScores, ShardError> {
         let response = self.call(&Frame::StageOne {
             probe: probe.clone(),
+            trace: None,
         })?;
         self.validate_stage_one(response)
     }
@@ -450,9 +603,15 @@ impl ShardBackend for RemoteShard {
         let response = self.call(&Frame::Rerank {
             probe: probe.clone(),
             selected: selected_local.to_vec(),
+            trace: None,
         })?;
         self.validate_stage_two(selected_local, response)
     }
+}
+
+/// Nanoseconds elapsed since `start`, saturating.
+fn elapsed_ns(start: Instant) -> u64 {
+    start.elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
 /// A cross-process sharded 1:N index: the drop-in remote counterpart of
@@ -474,6 +633,12 @@ pub struct Coordinator {
     searches: AtomicU64,
     /// Verify shard fingerprints after every Nth search (0 = never).
     fingerprint_every: u64,
+    /// Tail-latency exemplar log; every search is offered when attached.
+    slowlog: Option<Arc<SlowLog>>,
+    /// Remote spans drained by [`collect_traces`](Self::collect_traces),
+    /// waiting to be merged into an export by
+    /// [`merged_trace`](Self::merged_trace).
+    collected: Mutex<Vec<RemoteTrace>>,
 }
 
 impl Coordinator {
@@ -506,6 +671,8 @@ impl Coordinator {
             telemetry: Telemetry::disabled(),
             searches: AtomicU64::new(0),
             fingerprint_every: 0,
+            slowlog: None,
+            collected: Mutex::new(Vec::new()),
         })
     }
 
@@ -536,6 +703,19 @@ impl Coordinator {
             .map(|shard| shard.with_metrics(metrics.clone()))
             .collect();
         self
+    }
+
+    /// Attaches a tail-latency exemplar log: every completed search is
+    /// offered; those exceeding the threshold keep their full per-shard
+    /// breakdown (see [`SlowLog`]).
+    pub fn with_slowlog(mut self, slowlog: Arc<SlowLog>) -> Self {
+        self.slowlog = Some(slowlog);
+        self
+    }
+
+    /// The attached slow log, if any.
+    pub fn slowlog(&self) -> Option<&Arc<SlowLog>> {
+        self.slowlog.as_ref()
     }
 
     /// Number of remote shards.
@@ -635,6 +815,7 @@ impl Coordinator {
     ) -> Result<SearchResult, ShardError> {
         let s = self.shards.len();
         let n = self.enrolled;
+        let search_start = Instant::now();
         let _span = self.telemetry.trace_span(
             "index.search",
             &[
@@ -643,6 +824,22 @@ impl Coordinator {
                 ("transport", "tcp".to_string()),
             ],
         );
+        // Per-shard observations of this one search — becomes a slow-log
+        // exemplar iff the search ends up over the threshold.
+        let mut breakdown: Vec<ShardBreakdown> = (0..s)
+            .map(|k| ShardBreakdown {
+                shard: k,
+                ..ShardBreakdown::default()
+            })
+            .collect();
+        let absorb = |b: &mut ShardBreakdown, o: &RpcObservation| {
+            b.bytes_tx += o.bytes_tx;
+            b.bytes_rx += o.bytes_rx;
+            if let Some(t) = o.timing {
+                b.queue_wait_ns += t.queue_wait_ns;
+                b.work_ns += t.work_ns;
+            }
+        };
 
         // Stage 1, pipelined: every shard has the request on the wire
         // before the first response is awaited, so shards compute
@@ -654,15 +851,28 @@ impl Coordinator {
             .map(|shard| {
                 shard.begin_rpc(&Frame::StageOne {
                     probe: probe.clone(),
+                    trace: None,
                 })
             })
             .collect();
         let mut stage1 = Vec::with_capacity(s);
         for (shard, begun) in self.shards.iter().zip(pending) {
+            let k = shard.shard_index();
             let scores = match begun.and_then(|p| shard.finish_rpc(p, "stage1")) {
-                Ok(response) => shard.validate_stage_one(response)?,
+                Ok((response, observation)) => {
+                    breakdown[k].stage1_ns = observation.elapsed_ns;
+                    absorb(&mut breakdown[k], &observation);
+                    shard.validate_stage_one(response)?
+                }
                 Err(CallError::Fatal(e)) => return Err(e),
-                Err(CallError::Transport(..)) => shard.stage_one(probe)?,
+                Err(CallError::Transport(detail, _)) => {
+                    breakdown[k].retried = true;
+                    breakdown[k].shed |= detail.starts_with("shed by shard");
+                    let retry_start = Instant::now();
+                    let scores = shard.stage_one(probe)?;
+                    breakdown[k].stage1_ns = elapsed_ns(retry_start);
+                    scores
+                }
             };
             stage1.push(scores);
         }
@@ -685,6 +895,7 @@ impl Coordinator {
                 Some(shard.begin_rpc(&Frame::Rerank {
                     probe: probe.clone(),
                     selected: selected_local[k].clone(),
+                    trace: None,
                 }))
             })
             .collect();
@@ -694,9 +905,20 @@ impl Coordinator {
             let mut part = match begun {
                 None => Vec::new(),
                 Some(begun) => match begun.and_then(|p| shard.finish_rpc(p, "rerank")) {
-                    Ok(response) => shard.validate_stage_two(&selected_local[k], response)?,
+                    Ok((response, observation)) => {
+                        breakdown[k].rerank_ns = observation.elapsed_ns;
+                        absorb(&mut breakdown[k], &observation);
+                        shard.validate_stage_two(&selected_local[k], response)?
+                    }
                     Err(CallError::Fatal(e)) => return Err(e),
-                    Err(CallError::Transport(..)) => shard.stage_two(probe, &selected_local[k])?,
+                    Err(CallError::Transport(detail, _)) => {
+                        breakdown[k].retried = true;
+                        breakdown[k].shed |= detail.starts_with("shed by shard");
+                        let retry_start = Instant::now();
+                        let part = shard.stage_two(probe, &selected_local[k])?;
+                        breakdown[k].rerank_ns = elapsed_ns(retry_start);
+                        part
+                    }
                 },
             };
             globalize_and_sort(&mut part, k, s);
@@ -706,6 +928,11 @@ impl Coordinator {
         let result = SearchResult::from_parts(merge_sorted_parts(&parts), n);
         self.runfp.record_item(&result);
         let done = self.searches.fetch_add(1, Ordering::Relaxed) + 1;
+        // Offer the slow log before any periodic fingerprint round trips
+        // so those RPCs never pollute the end-to-end latency.
+        if let Some(slowlog) = &self.slowlog {
+            slowlog.observe(done, elapsed_ns(search_start), breakdown);
+        }
         if self.fingerprint_every > 0 && done.is_multiple_of(self.fingerprint_every) {
             self.verify_fingerprints()?;
         }
@@ -771,6 +998,47 @@ impl Coordinator {
             }
         }
         Ok(())
+    }
+
+    /// Drains every shard's flight recorder over [`Frame::Trace`] and
+    /// retains the spans for [`merged_trace`](Self::merged_trace).
+    /// Incremental: each round only fetches spans newer than the shard's
+    /// previous high-water mark, so periodic collection is cheap. Returns
+    /// how many spans arrived in this round.
+    pub fn collect_traces(&self) -> Result<usize, ShardError> {
+        let mut fetched = 0;
+        for shard in &self.shards {
+            let remote = shard.collect_trace(&self.telemetry)?;
+            fetched += remote.spans.len();
+            self.collected
+                .lock()
+                .expect("collected traces poisoned")
+                .push(remote);
+        }
+        Ok(fetched)
+    }
+
+    /// The coordinator's own trace with every collected drain merged in:
+    /// one Chrome-trace process lane per shard, remote spans re-parented
+    /// under the `serve.rpc` spans that issued them, timestamps shifted
+    /// onto the coordinator's timeline by each drain's clock-offset
+    /// estimate (see [`TraceSnapshot::merge_remote`]).
+    pub fn merged_trace(&self) -> TraceSnapshot {
+        let mut snapshot = self.telemetry.trace_snapshot();
+        for remote in self
+            .collected
+            .lock()
+            .expect("collected traces poisoned")
+            .iter()
+        {
+            snapshot.merge_remote(
+                remote.shard,
+                remote.spans.clone(),
+                remote.clock_offset_ns,
+                remote.dropped_spans,
+            );
+        }
+        snapshot
     }
 
     /// Sends every shard a clean shutdown. Returns the first error, but

@@ -58,10 +58,15 @@ pub mod metrics;
 pub mod mux;
 pub mod proc;
 pub mod server;
+pub mod slowlog;
 pub mod wire;
 
-pub use coordinator::{Coordinator, RemoteShard, RetryPolicy};
+pub use coordinator::{Coordinator, RemoteShard, RemoteTrace, RetryPolicy};
 pub use metrics::ServeMetrics;
 pub use mux::{MuxConn, MuxError, Ticket};
 pub use server::ShardServer;
-pub use wire::{decode_frame, encode_frame, read_frame, write_frame, Frame, WireError};
+pub use slowlog::{ShardBreakdown, SlowLog, SlowLogEntry};
+pub use wire::{
+    decode_frame, encode_frame, read_frame, write_frame, Frame, ServerTiming, TraceContext,
+    WireError,
+};

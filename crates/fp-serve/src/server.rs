@@ -1,6 +1,6 @@
 //! The shard server: one process, one [`CandidateIndex`], one TCP listener.
 //!
-//! Concurrency model (wire v3): each connection gets a **reader thread**
+//! Concurrency model (wire v3/v4): each connection gets a **reader thread**
 //! that decodes frames and dispatches them — tagged with their request id
 //! — into a bounded, server-wide **worker pool**. Workers execute requests
 //! against the `RwLock`-guarded index (stage-1/stage-2 under the read
@@ -23,6 +23,20 @@
 //! that: offered = accepted + overloaded. [`Frame::Shutdown`] bypasses the
 //! queue entirely — overload must never make a server unstoppable.
 //!
+//! # Distributed tracing
+//!
+//! A v4 request may carry a sampled [`TraceContext`]. The worker that
+//! dispatches it opens a `server.request` span back-dated to the admission
+//! timestamp (recording the coordinator's issuing span id as the
+//! `remote_parent` attribute), records a retroactive `server.queue_wait`
+//! child covering admission→dispatch, and adopts the request span via
+//! [`fp_telemetry::TraceCtx::adopted`] so every span the index opens nests
+//! under it. Stage responses to sampled requests echo the
+//! queue-wait/work split as [`ServerTiming`]; a [`Frame::Trace`] drain
+//! hands the retained spans to the coordinator for merging. Each response
+//! is encoded at the version its request arrived in, so v3 peers never see
+//! any of this.
+//!
 //! # Config adoption
 //!
 //! The first [`Frame::EnrollBatch`] carries the coordinator's
@@ -43,9 +57,12 @@ use std::time::Duration;
 use fp_core::template::Template;
 use fp_index::{CandidateIndex, IndexConfig, ShardBackend};
 use fp_match::PreparableMatcher;
-use fp_telemetry::{Counter, Telemetry, ValueHistogram};
+use fp_telemetry::{Counter, Telemetry, TraceCtx, ValueHistogram, REMOTE_PARENT_ATTR};
 
-use crate::wire::{code, read_frame_with, write_frame_with, Frame, WireError};
+use crate::wire::{
+    code, read_frame_versioned, write_frame_at, Frame, ServerTiming, TraceContext, WireError,
+    MIN_VERSION,
+};
 
 /// How long the accept loop and idle connections sleep between stop-flag
 /// polls. Bounds shutdown latency.
@@ -115,6 +132,15 @@ struct State<M: PreparableMatcher> {
 struct Job<M: PreparableMatcher> {
     request_id: u32,
     request: Frame,
+    /// Protocol version the request arrived in; the response is encoded at
+    /// the same version (per-frame version echo = negotiation).
+    version: u16,
+    /// Trace context the request carried, if any (v4, sampled sender).
+    trace: Option<TraceContext>,
+    /// Admission timestamp on the telemetry trace clock (0 when disabled);
+    /// the worker back-dates the request span to it and derives the
+    /// `server.queue_wait` span from it.
+    admitted_ns: u64,
     writer: Arc<Mutex<TcpStream>>,
     /// Ids in flight on the job's connection; the worker clears its id
     /// *before* writing the response (once the client has the response it
@@ -321,7 +347,58 @@ where
             Err(_) => return, // all senders dropped: server is done
         };
         job.state.admission.depth.fetch_sub(1, Ordering::Relaxed);
+        let telemetry = job.state.telemetry.clone();
+        let dispatched_ns = telemetry.trace_now_ns();
+        let queue_wait_ns = dispatched_ns.saturating_sub(job.admitted_ns);
+        // A sampled trace context opens the adoption seam: the request gets
+        // a root span back-dated to admission (carrying the coordinator's
+        // issuing span id as `remote_parent`, which is what lets the merge
+        // stitch the two process-local trees), plus a retroactive
+        // `server.queue_wait` child covering admission→dispatch.
+        let sampled = telemetry.is_enabled() && job.trace.is_some_and(|t| t.sampled);
+        let span = sampled.then(|| {
+            let ctx = job.trace.expect("sampled implies a context");
+            let mut span = telemetry.detached_span(
+                "server.request",
+                &[
+                    ("trace_id", ctx.trace_id.to_string()),
+                    (REMOTE_PARENT_ATTR, ctx.parent_span_id.to_string()),
+                    ("kind", job.request.kind().to_string()),
+                ],
+            );
+            span.set_parent(None); // a root of this process's local tree
+            span.set_start_ns(job.admitted_ns);
+            let mut queue_wait = telemetry.detached_span("server.queue_wait", &[]);
+            queue_wait.set_parent(span.id());
+            queue_wait.set_start_ns(job.admitted_ns);
+            queue_wait.finish();
+            span
+        });
+        // Adopt the request span so the spans the index opens while
+        // handling the request nest under it.
+        let adopted = span
+            .as_ref()
+            .and_then(|s| s.id())
+            .map(TraceCtx::adopted)
+            .unwrap_or_default();
+        let ctx_guard = telemetry.in_ctx(&adopted);
         let response = handle_request(job.request, &job.state);
+        drop(ctx_guard);
+        let work_ns = telemetry.trace_now_ns().saturating_sub(dispatched_ns);
+        if let Some(span) = span {
+            span.finish();
+        }
+        // Echo the queue-wait/work split on sampled stage responses; the
+        // version-aware encoder drops the section for v3 peers.
+        let timing = Some(ServerTiming {
+            queue_wait_ns,
+            work_ns,
+        });
+        let response = match response {
+            Frame::StageOneOk { scores, .. } if sampled => Frame::StageOneOk { scores, timing },
+            Frame::RerankOk { candidates, .. } if sampled => Frame::RerankOk { candidates, timing },
+            other => other,
+        };
         // Release the id before the response can reach the client: once
         // the client sees the answer it may legally reuse the id.
         job.in_flight
@@ -329,7 +406,7 @@ where
             .expect("in-flight set poisoned")
             .remove(&job.request_id);
         let mut writer = job.writer.lock().expect("connection writer poisoned");
-        if write_frame_with(&mut *writer, job.request_id, &response).is_ok() {
+        if write_frame_at(&mut *writer, job.version, job.request_id, &response).is_ok() {
             let _ = writer.flush();
         }
     }
@@ -355,9 +432,9 @@ fn serve_connection<M>(
         Err(_) => return,
     };
     let in_flight: Arc<Mutex<HashSet<u32>>> = Arc::new(Mutex::new(HashSet::new()));
-    let answer = |id: u32, frame: &Frame| -> bool {
+    let answer = |version: u16, id: u32, frame: &Frame| -> bool {
         let mut w = writer.lock().expect("connection writer poisoned");
-        let ok = write_frame_with(&mut *w, id, frame).is_ok();
+        let ok = write_frame_at(&mut *w, version, id, frame).is_ok();
         let _ = w.flush();
         ok
     };
@@ -382,13 +459,17 @@ fn serve_connection<M>(
             Err(_) => return,
         }
         let _ = stream.set_read_timeout(Some(FRAME_DEADLINE));
-        let (request_id, request) = match read_frame_with(&mut stream) {
-            Ok((id, frame, _bytes)) => (id, frame),
+        let (request_id, request, version) = match read_frame_versioned(&mut stream) {
+            Ok((id, frame, _bytes, version)) => (id, frame, version),
             Err(WireError::Io(_)) | Err(WireError::Truncated { .. }) => return,
             Err(e) => {
-                // Decodable-but-invalid bytes: answer with a typed error.
-                // Framing may be out of sync afterwards, so close.
+                // Decodable-but-invalid bytes: answer with a typed error,
+                // at the lowest supported version (the peer's version may
+                // never have been read, and error frames carry no
+                // version-gated sections). Framing may be out of sync
+                // afterwards, so close.
                 let _ = answer(
+                    MIN_VERSION,
                     0,
                     &Frame::Error {
                         code: code::BAD_REQUEST,
@@ -401,7 +482,7 @@ fn serve_connection<M>(
         // Shutdown is handled inline: it must work even when the pool is
         // saturated, and it ends this connection anyway.
         if matches!(request, Frame::Shutdown) {
-            let _ = answer(request_id, &Frame::ShutdownOk);
+            let _ = answer(version, request_id, &Frame::ShutdownOk);
             state.stop.store(true, Ordering::Relaxed);
             return;
         }
@@ -414,6 +495,7 @@ fn serve_connection<M>(
             .insert(request_id)
         {
             let _ = answer(
+                version,
                 request_id,
                 &Frame::Error {
                     code: code::BAD_REQUEST,
@@ -436,6 +518,7 @@ fn serve_connection<M>(
                 .expect("in-flight set poisoned")
                 .remove(&request_id);
             let _ = answer(
+                version,
                 request_id,
                 &Frame::Error {
                     code: code::OVERLOADED,
@@ -451,6 +534,9 @@ fn serve_connection<M>(
         state.admission.accepted.incr();
         let job = Job {
             request_id,
+            version,
+            trace: request_trace(&request),
+            admitted_ns: state.telemetry.trace_now_ns(),
             request,
             writer: Arc::clone(&writer),
             in_flight: Arc::clone(&in_flight),
@@ -468,19 +554,30 @@ where
     M::Prepared: Send + Sync,
 {
     match request {
-        Frame::EnrollBatch { config, templates } => enroll(config, templates, state),
-        Frame::StageOne { probe } => {
+        Frame::EnrollBatch {
+            config,
+            templates,
+            trace: _,
+        } => enroll(config, templates, state),
+        Frame::StageOne { probe, trace: _ } => {
             stage_delay(state);
             let index = state.index.read().expect("index lock poisoned");
             match index.stage_one(&probe) {
-                Ok(scores) => Frame::StageOneOk { scores },
+                Ok(scores) => Frame::StageOneOk {
+                    scores,
+                    timing: None,
+                },
                 Err(e) => Frame::Error {
                     code: code::INTERNAL,
                     detail: e.to_string(),
                 },
             }
         }
-        Frame::Rerank { probe, selected } => {
+        Frame::Rerank {
+            probe,
+            selected,
+            trace: _,
+        } => {
             stage_delay(state);
             let index = state.index.read().expect("index lock poisoned");
             let len = index.len() as u32;
@@ -491,7 +588,10 @@ where
                 };
             }
             match index.stage_two(&probe, &selected) {
-                Ok(candidates) => Frame::RerankOk { candidates },
+                Ok(candidates) => Frame::RerankOk {
+                    candidates,
+                    timing: None,
+                },
                 Err(e) => Frame::Error {
                     code: code::INTERNAL,
                     detail: e.to_string(),
@@ -520,12 +620,39 @@ where
                 values: snapshot.values.into_iter().collect(),
             }
         }
+        Frame::Trace { since_span_id } => {
+            // Read the clock while building the response: the coordinator
+            // brackets the RPC with its own clock reads and estimates the
+            // offset between the two trace epochs from the midpoint.
+            let now_ns = state.telemetry.trace_now_ns();
+            let snapshot = state.telemetry.trace_snapshot();
+            let spans = snapshot
+                .spans
+                .into_iter()
+                .filter(|s| s.id >= since_span_id)
+                .collect();
+            Frame::TraceOk {
+                now_ns,
+                dropped_spans: snapshot.dropped_spans,
+                spans,
+            }
+        }
         Frame::Shutdown => Frame::ShutdownOk,
         // Response frames arriving as requests are a client bug.
         other => Frame::Error {
             code: code::BAD_REQUEST,
             detail: format!("frame '{}' is not a request", other.kind()),
         },
+    }
+}
+
+/// The trace context a request frame carried, if any.
+fn request_trace(request: &Frame) -> Option<TraceContext> {
+    match request {
+        Frame::EnrollBatch { trace, .. }
+        | Frame::StageOne { trace, .. }
+        | Frame::Rerank { trace, .. } => *trace,
+        _ => None,
     }
 }
 

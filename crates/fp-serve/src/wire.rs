@@ -57,17 +57,29 @@ use fp_core::minutia::{Minutia, MinutiaKind};
 use fp_core::template::Template;
 use fp_core::MatchScore;
 use fp_index::{Candidate, IndexConfig, StageOneScores};
-use fp_telemetry::HistogramSnapshot;
+use fp_telemetry::{HistogramSnapshot, SpanRecord};
 
 /// Frame magic: "FPSH" (FingerPrint SHard).
 pub const MAGIC: [u8; 4] = *b"FPSH";
 
-/// Protocol version. Bump on any layout change; mismatches are rejected
-/// with [`WireError::VersionMismatch`] before a single payload byte is
+/// Protocol version. Bump on any layout change; versions outside
+/// [`MIN_VERSION`]`..=VERSION` are rejected with
+/// [`WireError::VersionMismatch`] before a single payload byte is
 /// interpreted. v2: added the `Fingerprint`/`Stats` introspection frames
 /// (types 12–15). v3: added the `request_id` header field (multiplexing)
-/// and extended the CRC to cover it.
-pub const VERSION: u16 = 3;
+/// and extended the CRC to cover it. v4: optional trailing
+/// [`TraceContext`] on request frames, optional [`ServerTiming`] on
+/// stage-1/re-rank responses, and the `Trace`/`TraceOk` span-drain frames
+/// (types 16–17).
+pub const VERSION: u16 = 4;
+
+/// Oldest protocol version this build still decodes. A v3 peer simply
+/// never sees the v4 trailing sections: each frame carries its version in
+/// the header, decode parses the optional sections only at v4, and the
+/// server answers every request at the version the request arrived in —
+/// that per-frame echo *is* the negotiation, so tracing is off whenever
+/// either side predates it.
+pub const MIN_VERSION: u16 = 3;
 
 /// Upper bound on a frame payload (64 MiB): large enough for a 100k-entry
 /// enroll batch, small enough that a corrupted length prefix cannot ask the
@@ -185,6 +197,38 @@ impl WireError {
     }
 }
 
+/// Distributed-tracing context carried by v4 request frames (CRC-covered
+/// like everything after the type byte). The coordinator stamps each RPC
+/// with the id of the span that issued it; the shard opens its own spans
+/// recording that id, so the two process-local trees can be stitched into
+/// one connected tree after a `Trace` drain. Absent (`None`) whenever the
+/// sender's telemetry is disabled or the peer speaks v3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Id of the root span of the originating operation (the coordinator's
+    /// `index.search` / `index.enroll_all` span) — correlates all RPCs of
+    /// one logical request.
+    pub trace_id: u64,
+    /// Id of the coordinator span that issued this RPC (its `serve.rpc`
+    /// span) — the parent the shard's spans nest under once merged.
+    pub parent_span_id: u64,
+    /// Whether the shard should record spans for this request. Always true
+    /// when the context is present today; carried explicitly so a future
+    /// sampling coordinator can propagate a negative decision.
+    pub sampled: bool,
+}
+
+/// Server-side timing echoed on v4 stage-1/re-rank responses whose request
+/// carried a sampled [`TraceContext`] — the per-shard queue-wait/work split
+/// the slow log needs without a second RPC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerTiming {
+    /// Admission-to-dispatch time in the shard's bounded worker pool (ns).
+    pub queue_wait_ns: u64,
+    /// Time spent computing the response once dispatched (ns).
+    pub work_ns: u64,
+}
+
 /// One protocol frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -197,6 +241,8 @@ pub enum Frame {
         config: IndexConfig,
         /// Templates to enroll, dealt by the coordinator.
         templates: Vec<Template>,
+        /// Optional tracing context (v4; never encoded at v3).
+        trace: Option<TraceContext>,
     },
     /// Enrollment succeeded.
     EnrollOk {
@@ -211,11 +257,15 @@ pub enum Frame {
         /// The probe template (features are recomputed shard-side —
         /// bit-identical, they are pure functions of probe and config).
         probe: Template,
+        /// Optional tracing context (v4; never encoded at v3).
+        trace: Option<TraceContext>,
     },
     /// Stage-1 scores (the shard-invariant seam).
     StageOneOk {
         /// Per-entry channel scores plus work tallies.
         scores: StageOneScores,
+        /// Server-side timing, echoed when the request was sampled (v4).
+        timing: Option<ServerTiming>,
     },
     /// Exactly score the selected local ids against `probe`.
     Rerank {
@@ -223,11 +273,15 @@ pub enum Frame {
         probe: Template,
         /// Shard-local candidate ids, in global selection order.
         selected: Vec<u32>,
+        /// Optional tracing context (v4; never encoded at v3).
+        trace: Option<TraceContext>,
     },
     /// Exact stage-2 scores, in request order (ids still shard-local).
     RerankOk {
         /// One candidate per requested id.
         candidates: Vec<Candidate>,
+        /// Server-side timing, echoed when the request was sampled (v4).
+        timing: Option<ServerTiming>,
     },
     /// Liveness / state probe.
     Health,
@@ -265,6 +319,24 @@ pub enum Frame {
         /// Work-size histograms, by name.
         values: Vec<(String, HistogramSnapshot)>,
     },
+    /// Drain the shard's flight recorder: every retained span whose id is
+    /// at least `since_span_id` (v4 only — a v3 peer rejects the type byte).
+    Trace {
+        /// High-water mark from the previous drain; 0 fetches everything.
+        since_span_id: u64,
+    },
+    /// The drained spans, plus the shard's current clock reading so the
+    /// coordinator can estimate the inter-process clock offset from the
+    /// send/receive midpoint of this very exchange.
+    TraceOk {
+        /// Shard-side nanoseconds since its telemetry epoch, read while
+        /// building this response.
+        now_ns: u64,
+        /// Spans lost to the shard's buffer capacity (cumulative).
+        dropped_spans: u64,
+        /// Retained spans with `id >= since_span_id`, shard-local ids.
+        spans: Vec<SpanRecord>,
+    },
     /// Typed failure answering any request.
     Error {
         /// One of the [`code`] constants.
@@ -292,6 +364,8 @@ impl Frame {
             Frame::FingerprintOk { .. } => "fingerprint_ok",
             Frame::Stats => "stats",
             Frame::StatsOk { .. } => "stats_ok",
+            Frame::Trace { .. } => "trace",
+            Frame::TraceOk { .. } => "trace_ok",
             Frame::Error { .. } => "error",
         }
     }
@@ -313,6 +387,18 @@ impl Frame {
             Frame::FingerprintOk { .. } => 13,
             Frame::Stats => 14,
             Frame::StatsOk { .. } => 15,
+            Frame::Trace { .. } => 16,
+            Frame::TraceOk { .. } => 17,
+        }
+    }
+
+    /// The oldest protocol version able to carry this frame type. The
+    /// trace-drain frames are v4-only; everything else decodes at v3 (the
+    /// v4 trailing sections are simply absent there).
+    fn min_version(&self) -> u16 {
+        match self {
+            Frame::Trace { .. } | Frame::TraceOk { .. } => 4,
+            _ => MIN_VERSION,
         }
     }
 }
@@ -439,6 +525,56 @@ fn put_histograms(buf: &mut Vec<u8>, entries: &[(String, HistogramSnapshot)]) {
     }
 }
 
+/// Optional trace context: a presence flag, then the triple. Only encoded
+/// at v4 — the caller gates on version.
+fn put_trace(buf: &mut Vec<u8>, trace: &Option<TraceContext>) {
+    match trace {
+        None => buf.push(0),
+        Some(t) => {
+            buf.push(1);
+            put_u64(buf, t.trace_id);
+            put_u64(buf, t.parent_span_id);
+            buf.push(t.sampled as u8);
+        }
+    }
+}
+
+/// Optional server timing: a presence flag, then the two durations. Only
+/// encoded at v4.
+fn put_timing(buf: &mut Vec<u8>, timing: &Option<ServerTiming>) {
+    match timing {
+        None => buf.push(0),
+        Some(t) => {
+            buf.push(1);
+            put_u64(buf, t.queue_wait_ns);
+            put_u64(buf, t.work_ns);
+        }
+    }
+}
+
+/// Minimum encoded size of a span record (empty name, no parent, no attrs).
+const SPAN_RECORD_MIN: usize = 8 + 1 + 4 + 8 + 8 + 8 + 4;
+
+fn put_span(buf: &mut Vec<u8>, s: &SpanRecord) {
+    put_u64(buf, s.id);
+    match s.parent {
+        None => buf.push(0),
+        Some(p) => {
+            buf.push(1);
+            put_u64(buf, p);
+        }
+    }
+    put_str(buf, &s.name);
+    put_u64(buf, s.thread);
+    put_u64(buf, s.start_ns);
+    put_u64(buf, s.dur_ns);
+    put_u32(buf, s.attrs.len() as u32);
+    for (k, v) in &s.attrs {
+        put_str(buf, k);
+        put_str(buf, v);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Bounds-checked decode cursor.
 // ---------------------------------------------------------------------------
@@ -561,6 +697,86 @@ impl<'a> Dec<'a> {
         Ok(entries)
     }
 
+    /// Optional [`TraceContext`] (v4 trailing section). Any flag byte other
+    /// than 0/1 — and any sampled byte other than 0/1 — is `Malformed`: a
+    /// corrupted context must never be half-adopted.
+    fn trace_opt(&mut self) -> Result<Option<TraceContext>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => {
+                let trace_id = self.u64()?;
+                let parent_span_id = self.u64()?;
+                let sampled = match self.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(WireError::Malformed(format!(
+                            "trace-context sampled flag must be 0 or 1, got {other}"
+                        )))
+                    }
+                };
+                Ok(Some(TraceContext {
+                    trace_id,
+                    parent_span_id,
+                    sampled,
+                }))
+            }
+            other => Err(WireError::Malformed(format!(
+                "trace-context presence flag must be 0 or 1, got {other}"
+            ))),
+        }
+    }
+
+    /// Optional [`ServerTiming`] (v4 trailing section).
+    fn timing_opt(&mut self) -> Result<Option<ServerTiming>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(ServerTiming {
+                queue_wait_ns: self.u64()?,
+                work_ns: self.u64()?,
+            })),
+            other => Err(WireError::Malformed(format!(
+                "server-timing presence flag must be 0 or 1, got {other}"
+            ))),
+        }
+    }
+
+    fn span_record(&mut self) -> Result<SpanRecord, WireError> {
+        let id = self.u64()?;
+        let parent = match self.u8()? {
+            0 => None,
+            1 => Some(self.u64()?),
+            other => {
+                return Err(WireError::Malformed(format!(
+                    "span parent flag must be 0 or 1, got {other}"
+                )))
+            }
+        };
+        let name = self.string()?;
+        let thread = self.u64()?;
+        let start_ns = self.u64()?;
+        let dur_ns = self.u64()?;
+        let raw_attrs = self.u32()? as u64;
+        let attr_count = self.checked_count(raw_attrs, 8)?;
+        let mut attrs = Vec::with_capacity(attr_count);
+        for _ in 0..attr_count {
+            let k = self.string()?;
+            attrs.push((k, self.string()?));
+        }
+        Ok(SpanRecord {
+            id,
+            parent,
+            name,
+            // Spans cross the wire process-local; the coordinator assigns
+            // process lanes when it merges.
+            pid: 0,
+            thread,
+            start_ns,
+            dur_ns,
+            attrs,
+        })
+    }
+
     fn config(&mut self) -> Result<IndexConfig, WireError> {
         Ok(IndexConfig {
             shortlist: self.u64()? as usize,
@@ -588,14 +804,22 @@ impl<'a> Dec<'a> {
 // Frame encode / decode.
 // ---------------------------------------------------------------------------
 
-fn encode_payload(frame: &Frame) -> Vec<u8> {
+fn encode_payload(version: u16, frame: &Frame) -> Vec<u8> {
+    let v4 = version >= 4;
     let mut buf = Vec::new();
     match frame {
-        Frame::EnrollBatch { config, templates } => {
+        Frame::EnrollBatch {
+            config,
+            templates,
+            trace,
+        } => {
             put_config(&mut buf, config);
             put_u32(&mut buf, templates.len() as u32);
             for t in templates {
                 put_template(&mut buf, t);
+            }
+            if v4 {
+                put_trace(&mut buf, trace);
             }
         }
         Frame::EnrollOk {
@@ -605,8 +829,13 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             put_u32(&mut buf, *enrolled);
             put_u32(&mut buf, *shard_len);
         }
-        Frame::StageOne { probe } => put_template(&mut buf, probe),
-        Frame::StageOneOk { scores } => {
+        Frame::StageOne { probe, trace } => {
+            put_template(&mut buf, probe);
+            if v4 {
+                put_trace(&mut buf, trace);
+            }
+        }
+        Frame::StageOneOk { scores, timing } => {
             put_u32(&mut buf, scores.vote_scores.len() as u32);
             for &v in &scores.vote_scores {
                 put_f64(&mut buf, v);
@@ -616,19 +845,47 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             }
             put_u64(&mut buf, scores.bucket_hits);
             put_u64(&mut buf, scores.hamming_word_ops);
+            if v4 {
+                put_timing(&mut buf, timing);
+            }
         }
-        Frame::Rerank { probe, selected } => {
+        Frame::Rerank {
+            probe,
+            selected,
+            trace,
+        } => {
             put_template(&mut buf, probe);
             put_u32(&mut buf, selected.len() as u32);
             for &id in selected {
                 put_u32(&mut buf, id);
             }
+            if v4 {
+                put_trace(&mut buf, trace);
+            }
         }
-        Frame::RerankOk { candidates } => {
+        Frame::RerankOk { candidates, timing } => {
             put_u32(&mut buf, candidates.len() as u32);
             for c in candidates {
                 put_u32(&mut buf, c.id);
                 put_f64(&mut buf, c.score.value());
+            }
+            if v4 {
+                put_timing(&mut buf, timing);
+            }
+        }
+        Frame::Trace { since_span_id } => {
+            put_u64(&mut buf, *since_span_id);
+        }
+        Frame::TraceOk {
+            now_ns,
+            dropped_spans,
+            spans,
+        } => {
+            put_u64(&mut buf, *now_ns);
+            put_u64(&mut buf, *dropped_spans);
+            put_u32(&mut buf, spans.len() as u32);
+            for s in spans {
+                put_span(&mut buf, s);
             }
         }
         Frame::Health | Frame::Shutdown | Frame::ShutdownOk | Frame::Fingerprint | Frame::Stats => {
@@ -659,7 +916,8 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
     buf
 }
 
-fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, WireError> {
+fn decode_payload(version: u16, frame_type: u8, payload: &[u8]) -> Result<Frame, WireError> {
+    let v4 = version >= 4;
     let frame = match frame_type {
         1 => {
             let mut dec = Dec::new(payload, "enroll batch");
@@ -670,8 +928,13 @@ fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, WireError> {
             for _ in 0..count {
                 templates.push(dec.template()?);
             }
+            let trace = if v4 { dec.trace_opt()? } else { None };
             dec.finish()?;
-            Frame::EnrollBatch { config, templates }
+            Frame::EnrollBatch {
+                config,
+                templates,
+                trace,
+            }
         }
         2 => {
             let mut dec = Dec::new(payload, "enroll ack");
@@ -686,8 +949,9 @@ fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, WireError> {
         3 => {
             let mut dec = Dec::new(payload, "stage-1 request");
             let probe = dec.template()?;
+            let trace = if v4 { dec.trace_opt()? } else { None };
             dec.finish()?;
-            Frame::StageOne { probe }
+            Frame::StageOne { probe, trace }
         }
         4 => {
             let mut dec = Dec::new(payload, "stage-1 scores");
@@ -703,6 +967,7 @@ fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, WireError> {
             }
             let bucket_hits = dec.u64()?;
             let hamming_word_ops = dec.u64()?;
+            let timing = if v4 { dec.timing_opt()? } else { None };
             dec.finish()?;
             Frame::StageOneOk {
                 scores: StageOneScores {
@@ -711,6 +976,7 @@ fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, WireError> {
                     bucket_hits,
                     hamming_word_ops,
                 },
+                timing,
             }
         }
         5 => {
@@ -722,8 +988,13 @@ fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, WireError> {
             for _ in 0..count {
                 selected.push(dec.u32()?);
             }
+            let trace = if v4 { dec.trace_opt()? } else { None };
             dec.finish()?;
-            Frame::Rerank { probe, selected }
+            Frame::Rerank {
+                probe,
+                selected,
+                trace,
+            }
         }
         6 => {
             let mut dec = Dec::new(payload, "re-rank candidates");
@@ -743,8 +1014,9 @@ fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, WireError> {
                     score: MatchScore::new(score),
                 });
             }
+            let timing = if v4 { dec.timing_opt()? } else { None };
             dec.finish()?;
-            Frame::RerankOk { candidates }
+            Frame::RerankOk { candidates, timing }
         }
         7 => {
             Dec::new(payload, "health request").finish()?;
@@ -804,22 +1076,58 @@ fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, WireError> {
                 values,
             }
         }
+        16 if v4 => {
+            let mut dec = Dec::new(payload, "trace drain request");
+            let since_span_id = dec.u64()?;
+            dec.finish()?;
+            Frame::Trace { since_span_id }
+        }
+        17 if v4 => {
+            let mut dec = Dec::new(payload, "trace drain response");
+            let now_ns = dec.u64()?;
+            let dropped_spans = dec.u64()?;
+            let raw_count = dec.u32()? as u64;
+            let count = dec.checked_count(raw_count, SPAN_RECORD_MIN)?;
+            let mut spans = Vec::with_capacity(count);
+            for _ in 0..count {
+                spans.push(dec.span_record()?);
+            }
+            dec.finish()?;
+            Frame::TraceOk {
+                now_ns,
+                dropped_spans,
+                spans,
+            }
+        }
         other => return Err(WireError::BadFrameType(other)),
     };
     Ok(frame)
 }
 
-/// Encodes `frame` under `request_id` into a complete wire frame (header +
-/// payload + CRC).
-pub fn encode_frame_with(request_id: u32, frame: &Frame) -> Vec<u8> {
-    let payload = encode_payload(frame);
+/// Encodes `frame` under `request_id` at an explicit protocol `version` —
+/// how the server answers a v3 peer in v3. Panics (programmer error) on a
+/// version outside [`MIN_VERSION`]`..=`[`VERSION`] or a frame type the
+/// requested version cannot carry; both are unreachable from the network
+/// because decode rejects those frames first.
+pub fn encode_frame_at(version: u16, request_id: u32, frame: &Frame) -> Vec<u8> {
+    assert!(
+        (MIN_VERSION..=VERSION).contains(&version),
+        "cannot encode at unsupported protocol version {version}"
+    );
+    assert!(
+        version >= frame.min_version(),
+        "frame `{}` requires protocol v{}, cannot encode at v{version}",
+        frame.kind(),
+        frame.min_version()
+    );
+    let payload = encode_payload(version, frame);
     assert!(
         payload.len() as u64 <= MAX_PAYLOAD as u64,
         "frame payload exceeds MAX_PAYLOAD; chunk the request"
     );
     let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
     buf.extend_from_slice(&MAGIC);
-    put_u16(&mut buf, VERSION);
+    put_u16(&mut buf, version);
     buf.push(frame.type_byte());
     put_u32(&mut buf, request_id);
     put_u32(&mut buf, payload.len() as u32);
@@ -829,6 +1137,11 @@ pub fn encode_frame_with(request_id: u32, frame: &Frame) -> Vec<u8> {
         frame_crc(request_id, payload.len() as u32, &payload),
     );
     buf
+}
+
+/// Encodes `frame` under `request_id` at the current [`VERSION`].
+pub fn encode_frame_with(request_id: u32, frame: &Frame) -> Vec<u8> {
+    encode_frame_at(VERSION, request_id, frame)
 }
 
 /// Encodes `frame` under request id 0 (un-multiplexed traffic).
@@ -846,7 +1159,7 @@ pub fn decode_frame_with(buf: &[u8]) -> Result<(u32, Frame), WireError> {
         return Err(WireError::BadMagic(magic));
     }
     let version = u16::from_le_bytes(header.take(2)?.try_into().expect("2 bytes"));
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(WireError::VersionMismatch {
             got: version,
             want: VERSION,
@@ -870,7 +1183,7 @@ pub fn decode_frame_with(buf: &[u8]) -> Result<(u32, Frame), WireError> {
     if got != want {
         return Err(WireError::BadCrc { got, want });
     }
-    Ok((request_id, decode_payload(frame_type, payload)?))
+    Ok((request_id, decode_payload(version, frame_type, payload)?))
 }
 
 /// Decodes one complete wire frame, discarding the request id.
@@ -896,12 +1209,32 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<usize> 
     write_frame_with(w, 0, frame)
 }
 
+/// Writes one frame under `request_id` at an explicit protocol `version` —
+/// how the server answers each peer at the version its request arrived in
+/// (see [`read_frame_versioned`]). Panics on the same programmer errors as
+/// [`encode_frame_at`].
+pub fn write_frame_at(
+    w: &mut impl Write,
+    version: u16,
+    request_id: u32,
+    frame: &Frame,
+) -> std::io::Result<usize> {
+    let bytes = encode_frame_at(version, request_id, frame);
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(bytes.len())
+}
+
 /// Reads one complete frame from `r`, returning its request id, the frame,
-/// and the number of bytes consumed. Validates magic and version before
-/// trusting the length prefix, caps the payload at [`MAX_PAYLOAD`], and
-/// checks the CRC (which covers the request id) before decoding a single
-/// payload byte.
-pub fn read_frame_with(r: &mut impl Read) -> Result<(u32, Frame, usize), WireError> {
+/// the number of bytes consumed, and the protocol version the frame was
+/// encoded at. Validates magic and version before trusting the length
+/// prefix, caps the payload at [`MAX_PAYLOAD`], and checks the CRC (which
+/// covers the request id) before decoding a single payload byte.
+///
+/// The returned version is what lets the server answer each peer at the
+/// version it spoke — responses to a v3 frame are encoded at v3, so the
+/// v4 trailing sections are negotiated off per connection for free.
+pub fn read_frame_versioned(r: &mut impl Read) -> Result<(u32, Frame, usize, u16), WireError> {
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)?;
     let magic: [u8; 4] = header[..4].try_into().expect("4 bytes");
@@ -909,7 +1242,7 @@ pub fn read_frame_with(r: &mut impl Read) -> Result<(u32, Frame, usize), WireErr
         return Err(WireError::BadMagic(magic));
     }
     let version = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(WireError::VersionMismatch {
             got: version,
             want: VERSION,
@@ -929,8 +1262,13 @@ pub fn read_frame_with(r: &mut impl Read) -> Result<(u32, Frame, usize), WireErr
     if got != want {
         return Err(WireError::BadCrc { got, want });
     }
-    let frame = decode_payload(frame_type, payload)?;
-    Ok((request_id, frame, HEADER_LEN + body.len()))
+    let frame = decode_payload(version, frame_type, payload)?;
+    Ok((request_id, frame, HEADER_LEN + body.len(), version))
+}
+
+/// Reads one complete frame, discarding the peer's protocol version.
+pub fn read_frame_with(r: &mut impl Read) -> Result<(u32, Frame, usize), WireError> {
+    read_frame_versioned(r).map(|(id, frame, n, _)| (id, frame, n))
 }
 
 /// Reads one complete frame, discarding the request id.
@@ -1038,6 +1376,167 @@ mod tests {
             decode_frame(&bytes),
             Err(WireError::Truncated { .. })
         ));
+    }
+
+    fn tiny_config() -> IndexConfig {
+        IndexConfig {
+            shortlist: 8,
+            max_cylinders: 4,
+            lss_depth: 2,
+            distance_bin: 1.0,
+            angle_bins: 4,
+        }
+    }
+
+    #[test]
+    fn trace_context_rides_enroll_at_v4_and_is_dropped_at_v3() {
+        let ctx = TraceContext {
+            trace_id: 0xAAAA_BBBB_CCCC_DDDD,
+            parent_span_id: 42,
+            sampled: true,
+        };
+        let frame = Frame::EnrollBatch {
+            config: tiny_config(),
+            templates: Vec::new(),
+            trace: Some(ctx),
+        };
+        let v4 = encode_frame_with(7, &frame);
+        assert_eq!(decode_frame_with(&v4).unwrap(), (7, frame.clone()));
+        // A v3 peer negotiates the context off: the section is simply not
+        // encoded, and the frame still decodes on the other side.
+        let v3 = encode_frame_at(3, 7, &frame);
+        assert!(v3.len() < v4.len());
+        let (_, got) = decode_frame_with(&v3).unwrap();
+        assert_eq!(
+            got,
+            Frame::EnrollBatch {
+                config: tiny_config(),
+                templates: Vec::new(),
+                trace: None,
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_trace_context_is_rejected_without_panicking() {
+        let frame = Frame::EnrollBatch {
+            config: tiny_config(),
+            templates: Vec::new(),
+            trace: Some(TraceContext {
+                trace_id: 1,
+                parent_span_id: 2,
+                sampled: true,
+            }),
+        };
+        let bytes = encode_frame(&frame);
+        // Payload: config (40) + template count (4) + presence flag + triple.
+        let flag_at = HEADER_LEN + 44;
+        let crc_at = bytes.len() - 4;
+        for (offset, bad) in [(flag_at, 2u8), (crc_at - 1, 7u8)] {
+            let mut corrupt = bytes.clone();
+            corrupt[offset] = bad; // presence flag / sampled byte out of 0..=1
+            let fixed = crc32(&corrupt[CRC_START..crc_at]);
+            corrupt[crc_at..].copy_from_slice(&fixed.to_le_bytes());
+            assert!(
+                matches!(decode_frame(&corrupt), Err(WireError::Malformed(_))),
+                "byte {offset} = {bad} must be Malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn server_timing_round_trips() {
+        let frame = Frame::RerankOk {
+            candidates: Vec::new(),
+            timing: Some(ServerTiming {
+                queue_wait_ns: 12_345,
+                work_ns: 678_900,
+            }),
+        };
+        let bytes = encode_frame(&frame);
+        assert_eq!(decode_frame(&bytes).unwrap(), frame);
+        let bare = Frame::RerankOk {
+            candidates: Vec::new(),
+            timing: None,
+        };
+        assert_eq!(decode_frame(&encode_frame(&bare)).unwrap(), bare);
+    }
+
+    #[test]
+    fn trace_drain_frames_round_trip_spans() {
+        let frame = Frame::TraceOk {
+            now_ns: 99_000,
+            dropped_spans: 3,
+            spans: vec![
+                SpanRecord {
+                    id: 10,
+                    parent: None,
+                    name: "server.request".to_string(),
+                    pid: 0,
+                    thread: 2,
+                    start_ns: 100,
+                    dur_ns: 500,
+                    attrs: vec![("remote_parent".to_string(), "42".to_string())],
+                },
+                SpanRecord {
+                    id: 11,
+                    parent: Some(10),
+                    name: "server.queue_wait".to_string(),
+                    pid: 0,
+                    thread: 2,
+                    start_ns: 100,
+                    dur_ns: 40,
+                    attrs: Vec::new(),
+                },
+            ],
+        };
+        let bytes = encode_frame(&frame);
+        assert_eq!(decode_frame(&bytes).unwrap(), frame);
+        let req = Frame::Trace { since_span_id: 10 };
+        assert_eq!(decode_frame(&encode_frame(&req)).unwrap(), req);
+    }
+
+    #[test]
+    fn trace_frames_are_v4_only() {
+        // Re-stamp a Trace frame's header as v3: the type byte must be
+        // rejected (the version bytes sit outside the CRC, so no reseal).
+        let mut bytes = encode_frame(&Frame::Trace { since_span_id: 0 });
+        bytes[4..6].copy_from_slice(&3u16.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(WireError::BadFrameType(16))
+        ));
+    }
+
+    #[test]
+    fn versions_outside_the_window_are_rejected() {
+        let bytes = encode_frame(&Frame::Health);
+        for bad in [MIN_VERSION - 1, VERSION + 1] {
+            let mut corrupt = bytes.clone();
+            corrupt[4..6].copy_from_slice(&bad.to_le_bytes());
+            assert!(
+                matches!(
+                    decode_frame(&corrupt),
+                    Err(WireError::VersionMismatch { got, want }) if got == bad && want == VERSION
+                ),
+                "version {bad} must be rejected"
+            );
+        }
+        // Both window endpoints decode.
+        for ok in [MIN_VERSION, VERSION] {
+            let bytes = encode_frame_at(ok, 0, &Frame::Health);
+            assert_eq!(decode_frame(&bytes).unwrap(), Frame::Health);
+        }
+    }
+
+    #[test]
+    fn read_frame_versioned_reports_the_peer_version() {
+        let bytes = encode_frame_at(3, 5, &Frame::HealthOk { shard_len: 9 });
+        let (id, frame, n, version) = read_frame_versioned(&mut &bytes[..]).unwrap();
+        assert_eq!(
+            (id, frame, n, version),
+            (5, Frame::HealthOk { shard_len: 9 }, bytes.len(), 3)
+        );
     }
 
     #[test]

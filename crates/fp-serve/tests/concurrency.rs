@@ -242,6 +242,7 @@ fn overload_sheds_typed_frames_with_exact_accounting() {
     let tickets: Vec<_> = (0..BURST)
         .map(|_| {
             conn.begin(&Frame::StageOne {
+                trace: None,
                 probe: probe.clone(),
             })
             .expect("begin")
@@ -310,7 +311,7 @@ fn duplicate_in_flight_request_id_is_rejected_typed() {
         .set_read_timeout(Some(Duration::from_secs(10)))
         .unwrap();
     let probe = synthetic_template(78, 10);
-    let request = Frame::StageOne { probe };
+    let request = Frame::StageOne { probe, trace: None };
     write_frame_with(&mut stream, 5, &request).unwrap();
     write_frame_with(&mut stream, 5, &request).unwrap();
     stream.flush().unwrap();

@@ -218,3 +218,102 @@ fn concurrent_callers_never_receive_each_others_responses() {
     drop(conn);
     server.join().expect("server thread");
 }
+
+/// Deadline expiry with the request id still in flight: the waiter gets a
+/// *typed* timeout (`Transport { timeout: true }` from the expiry path, not
+/// a socket-level read error), the connection survives, and the late
+/// response to the abandoned id is drained and dropped — never delivered
+/// to a different caller. A response to an id that was *never* issued is
+/// the distinct `unsolicited` protocol violation; this test pins both
+/// outcomes apart.
+#[test]
+fn deadline_expiry_abandons_the_id_and_drops_the_late_response() {
+    const STARVED_TAG: u32 = 999;
+    const FLUSH_TAG: u32 = 77_777;
+    const POISON_TAG: u32 = 88_888;
+    let (addr, server) = scripted_server(|mut stream| {
+        let mut starved_id = None;
+        loop {
+            let (id, frame, _) = read_frame_with(&mut stream).expect("server read");
+            match tag_of(&frame) {
+                // The starved request: remember its id, answer nothing.
+                STARVED_TAG => starved_id = Some(id),
+                // The flush request: first the *late* answer to the
+                // abandoned id, then the flush's own echo. The client must
+                // drain the former and deliver only the latter.
+                FLUSH_TAG => {
+                    let late = starved_id.take().expect("starved before flushed");
+                    write_frame_with(&mut stream, late, &tagged(STARVED_TAG)).expect("late");
+                    write_frame_with(&mut stream, id, &frame).expect("flush echo");
+                }
+                // The poison request: answer under an id nobody ever
+                // issued — a genuine protocol violation.
+                POISON_TAG => {
+                    write_frame_with(&mut stream, id.wrapping_add(1_000), &tagged(0))
+                        .expect("unsolicited");
+                    return;
+                }
+                // Keepalive traffic from the pump thread: echo.
+                _ => {
+                    write_frame_with(&mut stream, id, &frame).expect("echo");
+                }
+            }
+        }
+    });
+
+    let deadline = Duration::from_millis(400);
+    let conn = MuxConn::new(addr, deadline);
+    let (starved, _) = conn.begin(&tagged(STARVED_TAG)).expect("begin starved");
+    let starved_id = starved.id();
+
+    std::thread::scope(|scope| {
+        // A pump caller keeps the socket alive (and usually owns the read
+        // half) while the starved caller waits out its deadline, so the
+        // expiry exercises the abandoned-id path rather than a socket
+        // read timeout poisoning the connection.
+        let pump = scope.spawn(|| {
+            for i in 0..2 * (400 / 25) {
+                let (response, _, _) = conn.call(&tagged(i)).expect("pump call");
+                assert_eq!(tag_of(&response), i, "pump got a foreign response");
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        });
+        // The typed timeout from the expiry path, not a transport fault.
+        match conn.finish(starved) {
+            Err(MuxError::Transport { detail, timeout }) => {
+                assert!(timeout, "expiry must be flagged as a timeout");
+                assert!(
+                    detail.contains("no response within"),
+                    "expected the deadline-expiry detail, got: {detail}"
+                );
+            }
+            other => panic!("expected Transport timeout, got {other:?}"),
+        }
+        pump.join().expect("pump thread");
+    });
+
+    // The late response to the abandoned id arrives *before* the flush
+    // echo; it must be dropped on the floor — the flush caller gets its
+    // own echo back, and the connection stays healthy (read half reaped
+    // back into the pool, no poisoning).
+    let (response, _, _) = conn.call(&tagged(FLUSH_TAG)).expect("flush call");
+    assert_eq!(
+        tag_of(&response),
+        FLUSH_TAG,
+        "late response was mis-delivered"
+    );
+
+    // An id that was never issued is a different animal: counted as an
+    // unsolicited protocol violation, never delivered.
+    match conn.call(&tagged(POISON_TAG)) {
+        Err(MuxError::Protocol { detail }) => {
+            assert!(detail.contains("unsolicited"), "detail: {detail}");
+            assert!(
+                !detail.contains(&format!("id {starved_id} ")),
+                "the abandoned id must not resurface as unsolicited"
+            );
+        }
+        other => panic!("expected Protocol unsolicited, got {other:?}"),
+    }
+    server.join().expect("server thread");
+}

@@ -531,3 +531,92 @@ fn shutdown_frame_stops_the_server() {
     remote.shutdown_all().unwrap();
     runner.join().unwrap().unwrap();
 }
+
+/// The full distributed-tracing round trip over loopback: traced searches
+/// propagate wire trace context into each shard server, a TRACE drain
+/// brings every remote span home, and the merged snapshot is one
+/// connected tree with one lane per shard — while candidate lists stay
+/// byte-identical to an untraced unsharded index.
+#[test]
+fn collected_traces_merge_into_one_connected_tree() {
+    let n = 12;
+    let templates = gallery(77, n);
+    let config = IndexConfig::default();
+
+    let mut unsharded = CandidateIndex::with_config(PairTableMatcher::default(), config);
+    unsharded.enroll_all(&templates);
+
+    let shards = 2;
+    let mut handles = Vec::new();
+    let mut addrs = Vec::new();
+    for _ in 0..shards {
+        // Each in-process server keeps its own registry, standing in for a
+        // shard process's: the only way its spans reach the coordinator's
+        // snapshot is through the wire-level TRACE drain.
+        let server = ShardServer::bind(PairTableMatcher::default(), "127.0.0.1:0")
+            .unwrap()
+            .with_telemetry(&Telemetry::enabled());
+        addrs.push(server.local_addr().unwrap());
+        handles.push(server.spawn());
+    }
+
+    let telemetry = Telemetry::enabled();
+    let mut remote = Coordinator::connect(&addrs, config, Duration::from_secs(5), fast_retry())
+        .unwrap()
+        .with_telemetry(&telemetry);
+    let probes: Vec<Template> = (0..4)
+        .map(|p| second_capture(&templates[p], 77 ^ p as u64))
+        .collect();
+    let collected;
+    {
+        // One root span over the whole run so enroll, search and drain
+        // rpcs share a single ancestor — the merged tree must have
+        // exactly one root.
+        let _root = telemetry.span("trace.e2e");
+        remote.enroll_all(&templates).unwrap();
+        for probe in &probes {
+            let got = remote.search(probe).unwrap();
+            let want = unsharded.search(probe);
+            assert_eq!(got.candidates(), want.candidates());
+        }
+        collected = remote.collect_traces().unwrap();
+    }
+    assert!(collected > 0, "the drain must fetch remote spans");
+
+    let merged = remote.merged_trace();
+    assert_eq!(merged.validate_tree().unwrap(), 1, "one connected tree");
+
+    // Every remote request span hangs under the serve.rpc span that
+    // issued it, and queue-wait children came along.
+    let requests: Vec<_> = merged
+        .spans
+        .iter()
+        .filter(|s| s.name == "server.request")
+        .collect();
+    assert!(!requests.is_empty());
+    for request in &requests {
+        let parent = request.parent.expect("re-parented under an rpc span");
+        let parent_name = &merged
+            .spans
+            .iter()
+            .find(|s| s.id == parent)
+            .expect("parent present")
+            .name;
+        assert_eq!(parent_name, "serve.rpc");
+    }
+    assert!(merged.spans.iter().any(|s| s.name == "server.queue_wait"));
+
+    // One Chrome lane per process: the coordinator plus each shard.
+    let mut pids: Vec<u64> = merged.spans.iter().map(|s| s.pid).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    assert_eq!(pids.len(), shards + 1);
+
+    // A second drain with nothing new is incremental, not a re-send.
+    assert_eq!(remote.collect_traces().unwrap(), 0);
+
+    remote.shutdown_all().unwrap();
+    for handle in handles {
+        handle.join();
+    }
+}

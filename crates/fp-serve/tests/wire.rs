@@ -17,8 +17,9 @@ use fp_core::template::Template;
 use fp_core::MatchScore;
 use fp_index::{Candidate, IndexConfig, StageOneScores};
 use fp_serve::wire::{
-    code, crc32, decode_frame, decode_frame_with, encode_frame, encode_frame_with, read_frame,
-    read_frame_with, write_frame, Frame, WireError, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,
+    code, crc32, decode_frame, decode_frame_with, encode_frame, encode_frame_at, encode_frame_with,
+    read_frame, read_frame_with, write_frame, Frame, ServerTiming, TraceContext, WireError,
+    HEADER_LEN, MAGIC, MAX_PAYLOAD, MIN_VERSION, VERSION,
 };
 use proptest::prelude::*;
 use rand::Rng;
@@ -105,12 +106,31 @@ proptest! {
             Frame::EnrollBatch {
                 config: IndexConfig::default(),
                 templates: vec![synthetic_template(seed ^ 1, n), probe.clone()],
+                trace: None,
             },
             Frame::EnrollOk { enrolled: n as u32, shard_len: (n * 3) as u32 },
-            Frame::StageOne { probe: probe.clone() },
-            Frame::StageOneOk { scores },
-            Frame::Rerank { probe: probe.clone(), selected },
-            Frame::RerankOk { candidates },
+            Frame::StageOne { probe: probe.clone(), trace: None },
+            Frame::StageOne {
+                probe: probe.clone(),
+                trace: Some(TraceContext { trace_id: seed, parent_span_id: seed ^ 0xA5A5, sampled: true }),
+            },
+            Frame::StageOneOk { scores: scores.clone(), timing: None },
+            Frame::StageOneOk {
+                scores,
+                timing: Some(ServerTiming { queue_wait_ns: seed, work_ns: seed.wrapping_mul(3) }),
+            },
+            Frame::Rerank { probe: probe.clone(), selected: selected.clone(), trace: None },
+            Frame::Rerank {
+                probe: probe.clone(),
+                selected,
+                trace: Some(TraceContext { trace_id: 1, parent_span_id: 2, sampled: false }),
+            },
+            Frame::RerankOk { candidates: candidates.clone(), timing: None },
+            Frame::RerankOk {
+                candidates,
+                timing: Some(ServerTiming { queue_wait_ns: 0, work_ns: u64::MAX }),
+            },
+            Frame::Trace { since_span_id: seed },
             Frame::Health,
             Frame::HealthOk { shard_len: 7 },
             Frame::Shutdown,
@@ -132,16 +152,16 @@ proptest! {
     #[test]
     fn payload_f64s_are_bit_exact(seed in 0u64..10_000, n in 1usize..30) {
         let probe = synthetic_template(seed, n);
-        let bytes = encode_frame(&Frame::StageOne { probe: probe.clone() });
+        let bytes = encode_frame(&Frame::StageOne { probe: probe.clone(), trace: None });
         match decode_frame(&bytes).unwrap() {
-            Frame::StageOne { probe: decoded } => assert_template_bits(&probe, &decoded),
+            Frame::StageOne { probe: decoded, .. } => assert_template_bits(&probe, &decoded),
             other => panic!("wrong frame {}", other.kind()),
         }
 
         let scores = synthetic_scores(seed, n);
-        let bytes = encode_frame(&Frame::StageOneOk { scores: scores.clone() });
+        let bytes = encode_frame(&Frame::StageOneOk { scores: scores.clone(), timing: None });
         match decode_frame(&bytes).unwrap() {
-            Frame::StageOneOk { scores: decoded } => {
+            Frame::StageOneOk { scores: decoded, .. } => {
                 for (a, b) in scores.vote_scores.iter().zip(&decoded.vote_scores) {
                     prop_assert_eq!(a.to_bits(), b.to_bits());
                 }
@@ -160,7 +180,7 @@ proptest! {
     /// never a clean decode of different content, never a panic.
     #[test]
     fn single_byte_payload_corruption_is_caught(seed in 0u64..5_000, flip in 0usize..200) {
-        let frame = Frame::StageOneOk { scores: synthetic_scores(seed, 4) };
+        let frame = Frame::StageOneOk { scores: synthetic_scores(seed, 4), timing: None };
         let mut bytes = encode_frame(&frame);
         let payload_start = HEADER_LEN;
         let idx = payload_start + flip % (bytes.len() - payload_start);
@@ -183,6 +203,7 @@ proptest! {
         let frame = Frame::Rerank {
             probe: synthetic_template(seed, 6),
             selected: vec![0, 1, 2],
+            trace: None,
         };
         let bytes = encode_frame(&frame);
         let cut = cut % bytes.len(); // strict prefix
@@ -195,7 +216,7 @@ proptest! {
     /// both the slice codec and the stream codec.
     #[test]
     fn request_ids_round_trip(seed in 0u64..10_000, id in 0u32..=u32::MAX, n in 0usize..12) {
-        let frame = Frame::StageOne { probe: synthetic_template(seed, n) };
+        let frame = Frame::StageOne { probe: synthetic_template(seed, n), trace: None };
         let bytes = encode_frame_with(id, &frame);
         let (decoded_id, decoded) = decode_frame_with(&bytes).expect("decodes");
         prop_assert_eq!(decoded_id, id);
@@ -230,6 +251,71 @@ proptest! {
         let bytes: Vec<u8> = (0..len).map(|_| (rng.gen::<u64>() & 0xFF) as u8).collect();
         let _ = decode_frame(&bytes);
         let _ = read_frame(&mut &bytes[..]);
+    }
+
+    /// Wire v4: corrupting any byte of the trailing trace-context section
+    /// — even under a valid (resealed) CRC — is either rejected with a
+    /// typed error or decodes to a frame whose *non-trace* payload is
+    /// untouched. The template can never be perturbed by context bytes,
+    /// and nothing panics.
+    #[test]
+    fn trace_context_corruption_never_touches_the_probe(
+        seed in 0u64..5_000,
+        n in 1usize..8,
+        offset in 0usize..18,
+        flip in 1u8..=255,
+    ) {
+        let probe = synthetic_template(seed, n);
+        let frame = Frame::StageOne {
+            probe: probe.clone(),
+            trace: Some(TraceContext {
+                trace_id: seed.wrapping_mul(0x9E37),
+                parent_span_id: !seed,
+                sampled: seed % 2 == 0,
+            }),
+        };
+        let bytes = encode_frame(&frame);
+        // The context is the last 18 payload bytes: flag + 2×u64 + sampled.
+        let payload_len = bytes.len() - HEADER_LEN - 4;
+        let mut payload = bytes[HEADER_LEN..HEADER_LEN + payload_len].to_vec();
+        let at = payload_len - 18 + offset % 18;
+        payload[at] ^= flip;
+        let hostile = reseal(&bytes, &payload);
+        match decode_frame(&hostile) {
+            Err(_) => {}
+            Ok(Frame::StageOne { probe: decoded, .. }) => assert_template_bits(&probe, &decoded),
+            Ok(other) => prop_assert!(false, "decoded as different frame {}", other.kind()),
+        }
+    }
+
+    /// Negotiation window: the same request encodes at v3 and v4, both
+    /// decode, the carried template is bit-identical — and the v3 body
+    /// simply has no trace section (a v3 peer never sees v4 state).
+    #[test]
+    fn v3_and_v4_agree_on_the_carried_payload(seed in 0u64..5_000, n in 0usize..10, id in 0u32..=u32::MAX) {
+        let probe = synthetic_template(seed, n);
+        let frame = Frame::StageOne {
+            probe: probe.clone(),
+            trace: Some(TraceContext { trace_id: seed, parent_span_id: seed ^ 7, sampled: true }),
+        };
+        let v4 = encode_frame_at(VERSION, id, &frame);
+        let v3 = encode_frame_at(MIN_VERSION, id, &frame);
+        prop_assert_eq!(v3.len() + 18, v4.len());
+        match decode_frame_with(&v3).expect("v3 decodes") {
+            (got_id, Frame::StageOne { probe: decoded, trace }) => {
+                prop_assert_eq!(got_id, id);
+                prop_assert_eq!(trace, None);
+                assert_template_bits(&probe, &decoded);
+            }
+            (_, other) => prop_assert!(false, "wrong frame {}", other.kind()),
+        }
+        match decode_frame_with(&v4).expect("v4 decodes") {
+            (_, Frame::StageOne { probe: decoded, trace }) => {
+                prop_assert_eq!(trace, Some(TraceContext { trace_id: seed, parent_span_id: seed ^ 7, sampled: true }));
+                assert_template_bits(&probe, &decoded);
+            }
+            (_, other) => prop_assert!(false, "wrong frame {}", other.kind()),
+        }
     }
 }
 
@@ -313,6 +399,7 @@ fn hostile_count_with_valid_crc_is_rejected_cheaply() {
             bucket_hits: 0,
             hamming_word_ops: 0,
         },
+        timing: None,
     });
     let payload_len = bytes.len() - HEADER_LEN - 4;
     let mut payload = bytes[HEADER_LEN..HEADER_LEN + payload_len].to_vec();
@@ -345,7 +432,7 @@ fn trailing_payload_bytes_are_rejected() {
 #[test]
 fn unknown_minutia_kind_is_rejected() {
     let probe = synthetic_template(9, 3);
-    let bytes = encode_frame(&Frame::StageOne { probe });
+    let bytes = encode_frame(&Frame::StageOne { probe, trace: None });
     // First minutia's kind byte: payload = dpi(8) + window(32) + count(4)
     // + pos(16) + dir(8), then the kind byte.
     let kind_at = HEADER_LEN + 8 + 32 + 4 + 16 + 8;

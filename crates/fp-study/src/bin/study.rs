@@ -18,6 +18,8 @@
 //! study check-scaling results.json # gate an ext-scaling JSON (recall/audits)
 //! study check-serve results.json   # gate the cross-process parity rung
 //! study check-load load.json       # gate the load harness (parity/ledger/tails)
+//! study load --slowlog slow.jsonl   # tail-latency exemplars (running p99)
+//! study check-dist-trace --remote-shards 2 # distributed-tracing gate
 //! study check-telemetry results.json # gate a study JSON's telemetry section
 //! study fingerprint results.json   # print/save the run-fingerprint manifest
 //! study check-fingerprint results.json [--deep] # gate fingerprint parity
@@ -46,6 +48,12 @@ struct Args {
     metrics: Option<String>,
     trace: Option<String>,
     events: Option<String>,
+    /// `load --slowlog PATH` / `check-dist-trace --slowlog PATH`: write
+    /// tail-latency exemplars as JSON Lines.
+    slowlog: Option<String>,
+    /// `serve-shard --delay-ms N`: sleep N ms at the top of each stage
+    /// handler (fault injection for the distributed-tracing gate).
+    delay_ms: Option<u64>,
     /// `check-fingerprint --deep`: stricter audit of the manifest.
     deep: bool,
 }
@@ -71,6 +79,8 @@ fn parse_args() -> Result<Args, String> {
         metrics: None,
         trace: None,
         events: None,
+        slowlog: None,
+        delay_ms: None,
         deep: false,
     };
     if matches!(
@@ -139,6 +149,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--events" => {
                 parsed.events = Some(args.next().ok_or("--events needs a path")?);
+            }
+            "--slowlog" => {
+                parsed.slowlog = Some(args.next().ok_or("--slowlog needs a path")?);
+            }
+            "--delay-ms" => {
+                let v = args.next().ok_or("--delay-ms needs a value")?;
+                parsed.delay_ms = Some(v.parse().map_err(|_| format!("bad --delay-ms: {v}"))?);
             }
             "--deep" => parsed.deep = true,
             other => return Err(format!("unknown flag: {other}")),
@@ -933,6 +950,14 @@ fn run(args: &Args, telemetry: &Telemetry) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+        if let Some(ms) = args.delay_ms {
+            // Fault injection for the distributed-tracing gate: every
+            // stage handler sleeps this long before doing its work, so
+            // this shard shows up as the tail-latency culprit.
+            server
+                .delay_stage()
+                .store(ms, std::sync::atomic::Ordering::Relaxed);
+        }
         let local = match server.local_addr() {
             Ok(a) => a,
             Err(e) => {
@@ -1082,6 +1107,72 @@ fn run(args: &Args, telemetry: &Telemetry) -> ExitCode {
         builder = builder.remote_shards(s);
     }
 
+    if args.experiment == "check-dist-trace" {
+        // The distributed-tracing gate: spawns a serve-shard topology with
+        // one artificially slow shard, runs the same probes untraced and
+        // traced, and asserts parity + a single connected trace tree +
+        // culprit-naming slow-log exemplars. It exports its own MERGED
+        // multi-process trace (main never records here), so `--trace` /
+        // `--slowlog` are written in this branch rather than at exit.
+        if args.subjects.is_none() {
+            builder = builder.subjects(16);
+        }
+        if args.remote_shards.is_none() {
+            builder = builder.remote_shards(2);
+        }
+        let config = builder.build();
+        let outcome =
+            fp_study::experiments::dist_trace::run_check(&config, args.delay_ms.unwrap_or(25));
+        println!("{}", outcome.report.render());
+        if let Some(path) = &args.trace {
+            match std::fs::write(
+                path,
+                serde_json::to_string(&outcome.merged.to_chrome_trace()).expect("serializable"),
+            ) {
+                Ok(()) => eprintln!(
+                    "wrote {path} ({} spans across {} process lanes; open in \
+                     chrome://tracing or ui.perfetto.dev)",
+                    outcome.merged.spans.len(),
+                    {
+                        let mut pids: Vec<u64> =
+                            outcome.merged.spans.iter().map(|s| s.pid).collect();
+                        pids.sort_unstable();
+                        pids.dedup();
+                        pids.len()
+                    }
+                ),
+                Err(e) => {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Some(path) = &args.slowlog {
+            let entries = outcome.slowlog_jsonl.lines().count();
+            match std::fs::write(path, &outcome.slowlog_jsonl) {
+                Ok(()) => eprintln!("wrote {path} ({entries} slow-query exemplars)"),
+                Err(e) => {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Some(path) = &args.json {
+            let payload = serde_json::json!({
+                "config": config,
+                "reports": [outcome.report.clone()],
+            });
+            if let Err(code) = write_json(telemetry, path, &payload) {
+                return code;
+            }
+        }
+        return if outcome.report.values["error"].is_null() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
     if args.experiment == "load" {
         // The concurrent-serving load harness spawns its own serve-shard
         // children and builds its own synthetic gallery; no dataset/score
@@ -1095,8 +1186,25 @@ fn run(args: &Args, telemetry: &Telemetry) -> ExitCode {
                 ("seed", config.seed.to_string()),
             ],
         );
-        let report = fp_study::experiments::ext_load::run_with(&config, telemetry);
+        // `--slowlog PATH` arms the tail-latency exemplar log (threshold:
+        // the running p99) and writes whatever it caught as JSON Lines.
+        let slowlog = args
+            .slowlog
+            .as_ref()
+            .map(|_| std::sync::Arc::new(fp_serve::SlowLog::running_p99(telemetry)));
+        let report =
+            fp_study::experiments::ext_load::run_with_slowlog(&config, telemetry, slowlog.clone());
         println!("{}", report.render());
+        if let (Some(path), Some(slowlog)) = (&args.slowlog, &slowlog) {
+            let entries = slowlog.entries().len();
+            match std::fs::write(path, slowlog.to_jsonl()) {
+                Ok(()) => eprintln!("wrote {path} ({entries} slow-query exemplars)"),
+                Err(e) => {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         let failed = !report.values["error"].is_null();
         let snapshot = telemetry.snapshot();
         if let Some(path) = &args.json {
@@ -1265,31 +1373,38 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: study <all|devices|metrics|verify|render|serve-shard|load|check-scaling|\
-                 check-telemetry|check-serve|check-load|fingerprint|check-fingerprint|{}> \
+                 check-telemetry|check-serve|check-load|check-dist-trace|fingerprint|\
+                 check-fingerprint|{}> \
                  [--subjects N] [--seed S] [--shards S] [--remote-shards N] [--port P] \
                  [--json PATH] [--metrics PATH] [--trace PATH] [--events PATH] [--out PATH] \
-                 [--deep]",
+                 [--slowlog PATH] [--delay-ms N] [--deep]",
                 experiments::ALL_IDS.join("|")
             );
             return ExitCode::FAILURE;
         }
     };
+    // check-dist-trace records into its own per-pass registries and writes
+    // the MERGED multi-process trace itself; main's telemetry must stay
+    // quiet or the exit-time export below would clobber the merged trace
+    // with an (empty) local one.
+    let own_artifacts = args.experiment == "check-dist-trace";
     // Informational subcommands stay allocation-free unless a flight
     // recorder export was requested; experiment runs always record.
-    let inert = matches!(
-        args.experiment.as_str(),
-        "devices"
-            | "metrics"
-            | "render"
-            | "check-scaling"
-            | "check-telemetry"
-            | "check-serve"
-            | "check-load"
-            | "check-fingerprint"
-            | "fingerprint"
-            | "serve-shard"
-    ) && args.trace.is_none()
-        && args.events.is_none();
+    let inert = own_artifacts
+        || matches!(
+            args.experiment.as_str(),
+            "devices"
+                | "metrics"
+                | "render"
+                | "check-scaling"
+                | "check-telemetry"
+                | "check-serve"
+                | "check-load"
+                | "check-fingerprint"
+                | "fingerprint"
+                | "serve-shard"
+        ) && args.trace.is_none()
+            && args.events.is_none();
     let telemetry = if inert {
         Telemetry::disabled()
     } else {
@@ -1300,7 +1415,8 @@ fn main() -> ExitCode {
 
     // Export the flight recorder even when the run failed: a trace of a
     // failing run is exactly what you want on the desk.
-    let trace = (args.trace.is_some() || args.events.is_some()).then(|| telemetry.trace_snapshot());
+    let trace = (!own_artifacts && (args.trace.is_some() || args.events.is_some()))
+        .then(|| telemetry.trace_snapshot());
     if let Some(trace) = &trace {
         if trace.dropped_spans > 0 || trace.dropped_events > 0 {
             telemetry.event_with(

@@ -29,7 +29,7 @@
 //!
 //! `study check-load` gates the emitted JSON on all four.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use fp_core::rng::SeedTree;
@@ -38,8 +38,8 @@ use fp_index::{CandidateIndex, IndexConfig, SearchResult};
 use fp_match::PairTableMatcher;
 use fp_serve::proc::spawn_shard;
 use fp_serve::wire::Frame;
-use fp_serve::{Coordinator, MuxConn, RetryPolicy};
-use fp_telemetry::Telemetry;
+use fp_serve::{Coordinator, MuxConn, RetryPolicy, SlowLog};
+use fp_telemetry::{Level, Telemetry};
 use serde_json::json;
 
 use crate::config::StudyConfig;
@@ -98,9 +98,24 @@ pub fn run(config: &StudyConfig) -> Report {
 /// ledger are pure functions of the seed; latency and throughput vary with
 /// the machine.
 pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
-    let (data, error) = match load_rung(config, telemetry) {
+    run_with_slowlog(config, telemetry, None)
+}
+
+/// [`run_with`] plus an optional tail-latency exemplar log: every search
+/// of the harness (concurrent pass and ladder rungs alike) is offered to
+/// `slowlog`, and the caller reads the retained exemplars afterwards
+/// (`study load --slowlog PATH` writes them as JSONL).
+pub fn run_with_slowlog(
+    config: &StudyConfig,
+    telemetry: &Telemetry,
+    slowlog: Option<Arc<SlowLog>>,
+) -> Report {
+    let (data, error) = match load_rung(config, telemetry, slowlog) {
         Ok(data) => (Some(data), None),
-        Err(e) => (None, Some(e)),
+        Err(e) => {
+            telemetry.event_with(Level::Error, "load rung failed", &[("error", e.clone())]);
+            (None, Some(e))
+        }
     };
 
     let mut body = String::new();
@@ -235,7 +250,11 @@ pub fn run_with(config: &StudyConfig, telemetry: &Telemetry) -> Report {
 }
 
 /// Spawns the topology, runs all four load phases, tears everything down.
-fn load_rung(config: &StudyConfig, telemetry: &Telemetry) -> Result<LoadData, String> {
+fn load_rung(
+    config: &StudyConfig,
+    telemetry: &Telemetry,
+    slowlog: Option<Arc<SlowLog>>,
+) -> Result<LoadData, String> {
     let seeds = SeedTree::new(config.seed).child(&[0xEA]);
     let gallery = config.subjects;
     let shards = if config.remote_shards >= 1 {
@@ -300,7 +319,19 @@ fn load_rung(config: &StudyConfig, telemetry: &Telemetry) -> Result<LoadData, St
     .map_err(|e| e.to_string())?
     .with_telemetry(telemetry)
     .with_run_seed(config.seed);
+    if let Some(slowlog) = slowlog {
+        remote = remote.with_slowlog(slowlog);
+    }
     remote.enroll_all(&pool).map_err(|e| e.to_string())?;
+    telemetry.event_with(
+        Level::Info,
+        "load topology up",
+        &[
+            ("gallery", gallery.to_string()),
+            ("shards", shards.to_string()),
+            ("probes", n.to_string()),
+        ],
+    );
 
     // Phase 1: concurrent correctness. PARITY_THREADS threads share the
     // one coordinator; probe i goes to thread i % PARITY_THREADS. Results
@@ -342,6 +373,19 @@ fn load_rung(config: &StudyConfig, telemetry: &Telemetry) -> Result<LoadData, St
     remote
         .verify_fingerprints()
         .map_err(|e| format!("fingerprint verification after concurrent pass: {e}"))?;
+    telemetry.event_with(
+        if parity_agreed == n {
+            Level::Info
+        } else {
+            Level::Error
+        },
+        "concurrent pass complete",
+        &[
+            ("parity_agreed", parity_agreed.to_string()),
+            ("parity_checked", n.to_string()),
+            ("runfp", runfp_remote.clone()),
+        ],
+    );
 
     // Phase 2: deterministic pipeline-depth proof on a raw connection to
     // shard 0. Eight requests go on the wire before any response is
@@ -351,6 +395,7 @@ fn load_rung(config: &StudyConfig, telemetry: &Telemetry) -> Result<LoadData, St
     let conn = MuxConn::new(addrs[0], deadline);
     let request = Frame::StageOne {
         probe: probes[0].clone(),
+        trace: None,
     };
     let tickets: Vec<_> = (0..PIPELINE_DEPTH)
         .map(|_| conn.begin(&request).map(|(t, _)| t))
@@ -370,6 +415,18 @@ fn load_rung(config: &StudyConfig, telemetry: &Telemetry) -> Result<LoadData, St
         .map_err(|e| format!("pipeline sequential reference: {e}"))?;
     let pipeline_parity = pipelined.iter().all(|f| *f == reference);
     drop(conn);
+    telemetry.event_with(
+        if pipeline_parity {
+            Level::Info
+        } else {
+            Level::Error
+        },
+        "pipeline probe complete",
+        &[
+            ("peak_in_flight", pipeline_peak.to_string()),
+            ("target", PIPELINE_DEPTH.to_string()),
+        ],
+    );
 
     // Phase 3: the latency ladder. Each rung replays every probe across
     // `clients` threads; per-search wall time lands in a histogram whose
@@ -412,6 +469,15 @@ fn load_rung(config: &StudyConfig, telemetry: &Telemetry) -> Result<LoadData, St
         .map_err(|e| format!("ladder rung ({clients} clients): {e}"))?;
         let wall_seconds = wall.elapsed().as_secs_f64();
         let snap = hist.snapshot();
+        telemetry.event_with(
+            Level::Info,
+            "ladder rung complete",
+            &[
+                ("clients", clients.to_string()),
+                ("p50_ns", snap.p50.to_string()),
+                ("p99_ns", snap.p99.to_string()),
+            ],
+        );
         rungs.push(LoadRung {
             clients,
             searches: n,
@@ -465,6 +531,15 @@ fn load_rung(config: &StudyConfig, telemetry: &Telemetry) -> Result<LoadData, St
         accepted += a;
         overloaded += v;
     }
+    telemetry.event_with(
+        Level::Info,
+        "admission ledger scraped",
+        &[
+            ("offered", offered.to_string()),
+            ("accepted", accepted.to_string()),
+            ("overloaded", overloaded.to_string()),
+        ],
+    );
 
     // Clean wire-level shutdown, then reap; ShardChild kills stragglers.
     let _ = remote.shutdown_all();

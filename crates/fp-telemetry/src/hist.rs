@@ -82,6 +82,7 @@ impl HistogramCore {
 
     pub(crate) fn snapshot(&self) -> HistogramSnapshot {
         let count = self.count.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
         let counts: Vec<u64> = self
             .buckets
             .iter()
@@ -97,29 +98,48 @@ impl HistogramCore {
             for (i, &c) in counts.iter().enumerate() {
                 seen += c;
                 if seen > rank {
-                    return bucket_mid(i);
+                    // A bucket midpoint can overshoot the true maximum;
+                    // the exact max is always a tighter bound.
+                    return bucket_mid(i).min(max);
                 }
             }
-            bucket_mid(BUCKETS - 1)
+            max
+        };
+        // Tail percentiles need population: with fewer than 4 samples the
+        // rank rounding collapses p99/p999 onto low ranks and the tail
+        // under-reports (a single slow call would vanish from p99). The
+        // exact max is the honest tail estimate until there is enough data.
+        let tail = |q: f64| -> u64 {
+            if count > 0 && count < 4 {
+                max
+            } else {
+                percentile(q)
+            }
         };
         let min = self.min.load(Ordering::Relaxed);
         HistogramSnapshot {
             count,
             sum: self.sum.load(Ordering::Relaxed),
             min: if count == 0 { 0 } else { min },
-            max: self.max.load(Ordering::Relaxed),
+            max,
             p50: percentile(0.50),
             p95: percentile(0.95),
-            p99: percentile(0.99),
-            p999: percentile(0.999),
+            p99: tail(0.99),
+            p999: tail(0.999),
         }
     }
 }
 
 /// Aggregated view of one histogram. For duration histograms every figure
 /// is in nanoseconds; for value histograms they are plain magnitudes.
-/// `p50`/`p95`/`p99`/`p999` are bucket midpoints (≤ ~10% relative error);
-/// `min`, `max` and `sum` are exact.
+/// `p50`/`p95`/`p99`/`p999` are bucket midpoints clamped to the exact
+/// maximum (≤ ~10% relative error); `min`, `max` and `sum` are exact.
+///
+/// Near-empty semantics: with fewer than 4 recorded values the tail
+/// percentiles `p99`/`p999` report the exact `max` instead of a rank
+/// estimate — rank rounding over 1–3 samples lands on low ranks, which
+/// would hide the only slow observation the histogram holds. An empty
+/// histogram is all zeros.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct HistogramSnapshot {
     /// Number of recorded values.
@@ -301,6 +321,34 @@ mod tests {
         }
         let s = core.snapshot();
         assert_eq!(s.p50, 2);
+    }
+
+    #[test]
+    fn near_empty_tail_percentiles_report_the_max() {
+        // One slow call must not vanish from the tail.
+        let core = HistogramCore::default();
+        core.record(1_000_000);
+        let s = core.snapshot();
+        assert_eq!(s.p99, 1_000_000);
+        assert_eq!(s.p999, 1_000_000);
+        core.record(3);
+        core.record(5);
+        let s = core.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.p99, 1_000_000);
+        assert_eq!(s.p999, 1_000_000);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.p999);
+    }
+
+    #[test]
+    fn percentiles_never_exceed_the_exact_max() {
+        let core = HistogramCore::default();
+        for _ in 0..100 {
+            core.record(1000); // bucket midpoint overshoots 1000
+        }
+        let s = core.snapshot();
+        assert!(s.p50 <= s.max, "p50 = {} > max = {}", s.p50, s.max);
+        assert!(s.p999 <= s.max, "p999 = {} > max = {}", s.p999, s.max);
     }
 
     #[test]

@@ -65,11 +65,11 @@ pub use runfp::{
     FingerprintChain, FingerprintSnapshot, Fingerprinted, RunFingerprint, RUNFP_VERSION,
 };
 pub use snapshot::{render_summary, MetricsSnapshot, TraceHealth};
-pub use span::Span;
+pub use span::{DetachedSpan, Span};
 pub use stage::{StageRecorder, StageStats, ThreadStats, WorkerStats};
 pub use trace::{
     CtxGuard, SelfTime, SpanRecord, TraceCtx, TraceSnapshot, DEFAULT_EVENT_CAPACITY,
-    DEFAULT_SPAN_CAPACITY,
+    DEFAULT_SPAN_CAPACITY, LOCAL_PID, REMOTE_PARENT_ATTR,
 };
 
 use hist::HistogramCore;

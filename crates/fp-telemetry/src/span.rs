@@ -23,7 +23,7 @@ use std::marker::PhantomData;
 use std::sync::Arc;
 
 use crate::hist::HistogramCore;
-use crate::trace::{thread_lane, SpanRecord};
+use crate::trace::{thread_lane, SpanRecord, LOCAL_PID};
 use crate::Telemetry;
 
 /// One live span on this thread's stack.
@@ -154,6 +154,101 @@ impl Telemetry {
     }
 }
 
+impl Telemetry {
+    /// Opens a *detached* span: a span whose begin and end happen at
+    /// different call sites — a pipelined RPC issued now and awaited later,
+    /// a server job queued on one thread and dispatched on another.
+    ///
+    /// Unlike [`Telemetry::span`] it never joins the thread-local span
+    /// stack or any histogram path, so it is `Send` and does not reparent
+    /// spans opened while it is live; parent spans under it explicitly via
+    /// [`crate::TraceCtx::adopted`] with its [`DetachedSpan::id`]. The
+    /// parent defaults to the innermost live span on the calling thread at
+    /// open time; the start defaults to now. Both can be overridden before
+    /// finishing, which is how retroactive spans (queue wait measured at
+    /// dispatch) are recorded. Inert when disabled.
+    pub fn detached_span(&self, name: &str, attrs: &[(&str, String)]) -> DetachedSpan {
+        let Some(inner) = &self.inner else {
+            return DetachedSpan { part: None };
+        };
+        DetachedSpan {
+            part: Some(TracePart {
+                telemetry: self.clone(),
+                id: inner.trace.next_span_id(),
+                parent: current_parent(),
+                name: name.to_string(),
+                attrs: attrs
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+                start_ns: inner.trace.now_ns(),
+            }),
+        }
+    }
+}
+
+/// Guard returned by [`Telemetry::detached_span`]; records on drop (or
+/// [`DetachedSpan::finish`]), on whatever thread that happens.
+#[derive(Debug)]
+pub struct DetachedSpan {
+    part: Option<TracePart>,
+}
+
+impl DetachedSpan {
+    /// The span's trace id (`None` when telemetry is disabled) — what a
+    /// wire protocol propagates so remote spans can nest under this one.
+    pub fn id(&self) -> Option<u64> {
+        self.part.as_ref().map(|p| p.id)
+    }
+
+    /// Overrides the parent captured at open time.
+    pub fn set_parent(&mut self, parent: Option<u64>) {
+        if let Some(part) = &mut self.part {
+            part.parent = parent;
+        }
+    }
+
+    /// Back-dates the span to `start_ns` (nanoseconds on the handle's
+    /// trace clock, see [`Telemetry::trace_now_ns`]).
+    pub fn set_start_ns(&mut self, start_ns: u64) {
+        if let Some(part) = &mut self.part {
+            part.start_ns = start_ns;
+        }
+    }
+
+    /// Attaches an attribute discovered after the span was opened.
+    pub fn add_attr(&mut self, key: &str, value: String) {
+        if let Some(part) = &mut self.part {
+            part.attrs.push((key.to_string(), value));
+        }
+    }
+
+    /// Ends the span now and records it. Equivalent to dropping, spelled
+    /// out at call sites where the end is the point.
+    pub fn finish(self) {}
+}
+
+impl Drop for DetachedSpan {
+    fn drop(&mut self) {
+        let Some(part) = self.part.take() else {
+            return;
+        };
+        if let Some(inner) = &part.telemetry.inner {
+            let dur_ns = inner.trace.now_ns().saturating_sub(part.start_ns);
+            inner.trace.push_span(SpanRecord {
+                id: part.id,
+                parent: part.parent,
+                name: part.name,
+                pid: LOCAL_PID,
+                thread: thread_lane(),
+                start_ns: part.start_ns,
+                dur_ns,
+                attrs: part.attrs,
+            });
+        }
+    }
+}
+
 /// Trace bookkeeping carried by a live [`Span`].
 #[derive(Debug)]
 struct TracePart {
@@ -191,6 +286,7 @@ impl Drop for Span {
                 id: part.id,
                 parent: part.parent,
                 name: part.name,
+                pid: LOCAL_PID,
                 thread: thread_lane(),
                 start_ns: part.start_ns,
                 dur_ns,
@@ -299,6 +395,54 @@ mod tests {
         let work = trace.spans.iter().find(|x| x.name == "work").unwrap();
         assert_eq!(lane.parent, Some(outer.id));
         assert_eq!(work.parent, Some(lane.id));
+    }
+
+    #[test]
+    fn detached_spans_finish_on_another_thread_and_back_date() {
+        let t = Telemetry::enabled();
+        let ids = {
+            let _stage = t.span("stage");
+            let mut rpc = t.detached_span("rpc", &[("kind", "stage1".to_string())]);
+            rpc.add_attr("shard", "0".to_string());
+            let rpc_id = rpc.id().unwrap();
+            let handle = std::thread::spawn(move || rpc.finish());
+            handle.join().unwrap();
+            // A retroactive child: opened after the fact, back-dated.
+            let mut wait = t.detached_span("queue_wait", &[]);
+            wait.set_parent(Some(rpc_id));
+            wait.set_start_ns(0);
+            let wait_id = wait.id().unwrap();
+            wait.finish();
+            (rpc_id, wait_id)
+        };
+        let trace = t.trace_snapshot();
+        let stage = trace.spans.iter().find(|s| s.name == "stage").unwrap();
+        let rpc = trace.spans.iter().find(|s| s.name == "rpc").unwrap();
+        let wait = trace.spans.iter().find(|s| s.name == "queue_wait").unwrap();
+        assert_eq!(rpc.id, ids.0);
+        assert_eq!(rpc.parent, Some(stage.id));
+        assert_eq!(
+            rpc.attrs,
+            vec![
+                ("kind".to_string(), "stage1".to_string()),
+                ("shard".to_string(), "0".to_string())
+            ]
+        );
+        assert_eq!(wait.id, ids.1);
+        assert_eq!(wait.parent, Some(rpc.id));
+        assert_eq!(wait.start_ns, 0);
+        assert_eq!(trace.validate_tree().unwrap(), 1);
+    }
+
+    #[test]
+    fn disabled_detached_span_is_inert() {
+        let t = Telemetry::disabled();
+        let mut span = t.detached_span("ghost", &[]);
+        assert_eq!(span.id(), None);
+        span.set_start_ns(5);
+        span.add_attr("k", "v".to_string());
+        span.finish();
+        assert!(t.trace_snapshot().spans.is_empty());
     }
 
     #[test]

@@ -49,6 +49,9 @@ use crate::Telemetry;
 pub const DEFAULT_SPAN_CAPACITY: usize = 16 * 1024;
 /// Default capacity of the event buffer.
 pub const DEFAULT_EVENT_CAPACITY: usize = 8 * 1024;
+/// Process lane of spans recorded by this process. Remote spans merged via
+/// [`TraceSnapshot::merge_remote`] get `shard + 1 + LOCAL_PID`.
+pub const LOCAL_PID: u64 = 1;
 
 /// Stable small integer identifying the current OS thread's trace lane.
 pub(crate) fn thread_lane() -> u64 {
@@ -68,6 +71,11 @@ pub struct SpanRecord {
     pub parent: Option<u64>,
     /// Span name (no dotted path — the tree carries the structure).
     pub name: String,
+    /// Process lane: [`LOCAL_PID`] for spans recorded by this process;
+    /// spans merged from a remote shard k carry `k + 1 +` [`LOCAL_PID`]
+    /// (see [`TraceSnapshot::merge_remote`]). Chrome exports use it as the
+    /// `pid`, giving each shard process its own lane group.
+    pub pid: u64,
     /// Trace lane of the thread that ran the span.
     pub thread: u64,
     /// Start, in nanoseconds since the telemetry handle was created.
@@ -225,6 +233,28 @@ pub struct TraceCtx {
     pub(crate) live: bool,
 }
 
+impl TraceCtx {
+    /// A context that adopts an explicit span id — the seam the shard
+    /// server uses to nest its worker-side spans under the span it opened
+    /// for a request (whose id only exists at dispatch time, not on any
+    /// thread's stack).
+    pub fn adopted(span_id: u64) -> TraceCtx {
+        TraceCtx {
+            parent: Some(span_id),
+            live: true,
+        }
+    }
+
+    /// The captured span id, if the context is live and has one.
+    pub fn span_id(&self) -> Option<u64> {
+        if self.live {
+            self.parent
+        } else {
+            None
+        }
+    }
+}
+
 /// Guard returned by [`Telemetry::in_ctx`]; restores the thread's previous
 /// adopted parent on drop. `!Send` — it manages this thread's state.
 #[derive(Debug)]
@@ -280,6 +310,17 @@ impl Telemetry {
             .map(|inner| inner.trace.snapshot())
             .unwrap_or_default()
     }
+
+    /// Nanoseconds since this handle's trace epoch (0 when disabled) — the
+    /// clock every [`SpanRecord`] timestamp is measured on. Exposed so
+    /// cross-process protocols can exchange clock readings and estimate the
+    /// offset between two handles' epochs.
+    pub fn trace_now_ns(&self) -> u64 {
+        self.inner
+            .as_deref()
+            .map(|inner| inner.trace.now_ns())
+            .unwrap_or(0)
+    }
 }
 
 /// Everything the flight recorder retained: spans sorted by
@@ -308,7 +349,69 @@ pub struct SelfTime {
     pub self_ns: u64,
 }
 
+/// Attribute naming the coordinator span id a remote span should parent
+/// under once merged (set by the shard server from the wire trace context,
+/// consumed by [`TraceSnapshot::merge_remote`]). The value is the decimal
+/// span id.
+pub const REMOTE_PARENT_ATTR: &str = "remote_parent";
+
+/// Id stride separating each merged remote process's span ids from local
+/// ones (and from each other). Local handles allocate ids from 0, so a
+/// collision would need a single process to record 2^40 spans.
+const REMOTE_ID_STRIDE: u64 = 1 << 40;
+
 impl TraceSnapshot {
+    /// Stitches spans drained from remote shard `shard` into this snapshot
+    /// as process lane `shard + 1 + `[`LOCAL_PID`].
+    ///
+    /// Three rewrites make the merged tree connected and time-aligned:
+    ///
+    /// * **ids** shift by a per-shard stride so they cannot collide with
+    ///   local ids (intra-shard parent links shift with them);
+    /// * **cross-process parents**: a remote span carrying
+    ///   [`REMOTE_PARENT_ATTR`] re-parents under that *local* span id — the
+    ///   coordinator rpc span that issued the request — turning two
+    ///   process-local trees into one;
+    /// * **timestamps** shift by `clock_offset_ns`, the estimate of
+    ///   (remote epoch clock − local epoch clock), so remote spans land on
+    ///   the local timeline. The estimate is the caller's (midpoint of the
+    ///   drain's send/receive times); record it as a span attribute on the
+    ///   collecting span so skew stays visible rather than hidden.
+    ///
+    /// Returns the number of spans merged. Remote drop counts accumulate
+    /// into `dropped_spans` so `validate_tree` stays truncation-aware.
+    pub fn merge_remote(
+        &mut self,
+        shard: usize,
+        spans: Vec<SpanRecord>,
+        clock_offset_ns: i64,
+        remote_dropped: u64,
+    ) -> usize {
+        let base = (shard as u64 + 1).saturating_mul(REMOTE_ID_STRIDE);
+        let merged = spans.len();
+        for mut s in spans {
+            let remote_parent = s
+                .attrs
+                .iter()
+                .find(|(k, _)| k == REMOTE_PARENT_ATTR)
+                .and_then(|(_, v)| v.parse::<u64>().ok());
+            s.parent = match remote_parent {
+                Some(local_id) => Some(local_id),
+                None => s.parent.map(|p| base + p),
+            };
+            s.id += base;
+            s.pid = shard as u64 + 1 + LOCAL_PID;
+            s.start_ns =
+                (s.start_ns as i128 - clock_offset_ns as i128).clamp(0, u64::MAX as i128) as u64;
+            self.spans.push(s);
+        }
+        self.dropped_spans += remote_dropped;
+        self.spans.sort_by(|a, b| {
+            (a.pid, a.thread, a.start_ns, a.id).cmp(&(b.pid, b.thread, b.start_ns, b.id))
+        });
+        merged
+    }
+
     /// Self-time vs child-time attribution, aggregated by span name.
     ///
     /// A span's self time is its duration minus the durations of its
@@ -383,20 +486,43 @@ impl TraceSnapshot {
     /// `traceEvents` array) — loadable in `chrome://tracing` and Perfetto.
     ///
     /// Spans become complete (`"ph": "X"`) events with microsecond
-    /// timestamps, sorted by (tid, ts) so per-thread timestamps are
+    /// timestamps, sorted by (pid, tid, ts) so per-thread timestamps are
     /// monotonically non-decreasing; log events become instant (`"ph": "i"`)
-    /// events; a metadata record names each thread lane.
+    /// events. Each span's `pid` is its process lane — [`LOCAL_PID`] for
+    /// this process, one lane per merged shard — and metadata records name
+    /// every process and thread lane, so a merged multi-process run renders
+    /// as one lane group per shard in Perfetto.
     pub fn to_chrome_trace(&self) -> serde_json::Value {
         let mut events: Vec<serde_json::Value> = Vec::new();
-        let mut lanes: Vec<u64> = self.spans.iter().map(|s| s.thread).collect();
-        lanes.extend(self.events.iter().map(|e| e.thread));
+        let mut pids: Vec<u64> = self.spans.iter().map(|s| s.pid).collect();
+        if !self.events.is_empty() {
+            pids.push(LOCAL_PID); // events are always local
+        }
+        pids.sort_unstable();
+        pids.dedup();
+        for pid in &pids {
+            let name = if *pid == LOCAL_PID {
+                "coordinator".to_string()
+            } else {
+                format!("shard-{}", pid - LOCAL_PID - 1)
+            };
+            events.push(serde_json::json!({
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }));
+        }
+        let mut lanes: Vec<(u64, u64)> = self.spans.iter().map(|s| (s.pid, s.thread)).collect();
+        lanes.extend(self.events.iter().map(|e| (LOCAL_PID, e.thread)));
         lanes.sort_unstable();
         lanes.dedup();
-        for lane in &lanes {
+        for (pid, lane) in &lanes {
             events.push(serde_json::json!({
                 "ph": "M",
                 "name": "thread_name",
-                "pid": 1,
+                "pid": pid,
                 "tid": lane,
                 "args": {"name": format!("lane-{lane}")},
             }));
@@ -418,7 +544,7 @@ impl TraceSnapshot {
                 "ph": "X",
                 "name": s.name,
                 "cat": "span",
-                "pid": 1,
+                "pid": s.pid,
                 "tid": s.thread,
                 "ts": s.start_ns as f64 / 1e3,
                 "dur": s.dur_ns as f64 / 1e3,
@@ -436,7 +562,7 @@ impl TraceSnapshot {
                 "name": e.message,
                 "cat": "event",
                 "s": "t",
-                "pid": 1,
+                "pid": LOCAL_PID,
                 "tid": e.thread,
                 "ts": e.ts_ns as f64 / 1e3,
                 "args": serde_json::Value::Object(args),
@@ -618,11 +744,170 @@ mod tests {
                     assert!(e["dur"].as_f64().expect("dur") >= 0.0);
                 }
                 "i" => assert_eq!(e["args"]["level"], "info"),
-                "M" => assert_eq!(e["name"], "thread_name"),
+                "M" => assert!(
+                    e["name"] == "thread_name" || e["name"] == "process_name",
+                    "unexpected metadata record {}",
+                    e["name"]
+                ),
                 other => panic!("unexpected phase {other}"),
             }
         }
         assert_eq!(complete, 4);
+    }
+
+    fn remote_span(
+        id: u64,
+        parent: Option<u64>,
+        name: &str,
+        start_ns: u64,
+        attrs: Vec<(String, String)>,
+    ) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            pid: LOCAL_PID,
+            thread: 0,
+            start_ns,
+            dur_ns: 10,
+            attrs,
+        }
+    }
+
+    #[test]
+    fn merge_remote_stitches_one_connected_tree_across_processes() {
+        let t = Telemetry::enabled();
+        let rpc_id;
+        {
+            let _search = t.span("index.search");
+            let rpc = t.detached_span("serve.rpc", &[]);
+            rpc_id = rpc.id().unwrap();
+            rpc.finish();
+        }
+        let mut merged = t.trace_snapshot();
+        // The shard recorded a request span pointing back at the rpc span,
+        // with its own child underneath.
+        let shard_spans = vec![
+            remote_span(
+                5,
+                None,
+                "server.request",
+                100,
+                vec![(REMOTE_PARENT_ATTR.to_string(), rpc_id.to_string())],
+            ),
+            remote_span(6, Some(5), "server.queue_wait", 100, Vec::new()),
+        ];
+        assert_eq!(merged.merge_remote(0, shard_spans, 0, 2), 2);
+        assert_eq!(merged.spans.len(), 4);
+        assert_eq!(merged.dropped_spans, 2);
+        let request = merged
+            .spans
+            .iter()
+            .find(|s| s.name == "server.request")
+            .unwrap();
+        let wait = merged
+            .spans
+            .iter()
+            .find(|s| s.name == "server.queue_wait")
+            .unwrap();
+        // Cross-process link: the request re-parents under the local rpc
+        // span; the intra-shard link shifts with the id stride.
+        assert_eq!(request.parent, Some(rpc_id));
+        assert_eq!(wait.parent, Some(request.id));
+        assert_eq!(request.pid, LOCAL_PID + 1);
+        // One connected tree, rooted at index.search.
+        assert_eq!(merged.validate_tree().unwrap(), 1);
+    }
+
+    #[test]
+    fn merge_remote_shifts_timestamps_by_the_clock_offset() {
+        let mut snap = TraceSnapshot::default();
+        snap.merge_remote(
+            1,
+            vec![remote_span(0, None, "late", 1_000, Vec::new())],
+            400,
+            0,
+        );
+        assert_eq!(snap.spans[0].start_ns, 600);
+        assert_eq!(snap.spans[0].pid, LOCAL_PID + 2);
+        // A negative offset (remote clock behind) shifts forward; clamps at 0.
+        let mut snap = TraceSnapshot::default();
+        snap.merge_remote(
+            0,
+            vec![remote_span(0, None, "early", 100, Vec::new())],
+            -50,
+            0,
+        );
+        assert_eq!(snap.spans[0].start_ns, 150);
+        let mut snap = TraceSnapshot::default();
+        snap.merge_remote(
+            0,
+            vec![remote_span(0, None, "clamped", 100, Vec::new())],
+            500,
+            0,
+        );
+        assert_eq!(snap.spans[0].start_ns, 0);
+    }
+
+    #[test]
+    fn merged_chrome_trace_has_one_process_lane_per_shard() {
+        let t = Telemetry::enabled();
+        {
+            let _root = t.span("root");
+        }
+        let mut merged = t.trace_snapshot();
+        for shard in 0..2usize {
+            merged.merge_remote(
+                shard,
+                vec![remote_span(0, None, "server.request", 0, Vec::new())],
+                0,
+                0,
+            );
+        }
+        let json = merged.to_chrome_trace();
+        let events = json["traceEvents"].as_array().unwrap();
+        let mut process_names: Vec<(u64, String)> = events
+            .iter()
+            .filter(|e| e["ph"] == "M" && e["name"] == "process_name")
+            .map(|e| {
+                (
+                    e["pid"].as_u64().unwrap(),
+                    e["args"]["name"].as_str().unwrap().to_string(),
+                )
+            })
+            .collect();
+        process_names.sort();
+        assert_eq!(
+            process_names,
+            vec![
+                (LOCAL_PID, "coordinator".to_string()),
+                (LOCAL_PID + 1, "shard-0".to_string()),
+                (LOCAL_PID + 2, "shard-1".to_string()),
+            ]
+        );
+        let span_pids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter(|e| e["ph"] == "X")
+            .map(|e| e["pid"].as_u64().unwrap())
+            .collect();
+        assert_eq!(span_pids.len(), 3);
+    }
+
+    #[test]
+    fn adopted_ctx_parents_spans_under_an_explicit_id() {
+        let t = Telemetry::enabled();
+        let req = t.detached_span("server.request", &[]);
+        let req_id = req.id().unwrap();
+        {
+            let _adopt = t.in_ctx(&TraceCtx::adopted(req_id));
+            let _work = t.span("work");
+        }
+        req.finish();
+        let trace = t.trace_snapshot();
+        let work = trace.spans.iter().find(|s| s.name == "work").unwrap();
+        assert_eq!(work.parent, Some(req_id));
+        assert_eq!(TraceCtx::adopted(7).span_id(), Some(7));
+        assert_eq!(TraceCtx::default().span_id(), None);
     }
 
     #[test]

@@ -53,6 +53,18 @@ run cargo run -q --release --offline -p fp-study --bin study -- \
 run cargo run -q --release --offline -p fp-bench --bin bench-diff -- \
     BENCH_baseline.json target/BENCH_load_current.json --fail-pct 300 --warn-pct 50 \
     --require load/
+# Distributed-tracing gate: a 2-shard serve-shard topology with one shard
+# deliberately delayed. `study check-dist-trace` asserts the traced run is
+# byte-identical (candidates + RUNFP) to the untraced run and an in-process
+# baseline, the merged multi-process trace is one connected tree (every
+# shard `server.request` span re-parented under the coordinator `serve.rpc`
+# that issued it, one Chrome lane per process), and every slow-log exemplar
+# names the delayed shard with server-reported work covering the injected
+# delay. The merged trace and the exemplar log land in target/ as the same
+# artifacts CI uploads.
+run timeout 600 cargo run -q --release --offline -p fp-study --bin study -- \
+    check-dist-trace --remote-shards 2 \
+    --trace target/dist-trace.json --slowlog target/dist-slowlog.jsonl
 # Fingerprint gate: the same remote smoke run must show one RUNFP chain on
 # every rung — unsharded, in-process sharded, and the two real child
 # processes — and `--deep` insists the cross-process evidence is present.
@@ -89,4 +101,12 @@ run cargo bench -q --offline -p fp-bench --bench wire -- \
 run cargo run -q --release --offline -p fp-bench --bin bench-diff -- \
     BENCH_baseline.json target/BENCH_wire_current.json --fail-pct 50 --warn-pct 10 \
     --require wire_
+# Tracing perf gate: the per-rpc cost of carrying a wire-v4 trace context
+# and the per-drain cost of merging a shard's spans into the coordinator
+# snapshot.
+run cargo bench -q --offline -p fp-bench --bench trace -- \
+    --save "$ROOT/target/BENCH_trace_current.json"
+run cargo run -q --release --offline -p fp-bench --bin bench-diff -- \
+    BENCH_baseline.json target/BENCH_trace_current.json --fail-pct 50 --warn-pct 10 \
+    --require serve/ --require trace/
 echo "all checks passed"
