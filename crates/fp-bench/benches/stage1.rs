@@ -1,0 +1,36 @@
+//! Stage-1 cylinder-scoring kernel: the cache-blocked SoA arena kernel vs
+//! the scalar reference path, over the same enrolled gallery ladder the
+//! shard benches use. Both paths produce bitwise-identical scores (pinned
+//! by fp-index's kernel proptest suite and `study check-kernel`); these
+//! benches measure only the wall-clock effect of the arena layout and
+//! blocking — the before/after pair the README perf table quotes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fp_bench::synthetic_gallery;
+use fp_index::{CandidateIndex, IndexConfig};
+use fp_match::PairTableMatcher;
+
+fn stage1_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stage1");
+    for (gallery_size, tag, samples) in [(2_000usize, "2k", 20), (10_000, "10k", 10)] {
+        let (gallery, probe) = synthetic_gallery(gallery_size);
+        let mut index = CandidateIndex::with_config(
+            PairTableMatcher::default(),
+            IndexConfig::scaled(gallery.len()),
+        );
+        index.enroll_all(&gallery);
+        group.sample_size(samples);
+        group.bench_function(format!("blocked_{tag}"), |b| {
+            b.iter(|| black_box(index.stage1_cylinder_scores(black_box(&probe))))
+        });
+        group.bench_function(format!("scalar_{tag}"), |b| {
+            b.iter(|| black_box(index.stage1_cylinder_scores_reference(black_box(&probe))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, stage1_benches);
+criterion_main!(benches);

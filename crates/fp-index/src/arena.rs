@@ -1,0 +1,518 @@
+//! Structure-of-arrays code arena: the cache-blocked stage-1 kernel.
+//!
+//! The scalar stage-1 path scored one gallery entry at a time through a
+//! per-entry [`CylinderCodes`] box — every entry a separate heap
+//! allocation, every cylinder fetched through slice dispatch, and a fresh
+//! `Vec` of local bests allocated per entry per probe. At 10k-gallery
+//! scale the search spends its time in allocator traffic and cache misses
+//! instead of popcounts.
+//!
+//! [`CodeArena`] restructures the gallery side as one structure of arrays,
+//! packed at enroll time:
+//!
+//! * `words`  — every entry's cylinder words, entry-major then
+//!   cylinder-major, one contiguous little-endian `u64` slab;
+//! * `ones`   — the per-cylinder set-bit counts, in the same order;
+//! * `spans`  — per-entry `(word_off, ones_off, cylinders, words_per)`,
+//!   so entries extracted under different MCC widths coexist.
+//!
+//! Scoring a probe against the whole gallery walks the slab once, in
+//! blocks of entries sized to fit [`BLOCK_BYTES`] of packed words
+//! (≈ half an L1d), so the probe's own codes and the current gallery block
+//! stay cache-resident while the hardware prefetcher streams the slab.
+//! The block boundary is a pure scheduling boundary: per-entry scores are
+//! pure functions of (probe, entry), so blocking cannot change a byte of
+//! the result — the same invariant that makes sharded search exact
+//! (shard.rs).
+//!
+//! Inside a block, the common case — probe and entry packed at the same
+//! width — dispatches to a width-specialized kernel
+//! ([`best_rows_fixed`]): the XOR+popcount reduction runs over a fixed
+//! `[u64; W]` lane array, fully unrolled by the compiler. That lane loop
+//! is the single seam where `std::simd` (or a `target_feature` AVX-512
+//! `VPOPCNTQ` path) drops in later without touching any surrounding
+//! logic. Mismatched widths fall back to the same excess-word-tail
+//! semantics as [`crate::signature::hamming`].
+//!
+//! **Byte identity, argued once:** for one (probe, entry) pair both
+//! kernels visit probe cylinders in index order, reduce over gallery
+//! cylinders in index order with the identical skip rule (combined
+//! set-bit mass zero ⇒ no ops, no compare), compute the identical
+//! `1 - hamming/mass` expression (u32 adds are associative, so lane
+//! order cannot change `hamming`), clamp the identical depth, sort the
+//! identically-ordered bests with the identical comparator, and sum the
+//! identical prefix left to right. Every float op therefore executes in
+//! the same order on the same operands. `tests/kernel.rs` pins this with
+//! a proptest equivalence suite over random code sets, widths and
+//! depths; `study check-kernel` re-proves it on every CI run against the
+//! enrolled index.
+
+use crate::signature::{
+    hamming, reference_similarity, sort_bests_desc, CodeView, CylinderCodes, Stage1Scratch,
+};
+
+/// Running max of `1 - distance/mass` over one probe cylinder's row,
+/// updated with almost no float ops: alongside the f64 `best` it tracks
+/// the winning `(distance, mass)` pair, and a candidate only reaches the
+/// float path when its **exact rational** `d/m` is strictly below the
+/// incumbent's (integer cross-multiplication). That filter is lossless:
+/// `d/m >= d_b/m_b` exactly implies `fl(d/m) >= fl(d_b/m_b)` (correctly
+/// rounded division is monotone) implies `fl(1 - fl(d/m)) <= fl(1 -
+/// fl(d_b/m_b)) = best` (rounded subtraction is antitone), so the skipped
+/// candidate could never have won the original `sim > best` compare. The
+/// float compare is kept on the survivors, so the stored `best` is
+/// bit-for-bit the value the reference kernel computes. The initial
+/// sentinel `(d, m) = (1, 1)` *is* `best = 0.0` (`1 - 1/1`), making the
+/// first filter test `d < m` — exactly `sim > 0.0` for these small
+/// integers.
+#[derive(Clone, Copy)]
+struct RowBest {
+    best: f64,
+    d: u64,
+    m: u64,
+}
+
+impl RowBest {
+    #[inline(always)]
+    fn new() -> RowBest {
+        RowBest {
+            best: 0.0,
+            d: 1,
+            m: 1,
+        }
+    }
+
+    #[inline(always)]
+    fn offer(&mut self, distance: u32, mass: u32) {
+        if u64::from(distance) * self.m < self.d * u64::from(mass) {
+            let sim = 1.0 - f64::from(distance) / f64::from(mass);
+            if sim > self.best {
+                self.best = sim;
+                self.d = u64::from(distance);
+                self.m = u64::from(mass);
+            }
+        }
+    }
+}
+
+/// Packed-word budget per scoring block: 32 KiB of gallery words, so a
+/// block plus the probe's own codes (≤ `max_cylinders * words_per * 8`
+/// bytes, ~1 KiB at the defaults) fits comfortably in L1d.
+pub const BLOCK_BYTES: usize = 32 * 1024;
+
+/// Where one entry's codes live inside the arena.
+#[derive(Debug, Clone, Copy)]
+struct EntrySpan {
+    word_off: usize,
+    ones_off: usize,
+    cylinders: usize,
+    words_per: usize,
+}
+
+/// One contiguous structure-of-arrays slab of every enrolled entry's
+/// packed cylinder codes, plus the blocked stage-1 scoring kernel over it.
+#[derive(Debug, Clone, Default)]
+pub struct CodeArena {
+    words: Vec<u64>,
+    ones: Vec<u32>,
+    spans: Vec<EntrySpan>,
+}
+
+impl CodeArena {
+    /// An empty arena.
+    pub fn new() -> CodeArena {
+        CodeArena::default()
+    }
+
+    /// Number of packed entries.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no entries are packed.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Bytes of packed cylinder words (the slab the kernel streams).
+    pub fn packed_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Appends one entry's codes to the slab. Entries keep their append
+    /// order: entry `i` here is gallery entry `i` of the owning index.
+    pub fn push(&mut self, codes: &CylinderCodes) {
+        let view = codes.view();
+        self.spans.push(EntrySpan {
+            word_off: self.words.len(),
+            ones_off: self.ones.len(),
+            cylinders: view.len(),
+            words_per: view.words_per(),
+        });
+        self.words.extend_from_slice(view.words);
+        self.ones.extend_from_slice(view.ones);
+    }
+
+    /// A borrowed view of entry `i`'s codes.
+    pub fn entry(&self, i: usize) -> CodeView<'_> {
+        let span = self.spans[i];
+        CodeView {
+            words: &self.words[span.word_off..span.word_off + span.cylinders * span.words_per],
+            ones: &self.ones[span.ones_off..span.ones_off + span.cylinders],
+            words_per: span.words_per,
+        }
+    }
+
+    /// The blocked kernel: local-similarity-sort scores of `probe` against
+    /// **every** packed entry, written to `out[i]` (which must hold
+    /// exactly [`len`](Self::len) slots). Returns the packed-`u64` Hamming
+    /// word comparisons performed — the exact quantity
+    /// `index.search.hamming_ops` meters, byte-identical to summing the
+    /// scalar reference over every entry.
+    pub fn score_into(
+        &self,
+        probe: &CylinderCodes,
+        lss_depth: usize,
+        scratch: &mut Stage1Scratch,
+        out: &mut [f64],
+    ) -> u64 {
+        assert_eq!(out.len(), self.spans.len(), "out must cover every entry");
+        let pv = probe.view();
+        if pv.is_empty() {
+            out.fill(0.0);
+            return 0;
+        }
+        let mut word_ops = 0u64;
+        let mut begin = 0usize;
+        while begin < self.spans.len() {
+            // Grow the block until the next entry's words would overflow
+            // the cache budget (always at least one entry per block).
+            let mut end = begin;
+            let mut block_bytes = 0usize;
+            while end < self.spans.len() {
+                let span = &self.spans[end];
+                let entry_bytes = span.cylinders * span.words_per * std::mem::size_of::<u64>();
+                if end > begin && block_bytes + entry_bytes > BLOCK_BYTES {
+                    break;
+                }
+                block_bytes += entry_bytes;
+                end += 1;
+            }
+            for (i, slot) in out.iter_mut().enumerate().take(end).skip(begin) {
+                *slot = self.score_entry(&pv, i, lss_depth, scratch, &mut word_ops);
+            }
+            begin = end;
+        }
+        word_ops
+    }
+
+    /// The scalar reference over the same arena: entry-at-a-time
+    /// [`reference_similarity`], sharing one scratch (so reference and
+    /// blocked kernels are benchmarked on equal allocator footing).
+    /// `study check-kernel` and the proptest equivalence suite hold
+    /// [`score_into`](Self::score_into) byte-identical to this.
+    pub fn score_into_reference(
+        &self,
+        probe: &CylinderCodes,
+        lss_depth: usize,
+        scratch: &mut Stage1Scratch,
+        out: &mut [f64],
+    ) -> u64 {
+        assert_eq!(out.len(), self.spans.len(), "out must cover every entry");
+        let pv = probe.view();
+        let mut word_ops = 0u64;
+        for (i, slot) in out.iter_mut().enumerate() {
+            let (score, ops) = reference_similarity(&pv, &self.entry(i), lss_depth, scratch);
+            *slot = score;
+            word_ops += ops;
+        }
+        word_ops
+    }
+
+    /// Scores one entry: dispatch to the width-specialized lane kernel
+    /// when probe and entry share a width, otherwise the mixed-width tail
+    /// path.
+    fn score_entry(
+        &self,
+        probe: &CodeView<'_>,
+        i: usize,
+        lss_depth: usize,
+        scratch: &mut Stage1Scratch,
+        word_ops: &mut u64,
+    ) -> f64 {
+        let span = self.spans[i];
+        if span.cylinders == 0 {
+            return 0.0;
+        }
+        let gw = &self.words[span.word_off..span.word_off + span.cylinders * span.words_per];
+        let go = &self.ones[span.ones_off..span.ones_off + span.cylinders];
+        let bests = &mut scratch.bests;
+        bests.clear();
+        if span.words_per == probe.words_per && span.words_per > 0 {
+            // Width-specialized lanes for every width the default MCC
+            // grids produce (8x8x5 cells => 5 words); rare widths take the
+            // runtime-width equal path, still tail-free.
+            match span.words_per {
+                1 => best_rows_fixed::<1>(probe, gw, go, bests, word_ops),
+                2 => best_rows_fixed::<2>(probe, gw, go, bests, word_ops),
+                3 => best_rows_fixed::<3>(probe, gw, go, bests, word_ops),
+                4 => best_rows_fixed::<4>(probe, gw, go, bests, word_ops),
+                5 => best_rows_fixed::<5>(probe, gw, go, bests, word_ops),
+                6 => best_rows_fixed::<6>(probe, gw, go, bests, word_ops),
+                7 => best_rows_fixed::<7>(probe, gw, go, bests, word_ops),
+                8 => best_rows_fixed::<8>(probe, gw, go, bests, word_ops),
+                w => best_rows_equal(probe, gw, go, w, bests, word_ops),
+            }
+        } else {
+            best_rows_mixed(probe, gw, go, span.words_per, bests, word_ops);
+        }
+        let depth = probe.len().min(span.cylinders).min(lss_depth).max(1);
+        sort_bests_desc(bests);
+        bests[..depth].iter().sum::<f64>() / depth as f64
+    }
+}
+
+/// Equal-width rows with the width a compile-time constant: dispatches
+/// the unrolled lane body to a hardware-`popcnt` compilation when the CPU
+/// has the instruction (the build baseline is plain x86-64, where
+/// `count_ones()` otherwise lowers to a ~12-op bit-twiddling sequence per
+/// word — the single largest cost in the whole kernel). Population count
+/// is an exact integer op, so both compilations are bit-identical; other
+/// architectures take the portable body, where `count_ones()` already
+/// lowers well (e.g. AArch64 `CNT`).
+fn best_rows_fixed<const W: usize>(
+    probe: &CodeView<'_>,
+    gallery_words: &[u64],
+    gallery_ones: &[u32],
+    bests: &mut Vec<f64>,
+    word_ops: &mut u64,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("popcnt") {
+        // SAFETY: the `popcnt` target feature was just runtime-verified.
+        unsafe { best_rows_fixed_popcnt::<W>(probe, gallery_words, gallery_ones, bests, word_ops) }
+        return;
+    }
+    best_rows_fixed_body::<W>(probe, gallery_words, gallery_ones, bests, word_ops)
+}
+
+/// [`best_rows_fixed_body`] compiled with the `popcnt` instruction
+/// available, so every `count_ones()` in the inlined lane loop lowers to
+/// one `POPCNT`.
+///
+/// # Safety
+///
+/// Callers must have verified the CPU supports `popcnt`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+unsafe fn best_rows_fixed_popcnt<const W: usize>(
+    probe: &CodeView<'_>,
+    gallery_words: &[u64],
+    gallery_ones: &[u32],
+    bests: &mut Vec<f64>,
+    word_ops: &mut u64,
+) {
+    best_rows_fixed_body::<W>(probe, gallery_words, gallery_ones, bests, word_ops)
+}
+
+/// The XOR + popcount reduction over `[u64; W]` lane arrays, fully
+/// unrolled. **This loop is the `std::simd` seam** — swap the
+/// `for k in 0..W` body for a `Simd<u64, W>` XOR and a vectorized
+/// popcount and nothing outside this function changes (u32 lane adds are
+/// associative, so the reduction order is free).
+#[inline(always)]
+fn best_rows_fixed_body<const W: usize>(
+    probe: &CodeView<'_>,
+    gallery_words: &[u64],
+    gallery_ones: &[u32],
+    bests: &mut Vec<f64>,
+    word_ops: &mut u64,
+) {
+    for (pw, &po) in probe.words.chunks_exact(W).zip(probe.ones) {
+        let pw: &[u64; W] = pw.try_into().expect("probe chunk is W words");
+        let mut row = RowBest::new();
+        for (gw, &go) in gallery_words.chunks_exact(W).zip(gallery_ones) {
+            let mass = po + go;
+            if mass == 0 {
+                continue;
+            }
+            *word_ops += W as u64;
+            let gw: &[u64; W] = gw.try_into().expect("gallery chunk is W words");
+            let mut distance = 0u32;
+            for k in 0..W {
+                distance += (pw[k] ^ gw[k]).count_ones();
+            }
+            row.offer(distance, mass);
+        }
+        bests.push(row.best);
+    }
+}
+
+/// Equal-width rows with a runtime width (widths > 8, which no shipping
+/// MCC grid produces but `from_raw` permits).
+fn best_rows_equal(
+    probe: &CodeView<'_>,
+    gallery_words: &[u64],
+    gallery_ones: &[u32],
+    width: usize,
+    bests: &mut Vec<f64>,
+    word_ops: &mut u64,
+) {
+    for (pw, &po) in probe.words.chunks_exact(width).zip(probe.ones) {
+        let mut row = RowBest::new();
+        for (gw, &go) in gallery_words.chunks_exact(width).zip(gallery_ones) {
+            let mass = po + go;
+            if mass == 0 {
+                continue;
+            }
+            *word_ops += width as u64;
+            row.offer(hamming(pw, gw), mass);
+        }
+        bests.push(row.best);
+    }
+}
+
+/// Mixed-width rows: probe and entry were packed under different MCC
+/// grids. Per pair, the excess words of the wider side count every set
+/// bit ([`hamming`]'s tail rule) and the op meter charges the wider
+/// width — exactly the scalar reference semantics.
+fn best_rows_mixed(
+    probe: &CodeView<'_>,
+    gallery_words: &[u64],
+    gallery_ones: &[u32],
+    gallery_width: usize,
+    bests: &mut Vec<f64>,
+    word_ops: &mut u64,
+) {
+    let charged = probe.words_per.max(gallery_width) as u64;
+    for i in 0..probe.len() {
+        let (pw, po) = probe.cylinder(i);
+        let mut row = RowBest::new();
+        for (j, &go) in gallery_ones.iter().enumerate() {
+            let mass = po + go;
+            if mass == 0 {
+                continue;
+            }
+            *word_ops += charged;
+            let gw = &gallery_words[j * gallery_width..(j + 1) * gallery_width];
+            row.offer(hamming(pw, gw), mass);
+        }
+        bests.push(row.best);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Codes with explicit raw words (ones derived), one cylinder per row.
+    fn raw_codes(rows: &[&[u64]], words_per: usize) -> CylinderCodes {
+        let mut words = Vec::new();
+        let mut ones = Vec::new();
+        for row in rows {
+            assert_eq!(row.len(), words_per);
+            words.extend_from_slice(row);
+            ones.push(row.iter().map(|w| w.count_ones()).sum());
+        }
+        CylinderCodes::from_raw(words, ones, words_per)
+    }
+
+    #[test]
+    fn arena_scores_match_reference_on_handmade_codes() {
+        let a = raw_codes(&[&[0b1011, 0x55], &[0xFF00, 0x0F]], 2);
+        let b = raw_codes(&[&[0b1001, 0x54], &[0, 0]], 2);
+        let probe = raw_codes(&[&[0b1111, 0xAA], &[0, 0]], 2);
+        let mut arena = CodeArena::new();
+        arena.push(&a);
+        arena.push(&b);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.packed_bytes(), 2 * 2 * 2 * 8);
+
+        let mut scratch = Stage1Scratch::new();
+        let mut blocked = vec![0.0; 2];
+        let mut reference = vec![0.0; 2];
+        let ops_b = arena.score_into(&probe, 2, &mut scratch, &mut blocked);
+        let ops_r = arena.score_into_reference(&probe, 2, &mut scratch, &mut reference);
+        assert_eq!(blocked, reference);
+        assert_eq!(ops_b, ops_r);
+        // Entry b's second cylinder and the probe's second cylinder are
+        // both all-zero: that one pair has mass 0 and must be skipped
+        // unpriced; every other pair (7 of 8) charges words_per = 2.
+        assert_eq!(ops_b, 7 * 2);
+    }
+
+    #[test]
+    fn empty_probe_and_empty_entries_score_zero() {
+        let empty = CylinderCodes::from_raw(Vec::new(), Vec::new(), 0);
+        let some = raw_codes(&[&[1, 2, 3]], 3);
+        let mut arena = CodeArena::new();
+        arena.push(&empty);
+        arena.push(&some);
+
+        let mut scratch = Stage1Scratch::new();
+        let mut out = vec![9.0; 2];
+        assert_eq!(arena.score_into(&empty, 4, &mut scratch, &mut out), 0);
+        assert_eq!(out, vec![0.0, 0.0]);
+
+        let mut out = vec![9.0; 2];
+        let ops = arena.score_into(&some, 4, &mut scratch, &mut out);
+        assert_eq!(out[0], 0.0, "empty entry scores zero");
+        assert_eq!(out[1], 1.0, "self-similarity is one");
+        assert_eq!(ops, 3);
+    }
+
+    #[test]
+    fn mixed_width_entries_use_the_tail_rule() {
+        // Gallery packed at width 1, probe at width 2: the probe's excess
+        // word counts all its set bits against every gallery cylinder.
+        let gallery = raw_codes(&[&[0b1011]], 1);
+        let probe = raw_codes(&[&[0b1011, 0xF0]], 2);
+        let mut arena = CodeArena::new();
+        arena.push(&gallery);
+
+        let mut scratch = Stage1Scratch::new();
+        let mut out = vec![0.0; 1];
+        let ops = arena.score_into(&probe, 1, &mut scratch, &mut out);
+        assert_eq!(ops, 2, "mixed pairs charge the wider width");
+        let mass = 3.0 + 4.0 + 3.0; // probe ones + gallery ones
+        assert_eq!(out[0], 1.0 - 4.0 / mass);
+        let mut reference = vec![0.0; 1];
+        let ops_r = arena.score_into_reference(&probe, 1, &mut scratch, &mut reference);
+        assert_eq!(out, reference);
+        assert_eq!(ops, ops_r);
+    }
+
+    #[test]
+    fn blocks_split_large_arenas_without_changing_scores() {
+        // Enough width-3 entries that the 32 KiB block budget forces
+        // several blocks: 8 cylinders x 3 words x 8 B = 192 B per entry,
+        // so 600 entries span > 3 blocks.
+        let mut arena = CodeArena::new();
+        let mut entries = Vec::new();
+        for e in 0..600u64 {
+            let rows: Vec<Vec<u64>> = (0..8)
+                .map(|c| {
+                    (0..3)
+                        .map(|w| (e + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15 ^ (c * 31 + w)))
+                        .collect()
+                })
+                .collect();
+            let refs: Vec<&[u64]> = rows.iter().map(|r| r.as_slice()).collect();
+            entries.push(raw_codes(&refs, 3));
+        }
+        for codes in &entries {
+            arena.push(codes);
+        }
+        assert!(arena.packed_bytes() > 3 * BLOCK_BYTES);
+
+        let probe = entries[17].clone();
+        let mut scratch = Stage1Scratch::new();
+        let mut blocked = vec![0.0; arena.len()];
+        let mut reference = vec![0.0; arena.len()];
+        let ops_b = arena.score_into(&probe, 5, &mut scratch, &mut blocked);
+        let ops_r = arena.score_into_reference(&probe, 5, &mut scratch, &mut reference);
+        assert_eq!(ops_b, ops_r);
+        assert_eq!(blocked, reference);
+        assert_eq!(blocked[17], 1.0);
+    }
+}

@@ -45,7 +45,46 @@ impl Default for IndexConfig {
     }
 }
 
+/// A structurally invalid [`IndexConfig`], rejected before any index is
+/// built from it.
+///
+/// Validation happens at index construction
+/// ([`CandidateIndex::try_with_config`](crate::CandidateIndex::try_with_config))
+/// and when `fp-serve` adopts a wire config at enroll time, so an invalid
+/// config surfaces as a typed error at the boundary instead of silently
+/// changing scoring semantics deep in the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexConfigError {
+    /// `lss_depth == 0`. The local-similarity-sort average is over the
+    /// strongest `max(1, min(len_p, len_g, lss_depth))` cylinder
+    /// agreements, so depth 0 would be silently clamped to 1 — reject it
+    /// outright rather than let a config mean something other than what
+    /// it says.
+    ZeroLssDepth,
+}
+
+impl std::fmt::Display for IndexConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexConfigError::ZeroLssDepth => write!(
+                f,
+                "lss_depth must be >= 1 (depth 0 would be silently clamped to 1)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IndexConfigError {}
+
 impl IndexConfig {
+    /// Checks structural validity. See [`IndexConfigError`] for the rules.
+    pub fn validate(&self) -> Result<(), IndexConfigError> {
+        if self.lss_depth == 0 {
+            return Err(IndexConfigError::ZeroLssDepth);
+        }
+        Ok(())
+    }
+
     /// A config whose shortlist is scaled to the gallery: a fixed small
     /// budget for modest galleries, growing sub-linearly (~N/10, capped) for
     /// large ones so the re-rank stage stays a vanishing fraction of brute
@@ -101,5 +140,20 @@ mod tests {
     #[test]
     fn with_shortlist_overrides() {
         assert_eq!(IndexConfig::default().with_shortlist(7).shortlist, 7);
+    }
+
+    #[test]
+    fn zero_lss_depth_is_a_typed_error() {
+        let bad = IndexConfig {
+            lss_depth: 0,
+            ..IndexConfig::default()
+        };
+        assert_eq!(bad.validate(), Err(IndexConfigError::ZeroLssDepth));
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("lss_depth"));
+        assert_eq!(IndexConfig::default().validate(), Ok(()));
     }
 }

@@ -9,17 +9,30 @@ use fp_telemetry::{
     FingerprintChain, FingerprintSnapshot, Fingerprinted, RunFingerprint, Telemetry,
 };
 
-use crate::config::IndexConfig;
+use crate::arena::CodeArena;
+use crate::config::{IndexConfig, IndexConfigError};
 use crate::geohash::BucketIndex;
 use crate::metrics::IndexMetrics;
-use crate::signature::CylinderCodes;
+use crate::signature::{CylinderCodes, Stage1Scratch};
 
-/// One enrolled gallery template.
+/// One enrolled gallery template. The entry's binarized cylinder codes do
+/// not live here: they are packed into the index's shared [`CodeArena`]
+/// at the same dense id, so stage-1 streams one contiguous slab instead of
+/// chasing per-entry allocations.
 #[derive(Debug, Clone)]
 struct GalleryEntry<P> {
     prepared: P,
-    codes: CylinderCodes,
     pair_count: u32,
+}
+
+/// Everything one template contributes at enrollment, prepared off the
+/// index (possibly on a worker thread) and committed by `insert` in id
+/// order: the entry itself, its geometric-hash pair features, and the
+/// cylinder codes destined for the arena.
+struct PreparedEnrollment<P> {
+    entry: GalleryEntry<P>,
+    features: Vec<fp_match::PairFeature>,
+    codes: CylinderCodes,
 }
 
 /// One exactly-scored candidate of a search.
@@ -174,6 +187,9 @@ pub struct CandidateIndex<M: PreparableMatcher> {
     mcc: MccMatcher,
     config: IndexConfig,
     entries: Vec<GalleryEntry<M::Prepared>>,
+    /// Every enrolled entry's packed cylinder codes, structure-of-arrays,
+    /// indexed by the same dense ids as `entries`.
+    arena: CodeArena,
     buckets: BucketIndex,
     metrics: IndexMetrics,
     /// Canonical run fingerprint: folds every [`search`](Self::search)'s
@@ -193,18 +209,40 @@ impl<M: PreparableMatcher> CandidateIndex<M> {
     }
 
     /// Creates an empty index with an explicit config.
+    ///
+    /// # Panics
+    ///
+    /// If `config` is structurally invalid (see
+    /// [`IndexConfig::validate`]); use
+    /// [`try_with_config`](Self::try_with_config) to handle that as a
+    /// typed error instead (boundaries adopting untrusted configs — e.g.
+    /// `fp-serve`'s wire enroll — do).
     pub fn with_config(matcher: M, config: IndexConfig) -> CandidateIndex<M> {
-        CandidateIndex {
+        match CandidateIndex::try_with_config(matcher, config) {
+            Ok(index) => index,
+            Err(err) => panic!("invalid IndexConfig: {err}"),
+        }
+    }
+
+    /// Creates an empty index with an explicit config, rejecting invalid
+    /// configs with a typed error.
+    pub fn try_with_config(
+        matcher: M,
+        config: IndexConfig,
+    ) -> Result<CandidateIndex<M>, IndexConfigError> {
+        config.validate()?;
+        Ok(CandidateIndex {
             matcher,
             features: PairTableMatcher::default(),
             mcc: MccMatcher::default(),
             config,
             entries: Vec::new(),
+            arena: CodeArena::new(),
             buckets: BucketIndex::new(config.distance_bin, config.angle_bins),
             metrics: IndexMetrics::default(),
             runfp: RunFingerprint::new(config.fingerprint_base(0)),
             part_fp: RunFingerprint::new(config.fingerprint_base(0)),
-        }
+        })
     }
 
     /// Re-seeds the canonical run fingerprint (default seed 0). Call
@@ -278,31 +316,25 @@ impl<M: PreparableMatcher> CandidateIndex<M> {
         self.entries.is_empty()
     }
 
-    fn make_entry(
-        &self,
-        template: &Template,
-    ) -> (GalleryEntry<M::Prepared>, Vec<fp_match::PairFeature>) {
+    fn make_entry(&self, template: &Template) -> PreparedEnrollment<M::Prepared> {
         let table = self.features.prepare(template);
         let features: Vec<_> = table.pair_features().collect();
         let codes = CylinderCodes::extract(&self.mcc, template, self.config.max_cylinders);
-        (
-            GalleryEntry {
+        PreparedEnrollment {
+            entry: GalleryEntry {
                 prepared: self.matcher.prepare(template),
-                codes,
                 pair_count: features.len() as u32,
             },
             features,
-        )
+            codes,
+        }
     }
 
-    fn insert(
-        &mut self,
-        entry: GalleryEntry<M::Prepared>,
-        features: Vec<fp_match::PairFeature>,
-    ) -> u32 {
+    fn insert(&mut self, prepared: PreparedEnrollment<M::Prepared>) -> u32 {
         let id = self.entries.len() as u32;
-        self.buckets.insert(id, features.into_iter());
-        self.entries.push(entry);
+        self.buckets.insert(id, prepared.features.into_iter());
+        self.arena.push(&prepared.codes);
+        self.entries.push(prepared.entry);
         self.metrics.enrolled.incr();
         id
     }
@@ -311,8 +343,8 @@ impl<M: PreparableMatcher> CandidateIndex<M> {
     /// order, starting at 0).
     pub fn enroll(&mut self, template: &Template) -> u32 {
         let start = Instant::now();
-        let (entry, features) = self.make_entry(template);
-        let id = self.insert(entry, features);
+        let prepared = self.make_entry(template);
+        let id = self.insert(prepared);
         self.metrics.build_time.record(start.elapsed());
         id
     }
@@ -349,8 +381,8 @@ impl<M: PreparableMatcher> CandidateIndex<M> {
         let start = Instant::now();
         let first = self.entries.len() as u32;
         let prepared = parallel_make(self, templates, threads);
-        for (entry, features) in prepared {
-            self.insert(entry, features);
+        for enrollment in prepared {
+            self.insert(enrollment);
         }
         // Per-template preparation timings were recorded inside
         // `parallel_make`; the whole-batch wall time gets its own
@@ -399,18 +431,18 @@ impl<M: PreparableMatcher> CandidateIndex<M> {
             })
             .collect();
 
-        let mut hamming_word_ops = 0u64;
-        let cyl_scores: Vec<f64> = self
-            .entries
-            .iter()
-            .map(|entry| {
-                let (score, ops) = probe
-                    .codes
-                    .similarity_counted(&entry.codes, self.config.lss_depth);
-                hamming_word_ops += ops;
-                score
-            })
-            .collect();
+        // The cache-blocked arena kernel. Byte-identical to scoring each
+        // entry with `CylinderCodes::similarity_counted` (the scalar
+        // reference) — `tests/kernel.rs` and `study check-kernel` pin the
+        // equivalence — including the exact `hamming_word_ops` count.
+        let mut scratch = Stage1Scratch::new();
+        let mut cyl_scores = vec![0.0f64; n];
+        let hamming_word_ops = self.arena.score_into(
+            &probe.codes,
+            self.config.lss_depth,
+            &mut scratch,
+            &mut cyl_scores,
+        );
 
         StageOneScores {
             vote_scores,
@@ -418,6 +450,42 @@ impl<M: PreparableMatcher> CandidateIndex<M> {
             bucket_hits,
             hamming_word_ops,
         }
+    }
+
+    /// The packed code arena backing stage-1 (read-only).
+    pub fn arena(&self) -> &CodeArena {
+        &self.arena
+    }
+
+    /// Stage-1 cylinder-code scores of `probe` against every enrolled
+    /// entry via the **blocked arena kernel** — `(per-entry scores,
+    /// hamming word ops)`. Public for the kernel parity gate
+    /// (`study check-kernel`) and the stage-1 benches; not metered.
+    pub fn stage1_cylinder_scores(&self, probe: &Template) -> (Vec<f64>, u64) {
+        let codes = CylinderCodes::extract(&self.mcc, probe, self.config.max_cylinders);
+        let mut scratch = Stage1Scratch::new();
+        let mut scores = vec![0.0f64; self.entries.len()];
+        let ops = self
+            .arena
+            .score_into(&codes, self.config.lss_depth, &mut scratch, &mut scores);
+        (scores, ops)
+    }
+
+    /// Same scores via the **scalar reference kernel**
+    /// (entry-at-a-time [`CylinderCodes::similarity_counted`] semantics).
+    /// The parity gate holds this bitwise equal to
+    /// [`stage1_cylinder_scores`](Self::stage1_cylinder_scores).
+    pub fn stage1_cylinder_scores_reference(&self, probe: &Template) -> (Vec<f64>, u64) {
+        let codes = CylinderCodes::extract(&self.mcc, probe, self.config.max_cylinders);
+        let mut scratch = Stage1Scratch::new();
+        let mut scores = vec![0.0f64; self.entries.len()];
+        let ops = self.arena.score_into_reference(
+            &codes,
+            self.config.lss_depth,
+            &mut scratch,
+            &mut scores,
+        );
+        (scores, ops)
     }
 
     /// Stage 2: exact scores for the selected entry ids (local ids of this
@@ -538,12 +606,14 @@ pub(crate) fn fuse_select(vote_scores: &[f64], cyl_scores: &[f64], k: usize) -> 
 /// Ranks one shortlist channel: position of every gallery id when sorted by
 /// score descending, ties broken by id ascending (rank 0 is best). The
 /// deterministic tie-break makes fused shortlists identical across runs.
+/// `total_cmp` (identical to `partial_cmp` on the finite scores both
+/// channels produce) so a NaN from a future scoring kernel degrades a rank
+/// instead of aborting the search.
 fn channel_ranks(scores: &[f64]) -> Vec<u32> {
     let mut order: Vec<u32> = (0..scores.len() as u32).collect();
     order.sort_unstable_by(|&a, &b| {
         scores[b as usize]
-            .partial_cmp(&scores[a as usize])
-            .expect("channel scores are finite")
+            .total_cmp(&scores[a as usize])
             .then(a.cmp(&b))
     });
     let mut ranks = vec![0u32; scores.len()];
@@ -561,7 +631,7 @@ fn parallel_make<M>(
     index: &CandidateIndex<M>,
     templates: &[&Template],
     max_threads: usize,
-) -> Vec<(GalleryEntry<M::Prepared>, Vec<fp_match::PairFeature>)>
+) -> Vec<PreparedEnrollment<M::Prepared>>
 where
     M: PreparableMatcher + Sync,
     M::Prepared: Send,

@@ -61,6 +61,7 @@
 //! # }
 //! ```
 
+pub mod arena;
 pub mod backend;
 pub mod config;
 mod geohash;
@@ -69,9 +70,10 @@ pub mod metrics;
 pub mod shard;
 pub mod signature;
 
+pub use arena::CodeArena;
 pub use backend::{search_backends, ShardBackend, ShardError};
-pub use config::IndexConfig;
+pub use config::{IndexConfig, IndexConfigError};
 pub use index::{Candidate, CandidateIndex, SearchResult, StageOneScores};
 pub use metrics::IndexMetrics;
 pub use shard::ShardedIndex;
-pub use signature::CylinderCodes;
+pub use signature::{CodeView, CylinderCodes, Stage1Scratch};

@@ -28,6 +28,61 @@ pub struct CylinderCodes {
     words_per: usize,
 }
 
+/// A borrowed, layout-agnostic view of one template's packed cylinder
+/// codes: `len * words_per` little-endian `u64` words (cylinder-major)
+/// plus the per-cylinder set-bit counts. Both [`CylinderCodes`] and the
+/// structure-of-arrays [`crate::CodeArena`] expose their codes through
+/// this view, so the scalar reference scorer and the blocked kernel are
+/// provably reading the same bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct CodeView<'a> {
+    pub(crate) words: &'a [u64],
+    pub(crate) ones: &'a [u32],
+    pub(crate) words_per: usize,
+}
+
+impl<'a> CodeView<'a> {
+    /// Number of coded cylinders.
+    pub fn len(&self) -> usize {
+        self.ones.len()
+    }
+
+    /// Whether the view holds no codes.
+    pub fn is_empty(&self) -> bool {
+        self.ones.is_empty()
+    }
+
+    /// Packed words per cylinder.
+    pub fn words_per(&self) -> usize {
+        self.words_per
+    }
+
+    /// The `i`-th cylinder's packed words and set-bit count.
+    pub fn cylinder(&self, i: usize) -> (&'a [u64], u32) {
+        (
+            &self.words[i * self.words_per..(i + 1) * self.words_per],
+            self.ones[i],
+        )
+    }
+}
+
+/// Reusable scratch for one stage-1 scoring pass: the per-probe-cylinder
+/// local bests that local similarity sort selects from. Callers allocate
+/// one per search and reuse it across every gallery entry, so neither the
+/// scalar reference path nor the blocked kernel allocates per entry.
+#[derive(Debug, Default)]
+pub struct Stage1Scratch {
+    pub(crate) bests: Vec<f64>,
+}
+
+impl Stage1Scratch {
+    /// An empty scratch; buffers grow to the probe's cylinder count on
+    /// first use and are reused afterwards.
+    pub fn new() -> Stage1Scratch {
+        Stage1Scratch::default()
+    }
+}
+
 impl CylinderCodes {
     /// Extracts codes for the `max_cylinders` most reliable minutiae of
     /// `template` (ties broken by minutia order) that produced a valid
@@ -78,6 +133,35 @@ impl CylinderCodes {
         }
     }
 
+    /// Reassembles codes from their raw packed parts: `ones.len()`
+    /// cylinders of `words_per` little-endian words each, cylinder-major.
+    /// Intended for tests, benches and (de)serialization — [`extract`]
+    /// (Self::extract) is the production constructor.
+    ///
+    /// Panics unless `words.len() == ones.len() * words_per` and every
+    /// `ones[i]` equals the popcount of its cylinder's words — the
+    /// invariant both scoring kernels rely on (a pair is skipped exactly
+    /// when its combined set-bit mass is zero).
+    pub fn from_raw(words: Vec<u64>, ones: Vec<u32>, words_per: usize) -> CylinderCodes {
+        assert_eq!(
+            words.len(),
+            ones.len() * words_per,
+            "words must hold exactly words_per words per cylinder"
+        );
+        for (i, &set) in ones.iter().enumerate() {
+            let actual: u32 = words[i * words_per..(i + 1) * words_per]
+                .iter()
+                .map(|w| w.count_ones())
+                .sum();
+            assert_eq!(set, actual, "ones[{i}] must equal its cylinder's popcount");
+        }
+        CylinderCodes {
+            words: words.into_boxed_slice(),
+            ones: ones.into_boxed_slice(),
+            words_per,
+        }
+    }
+
     /// Number of coded cylinders.
     pub fn len(&self) -> usize {
         self.ones.len()
@@ -88,18 +172,26 @@ impl CylinderCodes {
         self.ones.is_empty()
     }
 
-    fn cylinder(&self, i: usize) -> (&[u64], u32) {
-        (
-            &self.words[i * self.words_per..(i + 1) * self.words_per],
-            self.ones[i],
-        )
+    /// A borrowed view of the packed codes (the common currency of the
+    /// scalar reference scorer and the blocked [`crate::CodeArena`]
+    /// kernel).
+    pub fn view(&self) -> CodeView<'_> {
+        CodeView {
+            words: &self.words,
+            ones: &self.ones,
+            words_per: self.words_per,
+        }
     }
 
     /// Local-similarity-sort score of this (probe) code set against a
     /// gallery code set: each probe cylinder takes its best Dice-style
     /// similarity `1 - hamming / (ones_p + ones_g)` over all gallery
-    /// cylinders, and the strongest `min(len_p, len_g, lss_depth)` of those
-    /// local bests are averaged. In `[0, 1]`; 0 when either side is empty.
+    /// cylinders, and the strongest `max(1, min(len_p, len_g, lss_depth))`
+    /// of those local bests are averaged — note the clamp: `lss_depth == 0`
+    /// is treated as depth 1, so a caller that wants "no code channel"
+    /// must not enroll codes rather than pass a zero depth
+    /// ([`crate::IndexConfig`] rejects `lss_depth == 0` outright). In
+    /// `[0, 1]`; 0 when either side is empty.
     pub fn similarity(&self, gallery: &CylinderCodes, lss_depth: usize) -> f64 {
         self.similarity_counted(gallery, lss_depth).0
     }
@@ -111,39 +203,87 @@ impl CylinderCodes {
     /// true work measure the `index.search.hamming_ops` counter meters; the
     /// old per-gallery-entry tally undercounted by the whole
     /// cylinders² x words fan-out.
+    ///
+    /// Allocates a fresh [`Stage1Scratch`] per call; batch callers scoring
+    /// many gallery entries should hold one scratch and use
+    /// [`similarity_counted_scratch`](Self::similarity_counted_scratch).
     pub fn similarity_counted(&self, gallery: &CylinderCodes, lss_depth: usize) -> (f64, u64) {
-        if self.is_empty() || gallery.is_empty() {
-            return (0.0, 0);
-        }
-        let mut word_ops = 0u64;
-        let mut bests: Vec<f64> = Vec::with_capacity(self.len());
-        for i in 0..self.len() {
-            let (pw, po) = self.cylinder(i);
-            let mut best = 0.0f64;
-            for j in 0..gallery.len() {
-                let (gw, go) = gallery.cylinder(j);
-                let mass = po + go;
-                if mass == 0 {
-                    continue;
-                }
-                word_ops += pw.len().max(gw.len()) as u64;
-                let sim = 1.0 - f64::from(hamming(pw, gw)) / f64::from(mass);
-                if sim > best {
-                    best = sim;
-                }
-            }
-            bests.push(best);
-        }
-        let depth = self.len().min(gallery.len()).min(lss_depth).max(1);
-        bests.sort_unstable_by(|a, b| b.partial_cmp(a).expect("similarities are finite"));
-        (bests[..depth].iter().sum::<f64>() / depth as f64, word_ops)
+        let mut scratch = Stage1Scratch::new();
+        self.similarity_counted_scratch(gallery, lss_depth, &mut scratch)
     }
+
+    /// [`similarity_counted`](Self::similarity_counted) with a
+    /// caller-provided scratch, so scoring a whole gallery performs zero
+    /// per-entry allocations. This is **the scalar reference path**: the
+    /// blocked [`crate::CodeArena`] kernel is required (and property-
+    /// tested) to be byte-identical to it.
+    pub fn similarity_counted_scratch(
+        &self,
+        gallery: &CylinderCodes,
+        lss_depth: usize,
+        scratch: &mut Stage1Scratch,
+    ) -> (f64, u64) {
+        reference_similarity(&self.view(), &gallery.view(), lss_depth, scratch)
+    }
+}
+
+/// The scalar reference scorer over borrowed code views — one probe code
+/// set against one gallery code set, exactly the loop `similarity_counted`
+/// has always run (per probe cylinder, the best Dice-style similarity over
+/// every gallery cylinder; the strongest `max(1, min(len_p, len_g,
+/// lss_depth))` bests averaged). Every optimized kernel is validated
+/// against this function bit for bit.
+pub(crate) fn reference_similarity(
+    probe: &CodeView<'_>,
+    gallery: &CodeView<'_>,
+    lss_depth: usize,
+    scratch: &mut Stage1Scratch,
+) -> (f64, u64) {
+    if probe.is_empty() || gallery.is_empty() {
+        return (0.0, 0);
+    }
+    let mut word_ops = 0u64;
+    let bests = &mut scratch.bests;
+    bests.clear();
+    for i in 0..probe.len() {
+        let (pw, po) = probe.cylinder(i);
+        let mut best = 0.0f64;
+        for j in 0..gallery.len() {
+            let (gw, go) = gallery.cylinder(j);
+            let mass = po + go;
+            if mass == 0 {
+                continue;
+            }
+            word_ops += pw.len().max(gw.len()) as u64;
+            let sim = 1.0 - f64::from(hamming(pw, gw)) / f64::from(mass);
+            if sim > best {
+                best = sim;
+            }
+        }
+        bests.push(best);
+    }
+    let depth = probe.len().min(gallery.len()).min(lss_depth).max(1);
+    sort_bests_desc(bests);
+    (bests[..depth].iter().sum::<f64>() / depth as f64, word_ops)
+}
+
+/// Sorts local bests descending under [`f64::total_cmp`]. Real kernels
+/// only ever produce finite bests (`1 - h/mass` over non-negative
+/// integers, mass > 0), but a defective future kernel emitting a NaN must
+/// degrade a score, never abort the search mid-run the way the previous
+/// `partial_cmp(..).expect(..)` comparator did. `total_cmp` is a total
+/// order agreeing with `partial_cmp` on all finite values, so this is
+/// byte-identical on every input the shipping kernels can produce.
+pub(crate) fn sort_bests_desc(bests: &mut [f64]) {
+    bests.sort_unstable_by(|a, b| b.total_cmp(a));
 }
 
 /// Hamming distance between two packed codes. Codes of different widths
 /// (templates prepared under different MCC configs) count every bit of the
-/// excess words.
-fn hamming(a: &[u64], b: &[u64]) -> u32 {
+/// excess words — an absent word on the narrower side reads as all-zero,
+/// so each excess set bit is one disagreement. Public so the kernel
+/// equivalence suite can pin the tail semantics directly.
+pub fn hamming(a: &[u64], b: &[u64]) -> u32 {
     let common = a.len().min(b.len());
     let mut distance = 0u32;
     for i in 0..common {
@@ -277,5 +417,47 @@ mod tests {
         assert_eq!(hamming(&[0b1011], &[]), 3);
         assert_eq!(hamming(&[], &[0b1011]), 3);
         assert_eq!(hamming(&[0b1011, u64::MAX], &[0b1001]), 65);
+    }
+
+    #[test]
+    fn bests_sort_survives_nan_without_aborting() {
+        // A defective kernel emitting NaN must never panic the sort (the
+        // old partial_cmp comparator aborted the whole search). total_cmp
+        // orders +NaN above +inf, so the ordering stays deterministic.
+        let mut bests = vec![0.25, f64::NAN, 1.0, 0.0];
+        sort_bests_desc(&mut bests);
+        assert!(bests[0].is_nan());
+        assert_eq!(&bests[1..], &[1.0, 0.25, 0.0]);
+        // Finite-only inputs sort exactly as partial_cmp did.
+        let mut finite = vec![0.25, 1.0, 0.0, 0.75];
+        sort_bests_desc(&mut finite);
+        assert_eq!(finite, vec![1.0, 0.75, 0.25, 0.0]);
+    }
+
+    #[test]
+    fn from_raw_round_trips_extracted_codes() {
+        let c = codes(11, 30, 24);
+        let rebuilt = CylinderCodes::from_raw(c.words.to_vec(), c.ones.to_vec(), c.words_per);
+        assert_eq!(rebuilt, c);
+        assert_eq!(rebuilt.similarity(&c, 12), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "popcount")]
+    fn from_raw_rejects_inconsistent_ones() {
+        let _ = CylinderCodes::from_raw(vec![0b111], vec![2], 1);
+    }
+
+    #[test]
+    fn scratch_path_matches_the_allocating_path() {
+        let a = codes(2, 30, 24);
+        let b = codes(3, 30, 24);
+        let mut scratch = Stage1Scratch::new();
+        for depth in [1usize, 4, 12, 100] {
+            assert_eq!(
+                a.similarity_counted_scratch(&b, depth, &mut scratch),
+                a.similarity_counted(&b, depth),
+            );
+        }
     }
 }

@@ -675,9 +675,19 @@ where
             // Rebuilding on config adoption resets the part-fingerprint
             // chain too — correct, since the new chain must start from the
             // adopted config's base. Re-attach the telemetry handle the
-            // rebuild would otherwise lose.
-            *index = CandidateIndex::with_config(state.matcher.clone(), config)
-                .with_telemetry(&state.telemetry);
+            // rebuild would otherwise lose. The wire config is untrusted:
+            // a structurally invalid one is a typed error frame, never a
+            // server panic.
+            let rebuilt = match CandidateIndex::try_with_config(state.matcher.clone(), config) {
+                Ok(rebuilt) => rebuilt,
+                Err(err) => {
+                    return Frame::Error {
+                        code: code::CONFIG_MISMATCH,
+                        detail: format!("coordinator sent invalid config: {err}"),
+                    }
+                }
+            };
+            *index = rebuilt.with_telemetry(&state.telemetry);
         }
     } else if *index.config() != config {
         return Frame::Error {

@@ -1107,6 +1107,30 @@ fn run(args: &Args, telemetry: &Telemetry) -> ExitCode {
         builder = builder.remote_shards(s);
     }
 
+    if args.experiment == "check-kernel" {
+        // The stage-1 kernel parity gate: bitwise blocked ≡ scalar scores
+        // plus exact hamming_ops agreement on an enrolled gallery, and
+        // identical RUNFP chains across unsharded / in-process sharded /
+        // (with --remote-shards) cross-process execution.
+        if args.subjects.is_none() {
+            builder = builder.subjects(20);
+        }
+        let config = builder.build();
+        let report = fp_study::experiments::check_kernel::run_check(&config);
+        println!("{}", report.render());
+        if let Some(path) = &args.json {
+            let payload = serde_json::json!({"config": config, "reports": [report.clone()]});
+            if let Err(code) = write_json(telemetry, path, &payload) {
+                return code;
+            }
+        }
+        return if report.values["error"].is_null() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
     if args.experiment == "check-dist-trace" {
         // The distributed-tracing gate: spawns a serve-shard topology with
         // one artificially slow shard, runs the same probes untraced and
@@ -1373,7 +1397,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: study <all|devices|metrics|verify|render|serve-shard|load|check-scaling|\
-                 check-telemetry|check-serve|check-load|check-dist-trace|fingerprint|\
+                 check-telemetry|check-serve|check-load|check-dist-trace|check-kernel|fingerprint|\
                  check-fingerprint|{}> \
                  [--subjects N] [--seed S] [--shards S] [--remote-shards N] [--port P] \
                  [--json PATH] [--metrics PATH] [--trace PATH] [--events PATH] [--out PATH] \
@@ -1400,6 +1424,7 @@ fn main() -> ExitCode {
                 | "check-telemetry"
                 | "check-serve"
                 | "check-load"
+                | "check-kernel"
                 | "check-fingerprint"
                 | "fingerprint"
                 | "serve-shard"

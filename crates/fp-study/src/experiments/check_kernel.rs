@@ -1,0 +1,282 @@
+//! **Gate: stage-1 kernel parity** — the cache-blocked SoA arena kernel
+//! must be byte-identical to the scalar reference, end to end, on a real
+//! enrolled gallery.
+//!
+//! The proptest suite (`fp-index/tests/kernel.rs`) proves scalar ≡ blocked
+//! over random packed codes; this gate re-proves it on every CI run at
+//! system scale, over the same synthetic cohort the scaling study uses:
+//!
+//! 1. **Score parity** — for every probe, the enrolled index's blocked
+//!    per-entry stage-1 scores must be *bitwise* equal to the scalar
+//!    reference driver's, and the `hamming_ops` meters must agree exactly.
+//! 2. **Transport parity** — the RUNFP chain over the full probe loop must
+//!    be identical across the unsharded index, an in-process
+//!    [`ShardedIndex`], and (when `--remote-shards` is given) real
+//!    `serve-shard` child processes behind an `fp-serve` coordinator —
+//!    the blocked kernel cannot perturb a single candidate byte on any
+//!    transport.
+//!
+//! Any divergence fails the gate loudly with the first offending probe and
+//! entry.
+
+use std::time::Duration;
+
+use fp_core::rng::SeedTree;
+use fp_core::template::Template;
+use fp_index::{CandidateIndex, IndexConfig, ShardedIndex};
+use fp_match::PairTableMatcher;
+use fp_serve::proc::spawn_shard;
+use fp_serve::{Coordinator, RetryPolicy};
+use serde_json::json;
+
+use crate::config::StudyConfig;
+use crate::experiments::ext_scaling::{recapture, synthetic_template, CROSS_DEVICE, SAME_DEVICE};
+use crate::report::Report;
+
+/// Probes checked (each one scores the whole gallery twice, once per
+/// kernel, plus one search per transport).
+const MAX_PROBES: usize = 32;
+
+/// What the parity pass measured.
+struct KernelStats {
+    gallery: usize,
+    probes: usize,
+    entries_checked: u64,
+    hamming_ops: u64,
+    arena_kib: usize,
+    runfp: String,
+    runfp_sharded: String,
+    shards: usize,
+    runfp_remote: Option<String>,
+    remote_shards: usize,
+}
+
+/// Runs the gate: `Ok` with the stats, or the first divergence found.
+fn check(config: &StudyConfig) -> Result<KernelStats, String> {
+    let seeds = SeedTree::new(config.seed).child(&[0xEC]);
+    let gallery = config.subjects * 10;
+    let pool: Vec<Template> = (0..gallery)
+        .map(|i| synthetic_template(&seeds, i as u64, 22 + i % 14))
+        .collect();
+    let index_config = IndexConfig::scaled(gallery);
+
+    let mut index = CandidateIndex::with_config(PairTableMatcher::default(), index_config)
+        .with_run_seed(config.seed);
+    index.enroll_all(&pool);
+
+    let probes = gallery.min(MAX_PROBES);
+    let stride = gallery / probes;
+    let probe_of = |p: usize| -> Template {
+        let subject = p * stride;
+        let profile = if p.is_multiple_of(2) {
+            SAME_DEVICE
+        } else {
+            CROSS_DEVICE
+        };
+        recapture(&pool[subject], &seeds, (gallery + subject) as u64, profile)
+    };
+
+    // 1. Score parity: blocked kernel vs scalar reference, bitwise, plus
+    // exact hamming_ops agreement, for every probe over the whole gallery.
+    let mut entries_checked = 0u64;
+    let mut hamming_ops = 0u64;
+    for p in 0..probes {
+        let probe = probe_of(p);
+        let (blocked, ops_blocked) = index.stage1_cylinder_scores(&probe);
+        let (reference, ops_reference) = index.stage1_cylinder_scores_reference(&probe);
+        if ops_blocked != ops_reference {
+            return Err(format!(
+                "probe {p}: hamming_ops diverged (blocked {ops_blocked}, \
+                 reference {ops_reference})"
+            ));
+        }
+        for (id, (b, r)) in blocked.iter().zip(&reference).enumerate() {
+            if b.to_bits() != r.to_bits() {
+                return Err(format!(
+                    "probe {p}, gallery entry {id}: blocked kernel scored {b} \
+                     ({:#018x}), scalar reference scored {r} ({:#018x})",
+                    b.to_bits(),
+                    r.to_bits()
+                ));
+            }
+        }
+        entries_checked += blocked.len() as u64;
+        hamming_ops += ops_blocked;
+    }
+
+    // 2. Transport parity: the same probe loop on every transport must
+    // produce identical candidate lists, hence identical RUNFP chains.
+    let unsharded_results: Vec<_> = (0..probes).map(|p| index.search(&probe_of(p))).collect();
+    let runfp = index.run_fingerprint().hex();
+
+    let shards = config.shards.max(2);
+    let mut sharded = ShardedIndex::with_config(PairTableMatcher::default(), index_config, shards)
+        .with_run_seed(config.seed);
+    sharded.enroll_all(&pool);
+    for (p, unsharded_result) in unsharded_results.iter().enumerate() {
+        let result = sharded.search(&probe_of(p));
+        if result.candidates() != unsharded_result.candidates() {
+            return Err(format!(
+                "probe {p}: {shards}-shard candidate list diverged from unsharded"
+            ));
+        }
+    }
+    let runfp_sharded = sharded.run_fingerprint().hex();
+    if runfp_sharded != runfp {
+        return Err(format!(
+            "RUNFP diverged: unsharded {runfp}, {shards}-shard {runfp_sharded}"
+        ));
+    }
+
+    let mut runfp_remote = None;
+    if config.remote_shards >= 1 {
+        let hex = remote_runfp(config, &pool, index_config, &unsharded_results, &probe_of)?;
+        if hex != runfp {
+            return Err(format!(
+                "RUNFP diverged: unsharded {runfp}, remote {hex} \
+                 ({} serve-shard children)",
+                config.remote_shards
+            ));
+        }
+        runfp_remote = Some(hex);
+    }
+
+    Ok(KernelStats {
+        gallery,
+        probes,
+        entries_checked,
+        hamming_ops,
+        arena_kib: index.arena().packed_bytes() / 1024,
+        runfp,
+        runfp_sharded,
+        shards,
+        runfp_remote,
+        remote_shards: config.remote_shards,
+    })
+}
+
+/// The cross-process rung: the same probe loop through real `serve-shard`
+/// children, returning the coordinator's RUNFP hex (after auditing full
+/// candidate-list parity per probe).
+fn remote_runfp(
+    config: &StudyConfig,
+    pool: &[Template],
+    index_config: IndexConfig,
+    unsharded_results: &[fp_index::SearchResult],
+    probe_of: &dyn Fn(usize) -> Template,
+) -> Result<String, String> {
+    let exe = match std::env::var_os("FP_SERVE_SHARD_EXE") {
+        Some(path) => std::path::PathBuf::from(path),
+        None => std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?,
+    };
+    let mut children = Vec::with_capacity(config.remote_shards);
+    for _ in 0..config.remote_shards {
+        children.push(
+            spawn_shard(&exe, &["serve-shard"])
+                .map_err(|e| format!("spawn {exe:?} serve-shard: {e}"))?,
+        );
+    }
+    let addrs: Vec<std::net::SocketAddr> = children.iter().map(|c| c.addr).collect();
+    let mut remote = Coordinator::connect(
+        &addrs,
+        index_config,
+        Duration::from_secs(60),
+        RetryPolicy::default(),
+    )
+    .map_err(|e| e.to_string())?
+    .with_run_seed(config.seed);
+    remote.enroll_all(pool).map_err(|e| e.to_string())?;
+
+    for (p, unsharded_result) in unsharded_results.iter().enumerate() {
+        let result = remote.search(&probe_of(p)).map_err(|e| e.to_string())?;
+        if result.candidates() != unsharded_result.candidates() {
+            return Err(format!(
+                "probe {p}: remote candidate list diverged from unsharded"
+            ));
+        }
+    }
+    let hex = remote.run_fingerprint().hex();
+    remote
+        .verify_fingerprints()
+        .map_err(|e| format!("fingerprint verification: {e}"))?;
+
+    let _ = remote.shutdown_all();
+    for child in &mut children {
+        child.wait_exit(Duration::from_secs(5));
+    }
+    Ok(hex)
+}
+
+/// Runs the gate and renders the report. `values["error"]` is `null` on
+/// success; the CLI exit code keys off it.
+pub fn run_check(config: &StudyConfig) -> Report {
+    match check(config) {
+        Ok(stats) => {
+            let mut body = format!(
+                "stage-1 kernel parity over a {}-entry gallery ({} KiB packed arena):\n\
+                 \n\
+                 blocked ≡ scalar: {} per-entry scores bitwise equal over {} probes\n\
+                 hamming_ops meters agree exactly: {} word ops\n\
+                 RUNFP unsharded:      {}\n\
+                 RUNFP {}-shard:        {}\n",
+                stats.gallery,
+                stats.arena_kib,
+                stats.entries_checked,
+                stats.probes,
+                stats.hamming_ops,
+                stats.runfp,
+                stats.shards,
+                stats.runfp_sharded,
+            );
+            if let Some(remote) = &stats.runfp_remote {
+                body.push_str(&format!(
+                    "RUNFP remote ({} proc): {}\n",
+                    stats.remote_shards, remote
+                ));
+            }
+            body.push_str("\nkernel parity holds on every transport\n");
+            Report::new(
+                "check-kernel",
+                "blocked stage-1 kernel ≡ scalar reference (bitwise)",
+                body,
+                json!({
+                    "error": null,
+                    "gallery": stats.gallery,
+                    "probes": stats.probes,
+                    "entries_checked": stats.entries_checked,
+                    "hamming_ops": stats.hamming_ops,
+                    "arena_kib": stats.arena_kib,
+                    "runfp": stats.runfp,
+                    "runfp_sharded": stats.runfp_sharded,
+                    "runfp_remote": stats.runfp_remote,
+                }),
+            )
+        }
+        Err(error) => Report::new(
+            "check-kernel",
+            "blocked stage-1 kernel ≡ scalar reference (bitwise)",
+            format!("KERNEL PARITY FAILED: {error}\n"),
+            json!({ "error": error }),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StudyConfig;
+
+    #[test]
+    fn gate_passes_on_the_default_cohort() {
+        let config = StudyConfig::builder().subjects(6).build();
+        let report = run_check(&config);
+        assert!(
+            report.values["error"].is_null(),
+            "kernel parity gate failed: {}",
+            report.body
+        );
+        assert!(report.values["entries_checked"].as_u64().unwrap() > 0);
+        assert!(report.values["hamming_ops"].as_u64().unwrap() > 0);
+        assert_eq!(report.values["runfp"], report.values["runfp_sharded"]);
+    }
+}

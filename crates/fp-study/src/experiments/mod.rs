@@ -7,6 +7,7 @@ use fp_telemetry::Telemetry;
 use crate::report::Report;
 use crate::scores::StudyData;
 
+pub mod check_kernel;
 pub mod dist_trace;
 pub mod ext_diversity;
 pub mod ext_habituation;

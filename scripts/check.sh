@@ -65,6 +65,13 @@ run cargo run -q --release --offline -p fp-bench --bin bench-diff -- \
 run timeout 600 cargo run -q --release --offline -p fp-study --bin study -- \
     check-dist-trace --remote-shards 2 \
     --trace target/dist-trace.json --slowlog target/dist-slowlog.jsonl
+# Stage-1 kernel parity gate: the cache-blocked SoA arena kernel must be
+# BITWISE identical to the scalar reference on an enrolled gallery (scores
+# and hamming_ops meters), and the RUNFP chain over the same probe loop
+# must be identical across unsharded, in-process sharded, and two real
+# serve-shard child processes.
+run timeout 600 cargo run -q --release --offline -p fp-study --bin study -- \
+    check-kernel --remote-shards 2
 # Fingerprint gate: the same remote smoke run must show one RUNFP chain on
 # every rung — unsharded, in-process sharded, and the two real child
 # processes — and `--deep` insists the cross-process evidence is present.
@@ -94,6 +101,14 @@ run cargo bench -q --offline -p fp-bench --bench shard -- shard_search_2000 \
 run cargo run -q --release --offline -p fp-bench --bin bench-diff -- \
     BENCH_baseline.json target/BENCH_shard_current.json --fail-pct 50 --warn-pct 10 \
     --require shard_search_2000/
+# Stage-1 kernel perf gate: blocked vs scalar over the 2k and 10k ladders.
+# The committed baseline records the blocked kernel's speedup; a kernel
+# regression (or a silently missing stage1 bench) fails here.
+run cargo bench -q --offline -p fp-bench --bench stage1 -- \
+    --save "$ROOT/target/BENCH_stage1_current.json"
+run cargo run -q --release --offline -p fp-bench --bin bench-diff -- \
+    BENCH_baseline.json target/BENCH_stage1_current.json --fail-pct 50 --warn-pct 10 \
+    --require stage1/
 # Wire-format perf gate: encode/decode cost of the frames the cross-process
 # search pays per probe and per enrollment batch.
 run cargo bench -q --offline -p fp-bench --bench wire -- \
