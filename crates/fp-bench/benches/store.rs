@@ -1,0 +1,84 @@
+//! Persistent-store latency at the scaling study's 10k-entry scale:
+//! enroll-from-scratch (the cost the store exists to avoid), segment
+//! save, zero-reprep open, and LSM compaction after churn.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fp_bench::synthetic_gallery;
+use fp_index::{CandidateIndex, IndexConfig};
+use fp_match::PairTableMatcher;
+use fp_store::GalleryStore;
+
+const ENTRIES: usize = 10_000;
+
+fn store_benches(c: &mut Criterion) {
+    let (gallery, _probe) = synthetic_gallery(ENTRIES);
+    let config = IndexConfig::scaled(gallery.len());
+    let mut index = CandidateIndex::with_config(PairTableMatcher::default(), config);
+    index.enroll_all(&gallery);
+
+    let dir = std::env::temp_dir().join(format!("fp-store-bench-{}", std::process::id()));
+
+    let mut group = c.benchmark_group("store");
+    group.sample_size(10);
+
+    // The baseline the open path replaces: prepare + pack + hash every
+    // template again.
+    group.bench_function("enroll_10k", |b| {
+        b.iter(|| {
+            let mut fresh = CandidateIndex::with_config(PairTableMatcher::default(), config);
+            fresh.enroll_all(black_box(&gallery));
+            black_box(fresh.len())
+        })
+    });
+
+    // Save: encode + write one 10k-entry segment plus the manifest.
+    group.bench_function("save_10k", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut store = GalleryStore::create(&dir).expect("create");
+            black_box(store.append_index(&index).expect("append"))
+        })
+    });
+
+    // Open: parse the segment back into a searchable index — pure byte
+    // shuffling, no template re-preparation.
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = GalleryStore::create(&dir).expect("create");
+    let seq = store.append_index(&index).expect("append");
+    group.bench_function("open_10k", |b| {
+        b.iter(|| {
+            let opened = GalleryStore::open(&dir)
+                .expect("open")
+                .open_index()
+                .expect("load");
+            black_box(opened.len())
+        })
+    });
+
+    // Compact: decode + re-encode the survivors after 5% churn. The
+    // churned manifest and segment bytes are cached in RAM and restored
+    // before every iteration so each one compacts the same store.
+    for at in 0..(ENTRIES as u32 / 20) {
+        store.tombstone(seq, at * 20).expect("tombstone");
+    }
+    let manifest_bytes = std::fs::read(dir.join("MANIFEST")).expect("manifest bytes");
+    let seg_name = format!("seg-{seq:08}.fpseg");
+    let seg_bytes = std::fs::read(dir.join(&seg_name)).expect("segment bytes");
+    group.bench_function("compact_10k", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("mkdir");
+            std::fs::write(dir.join("MANIFEST"), &manifest_bytes).expect("restore manifest");
+            std::fs::write(dir.join(&seg_name), &seg_bytes).expect("restore segment");
+            let mut store = GalleryStore::open(&dir).expect("open");
+            black_box(store.compact().expect("compact").entries_dropped)
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, store_benches);
+criterion_main!(benches);

@@ -242,6 +242,23 @@ impl Direction {
         Direction::from_radians(degrees.to_radians())
     }
 
+    /// Reconstructs a direction from an already-canonical radian value —
+    /// one previously obtained from [`radians`](Self::radians) — preserving
+    /// it **bit-for-bit**. [`from_radians`](Self::from_radians) re-wraps,
+    /// and wrapping is not bit-idempotent (`x.rem_euclid(TAU)` followed by
+    /// the `±TAU` shift rounds for negative `x`), so deserializers that
+    /// must reproduce stored directions exactly use this instead. Returns
+    /// `None` when `radians` is outside the canonical `(-pi, pi]` range,
+    /// so hostile inputs surface as a typed error at the caller instead of
+    /// a direction that silently violates the wrapping invariant.
+    pub fn try_from_canonical_radians(radians: f64) -> Option<Self> {
+        if radians > -PI && radians <= PI {
+            Some(Direction(radians))
+        } else {
+            None
+        }
+    }
+
     /// The canonical radian value in `(-pi, pi]`.
     pub fn radians(&self) -> f64 {
         self.0

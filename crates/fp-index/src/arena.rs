@@ -139,6 +139,96 @@ impl CodeArena {
         self.words.len() * std::mem::size_of::<u64>()
     }
 
+    /// The packed word slab, entry-major then cylinder-major — the raw
+    /// persistence view `fp-store` serializes as little-endian `u64`s.
+    pub fn raw_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The per-cylinder set-bit counts, in slab order.
+    pub fn raw_ones(&self) -> &[u32] {
+        &self.ones
+    }
+
+    /// Per-entry `(cylinders, words_per)` in entry order. The word and
+    /// ones offsets are *not* part of the persistence surface: entries are
+    /// packed back-to-back, so offsets are the running sums of these two
+    /// quantities and [`from_raw_parts`](Self::from_raw_parts) recomputes
+    /// them — a segment cannot claim overlapping or out-of-order spans.
+    pub fn raw_spans(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.spans
+            .iter()
+            .map(|s| (s.cylinders as u32, s.words_per as u32))
+    }
+
+    /// Rebuilds an arena from its raw parts (the inverse of the `raw_*`
+    /// accessors), recomputing cumulative offsets and validating the
+    /// invariants both scoring kernels rely on before constructing
+    /// anything: the spans must tile `words` and `ones` exactly (no gap,
+    /// no overhang, no overflow), and every `ones` count must equal its
+    /// cylinder's actual popcount (the mass-zero skip rule reads it as
+    /// truth). Violations come back as a typed description, never a panic.
+    pub fn from_raw_parts(
+        words: Vec<u64>,
+        ones: Vec<u32>,
+        spans: &[(u32, u32)],
+    ) -> Result<CodeArena, String> {
+        let mut word_off = 0usize;
+        let mut ones_off = 0usize;
+        let mut built = Vec::with_capacity(spans.len());
+        for (at, &(cylinders, words_per)) in spans.iter().enumerate() {
+            let (cylinders, words_per) = (cylinders as usize, words_per as usize);
+            let entry_words = cylinders
+                .checked_mul(words_per)
+                .ok_or_else(|| format!("span {at} overflows the word count"))?;
+            built.push(EntrySpan {
+                word_off,
+                ones_off,
+                cylinders,
+                words_per,
+            });
+            word_off = word_off
+                .checked_add(entry_words)
+                .ok_or_else(|| format!("span {at} overflows the slab"))?;
+            ones_off = ones_off
+                .checked_add(cylinders)
+                .ok_or_else(|| format!("span {at} overflows the ones array"))?;
+        }
+        if word_off != words.len() {
+            return Err(format!(
+                "spans cover {word_off} words but the slab holds {}",
+                words.len()
+            ));
+        }
+        if ones_off != ones.len() {
+            return Err(format!(
+                "spans cover {ones_off} cylinders but ones holds {}",
+                ones.len()
+            ));
+        }
+        for span in &built {
+            for c in 0..span.cylinders {
+                let base = span.word_off + c * span.words_per;
+                let actual: u32 = words[base..base + span.words_per]
+                    .iter()
+                    .map(|w| w.count_ones())
+                    .sum();
+                if ones[span.ones_off + c] != actual {
+                    return Err(format!(
+                        "ones[{}] is {} but its cylinder popcount is {actual}",
+                        span.ones_off + c,
+                        ones[span.ones_off + c]
+                    ));
+                }
+            }
+        }
+        Ok(CodeArena {
+            words,
+            ones,
+            spans: built,
+        })
+    }
+
     /// Appends one entry's codes to the slab. Entries keep their append
     /// order: entry `i` here is gallery entry `i` of the owning index.
     pub fn push(&mut self, codes: &CylinderCodes) {
@@ -481,6 +571,142 @@ mod tests {
         assert_eq!(out, reference);
         assert_eq!(ops, ops_r);
     }
+
+    #[test]
+    fn raw_parts_round_trip_and_reject_hostile_shapes() {
+        let a = raw_codes(&[&[0b1011, 0x55], &[0xFF00, 0x0F]], 2);
+        let b = raw_codes(&[&[!0u64], &[0], &[0xF0F0]], 1);
+        let mut arena = CodeArena::new();
+        arena.push(&a);
+        arena.push(&b);
+
+        let spans: Vec<(u32, u32)> = arena.raw_spans().collect();
+        assert_eq!(spans, vec![(2, 2), (3, 1)]);
+        let rebuilt = CodeArena::from_raw_parts(
+            arena.raw_words().to_vec(),
+            arena.raw_ones().to_vec(),
+            &spans,
+        )
+        .unwrap();
+        assert_eq!(rebuilt.raw_words(), arena.raw_words());
+        assert_eq!(rebuilt.raw_ones(), arena.raw_ones());
+        let probe = raw_codes(&[&[0b1111, 0xAA]], 2);
+        let mut scratch = Stage1Scratch::new();
+        let (mut out_a, mut out_b) = (vec![0.0; 2], vec![0.0; 2]);
+        let ops_a = arena.score_into(&probe, 2, &mut scratch, &mut out_a);
+        let ops_b = rebuilt.score_into(&probe, 2, &mut scratch, &mut out_b);
+        assert_eq!(out_a, out_b);
+        assert_eq!(ops_a, ops_b);
+
+        // Hostile shapes: spans that under- or over-cover the slab, wrong
+        // popcounts, and multiplications that overflow all come back as
+        // errors, never panics.
+        let words = arena.raw_words().to_vec();
+        let ones = arena.raw_ones().to_vec();
+        assert!(CodeArena::from_raw_parts(words.clone(), ones.clone(), &[(2, 2)]).is_err());
+        assert!(
+            CodeArena::from_raw_parts(words.clone(), ones.clone(), &[(2, 2), (3, 1), (1, 1)])
+                .is_err()
+        );
+        let mut bad_ones = ones.clone();
+        bad_ones[0] ^= 1;
+        assert!(CodeArena::from_raw_parts(words.clone(), bad_ones, &spans).is_err());
+        assert!(
+            CodeArena::from_raw_parts(words, ones, &[(u32::MAX, u32::MAX), (u32::MAX, 2)]).is_err()
+        );
+        assert!(CodeArena::from_raw_parts(Vec::new(), Vec::new(), &[]).is_ok());
+    }
+
+    /// Fowler–Noll–Vo 1a over a byte stream — a stable digest for the
+    /// golden-layout test below, independent of everything else in the
+    /// workspace.
+    fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// **Golden layout pin.** `fp-store` serializes the arena's raw parts
+    /// verbatim (words as little-endian `u64`s), so any change to how
+    /// [`CylinderCodes::extract`] binarizes or how [`CodeArena::push`]
+    /// packs — bit order within a word, cylinder order, words-per-cylinder,
+    /// the mean-threshold tie rule, the reliability-ranked minutia cut —
+    /// silently invalidates every already-written segment. This test pins
+    /// the exact packed bytes for a fixed template; if it fails, DO NOT
+    /// update the constants in place: bump `fp-store`'s `SEGMENT_VERSION`
+    /// first so old segments are rejected as unsupported instead of being
+    /// decoded under the new layout, then re-pin.
+    #[test]
+    fn packed_layout_is_pinned_for_persistence() {
+        use fp_core::geometry::{Direction, Point};
+        use fp_core::minutia::{Minutia, MinutiaKind};
+        use fp_core::rng::SeedTree;
+        use fp_core::template::Template;
+        use fp_match::MccMatcher;
+        use rand::Rng;
+
+        let mut rng = SeedTree::new(0x90_1D).child(&[0x60]).rng();
+        let mut minutiae = Vec::new();
+        while minutiae.len() < 30 {
+            let pos = Point::new(
+                rng.gen::<f64>() * 16.0 - 8.0,
+                rng.gen::<f64>() * 20.0 - 10.0,
+            );
+            if minutiae
+                .iter()
+                .any(|m: &Minutia| m.pos.distance(&pos) < 1.4)
+            {
+                continue;
+            }
+            minutiae.push(Minutia::new(
+                pos,
+                Direction::from_radians(rng.gen::<f64>() * std::f64::consts::TAU),
+                if rng.gen::<bool>() {
+                    MinutiaKind::RidgeEnding
+                } else {
+                    MinutiaKind::Bifurcation
+                },
+                rng.gen::<f64>(),
+            ));
+        }
+        let template = Template::builder(500.0)
+            .capture_window_mm(20.0, 24.0)
+            .extend(minutiae)
+            .build()
+            .unwrap();
+
+        let codes = CylinderCodes::extract(&MccMatcher::default(), &template, 24);
+        let mut arena = CodeArena::new();
+        arena.push(&codes);
+
+        let spans: Vec<(u32, u32)> = arena.raw_spans().collect();
+        assert_eq!(spans, vec![(GOLDEN_CYLINDERS, GOLDEN_WORDS_PER)]);
+        assert_eq!(
+            fnv1a(arena.raw_words().iter().flat_map(|w| w.to_le_bytes())),
+            GOLDEN_WORDS_FNV,
+            "packed word bytes changed — bump the fp-store segment version"
+        );
+        assert_eq!(
+            fnv1a(arena.raw_ones().iter().flat_map(|o| o.to_le_bytes())),
+            GOLDEN_ONES_FNV,
+            "popcount bytes changed — bump the fp-store segment version"
+        );
+        assert_eq!(&arena.raw_words()[..4], GOLDEN_FIRST_WORDS);
+    }
+
+    const GOLDEN_CYLINDERS: u32 = 22;
+    const GOLDEN_WORDS_PER: u32 = 5;
+    const GOLDEN_WORDS_FNV: u64 = 0x3e57_7bf4_5f22_a40b;
+    const GOLDEN_ONES_FNV: u64 = 0x7b39_0d84_d8e2_f892;
+    const GOLDEN_FIRST_WORDS: &[u64] = &[
+        943_200_256,
+        247_256_852_256_768,
+        105_968_666_935_296,
+        137_975_824_384,
+    ];
 
     #[test]
     fn blocks_split_large_arenas_without_changing_scores() {

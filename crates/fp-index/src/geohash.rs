@@ -9,16 +9,46 @@
 //! one vote. Genuine gallery entries share many compatible pairs with the
 //! probe and accumulate deep vote counts; impostors only collect accidental
 //! geometry.
+//!
+//! The table has two physical representations with identical lookup
+//! behavior. A *map* (hash table) serves incremental enrollment. A *flat*
+//! form — sorted keys, bucket offsets, one contiguous id array, exactly the
+//! shape `fp-store` persists — serves galleries opened from disk: building
+//! it is three bulk array moves instead of a million hash inserts, which is
+//! what keeps segment open time in milliseconds. Lookups are key-exact in
+//! both forms (hash probe vs. binary search), so votes accumulate
+//! bit-identically; the first post-open [`insert`](BucketIndex::insert)
+//! thaws a flat table back into a map.
 
 use std::collections::HashMap;
 
 use fp_match::PairFeature;
 
+/// The flat persisted form of a bucket table: `keys` sorted strictly
+/// ascending, bucket `k` owning `ids[offsets[k]..offsets[k + 1]]`
+/// (`offsets.len() == keys.len() + 1`). This is byte-for-byte the shape
+/// `fp-store` reads out of a segment's BUCKETS section.
+#[derive(Debug, Clone, Default)]
+pub struct FlatBuckets {
+    /// Bucket keys, strictly ascending.
+    pub keys: Vec<u64>,
+    /// Prefix offsets into `ids`, one per key plus a trailing total.
+    pub offsets: Vec<usize>,
+    /// Every bucket's gallery ids, concatenated in key order.
+    pub ids: Vec<u32>,
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    Map(HashMap<u64, Vec<u32>>),
+    Flat(FlatBuckets),
+}
+
 /// Bucket index from quantized pair features to the gallery ids that own
 /// them.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub(crate) struct BucketIndex {
-    buckets: HashMap<u64, Vec<u32>>,
+    repr: Repr,
     distance_bin: f64,
     angle_bins: usize,
 }
@@ -28,7 +58,7 @@ impl BucketIndex {
         assert!(distance_bin > 0.0, "distance bin must be positive");
         assert!(angle_bins >= 2, "need at least two angular bins");
         BucketIndex {
-            buckets: HashMap::new(),
+            repr: Repr::Map(HashMap::new()),
             distance_bin,
             angle_bins,
         }
@@ -37,7 +67,10 @@ impl BucketIndex {
     /// Number of occupied buckets.
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
-        self.buckets.len()
+        match &self.repr {
+            Repr::Map(map) => map.len(),
+            Repr::Flat(flat) => flat.keys.len(),
+        }
     }
 
     fn angle_bin(&self, beta: f64) -> i64 {
@@ -74,15 +107,102 @@ impl BucketIndex {
         ((d_bin as u64) << 42) | ((b1_bin as u64) << 21) | b2_bin as u64
     }
 
-    /// Registers the pair features of gallery template `id`.
+    /// The ids registered under exactly `key`, in either representation.
+    fn bucket(&self, key: u64) -> Option<&[u32]> {
+        match &self.repr {
+            Repr::Map(map) => map.get(&key).map(Vec::as_slice),
+            Repr::Flat(flat) => flat
+                .keys
+                .binary_search(&key)
+                .ok()
+                .map(|k| &flat.ids[flat.offsets[k]..flat.offsets[k + 1]]),
+        }
+    }
+
+    /// Dumps every bucket as `(key, ids)` sorted by key ascending, ids in
+    /// insertion order (ascending gallery id, duplicates adjacent when one
+    /// entry registered the same key twice). The canonical persistence
+    /// order: dumping, re-loading via [`from_sorted_parts`]
+    /// (Self::from_sorted_parts) and dumping again yields identical bytes.
+    pub(crate) fn dump_sorted(&self) -> Vec<(u64, Vec<u32>)> {
+        match &self.repr {
+            Repr::Map(map) => {
+                let mut out: Vec<(u64, Vec<u32>)> =
+                    map.iter().map(|(&key, ids)| (key, ids.clone())).collect();
+                out.sort_unstable_by_key(|(key, _)| *key);
+                out
+            }
+            Repr::Flat(flat) => flat
+                .keys
+                .iter()
+                .enumerate()
+                .map(|(k, &key)| (key, flat.ids[flat.offsets[k]..flat.offsets[k + 1]].to_vec()))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a bucket index from dumped parts, flattened. The caller
+    /// (the single boundary is `CandidateIndex::from_store_parts`) has
+    /// already validated ids against the gallery length, keys as strictly
+    /// ascending, and the `(distance_bin, angle_bins)` pair against
+    /// [`new`](Self::new)'s requirements.
+    pub(crate) fn from_sorted_parts(
+        distance_bin: f64,
+        angle_bins: usize,
+        parts: impl IntoIterator<Item = (u64, Vec<u32>)>,
+    ) -> BucketIndex {
+        let mut flat = FlatBuckets::default();
+        flat.offsets.push(0);
+        for (key, ids) in parts {
+            flat.keys.push(key);
+            flat.ids.extend_from_slice(&ids);
+            flat.offsets.push(flat.ids.len());
+        }
+        BucketIndex::from_flat_parts(distance_bin, angle_bins, flat)
+    }
+
+    /// Adopts an already-flat bucket table (the zero-shuffle open path:
+    /// `fp-store` decodes a segment's BUCKETS section straight into this
+    /// shape). Lookup behavior is key-exact and per-bucket id order is
+    /// preserved, so the rebuilt index accumulates votes bit-identically
+    /// to one grown by [`insert`](Self::insert) calls.
+    pub(crate) fn from_flat_parts(
+        distance_bin: f64,
+        angle_bins: usize,
+        flat: FlatBuckets,
+    ) -> BucketIndex {
+        debug_assert_eq!(flat.offsets.len(), flat.keys.len() + 1);
+        debug_assert!(flat.keys.windows(2).all(|w| w[0] < w[1]));
+        debug_assert_eq!(flat.offsets.last().copied().unwrap_or(0), flat.ids.len());
+        let mut index = BucketIndex::new(distance_bin, angle_bins);
+        index.repr = Repr::Flat(flat);
+        index
+    }
+
+    /// Registers the pair features of gallery template `id`. A flat
+    /// (opened-from-disk) table is thawed into a map first; bucket id
+    /// order is preserved, so post-open enrollment behaves exactly as if
+    /// the whole gallery had been enrolled incrementally.
     pub(crate) fn insert(&mut self, id: u32, features: impl Iterator<Item = PairFeature>) {
+        if let Repr::Flat(flat) = &self.repr {
+            let thawed: HashMap<u64, Vec<u32>> = flat
+                .keys
+                .iter()
+                .enumerate()
+                .map(|(k, &key)| (key, flat.ids[flat.offsets[k]..flat.offsets[k + 1]].to_vec()))
+                .collect();
+            self.repr = Repr::Map(thawed);
+        }
         for f in features {
             let key = self.key(
                 (f.d / self.distance_bin).floor() as i64,
                 self.angle_bin(f.beta1),
                 self.angle_bin(f.beta2),
             );
-            self.buckets.entry(key).or_default().push(id);
+            let Repr::Map(map) = &mut self.repr else {
+                unreachable!("flat tables are thawed above");
+            };
+            map.entry(key).or_default().push(id);
         }
     }
 
@@ -111,7 +231,7 @@ impl BucketIndex {
                 }
                 for &b1 in &b1s[..n1] {
                     for &b2 in &b2s[..n2] {
-                        if let Some(bucket) = self.buckets.get(&self.key(d, b1, b2)) {
+                        if let Some(bucket) = self.bucket(self.key(d, b1, b2)) {
                             hits += bucket.len() as u64;
                             for &id in bucket {
                                 votes[id as usize] += 1;
@@ -219,5 +339,49 @@ mod tests {
         index.accumulate([feature(8.0, 2.0, -2.0)].into_iter(), &mut votes);
         assert_eq!(votes[0], 0);
         assert_eq!(index.len(), 1);
+    }
+
+    #[test]
+    fn flat_and_map_representations_vote_identically() {
+        let tau = std::f64::consts::TAU;
+        let mut grown = BucketIndex::new(0.5, 16);
+        for id in 0..20u32 {
+            let fs: Vec<PairFeature> = (0..6)
+                .map(|k| {
+                    let a =
+                        ((id as f64 * 0.37 + k as f64 * 0.11) % 1.0) * tau - std::f64::consts::PI;
+                    feature(2.0 + (id as f64 * 0.63 + k as f64) % 9.0, a, -a * 0.5)
+                })
+                .collect();
+            grown.insert(id, fs.into_iter());
+        }
+        let flat = BucketIndex::from_sorted_parts(0.5, 16, grown.dump_sorted());
+        assert!(matches!(flat.repr, Repr::Flat(_)));
+        assert_eq!(grown.dump_sorted(), flat.dump_sorted());
+
+        let probes: Vec<PairFeature> = (0..10)
+            .map(|k| {
+                feature(
+                    2.5 + k as f64 * 0.8,
+                    k as f64 * 0.3 - 1.5,
+                    1.2 - k as f64 * 0.2,
+                )
+            })
+            .collect();
+        let mut votes_map = vec![0u32; 20];
+        let mut votes_flat = vec![0u32; 20];
+        let hits_map = grown.accumulate(probes.iter().copied(), &mut votes_map);
+        let hits_flat = flat.accumulate(probes.iter().copied(), &mut votes_flat);
+        assert_eq!(votes_map, votes_flat);
+        assert_eq!(hits_map, hits_flat);
+
+        // Thaw: inserting into the flat table matches inserting into the
+        // grown map, buckets and all.
+        let mut thawed = flat.clone();
+        let extra = [feature(4.0, 0.25, -0.75)];
+        thawed.insert(20, extra.iter().copied());
+        let mut also_grown = grown.clone();
+        also_grown.insert(20, extra.iter().copied());
+        assert_eq!(thawed.dump_sorted(), also_grown.dump_sorted());
     }
 }

@@ -21,8 +21,46 @@ use crate::signature::{CylinderCodes, Stage1Scratch};
 /// chasing per-entry allocations.
 #[derive(Debug, Clone)]
 struct GalleryEntry<P> {
-    prepared: P,
+    prepared: TableSlot<P>,
     pair_count: u32,
+}
+
+/// An entry's prepared stage-2 structure: either materialized (enrollment
+/// and eager store opens) or a slot the index's [`TableLoader`] fills on
+/// first stage-2 touch (lazy store opens). Only shortlisted entries are
+/// ever re-ranked, so a lazily opened gallery decodes a handful of tables
+/// per search instead of all of them at open — the decoded value is
+/// bit-identical either way, so searches are too.
+#[derive(Debug, Clone)]
+enum TableSlot<P> {
+    Ready(P),
+    Lazy(std::sync::OnceLock<P>),
+}
+
+/// Demand-loader for lazy entries: maps a dense gallery id to its prepared
+/// stage-2 structure (`fp-store` slices, checksums, and decodes the
+/// entry's table record from the open segment file). Must be pure — the
+/// value is cached in the entry's slot and must equal what eager
+/// enrollment would have produced, bit for bit.
+pub struct TableLoader<P>(std::sync::Arc<dyn Fn(u32) -> P + Send + Sync>);
+
+impl<P> TableLoader<P> {
+    /// Wraps a demand-load function.
+    pub fn new(load: impl Fn(u32) -> P + Send + Sync + 'static) -> TableLoader<P> {
+        TableLoader(std::sync::Arc::new(load))
+    }
+}
+
+impl<P> Clone for TableLoader<P> {
+    fn clone(&self) -> Self {
+        TableLoader(self.0.clone())
+    }
+}
+
+impl<P> std::fmt::Debug for TableLoader<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TableLoader")
+    }
 }
 
 /// Everything one template contributes at enrollment, prepared off the
@@ -187,6 +225,9 @@ pub struct CandidateIndex<M: PreparableMatcher> {
     mcc: MccMatcher,
     config: IndexConfig,
     entries: Vec<GalleryEntry<M::Prepared>>,
+    /// Fills lazy entry slots on first stage-2 touch; `None` on indexes
+    /// whose entries are all materialized.
+    loader: Option<TableLoader<M::Prepared>>,
     /// Every enrolled entry's packed cylinder codes, structure-of-arrays,
     /// indexed by the same dense ids as `entries`.
     arena: CodeArena,
@@ -237,6 +278,7 @@ impl<M: PreparableMatcher> CandidateIndex<M> {
             mcc: MccMatcher::default(),
             config,
             entries: Vec::new(),
+            loader: None,
             arena: CodeArena::new(),
             buckets: BucketIndex::new(config.distance_bin, config.angle_bins),
             metrics: IndexMetrics::default(),
@@ -322,11 +364,33 @@ impl<M: PreparableMatcher> CandidateIndex<M> {
         let codes = CylinderCodes::extract(&self.mcc, template, self.config.max_cylinders);
         PreparedEnrollment {
             entry: GalleryEntry {
-                prepared: self.matcher.prepare(template),
+                prepared: TableSlot::Ready(self.matcher.prepare(template)),
                 pair_count: features.len() as u32,
             },
             features,
             codes,
+        }
+    }
+
+    /// The prepared stage-2 structure of gallery entry `id`, demand-loading
+    /// (and caching) it through the table loader if the entry is lazy.
+    ///
+    /// # Panics
+    ///
+    /// If a lazy entry exists without a loader — impossible through the
+    /// public constructors ([`from_store_parts_lazy`]
+    /// (Self::from_store_parts_lazy) is the only source of lazy slots and
+    /// always installs one).
+    fn prepared(&self, id: u32) -> &M::Prepared {
+        match &self.entries[id as usize].prepared {
+            TableSlot::Ready(p) => p,
+            TableSlot::Lazy(slot) => slot.get_or_init(|| {
+                let loader = self
+                    .loader
+                    .as_ref()
+                    .expect("lazy gallery entry without a table loader");
+                (loader.0)(id)
+            }),
         }
     }
 
@@ -457,6 +521,115 @@ impl<M: PreparableMatcher> CandidateIndex<M> {
         &self.arena
     }
 
+    /// Persistence view of the gallery: every entry's prepared matcher
+    /// structure plus its pair-feature count (the vote-normalization
+    /// denominator, counted from the index's own feature extractor — not
+    /// derivable from `M::Prepared` in general), in dense-id order.
+    /// Together with [`arena`](Self::arena)'s raw parts and
+    /// [`store_buckets`](Self::store_buckets) this is the complete state
+    /// `fp-store` writes into a segment — per-entry scores are pure
+    /// functions of (probe, entry, config), so an index rebuilt from these
+    /// parts searches byte-identically.
+    pub fn store_entries(&self) -> impl Iterator<Item = (&M::Prepared, u32)> + '_ {
+        // `prepared(id)` so saving a lazily opened index forces the
+        // remaining table loads — persistence always sees full entries.
+        (0..self.entries.len() as u32)
+            .map(|id| (self.prepared(id), self.entries[id as usize].pair_count))
+    }
+
+    /// Persistence view of the geometric-hash table: `(key, ids)` buckets
+    /// sorted by key ascending, ids in insertion (ascending gallery id)
+    /// order — a canonical order, so save → open → save is byte-stable.
+    pub fn store_buckets(&self) -> Vec<(u64, Vec<u32>)> {
+        self.buckets.dump_sorted()
+    }
+
+    /// Reassembles an index from persisted parts — the open path of
+    /// `fp-store`'s segment format. `entries` pairs each prepared matcher
+    /// structure with its pair-feature count in dense-id order; `arena`
+    /// and `buckets` must describe the same entries (the arena packs one
+    /// span per entry, bucket ids are dense gallery ids). The result is
+    /// indistinguishable from an index grown by [`enroll`](Self::enroll)
+    /// calls in the same order: same candidate lists, same RUNFP chain.
+    ///
+    /// # Panics
+    ///
+    /// If `arena.len() != entries.len()`. Callers are responsible for
+    /// validating untrusted inputs *before* this point (`fp-store` rejects
+    /// hostile segments with typed errors during decode); this assert is a
+    /// last-line programming-error check, not an input-validation surface
+    /// — bucket ids out of range are likewise the caller's contract.
+    pub fn from_store_parts(
+        matcher: M,
+        config: IndexConfig,
+        entries: Vec<(M::Prepared, u32)>,
+        arena: CodeArena,
+        buckets: impl IntoIterator<Item = (u64, Vec<u32>)>,
+    ) -> Result<CandidateIndex<M>, IndexConfigError> {
+        let mut index = CandidateIndex::try_with_config(matcher, config)?;
+        assert_eq!(
+            arena.len(),
+            entries.len(),
+            "arena must pack exactly one span per entry"
+        );
+        index.entries = entries
+            .into_iter()
+            .map(|(prepared, pair_count)| GalleryEntry {
+                prepared: TableSlot::Ready(prepared),
+                pair_count,
+            })
+            .collect();
+        index.arena = arena;
+        index.buckets =
+            BucketIndex::from_sorted_parts(config.distance_bin, config.angle_bins, buckets);
+        index.metrics.enrolled.add(index.entries.len() as u64);
+        Ok(index)
+    }
+
+    /// [`from_store_parts`](Self::from_store_parts) with **lazy** stage-2
+    /// tables: instead of materialized prepared structures, each entry
+    /// gets an empty slot plus its pair-feature count (stage-1 needs the
+    /// counts for every entry on every search), and `loader` fills a slot
+    /// the first time stage-2 touches that entry. Since only shortlisted
+    /// entries are ever re-ranked, opening a persisted gallery this way
+    /// skips decoding the dominant share of its bytes — while searches
+    /// stay bit-identical, because the loader must return exactly what
+    /// eager enrollment produced. Buckets arrive in the flat persisted
+    /// shape and are adopted without reshuffling.
+    ///
+    /// # Panics
+    ///
+    /// If `arena.len() != pair_counts.len()` — same last-line check as
+    /// [`from_store_parts`](Self::from_store_parts).
+    pub fn from_store_parts_lazy(
+        matcher: M,
+        config: IndexConfig,
+        pair_counts: Vec<u32>,
+        loader: TableLoader<M::Prepared>,
+        arena: CodeArena,
+        buckets: crate::geohash::FlatBuckets,
+    ) -> Result<CandidateIndex<M>, IndexConfigError> {
+        let mut index = CandidateIndex::try_with_config(matcher, config)?;
+        assert_eq!(
+            arena.len(),
+            pair_counts.len(),
+            "arena must pack exactly one span per entry"
+        );
+        index.entries = pair_counts
+            .into_iter()
+            .map(|pair_count| GalleryEntry {
+                prepared: TableSlot::Lazy(std::sync::OnceLock::new()),
+                pair_count,
+            })
+            .collect();
+        index.loader = Some(loader);
+        index.arena = arena;
+        index.buckets =
+            BucketIndex::from_flat_parts(config.distance_bin, config.angle_bins, buckets);
+        index.metrics.enrolled.add(index.entries.len() as u64);
+        Ok(index)
+    }
+
     /// Stage-1 cylinder-code scores of `probe` against every enrolled
     /// entry via the **blocked arena kernel** — `(per-entry scores,
     /// hamming word ops)`. Public for the kernel parity gate
@@ -497,7 +670,7 @@ impl<M: PreparableMatcher> CandidateIndex<M> {
                 id,
                 score: self
                     .matcher
-                    .compare_prepared(&self.entries[id as usize].prepared, probe_prepared),
+                    .compare_prepared(self.prepared(id), probe_prepared),
             })
             .collect()
     }
@@ -558,15 +731,12 @@ impl<M: PreparableMatcher> CandidateIndex<M> {
     /// and the same deterministic ordering. Not metered as a search.
     pub fn brute_force(&self, probe: &Template) -> SearchResult {
         let probe_prepared = self.matcher.prepare(probe);
-        let mut candidates: Vec<Candidate> = self
-            .entries
-            .iter()
-            .enumerate()
-            .map(|(id, entry)| Candidate {
-                id: id as u32,
+        let mut candidates: Vec<Candidate> = (0..self.entries.len() as u32)
+            .map(|id| Candidate {
+                id,
                 score: self
                     .matcher
-                    .compare_prepared(&entry.prepared, &probe_prepared),
+                    .compare_prepared(self.prepared(id), &probe_prepared),
             })
             .collect();
         candidates.sort_unstable_by(|a, b| b.score.cmp(&a.score).then(a.id.cmp(&b.id)));

@@ -64,7 +64,7 @@
 pub mod arena;
 pub mod backend;
 pub mod config;
-mod geohash;
+pub mod geohash;
 pub mod index;
 pub mod metrics;
 pub mod shard;
@@ -73,7 +73,8 @@ pub mod signature;
 pub use arena::CodeArena;
 pub use backend::{search_backends, ShardBackend, ShardError};
 pub use config::{IndexConfig, IndexConfigError};
-pub use index::{Candidate, CandidateIndex, SearchResult, StageOneScores};
+pub use geohash::FlatBuckets;
+pub use index::{Candidate, CandidateIndex, SearchResult, StageOneScores, TableLoader};
 pub use metrics::IndexMetrics;
 pub use shard::ShardedIndex;
 pub use signature::{CodeView, CylinderCodes, Stage1Scratch};

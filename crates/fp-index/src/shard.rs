@@ -86,6 +86,41 @@ impl<M: fp_match::PreparableMatcher + Clone> ShardedIndex<M> {
 }
 
 impl<M: fp_match::PreparableMatcher> ShardedIndex<M> {
+    /// Assembles a sharded index from pre-built shards under the
+    /// round-robin id mapping (shard `k` holds global ids `≡ k (mod S)`,
+    /// global id `g` at local id `g / S`). This is `fp-store`'s sharded
+    /// open path: a persisted gallery's entries are dealt into per-shard
+    /// [`CandidateIndex::from_store_parts`] indexes and installed here,
+    /// producing an index byte-identical to one grown by
+    /// [`enroll`](Self::enroll) calls in global-id order.
+    ///
+    /// # Panics
+    ///
+    /// If `shards` is empty, the shards disagree on config, or the shard
+    /// lengths violate the round-robin deal (shard `k` of `S` over `n`
+    /// total entries must hold exactly `(n + S - 1 - k) / S`).
+    pub fn from_shards(shards: Vec<CandidateIndex<M>>) -> ShardedIndex<M> {
+        assert!(!shards.is_empty(), "need at least one shard");
+        let config = *shards[0].config();
+        let s = shards.len();
+        let total: usize = shards.iter().map(|shard| shard.len()).sum();
+        for (k, shard) in shards.iter().enumerate() {
+            assert_eq!(shard.config(), &config, "shard {k} config differs");
+            assert_eq!(
+                shard.len(),
+                (total + s - 1 - k) / s,
+                "shard {k} length violates the round-robin deal"
+            );
+        }
+        ShardedIndex {
+            shards,
+            rollup: IndexMetrics::default(),
+            config,
+            enrolled: total,
+            runfp: RunFingerprint::new(config.fingerprint_base(0)),
+        }
+    }
+
     /// Registers the roll-up instruments under the canonical `index` prefix
     /// (so dashboards compare sharded and unsharded runs 1:1) plus one
     /// per-shard bundle under `index.shard<k>` for work attribution.

@@ -152,6 +152,99 @@ impl PreparedPairTable {
             beta2: e.beta2,
         })
     }
+
+    /// The raw fields of every pair-table entry in stored (distance)
+    /// order — `(d, beta1, beta2, i, j)` — for persistence. Round-trips
+    /// bit-exactly through [`from_raw_parts`](Self::from_raw_parts).
+    pub fn raw_entries(&self) -> impl Iterator<Item = (f64, f64, f64, u16, u16)> + '_ {
+        self.entries
+            .iter()
+            .map(|e| (e.d, e.beta1, e.beta2, e.i, e.j))
+    }
+
+    /// The canonical radians of every minutia direction, in minutia order
+    /// (`directions.len() == minutia_count`).
+    pub fn raw_directions(&self) -> impl Iterator<Item = f64> + '_ {
+        self.directions.iter().map(|d| d.radians())
+    }
+
+    /// Every minutia kind, in minutia order.
+    pub fn raw_kinds(&self) -> impl Iterator<Item = MinutiaKind> + '_ {
+        self.kinds.iter().copied()
+    }
+
+    /// Reassembles a prepared table from its raw parts (the inverse of the
+    /// `raw_*` accessors), validating every structural invariant
+    /// `score_tables` relies on before constructing anything:
+    ///
+    /// * `directions` and `kinds` must each hold exactly `minutia_count`
+    ///   values (scoring indexes both arrays by minutia id);
+    /// * every entry's `i` and `j` must be `< minutia_count` (they index
+    ///   `kinds`/`directions` and the one-to-one bitmaps unchecked);
+    /// * every direction must already be canonical, in `(-pi, pi]` — the
+    ///   value [`Direction::radians`] produces — so reconstruction is
+    ///   bit-exact (re-wrapping is not);
+    /// * distances must be finite and non-decreasing (the association scan
+    ///   is a two-pointer walk over distance-sorted tables).
+    ///
+    /// Violations come back as a typed description, never a panic — this
+    /// is the boundary that makes hostile serialized tables safe to load.
+    pub fn from_raw_parts(
+        entries: Vec<(f64, f64, f64, u16, u16)>,
+        directions: Vec<f64>,
+        kinds: Vec<MinutiaKind>,
+        minutia_count: usize,
+    ) -> Result<PreparedPairTable, String> {
+        if directions.len() != minutia_count {
+            return Err(format!(
+                "directions holds {} values for {minutia_count} minutiae",
+                directions.len()
+            ));
+        }
+        if kinds.len() != minutia_count {
+            return Err(format!(
+                "kinds holds {} values for {minutia_count} minutiae",
+                kinds.len()
+            ));
+        }
+        let directions = directions
+            .into_iter()
+            .enumerate()
+            .map(|(at, radians)| {
+                Direction::try_from_canonical_radians(radians)
+                    .ok_or_else(|| format!("direction {at} ({radians}) is not canonical"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut prev = f64::NEG_INFINITY;
+        let entries = entries
+            .into_iter()
+            .enumerate()
+            .map(|(at, (d, beta1, beta2, i, j))| {
+                if usize::from(i) >= minutia_count || usize::from(j) >= minutia_count {
+                    return Err(format!(
+                        "entry {at} references minutiae ({i}, {j}) of {minutia_count}"
+                    ));
+                }
+                if !d.is_finite() || d < prev {
+                    return Err(format!("entry {at} breaks the distance sort ({d})"));
+                }
+                prev = d;
+                Ok(PairEntry {
+                    d,
+                    beta1,
+                    beta2,
+                    i,
+                    j,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PreparedPairTable {
+            entries,
+            directions,
+            kinds,
+            minutia_count,
+        })
+    }
 }
 
 /// The Bozorth3-family pair-table matcher. See the module docs for the
@@ -566,6 +659,65 @@ mod tests {
             jitter_score > self_score * 0.5,
             "jitter {jitter_score} self {self_score}"
         );
+    }
+
+    #[test]
+    fn raw_parts_round_trip_bit_exactly() {
+        let m = PairTableMatcher::default();
+        let table = m.prepare(&synthetic_template(12, 30));
+        let rebuilt = PreparedPairTable::from_raw_parts(
+            table.raw_entries().collect(),
+            table.raw_directions().collect(),
+            table.raw_kinds().collect(),
+            table.minutia_count(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.len(), table.len());
+        assert_eq!(rebuilt.minutia_count(), table.minutia_count());
+        for (a, b) in table.raw_entries().zip(rebuilt.raw_entries()) {
+            assert_eq!(a.0.to_bits(), b.0.to_bits());
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+            assert_eq!(a.2.to_bits(), b.2.to_bits());
+            assert_eq!((a.3, a.4), (b.3, b.4));
+        }
+        for (a, b) in table.raw_directions().zip(rebuilt.raw_directions()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "directions must survive bitwise");
+        }
+        // Same bytes in, same score bits out — the property fp-store's
+        // parity gate rests on.
+        let probe = m.prepare(&synthetic_template(13, 30));
+        assert_eq!(
+            m.compare_prepared(&table, &probe),
+            m.compare_prepared(&rebuilt, &probe)
+        );
+    }
+
+    #[test]
+    fn hostile_raw_parts_are_rejected_not_panicked() {
+        let dirs = vec![0.0, 1.0];
+        let kinds = vec![MinutiaKind::RidgeEnding, MinutiaKind::Bifurcation];
+        let ok =
+            |entries| PreparedPairTable::from_raw_parts(entries, dirs.clone(), kinds.clone(), 2);
+        assert!(ok(vec![(2.0, 0.0, 0.0, 0, 1)]).is_ok());
+        // Minutia reference out of range (would index kinds/directions OOB).
+        assert!(ok(vec![(2.0, 0.0, 0.0, 0, 2)]).is_err());
+        // Distance sort violated (two-pointer walk assumes sorted).
+        assert!(ok(vec![(3.0, 0.0, 0.0, 0, 1), (2.0, 0.0, 0.0, 1, 0)]).is_err());
+        // Non-finite distance.
+        assert!(ok(vec![(f64::NAN, 0.0, 0.0, 0, 1)]).is_err());
+        // Length mismatches.
+        assert!(
+            PreparedPairTable::from_raw_parts(Vec::new(), dirs.clone(), kinds.clone(), 3).is_err()
+        );
+        assert!(PreparedPairTable::from_raw_parts(Vec::new(), vec![0.0], kinds, 2).is_err());
+        // Non-canonical direction (4.0 > pi would break bit-exact storage).
+        assert!(PreparedPairTable::from_raw_parts(
+            Vec::new(),
+            vec![0.0, 4.0],
+            vec![MinutiaKind::RidgeEnding, MinutiaKind::Bifurcation],
+            2
+        )
+        .is_err());
     }
 
     #[test]

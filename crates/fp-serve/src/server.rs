@@ -223,6 +223,23 @@ where
         self
     }
 
+    /// Installs a pre-built index in place of the empty one — the
+    /// `--gallery-dir` path: `study serve-shard` opens a persisted
+    /// gallery via `fp-store` and serves it without a single enroll
+    /// round-trip. The index re-registers its instruments on the
+    /// already-attached telemetry, so call this *after*
+    /// [`with_telemetry`](Self::with_telemetry) (and, like every builder
+    /// method, before [`run`](Self::run)/[`spawn`](Self::spawn)).
+    pub fn with_index(mut self, index: CandidateIndex<M>) -> Self {
+        let state =
+            Arc::get_mut(&mut self.state).expect("with_index must be called before spawn/run");
+        let telemetry = state.telemetry.clone();
+        let mut slot = state.index.write().expect("index lock poisoned");
+        *slot = index.with_telemetry(&telemetry);
+        drop(slot);
+        self
+    }
+
     /// Sizes the worker pool: `workers` threads executing requests,
     /// `queue` slots of admission buffer (the overload watermark — a
     /// request arriving with the queue full is shed with a typed

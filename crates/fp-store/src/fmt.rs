@@ -1,0 +1,325 @@
+//! Little-endian encode/decode primitives shared by segments and
+//! manifests.
+//!
+//! Same conventions as `fp-serve`'s wire format: every multi-byte scalar
+//! is little-endian, floats travel as raw IEEE-754 bits (`to_bits` /
+//! `from_bits`, never a lossy text round-trip), and integrity is CRC32
+//! (IEEE, reflected, polynomial `0xEDB8_8320`). The decoder is a
+//! bounds-checked cursor: every read that would run past the buffer
+//! returns [`StoreError::Truncated`] instead of slicing out of range, and
+//! declared element counts are multiplied with overflow checks *before*
+//! any allocation so a hostile header cannot request an absurd reserve.
+
+use crate::error::StoreError;
+
+/// Eight lookup tables for slice-by-8: `CRC_TABLES[0]` is the classic
+/// byte-at-a-time table; `CRC_TABLES[t][i]` advances byte `i` through
+/// `t` extra zero bytes, letting the hot loop fold 8 input bytes per
+/// iteration. Identical output to the byte-wise algorithm for every
+/// input — only the walk order through the same polynomial differs.
+const CRC_TABLES: [[u32; 256]; 8] = crc_tables();
+
+const fn crc_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
+/// CRC32 (IEEE, slice-by-8) of `bytes`. Check value: `crc32(b"123456789")
+/// == 0xCBF4_3926`. Segments checksum every byte of a multi-megabyte
+/// file on open, so this is a measured hot path (`store/open_10k`).
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[..4].try_into().unwrap()) ^ crc;
+        let hi = u32::from_le_bytes(chunk[4..].try_into().unwrap());
+        crc = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub(crate) struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub(crate) fn new() -> Enc {
+        Enc::default()
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn f64_bits(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub(crate) fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian decoder over a borrowed byte slice.
+///
+/// `what` labels the artifact being decoded (`"segment"` /
+/// `"manifest"`) so every truncation error names its file kind.
+#[derive(Debug)]
+pub(crate) struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> Dec<'a> {
+    pub(crate) fn new(buf: &'a [u8], what: &'static str) -> Dec<'a> {
+        Dec { buf, pos: 0, what }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or(StoreError::Truncated {
+                what: self.what,
+                context,
+            })?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    pub(crate) fn u16(&mut self, context: &'static str) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, context)?.try_into().unwrap(),
+        ))
+    }
+
+    pub(crate) fn u32(&mut self, context: &'static str) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().unwrap(),
+        ))
+    }
+
+    pub(crate) fn u64(&mut self, context: &'static str) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().unwrap(),
+        ))
+    }
+
+    pub(crate) fn f64_bits(&mut self, context: &'static str) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    /// Validates that `count` elements of `elem_bytes` each actually fit
+    /// in the remaining buffer, with overflow-checked arithmetic, and
+    /// returns `count as usize`. Call this *before* allocating — it
+    /// converts a hostile 2^60 element count into a typed
+    /// [`StoreError::Truncated`] instead of an OOM reserve.
+    pub(crate) fn checked_count(
+        &self,
+        count: u64,
+        elem_bytes: usize,
+        context: &'static str,
+    ) -> Result<usize, StoreError> {
+        let truncated = StoreError::Truncated {
+            what: self.what,
+            context,
+        };
+        let count: usize = count.try_into().map_err(|_| truncated)?;
+        let bytes = count.checked_mul(elem_bytes).ok_or(StoreError::Truncated {
+            what: self.what,
+            context,
+        })?;
+        if bytes > self.remaining() {
+            return Err(StoreError::Truncated {
+                what: self.what,
+                context,
+            });
+        }
+        Ok(count)
+    }
+
+    /// Bulk-decodes `count` little-endian `u64`s.
+    pub(crate) fn u64_slice(
+        &mut self,
+        count: usize,
+        context: &'static str,
+    ) -> Result<Vec<u64>, StoreError> {
+        let raw = self.take(
+            count.checked_mul(8).ok_or(StoreError::Truncated {
+                what: self.what,
+                context,
+            })?,
+            context,
+        )?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Bulk-decodes `count` little-endian `u32`s.
+    pub(crate) fn u32_slice(
+        &mut self,
+        count: usize,
+        context: &'static str,
+    ) -> Result<Vec<u32>, StoreError> {
+        let raw = self.take(
+            count.checked_mul(4).ok_or(StoreError::Truncated {
+                what: self.what,
+                context,
+            })?,
+            context,
+        )?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Raw bytes (the kinds array).
+    pub(crate) fn bytes(
+        &mut self,
+        count: usize,
+        context: &'static str,
+    ) -> Result<&'a [u8], StoreError> {
+        self.take(count, context)
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts the cursor consumed the buffer exactly. Trailing garbage in
+    /// a checksummed section means the declared structure disagrees with
+    /// the section length — corrupt, not ignorable.
+    pub(crate) fn finish(self, context: &'static str) -> Result<(), StoreError> {
+        if self.pos != self.buf.len() {
+            return Err(StoreError::Corrupt {
+                what: self.what,
+                detail: format!("{context}: {} trailing bytes", self.buf.len() - self.pos),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn slice_by_8_agrees_with_the_byte_wise_reference() {
+        let reference = |bytes: &[u8]| -> u32 {
+            !bytes.iter().fold(0xFFFF_FFFFu32, |crc, &b| {
+                (crc >> 8) ^ CRC_TABLES[0][((crc ^ b as u32) & 0xFF) as usize]
+            })
+        };
+        // Lengths straddling every remainder class of the 8-byte chunking.
+        let data: Vec<u8> = (0..257u32)
+            .map(|i| (i.wrapping_mul(0x9E37) >> 3) as u8)
+            .collect();
+        for len in 0..data.len() {
+            assert_eq!(crc32(&data[..len]), reference(&data[..len]), "len {len}");
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_overrun_and_overflowing_counts() {
+        let bytes = [1u8, 2, 3, 4];
+        let mut dec = Dec::new(&bytes, "segment");
+        assert_eq!(dec.u32("x").unwrap(), u32::from_le_bytes(bytes));
+        assert!(matches!(
+            dec.bytes(1, "x"),
+            Err(StoreError::Truncated {
+                what: "segment",
+                ..
+            })
+        ));
+
+        let dec = Dec::new(&bytes, "segment");
+        assert!(dec.checked_count(u64::MAX, 8, "hostile").is_err());
+        assert!(dec.checked_count(2, usize::MAX, "hostile").is_err());
+        assert!(dec.checked_count(1, 4, "ok").is_ok());
+        assert!(dec.checked_count(2, 4, "too many").is_err());
+    }
+
+    #[test]
+    fn finish_flags_trailing_bytes() {
+        let bytes = [0u8; 6];
+        let mut dec = Dec::new(&bytes, "manifest");
+        dec.u32("x").unwrap();
+        assert!(matches!(
+            dec.finish("tail"),
+            Err(StoreError::Corrupt {
+                what: "manifest",
+                ..
+            })
+        ));
+    }
+}

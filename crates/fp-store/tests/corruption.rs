@@ -1,0 +1,233 @@
+//! Corruption-safety contract for the on-disk store, mirroring the
+//! fp-serve wire proptests: **decoding is total**. Any byte flip,
+//! truncation, hostile section table, or plain random garbage must
+//! produce a typed [`StoreError`] — never a panic, never an OOM-sized
+//! allocation, and never a silently different gallery.
+//!
+//! The segment format makes the strongest version of this provable: the
+//! header CRC covers the section table, each section CRC covers its
+//! payload, and the sections must tile the file exactly — so *every*
+//! byte of a segment is covered by exactly one checksum and every
+//! single-bit flip is detectable. The proptests below exercise exactly
+//! that guarantee.
+
+use std::sync::OnceLock;
+
+use fp_core::geometry::{Direction, Point};
+use fp_core::minutia::{Minutia, MinutiaKind};
+use fp_core::rng::SeedTree;
+use fp_core::template::Template;
+use fp_index::{CandidateIndex, IndexConfig};
+use fp_match::PairTableMatcher;
+use fp_store::{check_manifest, check_segment, GalleryStore, StoreError};
+use proptest::prelude::*;
+use rand::Rng;
+
+fn synthetic_template(seed: &SeedTree, n: usize) -> Template {
+    let mut rng = seed.rng();
+    let mut minutiae = Vec::<Minutia>::new();
+    while minutiae.len() < n {
+        let pos = Point::new(
+            rng.gen::<f64>() * 16.0 - 8.0,
+            rng.gen::<f64>() * 20.0 - 10.0,
+        );
+        if minutiae.iter().any(|m| m.pos.distance(&pos) < 1.4) {
+            continue;
+        }
+        minutiae.push(Minutia::new(
+            pos,
+            Direction::from_radians(rng.gen::<f64>() * std::f64::consts::TAU),
+            if rng.gen::<bool>() {
+                MinutiaKind::RidgeEnding
+            } else {
+                MinutiaKind::Bifurcation
+            },
+            rng.gen::<f64>(),
+        ));
+    }
+    Template::builder(500.0)
+        .capture_window_mm(20.0, 24.0)
+        .extend(minutiae)
+        .build()
+        .unwrap()
+}
+
+/// One real segment file plus one real manifest (with tombstones), built
+/// once through the public store API and then attacked in-memory.
+fn artifacts() -> &'static (Vec<u8>, Vec<u8>) {
+    static ARTIFACTS: OnceLock<(Vec<u8>, Vec<u8>)> = OnceLock::new();
+    ARTIFACTS.get_or_init(|| {
+        let seed = SeedTree::new(0xC0_44);
+        let dir = std::env::temp_dir().join(format!("fp-store-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = GalleryStore::create(&dir).unwrap();
+        let mut index =
+            CandidateIndex::with_config(PairTableMatcher::default(), IndexConfig::default());
+        for i in 0..6u64 {
+            index.enroll(&synthetic_template(&seed.child(&[i]), 24));
+        }
+        let seq = store.append_index(&index).unwrap();
+        store.tombstone(seq, 1).unwrap();
+        store.tombstone(seq, 4).unwrap();
+        let segment = std::fs::read(dir.join(format!("seg-{seq:08}.fpseg"))).unwrap();
+        let manifest = std::fs::read(dir.join("MANIFEST")).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        (segment, manifest)
+    })
+}
+
+#[test]
+fn pristine_artifacts_check_clean() {
+    let (segment, manifest) = artifacts();
+    assert_eq!(check_segment(segment).unwrap(), 6);
+    check_manifest(manifest).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// Every byte of a segment is covered by a checksum, so every
+    /// single-bit flip anywhere in the file must be rejected.
+    #[test]
+    fn any_segment_bit_flip_is_rejected(at in 0usize..1 << 20, bit in 0u8..8) {
+        let (segment, _) = artifacts();
+        let at = at % segment.len();
+        let mut bad = segment.clone();
+        bad[at] ^= 1 << bit;
+        prop_assert!(check_segment(&bad).is_err(), "flip of bit {bit} at byte {at} decoded");
+    }
+
+    /// Any strict prefix of a segment must be rejected.
+    #[test]
+    fn any_segment_truncation_is_rejected(len in 0usize..1 << 20) {
+        let (segment, _) = artifacts();
+        let len = len % segment.len();
+        prop_assert!(check_segment(&segment[..len]).is_err());
+    }
+
+    /// Hostile section tables: magic and version are right, everything
+    /// after is attacker-controlled — section counts, offsets, huge
+    /// declared lengths. Must produce a typed error without attempting
+    /// an allocation sized by the hostile header.
+    #[test]
+    fn hostile_segment_headers_are_rejected(body in prop::collection::vec(0u8..=255, 0..512)) {
+        let mut bytes = b"FPSTSEG\0".to_vec();
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&body);
+        prop_assert!(check_segment(&bytes).is_err());
+    }
+
+    /// Plain random garbage never panics and never decodes.
+    #[test]
+    fn random_bytes_never_decode_as_a_segment(bytes in prop::collection::vec(0u8..=255, 0..4096)) {
+        prop_assert!(check_segment(&bytes).is_err());
+    }
+
+    /// Same three properties for the manifest.
+    #[test]
+    fn any_manifest_bit_flip_is_rejected(at in 0usize..1 << 20, bit in 0u8..8) {
+        let (_, manifest) = artifacts();
+        let at = at % manifest.len();
+        let mut bad = manifest.clone();
+        bad[at] ^= 1 << bit;
+        prop_assert!(check_manifest(&bad).is_err(), "flip of bit {bit} at byte {at} decoded");
+    }
+
+    #[test]
+    fn any_manifest_truncation_is_rejected(len in 0usize..1 << 20) {
+        let (_, manifest) = artifacts();
+        let len = len % manifest.len();
+        prop_assert!(check_manifest(&manifest[..len]).is_err());
+    }
+
+    #[test]
+    fn random_bytes_never_decode_as_a_manifest(bytes in prop::collection::vec(0u8..=255, 0..1024)) {
+        prop_assert!(check_manifest(&bytes).is_err());
+    }
+}
+
+/// Deterministic hostile headers that a random fuzzer is unlikely to hit:
+/// structurally framed section tables with adversarial counts and
+/// offsets.
+#[test]
+fn crafted_hostile_section_tables_are_typed_errors() {
+    let (segment, _) = artifacts();
+
+    // Declared section count != 5.
+    let mut bad = segment.clone();
+    bad[10..12].copy_from_slice(&999u16.to_le_bytes());
+    assert!(matches!(
+        check_segment(&bad),
+        Err(StoreError::Corrupt {
+            what: "segment",
+            ..
+        } | StoreError::CrcMismatch { .. })
+    ));
+
+    // Future version must be refused outright, not mis-decoded.
+    let mut bad = segment.clone();
+    bad[8..10].copy_from_slice(&2u16.to_le_bytes());
+    assert!(matches!(
+        check_segment(&bad),
+        Err(StoreError::UnsupportedVersion {
+            what: "segment",
+            version: 2
+        })
+    ));
+
+    // Hostile entry count in an otherwise intact file: the header CRC
+    // catches the edit even before span validation could.
+    let mut bad = segment.clone();
+    bad[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(check_segment(&bad).is_err());
+
+    // First section offset pointing past the file, CRC re-sealed so the
+    // layout check itself must fire. Header layout: section table starts
+    // at 16, each row is id u32 | offset u64 | len u64 | crc u32.
+    let mut bad = segment.clone();
+    bad[20..28].copy_from_slice(&(u64::MAX - 7).to_le_bytes());
+    let crc = fp_store_crc32(&bad[..136]);
+    bad[136..140].copy_from_slice(&crc.to_le_bytes());
+    match check_segment(&bad) {
+        Err(StoreError::Corrupt {
+            what: "segment", ..
+        })
+        | Err(StoreError::Truncated { .. }) => {}
+        other => panic!("hostile offset produced {other:?}"),
+    }
+
+    // Huge declared section length: offset valid, len = u64::MAX.
+    let mut bad = segment.clone();
+    bad[28..36].copy_from_slice(&u64::MAX.to_le_bytes());
+    let crc = fp_store_crc32(&bad[..136]);
+    bad[136..140].copy_from_slice(&crc.to_le_bytes());
+    assert!(check_segment(&bad).is_err());
+
+    // Wrong magic.
+    let mut bad = segment.clone();
+    bad[0] = b'X';
+    assert!(matches!(
+        check_segment(&bad),
+        Err(StoreError::BadMagic { what: "segment" })
+    ));
+}
+
+/// CRC32 (IEEE) — reimplemented here so hostile-header tests can re-seal
+/// their tampering exactly as the encoder would.
+fn fp_store_crc32(bytes: &[u8]) -> u32 {
+    let mut table = [0u32; 256];
+    for (i, slot) in table.iter_mut().enumerate() {
+        let mut crc = i as u32;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+        }
+        *slot = crc;
+    }
+    !bytes.iter().fold(0xFFFF_FFFFu32, |crc, &b| {
+        (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize]
+    })
+}

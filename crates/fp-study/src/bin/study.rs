@@ -24,6 +24,11 @@
 //! study fingerprint results.json   # print/save the run-fingerprint manifest
 //! study check-fingerprint results.json [--deep] # gate fingerprint parity
 //! study render --seed 7 --out print.pgm   # render a synthetic print (PGM)
+//! study gallery build store/ --subjects 200 # persist a synthetic gallery
+//! study gallery inspect store/ --json i.json # per-segment sizes and CRCs
+//! study gallery compact store/              # reclaim tombstoned entries
+//! study serve-shard --gallery-dir store/    # serve a persisted gallery
+//! study check-store --remote-shards 1       # store-parity gate (open/churn/compact)
 //! ```
 
 use std::process::ExitCode;
@@ -36,8 +41,12 @@ use fp_telemetry::{Level, Telemetry};
 
 struct Args {
     experiment: String,
-    /// Positional input path (`check-scaling RESULTS.json`).
+    /// Positional input path (`check-scaling RESULTS.json`), or the
+    /// action word of `gallery <build|inspect|compact> DIR`.
     path: Option<String>,
+    /// `--gallery-dir PATH` (serve-shard, check-store) or the positional
+    /// DIR of `gallery <action> DIR`.
+    gallery_dir: Option<String>,
     subjects: Option<usize>,
     seed: Option<u64>,
     shards: Option<usize>,
@@ -69,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
     let mut parsed = Args {
         experiment,
         path: None,
+        gallery_dir: None,
         subjects: None,
         seed: None,
         shards: None,
@@ -95,6 +105,17 @@ fn parse_args() -> Result<Args, String> {
         if let Some(next) = args.peek() {
             if !next.starts_with('-') {
                 parsed.path = Some(args.next().expect("peeked"));
+            }
+        }
+    }
+    if parsed.experiment == "gallery" {
+        // `gallery <build|inspect|compact> DIR`: the action word lands in
+        // `path`, the directory in `gallery_dir`.
+        for slot in [&mut parsed.path, &mut parsed.gallery_dir] {
+            if let Some(next) = args.peek() {
+                if !next.starts_with('-') {
+                    *slot = Some(args.next().expect("peeked"));
+                }
             }
         }
     }
@@ -156,6 +177,9 @@ fn parse_args() -> Result<Args, String> {
             "--delay-ms" => {
                 let v = args.next().ok_or("--delay-ms needs a value")?;
                 parsed.delay_ms = Some(v.parse().map_err(|_| format!("bad --delay-ms: {v}"))?);
+            }
+            "--gallery-dir" => {
+                parsed.gallery_dir = Some(args.next().ok_or("--gallery-dir needs a path")?);
             }
             "--deep" => parsed.deep = true,
             other => return Err(format!("unknown flag: {other}")),
@@ -892,10 +916,130 @@ fn check_telemetry(telemetry: &Telemetry, path: &str) -> ExitCode {
     }
 }
 
+/// `study gallery <build|inspect|compact> DIR`: the operator surface of
+/// the persistent gallery store.
+fn gallery_command(telemetry: &Telemetry, args: &Args) -> ExitCode {
+    let action = args.path.as_deref().unwrap_or("");
+    let Some(dir) = args.gallery_dir.as_deref() else {
+        eprintln!("error: usage: study gallery <build|inspect|compact> DIR");
+        return ExitCode::FAILURE;
+    };
+    match action {
+        "build" => {
+            let mut builder = StudyConfig::builder();
+            if let Some(s) = args.subjects {
+                builder = builder.subjects(s);
+            }
+            if let Some(s) = args.seed {
+                builder = builder.seed(s);
+            }
+            let config = builder.build();
+            match fp_study::experiments::check_store::build_gallery(
+                &config,
+                std::path::Path::new(dir),
+            ) {
+                Ok((live, segments)) => {
+                    println!(
+                        "built {dir}: {live} entries in {segments} segment(s) \
+                         (subjects {}, seed {})",
+                        config.subjects, config.seed
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "inspect" => {
+            let inspect = match fp_store::GalleryStore::open(dir).and_then(|s| s.inspect()) {
+                Ok(i) => i,
+                Err(e) => {
+                    eprintln!("error: cannot inspect {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "gallery {dir}: {} live entries, {} tombstones, {} segment(s), next seq {}",
+                inspect.live_entries,
+                inspect.tombstone_count,
+                inspect.segments.len(),
+                inspect.next_seq
+            );
+            let crc = |ok: bool| if ok { "ok" } else { "BAD" };
+            for seg in &inspect.segments {
+                println!(
+                    "  {} v{}: {} entries ({} tombstoned), {} bytes, header crc {}",
+                    seg.file,
+                    seg.segment.version,
+                    seg.manifest_entry_count,
+                    seg.tombstones,
+                    seg.segment.file_bytes,
+                    crc(seg.segment.header_crc_ok),
+                );
+                for sec in &seg.segment.sections {
+                    println!(
+                        "    {:<8} {:>12} bytes  crc {}",
+                        sec.name,
+                        sec.bytes,
+                        crc(sec.crc_ok)
+                    );
+                }
+            }
+            if let Some(path) = &args.json {
+                let payload = serde_json::to_value(&inspect).expect("serializable");
+                if let Err(code) = write_json(telemetry, path, &payload) {
+                    return code;
+                }
+            }
+            if inspect.all_crc_ok() {
+                println!("all checksums ok");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("error: checksum failure (see BAD rows above)");
+                ExitCode::FAILURE
+            }
+        }
+        "compact" => {
+            let stats = match fp_store::GalleryStore::open(dir).and_then(|mut s| s.compact()) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot compact {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "compacted {dir}: {} -> {} segment(s), {} entries reclaimed, {} -> {} bytes",
+                stats.segments_before,
+                stats.segments_after,
+                stats.entries_dropped,
+                stats.bytes_before,
+                stats.bytes_after
+            );
+            if let Some(path) = &args.json {
+                let payload = serde_json::to_value(stats).expect("serializable");
+                if let Err(code) = write_json(telemetry, path, &payload) {
+                    return code;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("error: unknown gallery action '{other}' (build|inspect|compact)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn run(args: &Args, telemetry: &Telemetry) -> ExitCode {
     if args.experiment == "devices" {
         print_devices();
         return ExitCode::SUCCESS;
+    }
+
+    if args.experiment == "gallery" {
+        return gallery_command(telemetry, args);
     }
 
     if args.experiment == "metrics" {
@@ -950,6 +1094,25 @@ fn run(args: &Args, telemetry: &Telemetry) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+        // `--gallery-dir`: serve a persisted gallery instead of waiting
+        // for enroll RPCs — the shard loads the store's live view (same
+        // candidate bytes as fresh enrollment) before accepting clients.
+        let server = if let Some(dir) = &args.gallery_dir {
+            let index = match fp_store::GalleryStore::open(dir)
+                .map(|s| s.with_telemetry(&shard_telemetry))
+                .and_then(|s| s.open_index())
+            {
+                Ok(index) => index,
+                Err(e) => {
+                    eprintln!("error: cannot load gallery {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!("serve-shard: loaded {} entries from {dir}", index.len());
+            server.with_index(index)
+        } else {
+            server
+        };
         if let Some(ms) = args.delay_ms {
             // Fault injection for the distributed-tracing gate: every
             // stage handler sleeps this long before doing its work, so
@@ -1117,6 +1280,37 @@ fn run(args: &Args, telemetry: &Telemetry) -> ExitCode {
         }
         let config = builder.build();
         let report = fp_study::experiments::check_kernel::run_check(&config);
+        println!("{}", report.render());
+        if let Some(path) = &args.json {
+            let payload = serde_json::json!({"config": config, "reports": [report.clone()]});
+            if let Err(code) = write_json(telemetry, path, &payload) {
+                return code;
+            }
+        }
+        return if report.values["error"].is_null() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    if args.experiment == "check-store" {
+        // The persistent-store parity gate: open / sharded-open / (with
+        // --remote-shards 1) serve-from-store with a kill+restart / churn
+        // / compact, each byte-identical to fresh enrollment. The gallery
+        // directory is left behind (compacted) as an inspectable artifact.
+        if args.subjects.is_none() {
+            builder = builder.subjects(20);
+        }
+        let config = builder.build();
+        let dir = args.gallery_dir.clone().unwrap_or_else(|| {
+            std::env::temp_dir()
+                .join("fp-check-store")
+                .to_string_lossy()
+                .into_owned()
+        });
+        let report =
+            fp_study::experiments::check_store::run_check(&config, std::path::Path::new(&dir));
         println!("{}", report.render());
         if let Some(path) = &args.json {
             let payload = serde_json::json!({"config": config, "reports": [report.clone()]});
@@ -1397,11 +1591,11 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: study <all|devices|metrics|verify|render|serve-shard|load|check-scaling|\
-                 check-telemetry|check-serve|check-load|check-dist-trace|check-kernel|fingerprint|\
-                 check-fingerprint|{}> \
+                 check-telemetry|check-serve|check-load|check-dist-trace|check-kernel|check-store|\
+                 gallery|fingerprint|check-fingerprint|{}> \
                  [--subjects N] [--seed S] [--shards S] [--remote-shards N] [--port P] \
                  [--json PATH] [--metrics PATH] [--trace PATH] [--events PATH] [--out PATH] \
-                 [--slowlog PATH] [--delay-ms N] [--deep]",
+                 [--slowlog PATH] [--delay-ms N] [--gallery-dir PATH] [--deep]",
                 experiments::ALL_IDS.join("|")
             );
             return ExitCode::FAILURE;
@@ -1425,6 +1619,8 @@ fn main() -> ExitCode {
                 | "check-serve"
                 | "check-load"
                 | "check-kernel"
+                | "check-store"
+                | "gallery"
                 | "check-fingerprint"
                 | "fingerprint"
                 | "serve-shard"

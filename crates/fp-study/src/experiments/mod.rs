@@ -8,6 +8,7 @@ use crate::report::Report;
 use crate::scores::StudyData;
 
 pub mod check_kernel;
+pub mod check_store;
 pub mod dist_trace;
 pub mod ext_diversity;
 pub mod ext_habituation;

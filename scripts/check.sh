@@ -72,6 +72,17 @@ run timeout 600 cargo run -q --release --offline -p fp-study --bin study -- \
 # serve-shard child processes.
 run timeout 600 cargo run -q --release --offline -p fp-study --bin study -- \
     check-kernel --remote-shards 2
+# Persistent-store gate: persist the 200-subject gallery, then prove every
+# store path — open, sharded open, serve-shard --gallery-dir with a
+# kill+restart, tombstone churn, compaction — yields candidate lists and a
+# RUNFP chain byte-identical to fresh enrollment. The compacted gallery is
+# left in target/store-gallery and its structural summary (per-segment
+# sizes, per-section CRCs) in target/store-inspect.json, the same
+# artifacts CI uploads.
+run timeout 600 cargo run -q --release --offline -p fp-study --bin study -- \
+    check-store --subjects 200 --remote-shards 1 --gallery-dir target/store-gallery
+run cargo run -q --release --offline -p fp-study --bin study -- \
+    gallery inspect target/store-gallery --json target/store-inspect.json
 # Fingerprint gate: the same remote smoke run must show one RUNFP chain on
 # every rung — unsharded, in-process sharded, and the two real child
 # processes — and `--deep` insists the cross-process evidence is present.
@@ -124,4 +135,14 @@ run cargo bench -q --offline -p fp-bench --bench trace -- \
 run cargo run -q --release --offline -p fp-bench --bin bench-diff -- \
     BENCH_baseline.json target/BENCH_trace_current.json --fail-pct 50 --warn-pct 10 \
     --require serve/ --require trace/
+# Store perf gate: segment save / open / compact on the 10k ladder, plus
+# the enroll-from-scratch reference the store's headline is measured
+# against. The committed baseline pins open_10k roughly two orders of
+# magnitude under enroll_10k (lazy TABLES open); losing that headline —
+# or any of the four benches silently vanishing — fails here.
+run cargo bench -q --offline -p fp-bench --bench store -- \
+    --save "$ROOT/target/BENCH_store_current.json"
+run cargo run -q --release --offline -p fp-bench --bin bench-diff -- \
+    BENCH_baseline.json target/BENCH_store_current.json --fail-pct 50 --warn-pct 10 \
+    --require store/
 echo "all checks passed"
